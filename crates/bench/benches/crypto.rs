@@ -1,0 +1,41 @@
+//! Micro-benchmarks: the crypto substrate (SHA-256, HMAC).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use puzzle_crypto::{sha256, HmacSha256, Sha256};
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 256, 1024, 8192] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| {
+            b.iter(|| sha256(black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sha256_streaming(c: &mut Criterion) {
+    let data = vec![0xcdu8; 4096];
+    c.bench_function("sha256/streaming-4x1KiB", |b| {
+        b.iter(|| {
+            let mut h = Sha256::new();
+            for chunk in data.chunks(1024) {
+                h.update(black_box(chunk));
+            }
+            h.finalize()
+        })
+    });
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let key = [7u8; 32];
+    let msg = [1u8; 64];
+    c.bench_function("hmac_sha256/64B", |b| {
+        b.iter(|| HmacSha256::mac(black_box(&key), black_box(&msg)))
+    });
+}
+
+criterion_group!{name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_sha256, bench_sha256_streaming, bench_hmac}
+criterion_main!(benches);

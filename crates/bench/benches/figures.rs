@@ -1,0 +1,127 @@
+//! Per-figure/table regeneration benches: one Criterion benchmark per
+//! evaluation artifact, each running a miniature (20 s) version of the
+//! corresponding experiment. `cargo bench figures` therefore both times
+//! the harness and exercises every experiment end to end. The printed
+//! tables come from the `experiments` binaries (`cargo run -p
+//! experiments --bin figXX_* [--full]`).
+
+use bench::bench_timeline;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::scenario::Timeline;
+use experiments::{
+    fig03, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14, fig15, nash,
+    solution_flood, table1,
+};
+
+fn group(c: &mut Criterion, name: &str, mut f: impl FnMut()) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function(name, |b| b.iter(&mut f));
+    g.finish();
+}
+
+fn bench_fig03(c: &mut Criterion) {
+    group(c, "fig03_stress_point", || {
+        let rows = fig03::stress_test(1, &[200], 5.0);
+        assert!(rows[0].service_rate > 0.0);
+    });
+}
+
+fn bench_fig06(c: &mut Criterion) {
+    group(c, "fig06_cdf_cell", || {
+        let row = fig06::measure(2, 2, 10, fig06::KERNEL_HASH_RATE, 15.0, 4.0);
+        assert!(!row.cdf.is_empty());
+    });
+}
+
+fn bench_fig07(c: &mut Criterion) {
+    group(c, "fig07_syn_flood", || {
+        let r = fig07::run_with(3, bench_timeline(), 3, 1000.0);
+        assert_eq!(r.outcomes.len(), 4);
+    });
+}
+
+fn bench_fig08(c: &mut Criterion) {
+    group(c, "fig08_conn_flood", || {
+        let r = fig08::run_with(4, bench_timeline(), 3, 500.0);
+        assert_eq!(r.outcomes.len(), 3);
+    });
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    group(c, "fig09_cpu", || {
+        let r = fig09::run_with(5, bench_timeline(), 3, 500.0);
+        assert!(r.attackers.mean >= 0.0);
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    group(c, "fig10_queues", || {
+        let r = fig10::run_with(6, bench_timeline(), 3, 500.0);
+        assert_eq!(r.traces.len(), 2);
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    group(c, "fig11_attack_rate", || {
+        let r = fig11::run_with(7, bench_timeline(), 3, 500.0);
+        assert_eq!(r.rows.len(), 2);
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    group(c, "fig12_difficulty_cell", || {
+        let cell = fig12::measure(8, 2, 17, &bench_timeline(), 3, 500.0);
+        assert_eq!((cell.k, cell.m), (2, 17));
+    });
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    group(c, "fig13_rate_point", || {
+        let p = fig13::measure(9, 3, 500.0, &bench_timeline());
+        assert!(p.measured_pps > 0.0);
+    });
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    group(c, "fig14_size_point", || {
+        let p = fig14::measure(10, 4, 2000.0, &bench_timeline());
+        assert_eq!(p.bots, 4);
+    });
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    group(c, "fig15_adoption_cell", || {
+        let row = fig15::measure(11, true, true, &bench_timeline(), 3, 500.0);
+        assert_eq!(row.label, "(SA, SC)");
+    });
+}
+
+fn bench_table1(c: &mut Criterion) {
+    group(c, "table1_iot", || {
+        let rows = table1::rows(puzzle_core::Difficulty::new(2, 17).expect("valid"));
+        assert_eq!(rows.len(), 4);
+    });
+}
+
+fn bench_solution_flood(c: &mut Criterion) {
+    group(c, "solution_flood_point", || {
+        let timeline = Timeline {
+            total: 15.0,
+            attack_start: 2.0,
+            attack_stop: 13.0,
+        };
+        let p = solution_flood::measure(12, 2000.0, &timeline);
+        assert_eq!(p.admitted, 0);
+    });
+}
+
+fn bench_nash(c: &mut Criterion) {
+    group(c, "nash_example", || {
+        let r = nash::derive(140_630.0, 1100.0, 1.1, 10_000);
+        assert_eq!((r.difficulty.k(), r.difficulty.m()), (2, 17));
+    });
+}
+
+criterion_group!{name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_fig03, bench_fig06, bench_fig07, bench_fig08, bench_fig09, bench_fig10, bench_fig11, bench_fig12, bench_fig13, bench_fig14, bench_fig15, bench_table1, bench_solution_flood, bench_nash}
+criterion_main!(benches);

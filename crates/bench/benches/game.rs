@@ -1,0 +1,41 @@
+//! Micro-benchmarks: the Stackelberg solvers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use puzzle_game::{
+    best_response_dynamics, nash_rates, optimal_difficulty, select_parameters, GameConfig,
+    SelectionPolicy,
+};
+use std::hint::black_box;
+
+fn bench_nash_rates(c: &mut Criterion) {
+    let cfg = GameConfig::homogeneous(1_000, 140_630.0, 1.1 * 1_000.0).expect("valid");
+    c.bench_function("game/nash_rates(N=1000)", |b| {
+        b.iter(|| nash_rates(black_box(&cfg), 66_000.0).expect("feasible"))
+    });
+}
+
+fn bench_optimal_difficulty(c: &mut Criterion) {
+    let cfg = GameConfig::homogeneous(10_000, 140_630.0, 1.1 * 10_000.0).expect("valid");
+    c.bench_function("game/optimal_difficulty(N=10000)", |b| {
+        b.iter(|| optimal_difficulty(black_box(&cfg)).expect("feasible"))
+    });
+}
+
+fn bench_best_response(c: &mut Criterion) {
+    let cfg = GameConfig::homogeneous(50, 1_000.0, 100.0).expect("valid");
+    c.bench_function("game/best_response_dynamics(N=50)", |b| {
+        b.iter(|| best_response_dynamics(black_box(&cfg), 100.0, 1e-6, 100_000).expect("converges"))
+    });
+}
+
+fn bench_select(c: &mut Criterion) {
+    c.bench_function("game/select_parameters", |b| {
+        b.iter(|| {
+            select_parameters(black_box(66_966.7), SelectionPolicy::MinimizeOvershoot { k_max: 4 })
+                .expect("valid")
+        })
+    });
+}
+
+criterion_group!{name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_nash_rates, bench_optimal_difficulty, bench_best_response, bench_select}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Micro-benchmarks: puzzle issue, solve, verify — the per-connection
+//! costs the paper's model accounts as g(p), ℓ(p), and d(p).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use puzzle_core::{
+    sample_solve_hashes, Challenge, ConnectionTuple, Difficulty, ServerSecret, SolveCostModel,
+    Solver, Verifier,
+};
+use std::hint::black_box;
+
+fn tuple() -> ConnectionTuple {
+    ConnectionTuple::new(
+        "10.0.0.2".parse().expect("addr"),
+        40_000,
+        "10.0.0.1".parse().expect("addr"),
+        80,
+        0x1234,
+    )
+}
+
+/// g(p): one hash per challenge, whatever the difficulty.
+fn bench_issue(c: &mut Criterion) {
+    let secret = ServerSecret::from_bytes([1; 32]);
+    let d = Difficulty::new(2, 17).expect("valid");
+    let t = tuple();
+    c.bench_function("puzzle/issue(2,17)", |b| {
+        b.iter(|| Challenge::issue(black_box(&secret), &t, 100, d, 32).expect("valid"))
+    });
+}
+
+/// ℓ(p): brute-force solve cost doubles per difficulty bit.
+fn bench_solve(c: &mut Criterion) {
+    let secret = ServerSecret::from_bytes([2; 32]);
+    let t = tuple();
+    let mut g = c.benchmark_group("puzzle/solve");
+    g.sample_size(10);
+    for m in [4u8, 8, 12] {
+        let challenge =
+            Challenge::issue(&secret, &t, 100, Difficulty::new(1, m).expect("valid"), 32)
+                .expect("valid");
+        g.bench_with_input(BenchmarkId::from_parameter(m), &challenge, |b, ch| {
+            b.iter(|| Solver::new().solve(black_box(ch)))
+        });
+    }
+    g.finish();
+}
+
+/// d(p): stateless verification — recompute pre-image + k sub-checks.
+fn bench_verify(c: &mut Criterion) {
+    let secret = ServerSecret::from_bytes([3; 32]);
+    let t = tuple();
+    let d = Difficulty::new(2, 10).expect("valid");
+    let verifier = Verifier::new(secret.clone()).with_expiry(8);
+    let challenge = verifier.issue(&t, 100, d, 32).expect("valid");
+    let solved = Solver::new().solve(&challenge);
+    c.bench_function("puzzle/verify(2,10)", |b| {
+        b.iter(|| {
+            verifier
+                .verify(
+                    black_box(&t),
+                    &challenge.params(),
+                    &solved.solution,
+                    100,
+                )
+                .expect("valid")
+        })
+    });
+}
+
+/// The simulator's solve-cost sampling (hot path at high attack rates).
+fn bench_cost_model(c: &mut Criterion) {
+    let d = Difficulty::new(2, 17).expect("valid");
+    let mut state = 0x123456789abcdefu64;
+    c.bench_function("puzzle/sample_cost(2,17)", |b| {
+        b.iter(|| {
+            let mut f = || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            sample_solve_hashes(d, SolveCostModel::UniformPlacement, &mut f)
+        })
+    });
+}
+
+criterion_group!{name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_issue, bench_solve, bench_verify, bench_cost_model}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Macro-benchmarks: simulator throughput — events/second for the
+//! testbed under load, which bounds every experiment's wall-clock cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::scenario::{Defense, Scenario, Timeline};
+
+/// Ten simulated seconds of the standard quiet scenario (15 clients).
+fn bench_quiet_testbed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("quiet_10s_15clients", |b| {
+        b.iter(|| {
+            let timeline = Timeline::smoke();
+            let scenario = Scenario::standard(5, Defense::None, &timeline);
+            let mut tb = scenario.build();
+            tb.run_until_secs(10.0);
+            tb.sim.stats().events_processed
+        })
+    });
+    g.finish();
+}
+
+/// Ten simulated seconds under a 10-bot connection flood with puzzles.
+fn bench_flooded_testbed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("flood_10s_10bots_nash", |b| {
+        b.iter(|| {
+            let timeline = Timeline {
+                total: 10.0,
+                attack_start: 1.0,
+                attack_stop: 10.0,
+            };
+            let mut scenario = Scenario::standard(5, Defense::nash(), &timeline);
+            scenario.attackers = Scenario::conn_flood_bots(10, 500.0, false, &timeline);
+            let mut tb = scenario.build();
+            tb.run_until_secs(10.0);
+            tb.sim.stats().events_processed
+        })
+    });
+    g.finish();
+}
+
+criterion_group!{name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_quiet_testbed, bench_flooded_testbed}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Micro-benchmarks: listener fast paths — what bounds the server's
+//! packets-per-second under each defence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::{SimDuration, SimTime};
+use puzzle_core::{Difficulty, ServerSecret};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+use tcpstack::{
+    DefenseMode, Listener, ListenerConfig, PuzzleConfig, SegmentBuilder, TcpFlags, VerifyMode,
+};
+
+const SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+
+fn listener(defense: DefenseMode, backlog: usize) -> Listener {
+    let mut cfg = ListenerConfig::new(SERVER, 80);
+    cfg.backlog = backlog;
+    cfg.defense = defense;
+    Listener::new(cfg, ServerSecret::from_bytes([7; 32]))
+}
+
+fn syn(port: u16) -> tcpstack::TcpSegment {
+    SegmentBuilder::new(port, 80)
+        .seq(1)
+        .flags(TcpFlags::SYN)
+        .mss(1460)
+        .timestamps(1, 0)
+        .build()
+}
+
+/// Stateful SYN handling (half-open creation + SYN-ACK).
+fn bench_syn_stateful(c: &mut Criterion) {
+    c.bench_function("stack/syn_stateful", |b| {
+        let mut l = listener(DefenseMode::None, usize::MAX);
+        let mut port = 1000u16;
+        let src = Ipv4Addr::new(10, 0, 0, 2);
+        b.iter(|| {
+            port = port.wrapping_add(1).max(1000);
+            l.on_segment(SimTime::ZERO, src, black_box(&syn(port)))
+        })
+    });
+}
+
+/// Stateless cookie SYN-ACK generation under overflow.
+fn bench_syn_cookie(c: &mut Criterion) {
+    c.bench_function("stack/syn_cookie", |b| {
+        let mut l = listener(DefenseMode::SynCookies, 0);
+        let src = Ipv4Addr::new(10, 0, 0, 3);
+        let seg = syn(2000);
+        b.iter(|| l.on_segment(SimTime::ZERO, src, black_box(&seg)))
+    });
+}
+
+/// Stateless challenge generation under overflow (g(p) = 1 hash).
+fn bench_syn_challenge(c: &mut Criterion) {
+    let pc = PuzzleConfig {
+        difficulty: Difficulty::new(2, 17).expect("valid"),
+        preimage_bits: 32,
+        expiry: 8,
+        verify: VerifyMode::Real,
+        hold: SimDuration::ZERO,
+    };
+    c.bench_function("stack/syn_challenge", |b| {
+        let mut l = listener(DefenseMode::Puzzles(pc.clone()), 0);
+        let src = Ipv4Addr::new(10, 0, 0, 4);
+        let seg = syn(3000);
+        b.iter(|| l.on_segment(SimTime::ZERO, src, black_box(&seg)))
+    });
+}
+
+criterion_group!{name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_syn_stateful, bench_syn_cookie, bench_syn_challenge}
+criterion_main!(benches);

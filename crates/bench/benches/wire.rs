@@ -1,0 +1,59 @@
+//! Micro-benchmarks: TCP option codec and SYN-cookie codec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tcpstack::{ChallengeOption, SolutionOption, SynCookieCodec, TcpOption};
+
+fn challenge_options() -> Vec<TcpOption> {
+    vec![
+        TcpOption::Mss(1460),
+        TcpOption::Timestamps { tsval: 77, tsecr: 0 },
+        TcpOption::Challenge(ChallengeOption {
+            k: 2,
+            m: 17,
+            preimage: vec![1, 2, 3, 4],
+            timestamp: None,
+        }),
+    ]
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let opts = challenge_options();
+    c.bench_function("wire/options_encode", |b| {
+        b.iter(|| TcpOption::encode_all(black_box(&opts)))
+    });
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let bytes = TcpOption::encode_all(&challenge_options());
+    c.bench_function("wire/options_decode", |b| {
+        b.iter(|| TcpOption::decode_all(black_box(&bytes)).expect("valid"))
+    });
+}
+
+fn bench_solution_split(c: &mut Criterion) {
+    let sol = SolutionOption::build(1460, 7, &[vec![1; 4], vec![2; 4]], None);
+    c.bench_function("wire/solution_split", |b| {
+        b.iter(|| sol.split(2, 32, false).expect("valid"))
+    });
+}
+
+fn bench_cookies(c: &mut Criterion) {
+    let codec = SynCookieCodec::new([9; 32]);
+    let src = "10.0.0.2".parse().expect("addr");
+    let dst = "10.0.0.1".parse().expect("addr");
+    c.bench_function("wire/cookie_encode", |b| {
+        b.iter(|| codec.encode(black_box(src), 40_000, dst, 80, 0x1234, 1460, 5))
+    });
+    let cookie = codec.encode(src, 40_000, dst, 80, 0x1234, 1460, 5);
+    c.bench_function("wire/cookie_validate", |b| {
+        b.iter(|| {
+            codec
+                .validate(black_box(src), 40_000, dst, 80, 0x1234, cookie, 5)
+                .expect("valid")
+        })
+    });
+}
+
+criterion_group!{name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_encode, bench_decode, bench_solution_split, bench_cookies}
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Shared helpers for the tcp-puzzles benchmark suite.
+
+#![forbid(unsafe_code)]
+
+use experiments::scenario::Timeline;
+
+/// A miniature timeline for per-figure regeneration benches: long enough
+/// for the defence dynamics to engage, short enough for Criterion.
+pub fn bench_timeline() -> Timeline {
+    Timeline {
+        total: 20.0,
+        attack_start: 4.0,
+        attack_stop: 16.0,
+    }
+}

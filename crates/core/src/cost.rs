@@ -1,0 +1,165 @@
+//! Stochastic solve-cost models.
+//!
+//! The simulation does not run the real brute-force solver for every
+//! connection (a Nash-difficulty puzzle costs ~10^5 real hashes); instead
+//! it *samples* the number of hashes a solve would take and advances the
+//! host's CPU by `hashes / hash_rate` seconds. Two models are provided:
+//!
+//! * [`SolveCostModel::UniformPlacement`] — the paper's accounting (§4.1):
+//!   the solution is uniformly placed in the 2^m candidate space, so the
+//!   per-sub-puzzle cost is uniform on `[1, 2^m]` with mean ≈ 2^(m−1).
+//!   This matches ℓ(p) = k·2^(m−1) exactly and is the default.
+//! * [`SolveCostModel::Geometric`] — each candidate independently passes
+//!   with probability 2^(−m) (the true behaviour of a random hash
+//!   predicate over an unbounded candidate stream), giving a geometric
+//!   cost with mean 2^m.
+//!
+//! The choice is surfaced because it doubles attacker/client solve times;
+//! experiments default to the paper's model so its figures are comparable.
+
+use crate::difficulty::Difficulty;
+
+/// How to sample the number of hashes a brute-force solve performs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SolveCostModel {
+    /// Uniform on `[1, 2^m]` per sub-puzzle; mean (2^m + 1)/2 ≈ 2^(m−1).
+    /// The paper's accounting model (default).
+    #[default]
+    UniformPlacement,
+    /// Geometric with success probability 2^(−m); mean 2^m.
+    Geometric,
+}
+
+/// Samples the hash count for a single sub-puzzle of difficulty `m` bits.
+///
+/// `next_f64` must yield uniform samples in `[0, 1)` (e.g.
+/// `netsim::rng::SimRng::next_f64`).
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `m > 63`.
+pub fn sample_sub_puzzle_hashes(m: u8, model: SolveCostModel, next_f64: &mut dyn FnMut() -> f64) -> u64 {
+    assert!(m >= 1 && m <= 63, "m={m} outside 1..=63");
+    let space = 1u64 << m;
+    match model {
+        SolveCostModel::UniformPlacement => {
+            // Uniform integer in [1, 2^m].
+            let u = next_f64();
+            1 + (u * space as f64) as u64
+        }
+        SolveCostModel::Geometric => {
+            let p = (space as f64).recip();
+            let u = next_f64();
+            // Inverse CDF of the geometric distribution on {1, 2, ...}.
+            let trials = ((1.0 - u).ln() / (1.0 - p).ln()).floor() + 1.0;
+            trials.max(1.0) as u64
+        }
+    }
+}
+
+/// Samples the total hash count for a full solve of `difficulty`
+/// (`k` independent sub-puzzles).
+pub fn sample_solve_hashes(
+    difficulty: Difficulty,
+    model: SolveCostModel,
+    next_f64: &mut dyn FnMut() -> f64,
+) -> u64 {
+    (0..difficulty.k())
+        .map(|_| sample_sub_puzzle_hashes(difficulty.m(), model, next_f64))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny deterministic LCG for test sampling (keeps this crate free of
+    /// a dependency on the simulator's RNG).
+    struct Lcg(u64);
+    impl Lcg {
+        fn next_f64(&mut self) -> f64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (self.0 >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    #[test]
+    fn uniform_model_mean_matches_paper_accounting() {
+        let mut lcg = Lcg(42);
+        let mut f = || lcg.next_f64();
+        let m = 10u8;
+        let n = 100_000;
+        let sum: u64 = (0..n)
+            .map(|_| sample_sub_puzzle_hashes(m, SolveCostModel::UniformPlacement, &mut f))
+            .sum();
+        let mean = sum as f64 / n as f64;
+        let expect = 2f64.powi(m as i32 - 1); // ≈ 512
+        assert!(
+            (mean - expect).abs() / expect < 0.02,
+            "mean {mean}, expected ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn uniform_model_bounds() {
+        let mut lcg = Lcg(7);
+        let mut f = || lcg.next_f64();
+        for _ in 0..10_000 {
+            let h = sample_sub_puzzle_hashes(4, SolveCostModel::UniformPlacement, &mut f);
+            assert!((1..=16).contains(&h), "h={h}");
+        }
+    }
+
+    #[test]
+    fn geometric_model_mean_is_two_to_m() {
+        let mut lcg = Lcg(99);
+        let mut f = || lcg.next_f64();
+        let m = 6u8;
+        let n = 200_000;
+        let sum: u64 = (0..n)
+            .map(|_| sample_sub_puzzle_hashes(m, SolveCostModel::Geometric, &mut f))
+            .sum();
+        let mean = sum as f64 / n as f64;
+        let expect = 64.0;
+        assert!(
+            (mean - expect).abs() / expect < 0.03,
+            "mean {mean}, expected ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn geometric_minimum_is_one() {
+        let mut lcg = Lcg(1);
+        let mut f = || lcg.next_f64();
+        for _ in 0..10_000 {
+            assert!(sample_sub_puzzle_hashes(1, SolveCostModel::Geometric, &mut f) >= 1);
+        }
+    }
+
+    #[test]
+    fn full_solve_sums_k_sub_puzzles() {
+        let mut lcg = Lcg(5);
+        let mut f = || lcg.next_f64();
+        let d = Difficulty::new(4, 8).unwrap();
+        let n = 50_000;
+        let sum: u64 = (0..n)
+            .map(|_| sample_solve_hashes(d, SolveCostModel::UniformPlacement, &mut f))
+            .sum();
+        let mean = sum as f64 / n as f64;
+        let expect = d.expected_client_hashes(); // 4 * 128 = 512
+        assert!(
+            (mean - expect).abs() / expect < 0.02,
+            "mean {mean}, expected ≈ {expect}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn zero_bits_panics() {
+        let mut f = || 0.5;
+        sample_sub_puzzle_hashes(0, SolveCostModel::UniformPlacement, &mut f);
+    }
+}

@@ -1,0 +1,168 @@
+//! Puzzle difficulty `(k, m)` and the paper's cost accounting.
+
+use crate::error::DifficultyError;
+use std::fmt;
+
+/// Puzzle difficulty: `k` sub-solutions, each with `m` bits of difficulty.
+///
+/// The paper represents the space of puzzles as tuples `(k, m)` (§4): a
+/// challenge demands `k` independent sub-solutions, each of which requires
+/// matching the first `m` bits of a hash. Its cost accounting (§4.1):
+///
+/// * client: ℓ(p) = k·2^(m−1) expected hashes (brute force, solution
+///   uniformly placed in the 2^m search space);
+/// * server generation: g(p) = 1 hash;
+/// * server verification: d(p) = 1 + k/2 expected hashes.
+///
+/// # Example
+///
+/// ```
+/// use puzzle_core::Difficulty;
+///
+/// let nash = Difficulty::new(2, 17)?; // the paper's Nash difficulty (§4.4)
+/// assert_eq!(nash.expected_client_hashes(), 2.0 * 65536.0);
+/// assert_eq!(nash.expected_verification_hashes(), 2.0);
+/// # Ok::<(), puzzle_core::DifficultyError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Difficulty {
+    k: u8,
+    m: u8,
+}
+
+impl Difficulty {
+    /// Creates a difficulty with `k` sub-solutions of `m` bits each.
+    ///
+    /// # Errors
+    ///
+    /// * [`DifficultyError::ZeroSolutions`] if `k == 0`.
+    /// * [`DifficultyError::BitsOutOfRange`] if `m == 0` or `m > 63`.
+    pub fn new(k: u8, m: u8) -> Result<Self, DifficultyError> {
+        if k == 0 {
+            return Err(DifficultyError::ZeroSolutions);
+        }
+        if m == 0 || m > 63 {
+            return Err(DifficultyError::BitsOutOfRange(m));
+        }
+        Ok(Difficulty { k, m })
+    }
+
+    /// Number of sub-solutions requested per challenge.
+    pub fn k(&self) -> u8 {
+        self.k
+    }
+
+    /// Difficulty bits per sub-solution.
+    pub fn m(&self) -> u8 {
+        self.m
+    }
+
+    /// ℓ(p) = k·2^(m−1): the paper's expected brute-force client cost in
+    /// hash operations.
+    pub fn expected_client_hashes(&self) -> f64 {
+        self.k as f64 * 2f64.powi(self.m as i32 - 1)
+    }
+
+    /// k·2^m: worst-case brute-force client cost in hash operations under
+    /// the paper's uniform-placement model.
+    pub fn max_client_hashes(&self) -> f64 {
+        self.k as f64 * 2f64.powi(self.m as i32)
+    }
+
+    /// g(p) = 1: hashes the server spends generating a challenge.
+    pub fn generation_hashes(&self) -> f64 {
+        1.0
+    }
+
+    /// d(p) = 1 + k/2: expected hashes the server spends verifying a
+    /// received solution (one pre-image recomputation plus, on average,
+    /// half the sub-solutions when checking in random order until the
+    /// first violation — paper §4).
+    pub fn expected_verification_hashes(&self) -> f64 {
+        1.0 + self.k as f64 / 2.0
+    }
+
+    /// Worst-case verification hashes: the pre-image plus all `k`
+    /// sub-solutions (a fully valid solution must be checked in full).
+    pub fn max_verification_hashes(&self) -> f64 {
+        1.0 + self.k as f64
+    }
+
+    /// Probability that a uniformly random `l`-bit string passes one
+    /// sub-puzzle check: 2^(−m).
+    pub fn sub_guess_probability(&self) -> f64 {
+        2f64.powi(-(self.m as i32))
+    }
+
+    /// Probability that `k` uniformly random strings all pass: 2^(−k·m).
+    /// This is the attacker's chance of blind-guessing a full solution —
+    /// the trade-off the paper discusses when choosing small `k` (§4.3).
+    pub fn guess_probability(&self) -> f64 {
+        2f64.powi(-(self.k as i32 * self.m as i32))
+    }
+}
+
+impl fmt::Display for Difficulty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(k={}, m={})", self.k, self.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(Difficulty::new(0, 8), Err(DifficultyError::ZeroSolutions));
+        assert_eq!(Difficulty::new(1, 0), Err(DifficultyError::BitsOutOfRange(0)));
+        assert_eq!(
+            Difficulty::new(1, 64),
+            Err(DifficultyError::BitsOutOfRange(64))
+        );
+        assert!(Difficulty::new(1, 63).is_ok());
+        assert!(Difficulty::new(255, 1).is_ok());
+    }
+
+    #[test]
+    fn paper_cost_accounting() {
+        let d = Difficulty::new(2, 17).unwrap();
+        assert_eq!(d.expected_client_hashes(), 131072.0);
+        assert_eq!(d.max_client_hashes(), 262144.0);
+        assert_eq!(d.generation_hashes(), 1.0);
+        assert_eq!(d.expected_verification_hashes(), 2.0);
+        assert_eq!(d.max_verification_hashes(), 3.0);
+    }
+
+    #[test]
+    fn expected_cost_doubles_per_bit_and_scales_linearly_in_k() {
+        let base = Difficulty::new(1, 10).unwrap().expected_client_hashes();
+        assert_eq!(
+            Difficulty::new(1, 11).unwrap().expected_client_hashes(),
+            base * 2.0
+        );
+        assert_eq!(
+            Difficulty::new(4, 10).unwrap().expected_client_hashes(),
+            base * 4.0
+        );
+    }
+
+    #[test]
+    fn guess_probabilities() {
+        let d = Difficulty::new(2, 4).unwrap();
+        assert!((d.sub_guess_probability() - 1.0 / 16.0).abs() < 1e-15);
+        assert!((d.guess_probability() - 1.0 / 256.0).abs() < 1e-15);
+        // Larger k at equal ℓ(p): harder to guess.
+        let k1 = Difficulty::new(1, 8).unwrap();
+        let k2 = Difficulty::new(2, 7).unwrap();
+        assert!(k2.guess_probability() < k1.guess_probability());
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        let a = Difficulty::new(1, 8).unwrap();
+        let b = Difficulty::new(2, 8).unwrap();
+        assert!(a < b);
+        assert_eq!(a.to_string(), "(k=1, m=8)");
+    }
+}

@@ -1,0 +1,172 @@
+//! Error types for puzzle issuance and verification.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing a [`crate::Difficulty`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DifficultyError {
+    /// `k` must be at least 1 (a puzzle with no solutions is free).
+    ZeroSolutions,
+    /// `m` must be at least 1 and at most 63 bits.
+    BitsOutOfRange(u8),
+}
+
+impl fmt::Display for DifficultyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DifficultyError::ZeroSolutions => write!(f, "puzzle must request at least 1 solution"),
+            DifficultyError::BitsOutOfRange(m) => {
+                write!(f, "difficulty bits {m} outside supported range 1..=63")
+            }
+        }
+    }
+}
+
+impl Error for DifficultyError {}
+
+/// Error issuing a [`crate::Challenge`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IssueError {
+    /// Pre-image length must be a positive multiple of 8 bits, at most 255.
+    BadPreimageLength(u16),
+    /// Difficulty bits `m` must be strictly less than the pre-image length
+    /// `l` (paper §2.2: a puzzle is an `l`-bit string with `m < l` bits of
+    /// difficulty).
+    DifficultyExceedsPreimage {
+        /// Requested difficulty bits.
+        m: u8,
+        /// Pre-image length in bits.
+        l: u16,
+    },
+}
+
+impl fmt::Display for IssueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IssueError::BadPreimageLength(l) => {
+                write!(f, "pre-image length {l} bits is not a multiple of 8 in 8..=255")
+            }
+            IssueError::DifficultyExceedsPreimage { m, l } => {
+                write!(f, "difficulty {m} bits must be < pre-image length {l} bits")
+            }
+        }
+    }
+}
+
+impl Error for IssueError {}
+
+/// Error verifying a solution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The challenge timestamp is older than the configured expiry window
+    /// (replay defence, paper §5).
+    Expired {
+        /// Challenge timestamp.
+        issued_at: u32,
+        /// Verifier's current time.
+        now: u32,
+        /// Permitted age in the verifier's time unit.
+        max_age: u32,
+    },
+    /// The challenge timestamp lies in the future (forged or clock-skewed).
+    FutureTimestamp {
+        /// Challenge timestamp.
+        issued_at: u32,
+        /// Verifier's current time.
+        now: u32,
+    },
+    /// The number of sub-solutions does not match the difficulty's `k`.
+    WrongSolutionCount {
+        /// Expected count (`k`).
+        expected: u8,
+        /// Received count.
+        got: usize,
+    },
+    /// A sub-solution has the wrong byte length.
+    BadSolutionLength {
+        /// Index of the offending sub-solution (0-based).
+        index: usize,
+    },
+    /// A sub-solution fails the `m`-bit prefix-match check.
+    Invalid {
+        /// Index of the first invalid sub-solution (0-based).
+        index: usize,
+    },
+    /// Challenge parameters in the packet are malformed or unsupported.
+    BadParams(IssueError),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Expired {
+                issued_at,
+                now,
+                max_age,
+            } => write!(
+                f,
+                "challenge issued at {issued_at} expired at time {now} (max age {max_age})"
+            ),
+            VerifyError::FutureTimestamp { issued_at, now } => {
+                write!(f, "challenge timestamp {issued_at} is in the future (now {now})")
+            }
+            VerifyError::WrongSolutionCount { expected, got } => {
+                write!(f, "expected {expected} sub-solutions, got {got}")
+            }
+            VerifyError::BadSolutionLength { index } => {
+                write!(f, "sub-solution {index} has the wrong length")
+            }
+            VerifyError::Invalid { index } => {
+                write!(f, "sub-solution {index} fails the difficulty check")
+            }
+            VerifyError::BadParams(e) => write!(f, "bad challenge parameters: {e}"),
+        }
+    }
+}
+
+impl Error for VerifyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VerifyError::BadParams(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IssueError> for VerifyError {
+    fn from(e: IssueError) -> Self {
+        VerifyError::BadParams(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(DifficultyError::ZeroSolutions.to_string().contains("at least 1"));
+        assert!(DifficultyError::BitsOutOfRange(99).to_string().contains("99"));
+        assert!(IssueError::BadPreimageLength(13).to_string().contains("13"));
+        assert!(
+            IssueError::DifficultyExceedsPreimage { m: 70, l: 64 }
+                .to_string()
+                .contains("70")
+        );
+        let e = VerifyError::Expired {
+            issued_at: 5,
+            now: 20,
+            max_age: 8,
+        };
+        assert!(e.to_string().contains("expired"));
+        assert!(VerifyError::Invalid { index: 1 }.to_string().contains('1'));
+    }
+
+    #[test]
+    fn source_chains_bad_params() {
+        let e = VerifyError::BadParams(IssueError::BadPreimageLength(3));
+        assert!(e.source().is_some());
+        assert!(VerifyError::Invalid { index: 0 }.source().is_none());
+    }
+}

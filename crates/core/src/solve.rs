@@ -1,0 +1,197 @@
+//! Brute-force puzzle solver (client side).
+
+use crate::challenge::{Challenge, Solution};
+
+/// Result of a successful solve: the solution plus work accounting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SolveOutcome {
+    /// The `k` sub-solutions, ready to send back.
+    pub solution: Solution,
+    /// Total hash operations performed.
+    pub hashes: u64,
+    /// Hash operations per sub-puzzle, in index order.
+    pub per_sub_puzzle: Vec<u64>,
+}
+
+/// Brute-force solver: enumerates `l`-bit candidates as a little-endian
+/// counter until each sub-puzzle's `m`-bit prefix check passes.
+///
+/// The enumeration order is deterministic, which makes tests reproducible;
+/// randomizing the starting point would not change the expected work
+/// because the predicate is a random function of the candidate.
+///
+/// # Example
+///
+/// ```
+/// use puzzle_core::{Challenge, ConnectionTuple, Difficulty, ServerSecret, Solver};
+///
+/// let secret = ServerSecret::from_bytes([1u8; 32]);
+/// let tuple = ConnectionTuple::new(
+///     "192.168.0.1".parse()?, 5000, "192.168.0.2".parse()?, 80, 99);
+/// let c = Challenge::issue(&secret, &tuple, 0, Difficulty::new(1, 6)?, 64)?;
+/// let out = Solver::new().solve(&c);
+/// assert_eq!(out.solution.len(), 1);
+/// assert!(out.hashes >= 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Solver {
+    _private: (),
+}
+
+impl Solver {
+    /// Creates a solver.
+    pub fn new() -> Self {
+        Solver { _private: () }
+    }
+
+    /// Solves every sub-puzzle of `challenge`, however long it takes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the candidate space (2^l) is exhausted without finding a
+    /// solution — effectively impossible for the supported `m < l` range.
+    pub fn solve(&self, challenge: &Challenge) -> SolveOutcome {
+        self.solve_with_budget(challenge, u64::MAX)
+            .expect("unbounded solve cannot exhaust its budget")
+    }
+
+    /// Solves with a hash budget; returns `None` if the budget would be
+    /// exceeded. Useful for modelling clients that give up (the paper's
+    /// users with low valuation `w_i` drop out rather than pay, §4.2).
+    pub fn solve_with_budget(&self, challenge: &Challenge, budget: u64) -> Option<SolveOutcome> {
+        let params = challenge.params();
+        let k = params.difficulty.k();
+        let len = params.preimage_len();
+        let mut proofs = Vec::with_capacity(k as usize);
+        let mut per_sub = Vec::with_capacity(k as usize);
+        let mut total: u64 = 0;
+
+        for index in 1..=k {
+            let mut spent: u64 = 0;
+            let mut counter: u64 = 0;
+            // Candidate buffer: l/8 bytes, low 8 bytes carry the counter.
+            let mut candidate = vec![0u8; len];
+            loop {
+                let ctr_bytes = counter.to_le_bytes();
+                let n = len.min(8);
+                candidate[..n].copy_from_slice(&ctr_bytes[..n]);
+                spent += 1;
+                total += 1;
+                if total > budget {
+                    return None;
+                }
+                if challenge.sub_solution_ok(index, &candidate) {
+                    proofs.push(candidate.clone());
+                    per_sub.push(spent);
+                    break;
+                }
+                counter = counter.checked_add(1).expect("candidate space exhausted");
+                if len < 8 && counter >= 1u64 << (8 * len) {
+                    panic!("candidate space exhausted for l={} bits", len * 8);
+                }
+            }
+        }
+
+        Some(SolveOutcome {
+            solution: Solution::new(proofs),
+            hashes: total,
+            per_sub_puzzle: per_sub,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::difficulty::Difficulty;
+    use crate::tuple::ConnectionTuple;
+    use crate::verify::ServerSecret;
+    use std::net::Ipv4Addr;
+
+    fn challenge(k: u8, m: u8, l: u16) -> Challenge {
+        let secret = ServerSecret::from_bytes([9u8; 32]);
+        let tuple = ConnectionTuple::new(
+            Ipv4Addr::new(10, 0, 0, 5),
+            1234,
+            Ipv4Addr::new(10, 0, 0, 6),
+            443,
+            0xabcd,
+        );
+        Challenge::issue(&secret, &tuple, 17, Difficulty::new(k, m).unwrap(), l).unwrap()
+    }
+
+    #[test]
+    fn solves_and_solutions_verify() {
+        let c = challenge(3, 6, 64);
+        let out = Solver::new().solve(&c);
+        assert_eq!(out.solution.len(), 3);
+        assert_eq!(out.per_sub_puzzle.len(), 3);
+        assert_eq!(out.per_sub_puzzle.iter().sum::<u64>(), out.hashes);
+        for (i, proof) in out.solution.proofs().iter().enumerate() {
+            assert_eq!(proof.len(), 8);
+            assert!(c.sub_solution_ok(i as u8 + 1, proof), "sub {i} invalid");
+        }
+    }
+
+    #[test]
+    fn work_grows_with_difficulty_bits() {
+        // Average over several challenges: m=10 should cost clearly more
+        // than m=4 (expected 512 vs 8 hashes per sub-puzzle).
+        let solver = Solver::new();
+        let cost = |m: u8| -> u64 {
+            (0..8u32)
+                .map(|salt| {
+                    let secret = ServerSecret::from_bytes([salt as u8; 32]);
+                    let tuple = ConnectionTuple::new(
+                        Ipv4Addr::new(10, 0, 0, 1),
+                        1000 + salt as u16,
+                        Ipv4Addr::new(10, 0, 0, 2),
+                        80,
+                        salt,
+                    );
+                    let c = Challenge::issue(
+                        &secret,
+                        &tuple,
+                        salt,
+                        Difficulty::new(1, m).unwrap(),
+                        64,
+                    )
+                    .unwrap();
+                    solver.solve(&c).hashes
+                })
+                .sum()
+        };
+        assert!(cost(10) > cost(4), "m=10 should be harder than m=4");
+    }
+
+    #[test]
+    fn budget_exceeded_returns_none() {
+        let c = challenge(1, 16, 64);
+        assert!(Solver::new().solve_with_budget(&c, 1).is_none());
+    }
+
+    #[test]
+    fn budget_sufficient_returns_some() {
+        let c = challenge(1, 4, 64);
+        let out = Solver::new().solve_with_budget(&c, 1_000_000).unwrap();
+        assert!(out.hashes <= 1_000_000);
+    }
+
+    #[test]
+    fn short_preimage_lengths_work() {
+        let c = challenge(2, 5, 16);
+        let out = Solver::new().solve(&c);
+        for proof in out.solution.proofs() {
+            assert_eq!(proof.len(), 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_same_challenge() {
+        let c = challenge(2, 8, 64);
+        let a = Solver::new().solve(&c);
+        let b = Solver::new().solve(&c);
+        assert_eq!(a, b);
+    }
+}

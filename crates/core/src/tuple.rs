@@ -1,0 +1,102 @@
+//! Packet-level data bound into a challenge pre-image.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The packet-level data the server binds into the challenge pre-image:
+/// the TCP initial sequence number, source/destination addresses, and
+/// ports (paper Figure 2 and §5).
+///
+/// Binding these fields means a captured solution only verifies for the
+/// same 4-tuple + ISN, so a replayed solution can occupy at most the one
+/// queue slot it originally earned (paper §7, "Replay attacks").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConnectionTuple {
+    /// Client (source) address as seen by the server.
+    pub src_ip: Ipv4Addr,
+    /// Client (source) port.
+    pub src_port: u16,
+    /// Server (destination) address.
+    pub dst_ip: Ipv4Addr,
+    /// Server (destination) port.
+    pub dst_port: u16,
+    /// The client's TCP initial sequence number.
+    pub isn: u32,
+}
+
+impl ConnectionTuple {
+    /// Bundles the packet-level fields.
+    pub fn new(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16, isn: u32) -> Self {
+        ConnectionTuple {
+            src_ip,
+            src_port,
+            dst_ip,
+            dst_port,
+            isn,
+        }
+    }
+
+    /// Canonical byte serialization fed into the pre-image hash.
+    pub fn to_bytes(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[0..4].copy_from_slice(&self.src_ip.octets());
+        out[4..6].copy_from_slice(&self.src_port.to_be_bytes());
+        out[6..10].copy_from_slice(&self.dst_ip.octets());
+        out[10..12].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[12..16].copy_from_slice(&self.isn.to_be_bytes());
+        out
+    }
+}
+
+impl fmt::Display for ConnectionTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} (isn={:#010x})",
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.isn
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple() -> ConnectionTuple {
+        ConnectionTuple::new(
+            Ipv4Addr::new(10, 1, 2, 3),
+            4321,
+            Ipv4Addr::new(10, 9, 8, 7),
+            80,
+            0x0102_0304,
+        )
+    }
+
+    #[test]
+    fn byte_layout_is_stable() {
+        let b = tuple().to_bytes();
+        assert_eq!(&b[0..4], &[10, 1, 2, 3]);
+        assert_eq!(&b[4..6], &4321u16.to_be_bytes());
+        assert_eq!(&b[6..10], &[10, 9, 8, 7]);
+        assert_eq!(&b[10..12], &80u16.to_be_bytes());
+        assert_eq!(&b[12..16], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn different_fields_different_bytes() {
+        let base = tuple();
+        let mut other = base;
+        other.isn ^= 1;
+        assert_ne!(base.to_bytes(), other.to_bytes());
+        let mut other = base;
+        other.src_port ^= 1;
+        assert_ne!(base.to_bytes(), other.to_bytes());
+    }
+
+    #[test]
+    fn display_mentions_endpoints() {
+        let s = tuple().to_string();
+        assert!(s.contains("10.1.2.3:4321"));
+        assert!(s.contains("10.9.8.7:80"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the puzzle protocol invariants.
+
+use proptest::prelude::*;
+use puzzle_core::{
+    Challenge, ChallengeParams, ConnectionTuple, Difficulty, ServerSecret, Solution, Solver,
+    Verifier,
+};
+use std::net::Ipv4Addr;
+
+fn arb_tuple() -> impl Strategy<Value = ConnectionTuple> {
+    (any::<u32>(), any::<u16>(), any::<u32>(), any::<u16>(), any::<u32>()).prop_map(
+        |(src, sp, dst, dp, isn)| {
+            ConnectionTuple::new(Ipv4Addr::from(src), sp, Ipv4Addr::from(dst), dp, isn)
+        },
+    )
+}
+
+fn arb_secret() -> impl Strategy<Value = ServerSecret> {
+    any::<[u8; 32]>().prop_map(ServerSecret::from_bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever the parameters, a freshly solved challenge verifies.
+    #[test]
+    fn solve_then_verify_round_trips(
+        secret in arb_secret(),
+        tuple in arb_tuple(),
+        ts in 0u32..1_000_000,
+        k in 1u8..4,
+        m in 1u8..9,
+        l_bytes in 2usize..16,
+    ) {
+        let difficulty = Difficulty::new(k, m).unwrap();
+        let l_bits = (l_bytes * 8) as u16;
+        prop_assume!((m as u16) < l_bits);
+        let verifier = Verifier::new(secret).with_expiry(10);
+        let challenge = verifier.issue(&tuple, ts, difficulty, l_bits).unwrap();
+        let out = Solver::new().solve(&challenge);
+        prop_assert_eq!(
+            verifier.verify(&tuple, &challenge.params(), &out.solution, ts),
+            Ok(())
+        );
+        // Work accounting is self-consistent.
+        prop_assert_eq!(out.per_sub_puzzle.len(), k as usize);
+        prop_assert_eq!(out.per_sub_puzzle.iter().sum::<u64>(), out.hashes);
+    }
+
+    /// A solution never verifies under a different secret (up to the 2^-m
+    /// guess probability; with m >= 8 and 3 sub-puzzles the flake chance is
+    /// below 2^-24 per case).
+    #[test]
+    fn wrong_secret_rejected(
+        tuple in arb_tuple(),
+        ts in 0u32..1_000_000,
+    ) {
+        let s1 = ServerSecret::from_bytes([1; 32]);
+        let s2 = ServerSecret::from_bytes([2; 32]);
+        let difficulty = Difficulty::new(3, 8).unwrap();
+        let v1 = Verifier::new(s1).with_expiry(10);
+        let v2 = Verifier::new(s2).with_expiry(10);
+        let challenge = v1.issue(&tuple, ts, difficulty, 64).unwrap();
+        let out = Solver::new().solve(&challenge);
+        prop_assert!(v2.verify(&tuple, &challenge.params(), &out.solution, ts).is_err());
+    }
+
+    /// Verification binds the connection tuple: flipping any field of the
+    /// tuple invalidates a valid solution.
+    #[test]
+    fn tuple_binding(
+        secret in arb_secret(),
+        tuple in arb_tuple(),
+        ts in 0u32..1_000_000,
+        which in 0usize..5,
+    ) {
+        let difficulty = Difficulty::new(2, 8).unwrap();
+        let verifier = Verifier::new(secret).with_expiry(10);
+        let challenge = verifier.issue(&tuple, ts, difficulty, 64).unwrap();
+        let out = Solver::new().solve(&challenge);
+
+        let mut other = tuple;
+        match which {
+            0 => other.src_ip = Ipv4Addr::from(u32::from(other.src_ip) ^ 1),
+            1 => other.src_port ^= 1,
+            2 => other.dst_ip = Ipv4Addr::from(u32::from(other.dst_ip) ^ 1),
+            3 => other.dst_port ^= 1,
+            _ => other.isn ^= 1,
+        }
+        prop_assert!(verifier.verify(&other, &challenge.params(), &out.solution, ts).is_err());
+    }
+
+    /// Timestamps outside the window are always rejected, regardless of
+    /// solution validity.
+    #[test]
+    fn expiry_window_enforced(
+        secret in arb_secret(),
+        tuple in arb_tuple(),
+        ts in 100u32..1_000_000,
+        age in 0u32..50,
+    ) {
+        let difficulty = Difficulty::new(1, 4).unwrap();
+        let max_age = 8;
+        let verifier = Verifier::new(secret).with_expiry(max_age);
+        let challenge = verifier.issue(&tuple, ts, difficulty, 64).unwrap();
+        let out = Solver::new().solve(&challenge);
+        let res = verifier.verify(&tuple, &challenge.params(), &out.solution, ts + age);
+        if age <= max_age {
+            prop_assert_eq!(res, Ok(()));
+        } else {
+            prop_assert!(res.is_err());
+        }
+    }
+
+    /// Random garbage almost never verifies: with m = 16 and k = 2 the
+    /// acceptance probability is 2^-32 per attempt.
+    #[test]
+    fn bogus_solutions_rejected(
+        secret in arb_secret(),
+        tuple in arb_tuple(),
+        garbage in prop::collection::vec(prop::collection::vec(any::<u8>(), 8), 2),
+    ) {
+        let difficulty = Difficulty::new(2, 16).unwrap();
+        let verifier = Verifier::new(secret).with_expiry(10);
+        let params = ChallengeParams { difficulty, preimage_bits: 64, timestamp: 5 };
+        let bogus = Solution::new(garbage);
+        prop_assert!(verifier.verify(&tuple, &params, &bogus, 5).is_err());
+    }
+
+    /// The wire-reconstruction path accepts exactly the server's pre-image.
+    #[test]
+    fn from_wire_round_trip(
+        secret in arb_secret(),
+        tuple in arb_tuple(),
+        ts in 0u32..1_000_000,
+    ) {
+        let difficulty = Difficulty::new(1, 6).unwrap();
+        let c = Challenge::issue(&secret, &tuple, ts, difficulty, 64).unwrap();
+        let rebuilt = Challenge::from_wire(c.params(), c.preimage().to_vec()).unwrap();
+        prop_assert_eq!(&c, &rebuilt);
+        let out = Solver::new().solve(&rebuilt);
+        let verifier = Verifier::new(secret).with_expiry(10);
+        prop_assert_eq!(verifier.verify(&tuple, &c.params(), &out.solution, ts), Ok(()));
+    }
+}

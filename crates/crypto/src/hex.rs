@@ -1,0 +1,132 @@
+//! Hexadecimal encoding and decoding.
+//!
+//! Used by diagnostics, tests, and the experiment harness when printing
+//! digests and puzzle pre-images.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`decode`] on malformed input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeHexError {
+    /// The input length was odd; hex strings encode whole bytes.
+    OddLength,
+    /// A character outside `[0-9a-fA-F]` was found at the given byte index.
+    InvalidDigit(usize),
+}
+
+impl fmt::Display for DecodeHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeHexError::OddLength => write!(f, "hex string has odd length"),
+            DecodeHexError::InvalidDigit(at) => {
+                write!(f, "invalid hex digit at byte index {at}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeHexError {}
+
+/// Encodes `bytes` as a lowercase hexadecimal string.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(puzzle_crypto::hex::encode(&[0xde, 0xad, 0x01]), "dead01");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hexadecimal string (either case) into bytes.
+///
+/// # Errors
+///
+/// Returns [`DecodeHexError::OddLength`] if the string length is odd, or
+/// [`DecodeHexError::InvalidDigit`] at the first non-hex character.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), puzzle_crypto::hex::DecodeHexError> {
+/// assert_eq!(puzzle_crypto::hex::decode("DEad01")?, vec![0xde, 0xad, 0x01]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
+    let bytes = s.as_bytes();
+    if bytes.len() % 2 != 0 {
+        return Err(DecodeHexError::OddLength);
+    }
+    let nibble = |c: u8, at: usize| -> Result<u8, DecodeHexError> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(DecodeHexError::InvalidDigit(at)),
+        }
+    };
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for (i, pair) in bytes.chunks_exact(2).enumerate() {
+        let hi = nibble(pair[0], 2 * i)?;
+        let lo = nibble(pair[1], 2 * i + 1)?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_empty() {
+        assert_eq!(encode(&[]), "");
+    }
+
+    #[test]
+    fn decode_empty() {
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn round_trip_all_bytes() {
+        let all: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&all)).unwrap(), all);
+    }
+
+    #[test]
+    fn decode_mixed_case() {
+        assert_eq!(decode("aAbBcC").unwrap(), vec![0xaa, 0xbb, 0xcc]);
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        assert_eq!(decode("abc"), Err(DecodeHexError::OddLength));
+    }
+
+    #[test]
+    fn invalid_digit_position_reported() {
+        assert_eq!(decode("ab0g"), Err(DecodeHexError::InvalidDigit(3)));
+        assert_eq!(decode("zz"), Err(DecodeHexError::InvalidDigit(0)));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            DecodeHexError::OddLength.to_string(),
+            "hex string has odd length"
+        );
+        assert_eq!(
+            DecodeHexError::InvalidDigit(7).to_string(),
+            "invalid hex digit at byte index 7"
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! HMAC-SHA256 per RFC 2104 / FIPS 198-1.
+
+use crate::sha256::{Digest, Sha256, DIGEST_LEN};
+
+const BLOCK_LEN: usize = 64;
+const IPAD: u8 = 0x36;
+const OPAD: u8 = 0x5c;
+
+/// Keyed-hash message authentication code over SHA-256.
+///
+/// The puzzle server uses HMAC to bind challenge pre-images and SYN cookies
+/// to its secret key so that neither can be forged by clients.
+///
+/// # Example
+///
+/// ```
+/// use puzzle_crypto::HmacSha256;
+///
+/// let tag = HmacSha256::mac(b"server-secret", b"message");
+/// let mut mac = HmacSha256::new(b"server-secret");
+/// mac.update(b"mess");
+/// mac.update(b"age");
+/// assert_eq!(mac.finalize(), tag);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    /// Key XOR opad, retained for the outer pass.
+    opad_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates a MAC instance keyed with `key`.
+    ///
+    /// Keys longer than the 64-byte SHA-256 block are first hashed, per the
+    /// HMAC specification.
+    pub fn new(key: &[u8]) -> Self {
+        let mut padded = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = crate::sha256(key);
+            padded[..DIGEST_LEN].copy_from_slice(&digest);
+        } else {
+            padded[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad_key = [0u8; BLOCK_LEN];
+        let mut opad_key = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad_key[i] = padded[i] ^ IPAD;
+            opad_key[i] = padded[i] ^ OPAD;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad_key);
+        HmacSha256 { inner, opad_key }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Completes the MAC and returns the 32-byte tag.
+    pub fn finalize(self) -> Digest {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot convenience: `HMAC(key, message)`.
+    pub fn mac(key: &[u8], message: &[u8]) -> Digest {
+        let mut h = Self::new(key);
+        h.update(message);
+        h.finalize()
+    }
+
+    /// Constant-time comparison of a computed MAC against an expected tag.
+    ///
+    /// Used by verifiers so that timing does not leak how many prefix bytes
+    /// of a forged tag were correct.
+    pub fn verify(key: &[u8], message: &[u8], expected: &[u8]) -> bool {
+        let tag = Self::mac(key, message);
+        if expected.len() != tag.len() {
+            return false;
+        }
+        let mut diff = 0u8;
+        for (a, b) in tag.iter().zip(expected) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 4231 test vectors for HMAC-SHA-256.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0b; 20];
+        let tag = HmacSha256::mac(&key, b"Hi There");
+        assert_eq!(
+            hex::encode(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = HmacSha256::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex::encode(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaa; 20];
+        let msg = [0xdd; 50];
+        let tag = HmacSha256::mac(&key, &msg);
+        assert_eq!(
+            hex::encode(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_4() {
+        let key: Vec<u8> = (1..=25).collect();
+        let msg = [0xcd; 50];
+        let tag = HmacSha256::mac(&key, &msg);
+        assert_eq!(
+            hex::encode(&tag),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaa; 131];
+        let tag = HmacSha256::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex::encode(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_7_long_key_long_message() {
+        let key = [0xaa; 131];
+        let msg = b"This is a test using a larger than block-size key and a larger than \
+                    block-size data. The key needs to be hashed before being used by the \
+                    HMAC algorithm.";
+        let tag = HmacSha256::mac(&key, msg);
+        assert_eq!(
+            hex::encode(&tag),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let key = b"key";
+        let msg = b"The quick brown fox jumps over the lazy dog";
+        let mut mac = HmacSha256::new(key);
+        for chunk in msg.chunks(7) {
+            mac.update(chunk);
+        }
+        assert_eq!(mac.finalize(), HmacSha256::mac(key, msg));
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = HmacSha256::mac(b"k", b"m");
+        assert!(HmacSha256::verify(b"k", b"m", &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!HmacSha256::verify(b"k", b"m", &bad));
+        assert!(!HmacSha256::verify(b"k", b"m", &tag[..31]));
+        assert!(!HmacSha256::verify(b"k2", b"m", &tag));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_tags() {
+        assert_ne!(
+            HmacSha256::mac(b"a", b"msg"),
+            HmacSha256::mac(b"b", b"msg")
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Cryptographic primitives for the TCP client-puzzles system.
+//!
+//! This crate provides a from-scratch, dependency-free implementation of the
+//! primitives the puzzle protocol of Noureddine et al. (DSN 2019) relies on:
+//!
+//! * [`Sha256`] — the FIPS 180-4 SHA-256 hash function, with both a streaming
+//!   interface and the one-shot [`sha256`] convenience function. The paper's
+//!   kernel implementation uses the Linux crypto API's SHA-256; the scheme
+//!   only requires preimage resistance (paper §5), which SHA-256 provides.
+//! * [`HmacSha256`] — HMAC (RFC 2104) over SHA-256, used for SYN-cookie
+//!   tagging and keyed pre-image derivation.
+//! * [`hex`] — small hexadecimal encode/decode helpers used by diagnostics
+//!   and tests.
+//!
+//! # Example
+//!
+//! ```
+//! use puzzle_crypto::{sha256, Sha256};
+//!
+//! // One-shot:
+//! let digest = sha256(b"abc");
+//! assert_eq!(
+//!     puzzle_crypto::hex::encode(&digest),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+//! );
+//!
+//! // Streaming:
+//! let mut hasher = Sha256::new();
+//! hasher.update(b"a");
+//! hasher.update(b"bc");
+//! assert_eq!(hasher.finalize(), digest);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hex;
+mod hmac;
+mod sha256;
+
+pub use hmac::HmacSha256;
+pub use sha256::{sha256, Digest, Sha256, DIGEST_LEN};

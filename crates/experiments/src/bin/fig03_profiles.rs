@@ -1,0 +1,17 @@
+//! Regenerates Figure 3 (client profiles + server stress test).
+//!
+//! Usage: `cargo run --release -p experiments --bin fig03_profiles [-- --full] [--seed N]`
+//! `--full` uses the paper's 600 s timeline instead of the compressed one.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u64);
+    let result = experiments::fig03::run(seed, full);
+    println!("{result}");
+}

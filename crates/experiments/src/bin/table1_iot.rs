@@ -1,0 +1,17 @@
+//! Regenerates Table 1 (IoT profiles).
+//!
+//! Usage: `cargo run --release -p experiments --bin table1_iot [-- --full] [--seed N]`
+//! `--full` uses the paper's 600 s timeline instead of the compressed one.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u64);
+    let result = experiments::table1::run(seed, full);
+    println!("{result}");
+}

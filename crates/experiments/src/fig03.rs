@@ -1,0 +1,219 @@
+//! Figure 3: performance profiles — (a) client hash rates → `w_av`,
+//! (b) server stress test → µ and α.
+//!
+//! Part (a) is reproduced from the calibrated device profiles (the
+//! simulation's substitute for profiling physical Xeons); part (b) runs an
+//! `ab`-style closed-loop stress client against the simulated server and
+//! measures the service-rate plateau, exactly following §4.3.
+
+use std::fmt;
+
+use hostsim::{profiles, ClientHost, ClientParams, Host, ServerHost, ServerParams, SolveBehavior};
+use netsim::{LinkSpec, NetBuilder, Route, Router, SimDuration, SimTime};
+use puzzle_game::profile::ServiceCurve;
+use simmetrics::Table;
+use tcpstack::DefenseMode;
+
+use crate::scenario::{SERVER_IP, SERVER_PORT};
+
+/// One row of the Fig. 3a profile table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileRow {
+    /// Device name.
+    pub name: &'static str,
+    /// Hash rate (H/s).
+    pub hash_rate: f64,
+    /// Hashes achievable in the 400 ms usability budget.
+    pub hashes_400ms: f64,
+}
+
+/// One row of the Fig. 3b stress curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StressRow {
+    /// Concurrent in-flight requests.
+    pub concurrency: usize,
+    /// Observed service rate (requests/s).
+    pub service_rate: f64,
+    /// Service parameter α = rate / concurrency.
+    pub alpha: f64,
+}
+
+/// The full Figure 3 result.
+#[derive(Clone, Debug)]
+pub struct Fig03Result {
+    /// Fig. 3a rows.
+    pub profiles: Vec<ProfileRow>,
+    /// Average client valuation `w_av` (hashes per 400 ms).
+    pub wav: f64,
+    /// Fig. 3b rows.
+    pub stress: Vec<StressRow>,
+    /// Plateau service rate µ.
+    pub mu: f64,
+    /// Asymptotic service parameter α.
+    pub alpha: f64,
+}
+
+/// Reproduces Fig. 3a from the calibrated profiles.
+pub fn client_profiles() -> (Vec<ProfileRow>, f64) {
+    let rows: Vec<ProfileRow> = profiles::CLIENT_CPUS
+        .iter()
+        .map(|p| ProfileRow {
+            name: p.name,
+            hash_rate: p.hash_rate,
+            hashes_400ms: p.hashes_in(profiles::USABILITY_BUDGET_SECS),
+        })
+        .collect();
+    let wav = rows.iter().map(|r| r.hashes_400ms).sum::<f64>() / rows.len() as f64;
+    (rows, wav)
+}
+
+/// Runs the Fig. 3b stress test: a closed-loop client at each concurrency
+/// level, measuring the steady-state service rate.
+pub fn stress_test(seed: u64, concurrencies: &[usize], measure_secs: f64) -> Vec<StressRow> {
+    concurrencies
+        .iter()
+        .map(|&c| {
+            let rate = run_stress_point(seed, c, measure_secs);
+            StressRow {
+                concurrency: c,
+                service_rate: rate,
+                alpha: rate / c as f64,
+            }
+        })
+        .collect()
+}
+
+fn run_stress_point(seed: u64, concurrency: usize, measure_secs: f64) -> f64 {
+    // Dedicated mini-topology: gigabit client link so the network never
+    // bottlenecks the stress test (ab runs on a LAN next to the server).
+    let mut b = NetBuilder::new(seed);
+    let router = b.add_node(Host::Router(Router::new()));
+    let server = ServerParams::new(SERVER_IP, SERVER_PORT, DefenseMode::None);
+    let server_id = b.add_node(Host::Server(ServerHost::new(server)));
+    let (r_to_srv, _) = b.connect(router, server_id, LinkSpec::gigabit());
+
+    let client_ip = "10.9.0.1".parse().expect("static address");
+    let mut params = ClientParams::new(client_ip, SERVER_IP, SolveBehavior::Ignore, 350_000.0);
+    params.closed_loop = Some(concurrency);
+    params.request_size = 1_000; // ab-style small page
+    params.request_timeout = SimDuration::from_secs(60);
+    let client_id = b.add_node(Host::Client(ClientHost::new(params)));
+    let (r_to_cl, _) = b.connect(router, client_id, LinkSpec::gigabit());
+
+    let mut sim = b.build();
+    let r = sim.node_mut(router).as_router_mut().expect("router");
+    r.add_route(Route::host(SERVER_IP, r_to_srv));
+    r.add_route(Route::host(client_ip, r_to_cl));
+
+    // Warm up, then measure completions per second.
+    let warmup = 3.0;
+    sim.run_until(SimTime::from_secs_f64(warmup + measure_secs));
+    let client = sim.node(client_id).as_client().expect("client");
+    client
+        .metrics()
+        .completions
+        .sum_between(warmup, warmup + measure_secs)
+        / measure_secs
+}
+
+/// Runs the full Figure 3 reproduction.
+pub fn run(seed: u64, full: bool) -> Fig03Result {
+    let _ = seed; // profiles are deterministic; the stress sim uses a fixed seed
+    let (rows, wav) = client_profiles();
+    let concurrencies: &[usize] = if full {
+        &[1, 5, 10, 25, 50, 100, 200, 400, 600, 800, 1000]
+    } else {
+        &[1, 10, 50, 200, 600, 1000]
+    };
+    let measure = if full { 30.0 } else { 10.0 };
+    let stress = stress_test(1, concurrencies, measure);
+
+    let mut curve = ServiceCurve::new();
+    for row in &stress {
+        curve.push(row.concurrency as f64, row.service_rate.max(1e-9));
+    }
+    Fig03Result {
+        profiles: rows,
+        wav,
+        mu: curve.mu(),
+        alpha: curve.alpha(),
+        stress,
+    }
+}
+
+impl fmt::Display for Fig03Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 3a — client performance profiles")?;
+        let mut t = Table::new(vec!["device", "hash rate (H/s)", "hashes in 400 ms"]);
+        for r in &self.profiles {
+            t.row(vec![
+                r.name.into(),
+                format!("{:.0}", r.hash_rate),
+                format!("{:.0}", r.hashes_400ms),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(f, "w_av = {:.0}   (paper: 140630)\n", self.wav)?;
+
+        writeln!(f, "Figure 3b — server stress test")?;
+        let mut t = Table::new(vec!["concurrency", "service rate (req/s)", "alpha"]);
+        for r in &self.stress {
+            t.row(vec![
+                r.concurrency.to_string(),
+                format!("{:.0}", r.service_rate),
+                format!("{:.2}", r.alpha),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "mu = {:.0} req/s (paper: ~1100), alpha -> {:.2} (paper: 1.1)",
+            self.mu, self.alpha
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_paper_wav() {
+        let (rows, wav) = client_profiles();
+        assert_eq!(rows.len(), 3);
+        assert!((wav - 140_630.0).abs() < 1.0, "wav {wav}");
+    }
+
+    #[test]
+    fn stress_rate_plateaus_near_mu() {
+        let stress = stress_test(3, &[50, 400], 8.0);
+        // At high concurrency the plateau approaches µ = 1100 req/s.
+        let high = stress.last().unwrap();
+        assert!(
+            (high.service_rate - 1100.0).abs() < 200.0,
+            "plateau {:.0}",
+            high.service_rate
+        );
+        // α decreases with concurrency (Fig. 3b shape).
+        assert!(stress[0].alpha > high.alpha);
+    }
+
+    #[test]
+    fn display_includes_reference_values() {
+        let r = Fig03Result {
+            profiles: client_profiles().0,
+            wav: 140_630.0,
+            stress: vec![StressRow {
+                concurrency: 1000,
+                service_rate: 1100.0,
+                alpha: 1.1,
+            }],
+            mu: 1100.0,
+            alpha: 1.1,
+        };
+        let s = r.to_string();
+        assert!(s.contains("140630"));
+        assert!(s.contains("cpu1"));
+        assert!(s.contains("alpha"));
+    }
+}

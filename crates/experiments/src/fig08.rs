@@ -1,0 +1,122 @@
+//! Figure 8: throughput at a client and the server during a connection
+//! flood, plus the challenge/plain SYN-ACK sparkline.
+//!
+//! Shape targets (paper): both no-defense and SYN cookies collapse to ~0
+//! (cookies do not protect the accept queue); Nash puzzles sustain a
+//! sizeable fraction of nominal throughput, with periodic spikes from the
+//! opportunistic controller's openings.
+
+use std::fmt;
+
+use simmetrics::Table;
+
+use crate::fig07::{run_defended, DefenseOutcome};
+use crate::scenario::{Defense, Scenario, Timeline};
+
+/// Figure 8 outcome: per-defence throughput plus sparkline rates.
+#[derive(Clone, Debug)]
+pub struct Fig08Result {
+    /// One outcome per defence.
+    pub outcomes: Vec<DefenseOutcome>,
+    /// Mean challenged SYN-ACKs/s during the attack, per defence.
+    pub challenge_rates: Vec<f64>,
+    /// Mean plain SYN-ACKs/s during the attack, per defence (the dark
+    /// sparkline ticks: openings).
+    pub plain_rates: Vec<f64>,
+    /// The timeline used.
+    pub timeline: Timeline,
+}
+
+/// Runs the full Figure 8 comparison.
+pub fn run(seed: u64, full: bool) -> Fig08Result {
+    run_with(seed, Timeline::from_full_flag(full), 10, 500.0)
+}
+
+/// Parameterized variant (tests use smaller botnets).
+pub fn run_with(seed: u64, timeline: Timeline, bots: usize, rate: f64) -> Fig08Result {
+    let defenses = [Defense::None, Defense::Cookies, Defense::nash()];
+    let mut outcomes = Vec::new();
+    let mut challenge_rates = Vec::new();
+    let mut plain_rates = Vec::new();
+    let (a0, a1) = timeline.attack_window();
+    for d in defenses {
+        let attackers = Scenario::conn_flood_bots(bots, rate, false, &timeline);
+        let (outcome, tb) = run_defended(seed, d, &timeline, attackers, 15);
+        challenge_rates.push(tb.server_metrics().challenge_rate.mean_between(a0, a1));
+        plain_rates.push(tb.server_metrics().plain_synack_rate.mean_between(a0, a1));
+        outcomes.push(outcome);
+    }
+    Fig08Result {
+        outcomes,
+        challenge_rates,
+        plain_rates,
+        timeline,
+    }
+}
+
+impl fmt::Display for Fig08Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 8 — throughput during connection flood (attack window [{}, {}) of {} s)",
+            self.timeline.attack_start, self.timeline.attack_stop, self.timeline.total
+        )?;
+        let mut t = Table::new(vec![
+            "defense",
+            "before (kB/s)",
+            "during (kB/s)",
+            "retained",
+            "challenges/s",
+            "plain synacks/s",
+        ]);
+        for (i, o) in self.outcomes.iter().enumerate() {
+            t.row(vec![
+                o.label.clone(),
+                format!("{:.0}", o.before / 1e3),
+                format!("{:.0}", o.during / 1e3),
+                format!("{:.0}%", o.retained() * 100.0),
+                format!("{:.0}", self.challenge_rates[i]),
+                format!("{:.0}", self.plain_rates[i]),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "paper reference: nodefense ~0; cookies ~0; challenges-m17 ~40% of nominal\n\
+             with periodic spikes (openings: plain SYN-ACKs during the attack)"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connection_flood_shapes_match_paper() {
+        let r = run_with(31, Timeline::smoke(), 10, 500.0);
+        let by_label = |l: &str| {
+            let i = r
+                .outcomes
+                .iter()
+                .position(|o| o.label.contains(l))
+                .expect("present");
+            (&r.outcomes[i], r.challenge_rates[i])
+        };
+        let (nodef, _) = by_label("nodefense");
+        let (cookies, _) = by_label("cookies");
+        let (nash, nash_challenges) = by_label("k2m17");
+
+        assert!(nodef.retained() < 0.4, "nodefense {:.2}", nodef.retained());
+        assert!(cookies.retained() < 0.4, "cookies {:.2}", cookies.retained());
+        assert!(
+            nash.retained() > 1.4 * cookies.retained().max(0.05),
+            "nash {:.2} vs cookies {:.2}",
+            nash.retained(),
+            cookies.retained()
+        );
+        assert!(nash.retained() > 0.08, "nash floor {:.2}", nash.retained());
+        // The sparkline shows challenges flowing during the attack.
+        assert!(nash_challenges > 100.0, "challenge rate {nash_challenges}");
+    }
+}

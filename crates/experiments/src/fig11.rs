@@ -1,0 +1,121 @@
+//! Figure 11: the attackers' effective (established-connection) rate
+//! during a connection flood — cookies vs challenges.
+//!
+//! Shape target (paper): cookies leave the attackers' establishment rate
+//! essentially unthrottled (~225 cps average in their deployment) while
+//! Nash challenges crush it by more than an order of magnitude (~4 cps,
+//! "a reduction by a factor of 37").
+
+use std::fmt;
+
+use simmetrics::{IntervalSeries, Table};
+
+use crate::scenario::{Defense, Scenario, Timeline};
+
+/// Per-defence attacker establishment measurements.
+#[derive(Clone, Debug)]
+pub struct AttackRateRow {
+    /// Defence label.
+    pub label: String,
+    /// Attackers' established connections per second (1 s bins).
+    pub series: IntervalSeries,
+    /// Mean established rate during the attack (cps).
+    pub mean_cps: f64,
+    /// Peak 1 s established rate during the attack (cps).
+    pub peak_cps: f64,
+}
+
+/// The full Figure 11 result.
+#[derive(Clone, Debug)]
+pub struct Fig11Result {
+    /// Cookies first, then challenges.
+    pub rows: Vec<AttackRateRow>,
+    /// cookies-to-challenges mean ratio.
+    pub reduction_factor: f64,
+    /// The timeline used.
+    pub timeline: Timeline,
+}
+
+/// Runs the Figure 11 measurement.
+pub fn run(seed: u64, full: bool) -> Fig11Result {
+    run_with(seed, Timeline::from_full_flag(full), 10, 500.0)
+}
+
+/// Parameterized variant.
+pub fn run_with(seed: u64, timeline: Timeline, bots: usize, rate: f64) -> Fig11Result {
+    let (a0, a1) = timeline.attack_window();
+    let mut rows = Vec::new();
+    for defense in [Defense::Cookies, Defense::nash()] {
+        let label = defense.label();
+        let mut scenario = Scenario::standard(seed, defense, &timeline);
+        scenario.attackers = Scenario::conn_flood_bots(bots, rate, false, &timeline);
+        let mut tb = scenario.build();
+        tb.run_until_secs(timeline.total);
+        let series = tb
+            .server_metrics()
+            .established_rate_for(tb.attacker_addrs(), 1.0);
+        let mean = series.mean_rate_between(a0, a1);
+        let peak = series
+            .rates()
+            .iter()
+            .filter(|(t, _)| *t >= a0 && *t < a1)
+            .map(|(_, v)| *v)
+            .fold(0.0, f64::max);
+        rows.push(AttackRateRow {
+            label,
+            series,
+            mean_cps: mean,
+            peak_cps: peak,
+        });
+    }
+    let reduction = if rows[1].mean_cps > 0.0 {
+        rows[0].mean_cps / rows[1].mean_cps
+    } else {
+        f64::INFINITY
+    };
+    Fig11Result {
+        rows,
+        reduction_factor: reduction,
+        timeline,
+    }
+}
+
+impl fmt::Display for Fig11Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 11 — attackers' established-connection rate")?;
+        let mut t = Table::new(vec!["defense", "mean (cps)", "peak (cps)"]);
+        for r in &self.rows {
+            t.row(vec![
+                r.label.clone(),
+                format!("{:.1}", r.mean_cps),
+                format!("{:.1}", r.peak_cps),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "reduction factor (cookies / challenges): {:.0}x   (paper: ~37x, 225 -> 4 cps)",
+            self.reduction_factor
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn challenges_crush_attacker_establishment_rate() {
+        let r = run_with(61, Timeline::smoke(), 10, 500.0);
+        let cookies = &r.rows[0];
+        let nash = &r.rows[1];
+        assert!(cookies.mean_cps > 8.0, "cookies {:.1}", cookies.mean_cps);
+        assert!(
+            nash.mean_cps < cookies.mean_cps / 4.0,
+            "nash {:.1} vs cookies {:.1}",
+            nash.mean_cps,
+            cookies.mean_cps
+        );
+        assert!(r.reduction_factor > 4.0, "factor {:.1}", r.reduction_factor);
+    }
+}

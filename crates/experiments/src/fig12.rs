@@ -1,0 +1,216 @@
+//! Figure 12: client throughput across puzzle difficulties during a
+//! connection flood (box plots), plus §6.3's attacker-side comparison.
+//!
+//! Shape targets (paper): difficulties with `m < 12` fail to throttle the
+//! (solving) attackers and service collapses; the Nash setting `(2, 17)`
+//! yields the most stable throughput; neighbouring settings trade mean
+//! for variance.
+
+use std::fmt;
+
+use simmetrics::{BoxStats, Table};
+
+use crate::scenario::{Defense, Scenario, Timeline};
+
+/// One grid cell of the sweep.
+#[derive(Clone, Debug)]
+pub struct DifficultyCell {
+    /// Sub-solutions per challenge.
+    pub k: u8,
+    /// Difficulty bits.
+    pub m: u8,
+    /// Box statistics of per-second aggregate client goodput during the
+    /// attack (B/s).
+    pub throughput: BoxStats,
+    /// Attackers' mean SYN send rate during the attack (pps).
+    pub attacker_pps: f64,
+    /// Attackers' mean established rate during the attack (cps).
+    pub attacker_cps: f64,
+}
+
+/// The full Figure 12 result.
+#[derive(Clone, Debug)]
+pub struct Fig12Result {
+    /// Grid cells in sweep order.
+    pub cells: Vec<DifficultyCell>,
+    /// The timeline used.
+    pub timeline: Timeline,
+}
+
+/// Measures one difficulty cell.
+pub fn measure(seed: u64, k: u8, m: u8, timeline: &Timeline, bots: usize, rate: f64) -> DifficultyCell {
+    let mut scenario = Scenario::standard(seed, Defense::Puzzles { k, m }, timeline);
+    // §6.3 keeps the connection flood with attackers that solve
+    // (their establishment rate is part of the reported comparison).
+    scenario.attackers = Scenario::conn_flood_bots(bots, rate, true, timeline);
+    let mut tb = scenario.build();
+    tb.run_until_secs(timeline.total);
+
+    let (a0, a1) = timeline.attack_window();
+    let goodput = tb.client_goodput();
+    let samples: Vec<f64> = goodput
+        .rates()
+        .into_iter()
+        .filter(|(t, _)| *t >= a0 && *t < a1)
+        .map(|(_, v)| v)
+        .collect();
+    let attacker_pps = tb.attacker_packet_rate().mean_rate_between(a0, a1);
+    let attacker_cps = tb
+        .server_metrics()
+        .established_rate_for(tb.attacker_addrs(), 1.0)
+        .mean_rate_between(a0, a1);
+    DifficultyCell {
+        k,
+        m,
+        throughput: BoxStats::of(&samples),
+        attacker_pps,
+        attacker_cps,
+    }
+}
+
+/// Runs the full sweep `k ∈ {1..4} × m ∈ {12, 15, 16, 17, 18, 20}`,
+/// parallelized across threads (each run is an independent simulation).
+pub fn run(seed: u64, full: bool) -> Fig12Result {
+    let timeline = Timeline::from_full_flag(full);
+    run_grid(
+        seed,
+        &timeline,
+        &[1, 2, 3, 4],
+        &[12, 15, 16, 17, 18, 20],
+        10,
+        500.0,
+    )
+}
+
+/// Parameterized grid sweep.
+pub fn run_grid(
+    seed: u64,
+    timeline: &Timeline,
+    ks: &[u8],
+    ms: &[u8],
+    bots: usize,
+    rate: f64,
+) -> Fig12Result {
+    let pairs: Vec<(u8, u8)> = ks
+        .iter()
+        .flat_map(|&k| ms.iter().map(move |&m| (k, m)))
+        .collect();
+    let cells = std::thread::scope(|scope| {
+        let handles: Vec<_> = pairs
+            .iter()
+            .map(|&(k, m)| {
+                let timeline = *timeline;
+                scope.spawn(move || {
+                    measure(
+                        seed ^ ((k as u64) << 8 | m as u64),
+                        k,
+                        m,
+                        &timeline,
+                        bots,
+                        rate,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep thread"))
+            .collect::<Vec<_>>()
+    });
+    Fig12Result {
+        cells,
+        timeline: *timeline,
+    }
+}
+
+impl Fig12Result {
+    /// The cell for a given difficulty, if present.
+    pub fn cell(&self, k: u8, m: u8) -> Option<&DifficultyCell> {
+        self.cells.iter().find(|c| c.k == k && c.m == m)
+    }
+
+    /// Coefficient of variation of throughput for a cell (stability
+    /// proxy: the paper highlights the Nash cell's low variability).
+    pub fn stability(&self, cell: &DifficultyCell) -> f64 {
+        let spread = cell.throughput.q3 - cell.throughput.q1;
+        if cell.throughput.median <= 0.0 {
+            f64::INFINITY
+        } else {
+            spread / cell.throughput.median
+        }
+    }
+}
+
+impl fmt::Display for Fig12Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 12 — client throughput by difficulty (connection flood)")?;
+        let mut t = Table::new(vec![
+            "k",
+            "m",
+            "median (kB/s)",
+            "q1",
+            "q3",
+            "whisker lo",
+            "whisker hi",
+            "atk pps",
+            "atk cps",
+        ]);
+        for c in &self.cells {
+            t.row(vec![
+                c.k.to_string(),
+                c.m.to_string(),
+                format!("{:.0}", c.throughput.median / 1e3),
+                format!("{:.0}", c.throughput.q1 / 1e3),
+                format!("{:.0}", c.throughput.q3 / 1e3),
+                format!("{:.0}", c.throughput.whisker_low / 1e3),
+                format!("{:.0}", c.throughput.whisker_high / 1e3),
+                format!("{:.0}", c.attacker_pps),
+                format!("{:.1}", c.attacker_cps),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "paper reference: m < 12 -> collapse; Nash (2,17) most stable (~3.9 Mbps mean,\n\
+             low variance); (2,16): higher mean, more variance; attacker 2250 pps/30 cps at\n\
+             (2,16) vs 1668 pps/22 cps at Nash"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn easy_puzzles_fail_to_throttle_nash_does() {
+        let t = Timeline::smoke();
+        let r = run_grid(71, &t, &[2], &[8, 17], 3, 800.0);
+        let easy = r.cell(2, 8).expect("cell");
+        let nash = r.cell(2, 17).expect("cell");
+        // §6.3: easy puzzles leave the solving attackers admission-bound
+        // (the worker-pool ceiling); the Nash difficulty leaves them
+        // CPU-bound, clearly lower. (The paper's own Fig. 12 numbers show
+        // a moderate cps gap between neighbouring settings — 30 vs 22 —
+        // and a collapse in *client* service at low difficulty.)
+        assert!(easy.attacker_cps > 15.0, "easy {:.1} cps", easy.attacker_cps);
+        assert!(
+            easy.attacker_cps > 2.0 * nash.attacker_cps.max(0.1),
+            "easy {:.1} cps vs nash {:.1} cps",
+            easy.attacker_cps,
+            nash.attacker_cps
+        );
+        // Client service: better and never zero at the Nash setting.
+        assert!(
+            nash.throughput.median > easy.throughput.median,
+            "nash median {:.0} vs easy {:.0}",
+            nash.throughput.median,
+            easy.throughput.median
+        );
+        assert!(
+            nash.throughput.q1 > 0.0,
+            "nash q1 {:.0}",
+            nash.throughput.q1
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each `figXX` / `tableX` module reproduces one evaluation artifact of
+//! Noureddine et al. (DSN 2019) on the simulated testbed and returns a
+//! structured result that renders to the same rows/series the paper
+//! reports, alongside the paper's reference values. The corresponding
+//! binaries (`src/bin/figXX_*.rs`) print those tables; pass `--full` for
+//! the paper's original 600 s timeline instead of the time-compressed
+//! default.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig03`] | Fig. 3: client hash profiles (`w_av`) and server stress test (µ, α) |
+//! | [`fig06`] | Fig. 6: CDF of connection time across `(k, m)` |
+//! | [`fig07`] | Fig. 7: throughput during a SYN flood |
+//! | [`fig08`] | Fig. 8: throughput during a connection flood |
+//! | [`fig09`] | Fig. 9: CPU utilization during a connection flood |
+//! | [`fig10`] | Fig. 10: listen/accept queue sizes |
+//! | [`fig11`] | Fig. 11: attackers' established-connection rate |
+//! | [`fig12`] | Fig. 12: client throughput across difficulty settings |
+//! | [`fig13`] | Fig. 13: per-node attack-rate sweep |
+//! | [`fig14`] | Fig. 14: botnet-size sweep |
+//! | [`fig15`] | Fig. 15: partial-adoption scenarios |
+//! | [`table1`] | Table 1: IoT device profiles + flood capability |
+//! | [`solution_flood`] | §7 solution-flood resistance analysis |
+//! | [`nash`] | §4.4 equilibrium-difficulty worked example |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig03;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod nash;
+pub mod scenario;
+pub mod solution_flood;
+pub mod table1;
+
+pub use scenario::{Scenario, Testbed, Timeline};

@@ -1,0 +1,113 @@
+//! §4.4 worked example: from measured parameters to the Nash difficulty.
+//!
+//! Chains the whole §4.3 procedure: `w_av` from the client profiles,
+//! `(µ, α)` from the stress test, `ℓ* = w_av/(α+1)` from Theorem 1, and
+//! `(k*, m*)` from the selection rule — reproducing the paper's `(2, 17)`.
+
+use std::fmt;
+
+use puzzle_core::Difficulty;
+use puzzle_game::{
+    asymptotic_difficulty, max_feasible_difficulty, optimal_difficulty, select_parameters,
+    GameConfig, SelectionPolicy,
+};
+use simmetrics::Table;
+
+/// The derived equilibrium and its inputs.
+#[derive(Clone, Debug)]
+pub struct NashResult {
+    /// Average client valuation (hashes per request).
+    pub wav: f64,
+    /// Plateau service rate µ.
+    pub mu: f64,
+    /// Asymptotic per-user capacity α.
+    pub alpha: f64,
+    /// Theorem 1's asymptotic difficulty ℓ*.
+    pub ell_star: f64,
+    /// Selected wire parameters.
+    pub difficulty: Difficulty,
+    /// Finite-N cross-check: the exact optimum for N users.
+    pub finite_n_ell: f64,
+    /// N used for the cross-check.
+    pub n: usize,
+    /// Existence bound r̂ for that finite game.
+    pub r_hat: f64,
+}
+
+/// Derives the Nash difficulty from measured parameters.
+///
+/// # Panics
+///
+/// Panics if the parameters are degenerate (non-positive µ or `w_av`).
+pub fn derive(wav: f64, mu: f64, alpha: f64, n: usize) -> NashResult {
+    let ell_star = asymptotic_difficulty(wav, alpha);
+    let difficulty =
+        select_parameters(ell_star, SelectionPolicy::FixedK(2)).expect("valid target");
+    let cfg = GameConfig::homogeneous(n, wav, alpha * n as f64).expect("valid game");
+    let finite_n_ell = optimal_difficulty(&cfg).expect("feasible game");
+    let r_hat = max_feasible_difficulty(&cfg);
+    NashResult {
+        wav,
+        mu,
+        alpha,
+        ell_star,
+        difficulty,
+        finite_n_ell,
+        n,
+        r_hat,
+    }
+}
+
+/// Runs the example with the paper's measured values.
+pub fn run(_seed: u64, full: bool) -> NashResult {
+    let n = if full { 100_000 } else { 10_000 };
+    derive(140_630.0, 1100.0, 1.1, n)
+}
+
+impl fmt::Display for NashResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Nash equilibrium difficulty (paper §4.4)")?;
+        let mut t = Table::new(vec!["quantity", "value", "paper"]);
+        t.row(vec!["w_av (hashes)".into(), format!("{:.0}", self.wav), "140630".into()]);
+        t.row(vec!["mu (req/s)".into(), format!("{:.0}", self.mu), "~1100".into()]);
+        t.row(vec!["alpha".into(), format!("{:.2}", self.alpha), "1.1".into()]);
+        t.row(vec![
+            "ell* = w_av/(alpha+1)".into(),
+            format!("{:.0}", self.ell_star),
+            "66967".into(),
+        ]);
+        t.row(vec![
+            "(k*, m*)".into(),
+            format!("({}, {})", self.difficulty.k(), self.difficulty.m()),
+            "(2, 17)".into(),
+        ]);
+        t.row(vec![
+            format!("finite-N ell* (N = {})", self.n),
+            format!("{:.0}", self.finite_n_ell),
+            "-> ell* as N grows".into(),
+        ]);
+        t.row(vec![
+            "r-hat (existence bound)".into(),
+            format!("{:.0}", self.r_hat),
+            "-".into(),
+        ]);
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_example() {
+        let r = run(0, false);
+        assert!((r.ell_star - 66_966.7).abs() < 1.0);
+        assert_eq!((r.difficulty.k(), r.difficulty.m()), (2, 17));
+        // Finite-N optimum approaches the asymptotic value.
+        let rel = (r.finite_n_ell - r.ell_star).abs() / r.ell_star;
+        assert!(rel < 0.05, "finite-N deviation {rel}");
+        // The selected difficulty is feasible.
+        assert!(r.ell_star < r.r_hat);
+    }
+}

@@ -1,0 +1,143 @@
+//! §7 "Solution floods": an attacker barrages the server with bogus
+//! solutions to burn verification CPU.
+//!
+//! The paper argues this is hopeless: verification costs ~2 hashes
+//! (pre-image recomputation + the first failing sub-solution) against a
+//! 10.8 MH/s server, so saturating the verifier needs ~5.4 M packets/s —
+//! a full-blown volumetric attack, outside the puzzles' threat model.
+
+use std::fmt;
+
+use netsim::SimTime;
+use simmetrics::Table;
+
+use crate::scenario::{Defense, Scenario, Timeline, SERVER_IP, SERVER_PORT};
+use hostsim::profiles::SERVER_HASH_RATE;
+use hostsim::{AttackKind, AttackerParams};
+
+/// One flood-rate measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FloodPoint {
+    /// Bogus-solution packets per second.
+    pub rate_pps: f64,
+    /// Verification failures recorded per second.
+    pub rejects_per_sec: f64,
+    /// Peak server CPU utilization during the flood.
+    pub server_cpu_max: f64,
+    /// Forged solutions that were admitted (must be 0).
+    pub admitted: u64,
+}
+
+/// The full analysis result.
+#[derive(Clone, Debug)]
+pub struct SolutionFloodResult {
+    /// Measured points.
+    pub points: Vec<FloodPoint>,
+    /// Analytic saturation rate: hash_rate / hashes-per-verification.
+    pub saturation_pps: f64,
+}
+
+/// Measures one flood rate.
+pub fn measure(seed: u64, rate: f64, timeline: &Timeline) -> FloodPoint {
+    let mut scenario = Scenario::standard(seed, Defense::nash(), timeline);
+    scenario.server.backlog = 0; // puzzles always on
+    scenario.attackers = vec![AttackerParams {
+        addr: crate::scenario::attacker_addr(0),
+        target_addr: SERVER_IP,
+        target_port: SERVER_PORT,
+        kind: AttackKind::SolutionFlood {
+            rate,
+            k: 2,
+            sol_len: 4,
+        },
+        hash_rate: 400_000.0,
+        start: SimTime::from_secs_f64(timeline.attack_start),
+        stop: SimTime::from_secs_f64(timeline.attack_stop),
+    }];
+    let mut tb = scenario.build();
+    tb.run_until_secs(timeline.total);
+    let (a0, a1) = timeline.attack_window();
+    let stats = tb.server().listener_stats();
+    // Forgery admissions are establishments attributed to the attacker's
+    // address (solving clients legitimately establish via puzzles too).
+    let admitted = tb
+        .server_metrics()
+        .established_rate_for(tb.attacker_addrs(), 1.0)
+        .total() as u64;
+    FloodPoint {
+        rate_pps: rate,
+        rejects_per_sec: stats.verify_failures as f64
+            / (timeline.attack_stop - timeline.attack_start),
+        server_cpu_max: tb.server_metrics().cpu_util.max_between(a0, a1),
+        admitted,
+    }
+}
+
+/// Runs the flood-rate sweep plus the analytic saturation bound.
+pub fn run(seed: u64, full: bool) -> SolutionFloodResult {
+    let timeline = if full { Timeline::quick() } else { Timeline::smoke() };
+    let rates: &[f64] = if full {
+        &[1000.0, 5000.0, 10_000.0, 20_000.0]
+    } else {
+        &[2000.0, 10_000.0]
+    };
+    let points = rates
+        .iter()
+        .map(|&r| measure(seed ^ r as u64, r, &timeline))
+        .collect();
+    SolutionFloodResult {
+        points,
+        // d(p) ≈ 2 hashes per rejected verification.
+        saturation_pps: SERVER_HASH_RATE / 2.0,
+    }
+}
+
+impl fmt::Display for SolutionFloodResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Solution-flood resistance (§7)")?;
+        let mut t = Table::new(vec![
+            "flood rate (pps)",
+            "rejects/s",
+            "server CPU max",
+            "forgeries admitted",
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                format!("{:.0}", p.rate_pps),
+                format!("{:.0}", p.rejects_per_sec),
+                format!("{:.2}%", p.server_cpu_max * 100.0),
+                p.admitted.to_string(),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "analytic saturation: {:.1e} pps needed to saturate verification\n\
+             (paper: \"an attacker ... would need to send at least 5,400,000 packets per second\")",
+            self.saturation_pps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forgeries_never_admitted_and_cpu_negligible() {
+        let t = Timeline::smoke();
+        let p = measure(121, 3000.0, &t);
+        assert_eq!(p.admitted, 0);
+        assert!(p.rejects_per_sec > 1000.0, "rejects {:.0}", p.rejects_per_sec);
+        assert!(p.server_cpu_max < 0.05, "cpu {:.3}", p.server_cpu_max);
+    }
+
+    #[test]
+    fn saturation_matches_paper_arithmetic() {
+        let r = SolutionFloodResult {
+            points: vec![],
+            saturation_pps: SERVER_HASH_RATE / 2.0,
+        };
+        assert!((r.saturation_pps - 5.4e6).abs() < 1.0);
+    }
+}

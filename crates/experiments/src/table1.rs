@@ -1,0 +1,162 @@
+//! Table 1: IoT (Raspberry Pi) performance profiles and what they imply
+//! for flood capability under Nash puzzles (Experiment 6).
+
+use std::fmt;
+
+use hostsim::profiles::{DeviceProfile, CLIENT_CPUS, IOT_DEVICES, USABILITY_BUDGET_SECS};
+use netsim::SimDuration;
+use puzzle_core::Difficulty;
+use simmetrics::Table;
+
+use crate::scenario::{oracle_strategy, Defense, Scenario, Timeline, SERVER_IP, SERVER_PORT};
+use hostsim::{AttackKind, AttackerParams};
+use netsim::SimTime;
+
+/// One device row.
+#[derive(Clone, Debug)]
+pub struct IotRow {
+    /// The device profile.
+    pub device: DeviceProfile,
+    /// Hashes the device performs in 400 ms (the paper's right column).
+    pub hashes_400ms: f64,
+    /// Expected seconds to solve one Nash puzzle.
+    pub nash_solve_secs: f64,
+    /// Implied ceiling on the device's connection-flood rate (cps).
+    pub max_flood_cps: f64,
+}
+
+/// The full Table 1 result, plus a small confirmation simulation.
+#[derive(Clone, Debug)]
+pub struct Table1Result {
+    /// One row per Raspberry Pi device.
+    pub rows: Vec<IotRow>,
+    /// A commodity client's Nash solve time, for contrast.
+    pub commodity_solve_secs: f64,
+    /// Measured effective rate of a 4-Pi botnet against the Nash server
+    /// (cps), from the confirmation simulation.
+    pub simulated_botnet_cps: f64,
+}
+
+/// Computes the profile rows.
+pub fn rows(difficulty: Difficulty) -> Vec<IotRow> {
+    IOT_DEVICES
+        .iter()
+        .map(|d| {
+            let solve = difficulty.expected_client_hashes() / d.hash_rate;
+            IotRow {
+                device: *d,
+                hashes_400ms: d.hashes_in(USABILITY_BUDGET_SECS),
+                nash_solve_secs: solve,
+                max_flood_cps: 1.0 / solve,
+            }
+        })
+        .collect()
+}
+
+/// Runs Table 1 plus the confirmation simulation: a 4-Pi solving botnet
+/// flooding the Nash-defended server.
+pub fn run(seed: u64, full: bool) -> Table1Result {
+    let difficulty = Difficulty::new(2, 17).expect("nash difficulty");
+    let rows = rows(difficulty);
+    let commodity = difficulty.expected_client_hashes() / CLIENT_CPUS[0].hash_rate;
+
+    let timeline = if full { Timeline::quick() } else { Timeline::smoke() };
+    let mut scenario = Scenario::standard(seed, Defense::nash(), &timeline);
+    scenario.attackers = IOT_DEVICES
+        .iter()
+        .enumerate()
+        .map(|(i, d)| AttackerParams {
+            addr: crate::scenario::attacker_addr(i),
+            target_addr: SERVER_IP,
+            target_port: SERVER_PORT,
+            kind: AttackKind::ConnFlood {
+                rate: 500.0,
+                solve: Some(oracle_strategy()),
+                concurrency: 256,
+                conn_timeout: SimDuration::from_secs(1),
+                ack_delay: SimDuration::from_millis(500),
+            },
+            hash_rate: d.hash_rate,
+            start: SimTime::from_secs_f64(timeline.attack_start),
+            stop: SimTime::from_secs_f64(timeline.attack_stop),
+        })
+        .collect();
+    let mut tb = scenario.build();
+    tb.run_until_secs(timeline.total);
+    let (a0, a1) = timeline.attack_window();
+    let cps = tb
+        .server_metrics()
+        .established_rate_for(tb.attacker_addrs(), 1.0)
+        .mean_rate_between(a0, a1);
+
+    Table1Result {
+        rows,
+        commodity_solve_secs: commodity,
+        simulated_botnet_cps: cps,
+    }
+}
+
+impl fmt::Display for Table1Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 1 — IoT device performance profiles")?;
+        let mut t = Table::new(vec![
+            "device",
+            "hash rate (H/s)",
+            "hashes in 400 ms",
+            "Nash solve (s)",
+            "max flood (cps)",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.device.name.into(),
+                format!("{:.0}", r.device.hash_rate),
+                format!("{:.0}", r.hashes_400ms),
+                format!("{:.2}", r.nash_solve_secs),
+                format!("{:.2}", r.max_flood_cps),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "commodity client solves the same puzzle in {:.2} s;\n\
+             simulated 4-Pi botnet effective rate: {:.2} cps\n\
+             paper reference rates: D1 49617, D2 68960, D3 70009, D4 74201 H/s;\n\
+             'their ability to launch a flood of connections is limited'",
+            self.commodity_solve_secs, self.simulated_botnet_cps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rates_and_budget_column() {
+        let difficulty = Difficulty::new(2, 17).unwrap();
+        let rows = rows(difficulty);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].device.name, "D1");
+        assert!((rows[0].device.hash_rate - 49_617.0).abs() < 1.0);
+        // 400 ms column ≈ 0.4 × rate (paper: 19901 for D1).
+        assert!((rows[0].hashes_400ms - 19_846.8).abs() < 1.0);
+        // Every Pi needs > 1.7 s per Nash puzzle: flooding is hopeless.
+        for r in &rows {
+            assert!(r.nash_solve_secs > 1.7, "{}: {:.2}s", r.device.name, r.nash_solve_secs);
+            assert!(r.max_flood_cps < 0.6);
+        }
+    }
+
+    #[test]
+    fn iot_botnet_is_crippled_in_simulation() {
+        let r = run(111, false);
+        // 4 Pis, each < 0.6 cps of solving: the aggregate stays small
+        // (openings contribute a few unchallenged completions).
+        assert!(
+            r.simulated_botnet_cps < 12.0,
+            "botnet cps {:.2}",
+            r.simulated_botnet_cps
+        );
+        assert!(r.commodity_solve_secs < 0.5);
+    }
+}

@@ -1,0 +1,67 @@
+//! Errors for the game solvers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a game computation failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GameError {
+    /// The configuration is malformed (no users, non-positive rates or
+    /// valuations, etc.). The payload describes the problem.
+    BadConfig(String),
+    /// The requested difficulty exceeds the existence bound `r̂` (Eq. 10):
+    /// no positive-rate equilibrium exists because even the first request
+    /// costs more than the average user is willing to pay.
+    Infeasible {
+        /// The requested difficulty ℓ(p) in expected hashes.
+        difficulty: f64,
+        /// The bound `r̂ = w̄/N − 1/µ²`.
+        max_feasible: f64,
+    },
+    /// Every user dropped out during dropout iteration.
+    AllUsersDroppedOut,
+    /// A numerical solver failed to converge (should not happen for valid
+    /// configurations; reported rather than panicking).
+    NoConvergence(&'static str),
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GameError::BadConfig(s) => write!(f, "bad game configuration: {s}"),
+            GameError::Infeasible {
+                difficulty,
+                max_feasible,
+            } => write!(
+                f,
+                "difficulty {difficulty} exceeds feasibility bound r-hat = {max_feasible}"
+            ),
+            GameError::AllUsersDroppedOut => {
+                write!(f, "all users dropped out of the game")
+            }
+            GameError::NoConvergence(what) => {
+                write!(f, "solver failed to converge: {what}")
+            }
+        }
+    }
+}
+
+impl Error for GameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(GameError::BadConfig("x".into()).to_string().contains("x"));
+        assert!(GameError::Infeasible {
+            difficulty: 10.0,
+            max_feasible: 5.0
+        }
+        .to_string()
+        .contains("r-hat"));
+        assert!(GameError::AllUsersDroppedOut.to_string().contains("dropped"));
+        assert!(GameError::NoConvergence("bisect").to_string().contains("bisect"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Stackelberg-game difficulty selection for TCP client puzzles.
+//!
+//! Implements the game-theoretic model of Noureddine et al. (DSN 2019,
+//! §3–§4 and Appendix A). The server (leader) announces a puzzle
+//! difficulty; the `N` clients (followers) pick request rates that
+//! maximize their local utility
+//!
+//! ```text
+//! u_i(x_i, x_{-i}, p) = w_i·log(1 + x_i) − ℓ(p)·x_i − 1/(µ − x̄)     (Eq. 4)
+//! ```
+//!
+//! where `ℓ(p) = k·2^(m−1)` is the expected hashes to solve puzzle `p`,
+//! `µ` the server's M/M/1 service rate, and `x̄ = Σ x_i`.
+//!
+//! The crate provides:
+//!
+//! * [`GameConfig`] + [`user_utility`] — the model itself;
+//! * [`nash_rates`] — the followers' Nash equilibrium for a fixed
+//!   difficulty, by bisection on the aggregate first-order condition
+//!   (Eq. 9), plus [`nash_rates_with_dropout`] which iteratively removes
+//!   users who would rather not participate (paper §7 treats non-adopters
+//!   as `w = 0`);
+//! * [`best_response_dynamics`] — an independent fixed-point iteration
+//!   used to cross-validate the closed-form solver;
+//! * [`max_feasible_difficulty`] — the existence bound `r̂ = w̄/N − 1/µ²`
+//!   (Eq. 10);
+//! * [`provider_revenue`], [`optimal_difficulty`] — the leader's objective
+//!   `I(p)` (Eq. 12), its approximation `Ĩ` (Eq. 13 / Lemma 1), and the
+//!   finite-`N` optimum via the concave program `G(ȳ)` (Eq. 14–15);
+//! * [`asymptotic_difficulty`] — Theorem 1's large-`N` limit
+//!   `ℓ* = w_av/(α + 1)` (Eq. 18; the theorem statement's `w_av(α+1)` is a
+//!   typo — the proof derives the quotient form, and the paper's own
+//!   worked example is consistent with the quotient);
+//! * [`select_parameters`] — mapping `ℓ*` to concrete `(k, m)` wire
+//!   parameters, reproducing the paper's `(2, 17)` example (§4.4);
+//! * [`profile`] — the §4.3 estimation procedures for `w_av` (client hash
+//!   profiling, including a real profiler over this repo's SHA-256) and
+//!   `α` (server stress-test asymptote).
+//!
+//! # Reproducing the paper's §4.4 example
+//!
+//! ```
+//! use puzzle_game::{asymptotic_difficulty, select_parameters, SelectionPolicy};
+//!
+//! let ell = asymptotic_difficulty(140_630.0, 1.1);
+//! assert!((ell - 66966.6).abs() < 0.1);
+//! let d = select_parameters(ell, SelectionPolicy::FixedK(2)).unwrap();
+//! assert_eq!((d.k(), d.m()), (2, 17));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod model;
+mod nash;
+pub mod profile;
+mod provider;
+mod select;
+
+pub use error::GameError;
+pub use model::{potential, user_utility, GameConfig};
+pub use nash::{best_response_dynamics, nash_rates, nash_rates_with_dropout, NashSolution};
+pub use provider::{
+    asymptotic_difficulty, max_feasible_difficulty, optimal_difficulty, optimal_load,
+    provider_revenue, provider_revenue_approx,
+};
+pub use select::{select_parameters, SelectionPolicy};

@@ -1,0 +1,188 @@
+//! The game's primitives: configuration, utilities, and the potential.
+
+use crate::error::GameError;
+
+/// A game instance: the followers' valuations and the server's capacity.
+///
+/// * `valuations[i]` is `w_i`, the hashes user `i` is willing to pay per
+///   request (§3.2).
+/// * `mu` is the server's M/M/1 service rate in requests/second (§4.1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GameConfig {
+    valuations: Vec<f64>,
+    mu: f64,
+}
+
+impl GameConfig {
+    /// Creates a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::BadConfig`] if there are no users, any
+    /// valuation is negative or non-finite, or `mu` is not positive.
+    pub fn new(valuations: Vec<f64>, mu: f64) -> Result<Self, GameError> {
+        if valuations.is_empty() {
+            return Err(GameError::BadConfig("no users".into()));
+        }
+        if let Some((i, w)) = valuations
+            .iter()
+            .enumerate()
+            .find(|(_, w)| !w.is_finite() || **w < 0.0)
+        {
+            return Err(GameError::BadConfig(format!(
+                "valuation w[{i}] = {w} must be finite and non-negative"
+            )));
+        }
+        if !mu.is_finite() || mu <= 0.0 {
+            return Err(GameError::BadConfig(format!(
+                "service rate mu = {mu} must be positive"
+            )));
+        }
+        Ok(GameConfig { valuations, mu })
+    }
+
+    /// A homogeneous population: `n` users each valuing the service at
+    /// `w_av` hashes per request (the paper's asymptotic regime).
+    pub fn homogeneous(n: usize, w_av: f64, mu: f64) -> Result<Self, GameError> {
+        GameConfig::new(vec![w_av; n], mu)
+    }
+
+    /// The users' valuations `w_i`.
+    pub fn valuations(&self) -> &[f64] {
+        &self.valuations
+    }
+
+    /// Number of users `N`.
+    pub fn n(&self) -> usize {
+        self.valuations.len()
+    }
+
+    /// The server's service rate `µ`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Total valuation `w̄ = Σ w_i` (the paper's Appendix notation).
+    pub fn total_valuation(&self) -> f64 {
+        self.valuations.iter().sum()
+    }
+
+    /// Average valuation `w_av = w̄ / N`.
+    pub fn average_valuation(&self) -> f64 {
+        self.total_valuation() / self.n() as f64
+    }
+
+    /// The asymptotic per-user capacity `α = µ / N` (§4.2: "the server's
+    /// asymptotic service rate per user").
+    pub fn alpha(&self) -> f64 {
+        self.mu / self.n() as f64
+    }
+}
+
+/// User `i`'s utility (Eq. 4):
+/// `w·log(1 + x) − ℓ·x − 1/(µ − x̄)` where `x̄ = x + x_others`.
+///
+/// Returns `f64::NEG_INFINITY` when the aggregate load reaches the service
+/// rate (`x̄ ≥ µ`), matching the model's blow-up of the M/M/1 delay term.
+pub fn user_utility(w: f64, x: f64, x_others: f64, ell: f64, mu: f64) -> f64 {
+    let xbar = x + x_others;
+    if xbar >= mu {
+        return f64::NEG_INFINITY;
+    }
+    w * (1.0 + x).ln() - ell * x - 1.0 / (mu - xbar)
+}
+
+/// The strategically equivalent potential `H` (Eq. 7):
+/// `Σ w_i·log(1 + x_i) − ℓ·x̄ − 1/(µ − x̄)`.
+///
+/// The users' Nash equilibrium is the unique maximizer of `H` over
+/// `x_i ≥ 0`, `x̄ < µ` (Appendix A shows `H` is strictly concave there).
+pub fn potential(cfg: &GameConfig, rates: &[f64], ell: f64) -> f64 {
+    assert_eq!(rates.len(), cfg.n(), "one rate per user");
+    let xbar: f64 = rates.iter().sum();
+    if xbar >= cfg.mu() {
+        return f64::NEG_INFINITY;
+    }
+    let benefit: f64 = cfg
+        .valuations()
+        .iter()
+        .zip(rates)
+        .map(|(w, x)| w * (1.0 + x).ln())
+        .sum();
+    benefit - ell * xbar - 1.0 / (cfg.mu() - xbar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(GameConfig::new(vec![], 10.0).is_err());
+        assert!(GameConfig::new(vec![1.0, -2.0], 10.0).is_err());
+        assert!(GameConfig::new(vec![1.0, f64::NAN], 10.0).is_err());
+        assert!(GameConfig::new(vec![1.0], 0.0).is_err());
+        assert!(GameConfig::new(vec![1.0], -5.0).is_err());
+        assert!(GameConfig::new(vec![1.0, 2.0], 10.0).is_ok());
+    }
+
+    #[test]
+    fn aggregates() {
+        let cfg = GameConfig::new(vec![10.0, 20.0, 30.0], 6.0).unwrap();
+        assert_eq!(cfg.n(), 3);
+        assert_eq!(cfg.total_valuation(), 60.0);
+        assert_eq!(cfg.average_valuation(), 20.0);
+        assert_eq!(cfg.alpha(), 2.0);
+    }
+
+    #[test]
+    fn homogeneous_builder() {
+        let cfg = GameConfig::homogeneous(5, 100.0, 50.0).unwrap();
+        assert_eq!(cfg.valuations(), &[100.0; 5]);
+        assert_eq!(cfg.alpha(), 10.0);
+    }
+
+    #[test]
+    fn utility_blows_up_at_capacity() {
+        assert_eq!(
+            user_utility(10.0, 5.0, 5.0, 1.0, 10.0),
+            f64::NEG_INFINITY
+        );
+        assert!(user_utility(10.0, 1.0, 2.0, 1.0, 10.0).is_finite());
+    }
+
+    #[test]
+    fn utility_decreases_with_difficulty() {
+        let easy = user_utility(100.0, 2.0, 3.0, 1.0, 10.0);
+        let hard = user_utility(100.0, 2.0, 3.0, 50.0, 10.0);
+        assert!(easy > hard);
+    }
+
+    #[test]
+    fn utility_zero_rate_pays_only_delay() {
+        let u = user_utility(100.0, 0.0, 2.0, 1000.0, 10.0);
+        assert!((u - (-1.0 / 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn potential_matches_hand_computation() {
+        let cfg = GameConfig::new(vec![10.0, 20.0], 5.0).unwrap();
+        let rates = [1.0, 2.0];
+        let h = potential(&cfg, &rates, 3.0);
+        let expect = 10.0 * 2f64.ln() + 20.0 * 3f64.ln() - 3.0 * 3.0 - 1.0 / 2.0;
+        assert!((h - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn potential_neg_infinite_past_capacity() {
+        let cfg = GameConfig::new(vec![10.0, 20.0], 2.0).unwrap();
+        assert_eq!(potential(&cfg, &[1.0, 1.5], 0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "one rate per user")]
+    fn potential_rate_count_checked() {
+        let cfg = GameConfig::new(vec![1.0], 2.0).unwrap();
+        potential(&cfg, &[0.1, 0.2], 0.0);
+    }
+}

@@ -1,0 +1,414 @@
+//! Followers' Nash equilibrium solvers.
+//!
+//! Two independent paths compute the same equilibrium:
+//!
+//! 1. [`nash_rates`] — the paper's closed-form reduction (Appendix A): at
+//!    equilibrium `w_i / y_i` is equal across users (`y_i = 1 + x_i`), so
+//!    the aggregate `ȳ = Σ y_i` solves the scalar equation
+//!    `L̃(ȳ) = w̄/ȳ − ℓ − 1/(µ + N − ȳ)² = 0` (Eq. 9), which is strictly
+//!    decreasing — a bisection finds the root.
+//! 2. [`best_response_dynamics`] — repeated per-user best responses; the
+//!    game is an exact potential game (Eq. 7) so the iteration converges
+//!    to the same point. Used as a cross-check in tests and available to
+//!    users who want to model adjustment dynamics.
+
+use crate::error::GameError;
+use crate::model::GameConfig;
+
+/// A followers' equilibrium for a fixed difficulty.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NashSolution {
+    /// Per-user equilibrium request rates `x_i*` (zero for dropped-out
+    /// users when solved with dropout).
+    pub rates: Vec<f64>,
+    /// Aggregate rate `x̄* = Σ x_i*`.
+    pub aggregate_rate: f64,
+    /// The auxiliary aggregate `ȳ* = N_active + x̄*` from Eq. 9 (over
+    /// *active* users).
+    pub ybar: f64,
+    /// Whether every user participates with a strictly positive rate
+    /// (condition Eq. 11). [`nash_rates`] reports violations here instead
+    /// of failing; [`nash_rates_with_dropout`] always ends with `true`
+    /// over the active set.
+    pub all_participate: bool,
+    /// Expected service time `S(x̄) = 1/(µ − x̄)` at equilibrium.
+    pub service_time: f64,
+}
+
+const MAX_BISECT: usize = 200;
+
+/// Solves Eq. 9 for `ȳ` over the active-user index set `active`.
+///
+/// Returns `None` if no solution exists (difficulty infeasible for this
+/// set), which happens iff `L̃(N) ≤ 0` (Eq. 10).
+fn solve_ybar(w_total: f64, n: f64, mu: f64, ell: f64) -> Option<f64> {
+    let l_tilde = |ybar: f64| -> f64 {
+        let slack = mu + n - ybar; // µ + N − ȳ > 0 on the search interval
+        w_total / ybar - ell - 1.0 / (slack * slack)
+    };
+    // Existence: L̃(N) > 0 (Eq. 10).
+    if l_tilde(n) <= 0.0 {
+        return None;
+    }
+    // L̃ is strictly decreasing on [N, N + µ) and → −∞ at the right end.
+    let mut lo = n;
+    let mut hi = n + mu;
+    // Pull `hi` strictly inside the domain.
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if l_tilde(mid) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    for _ in 0..MAX_BISECT {
+        let mid = 0.5 * (lo + hi);
+        if l_tilde(mid) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo) <= 1e-13 * hi.max(1.0) {
+            break;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// Computes the Nash equilibrium rates for difficulty `ell` hashes/request
+/// (Eq. 9), **without** removing users whose equilibrium rate would be
+/// negative — negative rates are clamped to zero and reported via
+/// [`NashSolution::all_participate`]. Use [`nash_rates_with_dropout`] for
+/// the economically consistent treatment.
+///
+/// # Errors
+///
+/// * [`GameError::Infeasible`] if `ell ≥ r̂` (Eq. 10).
+pub fn nash_rates(cfg: &GameConfig, ell: f64) -> Result<NashSolution, GameError> {
+    let n = cfg.n() as f64;
+    let w_total = cfg.total_valuation();
+    let mu = cfg.mu();
+
+    let ybar = solve_ybar(w_total, n, mu, ell).ok_or_else(|| GameError::Infeasible {
+        difficulty: ell,
+        max_feasible: crate::provider::max_feasible_difficulty(cfg),
+    })?;
+
+    // y_i = w_i ȳ / w̄; x_i = y_i − 1.
+    let mut all_participate = true;
+    let rates: Vec<f64> = cfg
+        .valuations()
+        .iter()
+        .map(|w| {
+            let x = w * ybar / w_total - 1.0;
+            if x <= 0.0 {
+                all_participate = false;
+                0.0
+            } else {
+                x
+            }
+        })
+        .collect();
+    let aggregate: f64 = rates.iter().sum();
+    Ok(NashSolution {
+        aggregate_rate: aggregate,
+        ybar,
+        all_participate,
+        service_time: 1.0 / (mu - aggregate),
+        rates,
+    })
+}
+
+/// Computes the equilibrium while iteratively removing users for whom
+/// participation is irrational (`x_i* ≤ 0`), re-solving Eq. 9 over the
+/// remaining set until it is self-consistent. Dropped users get rate 0.
+///
+/// This models the paper's observation (§4.2) that users with
+/// `w_i < w_av` may "consider it more beneficial for them to drop out",
+/// and the §7 treatment of non-adopters as `w = 0` users.
+///
+/// # Errors
+///
+/// * [`GameError::Infeasible`] if not even the highest-valuation user can
+///   afford the difficulty.
+/// * [`GameError::AllUsersDroppedOut`] if the active set empties.
+pub fn nash_rates_with_dropout(cfg: &GameConfig, ell: f64) -> Result<NashSolution, GameError> {
+    let mu = cfg.mu();
+    let w = cfg.valuations();
+    let mut active: Vec<usize> = (0..w.len()).collect();
+
+    loop {
+        if active.is_empty() {
+            return Err(GameError::AllUsersDroppedOut);
+        }
+        let n = active.len() as f64;
+        let w_total: f64 = active.iter().map(|&i| w[i]).sum();
+        if w_total <= 0.0 {
+            return Err(GameError::AllUsersDroppedOut);
+        }
+        let Some(ybar) = solve_ybar(w_total, n, mu, ell) else {
+            // Infeasible for this set: shed the lowest-valuation user and
+            // retry (a smaller set has a higher average valuation).
+            if active.len() == 1 {
+                return Err(GameError::Infeasible {
+                    difficulty: ell,
+                    max_feasible: crate::provider::max_feasible_difficulty(cfg),
+                });
+            }
+            let (pos, _) = active
+                .iter()
+                .enumerate()
+                .min_by(|a, b| w[*a.1].partial_cmp(&w[*b.1]).expect("finite"))
+                .expect("non-empty");
+            active.remove(pos);
+            continue;
+        };
+
+        // Check participation over the active set (Eq. 11: x_i > 0 ⇔
+        // y_i > 1 ⇔ ȳ > w̄/w_i).
+        let dropouts: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&i| w[i] * ybar / w_total - 1.0 <= 0.0)
+            .collect();
+        if dropouts.is_empty() {
+            let mut rates = vec![0.0; w.len()];
+            for &i in &active {
+                rates[i] = w[i] * ybar / w_total - 1.0;
+            }
+            let aggregate: f64 = rates.iter().sum();
+            return Ok(NashSolution {
+                aggregate_rate: aggregate,
+                ybar,
+                all_participate: active.len() == w.len(),
+                service_time: 1.0 / (mu - aggregate),
+                rates,
+            });
+        }
+        active.retain(|i| !dropouts.contains(i));
+    }
+}
+
+/// Iterated best-response dynamics: starting from zero rates, each round
+/// every user plays the exact best response to the others' current rates;
+/// stops when the largest rate change falls below `tol` or after
+/// `max_rounds`.
+///
+/// Returns the final rate profile. Because the game admits the exact
+/// potential `H` (Eq. 7), these dynamics converge to the unique Nash
+/// equilibrium for feasible difficulties.
+///
+/// # Errors
+///
+/// * [`GameError::NoConvergence`] if `max_rounds` is exhausted first.
+pub fn best_response_dynamics(
+    cfg: &GameConfig,
+    ell: f64,
+    tol: f64,
+    max_rounds: usize,
+) -> Result<Vec<f64>, GameError> {
+    let n = cfg.n();
+    let mu = cfg.mu();
+    let w = cfg.valuations();
+    let mut rates = vec![0.0f64; n];
+
+    for _ in 0..max_rounds {
+        let mut max_delta: f64 = 0.0;
+        for i in 0..n {
+            let others: f64 = rates.iter().sum::<f64>() - rates[i];
+            let new = best_response(w[i], others, ell, mu);
+            max_delta = max_delta.max((new - rates[i]).abs());
+            rates[i] = new;
+        }
+        if max_delta < tol {
+            return Ok(rates);
+        }
+    }
+    Err(GameError::NoConvergence("best-response dynamics"))
+}
+
+/// User best response: maximizes `w·ln(1+x) − ℓ·x − 1/(µ − x_others − x)`
+/// over `x ∈ [0, µ − x_others)`.
+///
+/// The objective is strictly concave; its derivative
+/// `w/(1+x) − ℓ − 1/(µ − x_others − x)²` is strictly decreasing, so a
+/// bisection on the derivative finds the interior optimum, with the
+/// boundary `x = 0` when the derivative is non-positive there.
+fn best_response(w: f64, x_others: f64, ell: f64, mu: f64) -> f64 {
+    let cap = mu - x_others;
+    if cap <= 0.0 {
+        return 0.0;
+    }
+    let deriv = |x: f64| -> f64 {
+        let slack = cap - x;
+        w / (1.0 + x) - ell - 1.0 / (slack * slack)
+    };
+    if deriv(0.0) <= 0.0 {
+        return 0.0;
+    }
+    let mut lo = 0.0f64;
+    let mut hi = cap;
+    for _ in 0..MAX_BISECT {
+        let mid = 0.5 * (lo + hi);
+        if deriv(mid) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo <= 1e-13 * cap {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{potential, user_utility};
+
+    fn homog(n: usize, w: f64, mu: f64) -> GameConfig {
+        GameConfig::homogeneous(n, w, mu).unwrap()
+    }
+
+    #[test]
+    fn homogeneous_equilibrium_is_symmetric_and_feasible() {
+        let cfg = homog(10, 1000.0, 50.0);
+        let sol = nash_rates(&cfg, 100.0).unwrap();
+        assert!(sol.all_participate);
+        let first = sol.rates[0];
+        assert!(first > 0.0);
+        for r in &sol.rates {
+            assert!((r - first).abs() < 1e-9);
+        }
+        assert!(sol.aggregate_rate < cfg.mu());
+        assert!(sol.service_time > 0.0);
+    }
+
+    #[test]
+    fn first_order_condition_holds() {
+        // At equilibrium: w/(1+x_i) − ℓ − 1/(µ−x̄)² = 0 (Eq. 8).
+        let cfg = homog(5, 500.0, 30.0);
+        let ell = 50.0;
+        let sol = nash_rates(&cfg, ell).unwrap();
+        for (w, x) in cfg.valuations().iter().zip(&sol.rates) {
+            let slack = cfg.mu() - sol.aggregate_rate;
+            let foc = w / (1.0 + x) - ell - 1.0 / (slack * slack);
+            assert!(foc.abs() < 1e-6, "FOC residual {foc}");
+        }
+    }
+
+    #[test]
+    fn harder_puzzles_lower_rates() {
+        let cfg = homog(10, 1000.0, 50.0);
+        let easy = nash_rates(&cfg, 10.0).unwrap();
+        let hard = nash_rates(&cfg, 400.0).unwrap();
+        assert!(hard.aggregate_rate < easy.aggregate_rate);
+    }
+
+    #[test]
+    fn infeasible_difficulty_rejected() {
+        let cfg = homog(10, 100.0, 50.0);
+        // r̂ = w̄/N − 1/µ² ≈ 100; ℓ = 150 must fail.
+        let err = nash_rates(&cfg, 150.0).unwrap_err();
+        assert!(matches!(err, GameError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn heterogeneous_rates_order_by_valuation() {
+        let cfg = GameConfig::new(vec![100.0, 400.0, 1000.0], 20.0).unwrap();
+        let sol = nash_rates_with_dropout(&cfg, 20.0).unwrap();
+        assert!(sol.rates[0] <= sol.rates[1]);
+        assert!(sol.rates[1] <= sol.rates[2]);
+    }
+
+    #[test]
+    fn low_valuation_users_drop_out() {
+        // One user values the service at ~0: with a meaningful difficulty
+        // they leave the game; the rest still play.
+        let cfg = GameConfig::new(vec![0.5, 800.0, 900.0], 20.0).unwrap();
+        let sol = nash_rates_with_dropout(&cfg, 100.0).unwrap();
+        assert_eq!(sol.rates[0], 0.0);
+        assert!(sol.rates[1] > 0.0);
+        assert!(sol.rates[2] > 0.0);
+        assert!(!sol.all_participate);
+    }
+
+    #[test]
+    fn dropout_solution_is_nash_no_one_wants_to_deviate() {
+        let cfg = GameConfig::new(vec![0.5, 800.0, 900.0], 20.0).unwrap();
+        let ell = 100.0;
+        let sol = nash_rates_with_dropout(&cfg, ell).unwrap();
+        // Each user's rate is a best response to the others.
+        for i in 0..cfg.n() {
+            let others = sol.aggregate_rate - sol.rates[i];
+            let br = best_response(cfg.valuations()[i], others, ell, cfg.mu());
+            assert!(
+                (br - sol.rates[i]).abs() < 1e-6,
+                "user {i}: br {br} vs eq {}",
+                sol.rates[i]
+            );
+        }
+    }
+
+    #[test]
+    fn all_users_dropped_out_error() {
+        let cfg = GameConfig::new(vec![0.0, 0.0], 10.0).unwrap();
+        assert!(matches!(
+            nash_rates_with_dropout(&cfg, 5.0),
+            Err(GameError::AllUsersDroppedOut) | Err(GameError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn best_response_dynamics_agrees_with_closed_form() {
+        let cfg = GameConfig::new(vec![300.0, 500.0, 800.0, 1200.0], 40.0).unwrap();
+        let ell = 40.0;
+        let closed = nash_rates_with_dropout(&cfg, ell).unwrap();
+        let iterated = best_response_dynamics(&cfg, ell, 1e-10, 10_000).unwrap();
+        for (a, b) in closed.rates.iter().zip(&iterated) {
+            assert!((a - b).abs() < 1e-5, "closed {a} vs iterated {b}");
+        }
+    }
+
+    #[test]
+    fn equilibrium_maximizes_potential_locally() {
+        let cfg = homog(4, 600.0, 25.0);
+        let ell = 60.0;
+        let sol = nash_rates(&cfg, ell).unwrap();
+        let h0 = potential(&cfg, &sol.rates, ell);
+        // Perturbing any single coordinate cannot increase the potential.
+        for i in 0..cfg.n() {
+            for delta in [-1e-3, 1e-3] {
+                let mut r = sol.rates.clone();
+                r[i] = (r[i] + delta).max(0.0);
+                assert!(potential(&cfg, &r, ell) <= h0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn equilibrium_is_individually_rational() {
+        // At equilibrium each participant's utility is at least the
+        // utility of not requesting at all (x_i = 0).
+        let cfg = homog(6, 900.0, 35.0);
+        let ell = 90.0;
+        let sol = nash_rates(&cfg, ell).unwrap();
+        for i in 0..cfg.n() {
+            let others = sol.aggregate_rate - sol.rates[i];
+            let u_eq = user_utility(cfg.valuations()[i], sol.rates[i], others, ell, cfg.mu());
+            let u_out = user_utility(cfg.valuations()[i], 0.0, others, ell, cfg.mu());
+            assert!(u_eq >= u_out - 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_difficulty_still_bounded_by_congestion() {
+        // Even free puzzles don't push x̄ to µ: the delay term holds the
+        // load strictly below capacity.
+        let cfg = homog(10, 1000.0, 50.0);
+        let sol = nash_rates(&cfg, 1e-9).unwrap();
+        assert!(sol.aggregate_rate < cfg.mu());
+    }
+}

@@ -1,0 +1,229 @@
+//! Estimating the model parameters `w_av` and `α` (paper §4.3).
+//!
+//! * `w_av`: the hashes a client is willing to pay per request. The paper
+//!   fixes a 400 ms usability budget (citing Nielsen) and profiles client
+//!   CPUs' SHA-256 throughput; `w_av` is the average hash count achievable
+//!   in that budget. [`profile_local_hash_rate`] performs the same
+//!   measurement on the current machine using this repository's SHA-256;
+//!   [`wav_from_rates`] aggregates device profiles.
+//! * `α`: the server's asymptotic per-user capacity. The paper stress
+//!   tests apache2 with `ab`, observes the service rate `µ` plateau, and
+//!   takes `α = µ / concurrency` as the load grows. [`ServiceCurve`]
+//!   implements that estimation from stress-test samples.
+
+use puzzle_crypto::Sha256;
+use std::time::{Duration, Instant};
+
+/// The paper's usability budget for a handshake during an attack: 400 ms
+/// "does not interrupt the user's flow of thoughts" (§4.3, citing
+/// Nielsen).
+pub const USABILITY_BUDGET: Duration = Duration::from_millis(400);
+
+/// Result of profiling a CPU's hashing throughput.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HashProfile {
+    /// Measured throughput in hashes per second.
+    pub hashes_per_sec: f64,
+    /// Hashes actually performed during profiling.
+    pub hashes: u64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl HashProfile {
+    /// The hashes this device can perform within `budget` — the per-device
+    /// contribution to `w_av` (Table 1's right column uses the 400 ms
+    /// budget).
+    pub fn hashes_in(&self, budget: Duration) -> f64 {
+        self.hashes_per_sec * budget.as_secs_f64()
+    }
+}
+
+/// Measures the local machine's SHA-256 throughput by hashing 64-byte
+/// messages (the size class of a challenge check) for approximately
+/// `duration` of wall-clock time.
+///
+/// This is the only function in the workspace that reads the wall clock;
+/// it exists for the real-deployment path (the §4.4 procedure on live
+/// hardware) and for the `difficulty_planner` example. Simulations use
+/// the calibrated device profiles in the `hostsim` crate instead.
+pub fn profile_local_hash_rate(duration: Duration) -> HashProfile {
+    let start = Instant::now();
+    let mut buf = [0u8; 64];
+    let mut hashes: u64 = 0;
+    // Check the clock every 1024 hashes to keep overhead negligible.
+    loop {
+        for _ in 0..1024 {
+            let mut h = Sha256::new();
+            h.update(&buf);
+            let digest = h.finalize();
+            buf[..32].copy_from_slice(&digest);
+            hashes += 1;
+        }
+        if start.elapsed() >= duration {
+            break;
+        }
+    }
+    let elapsed = start.elapsed();
+    HashProfile {
+        hashes_per_sec: hashes as f64 / elapsed.as_secs_f64(),
+        hashes,
+        elapsed,
+    }
+}
+
+/// Computes `w_av` from per-device hash rates (hashes/sec) under a time
+/// budget: the average over devices of `rate × budget` (§4.3, Fig. 3a).
+///
+/// # Panics
+///
+/// Panics if `rates` is empty.
+pub fn wav_from_rates(rates: &[f64], budget: Duration) -> f64 {
+    assert!(!rates.is_empty(), "need at least one device profile");
+    let sum: f64 = rates.iter().map(|r| r * budget.as_secs_f64()).sum();
+    sum / rates.len() as f64
+}
+
+/// A server stress-test curve: `(concurrency, observed service rate)`
+/// samples, as produced by `ab`-style load generators (Fig. 3b).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServiceCurve {
+    samples: Vec<(f64, f64)>,
+}
+
+impl ServiceCurve {
+    /// Creates an empty curve.
+    pub fn new() -> Self {
+        ServiceCurve::default()
+    }
+
+    /// Records one stress-test sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `concurrency` or `service_rate` is not positive.
+    pub fn push(&mut self, concurrency: f64, service_rate: f64) -> &mut Self {
+        assert!(concurrency > 0.0, "concurrency must be positive");
+        assert!(service_rate > 0.0, "service rate must be positive");
+        self.samples.push((concurrency, service_rate));
+        self
+    }
+
+    /// The recorded samples.
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.samples
+    }
+
+    /// The plateau service rate `µ`: the mean rate over the top quartile
+    /// of concurrency (where apache-style servers have flattened out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were recorded.
+    pub fn mu(&self) -> f64 {
+        assert!(!self.samples.is_empty(), "no stress-test samples");
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let start = sorted.len() - sorted.len().div_ceil(4);
+        let top = &sorted[start..];
+        top.iter().map(|(_, r)| r).sum::<f64>() / top.len() as f64
+    }
+
+    /// The per-sample service parameter `α(c) = rate / concurrency` (§4.3:
+    /// "the ratio of service rate over the number of concurrent
+    /// requests").
+    pub fn alpha_at(&self, concurrency: f64, service_rate: f64) -> f64 {
+        service_rate / concurrency
+    }
+
+    /// The asymptotic `α`: the service parameter at the largest observed
+    /// concurrency — what Fig. 3b's curve "converges to" (1.1 in the
+    /// paper's deployment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were recorded.
+    pub fn alpha(&self) -> f64 {
+        assert!(!self.samples.is_empty(), "no stress-test samples");
+        let (c, r) = self
+            .samples
+            .iter()
+            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
+            .expect("non-empty");
+        r / c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_profiler_measures_something() {
+        let p = profile_local_hash_rate(Duration::from_millis(30));
+        assert!(p.hashes >= 1024);
+        assert!(p.hashes_per_sec > 1000.0, "implausibly slow: {}", p.hashes_per_sec);
+        assert!(p.elapsed >= Duration::from_millis(25));
+        // 400 ms budget scales linearly from the rate.
+        let w = p.hashes_in(USABILITY_BUDGET);
+        assert!((w - p.hashes_per_sec * 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wav_matches_paper_arithmetic() {
+        // Table 1: D1 rate 49617 H/s → 19901 hashes in 400 ms (the paper's
+        // own rounding differs by <1%).
+        let w = wav_from_rates(&[49_617.0], USABILITY_BUDGET);
+        assert!((w - 19_846.8).abs() < 1.0);
+        // Averaging across devices.
+        let w = wav_from_rates(&[100.0, 300.0], Duration::from_secs(1));
+        assert_eq!(w, 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn wav_needs_devices() {
+        wav_from_rates(&[], USABILITY_BUDGET);
+    }
+
+    #[test]
+    fn service_curve_mu_uses_plateau() {
+        let mut c = ServiceCurve::new();
+        // Ramp-up region, then plateau around 1100 (the paper's apache2).
+        for (conc, rate) in [
+            (1.0, 300.0),
+            (10.0, 800.0),
+            (50.0, 1050.0),
+            (200.0, 1090.0),
+            (400.0, 1100.0),
+            (600.0, 1105.0),
+            (800.0, 1102.0),
+            (1000.0, 1100.0),
+        ] {
+            c.push(conc, rate);
+        }
+        let mu = c.mu();
+        assert!((mu - 1101.0).abs() < 5.0, "mu = {mu}");
+        // α at c=1000 ≈ 1.1, the paper's value.
+        let a = c.alpha();
+        assert!((a - 1.1).abs() < 0.01, "alpha = {a}");
+    }
+
+    #[test]
+    fn alpha_at_is_a_simple_ratio() {
+        let c = ServiceCurve::new();
+        assert_eq!(c.alpha_at(50.0, 1100.0), 22.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no stress-test samples")]
+    fn empty_curve_panics() {
+        ServiceCurve::new().mu();
+    }
+
+    #[test]
+    #[should_panic(expected = "concurrency must be positive")]
+    fn bad_sample_rejected() {
+        ServiceCurve::new().push(0.0, 10.0);
+    }
+}

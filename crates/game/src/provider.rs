@@ -1,0 +1,248 @@
+//! The leader's (provider's) problem: revenue, feasibility, optimum.
+
+use crate::error::GameError;
+use crate::model::GameConfig;
+use crate::nash::nash_rates;
+use puzzle_core::Difficulty;
+
+/// The existence bound `r̂ = w̄/N − 1/µ²` (Eq. 10): the largest difficulty
+/// (in expected hashes) for which the followers' game has a solution.
+///
+/// As the paper notes, when `µ → ∞` this tends to the average valuation —
+/// "a client should not be charged a price higher than the average user
+/// valuation of the provider's services."
+pub fn max_feasible_difficulty(cfg: &GameConfig) -> f64 {
+    cfg.average_valuation() - 1.0 / (cfg.mu() * cfg.mu())
+}
+
+/// The provider's exact objective `I(p)` (Eq. 12) for a concrete puzzle:
+/// `(ℓ(p) − g(p) − d(p))·x̄*(p) = (k·2^(m−1) − 2 − k/2)·x̄*` — client work
+/// extracted minus the server's own generation + verification work, scaled
+/// by the equilibrium load.
+///
+/// # Errors
+///
+/// Propagates [`GameError::Infeasible`] when no equilibrium exists.
+pub fn provider_revenue(cfg: &GameConfig, difficulty: Difficulty) -> Result<f64, GameError> {
+    let ell = difficulty.expected_client_hashes();
+    let sol = nash_rates(cfg, ell)?;
+    let server_work = difficulty.generation_hashes() + difficulty.expected_verification_hashes();
+    Ok((ell - server_work) * sol.aggregate_rate)
+}
+
+/// The approximation `Ĩ(p) = ℓ(p)·x̄*(p)` (Eq. 13). Lemma 1 shows the
+/// maximizers of `I` and `Ĩ` differ by at most a constant `(k/2 + 2)·µ` in
+/// objective value, so the provider can optimize the product directly.
+///
+/// # Errors
+///
+/// Propagates [`GameError::Infeasible`] when no equilibrium exists.
+pub fn provider_revenue_approx(cfg: &GameConfig, ell: f64) -> Result<f64, GameError> {
+    let sol = nash_rates(cfg, ell)?;
+    Ok(ell * sol.aggregate_rate)
+}
+
+const MAX_BISECT: usize = 200;
+
+/// Solves the provider's reduced problem (Eq. 14): the optimal aggregate
+/// `ȳ* = argmax G(ȳ)` with
+/// `G(ȳ) = (w̄/ȳ − 1/(µ + N − ȳ)²)(ȳ − N)` on `(N, N + µ)`.
+///
+/// `G` is strictly concave (Appendix A), so the first-order condition
+/// `w̄N/ȳ² − (µ + ȳ − N)/(µ + N − ȳ)³ = 0` (Eq. 15) has a unique root,
+/// found here by bisection on the derivative.
+///
+/// # Errors
+///
+/// Returns [`GameError::BadConfig`] if the derivative is non-positive at
+/// the left boundary (no user would participate at any price — requires
+/// `r̂ ≤ 0`).
+pub fn optimal_load(cfg: &GameConfig) -> Result<f64, GameError> {
+    let n = cfg.n() as f64;
+    let mu = cfg.mu();
+    let w_total = cfg.total_valuation();
+
+    let dg = |ybar: f64| -> f64 {
+        let slack = mu + n - ybar;
+        w_total * n / (ybar * ybar) - (mu + ybar - n) / (slack * slack * slack)
+    };
+
+    // dG at ȳ → N+ equals w̄/N − 1/µ² = r̂; must be positive.
+    if dg(n) <= 0.0 {
+        return Err(GameError::BadConfig(format!(
+            "no participation possible: r-hat = {} <= 0",
+            max_feasible_difficulty(cfg)
+        )));
+    }
+
+    let mut lo = n;
+    let mut hi = n + mu;
+    // dG → −∞ as ȳ → (N+µ)−; bisect the sign change.
+    for _ in 0..MAX_BISECT {
+        let mid = 0.5 * (lo + hi);
+        if dg(mid) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo <= 1e-13 * hi.max(1.0) {
+            break;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// The provider's finite-`N` optimal difficulty `ℓ*` in expected hashes:
+/// substitutes `ȳ*` from [`optimal_load`] back into Eq. 9,
+/// `ℓ* = w̄/ȳ* − 1/(µ + N − ȳ*)²`.
+///
+/// As `N → ∞` with `µ = αN` and homogeneous valuations `w_av`, this
+/// converges to [`asymptotic_difficulty`] (Theorem 1) — covered by tests.
+///
+/// # Errors
+///
+/// Propagates [`optimal_load`] errors.
+pub fn optimal_difficulty(cfg: &GameConfig) -> Result<f64, GameError> {
+    let ybar = optimal_load(cfg)?;
+    let n = cfg.n() as f64;
+    let slack = cfg.mu() + n - ybar;
+    Ok(cfg.total_valuation() / ybar - 1.0 / (slack * slack))
+}
+
+/// Theorem 1 / Eq. 18: the asymptotic Nash-optimal difficulty
+/// `ℓ* = w_av / (α + 1)` in expected hashes per request.
+///
+/// * `w_av` — average client valuation (hashes per request, §4.3);
+/// * `alpha` — the server's asymptotic per-user service capacity `µ/N`.
+///
+/// Note the paper's Theorem 1 *statement* prints `w_av(α+1)`, but its
+/// proof (Eq. 18) and worked example (§4.4) both use the quotient; we
+/// implement the proof's form.
+///
+/// # Panics
+///
+/// Panics if `alpha <= -1` (the denominator would be non-positive).
+pub fn asymptotic_difficulty(w_av: f64, alpha: f64) -> f64 {
+    assert!(alpha > -1.0, "alpha must exceed -1");
+    w_av / (alpha + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r_hat_matches_formula() {
+        let cfg = GameConfig::homogeneous(10, 100.0, 5.0).unwrap();
+        assert!((max_feasible_difficulty(&cfg) - (100.0 - 1.0 / 25.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn revenue_zero_at_zero_load() {
+        // Infeasible difficulty: just below r̂ the load is ~0 so revenue ~0.
+        let cfg = GameConfig::homogeneous(10, 100.0, 5.0).unwrap();
+        let r_hat = max_feasible_difficulty(&cfg);
+        let rev = provider_revenue_approx(&cfg, r_hat * 0.9999).unwrap();
+        assert!(rev.abs() < 1.0, "revenue {rev} should be tiny at the bound");
+    }
+
+    #[test]
+    fn optimal_load_satisfies_foc() {
+        let cfg = GameConfig::homogeneous(20, 5000.0, 30.0).unwrap();
+        let ybar = optimal_load(&cfg).unwrap();
+        let n = 20.0;
+        let mu = 30.0;
+        let w_total = 5000.0 * 20.0;
+        let slack = mu + n - ybar;
+        let foc = w_total * n / (ybar * ybar) - (mu + ybar - n) / (slack * slack * slack);
+        assert!(foc.abs() < 1e-3, "FOC residual {foc}");
+        assert!(ybar > n && ybar < n + mu);
+    }
+
+    #[test]
+    fn optimal_difficulty_beats_neighbours() {
+        // ℓ* should (approximately) maximize Ĩ(ℓ) = ℓ·x̄(ℓ).
+        let cfg = GameConfig::homogeneous(50, 2000.0, 100.0).unwrap();
+        let ell_star = optimal_difficulty(&cfg).unwrap();
+        let best = provider_revenue_approx(&cfg, ell_star).unwrap();
+        for factor in [0.8, 0.9, 1.1, 1.2] {
+            let ell = ell_star * factor;
+            if let Ok(rev) = provider_revenue_approx(&cfg, ell) {
+                assert!(
+                    rev <= best * (1.0 + 1e-9),
+                    "ℓ={ell} gives {rev} > optimum {best}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_revenue_close_to_approximation_minus_constant() {
+        // Lemma 1: |I(p*) − Ĩ(p̃)| < (k/2 + 2)µ.
+        let cfg = GameConfig::homogeneous(30, 3000.0, 60.0).unwrap();
+        let ell_star = optimal_difficulty(&cfg).unwrap();
+        let approx = provider_revenue_approx(&cfg, ell_star).unwrap();
+        // Concrete difficulty near ℓ*: k = 2, m from rounding.
+        let d = crate::select::select_parameters(ell_star, crate::select::SelectionPolicy::FixedK(2))
+            .unwrap();
+        let exact = provider_revenue(&cfg, d);
+        if let Ok(exact) = exact {
+            let bound = (d.k() as f64 / 2.0 + 2.0) * cfg.mu();
+            // The concrete (k, m) rounds ℓ upward, so compare loosely: the
+            // difference is bounded by the lemma constant plus the
+            // rounding effect on ℓ·x̄ (within a factor ~2 of ℓ*).
+            assert!(
+                exact <= approx * 2.0 + bound,
+                "exact {exact} wildly exceeds approx {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn asymptotic_matches_paper_example() {
+        // §4.4: w_av = 140630, α = 1.1 → ℓ* ≈ 66966.7.
+        let ell = asymptotic_difficulty(140_630.0, 1.1);
+        assert!((ell - 140_630.0 / 2.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finite_n_converges_to_theorem_1() {
+        // Theorem 1: with µ = αN and homogeneous w_av, ℓ*(N) → w_av/(α+1).
+        let w_av = 140_630.0;
+        let alpha = 1.1;
+        let limit = asymptotic_difficulty(w_av, alpha);
+        let rel_err = |n: usize| -> f64 {
+            let cfg = GameConfig::homogeneous(n, w_av, alpha * n as f64).unwrap();
+            let ell = optimal_difficulty(&cfg).unwrap();
+            (ell - limit).abs() / limit
+        };
+        // Error shrinks with N and is small at N = 10^5.
+        let e3 = rel_err(1_000);
+        let e5 = rel_err(100_000);
+        assert!(e5 < e3, "error should shrink: e3={e3}, e5={e5}");
+        assert!(e5 < 0.01, "relative error at N=1e5: {e5}");
+    }
+
+    #[test]
+    fn well_provisioned_servers_ask_for_easier_puzzles() {
+        // §4.2: larger α → smaller ℓ*.
+        let rich = asymptotic_difficulty(1000.0, 2.0);
+        let poor = asymptotic_difficulty(1000.0, 0.5);
+        assert!(rich < poor);
+        // α < 1 pushes ℓ* toward w_av.
+        assert!(poor > 1000.0 / 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn asymptotic_rejects_degenerate_alpha() {
+        asymptotic_difficulty(100.0, -1.0);
+    }
+
+    #[test]
+    fn optimal_load_rejects_hopeless_config() {
+        // w_av so small that r̂ < 0: N = 1 user valuing 0.001 hashes, µ tiny.
+        let cfg = GameConfig::new(vec![0.001], 0.5).unwrap();
+        assert!(optimal_load(&cfg).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Mapping the equilibrium difficulty `ℓ*` to wire parameters `(k, m)`.
+
+use crate::error::GameError;
+use puzzle_core::Difficulty;
+
+/// Policy for choosing `(k, m)` given a target expected-hash difficulty.
+///
+/// The paper (§4.3) describes the trade-off: small `k` raises the
+/// attacker's blind-guess probability but cuts verification cost; large
+/// `k` does the opposite. The worked example fixes `k = 2`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SelectionPolicy {
+    /// Use exactly this `k` and pick the smallest `m` with
+    /// `k·2^(m−1) ≥ ℓ*` (round the client's cost up, never down — an
+    /// undershot difficulty underprices the server's resources).
+    FixedK(u8),
+    /// Search `k ∈ [1, k_max]`, pick the pair minimizing the overshoot
+    /// `k·2^(m−1) − ℓ*`; ties break toward smaller `k` (cheaper
+    /// verification).
+    MinimizeOvershoot {
+        /// Largest `k` considered.
+        k_max: u8,
+    },
+}
+
+/// Selects concrete puzzle parameters for a target difficulty `ell`
+/// (expected hashes per request), e.g. from
+/// [`crate::asymptotic_difficulty`].
+///
+/// Reproduces the paper's §4.4 example: `ℓ* = 140630/2.1 ≈ 66967` with
+/// `k = 2` yields `(2, 17)` because `2·2^15 = 65536 < 66967 ≤ 2·2^16`.
+///
+/// # Errors
+///
+/// * [`GameError::BadConfig`] if `ell` is not positive/finite, `k` is 0,
+///   or the required `m` exceeds the supported range (63 bits).
+pub fn select_parameters(ell: f64, policy: SelectionPolicy) -> Result<Difficulty, GameError> {
+    if !ell.is_finite() || ell <= 0.0 {
+        return Err(GameError::BadConfig(format!(
+            "target difficulty {ell} must be positive and finite"
+        )));
+    }
+    match policy {
+        SelectionPolicy::FixedK(k) => smallest_m_for(k, ell),
+        SelectionPolicy::MinimizeOvershoot { k_max } => {
+            if k_max == 0 {
+                return Err(GameError::BadConfig("k_max must be >= 1".into()));
+            }
+            let mut best: Option<Difficulty> = None;
+            for k in 1..=k_max {
+                let candidate = smallest_m_for(k, ell)?;
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let over_c = candidate.expected_client_hashes() - ell;
+                        let over_b = b.expected_client_hashes() - ell;
+                        over_c < over_b - 1e-9
+                    }
+                };
+                if better {
+                    best = Some(candidate);
+                }
+            }
+            Ok(best.expect("k_max >= 1 guarantees a candidate"))
+        }
+    }
+}
+
+/// Smallest `m` such that `k·2^(m−1) ≥ ell`.
+fn smallest_m_for(k: u8, ell: f64) -> Result<Difficulty, GameError> {
+    if k == 0 {
+        return Err(GameError::BadConfig("k must be >= 1".into()));
+    }
+    let per_sub = ell / k as f64; // need 2^(m−1) ≥ per_sub
+    let mut m: u8 = 1;
+    while 2f64.powi(m as i32 - 1) < per_sub {
+        m = m
+            .checked_add(1)
+            .filter(|&m| m <= 63)
+            .ok_or_else(|| GameError::BadConfig(format!("difficulty {ell} needs m > 63 bits")))?;
+    }
+    Difficulty::new(k, m).map_err(|e| GameError::BadConfig(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_reproduced() {
+        // §4.4: w_av = 140630, α = 1.1 → (k*, m*) = (2, 17).
+        let ell = 140_630.0 / 2.1;
+        let d = select_parameters(ell, SelectionPolicy::FixedK(2)).unwrap();
+        assert_eq!((d.k(), d.m()), (2, 17));
+    }
+
+    #[test]
+    fn rounds_up_never_down() {
+        for ell in [1.0, 3.0, 100.0, 65_536.0, 66_967.0, 1e6] {
+            for k in [1u8, 2, 3, 4] {
+                let d = select_parameters(ell, SelectionPolicy::FixedK(k)).unwrap();
+                assert!(
+                    d.expected_client_hashes() >= ell,
+                    "ℓ(k={k}, m={}) = {} < {ell}",
+                    d.m(),
+                    d.expected_client_hashes()
+                );
+                // And m−1 bits would have been too few (minimality).
+                if d.m() > 1 {
+                    let smaller = Difficulty::new(k, d.m() - 1).unwrap();
+                    assert!(smaller.expected_client_hashes() < ell);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_powers_hit_exactly() {
+        let d = select_parameters(65_536.0, SelectionPolicy::FixedK(2)).unwrap();
+        assert_eq!((d.k(), d.m()), (2, 16));
+        assert_eq!(d.expected_client_hashes(), 65_536.0);
+    }
+
+    #[test]
+    fn minimize_overshoot_prefers_tighter_fit() {
+        // ℓ = 3·2^9 = 1536: k = 3, m = 10 fits exactly; k = 1 or 2 must
+        // overshoot to 2048.
+        let d = select_parameters(1536.0, SelectionPolicy::MinimizeOvershoot { k_max: 4 }).unwrap();
+        assert_eq!(d.expected_client_hashes(), 1536.0);
+        assert_eq!(d.k(), 3);
+    }
+
+    #[test]
+    fn minimize_overshoot_ties_break_to_small_k() {
+        // ℓ = 2^10 = 1024: k = 1 (m = 11), k = 2 (m = 10), and k = 4
+        // (m = 9) all give exactly 1024; pick k = 1 (cheapest to verify).
+        let d = select_parameters(1024.0, SelectionPolicy::MinimizeOvershoot { k_max: 4 }).unwrap();
+        assert_eq!(d.expected_client_hashes(), 1024.0);
+        assert_eq!(d.k(), 1);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(select_parameters(0.0, SelectionPolicy::FixedK(2)).is_err());
+        assert!(select_parameters(-5.0, SelectionPolicy::FixedK(2)).is_err());
+        assert!(select_parameters(f64::NAN, SelectionPolicy::FixedK(2)).is_err());
+        assert!(select_parameters(10.0, SelectionPolicy::FixedK(0)).is_err());
+        assert!(select_parameters(10.0, SelectionPolicy::MinimizeOvershoot { k_max: 0 }).is_err());
+        // m would exceed 63 bits.
+        assert!(select_parameters(1e30, SelectionPolicy::FixedK(1)).is_err());
+    }
+
+    #[test]
+    fn tiny_targets_get_minimum_difficulty() {
+        let d = select_parameters(0.5, SelectionPolicy::FixedK(1)).unwrap();
+        assert_eq!((d.k(), d.m()), (1, 1));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the Stackelberg solvers' invariants.
+
+use proptest::prelude::*;
+use puzzle_game::{
+    asymptotic_difficulty, max_feasible_difficulty, nash_rates, nash_rates_with_dropout,
+    optimal_difficulty, select_parameters, GameConfig, SelectionPolicy,
+};
+
+fn arb_homog() -> impl Strategy<Value = (usize, f64, f64)> {
+    // (N, w_av, alpha): modest ranges that keep the game well-conditioned.
+    (2usize..200, 50.0f64..1e6, 0.05f64..10.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Feasible difficulties always yield an equilibrium with positive
+    /// aggregate load strictly below capacity.
+    #[test]
+    fn equilibrium_feasible_below_capacity((n, w, alpha) in arb_homog(), frac in 0.01f64..0.95) {
+        let cfg = GameConfig::homogeneous(n, w, alpha * n as f64).unwrap();
+        let r_hat = max_feasible_difficulty(&cfg);
+        prop_assume!(r_hat > 0.0);
+        let ell = r_hat * frac;
+        let sol = nash_rates(&cfg, ell).unwrap();
+        prop_assert!(sol.aggregate_rate > 0.0);
+        prop_assert!(sol.aggregate_rate < cfg.mu());
+        prop_assert!(sol.service_time > 0.0);
+    }
+
+    /// Raising the price never raises the load (monotone demand curve).
+    #[test]
+    fn demand_is_monotone_in_difficulty((n, w, alpha) in arb_homog()) {
+        let cfg = GameConfig::homogeneous(n, w, alpha * n as f64).unwrap();
+        let r_hat = max_feasible_difficulty(&cfg);
+        prop_assume!(r_hat > 0.0);
+        let lo = nash_rates(&cfg, r_hat * 0.1).unwrap();
+        let mid = nash_rates(&cfg, r_hat * 0.5).unwrap();
+        let hi = nash_rates(&cfg, r_hat * 0.9).unwrap();
+        prop_assert!(lo.aggregate_rate >= mid.aggregate_rate);
+        prop_assert!(mid.aggregate_rate >= hi.aggregate_rate);
+    }
+
+    /// Prices above the existence bound are always rejected.
+    #[test]
+    fn infeasible_prices_rejected((n, w, alpha) in arb_homog()) {
+        let cfg = GameConfig::homogeneous(n, w, alpha * n as f64).unwrap();
+        let r_hat = max_feasible_difficulty(&cfg);
+        prop_assume!(r_hat > 0.0);
+        prop_assert!(nash_rates(&cfg, r_hat * 1.01).is_err());
+    }
+
+    /// The provider's finite-N optimum is feasible and within the
+    /// asymptotic limit's neighbourhood for large homogeneous games.
+    #[test]
+    fn provider_optimum_feasible(w in 100.0f64..1e6, alpha in 0.2f64..5.0) {
+        let n = 5_000usize;
+        let cfg = GameConfig::homogeneous(n, w, alpha * n as f64).unwrap();
+        let ell = optimal_difficulty(&cfg).unwrap();
+        prop_assert!(ell > 0.0);
+        prop_assert!(ell < max_feasible_difficulty(&cfg));
+        let limit = asymptotic_difficulty(w, alpha);
+        let rel = (ell - limit).abs() / limit;
+        prop_assert!(rel < 0.25, "finite-N {ell} vs limit {limit} (rel {rel})");
+    }
+
+    /// Parameter selection never under-prices and is minimal in m.
+    #[test]
+    fn selection_rounds_up_minimally(ell in 1.0f64..1e12, k in 1u8..8) {
+        let d = select_parameters(ell, SelectionPolicy::FixedK(k)).unwrap();
+        prop_assert!(d.expected_client_hashes() >= ell);
+        if d.m() > 1 {
+            let lower = puzzle_core::Difficulty::new(k, d.m() - 1).unwrap();
+            prop_assert!(lower.expected_client_hashes() < ell);
+        }
+    }
+
+    /// Dropout equilibria: dropped users are exactly those below the
+    /// participation threshold, and survivors' rates are positive.
+    #[test]
+    fn dropout_partition_is_consistent(
+        valuations in prop::collection::vec(0.1f64..1e4, 2..20),
+        mu in 5.0f64..500.0,
+        frac in 0.05f64..0.8,
+    ) {
+        let cfg = GameConfig::new(valuations.clone(), mu).unwrap();
+        let w_max = valuations.iter().cloned().fold(0.0, f64::max);
+        let ell = w_max * frac;
+        match nash_rates_with_dropout(&cfg, ell) {
+            Ok(sol) => {
+                for (w, x) in valuations.iter().zip(&sol.rates) {
+                    if *x > 0.0 {
+                        prop_assert!(x.is_finite());
+                    }
+                    // No participant pays more than their valuation's
+                    // log-slope allows at zero rate: w > ell for x > 0.
+                    if *x > 1e-9 {
+                        prop_assert!(*w > ell, "w={w} ell={ell} x={x}");
+                    }
+                }
+                prop_assert!(sol.aggregate_rate < mu);
+            }
+            Err(_) => {
+                // Acceptable: no one can afford the price.
+            }
+        }
+    }
+}

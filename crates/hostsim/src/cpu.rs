@@ -1,0 +1,241 @@
+//! Serial CPU model with busy-interval accounting.
+
+use std::collections::VecDeque;
+
+use netsim::{SimDuration, SimTime};
+
+/// A CPU with one or more cores that perform hash work.
+///
+/// Each job runs on the earliest-available core; with one core, jobs are
+/// strictly serial — this is what rate-limits solving hosts (a bot
+/// mid-solve cannot complete the next connection's solve), the key
+/// mechanism behind the paper's attacker throttling (§6.2–6.4). Clients
+/// whose kernel solves per-connection parallelize across their cores.
+///
+/// Busy intervals are retained (and prunable) so experiments can sample
+/// utilization over sliding windows (Fig. 9).
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    hash_rate: f64,
+    cores: Vec<SimTime>,
+    intervals: VecDeque<(SimTime, SimTime)>,
+    total_busy: SimDuration,
+}
+
+impl Cpu {
+    /// Creates a single-core CPU with the given per-core SHA-256
+    /// throughput (hashes/second).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `hash_rate > 0`.
+    pub fn new(hash_rate: f64) -> Self {
+        Cpu::with_cores(hash_rate, 1)
+    }
+
+    /// Creates a CPU with `cores` cores, each hashing at `hash_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `hash_rate > 0` and `cores >= 1`.
+    pub fn with_cores(hash_rate: f64, cores: usize) -> Self {
+        assert!(hash_rate > 0.0, "hash rate must be positive");
+        assert!(cores >= 1, "need at least one core");
+        Cpu {
+            hash_rate,
+            cores: vec![SimTime::ZERO; cores],
+            intervals: VecDeque::new(),
+            total_busy: SimDuration::ZERO,
+        }
+    }
+
+    /// The modelled per-core hash throughput.
+    pub fn hash_rate(&self) -> f64 {
+        self.hash_rate
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Schedules `hashes` of work on the earliest-available core (no
+    /// earlier than `now`). Returns the completion instant.
+    pub fn schedule_hashes(&mut self, now: SimTime, hashes: f64) -> SimTime {
+        let dur = SimDuration::from_secs_f64(hashes.max(0.0) / self.hash_rate);
+        self.schedule_busy(now, dur)
+    }
+
+    /// Schedules a busy period of `dur` on the earliest-available core.
+    pub fn schedule_busy(&mut self, now: SimTime, dur: SimDuration) -> SimTime {
+        let core = self
+            .cores
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .map(|(i, _)| i)
+            .expect("at least one core");
+        let start = self.cores[core].max(now);
+        let end = start + dur;
+        self.cores[core] = end;
+        self.total_busy += dur;
+        // Busy intervals are kept sorted by insertion; overlapping core
+        // intervals are fine — utilization sums capped at `cores`.
+        self.intervals.push_back((start, end));
+        end
+    }
+
+    /// The earliest instant a core becomes idle (≤ `now` means a core is
+    /// idle now). Used for solve-backlog gating.
+    pub fn busy_until(&self) -> SimTime {
+        self.cores.iter().copied().min().expect("at least one core")
+    }
+
+    /// Cumulative busy core-time ever scheduled.
+    pub fn total_busy(&self) -> SimDuration {
+        self.total_busy
+    }
+
+    /// Fraction of `[from, to)` the CPU spends busy, averaged over cores
+    /// (includes scheduled future work that overlaps the window).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `from < to`.
+    pub fn utilization(&self, from: SimTime, to: SimTime) -> f64 {
+        assert!(from < to, "empty utilization window");
+        let window = (to - from).as_secs_f64() * self.cores.len() as f64;
+        let mut busy = 0.0;
+        for &(s, e) in &self.intervals {
+            let lo = s.max(from);
+            let hi = e.min(to);
+            if lo < hi {
+                busy += (hi - lo).as_secs_f64();
+            }
+        }
+        (busy / window).min(1.0)
+    }
+
+    /// Drops retained intervals that end before `t` (bounding memory; call
+    /// with `now − window` after sampling).
+    ///
+    /// Intervals are inserted in start order per core but pruned from the
+    /// global front; an out-of-order survivor is retained conservatively.
+    pub fn prune_before(&mut self, t: SimTime) {
+        while let Some(&(_, end)) = self.intervals.front() {
+            if end < t {
+                self.intervals.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn hashes_take_rate_proportional_time() {
+        let mut cpu = Cpu::new(1000.0);
+        let end = cpu.schedule_hashes(SimTime::ZERO, 500.0);
+        assert_eq!(end, s(0.5));
+    }
+
+    #[test]
+    fn jobs_serialize() {
+        let mut cpu = Cpu::new(1000.0);
+        let a = cpu.schedule_hashes(SimTime::ZERO, 1000.0);
+        // Submitted while busy: queued behind.
+        let b = cpu.schedule_hashes(s(0.2), 1000.0);
+        assert_eq!(a, s(1.0));
+        assert_eq!(b, s(2.0));
+        assert_eq!(cpu.busy_until(), s(2.0));
+        assert_eq!(cpu.total_busy(), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn idle_gap_starts_fresh() {
+        let mut cpu = Cpu::new(1000.0);
+        cpu.schedule_hashes(SimTime::ZERO, 500.0);
+        let end = cpu.schedule_hashes(s(5.0), 500.0);
+        assert_eq!(end, s(5.5));
+    }
+
+    #[test]
+    fn utilization_windows() {
+        let mut cpu = Cpu::new(1000.0);
+        cpu.schedule_hashes(SimTime::ZERO, 500.0); // busy [0, 0.5)
+        cpu.schedule_hashes(s(1.0), 250.0); // busy [1.0, 1.25)
+        assert!((cpu.utilization(SimTime::ZERO, s(1.0)) - 0.5).abs() < 1e-12);
+        assert!((cpu.utilization(s(1.0), s(2.0)) - 0.25).abs() < 1e-12);
+        assert!((cpu.utilization(SimTime::ZERO, s(2.0)) - 0.375).abs() < 1e-12);
+        assert_eq!(cpu.utilization(s(3.0), s(4.0)), 0.0);
+    }
+
+    #[test]
+    fn contiguous_jobs_merge_intervals() {
+        let mut cpu = Cpu::new(1000.0);
+        cpu.schedule_hashes(SimTime::ZERO, 100.0);
+        cpu.schedule_hashes(SimTime::ZERO, 100.0); // starts exactly at 0.1
+        assert!((cpu.utilization(SimTime::ZERO, s(0.2)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prune_keeps_overlapping() {
+        let mut cpu = Cpu::new(1000.0);
+        cpu.schedule_hashes(SimTime::ZERO, 500.0); // [0, .5)
+        cpu.schedule_hashes(s(1.0), 500.0); // [1, 1.5)
+        cpu.prune_before(s(0.9));
+        assert_eq!(cpu.utilization(SimTime::ZERO, s(0.5)), 0.0); // pruned
+        assert!((cpu.utilization(s(1.0), s(1.5)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        Cpu::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        Cpu::with_cores(1000.0, 0);
+    }
+
+    #[test]
+    fn multicore_runs_jobs_in_parallel() {
+        let mut cpu = Cpu::with_cores(1000.0, 4);
+        assert_eq!(cpu.cores(), 4);
+        // Four 1 s jobs at t = 0 all finish at t = 1 (one per core).
+        for _ in 0..4 {
+            assert_eq!(cpu.schedule_hashes(SimTime::ZERO, 1000.0), s(1.0));
+        }
+        // The fifth queues behind the earliest core.
+        assert_eq!(cpu.schedule_hashes(SimTime::ZERO, 1000.0), s(2.0));
+        // busy_until reports the earliest-free core.
+        assert_eq!(cpu.busy_until(), s(1.0));
+        // Utilization averages across cores: 5 core-seconds over 4×2 s.
+        assert!((cpu.utilization(SimTime::ZERO, s(2.0)) - 5.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multicore_throughput_quadruples() {
+        // 8 jobs of 0.5 s: 1 core finishes at 4 s, 4 cores at 1 s.
+        let mut single = Cpu::new(1000.0);
+        let mut quad = Cpu::with_cores(1000.0, 4);
+        let mut last_single = SimTime::ZERO;
+        let mut last_quad = SimTime::ZERO;
+        for _ in 0..8 {
+            last_single = single.schedule_hashes(SimTime::ZERO, 500.0);
+            last_quad = quad.schedule_hashes(SimTime::ZERO, 500.0);
+        }
+        assert_eq!(last_single, s(4.0));
+        assert_eq!(last_quad, s(1.0));
+    }
+}

@@ -1,0 +1,124 @@
+//! The node enum wiring all host behaviours into the simulator.
+
+use crate::attacker::AttackerHost;
+use crate::client::ClientHost;
+use crate::server::ServerHost;
+use netsim::{Context, IfaceId, Node, Packet, Router, TimerId};
+use tcpstack::TcpSegment;
+
+/// A simulated machine in the testbed: one of the paper's actor types.
+///
+/// Using an enum (rather than trait objects) keeps the simulator's
+/// dispatch static and lets experiments pattern-match nodes to harvest
+/// metrics after a run.
+#[derive(Debug)]
+pub enum Host {
+    /// A backbone router (Fig. 16's core).
+    Router(Router),
+    /// The victim server.
+    Server(ServerHost),
+    /// A benign client.
+    Client(ClientHost),
+    /// A botnet member.
+    Attacker(AttackerHost),
+}
+
+impl Host {
+    /// The server behaviour, if this node is one.
+    pub fn as_server(&self) -> Option<&ServerHost> {
+        match self {
+            Host::Server(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Mutable server access.
+    pub fn as_server_mut(&mut self) -> Option<&mut ServerHost> {
+        match self {
+            Host::Server(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The client behaviour, if this node is one.
+    pub fn as_client(&self) -> Option<&ClientHost> {
+        match self {
+            Host::Client(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The attacker behaviour, if this node is one.
+    pub fn as_attacker(&self) -> Option<&AttackerHost> {
+        match self {
+            Host::Attacker(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The router, if this node is one.
+    pub fn as_router(&self) -> Option<&Router> {
+        match self {
+            Host::Router(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Mutable router access (for route installation).
+    pub fn as_router_mut(&mut self) -> Option<&mut Router> {
+        match self {
+            Host::Router(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl From<Router> for Host {
+    fn from(r: Router) -> Host {
+        Host::Router(r)
+    }
+}
+impl From<ServerHost> for Host {
+    fn from(s: ServerHost) -> Host {
+        Host::Server(s)
+    }
+}
+impl From<ClientHost> for Host {
+    fn from(c: ClientHost) -> Host {
+        Host::Client(c)
+    }
+}
+impl From<AttackerHost> for Host {
+    fn from(a: AttackerHost) -> Host {
+        Host::Attacker(a)
+    }
+}
+
+impl Node<TcpSegment> for Host {
+    fn on_start(&mut self, ctx: &mut Context<'_, TcpSegment>) {
+        match self {
+            Host::Router(_) => {}
+            Host::Server(s) => s.on_start(ctx),
+            Host::Client(c) => c.on_start(ctx),
+            Host::Attacker(a) => a.on_start(ctx),
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_, TcpSegment>, iface: IfaceId, pkt: Packet<TcpSegment>) {
+        match self {
+            Host::Router(r) => r.on_packet(ctx, iface, pkt),
+            Host::Server(s) => s.on_packet(ctx, iface, pkt),
+            Host::Client(c) => c.on_packet(ctx, iface, pkt),
+            Host::Attacker(a) => a.on_packet(ctx, iface, pkt),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, TcpSegment>, id: TimerId, tag: u64) {
+        match self {
+            Host::Router(_) => {}
+            Host::Server(s) => s.on_timer(ctx, id, tag),
+            Host::Client(c) => c.on_timer(ctx, id, tag),
+            Host::Attacker(a) => a.on_timer(ctx, id, tag),
+        }
+    }
+}

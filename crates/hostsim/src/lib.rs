@@ -1,0 +1,43 @@
+//! Host behaviours for the client-puzzles testbed simulation.
+//!
+//! This crate populates the `netsim` simulator with the actors of the
+//! paper's evaluation (§6):
+//!
+//! * [`ServerHost`] — the victim: a `tcpstack::Listener` with a
+//!   worker-pool application service (the apache2 + `gettext/<size>` app),
+//!   CPU accounting for puzzle generation/verification, and the metrics
+//!   the figures need (throughput, queue depths, per-source established
+//!   connections, challenge-vs-plain SYN-ACK sparkline).
+//! * [`ClientHost`] — a benign user: Poisson request arrivals, solving or
+//!   non-adopting behaviour, CPU-bound solve times from its device
+//!   profile, per-request latency/outcome records.
+//! * [`AttackerHost`] — the botnet member: spoofed SYN floods, connection
+//!   floods (solving or not), replay floods, and bogus-solution floods.
+//! * [`Cpu`] / [`profiles`] — hash-rate models calibrated to the paper's
+//!   measurements (Fig. 3a commodity CPUs, Table 1 Raspberry Pis, and the
+//!   10.8 MH/s server of §7).
+//! * [`Host`] — the node enum tying them (plus `netsim::Router`) into one
+//!   static dispatch type for the simulator.
+//!
+//! Solve *time* is modelled (`puzzle_core::SolveCostModel` sampling over
+//! the device hash rate); solve *validity* uses either the real
+//! brute-force solver or the keyed oracle (`tcpstack::VerifyMode`), as
+//! described in DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attacker;
+mod client;
+mod cpu;
+mod host;
+pub mod profiles;
+mod server;
+mod solve;
+
+pub use attacker::{AttackKind, AttackerHost, AttackerMetrics, AttackerParams};
+pub use client::{ClientHost, ClientMetrics, ClientParams, RequestOutcome, SolveBehavior};
+pub use cpu::Cpu;
+pub use host::Host;
+pub use server::{parse_gettext_request, ServerHost, ServerMetrics, ServerParams};
+pub use solve::SolveStrategy;

@@ -1,0 +1,164 @@
+//! How a simulated host produces puzzle solutions.
+
+use netsim::rng::SimRng;
+use puzzle_core::{
+    sample_solve_hashes, Challenge, ChallengeParams, ConnectionTuple, Difficulty, ServerSecret,
+    SolveCostModel, Solver,
+};
+use tcpstack::listener::oracle_proof;
+use tcpstack::ChallengeOption;
+
+/// Strategy for producing the proof bytes of a challenge.
+#[derive(Clone, Debug)]
+pub enum SolveStrategy {
+    /// Run the real brute-force solver and charge the *actual* hash count
+    /// to the CPU model. Exact, but only practical at small `m` (tests,
+    /// examples).
+    Real,
+    /// Mint proofs with the simulation oracle (requires the scenario to
+    /// share the server secret) and charge a *sampled* hash count to the
+    /// CPU model. Used for paper-scale difficulties like `(2, 17)`.
+    Oracle {
+        /// The server's secret, shared by the scenario harness.
+        secret: ServerSecret,
+        /// Distribution of the modelled brute-force cost.
+        cost_model: SolveCostModel,
+    },
+}
+
+/// A produced solution: proof bytes plus the hash count charged for them.
+#[derive(Clone, Debug)]
+pub struct SolvedProofs {
+    /// Sub-solution bytes, in index order.
+    pub proofs: Vec<Vec<u8>>,
+    /// Hash operations the solve is modelled (or measured) to have cost.
+    pub hashes: u64,
+}
+
+impl SolveStrategy {
+    /// Produces proofs for `challenge` as received on flow
+    /// `(tuple, issued_at)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the challenge parameters are malformed (`k = 0`,
+    /// `m` out of range) — the listener never emits such challenges.
+    pub fn solve(
+        &self,
+        tuple: &ConnectionTuple,
+        challenge: &ChallengeOption,
+        issued_at: u32,
+        rng: &mut SimRng,
+    ) -> SolvedProofs {
+        let difficulty =
+            Difficulty::new(challenge.k, challenge.m).expect("listener sent valid difficulty");
+        match self {
+            SolveStrategy::Real => {
+                let params = ChallengeParams {
+                    difficulty,
+                    preimage_bits: challenge.l_bits(),
+                    timestamp: issued_at,
+                };
+                let c = Challenge::from_wire(params, challenge.preimage.clone())
+                    .expect("listener sent consistent challenge");
+                let out = Solver::new().solve(&c);
+                SolvedProofs {
+                    proofs: out.solution.proofs().to_vec(),
+                    hashes: out.hashes,
+                }
+            }
+            SolveStrategy::Oracle { secret, cost_model } => {
+                let _ = tuple; // the oracle proof binds via the pre-image
+                let mut f = || rng.next_f64();
+                let hashes = sample_solve_hashes(difficulty, *cost_model, &mut f);
+                let len = challenge.preimage.len();
+                let proofs = (1..=challenge.k)
+                    .map(|i| oracle_proof(secret, &challenge.preimage, i, len))
+                    .collect();
+                SolvedProofs { proofs, hashes }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn tuple() -> ConnectionTuple {
+        ConnectionTuple::new(
+            Ipv4Addr::new(10, 0, 0, 2),
+            1000,
+            Ipv4Addr::new(10, 0, 0, 1),
+            80,
+            77,
+        )
+    }
+
+    #[test]
+    fn real_strategy_solves_verifiably() {
+        let secret = ServerSecret::from_bytes([9; 32]);
+        let d = Difficulty::new(2, 5).unwrap();
+        let c = Challenge::issue(&secret, &tuple(), 3, d, 32).unwrap();
+        let copt = ChallengeOption {
+            k: 2,
+            m: 5,
+            preimage: c.preimage().to_vec(),
+            timestamp: None,
+        };
+        let mut rng = SimRng::seed_from(1);
+        let solved = SolveStrategy::Real.solve(&tuple(), &copt, 3, &mut rng);
+        assert_eq!(solved.proofs.len(), 2);
+        assert!(solved.hashes >= 2);
+        for (i, p) in solved.proofs.iter().enumerate() {
+            assert!(c.sub_solution_ok(i as u8 + 1, p));
+        }
+    }
+
+    #[test]
+    fn oracle_strategy_matches_listener_oracle() {
+        let secret = ServerSecret::from_bytes([4; 32]);
+        let copt = ChallengeOption {
+            k: 3,
+            m: 17,
+            preimage: vec![1, 2, 3, 4],
+            timestamp: None,
+        };
+        let mut rng = SimRng::seed_from(2);
+        let strategy = SolveStrategy::Oracle {
+            secret: secret.clone(),
+            cost_model: SolveCostModel::UniformPlacement,
+        };
+        let solved = strategy.solve(&tuple(), &copt, 5, &mut rng);
+        assert_eq!(solved.proofs.len(), 3);
+        for (i, p) in solved.proofs.iter().enumerate() {
+            assert_eq!(p, &oracle_proof(&secret, &copt.preimage, i as u8 + 1, 4));
+        }
+        // Modelled cost is in the plausible range for (3, 17):
+        // 3 sub-puzzles × [1, 2^17] each.
+        assert!(solved.hashes >= 3);
+        assert!(solved.hashes <= 3 * (1 << 17));
+    }
+
+    #[test]
+    fn oracle_cost_sampling_varies() {
+        let secret = ServerSecret::from_bytes([4; 32]);
+        let copt = ChallengeOption {
+            k: 1,
+            m: 10,
+            preimage: vec![1, 2, 3, 4],
+            timestamp: None,
+        };
+        let strategy = SolveStrategy::Oracle {
+            secret,
+            cost_model: SolveCostModel::UniformPlacement,
+        };
+        let mut rng = SimRng::seed_from(3);
+        let costs: Vec<u64> = (0..32)
+            .map(|_| strategy.solve(&tuple(), &copt, 5, &mut rng).hashes)
+            .collect();
+        let distinct: std::collections::HashSet<_> = costs.iter().collect();
+        assert!(distinct.len() > 5, "cost should vary across solves");
+    }
+}

@@ -1,0 +1,421 @@
+//! End-to-end simulation tests: hosts, stack, and network together.
+
+use std::net::Ipv4Addr;
+
+use hostsim::{
+    AttackKind, AttackerHost, AttackerParams, ClientHost, ClientParams, Host, ServerHost,
+    ServerParams, SolveBehavior, SolveStrategy,
+};
+use netsim::{LinkSpec, NetBuilder, NodeId, Route, Router, SimDuration, SimTime, Simulation};
+use puzzle_core::{Difficulty, ServerSecret, SolveCostModel};
+use tcpstack::{DefenseMode, PuzzleConfig, TcpSegment, VerifyMode};
+
+const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 1);
+
+fn client_ip(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 2, 0, 1 + i as u8)
+}
+
+fn attacker_ip(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 3, 0, 1 + i as u8)
+}
+
+struct World {
+    sim: Simulation<TcpSegment, Host>,
+    server: NodeId,
+    clients: Vec<NodeId>,
+    attackers: Vec<NodeId>,
+}
+
+/// Star topology: one router in the middle, everything else a leaf.
+fn build_world(
+    seed: u64,
+    server_params: ServerParams,
+    clients: Vec<ClientParams>,
+    attackers: Vec<AttackerParams>,
+) -> World {
+    let mut b = NetBuilder::new(seed);
+    let router = b.add_node(Host::Router(Router::new()));
+    let server = b.add_node(Host::Server(ServerHost::new(server_params)));
+    let (r_if_srv, _) = b.connect(router, server, LinkSpec::gigabit());
+
+    let mut routes = vec![(SERVER_IP, r_if_srv)];
+    let mut client_ids = Vec::new();
+    for params in clients {
+        let addr = params.addr;
+        let id = b.add_node(Host::Client(ClientHost::new(params)));
+        let (r_if, _) = b.connect(router, id, LinkSpec::fast_ethernet());
+        routes.push((addr, r_if));
+        client_ids.push(id);
+    }
+    let mut attacker_ids = Vec::new();
+    for params in attackers {
+        let addr = params.addr;
+        let id = b.add_node(Host::Attacker(AttackerHost::new(params)));
+        let (r_if, _) = b.connect(router, id, LinkSpec::fast_ethernet());
+        routes.push((addr, r_if));
+        attacker_ids.push(id);
+    }
+
+    let mut sim = b.build();
+    let r = sim.node_mut(router).as_router_mut().unwrap();
+    for (addr, iface) in routes {
+        r.add_route(Route::host(addr, iface));
+    }
+    World {
+        sim,
+        server,
+        clients: client_ids,
+        attackers: attacker_ids,
+    }
+}
+
+fn secret() -> ServerSecret {
+    ServerSecret::from_bytes([0x5e; 32])
+}
+
+fn puzzle_defense(k: u8, m: u8, verify: VerifyMode) -> DefenseMode {
+    DefenseMode::Puzzles(PuzzleConfig {
+        difficulty: Difficulty::new(k, m).unwrap(),
+        preimage_bits: 32,
+        expiry: 8,
+        verify,
+        hold: SimDuration::from_secs(30),
+    })
+}
+
+fn oracle() -> SolveStrategy {
+    SolveStrategy::Oracle {
+        secret: secret(),
+        cost_model: SolveCostModel::UniformPlacement,
+    }
+}
+
+#[test]
+fn quiet_network_serves_all_requests() {
+    let server = ServerParams::new(SERVER_IP, 80, DefenseMode::None);
+    let client = ClientParams::new(client_ip(0), SERVER_IP, SolveBehavior::Ignore, 350_000.0);
+    let mut w = build_world(1, server, vec![client], vec![]);
+    w.sim.run_until(SimTime::from_secs(30));
+
+    let m = w.sim.node(w.clients[0]).as_client().unwrap().metrics();
+    assert!(m.started > 400, "~20 req/s for 30 s, got {}", m.started);
+    // Almost everything completes (some requests still in flight at cut-off).
+    assert!(
+        m.completed as f64 >= 0.95 * m.started as f64 - 10.0,
+        "completed {} of {}",
+        m.completed,
+        m.started
+    );
+    assert_eq!(m.failed, 0, "no failures on a quiet network");
+    // Throughput ≈ 20 req/s × 10 kB = 200 kB/s.
+    let srv = w.sim.node(w.server).as_server().unwrap().metrics();
+    let rate = srv.bytes_tx.mean_rate_between(5.0, 25.0);
+    assert!(
+        (rate - 200_000.0).abs() < 60_000.0,
+        "server app rate {rate} B/s"
+    );
+}
+
+#[test]
+fn syn_flood_kills_undefended_server() {
+    let mut server = ServerParams::new(SERVER_IP, 80, DefenseMode::None);
+    server.backlog = 256;
+    let client = ClientParams::new(client_ip(0), SERVER_IP, SolveBehavior::Ignore, 350_000.0);
+    let attacker = AttackerParams {
+        addr: attacker_ip(0),
+        target_addr: SERVER_IP,
+        target_port: 80,
+        kind: AttackKind::SynFlood {
+            rate: 2000.0,
+            spoof: true,
+        },
+        hash_rate: 350_000.0,
+        start: SimTime::from_secs(10),
+        stop: SimTime::from_secs(40),
+    };
+    let mut w = build_world(2, server, vec![client], vec![attacker]);
+    w.sim.run_until(SimTime::from_secs(50));
+
+    let m = w.sim.node(w.clients[0]).as_client().unwrap().metrics();
+    // During the attack the client gets (almost) nothing.
+    let during = m.bytes_rx.mean_rate_between(15.0, 35.0);
+    let before = m.bytes_rx.mean_rate_between(2.0, 9.0);
+    assert!(before > 100_000.0, "healthy before: {before}");
+    assert!(
+        during < before * 0.2,
+        "flooded rate {during} should collapse vs {before}"
+    );
+    let stats = w.sim.node(w.server).as_server().unwrap().listener_stats();
+    assert!(stats.syns_dropped > 1000, "drops: {}", stats.syns_dropped);
+}
+
+#[test]
+fn syn_flood_with_puzzles_keeps_clients_served() {
+    let mut server = ServerParams::new(
+        SERVER_IP,
+        80,
+        puzzle_defense(1, 8, VerifyMode::Oracle),
+    );
+    server.backlog = 256;
+    let client = ClientParams::new(
+        client_ip(0),
+        SERVER_IP,
+        SolveBehavior::Solve(oracle()),
+        350_000.0,
+    );
+    let attacker = AttackerParams {
+        addr: attacker_ip(0),
+        target_addr: SERVER_IP,
+        target_port: 80,
+        kind: AttackKind::SynFlood {
+            rate: 2000.0,
+            spoof: true,
+        },
+        hash_rate: 350_000.0,
+        start: SimTime::from_secs(10),
+        stop: SimTime::from_secs(40),
+    };
+    let mut w = build_world(3, server, vec![client], vec![attacker]);
+    w.sim.run_until(SimTime::from_secs(50));
+
+    let m = w.sim.node(w.clients[0]).as_client().unwrap().metrics();
+    let during = m.bytes_rx.mean_rate_between(15.0, 35.0);
+    // m=8 puzzles cost ~0.4 ms: throughput stays near nominal (paper Fig. 7).
+    assert!(
+        during > 120_000.0,
+        "puzzled server should keep serving: {during} B/s"
+    );
+    let stats = w.sim.node(w.server).as_server().unwrap().listener_stats();
+    assert!(stats.challenges_sent > 1000);
+    assert!(stats.established_puzzle > 50);
+}
+
+#[test]
+fn connection_flood_beats_cookies_but_not_puzzles() {
+    // Returns (client goodput B/s, mean accept depth, mean listen depth)
+    // over the attack window — the Fig. 8 + Fig. 10 signatures.
+    let run = |defense: DefenseMode, solve: Option<SolveStrategy>, seed: u64| {
+        let mut server = ServerParams::new(SERVER_IP, 80, defense);
+        server.backlog = 256;
+        server.accept_backlog = 256;
+        let client = ClientParams::new(
+            client_ip(0),
+            SERVER_IP,
+            SolveBehavior::Solve(oracle()),
+            350_000.0,
+        );
+        let attackers: Vec<AttackerParams> = (0..3)
+            .map(|i| AttackerParams {
+                addr: attacker_ip(i),
+                target_addr: SERVER_IP,
+                target_port: 80,
+                kind: AttackKind::ConnFlood {
+                    rate: 500.0,
+                    solve: solve.clone(),
+                    concurrency: 1000,
+                    conn_timeout: SimDuration::from_secs(1),
+                    ack_delay: SimDuration::from_millis(200),
+                },
+                hash_rate: 400_000.0,
+                start: SimTime::from_secs(10),
+                stop: SimTime::from_secs(40),
+            })
+            .collect();
+        let mut w = build_world(seed, server, vec![client], attackers);
+        w.sim.run_until(SimTime::from_secs(50));
+        let client_rate = w
+            .sim
+            .node(w.clients[0])
+            .as_client()
+            .unwrap()
+            .metrics()
+            .bytes_rx
+            .mean_rate_between(15.0, 35.0);
+        let srv = w.sim.node(w.server).as_server().unwrap().metrics();
+        (
+            client_rate,
+            srv.accept_depth.mean_between(15.0, 35.0),
+            srv.listen_depth.mean_between(15.0, 35.0),
+        )
+    };
+
+    let (cookie_rate, cookie_accept, cookie_listen) = run(DefenseMode::SynCookies, None, 4);
+    let (puzzle_rate, puzzle_accept, _puzzle_listen) =
+        run(puzzle_defense(2, 17, VerifyMode::Oracle), None, 5);
+
+    // Fig. 10 with cookies: both queues saturate.
+    assert!(cookie_accept > 0.8 * 256.0, "cookie accept depth {cookie_accept}");
+    assert!(cookie_listen > 0.8 * 256.0, "cookie listen depth {cookie_listen}");
+    // Fig. 10 with challenges: the accept queue stays (almost) empty.
+    assert!(puzzle_accept < 0.2 * 256.0, "puzzle accept depth {puzzle_accept}");
+    // Fig. 8: puzzles sustain clearly more client goodput than cookies,
+    // and cookies are well below nominal (~200 kB/s).
+    assert!(
+        puzzle_rate > 1.3 * cookie_rate,
+        "cookies {cookie_rate} vs puzzles {puzzle_rate}"
+    );
+    assert!(cookie_rate < 80_000.0, "cookies should degrade: {cookie_rate}");
+}
+
+#[test]
+fn puzzles_throttle_solving_attackers() {
+    let mut server = ServerParams::new(
+        SERVER_IP,
+        80,
+        puzzle_defense(2, 17, VerifyMode::Oracle),
+    );
+    server.backlog = 0; // puzzles always active: isolate the throttling
+    let client = ClientParams::new(
+        client_ip(0),
+        SERVER_IP,
+        SolveBehavior::Solve(oracle()),
+        350_000.0,
+    );
+    let attacker = AttackerParams {
+        addr: attacker_ip(0),
+        target_addr: SERVER_IP,
+        target_port: 80,
+        kind: AttackKind::ConnFlood {
+            rate: 500.0,
+            solve: Some(oracle()),
+            concurrency: 100,
+            conn_timeout: SimDuration::from_secs(2),
+            ack_delay: SimDuration::ZERO,
+        },
+        hash_rate: 400_000.0,
+        start: SimTime::from_secs(5),
+        stop: SimTime::from_secs(45),
+    };
+    let mut w = build_world(6, server, vec![client], vec![attacker]);
+    w.sim.run_until(SimTime::from_secs(50));
+
+    // A solving attacker at 400 kH/s takes ~0.33 s per (2,17) puzzle:
+    // its established rate is CPU-capped at ~3/s, not its 500 pps target.
+    let srv = w.sim.node(w.server).as_server().unwrap();
+    let est = srv
+        .metrics()
+        .established_rate_for(&[attacker_ip(0)], 1.0)
+        .mean_rate_between(10.0, 40.0);
+    assert!(est > 0.2, "solving attacker does get through: {est}");
+    assert!(est < 10.0, "but rate-limited by its CPU: {est} cps");
+
+    let att = w.sim.node(w.attackers[0]).as_attacker().unwrap().metrics();
+    assert!(att.solves > 20, "attacker solved: {}", att.solves);
+    // Its CPU is saturated while solving (Fig. 9's attacker spike).
+    let cpu = att.cpu_util.mean_between(10.0, 40.0);
+    assert!(cpu > 0.5, "attacker CPU {cpu}");
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let build = || {
+        let server = ServerParams::new(SERVER_IP, 80, puzzle_defense(1, 6, VerifyMode::Oracle));
+        let client = ClientParams::new(
+            client_ip(0),
+            SERVER_IP,
+            SolveBehavior::Solve(oracle()),
+            350_000.0,
+        );
+        build_world(42, server, vec![client], vec![])
+    };
+    let mut a = build();
+    let mut b = build();
+    a.sim.run_until(SimTime::from_secs(20));
+    b.sim.run_until(SimTime::from_secs(20));
+    let ma = a.sim.node(a.clients[0]).as_client().unwrap().metrics();
+    let mb = b.sim.node(b.clients[0]).as_client().unwrap().metrics();
+    assert_eq!(ma.started, mb.started);
+    assert_eq!(ma.completed, mb.completed);
+    assert_eq!(ma.bytes_rx, mb.bytes_rx);
+    assert_eq!(a.sim.stats(), b.sim.stats());
+}
+
+#[test]
+fn real_verify_mode_full_protocol_small_difficulty() {
+    // The complete path with genuine brute-force solving (m = 6).
+    let mut server = ServerParams::new(SERVER_IP, 80, puzzle_defense(2, 6, VerifyMode::Real));
+    server.backlog = 0; // force challenges on every SYN
+    let client = ClientParams::new(
+        client_ip(0),
+        SERVER_IP,
+        SolveBehavior::Solve(SolveStrategy::Real),
+        350_000.0,
+    );
+    let filler = ClientParams::new(client_ip(1), SERVER_IP, SolveBehavior::Ignore, 350_000.0);
+    let mut w = build_world(7, server, vec![client, filler], vec![]);
+    w.sim.run_until(SimTime::from_secs(10));
+
+    let stats = w.sim.node(w.server).as_server().unwrap().listener_stats();
+    assert!(stats.challenges_sent > 10, "challenges: {}", stats.challenges_sent);
+    assert!(
+        stats.established_puzzle > 10,
+        "real-solved establishments: {}",
+        stats.established_puzzle
+    );
+    assert_eq!(stats.verify_failures, 0);
+}
+
+#[test]
+fn replay_flood_is_contained() {
+    let mut server = ServerParams::new(SERVER_IP, 80, puzzle_defense(1, 8, VerifyMode::Oracle));
+    server.backlog = 0; // puzzles always on
+    let attacker = AttackerParams {
+        addr: attacker_ip(0),
+        target_addr: SERVER_IP,
+        target_port: 80,
+        kind: AttackKind::ReplayFlood {
+            rate: 200.0,
+            solve: oracle(),
+        },
+        hash_rate: 400_000.0,
+        start: SimTime::from_secs(2),
+        stop: SimTime::from_secs(70),
+    };
+    let filler = ClientParams::new(client_ip(0), SERVER_IP, SolveBehavior::Ignore, 350_000.0);
+    let mut w = build_world(8, server, vec![filler], vec![attacker]);
+    w.sim.run_until(SimTime::from_secs(75));
+
+    let srv = w.sim.node(w.server).as_server().unwrap();
+    let stats = srv.listener_stats();
+    // While the (single) replayed connection is parked server-side, the
+    // replays are inert duplicates; after each idle reap the stale
+    // solution re-admits only while inside its 8 s window — beyond that
+    // every replay is rejected as expired (§5, §7).
+    assert!(stats.verify_expired > 1000, "expired: {}", stats.verify_expired);
+    let est = srv.metrics().established_rate_for(&[attacker_ip(0)], 1.0);
+    // A replayed solution occupies at most one connection slot at a time:
+    // total admissions over 70 s stay bounded by the expiry window over
+    // the server's idle-turnover period.
+    assert!(est.total() < 15.0, "replay admissions {}", est.total());
+}
+
+#[test]
+fn solution_flood_burns_bounded_server_cpu() {
+    let mut server = ServerParams::new(SERVER_IP, 80, puzzle_defense(2, 17, VerifyMode::Oracle));
+    server.backlog = 0;
+    let attacker = AttackerParams {
+        addr: attacker_ip(0),
+        target_addr: SERVER_IP,
+        target_port: 80,
+        kind: AttackKind::SolutionFlood {
+            rate: 2000.0,
+            k: 2,
+            sol_len: 4,
+        },
+        hash_rate: 400_000.0,
+        start: SimTime::from_secs(2),
+        stop: SimTime::from_secs(20),
+    };
+    let filler = ClientParams::new(client_ip(0), SERVER_IP, SolveBehavior::Ignore, 350_000.0);
+    let mut w = build_world(9, server, vec![filler], vec![attacker]);
+    w.sim.run_until(SimTime::from_secs(25));
+
+    let srv = w.sim.node(w.server).as_server().unwrap();
+    let stats = srv.listener_stats();
+    assert!(stats.verify_failures > 10_000, "failures: {}", stats.verify_failures);
+    assert_eq!(stats.established_puzzle, 0, "forgeries never admitted");
+    // §7: verification is ~2 hashes at 10.8 MH/s — 2000 pps is nothing.
+    let cpu = srv.metrics().cpu_util.max_between(3.0, 20.0);
+    assert!(cpu < 0.05, "server CPU under solution flood: {cpu}");
+}

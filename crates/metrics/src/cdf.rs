@@ -1,0 +1,149 @@
+//! Empirical cumulative distribution functions.
+
+/// An empirical CDF over a set of measurements (Fig. 6 plots these for
+/// connection times).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from raw observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is not finite.
+    pub fn from_values(mut values: Vec<f64>) -> Cdf {
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "CDF values must be finite"
+        );
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Cdf { sorted: values }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X ≤ x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty CDF.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        assert!(!self.is_empty(), "empty CDF");
+        let n = self.sorted.partition_point(|v| *v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`), inverse of the step CDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty CDF or `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.is_empty(), "empty CDF");
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.sorted.len() - 1);
+        self.sorted[idx]
+    }
+
+    /// Mean of the observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty CDF.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.is_empty(), "empty CDF");
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// `(x, F(x))` step points, one per observation — ready to plot.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| (*v, (i + 1) as f64 / n))
+    }
+
+    /// Samples the CDF at `count` evenly spaced quantiles — a compact
+    /// plottable reduction.
+    pub fn sampled(&self, count: usize) -> Vec<(f64, f64)> {
+        (1..=count)
+            .map(|i| {
+                let q = i as f64 / count as f64;
+                (self.quantile(q), q)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cdf() -> Cdf {
+        Cdf::from_values(vec![3.0, 1.0, 2.0, 4.0])
+    }
+
+    #[test]
+    fn fractions() {
+        let c = cdf();
+        assert_eq!(c.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(c.fraction_at_or_below(1.0), 0.25);
+        assert_eq!(c.fraction_at_or_below(2.5), 0.5);
+        assert_eq!(c.fraction_at_or_below(10.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let c = cdf();
+        assert_eq!(c.quantile(0.25), 1.0);
+        assert_eq!(c.quantile(0.5), 2.0);
+        assert_eq!(c.quantile(1.0), 4.0);
+        assert_eq!(c.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn mean_and_points() {
+        let c = cdf();
+        assert_eq!(c.mean(), 2.5);
+        let pts: Vec<_> = c.points().collect();
+        assert_eq!(pts[0], (1.0, 0.25));
+        assert_eq!(pts[3], (4.0, 1.0));
+    }
+
+    #[test]
+    fn sampled_is_monotone() {
+        let c = Cdf::from_values((0..100).map(|i| i as f64).collect());
+        let pts = c.sampled(10);
+        assert_eq!(pts.len(), 10);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty CDF")]
+    fn empty_quantile_panics() {
+        Cdf::from_values(vec![]).quantile(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_rejected() {
+        Cdf::from_values(vec![f64::NAN]);
+    }
+}

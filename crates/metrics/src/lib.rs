@@ -1,0 +1,28 @@
+//! Measurement toolkit for the simulation experiments.
+//!
+//! The paper's evaluation reports throughput time series (Figs. 7–8), CDFs
+//! of connection time (Fig. 6), box plots across difficulty settings
+//! (Fig. 12), queue-occupancy traces (Fig. 10), rates (Figs. 11, 13, 14),
+//! and tables (Table 1). This crate supplies the corresponding
+//! reductions:
+//!
+//! * [`IntervalSeries`] — fixed-interval accumulators (bytes/packets per
+//!   second → throughput and rate series);
+//! * [`SampleSeries`] — point-in-time samples (queue depths, CPU
+//!   utilization);
+//! * [`Cdf`] — empirical distribution of a set of measurements;
+//! * [`Summary`] and [`BoxStats`] — moments, percentiles, quartiles;
+//! * [`Table`] — plain-text table rendering for the experiment binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cdf;
+mod series;
+mod stats;
+mod table;
+
+pub use cdf::Cdf;
+pub use series::{IntervalSeries, SampleSeries};
+pub use stats::{percentile, BoxStats, Summary};
+pub use table::Table;

@@ -1,0 +1,240 @@
+//! Time series containers.
+
+/// Accumulates values into fixed-width time bins — e.g. bytes received per
+/// second, yielding a throughput series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IntervalSeries {
+    interval: f64,
+    bins: Vec<f64>,
+}
+
+impl IntervalSeries {
+    /// Creates a series with bins of `interval` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `interval > 0`.
+    pub fn new(interval: f64) -> Self {
+        assert!(interval > 0.0, "interval must be positive");
+        IntervalSeries {
+            interval,
+            bins: Vec::new(),
+        }
+    }
+
+    /// The bin width in seconds.
+    pub fn interval(&self) -> f64 {
+        self.interval
+    }
+
+    /// Adds `value` at time `t` (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative or not finite.
+    pub fn add(&mut self, t: f64, value: f64) {
+        assert!(t.is_finite() && t >= 0.0, "bad time {t}");
+        let idx = (t / self.interval) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0.0);
+        }
+        self.bins[idx] += value;
+    }
+
+    /// Increments the bin at `t` by one (event counting).
+    pub fn incr(&mut self, t: f64) {
+        self.add(t, 1.0);
+    }
+
+    /// `(bin_start_time, sum)` pairs.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| (i as f64 * self.interval, *v))
+    }
+
+    /// `(bin_start_time, sum / interval)` pairs — per-second rates.
+    pub fn rates(&self) -> Vec<(f64, f64)> {
+        self.points()
+            .map(|(t, v)| (t, v / self.interval))
+            .collect()
+    }
+
+    /// Sum over bins whose start time lies in `[from, to)`.
+    pub fn sum_between(&self, from: f64, to: f64) -> f64 {
+        self.points()
+            .filter(|(t, _)| *t >= from && *t < to)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Mean *rate* (value per second) over bins starting in `[from, to)`.
+    /// Returns 0 for an empty window.
+    pub fn mean_rate_between(&self, from: f64, to: f64) -> f64 {
+        let n = self
+            .points()
+            .filter(|(t, _)| *t >= from && *t < to)
+            .count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_between(from, to) / (n as f64 * self.interval)
+    }
+
+    /// Total across all bins.
+    pub fn total(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+
+    /// Ensures the series extends (with zero bins) to cover time `t`.
+    pub fn extend_to(&mut self, t: f64) {
+        let idx = (t / self.interval) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0.0);
+        }
+    }
+}
+
+/// Point-in-time samples: `(t, value)` pairs in arrival order — queue
+/// depths, CPU utilization, etc.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SampleSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl SampleSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        SampleSeries::default()
+    }
+
+    /// Records a sample.
+    pub fn push(&mut self, t: f64, value: f64) {
+        self.points.push((t, value));
+    }
+
+    /// All samples.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Values only.
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|(_, v)| *v).collect()
+    }
+
+    /// Samples within `[from, to)`.
+    pub fn between(&self, from: f64, to: f64) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .copied()
+            .filter(|(t, _)| *t >= from && *t < to)
+            .collect()
+    }
+
+    /// Mean value of samples in `[from, to)`; 0 if none.
+    pub fn mean_between(&self, from: f64, to: f64) -> f64 {
+        let window = self.between(from, to);
+        if window.is_empty() {
+            return 0.0;
+        }
+        window.iter().map(|(_, v)| v).sum::<f64>() / window.len() as f64
+    }
+
+    /// Maximum value of samples in `[from, to)`; 0 if none.
+    pub fn max_between(&self, from: f64, to: f64) -> f64 {
+        self.between(from, to)
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(0.0, f64::max)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_binning() {
+        let mut s = IntervalSeries::new(1.0);
+        s.add(0.1, 10.0);
+        s.add(0.9, 5.0);
+        s.add(2.5, 7.0);
+        let pts: Vec<_> = s.points().collect();
+        assert_eq!(pts, vec![(0.0, 15.0), (1.0, 0.0), (2.0, 7.0)]);
+        assert_eq!(s.total(), 22.0);
+    }
+
+    #[test]
+    fn rates_divide_by_interval() {
+        let mut s = IntervalSeries::new(0.5);
+        s.add(0.2, 10.0);
+        assert_eq!(s.rates()[0], (0.0, 20.0));
+    }
+
+    #[test]
+    fn incr_counts_events() {
+        let mut s = IntervalSeries::new(1.0);
+        for _ in 0..5 {
+            s.incr(3.2);
+        }
+        assert_eq!(s.sum_between(3.0, 4.0), 5.0);
+    }
+
+    #[test]
+    fn window_reductions() {
+        let mut s = IntervalSeries::new(1.0);
+        for t in 0..10 {
+            s.add(t as f64 + 0.5, 2.0);
+        }
+        assert_eq!(s.sum_between(2.0, 5.0), 6.0);
+        assert_eq!(s.mean_rate_between(2.0, 5.0), 2.0);
+        assert_eq!(s.mean_rate_between(100.0, 200.0), 0.0);
+    }
+
+    #[test]
+    fn extend_pads_zeros() {
+        let mut s = IntervalSeries::new(1.0);
+        s.add(0.0, 1.0);
+        s.extend_to(4.2);
+        assert_eq!(s.points().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        IntervalSeries::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad time")]
+    fn negative_time_rejected() {
+        IntervalSeries::new(1.0).add(-1.0, 1.0);
+    }
+
+    #[test]
+    fn sample_series_window_stats() {
+        let mut s = SampleSeries::new();
+        for (t, v) in [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0), (3.0, 100.0)] {
+            s.push(t, v);
+        }
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.mean_between(0.0, 3.0), 3.0);
+        assert_eq!(s.max_between(0.0, 4.0), 100.0);
+        assert_eq!(s.between(1.0, 3.0).len(), 2);
+        assert_eq!(s.values(), vec![1.0, 3.0, 5.0, 100.0]);
+        assert_eq!(s.mean_between(50.0, 60.0), 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Scalar statistics: moments, percentiles, box-plot five-number summary.
+
+/// Mean/spread summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 when n < 2).
+    pub std_dev: f64,
+    /// Minimum (0 for an empty sample).
+    pub min: f64,
+    /// Maximum (0 for an empty sample).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary of `values`.
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = if values.len() < 2 {
+            0.0
+        } else {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        };
+        Summary {
+            count: values.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// The `p`-th percentile (0–100) by linear interpolation between order
+/// statistics (the "linear" method used by numpy's default).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Box-plot statistics (Tukey): quartiles plus 1.5·IQR whiskers clamped to
+/// the data range — what Fig. 12's box plot reports per difficulty.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoxStats {
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Low whisker: smallest observation ≥ q1 − 1.5·IQR.
+    pub whisker_low: f64,
+    /// High whisker: largest observation ≤ q3 + 1.5·IQR.
+    pub whisker_high: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl BoxStats {
+    /// Computes box statistics of `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn of(values: &[f64]) -> BoxStats {
+        assert!(!values.is_empty(), "box stats of empty sample");
+        let q1 = percentile(values, 25.0);
+        let median = percentile(values, 50.0);
+        let q3 = percentile(values, 75.0);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_low = values
+            .iter()
+            .copied()
+            .filter(|v| *v >= lo_fence)
+            .fold(f64::INFINITY, f64::min);
+        let whisker_high = values
+            .iter()
+            .copied()
+            .filter(|v| *v <= hi_fence)
+            .fold(f64::NEG_INFINITY, f64::max);
+        BoxStats {
+            q1,
+            median,
+            q3,
+            whisker_low,
+            whisker_high,
+            mean: Summary::of(values).mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev of this classic set is ~2.138.
+        assert!((s.std_dev - 2.1380899).abs() < 1e-6);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_of_empty_and_singleton() {
+        let e = Summary::of(&[]);
+        assert_eq!(e.count, 0);
+        assert_eq!(e.mean, 0.0);
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&v, 50.0), 2.5);
+        assert!((percentile(&v, 25.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let v = [9.0, 1.0, 5.0];
+        assert_eq!(percentile(&v, 50.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_out_of_range_panics() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn box_stats_quartiles_and_whiskers() {
+        // 1..=11 plus an outlier at 100.
+        let mut v: Vec<f64> = (1..=11).map(|x| x as f64).collect();
+        v.push(100.0);
+        let b = BoxStats::of(&v);
+        assert!(b.q1 < b.median && b.median < b.q3);
+        // The outlier lies beyond the upper fence; whisker stays at 11.
+        assert_eq!(b.whisker_high, 11.0);
+        assert_eq!(b.whisker_low, 1.0);
+        assert!(b.mean > b.median); // dragged up by the outlier
+    }
+
+    #[test]
+    fn box_stats_constant_sample() {
+        let b = BoxStats::of(&[3.0; 10]);
+        assert_eq!(b.q1, 3.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.q3, 3.0);
+        assert_eq!(b.whisker_low, 3.0);
+        assert_eq!(b.whisker_high, 3.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Point-to-point links with bandwidth, propagation delay, and bounded
+//! drop-tail egress queues.
+//!
+//! Each link is full-duplex: the two directions have independent
+//! serialization state and queues. The model is the standard
+//! store-and-forward abstraction: a packet of `L` bytes entering an egress
+//! at time `t` begins serializing when the transmitter frees up, occupies
+//! the transmitter for `8·L / bandwidth` seconds, then arrives at the peer
+//! after the propagation delay. If accepting the packet would push the
+//! queued-byte total over the queue capacity, it is dropped (drop-tail) —
+//! this is what saturates when a flood exceeds a 100 Mbps host link, and it
+//! is why per-node attack rates in the paper plateau (Fig. 13).
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a link within a simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub usize);
+
+/// Static parameters of a link (applies to both directions).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkSpec {
+    /// Capacity in bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Egress queue capacity in bytes (per direction). Packets beyond this
+    /// are dropped.
+    pub queue_bytes: usize,
+}
+
+impl LinkSpec {
+    /// 1 Gbps, 0.2 ms delay — the paper's backbone/server links (Fig. 16).
+    pub fn gigabit() -> Self {
+        LinkSpec {
+            bandwidth_bps: 1e9,
+            delay: SimDuration::from_micros(200),
+            queue_bytes: 512 * 1024,
+        }
+    }
+
+    /// 100 Mbps, 0.2 ms delay — the paper's host access links (Fig. 16).
+    pub fn fast_ethernet() -> Self {
+        LinkSpec {
+            bandwidth_bps: 1e8,
+            delay: SimDuration::from_micros(200),
+            queue_bytes: 256 * 1024,
+        }
+    }
+
+    /// A generic low-latency LAN link for tests and examples.
+    pub fn lan() -> Self {
+        LinkSpec {
+            bandwidth_bps: 1e9,
+            delay: SimDuration::from_micros(50),
+            queue_bytes: 1024 * 1024,
+        }
+    }
+
+    /// Serialization time for a packet of `bytes` bytes.
+    pub fn serialization_time(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps)
+    }
+}
+
+/// Per-direction traffic counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets fully transmitted into the wire.
+    pub tx_packets: u64,
+    /// Bytes fully transmitted into the wire.
+    pub tx_bytes: u64,
+    /// Packets dropped because the egress queue was full.
+    pub dropped_packets: u64,
+    /// Bytes dropped because the egress queue was full.
+    pub dropped_bytes: u64,
+}
+
+/// Dynamic state of one direction of a link.
+#[derive(Clone, Debug)]
+pub(crate) struct LinkDirection {
+    /// Instant at which the transmitter becomes idle.
+    pub busy_until: SimTime,
+    /// Bytes accepted but not yet fully serialized.
+    pub queued_bytes: usize,
+    pub stats: LinkStats,
+}
+
+impl LinkDirection {
+    pub fn new() -> Self {
+        LinkDirection {
+            busy_until: SimTime::ZERO,
+            queued_bytes: 0,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Attempts to enqueue a packet of `len` bytes at time `now`.
+    ///
+    /// On success returns the instant serialization completes (the packet
+    /// then needs the propagation delay on top to arrive). On overflow
+    /// returns `None` and records the drop.
+    pub fn try_transmit(&mut self, now: SimTime, len: usize, spec: &LinkSpec) -> Option<SimTime> {
+        if self.queued_bytes + len > spec.queue_bytes {
+            self.stats.dropped_packets += 1;
+            self.stats.dropped_bytes += len as u64;
+            return None;
+        }
+        let start = self.busy_until.max(now);
+        let done = start + spec.serialization_time(len);
+        self.busy_until = done;
+        self.queued_bytes += len;
+        Some(done)
+    }
+
+    /// Called when a packet of `len` bytes finishes serializing.
+    pub fn on_departure(&mut self, len: usize) {
+        debug_assert!(self.queued_bytes >= len);
+        self.queued_bytes -= len;
+        self.stats.tx_packets += 1;
+        self.stats.tx_bytes += len as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_1mbps() -> LinkSpec {
+        LinkSpec {
+            bandwidth_bps: 1e6,
+            delay: SimDuration::from_millis(1),
+            queue_bytes: 3000,
+        }
+    }
+
+    #[test]
+    fn serialization_time_scales_with_size() {
+        let spec = spec_1mbps();
+        // 125 bytes = 1000 bits at 1 Mbps = 1 ms.
+        assert_eq!(
+            spec.serialization_time(125),
+            SimDuration::from_millis(1)
+        );
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_behind_each_other() {
+        let spec = spec_1mbps();
+        let mut dir = LinkDirection::new();
+        let t0 = SimTime::ZERO;
+        let d1 = dir.try_transmit(t0, 125, &spec).unwrap();
+        let d2 = dir.try_transmit(t0, 125, &spec).unwrap();
+        assert_eq!(d1, SimTime::from_nanos(1_000_000));
+        assert_eq!(d2, SimTime::from_nanos(2_000_000));
+        assert_eq!(dir.queued_bytes, 250);
+        dir.on_departure(125);
+        assert_eq!(dir.queued_bytes, 125);
+        assert_eq!(dir.stats.tx_packets, 1);
+    }
+
+    #[test]
+    fn idle_gap_resets_start_time() {
+        let spec = spec_1mbps();
+        let mut dir = LinkDirection::new();
+        dir.try_transmit(SimTime::ZERO, 125, &spec).unwrap();
+        dir.on_departure(125);
+        // Transmitter idle; sending at t=5ms finishes at 6ms, not 2ms.
+        let done = dir
+            .try_transmit(SimTime::from_nanos(5_000_000), 125, &spec)
+            .unwrap();
+        assert_eq!(done, SimTime::from_nanos(6_000_000));
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let spec = spec_1mbps(); // 3000-byte queue
+        let mut dir = LinkDirection::new();
+        assert!(dir.try_transmit(SimTime::ZERO, 1500, &spec).is_some());
+        assert!(dir.try_transmit(SimTime::ZERO, 1500, &spec).is_some());
+        // Queue holds 3000 bytes already: next packet dropped.
+        assert!(dir.try_transmit(SimTime::ZERO, 1, &spec).is_none());
+        assert_eq!(dir.stats.dropped_packets, 1);
+        assert_eq!(dir.stats.dropped_bytes, 1);
+        // Draining frees space again.
+        dir.on_departure(1500);
+        assert!(dir.try_transmit(SimTime::ZERO, 1500, &spec).is_some());
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        assert!(LinkSpec::gigabit().bandwidth_bps > LinkSpec::fast_ethernet().bandwidth_bps);
+        assert!(LinkSpec::lan().queue_bytes > 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! The node behaviour trait and the context handle passed to callbacks.
+
+use crate::packet::{Packet, Payload};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a node within a simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// Identifies a network interface *local to one node* (0-based, in the
+/// order the node's links were created).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IfaceId(pub usize);
+
+/// Handle to a pending timer, usable for cancellation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+/// Deferred effects produced by a node callback, applied by the engine
+/// after the callback returns (keeps borrows simple and dispatch
+/// deterministic).
+#[derive(Debug)]
+pub(crate) enum Command<P> {
+    Send {
+        iface: IfaceId,
+        packet: Packet<P>,
+    },
+    SetTimer {
+        id: TimerId,
+        at: SimTime,
+        tag: u64,
+    },
+    CancelTimer {
+        id: TimerId,
+    },
+}
+
+/// Behaviour of a simulated node.
+///
+/// Implementations receive packets and timer callbacks and react through
+/// the [`Context`]: sending packets, arming timers, and drawing randomness.
+/// All methods default to no-ops except [`Node::on_packet`].
+pub trait Node<P: Payload> {
+    /// Called once when the simulation starts, before any events fire.
+    /// Typical use: arm the first workload timer.
+    fn on_start(&mut self, ctx: &mut Context<'_, P>) {
+        let _ = ctx;
+    }
+
+    /// Called when a packet is delivered to this node on `iface`.
+    fn on_packet(&mut self, ctx: &mut Context<'_, P>, iface: IfaceId, packet: Packet<P>);
+
+    /// Called when a timer armed via [`Context::set_timer`] fires. `tag` is
+    /// the caller-chosen discriminant passed at arming time.
+    fn on_timer(&mut self, ctx: &mut Context<'_, P>, timer: TimerId, tag: u64) {
+        let _ = (ctx, timer, tag);
+    }
+}
+
+/// Capability handle passed to node callbacks.
+///
+/// Effects (sends, timers) are buffered and applied by the engine after the
+/// callback returns; randomness and the clock are served immediately.
+pub struct Context<'a, P> {
+    pub(crate) now: SimTime,
+    pub(crate) node: NodeId,
+    pub(crate) iface_count: usize,
+    pub(crate) rng: &'a mut SimRng,
+    pub(crate) commands: &'a mut Vec<Command<P>>,
+    pub(crate) next_timer_id: &'a mut u64,
+}
+
+impl<'a, P: Payload> Context<'a, P> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node being dispatched.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of interfaces attached to this node.
+    pub fn iface_count(&self) -> usize {
+        self.iface_count
+    }
+
+    /// The simulation RNG (single stream; draw order is deterministic).
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Queues `packet` for transmission out of `iface`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iface` is out of range for this node.
+    pub fn send(&mut self, iface: IfaceId, packet: Packet<P>) {
+        assert!(
+            iface.0 < self.iface_count,
+            "node {:?} has {} ifaces, tried to send on {:?}",
+            self.node,
+            self.iface_count,
+            iface
+        );
+        self.commands.push(Command::Send { iface, packet });
+    }
+
+    /// Arms a one-shot timer that fires `after` from now, delivering `tag`
+    /// to [`Node::on_timer`]. Returns a handle usable with
+    /// [`Context::cancel_timer`].
+    pub fn set_timer(&mut self, after: SimDuration, tag: u64) -> TimerId {
+        let id = TimerId(*self.next_timer_id);
+        *self.next_timer_id += 1;
+        self.commands.push(Command::SetTimer {
+            id,
+            at: self.now + after,
+            tag,
+        });
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired or unknown
+    /// timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.commands.push(Command::CancelTimer { id });
+    }
+}

@@ -1,0 +1,75 @@
+//! Packets: addressed envelopes around a user-defined payload.
+
+use std::net::Ipv4Addr;
+
+/// Size of the IPv4 header we account for on the wire (no IP options).
+pub(crate) const IP_HEADER_LEN: usize = 20;
+
+/// A payload the simulator can carry.
+///
+/// Implementors report their **transport-layer wire length in bytes**
+/// (e.g. TCP header + options + data); the simulator adds the IPv4 header
+/// itself. Byte accuracy matters: the paper measures throughput and option
+/// overhead (§5), both of which depend on real packet sizes.
+pub trait Payload: Clone + std::fmt::Debug {
+    /// Serialized length of this payload in bytes, excluding the IP header.
+    fn wire_len(&self) -> usize;
+}
+
+/// An IPv4-addressed packet carrying payload `P`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Packet<P> {
+    /// Source address. Attackers may spoof this (paper §6: randomized
+    /// source SYN floods); the simulator does not validate it.
+    pub src: Ipv4Addr,
+    /// Destination address; routed by longest-prefix match.
+    pub dst: Ipv4Addr,
+    /// Remaining hop budget; packets are dropped when it reaches zero.
+    pub ttl: u8,
+    /// The transport payload.
+    pub payload: P,
+}
+
+impl<P: Payload> Packet<P> {
+    /// Default initial TTL, matching common OS defaults.
+    pub const DEFAULT_TTL: u8 = 64;
+
+    /// Creates a packet with the default TTL.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, payload: P) -> Self {
+        Packet {
+            src,
+            dst,
+            ttl: Self::DEFAULT_TTL,
+            payload,
+        }
+    }
+
+    /// Total on-wire length in bytes: IPv4 header plus payload.
+    pub fn wire_len(&self) -> usize {
+        IP_HEADER_LEN + self.payload.wire_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Blob(usize);
+    impl Payload for Blob {
+        fn wire_len(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn wire_len_includes_ip_header() {
+        let p = Packet::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Blob(40),
+        );
+        assert_eq!(p.wire_len(), 60);
+        assert_eq!(p.ttl, 64);
+    }
+}

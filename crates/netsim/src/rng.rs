@@ -1,0 +1,276 @@
+//! Seeded pseudo-random number generation for the simulator.
+//!
+//! The simulator needs a deterministic, seedable RNG whose stream is stable
+//! across builds of this repository — experiment outputs are deliverables,
+//! so we cannot depend on the stream stability of an external crate. This
+//! module implements **xoshiro256++** (Blackman & Vigna) seeded through
+//! **SplitMix64**, plus the inverse-transform samplers the workload models
+//! need (uniform ranges and exponential inter-arrival times).
+
+/// Deterministic xoshiro256++ generator.
+///
+/// # Example
+///
+/// ```
+/// use netsim::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from(7);
+/// let mut b = SimRng::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let s = [next_sm(), next_sm(), next_sm(), next_sm()];
+        SimRng { s }
+    }
+
+    /// Derives an independent child generator; used to give each host its
+    /// own stream so adding a host does not perturb the others.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let mix = self.next_u64() ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        SimRng::seed_from(mix)
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32 uniformly random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's multiply-shift
+    /// rejection method (unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound {
+                return (m >> 64) as u64;
+            }
+            // Rejection zone: recompute threshold only on the slow path.
+            let threshold = bound.wrapping_neg() % bound;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Exponentially distributed sample with the given rate (events/sec),
+    /// via inverse transform. Used for Poisson request arrivals and M/M/1
+    /// service times (paper §4.1, §6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn exp_f64(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        // 1 - u in (0, 1] avoids ln(0).
+        -(1.0 - self.next_f64()).ln() / rate
+    }
+
+    /// Fills `buf` with random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        let mut chunks = buf.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    /// Picks a uniformly random element of `slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "choose from empty slice");
+        &slice[self.below(slice.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = SimRng::seed_from(12345);
+        let mut b = SimRng::seed_from(12345);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = SimRng::seed_from(99);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = SimRng::seed_from(7);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let x = rng.below(10);
+            assert!(x < 10);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn below_one_is_zero() {
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..100 {
+            assert_eq!(rng.below(1), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        SimRng::seed_from(0).below(0);
+    }
+
+    #[test]
+    fn exponential_mean_close_to_inverse_rate() {
+        let mut rng = SimRng::seed_from(2024);
+        let rate = 20.0;
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| rng.exp_f64(rate)).sum();
+        let mean = sum / n as f64;
+        let expect = 1.0 / rate;
+        assert!(
+            (mean - expect).abs() / expect < 0.02,
+            "mean {mean} too far from {expect}"
+        );
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut rng = SimRng::seed_from(5);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_reproducible() {
+        let mut parent1 = SimRng::seed_from(10);
+        let mut parent2 = SimRng::seed_from(10);
+        let mut c1 = parent1.fork(1);
+        let mut c2 = parent2.fork(1);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+
+        let mut p = SimRng::seed_from(10);
+        let mut a = p.fork(1);
+        let mut b = p.fork(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_handles_unaligned_lengths() {
+        let mut rng = SimRng::seed_from(77);
+        for len in [0usize, 1, 7, 8, 9, 31] {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            if len >= 8 {
+                assert!(buf.iter().any(|&b| b != 0), "len={len} all zero");
+            }
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(8);
+        assert!(!(0..1000).any(|_| rng.chance(0.0)));
+        assert!((0..1000).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = SimRng::seed_from(21);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            seen[*rng.choose(&items) as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

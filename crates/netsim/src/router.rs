@@ -1,0 +1,272 @@
+//! A static longest-prefix-match router node.
+//!
+//! The paper's testbed backbone (Fig. 16) is three fully meshed routers;
+//! this type provides that function: stateless IPv4 forwarding with a
+//! static routing table, TTL decrement, and drop counters.
+
+use std::net::Ipv4Addr;
+
+use crate::node::{Context, IfaceId, Node};
+use crate::packet::{Packet, Payload};
+
+/// One routing table entry: `prefix/len → iface`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// Network prefix (host bits ignored).
+    pub prefix: Ipv4Addr,
+    /// Prefix length in bits, 0–32.
+    pub prefix_len: u8,
+    /// Egress interface for matching packets.
+    pub iface: IfaceId,
+}
+
+impl Route {
+    /// Builds a route entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix_len > 32`.
+    pub fn new(prefix: Ipv4Addr, prefix_len: u8, iface: IfaceId) -> Self {
+        assert!(prefix_len <= 32, "prefix length {prefix_len} > 32");
+        Route {
+            prefix,
+            prefix_len,
+            iface,
+        }
+    }
+
+    /// A host route (`/32`).
+    pub fn host(addr: Ipv4Addr, iface: IfaceId) -> Self {
+        Route::new(addr, 32, iface)
+    }
+
+    fn matches(&self, addr: Ipv4Addr) -> bool {
+        if self.prefix_len == 0 {
+            return true;
+        }
+        let mask = u32::MAX << (32 - self.prefix_len as u32);
+        (u32::from(addr) & mask) == (u32::from(self.prefix) & mask)
+    }
+}
+
+/// Forwarding statistics for a [`Router`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Packets forwarded out an interface.
+    pub forwarded: u64,
+    /// Packets dropped because their TTL reached zero.
+    pub ttl_drops: u64,
+    /// Packets dropped because no route matched.
+    pub no_route_drops: u64,
+}
+
+/// A static router: forwards by longest-prefix match, decrementing TTL.
+///
+/// # Example
+///
+/// ```
+/// use netsim::{IfaceId, Route, Router};
+///
+/// let mut r = Router::new();
+/// r.add_route(Route::new("10.1.0.0".parse()?, 16, IfaceId(0)));
+/// r.add_route(Route::new("10.1.2.0".parse()?, 24, IfaceId(1)));
+/// // Longest prefix wins:
+/// assert_eq!(r.lookup("10.1.2.9".parse()?), Some(IfaceId(1)));
+/// assert_eq!(r.lookup("10.1.9.9".parse()?), Some(IfaceId(0)));
+/// assert_eq!(r.lookup("192.168.0.1".parse()?), None);
+/// # Ok::<(), std::net::AddrParseError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Router {
+    routes: Vec<Route>,
+    stats: RouterStats,
+}
+
+impl Router {
+    /// Creates a router with an empty table.
+    pub fn new() -> Self {
+        Router::default()
+    }
+
+    /// Adds a route. Routes may overlap; lookup picks the longest prefix,
+    /// breaking ties by insertion order (first added wins).
+    pub fn add_route(&mut self, route: Route) -> &mut Self {
+        self.routes.push(route);
+        self
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, dst: Ipv4Addr) -> Option<IfaceId> {
+        let mut best: Option<&Route> = None;
+        for r in self.routes.iter().filter(|r| r.matches(dst)) {
+            // Strict comparison keeps the first-inserted route on ties.
+            if best.map_or(true, |b| r.prefix_len > b.prefix_len) {
+                best = Some(r);
+            }
+        }
+        best.map(|r| r.iface)
+    }
+
+    /// Forwarding counters.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+}
+
+impl<P: Payload> Node<P> for Router {
+    fn on_packet(&mut self, ctx: &mut Context<'_, P>, _iface: IfaceId, mut packet: Packet<P>) {
+        if packet.ttl <= 1 {
+            self.stats.ttl_drops += 1;
+            return;
+        }
+        packet.ttl -= 1;
+        match self.lookup(packet.dst) {
+            Some(iface) => {
+                self.stats.forwarded += 1;
+                ctx.send(iface, packet);
+            }
+            None => {
+                self.stats.no_route_drops += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{NetBuilder, Simulation};
+    use crate::link::LinkSpec;
+    use crate::node::NodeId;
+    use crate::time::SimTime;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_prefix_wins_regardless_of_insertion_order() {
+        let mut r = Router::new();
+        r.add_route(Route::new(ip("10.1.2.0"), 24, IfaceId(1)));
+        r.add_route(Route::new(ip("10.1.0.0"), 16, IfaceId(0)));
+        assert_eq!(r.lookup(ip("10.1.2.3")), Some(IfaceId(1)));
+        assert_eq!(r.lookup(ip("10.1.3.3")), Some(IfaceId(0)));
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut r = Router::new();
+        r.add_route(Route::new(ip("0.0.0.0"), 0, IfaceId(2)));
+        assert_eq!(r.lookup(ip("8.8.8.8")), Some(IfaceId(2)));
+    }
+
+    #[test]
+    fn host_route_is_a_slash_32() {
+        let r = Route::host(ip("10.0.0.7"), IfaceId(3));
+        assert_eq!(r.prefix_len, 32);
+        assert!(r.matches(ip("10.0.0.7")));
+        assert!(!r.matches(ip("10.0.0.8")));
+    }
+
+    #[test]
+    #[should_panic(expected = "> 32")]
+    fn bad_prefix_len_panics() {
+        Route::new(ip("10.0.0.0"), 33, IfaceId(0));
+    }
+
+    // End-to-end: host A — router — host B.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Probe;
+    impl Payload for Probe {
+        fn wire_len(&self) -> usize {
+            40
+        }
+    }
+
+    enum TestNode {
+        Router(Router),
+        Sink(Vec<Ipv4Addr>),
+    }
+
+    impl Node<Probe> for TestNode {
+        fn on_packet(&mut self, ctx: &mut Context<'_, Probe>, iface: IfaceId, pkt: Packet<Probe>) {
+            match self {
+                TestNode::Router(r) => r.on_packet(ctx, iface, pkt),
+                TestNode::Sink(v) => v.push(pkt.src),
+            }
+        }
+    }
+
+    fn build_line() -> (Simulation<Probe, TestNode>, NodeId, NodeId, NodeId) {
+        let mut b = NetBuilder::new(4);
+        let a = b.add_node(TestNode::Sink(vec![]));
+        let r = b.add_node(TestNode::Router(Router::new()));
+        let c = b.add_node(TestNode::Sink(vec![]));
+        let (_, r_if_a) = b.connect(a, r, LinkSpec::lan());
+        let (r_if_c, _) = b.connect(r, c, LinkSpec::lan());
+        let mut sim = b.build();
+        if let TestNode::Router(router) = sim.node_mut(r) {
+            router.add_route(Route::host(ip("10.0.0.1"), r_if_a));
+            router.add_route(Route::host(ip("10.0.0.3"), r_if_c));
+        }
+        (sim, a, r, c)
+    }
+
+    #[test]
+    fn forwards_across_router() {
+        let (mut sim, a, r, c) = build_line();
+        sim.inject(
+            a,
+            IfaceId(0),
+            Packet::new(ip("10.0.0.3"), ip("10.0.0.1"), Probe),
+        );
+        // a is a sink; inject directly into the router instead to test
+        // forwarding: packet destined to 10.0.0.3 should reach c.
+        sim.inject(
+            r,
+            IfaceId(0),
+            Packet::new(ip("10.0.0.1"), ip("10.0.0.3"), Probe),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        match sim.node(c) {
+            TestNode::Sink(v) => assert_eq!(v.as_slice(), &[ip("10.0.0.1")]),
+            _ => unreachable!(),
+        }
+        match sim.node(r) {
+            TestNode::Router(router) => assert_eq!(router.stats().forwarded, 1),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn no_route_counts_drop() {
+        let (mut sim, _a, r, _c) = build_line();
+        sim.inject(
+            r,
+            IfaceId(0),
+            Packet::new(ip("10.0.0.1"), ip("192.168.1.1"), Probe),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        match sim.node(r) {
+            TestNode::Router(router) => assert_eq!(router.stats().no_route_drops, 1),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn ttl_expiry_drops() {
+        let (mut sim, _a, r, c) = build_line();
+        let mut pkt = Packet::new(ip("10.0.0.1"), ip("10.0.0.3"), Probe);
+        pkt.ttl = 1;
+        sim.inject(r, IfaceId(0), pkt);
+        sim.run_until(SimTime::from_secs(1));
+        match sim.node(r) {
+            TestNode::Router(router) => assert_eq!(router.stats().ttl_drops, 1),
+            _ => unreachable!(),
+        }
+        match sim.node(c) {
+            TestNode::Sink(v) => assert!(v.is_empty()),
+            _ => unreachable!(),
+        }
+    }
+}

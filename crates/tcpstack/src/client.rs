@@ -1,0 +1,545 @@
+//! The active (client) side of the handshake.
+//!
+//! [`ClientConn`] is a sans-IO state machine for one outgoing connection.
+//! It handles SYN (re)transmission, interprets plain and challenge-bearing
+//! SYN-ACKs, and — because solving costs CPU time that only the embedding
+//! host can model or spend — *surfaces* challenges as events rather than
+//! solving inline. The host answers with either
+//! [`ClientConn::provide_solution`] (a solving client, after paying the
+//! solve cost) or [`ClientConn::acknowledge_plain`] (a non-adopter or
+//! non-solving attacker; the paper's §6.5 scenarios).
+//!
+//! Note the deception asymmetry from the paper (§5): a client whose ACK
+//! the server silently ignored *believes* it is established; only a later
+//! RST (triggered by its data) reveals the truth. The state machine
+//! mirrors that: `Established` is a local belief, revoked by
+//! [`ClientEvent::Reset`].
+
+use std::net::Ipv4Addr;
+
+use crate::options::{ChallengeOption, SolutionOption, TcpOption};
+use crate::segment::{SegmentBuilder, TcpFlags, TcpSegment};
+use netsim::{SimDuration, SimTime};
+
+/// Client connection configuration.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Our address.
+    pub local_addr: Ipv4Addr,
+    /// Our port.
+    pub local_port: u16,
+    /// Server address.
+    pub remote_addr: Ipv4Addr,
+    /// Server port.
+    pub remote_port: u16,
+    /// MSS to announce.
+    pub mss: u16,
+    /// Whether to send the timestamps option.
+    pub use_timestamps: bool,
+    /// SYN retransmissions before giving up.
+    pub syn_retries: u32,
+    /// Initial SYN retransmission timeout (doubles per retry).
+    pub syn_timeout: SimDuration,
+}
+
+impl ClientConfig {
+    /// A conventional client config.
+    pub fn new(
+        local_addr: Ipv4Addr,
+        local_port: u16,
+        remote_addr: Ipv4Addr,
+        remote_port: u16,
+    ) -> Self {
+        ClientConfig {
+            local_addr,
+            local_port,
+            remote_addr,
+            remote_port,
+            mss: 1460,
+            use_timestamps: true,
+            syn_retries: 3,
+            syn_timeout: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// Connection lifecycle states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientState {
+    /// SYN sent, waiting for a SYN-ACK.
+    SynSent,
+    /// Challenge received, waiting for the host to provide a solution or
+    /// a plain ACK.
+    Challenged,
+    /// Handshake complete (from this side's perspective).
+    Established,
+    /// Closed normally (FIN seen after establishment).
+    Closed,
+    /// Failed: reset by the server or timed out.
+    Failed,
+}
+
+/// Events surfaced to the host.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// The handshake completed (locally observed).
+    Established,
+    /// The server demands a puzzle solution.
+    Challenged {
+        /// The challenge block from the SYN-ACK.
+        challenge: ChallengeOption,
+        /// The timestamp to echo back (from the TS option or the block).
+        issued_at: u32,
+    },
+    /// Application data arrived.
+    Data {
+        /// Payload length in bytes.
+        len: usize,
+        /// Whether FIN was set (server finished the response).
+        fin: bool,
+    },
+    /// The server reset the connection.
+    Reset,
+    /// SYN retransmissions were exhausted.
+    TimedOut,
+}
+
+/// A single client connection state machine.
+#[derive(Clone, Debug)]
+pub struct ClientConn {
+    cfg: ClientConfig,
+    state: ClientState,
+    isn: u32,
+    server_isn: u32,
+    /// Pending challenge context (when `Challenged`).
+    challenge: Option<(ChallengeOption, u32)>,
+    retries: u32,
+    next_retx: SimTime,
+    started: SimTime,
+    established_at: Option<SimTime>,
+    bytes_received: usize,
+}
+
+impl ClientConn {
+    /// Opens a connection: returns the state machine and the initial SYN.
+    pub fn connect(cfg: ClientConfig, isn: u32, now: SimTime) -> (Self, TcpSegment) {
+        let syn = Self::build_syn(&cfg, isn, now);
+        let next_retx = now + cfg.syn_timeout;
+        (
+            ClientConn {
+                cfg,
+                state: ClientState::SynSent,
+                isn,
+                server_isn: 0,
+                challenge: None,
+                retries: 0,
+                next_retx,
+                started: now,
+                established_at: None,
+                bytes_received: 0,
+            },
+            syn,
+        )
+    }
+
+    fn build_syn(cfg: &ClientConfig, isn: u32, now: SimTime) -> TcpSegment {
+        let mut b = SegmentBuilder::new(cfg.local_port, cfg.remote_port)
+            .seq(isn)
+            .flags(TcpFlags::SYN)
+            .mss(cfg.mss)
+            .window_scale(7);
+        if cfg.use_timestamps {
+            b = b.timestamps(ts_ms(now), 0);
+        }
+        b.build()
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ClientState {
+        self.state
+    }
+
+    /// When the connection attempt started.
+    pub fn started(&self) -> SimTime {
+        self.started
+    }
+
+    /// When the handshake completed locally, if it has.
+    pub fn established_at(&self) -> Option<SimTime> {
+        self.established_at
+    }
+
+    /// Handshake latency, if established: the paper's "connection time"
+    /// metric (Fig. 6).
+    pub fn connection_time(&self) -> Option<SimDuration> {
+        self.established_at.map(|at| at.since(self.started))
+    }
+
+    /// Application bytes received so far.
+    pub fn bytes_received(&self) -> usize {
+        self.bytes_received
+    }
+
+    /// The pending challenge, if the server demanded one.
+    pub fn pending_challenge(&self) -> Option<&(ChallengeOption, u32)> {
+        self.challenge.as_ref()
+    }
+
+    /// Feeds an inbound segment; returns an optional reply plus events.
+    pub fn on_segment(
+        &mut self,
+        now: SimTime,
+        seg: &TcpSegment,
+    ) -> (Option<TcpSegment>, Vec<ClientEvent>) {
+        let mut events = Vec::new();
+        if seg.flags.contains(TcpFlags::RST) {
+            if self.state != ClientState::Closed && self.state != ClientState::Failed {
+                self.state = ClientState::Failed;
+                events.push(ClientEvent::Reset);
+            }
+            return (None, events);
+        }
+
+        match self.state {
+            ClientState::SynSent => {
+                if seg.flags.contains(TcpFlags::SYN | TcpFlags::ACK)
+                    && seg.ack == self.isn.wrapping_add(1)
+                {
+                    self.server_isn = seg.seq;
+                    if let Some(copt) = seg.challenge() {
+                        // Timestamp: prefer the TS option's tsval (which we
+                        // must echo), else the embedded field.
+                        let issued_at = seg
+                            .timestamps()
+                            .map(|(tsval, _)| tsval)
+                            .or(copt.timestamp)
+                            .unwrap_or(0);
+                        self.challenge = Some((copt.clone(), issued_at));
+                        self.state = ClientState::Challenged;
+                        events.push(ClientEvent::Challenged {
+                            challenge: copt.clone(),
+                            issued_at,
+                        });
+                        (None, events)
+                    } else {
+                        self.state = ClientState::Established;
+                        self.established_at = Some(now);
+                        events.push(ClientEvent::Established);
+                        let ack = SegmentBuilder::new(self.cfg.local_port, self.cfg.remote_port)
+                            .seq(self.isn.wrapping_add(1))
+                            .ack_num(self.server_isn.wrapping_add(1))
+                            .flags(TcpFlags::ACK)
+                            .build();
+                        (Some(ack), events)
+                    }
+                } else {
+                    (None, events)
+                }
+            }
+            ClientState::Challenged => (None, events), // waiting on the host
+            ClientState::Established | ClientState::Closed => {
+                if !seg.payload.is_empty() || seg.flags.contains(TcpFlags::FIN) {
+                    self.bytes_received += seg.payload.len();
+                    let fin = seg.flags.contains(TcpFlags::FIN);
+                    if fin {
+                        self.state = ClientState::Closed;
+                    }
+                    events.push(ClientEvent::Data {
+                        len: seg.payload.len(),
+                        fin,
+                    });
+                }
+                (None, events)
+            }
+            ClientState::Failed => (None, events),
+        }
+    }
+
+    /// Responds to a challenge with solved proofs (the host has already
+    /// accounted for the solve cost). Transitions to `Established`
+    /// (locally believed) and returns the ACK-with-solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no challenge is pending.
+    pub fn provide_solution(&mut self, now: SimTime, proofs: &[Vec<u8>]) -> TcpSegment {
+        let (copt, issued_at) = self.challenge.take().expect("no pending challenge");
+        self.state = ClientState::Established;
+        self.established_at = Some(now);
+        // Embed the timestamp in the block only when timestamps are off.
+        let (embed, ts_opt) = if self.cfg.use_timestamps {
+            (None, Some((ts_ms(now), issued_at)))
+        } else {
+            (Some(issued_at), None)
+        };
+        let sol = SolutionOption::build(self.cfg.mss, 7, proofs, embed);
+        let mut b = SegmentBuilder::new(self.cfg.local_port, self.cfg.remote_port)
+            .seq(self.isn.wrapping_add(1))
+            .ack_num(self.server_isn.wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .option(TcpOption::Solution(sol));
+        if let Some((tsval, tsecr)) = ts_opt {
+            b = b.timestamps(tsval, tsecr);
+        }
+        let _ = copt;
+        b.build()
+    }
+
+    /// Acknowledges a challenge *without* solving it (a non-adopting
+    /// client or non-solving attacker). Locally transitions to
+    /// `Established` — the deceived state the paper describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no challenge is pending.
+    pub fn acknowledge_plain(&mut self, now: SimTime) -> TcpSegment {
+        assert!(self.challenge.take().is_some(), "no pending challenge");
+        self.state = ClientState::Established;
+        self.established_at = Some(now);
+        SegmentBuilder::new(self.cfg.local_port, self.cfg.remote_port)
+            .seq(self.isn.wrapping_add(1))
+            .ack_num(self.server_isn.wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .build()
+    }
+
+    /// Sends application data (e.g. the HTTP-like request).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the connection is (believed) established.
+    pub fn send(&mut self, payload: Vec<u8>) -> TcpSegment {
+        assert_eq!(
+            self.state,
+            ClientState::Established,
+            "send on non-established connection"
+        );
+        SegmentBuilder::new(self.cfg.local_port, self.cfg.remote_port)
+            .seq(self.isn.wrapping_add(1))
+            .ack_num(self.server_isn.wrapping_add(1))
+            .flags(TcpFlags::ACK | TcpFlags::PSH)
+            .payload(payload)
+            .build()
+    }
+
+    /// Drives SYN retransmission; call when a timer fires. Returns a SYN
+    /// to retransmit and/or a timeout event.
+    pub fn poll(&mut self, now: SimTime) -> (Option<TcpSegment>, Vec<ClientEvent>) {
+        if self.state != ClientState::SynSent || now < self.next_retx {
+            return (None, Vec::new());
+        }
+        if self.retries >= self.cfg.syn_retries {
+            self.state = ClientState::Failed;
+            return (None, vec![ClientEvent::TimedOut]);
+        }
+        self.retries += 1;
+        let backoff = self.cfg.syn_timeout * (1u64 << self.retries.min(16));
+        self.next_retx = now + backoff;
+        (Some(Self::build_syn(&self.cfg, self.isn, now)), Vec::new())
+    }
+
+    /// The next instant at which [`ClientConn::poll`] has work to do, if
+    /// any (used by hosts to arm timers precisely).
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        (self.state == ClientState::SynSent).then_some(self.next_retx)
+    }
+}
+
+/// Millisecond timestamp clock for the TCP timestamps option.
+fn ts_ms(now: SimTime) -> u32 {
+    (now.as_nanos() / 1_000_000) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ClientConfig {
+        ClientConfig::new(
+            Ipv4Addr::new(10, 0, 0, 2),
+            40000,
+            Ipv4Addr::new(10, 0, 0, 1),
+            80,
+        )
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn synack(ack: u32, server_isn: u32) -> TcpSegment {
+        SegmentBuilder::new(80, 40000)
+            .seq(server_isn)
+            .ack_num(ack)
+            .flags(TcpFlags::SYN | TcpFlags::ACK)
+            .mss(1460)
+            .build()
+    }
+
+    #[test]
+    fn plain_handshake() {
+        let (mut c, syn) = ClientConn::connect(cfg(), 100, t(0));
+        assert!(syn.flags.contains(TcpFlags::SYN));
+        assert_eq!(syn.seq, 100);
+        assert_eq!(c.state(), ClientState::SynSent);
+
+        let (reply, events) = c.on_segment(t(1), &synack(101, 9000));
+        assert_eq!(events, vec![ClientEvent::Established]);
+        let ack = reply.unwrap();
+        assert_eq!(ack.ack, 9001);
+        assert_eq!(c.state(), ClientState::Established);
+        assert_eq!(c.connection_time(), Some(SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn wrong_ack_ignored() {
+        let (mut c, _) = ClientConn::connect(cfg(), 100, t(0));
+        let (reply, events) = c.on_segment(t(1), &synack(999, 9000));
+        assert!(reply.is_none());
+        assert!(events.is_empty());
+        assert_eq!(c.state(), ClientState::SynSent);
+    }
+
+    fn challenged_synack(ack: u32, server_isn: u32) -> TcpSegment {
+        SegmentBuilder::new(80, 40000)
+            .seq(server_isn)
+            .ack_num(ack)
+            .flags(TcpFlags::SYN | TcpFlags::ACK)
+            .mss(1460)
+            .timestamps(55, 1)
+            .option(TcpOption::Challenge(ChallengeOption {
+                k: 2,
+                m: 17,
+                preimage: vec![1, 2, 3, 4],
+                timestamp: None,
+            }))
+            .build()
+    }
+
+    #[test]
+    fn challenge_surfaces_and_solution_acknowledges() {
+        let (mut c, _) = ClientConn::connect(cfg(), 100, t(0));
+        let (reply, events) = c.on_segment(t(1), &challenged_synack(101, 9000));
+        assert!(reply.is_none(), "must wait for host decision");
+        assert!(matches!(
+            events.as_slice(),
+            [ClientEvent::Challenged { issued_at: 55, .. }]
+        ));
+        assert_eq!(c.state(), ClientState::Challenged);
+
+        let ack = c.provide_solution(t(2), &[vec![1; 4], vec![2; 4]]);
+        assert_eq!(c.state(), ClientState::Established);
+        let sol = ack.solution().unwrap();
+        let (proofs, ts) = sol.split(2, 32, false).unwrap();
+        assert_eq!(proofs.len(), 2);
+        assert_eq!(ts, None);
+        // TS option echoes the challenge timestamp.
+        assert_eq!(ack.timestamps().unwrap().1, 55);
+        assert_eq!(c.connection_time(), Some(SimDuration::from_secs(2)));
+    }
+
+    #[test]
+    fn embedded_timestamp_when_ts_disabled() {
+        let mut config = cfg();
+        config.use_timestamps = false;
+        let (mut c, syn) = ClientConn::connect(config, 100, t(0));
+        assert!(syn.timestamps().is_none());
+        // Challenge with embedded ts (no TS option).
+        let chall = SegmentBuilder::new(80, 40000)
+            .seq(9000)
+            .ack_num(101)
+            .flags(TcpFlags::SYN | TcpFlags::ACK)
+            .option(TcpOption::Challenge(ChallengeOption {
+                k: 1,
+                m: 8,
+                preimage: vec![1, 2, 3, 4],
+                timestamp: Some(77),
+            }))
+            .build();
+        let (_, events) = c.on_segment(t(1), &chall);
+        assert!(matches!(
+            events.as_slice(),
+            [ClientEvent::Challenged { issued_at: 77, .. }]
+        ));
+        let ack = c.provide_solution(t(2), &[vec![5; 4]]);
+        let sol = ack.solution().unwrap();
+        let (_, ts) = sol.split(1, 32, true).unwrap();
+        assert_eq!(ts, Some(77));
+    }
+
+    #[test]
+    fn plain_ack_on_challenge_is_deceived_establishment() {
+        let (mut c, _) = ClientConn::connect(cfg(), 100, t(0));
+        c.on_segment(t(1), &challenged_synack(101, 9000));
+        let ack = c.acknowledge_plain(t(1));
+        assert!(ack.solution().is_none());
+        assert_eq!(c.state(), ClientState::Established);
+        // Server never admitted us; our data will trigger RST.
+        let _data = c.send(b"GET /gettext/100".to_vec());
+        let rst = SegmentBuilder::new(80, 40000).flags(TcpFlags::RST).build();
+        let (_, events) = c.on_segment(t(2), &rst);
+        assert_eq!(events, vec![ClientEvent::Reset]);
+        assert_eq!(c.state(), ClientState::Failed);
+    }
+
+    #[test]
+    fn data_reception_counts_bytes_and_fin_closes() {
+        let (mut c, _) = ClientConn::connect(cfg(), 100, t(0));
+        c.on_segment(t(1), &synack(101, 9000));
+        let data = SegmentBuilder::new(80, 40000)
+            .flags(TcpFlags::ACK)
+            .payload(vec![0; 1460])
+            .build();
+        let (_, ev) = c.on_segment(t(2), &data);
+        assert_eq!(ev, vec![ClientEvent::Data { len: 1460, fin: false }]);
+        let last = SegmentBuilder::new(80, 40000)
+            .flags(TcpFlags::ACK | TcpFlags::PSH | TcpFlags::FIN)
+            .payload(vec![0; 500])
+            .build();
+        let (_, ev) = c.on_segment(t(3), &last);
+        assert_eq!(ev, vec![ClientEvent::Data { len: 500, fin: true }]);
+        assert_eq!(c.state(), ClientState::Closed);
+        assert_eq!(c.bytes_received(), 1960);
+    }
+
+    #[test]
+    fn syn_retransmission_with_backoff_then_timeout() {
+        let (mut c, _) = ClientConn::connect(cfg(), 100, t(0));
+        assert_eq!(c.next_deadline(), Some(t(1)));
+        let (r, e) = c.poll(t(1));
+        assert!(r.is_some() && e.is_empty()); // retx 1
+        assert_eq!(c.next_deadline(), Some(t(3))); // 1 + 2
+        let (r, _) = c.poll(t(3));
+        assert!(r.is_some()); // retx 2
+        let (r, _) = c.poll(t(7));
+        assert!(r.is_some()); // retx 3
+        let (r, e) = c.poll(t(15));
+        assert!(r.is_none());
+        assert_eq!(e, vec![ClientEvent::TimedOut]);
+        assert_eq!(c.state(), ClientState::Failed);
+        // No further deadlines.
+        assert_eq!(c.next_deadline(), None);
+    }
+
+    #[test]
+    fn poll_before_deadline_is_noop() {
+        let (mut c, _) = ClientConn::connect(cfg(), 100, t(0));
+        let (r, e) = c.poll(SimTime::from_millis(500));
+        assert!(r.is_none() && e.is_empty());
+        assert_eq!(c.state(), ClientState::SynSent);
+    }
+
+    #[test]
+    #[should_panic(expected = "no pending challenge")]
+    fn provide_solution_without_challenge_panics() {
+        let (mut c, _) = ClientConn::connect(cfg(), 100, t(0));
+        c.provide_solution(t(1), &[vec![0; 4]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-established")]
+    fn send_before_established_panics() {
+        let (mut c, _) = ClientConn::connect(cfg(), 100, t(0));
+        c.send(vec![1]);
+    }
+}

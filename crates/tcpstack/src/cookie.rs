@@ -1,0 +1,202 @@
+//! SYN cookies: the baseline stateless defence (Bernstein 1997), as the
+//! paper's comparison point (§2.1).
+//!
+//! A cookie encodes enough connection state into the SYN-ACK's initial
+//! sequence number that the server can validate the completing ACK
+//! without having stored anything:
+//!
+//! ```text
+//! ISN = counter(6 bits) ‖ mss_index(3 bits) ‖ MAC(23 bits)
+//! ```
+//!
+//! where the MAC binds the 4-tuple, the client ISN, the counter epoch, and
+//! the MSS index under the server secret. Only 3 bits of MSS survive (an
+//! 8-entry table) and the window-scale option is lost entirely — the
+//! degradations the paper's solution block avoids (§5).
+
+use puzzle_crypto::HmacSha256;
+use std::net::Ipv4Addr;
+
+/// MSS values representable in the cookie's 3-bit index, ascending.
+pub const MSS_TABLE: [u16; 8] = [216, 536, 768, 996, 1220, 1340, 1440, 1460];
+
+/// Default seconds per cookie counter epoch (Linux uses 64 s).
+pub const COUNTER_PERIOD_SECS: u64 = 64;
+
+/// Encoder/validator for SYN cookies.
+#[derive(Clone, Debug)]
+pub struct SynCookieCodec {
+    secret: [u8; 32],
+}
+
+impl SynCookieCodec {
+    /// Creates a codec keyed with `secret`.
+    pub fn new(secret: [u8; 32]) -> Self {
+        SynCookieCodec { secret }
+    }
+
+    /// Largest table MSS not exceeding the client's announced MSS.
+    pub fn quantize_mss(mss: u16) -> (u8, u16) {
+        let mut idx = 0u8;
+        for (i, &v) in MSS_TABLE.iter().enumerate() {
+            if v <= mss {
+                idx = i as u8;
+            }
+        }
+        (idx, MSS_TABLE[idx as usize])
+    }
+
+    /// Encodes a cookie ISN for the SYN described by the arguments.
+    ///
+    /// `counter` is the coarse time epoch (e.g. seconds / 64).
+    pub fn encode(
+        &self,
+        src: Ipv4Addr,
+        src_port: u16,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        client_isn: u32,
+        mss: u16,
+        counter: u64,
+    ) -> u32 {
+        let (mss_idx, _) = Self::quantize_mss(mss);
+        let mac = self.mac(src, src_port, dst, dst_port, client_isn, counter, mss_idx);
+        ((counter as u32 & 0x3f) << 26) | ((mss_idx as u32) << 23) | (mac & 0x007f_ffff)
+    }
+
+    /// Validates a cookie echoed back as `ack − 1`. Returns the recovered
+    /// MSS when the cookie is genuine and at most one epoch old.
+    pub fn validate(
+        &self,
+        src: Ipv4Addr,
+        src_port: u16,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        client_isn: u32,
+        cookie: u32,
+        now_counter: u64,
+    ) -> Option<u16> {
+        let cookie_count6 = (cookie >> 26) & 0x3f;
+        let mss_idx = ((cookie >> 23) & 0x7) as u8;
+        let mac_bits = cookie & 0x007f_ffff;
+
+        // Accept the current epoch or the previous one.
+        for age in 0..=1u64 {
+            let counter = now_counter.checked_sub(age)?;
+            if (counter as u32 & 0x3f) != cookie_count6 {
+                continue;
+            }
+            let mac = self.mac(src, src_port, dst, dst_port, client_isn, counter, mss_idx);
+            if (mac & 0x007f_ffff) == mac_bits {
+                return Some(MSS_TABLE[mss_idx as usize]);
+            }
+        }
+        None
+    }
+
+    fn mac(
+        &self,
+        src: Ipv4Addr,
+        src_port: u16,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        client_isn: u32,
+        counter: u64,
+        mss_idx: u8,
+    ) -> u32 {
+        let mut mac = HmacSha256::new(&self.secret);
+        mac.update(&src.octets());
+        mac.update(&src_port.to_be_bytes());
+        mac.update(&dst.octets());
+        mac.update(&dst_port.to_be_bytes());
+        mac.update(&client_isn.to_be_bytes());
+        mac.update(&counter.to_be_bytes());
+        mac.update(&[mss_idx]);
+        let tag = mac.finalize();
+        u32::from_be_bytes([tag[0], tag[1], tag[2], tag[3]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codec() -> SynCookieCodec {
+        SynCookieCodec::new([0x42; 32])
+    }
+
+    fn args() -> (Ipv4Addr, u16, Ipv4Addr, u16, u32) {
+        (
+            Ipv4Addr::new(10, 1, 1, 1),
+            40000,
+            Ipv4Addr::new(10, 2, 2, 2),
+            80,
+            0xdead_beef,
+        )
+    }
+
+    #[test]
+    fn round_trip_same_epoch() {
+        let c = codec();
+        let (s, sp, d, dp, isn) = args();
+        let cookie = c.encode(s, sp, d, dp, isn, 1460, 100);
+        assert_eq!(c.validate(s, sp, d, dp, isn, cookie, 100), Some(1460));
+    }
+
+    #[test]
+    fn previous_epoch_still_valid_older_rejected() {
+        let c = codec();
+        let (s, sp, d, dp, isn) = args();
+        let cookie = c.encode(s, sp, d, dp, isn, 1460, 100);
+        assert_eq!(c.validate(s, sp, d, dp, isn, cookie, 101), Some(1460));
+        assert_eq!(c.validate(s, sp, d, dp, isn, cookie, 102), None);
+    }
+
+    #[test]
+    fn mss_quantizes_downward() {
+        assert_eq!(SynCookieCodec::quantize_mss(1460), (7, 1460));
+        assert_eq!(SynCookieCodec::quantize_mss(1459), (6, 1440));
+        assert_eq!(SynCookieCodec::quantize_mss(9000), (7, 1460));
+        assert_eq!(SynCookieCodec::quantize_mss(100), (0, 216)); // floor entry
+        let c = codec();
+        let (s, sp, d, dp, isn) = args();
+        let cookie = c.encode(s, sp, d, dp, isn, 1000, 7);
+        assert_eq!(c.validate(s, sp, d, dp, isn, cookie, 7), Some(996));
+    }
+
+    #[test]
+    fn tuple_binding() {
+        let c = codec();
+        let (s, sp, d, dp, isn) = args();
+        let cookie = c.encode(s, sp, d, dp, isn, 1460, 5);
+        assert_eq!(
+            c.validate(Ipv4Addr::new(10, 1, 1, 2), sp, d, dp, isn, cookie, 5),
+            None
+        );
+        assert_eq!(c.validate(s, sp + 1, d, dp, isn, cookie, 5), None);
+        assert_eq!(c.validate(s, sp, d, dp, isn ^ 1, cookie, 5), None);
+    }
+
+    #[test]
+    fn forged_cookies_rejected() {
+        let c = codec();
+        let (s, sp, d, dp, isn) = args();
+        let cookie = c.encode(s, sp, d, dp, isn, 1460, 5);
+        // Flip each of a few MAC bits: all must fail.
+        for bit in [0u32, 5, 13, 22] {
+            assert_eq!(c.validate(s, sp, d, dp, isn, cookie ^ (1 << bit), 5), None);
+        }
+        // A different secret never validates.
+        let other = SynCookieCodec::new([0x43; 32]);
+        assert_eq!(other.validate(s, sp, d, dp, isn, cookie, 5), None);
+    }
+
+    #[test]
+    fn counter_wraps_at_6_bits() {
+        let c = codec();
+        let (s, sp, d, dp, isn) = args();
+        // Counters 64 apart share the low 6 bits but differ in the MAC.
+        let cookie = c.encode(s, sp, d, dp, isn, 1460, 10);
+        assert_eq!(c.validate(s, sp, d, dp, isn, cookie, 74), None);
+    }
+}

@@ -1,0 +1,1677 @@
+//! The passive (server) side: listen/accept queues, defences, data path.
+//!
+//! [`Listener`] is a sans-IO reproduction of the paper's patched listening
+//! socket (§5). Its behaviour, in the paper's words:
+//!
+//! * "The puzzles are turned off by default and are only enabled when the
+//!   socket's queue is full" — the opportunistic controller: a SYN that
+//!   finds room in the listen queue gets a normal stateful handshake; a
+//!   SYN that finds the queue full gets a stateless challenge instead
+//!   (never a drop while puzzles are on).
+//! * "The challenges take precedence over the SYN cookies once the queue
+//!   is full; we do however support SYN cookies as a backup option."
+//! * "We modified the listening TCP socket's implementation to send a
+//!   challenge when the protection is in effect, even if the accept queue
+//!   overflows. When the server receives an ACK packet while under attack,
+//!   it first checks if the queue is full and only performs the
+//!   verification procedure when there is room … If the queue is full, the
+//!   server will ignore the ACK packet" — and the deceived sender's later
+//!   data elicits an RST.
+//! * Replay defence: the solution timestamp must be fresh, and tampering
+//!   with it breaks the recomputed pre-image (§5, §7).
+
+use std::collections::{HashMap, VecDeque};
+use std::net::Ipv4Addr;
+
+use crate::cookie::SynCookieCodec;
+use crate::options::{ChallengeOption, SolutionOption, TcpOption};
+use crate::segment::{SegmentBuilder, TcpFlags, TcpSegment};
+use netsim::{SimDuration, SimTime};
+use puzzle_core::{
+    ChallengeParams, ConnectionTuple, Difficulty, ServerSecret, Solution, Verifier, VerifyError,
+};
+use puzzle_crypto::HmacSha256;
+
+/// Converts simulator time to the puzzle/second clock used in challenge
+/// timestamps and expiry checks.
+pub fn puzzle_clock(now: SimTime) -> u32 {
+    (now.as_nanos() / 1_000_000_000) as u32
+}
+
+/// Identifies a client flow at this listener (the listener's own address
+/// and port are fixed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// Client address.
+    pub addr: Ipv4Addr,
+    /// Client port.
+    pub port: u16,
+}
+
+/// How the listener checks puzzle solutions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// Full cryptographic verification via `puzzle-core` — clients must
+    /// really brute-force. Used by tests, examples, and real deployments.
+    #[default]
+    Real,
+    /// Simulation oracle: the proof for sub-puzzle `i` is
+    /// `HMAC(secret, preimage ‖ i)` truncated to `l` bits. Binding,
+    /// expiry, and forgery rejection behave identically, but a simulated
+    /// solver mints the proof in O(1) and *models* the solve time instead
+    /// of burning real CPU (see DESIGN.md, Substitutions).
+    Oracle,
+}
+
+/// Puzzle defence parameters (the kernel patch's sysctl knobs).
+#[derive(Clone, Debug)]
+pub struct PuzzleConfig {
+    /// Difficulty `(k, m)`; tunable at runtime like the paper's sysctl.
+    pub difficulty: Difficulty,
+    /// Pre-image/solution length in bits (wire `l`); 32 keeps the paper's
+    /// `(2, 17)` within the 40-byte TCP option budget.
+    pub preimage_bits: u16,
+    /// Challenge expiry window in seconds (replay defence).
+    pub expiry: u32,
+    /// Verification backend.
+    pub verify: VerifyMode,
+    /// Controller hysteresis: once a queue overflow is observed, keep
+    /// challenging for this long past the last observation. A per-SYN
+    /// fullness check alone cannot hold back a fast-completing flood —
+    /// each freed slot is instantly re-taken ("revolving door") — whereas
+    /// the paper's measurements (sustained challenge periods with sparse
+    /// openings tens of seconds apart, Figs. 8 and 10) show an
+    /// effectively latched controller. See DESIGN.md.
+    pub hold: SimDuration,
+}
+
+impl Default for PuzzleConfig {
+    fn default() -> Self {
+        PuzzleConfig {
+            difficulty: Difficulty::new(2, 17).expect("static difficulty"),
+            preimage_bits: 32,
+            expiry: 8,
+            verify: VerifyMode::Real,
+            hold: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// SYN-cache parameters (the Lemon 2002 mitigation the paper compares
+/// against in §2.1).
+#[derive(Clone, Copy, Debug)]
+pub struct SynCacheConfig {
+    /// Reduced-state half-open entries the cache can hold beyond the
+    /// regular backlog.
+    pub capacity: usize,
+    /// Entry lifetime; cache entries keep only partial state and do not
+    /// retransmit, so they simply expire.
+    pub lifetime: SimDuration,
+}
+
+impl Default for SynCacheConfig {
+    fn default() -> Self {
+        SynCacheConfig {
+            capacity: 4096,
+            lifetime: SimDuration::from_secs(15),
+        }
+    }
+}
+
+/// The listener's defence mode.
+#[derive(Clone, Debug, Default)]
+pub enum DefenseMode {
+    /// No protection: the listen queue overflows and SYNs are dropped.
+    #[default]
+    None,
+    /// SYN cache: overflowing half-opens spill into a larger
+    /// reduced-state table (§2.1). "Although efficient against a single
+    /// attacker … once the cache is full, the server will default to the
+    /// same behavior it performed when its backlog limit is reached."
+    SynCache(SynCacheConfig),
+    /// SYN cookies engage when the listen queue is full.
+    SynCookies,
+    /// Client puzzles engage when the listen queue is full (precedence
+    /// over cookies).
+    Puzzles(PuzzleConfig),
+}
+
+/// Listener configuration.
+#[derive(Clone, Debug)]
+pub struct ListenerConfig {
+    /// The server's own address.
+    pub local_addr: Ipv4Addr,
+    /// The listening port.
+    pub port: u16,
+    /// Listen-queue (half-open) capacity — the `backlog`.
+    pub backlog: usize,
+    /// Accept-queue capacity.
+    pub accept_backlog: usize,
+    /// Defence mode.
+    pub defense: DefenseMode,
+    /// SYN-ACK retransmissions before a half-open connection is dropped.
+    /// The default (4, with a 1 s base timeout and exponential backoff)
+    /// gives half-opens a ~31 s lifetime — this is what produces the
+    /// ~30 s post-flood recovery lag the paper observes (Fig. 7).
+    pub synack_retries: u32,
+    /// Initial SYN-ACK retransmission timeout (doubles per retry).
+    pub synack_timeout: SimDuration,
+    /// Server MSS advertised in SYN-ACKs.
+    pub mss: u16,
+    /// Whether to negotiate the TCP timestamps option (when off, puzzles
+    /// embed their timestamp in the option blocks, §5).
+    pub use_timestamps: bool,
+}
+
+impl ListenerConfig {
+    /// A conventional configuration on `addr:port` with Linux-ish
+    /// defaults (backlog 256, accept backlog 256, no defence).
+    pub fn new(addr: Ipv4Addr, port: u16) -> Self {
+        ListenerConfig {
+            local_addr: addr,
+            port,
+            backlog: 256,
+            accept_backlog: 256,
+            defense: DefenseMode::None,
+            synack_retries: 4,
+            synack_timeout: SimDuration::from_secs(1),
+            mss: 1460,
+            use_timestamps: true,
+        }
+    }
+}
+
+/// How a connection reached the accept queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EstablishedVia {
+    /// Ordinary stateful handshake through the listen queue.
+    ListenQueue,
+    /// Promotion from the reduced-state SYN cache.
+    SynCache,
+    /// SYN-cookie validation.
+    Cookie,
+    /// Puzzle-solution verification.
+    Puzzle,
+}
+
+/// Events surfaced to the embedding host.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ListenerEvent {
+    /// A connection became established (entered the accept queue).
+    Established {
+        /// The client flow.
+        flow: FlowKey,
+        /// Which path established it.
+        via: EstablishedVia,
+    },
+    /// Application data arrived on an established connection.
+    Data {
+        /// The client flow.
+        flow: FlowKey,
+        /// Payload bytes.
+        payload: Vec<u8>,
+        /// Whether FIN was set.
+        fin: bool,
+    },
+    /// A SYN was dropped because the listen queue was full and no
+    /// stateless defence was active.
+    SynDropped {
+        /// The client flow.
+        flow: FlowKey,
+    },
+    /// An ACK carrying a solution was ignored because the accept queue
+    /// was full (the paper's deception mechanism).
+    AckIgnoredQueueFull {
+        /// The client flow.
+        flow: FlowKey,
+    },
+    /// A solution failed verification.
+    SolutionRejected {
+        /// The client flow.
+        flow: FlowKey,
+        /// Why it failed.
+        reason: VerifyError,
+    },
+    /// An established connection completed the handshake but the accept
+    /// queue overflowed, so it was discarded.
+    AcceptOverflow {
+        /// The client flow.
+        flow: FlowKey,
+    },
+    /// An RST was sent (data for a connection the server never admitted).
+    ResetSent {
+        /// The client flow.
+        flow: FlowKey,
+    },
+}
+
+/// Counters for everything the evaluation measures.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ListenerStats {
+    /// SYN segments received.
+    pub syns_received: u64,
+    /// Plain (stateful) SYN-ACKs sent, including retransmissions.
+    pub synacks_sent: u64,
+    /// SYN-ACKs carrying a challenge.
+    pub challenges_sent: u64,
+    /// SYN-ACKs carrying a cookie ISN.
+    pub cookies_sent: u64,
+    /// SYNs dropped with no defence active.
+    pub syns_dropped: u64,
+    /// Half-open connections dropped after retransmission exhaustion.
+    pub half_open_expired: u64,
+    /// Connections established through the listen queue.
+    pub established_direct: u64,
+    /// Connections established from the SYN cache.
+    pub established_syncache: u64,
+    /// SYN-cache entries that expired unanswered.
+    pub syncache_expired: u64,
+    /// Connections established by cookie validation.
+    pub established_cookie: u64,
+    /// Connections established by puzzle verification.
+    pub established_puzzle: u64,
+    /// Handshake-complete connections discarded because the accept queue
+    /// was full.
+    pub accept_overflow_drops: u64,
+    /// ACKs ignored because the accept queue was full (puzzle deception).
+    pub acks_ignored_queue_full: u64,
+    /// ACKs without a solution while puzzles were required.
+    pub acks_without_solution: u64,
+    /// Solutions that failed verification (all reasons).
+    pub verify_failures: u64,
+    /// Verification failures specifically due to expiry (replay window).
+    pub verify_expired: u64,
+    /// RST segments sent.
+    pub rsts_sent: u64,
+    /// Data segments received on established connections.
+    pub data_segments: u64,
+}
+
+impl ListenerStats {
+    /// Total connections that reached the accept queue.
+    pub fn established_total(&self) -> u64 {
+        self.established_direct
+            + self.established_syncache
+            + self.established_cookie
+            + self.established_puzzle
+    }
+}
+
+/// A half-open connection in the listen queue.
+#[derive(Clone, Debug)]
+struct HalfOpen {
+    client_isn: u32,
+    server_isn: u32,
+    mss: u16,
+    retries: u32,
+    next_retx: SimTime,
+    peer_tsval: u32,
+    has_ts: bool,
+}
+
+/// An established connection (accept queue or accepted).
+#[derive(Clone, Debug)]
+struct Established {
+    flow: FlowKey,
+    server_next_seq: u32,
+    mss: u16,
+}
+
+/// Output of feeding one segment to the listener.
+#[derive(Debug, Default)]
+pub struct ListenerOutput {
+    /// Segments to transmit, with their destination addresses.
+    pub replies: Vec<(Ipv4Addr, TcpSegment)>,
+    /// Events for the host.
+    pub events: Vec<ListenerEvent>,
+}
+
+/// The listening socket. See the module docs for the behavioural model.
+#[derive(Debug)]
+pub struct Listener {
+    cfg: ListenerConfig,
+    secret: ServerSecret,
+    verifier: Verifier,
+    cookies: SynCookieCodec,
+    listen_q: HashMap<FlowKey, HalfOpen>,
+    /// Reduced-state overflow entries (SYN-cache mode): flow → (server
+    /// ISN, expiry instant). No retransmission state is kept.
+    syn_cache: HashMap<FlowKey, (u32, SimTime)>,
+    accept_q: VecDeque<Established>,
+    /// Flows currently in the accept queue (for O(1) membership tests).
+    in_accept_q: HashMap<FlowKey, ()>,
+    /// Connections handed to the application by [`Listener::accept`].
+    accepted: HashMap<FlowKey, Established>,
+    stats: ListenerStats,
+    isn_counter: u64,
+    /// Puzzle-controller latch: challenge every SYN until this instant.
+    challenge_hold_until: SimTime,
+}
+
+impl Listener {
+    /// Creates a listener from a configuration and the server secret.
+    pub fn new(cfg: ListenerConfig, secret: ServerSecret) -> Self {
+        let expiry = match &cfg.defense {
+            DefenseMode::Puzzles(p) => p.expiry,
+            _ => PuzzleConfig::default().expiry,
+        };
+        let verifier = Verifier::new(secret.clone()).with_expiry(expiry);
+        let cookies = SynCookieCodec::new(*secret.as_bytes());
+        Listener {
+            cfg,
+            secret,
+            verifier,
+            cookies,
+            listen_q: HashMap::new(),
+            syn_cache: HashMap::new(),
+            accept_q: VecDeque::new(),
+            in_accept_q: HashMap::new(),
+            accepted: HashMap::new(),
+            stats: ListenerStats::default(),
+            isn_counter: 0,
+            challenge_hold_until: SimTime::ZERO,
+        }
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &ListenerConfig {
+        &self.cfg
+    }
+
+    /// Runtime-tunes the puzzle difficulty, like the paper's sysctl knob.
+    /// No-op unless the defence mode is `Puzzles`.
+    pub fn set_difficulty(&mut self, difficulty: Difficulty) {
+        if let DefenseMode::Puzzles(p) = &mut self.cfg.defense {
+            p.difficulty = difficulty;
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ListenerStats {
+        self.stats
+    }
+
+    /// `(listen_queue_len, accept_queue_len)` — what Fig. 10 plots.
+    pub fn queue_depths(&self) -> (usize, usize) {
+        (self.listen_q.len(), self.accept_q.len())
+    }
+
+    /// Current SYN-cache occupancy (0 unless in SYN-cache mode).
+    pub fn syn_cache_len(&self) -> usize {
+        self.syn_cache.len()
+    }
+
+    /// Pops the oldest established connection for application service.
+    pub fn accept(&mut self) -> Option<FlowKey> {
+        let conn = self.accept_q.pop_front()?;
+        self.in_accept_q.remove(&conn.flow);
+        let flow = conn.flow;
+        self.accepted.insert(flow, conn);
+        Some(flow)
+    }
+
+    /// Sends `len` bytes of application data to an accepted flow, chunked
+    /// by the connection MSS; sets FIN on the last chunk when `fin`,
+    /// closing the connection server-side.
+    ///
+    /// Returns an empty vector if the flow is not in the accepted set.
+    pub fn send_data(&mut self, flow: FlowKey, len: usize, fin: bool) -> Vec<(Ipv4Addr, TcpSegment)> {
+        let Some(conn) = self.accepted.get_mut(&flow) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mss = conn.mss as usize;
+        let mut remaining = len;
+        loop {
+            let chunk = remaining.min(mss);
+            remaining -= chunk;
+            let last = remaining == 0;
+            let mut flags = TcpFlags::ACK;
+            if last {
+                flags = flags | TcpFlags::PSH;
+                if fin {
+                    flags = flags | TcpFlags::FIN;
+                }
+            }
+            let seg = SegmentBuilder::new(self.cfg.port, flow.port)
+                .seq(conn.server_next_seq)
+                .flags(flags)
+                .payload(vec![b'x'; chunk])
+                .build();
+            conn.server_next_seq = conn.server_next_seq.wrapping_add(chunk as u32);
+            out.push((flow.addr, seg));
+            if last {
+                break;
+            }
+        }
+        if fin {
+            self.accepted.remove(&flow);
+        }
+        out
+    }
+
+    /// Closes an accepted flow without sending anything.
+    pub fn close(&mut self, flow: FlowKey) {
+        self.accepted.remove(&flow);
+    }
+
+    /// Feeds one inbound segment. `src` is the IP source address (possibly
+    /// spoofed — the listener treats it as opaque, like a real stack).
+    pub fn on_segment(&mut self, now: SimTime, src: Ipv4Addr, seg: &TcpSegment) -> ListenerOutput {
+        let mut out = ListenerOutput::default();
+        let flow = FlowKey {
+            addr: src,
+            port: seg.src_port,
+        };
+        if seg.flags.contains(TcpFlags::RST) {
+            self.listen_q.remove(&flow);
+            self.syn_cache.remove(&flow);
+            self.accepted.remove(&flow);
+            return out;
+        }
+        if seg.flags.contains(TcpFlags::SYN) && !seg.flags.contains(TcpFlags::ACK) {
+            self.handle_syn(now, flow, seg, &mut out);
+        } else if seg.flags.contains(TcpFlags::ACK) {
+            self.handle_ack(now, flow, seg, &mut out);
+        }
+        out
+    }
+
+    /// Drives retransmissions and half-open expiry; call periodically.
+    pub fn poll(&mut self, now: SimTime) -> Vec<(Ipv4Addr, TcpSegment)> {
+        let mut out = Vec::new();
+        let mut expired = Vec::new();
+        let max_retries = self.cfg.synack_retries;
+        let base = self.cfg.synack_timeout;
+        let port = self.cfg.port;
+        let use_ts = self.cfg.use_timestamps;
+        let now_ts = puzzle_clock(now);
+        for (flow, half) in self.listen_q.iter_mut() {
+            if half.next_retx > now {
+                continue;
+            }
+            if half.retries >= max_retries {
+                expired.push(*flow);
+                continue;
+            }
+            half.retries += 1;
+            // Exponential backoff: timeout × 2^retries.
+            let backoff = base * (1u64 << half.retries.min(16));
+            half.next_retx = now + backoff;
+            let seg = build_synack(
+                port,
+                *flow,
+                half.server_isn,
+                half.client_isn,
+                half.mss,
+                use_ts.then_some((now_ts, half.peer_tsval)).filter(|_| half.has_ts),
+            );
+            out.push((flow.addr, seg));
+        }
+        for flow in expired {
+            self.listen_q.remove(&flow);
+            self.stats.half_open_expired += 1;
+        }
+        let before = self.syn_cache.len();
+        self.syn_cache.retain(|_, (_, expires)| *expires > now);
+        self.stats.syncache_expired += (before - self.syn_cache.len()) as u64;
+        self.stats.synacks_sent += out.len() as u64;
+        out
+    }
+
+    fn next_server_isn(&mut self, flow: FlowKey) -> u32 {
+        self.isn_counter += 1;
+        let mut mac = HmacSha256::new(self.secret.as_bytes());
+        mac.update(b"isn");
+        mac.update(&flow.addr.octets());
+        mac.update(&flow.port.to_be_bytes());
+        mac.update(&self.isn_counter.to_be_bytes());
+        let t = mac.finalize();
+        u32::from_be_bytes([t[0], t[1], t[2], t[3]])
+    }
+
+    fn handle_syn(
+        &mut self,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        out: &mut ListenerOutput,
+    ) {
+        self.stats.syns_received += 1;
+        let now_ts = puzzle_clock(now);
+        let client_ts = seg.timestamps().map(|(tsval, _)| tsval);
+
+        // Duplicate SYN for an existing half-open: retransmit the SYN-ACK.
+        if let Some(half) = self.listen_q.get(&flow) {
+            let reply = build_synack(
+                self.cfg.port,
+                flow,
+                half.server_isn,
+                half.client_isn,
+                half.mss,
+                (self.cfg.use_timestamps && half.has_ts).then_some((now_ts, half.peer_tsval)),
+            );
+            self.stats.synacks_sent += 1;
+            out.replies.push((flow.addr, reply));
+            return;
+        }
+        // SYN for an already-established flow: ignore.
+        if self.in_accept_q.contains_key(&flow) || self.accepted.contains_key(&flow) {
+            return;
+        }
+
+        let listen_full = self.listen_q.len() >= self.cfg.backlog;
+        let accept_full = self.accept_q.len() >= self.cfg.accept_backlog;
+        // Queue-pressure policy:
+        // * Puzzles engage when *either* queue is under pressure — §5
+        //   explicitly modifies the listening socket "to send a challenge
+        //   when the protection is in effect, even if the accept queue
+        //   overflows" — and stay engaged for the hysteresis hold after
+        //   the last observed overflow (see [`PuzzleConfig::hold`]).
+        // * Stock Linux (None / SynCookies) drops a SYN outright while the
+        //   accept queue is full — a completing child could not be
+        //   admitted anyway. Cookies only address listen-queue overflow,
+        //   which is why they fail against connection floods (§2.1, §6.2).
+        let puzzles_latched = if let DefenseMode::Puzzles(pc) = &self.cfg.defense {
+            if listen_full || accept_full {
+                self.challenge_hold_until = now + pc.hold;
+            }
+            now < self.challenge_hold_until
+        } else {
+            false
+        };
+        if listen_full || accept_full || puzzles_latched {
+            match &self.cfg.defense {
+                DefenseMode::Puzzles(pc) => {
+                    // Stateless challenge, even if the accept queue is also
+                    // overflowing (§5).
+                    let tuple = self.tuple_for(flow, seg.seq);
+                    let challenge = self
+                        .verifier
+                        .issue(&tuple, now_ts, pc.difficulty, pc.preimage_bits)
+                        .expect("validated at config time");
+                    let embed_ts = !(self.cfg.use_timestamps && client_ts.is_some());
+                    let copt = ChallengeOption {
+                        k: pc.difficulty.k(),
+                        m: pc.difficulty.m(),
+                        preimage: challenge.preimage().to_vec(),
+                        timestamp: embed_ts.then_some(now_ts),
+                    };
+                    let server_isn = self.next_server_isn(flow);
+                    let mut b = SegmentBuilder::new(self.cfg.port, flow.port)
+                        .seq(server_isn)
+                        .ack_num(seg.seq.wrapping_add(1))
+                        .flags(TcpFlags::SYN | TcpFlags::ACK)
+                        .mss(self.cfg.mss);
+                    if let (true, Some(tsval)) = (self.cfg.use_timestamps, client_ts) {
+                        b = b.timestamps(now_ts, tsval);
+                    }
+                    let reply = b.option(TcpOption::Challenge(copt)).build();
+                    self.stats.challenges_sent += 1;
+                    out.replies.push((flow.addr, reply));
+                }
+                DefenseMode::SynCache(cc) => {
+                    // Spill into the reduced-state cache while it has room
+                    // (and the accept path could still admit a completion).
+                    if accept_full || self.syn_cache.len() >= cc.capacity {
+                        self.stats.syns_dropped += 1;
+                        out.events.push(ListenerEvent::SynDropped { flow });
+                        return;
+                    }
+                    let lifetime = cc.lifetime;
+                    let server_isn = self.next_server_isn(flow);
+                    self.syn_cache
+                        .insert(flow, (server_isn, now + lifetime));
+                    let reply = build_synack(
+                        self.cfg.port,
+                        flow,
+                        server_isn,
+                        seg.seq,
+                        self.cfg.mss,
+                        (self.cfg.use_timestamps && client_ts.is_some())
+                            .then_some((now_ts, client_ts.unwrap_or(0))),
+                    );
+                    self.stats.synacks_sent += 1;
+                    out.replies.push((flow.addr, reply));
+                }
+                DefenseMode::SynCookies => {
+                    if accept_full {
+                        self.stats.syns_dropped += 1;
+                        out.events.push(ListenerEvent::SynDropped { flow });
+                        return;
+                    }
+                    let counter = cookie_counter(now);
+                    let isn = self.cookies.encode(
+                        flow.addr,
+                        flow.port,
+                        self.cfg.local_addr,
+                        self.cfg.port,
+                        seg.seq,
+                        seg.mss().unwrap_or(536),
+                        counter,
+                    );
+                    // Cookies cannot carry window scale; MSS is quantized
+                    // into the cookie itself. The SYN-ACK advertises the
+                    // server MSS as usual.
+                    let mut b = SegmentBuilder::new(self.cfg.port, flow.port)
+                        .seq(isn)
+                        .ack_num(seg.seq.wrapping_add(1))
+                        .flags(TcpFlags::SYN | TcpFlags::ACK)
+                        .mss(self.cfg.mss);
+                    if let (true, Some(tsval)) = (self.cfg.use_timestamps, client_ts) {
+                        b = b.timestamps(now_ts, tsval);
+                    }
+                    self.stats.cookies_sent += 1;
+                    out.replies.push((flow.addr, b.build()));
+                }
+                DefenseMode::None => {
+                    self.stats.syns_dropped += 1;
+                    out.events.push(ListenerEvent::SynDropped { flow });
+                }
+            }
+            return;
+        }
+
+        // Room in the listen queue: ordinary stateful handshake.
+        let server_isn = self.next_server_isn(flow);
+        let mss = seg.mss().unwrap_or(536).min(self.cfg.mss);
+        let half = HalfOpen {
+            client_isn: seg.seq,
+            server_isn,
+            mss,
+            retries: 0,
+            next_retx: now + self.cfg.synack_timeout,
+            peer_tsval: client_ts.unwrap_or(0),
+            has_ts: client_ts.is_some(),
+        };
+        let reply = build_synack(
+            self.cfg.port,
+            flow,
+            server_isn,
+            seg.seq,
+            self.cfg.mss,
+            (self.cfg.use_timestamps && half.has_ts).then_some((now_ts, half.peer_tsval)),
+        );
+        self.listen_q.insert(flow, half);
+        self.stats.synacks_sent += 1;
+        out.replies.push((flow.addr, reply));
+    }
+
+    fn handle_ack(
+        &mut self,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        out: &mut ListenerOutput,
+    ) {
+        // Data (or pure ACK) on a connection we admitted.
+        if self.accepted.contains_key(&flow) || self.in_accept_q.contains_key(&flow) {
+            if !seg.payload.is_empty() || seg.flags.contains(TcpFlags::FIN) {
+                self.stats.data_segments += 1;
+                out.events.push(ListenerEvent::Data {
+                    flow,
+                    payload: seg.payload.clone(),
+                    fin: seg.flags.contains(TcpFlags::FIN),
+                });
+            }
+            return;
+        }
+
+        // Handshake completion for a stateful half-open connection.
+        if let Some(half) = self.listen_q.get(&flow) {
+            if seg.ack == half.server_isn.wrapping_add(1) {
+                if self.accept_q.len() >= self.cfg.accept_backlog {
+                    // Linux behaviour: with the accept queue full the ACK
+                    // cannot be honoured; the half-open stays in the listen
+                    // queue (SYN-ACK keeps retransmitting until it expires).
+                    // This is how accept-queue pressure backs up into the
+                    // listen queue — the saturation Fig. 10 shows under a
+                    // connection flood.
+                    self.stats.accept_overflow_drops += 1;
+                    out.events.push(ListenerEvent::AcceptOverflow { flow });
+                    return;
+                }
+                let half = self.listen_q.remove(&flow).expect("present");
+                self.finish_establish(
+                    flow,
+                    half.server_isn.wrapping_add(1),
+                    half.mss,
+                    EstablishedVia::ListenQueue,
+                    seg,
+                    out,
+                );
+            }
+            // Wrong ack number: leave the half-open alone and ignore.
+            return;
+        }
+
+        // Reduced-state SYN-cache promotion.
+        if let Some(&(server_isn, expires)) = self.syn_cache.get(&flow) {
+            if seg.ack == server_isn.wrapping_add(1) {
+                if now > expires {
+                    self.syn_cache.remove(&flow);
+                    self.stats.syncache_expired += 1;
+                } else if self.accept_q.len() >= self.cfg.accept_backlog {
+                    // Partial state cannot linger like a full half-open:
+                    // the entry stays until expiry, the ACK is dropped.
+                    self.stats.accept_overflow_drops += 1;
+                    out.events.push(ListenerEvent::AcceptOverflow { flow });
+                    return;
+                } else {
+                    self.syn_cache.remove(&flow);
+                    // The cache kept no MSS state; fall back to the
+                    // minimum like cookies do (the degradation §2.1
+                    // mitigations accept).
+                    self.finish_establish(
+                        flow,
+                        server_isn.wrapping_add(1),
+                        536,
+                        EstablishedVia::SynCache,
+                        seg,
+                        out,
+                    );
+                    return;
+                }
+            }
+        }
+
+        // No state: stateless defence completion paths.
+        match self.cfg.defense.clone() {
+            DefenseMode::Puzzles(pc) => {
+                if let Some(sol) = seg.solution() {
+                    // "First checks if the queue is full and only performs
+                    // the verification procedure when there is room."
+                    if self.accept_q.len() >= self.cfg.accept_backlog {
+                        self.stats.acks_ignored_queue_full += 1;
+                        out.events.push(ListenerEvent::AckIgnoredQueueFull { flow });
+                        return;
+                    }
+                    match self.verify_solution(now, flow, seg, sol, &pc) {
+                        Ok(mss) => {
+                            self.finish_establish(
+                                flow,
+                                seg.ack,
+                                mss.min(self.cfg.mss),
+                                EstablishedVia::Puzzle,
+                                seg,
+                                out,
+                            );
+                        }
+                        Err(reason) => {
+                            self.stats.verify_failures += 1;
+                            if matches!(reason, VerifyError::Expired { .. }) {
+                                self.stats.verify_expired += 1;
+                            }
+                            out.events.push(ListenerEvent::SolutionRejected { flow, reason });
+                        }
+                    }
+                    return;
+                }
+                // ACK without a solution while puzzles are required: the
+                // sender either ignored our challenge or is flooding.
+                if !seg.payload.is_empty() || seg.flags.contains(TcpFlags::FIN) {
+                    // Deceived sender pushing data: reset (§5).
+                    self.send_rst(flow, seg, out);
+                } else {
+                    self.stats.acks_without_solution += 1;
+                }
+            }
+            DefenseMode::SynCookies => {
+                let cookie = seg.ack.wrapping_sub(1);
+                let client_isn = seg.seq.wrapping_sub(1);
+                let mss = self.cookies.validate(
+                    flow.addr,
+                    flow.port,
+                    self.cfg.local_addr,
+                    self.cfg.port,
+                    client_isn,
+                    cookie,
+                    cookie_counter(now),
+                );
+                match mss {
+                    Some(mss) => {
+                        if self.accept_q.len() >= self.cfg.accept_backlog {
+                            self.stats.accept_overflow_drops += 1;
+                            out.events.push(ListenerEvent::AcceptOverflow { flow });
+                            return;
+                        }
+                        self.finish_establish(flow, seg.ack, mss, EstablishedVia::Cookie, seg, out);
+                    }
+                    None => {
+                        if !seg.payload.is_empty() || seg.flags.contains(TcpFlags::FIN) {
+                            self.send_rst(flow, seg, out);
+                        }
+                    }
+                }
+            }
+            DefenseMode::None | DefenseMode::SynCache(_) => {
+                if !seg.payload.is_empty() || seg.flags.contains(TcpFlags::FIN) {
+                    self.send_rst(flow, seg, out);
+                }
+            }
+        }
+    }
+
+    /// Common establishment tail: accept-queue admission + data delivery.
+    fn finish_establish(
+        &mut self,
+        flow: FlowKey,
+        server_next_seq: u32,
+        mss: u16,
+        via: EstablishedVia,
+        seg: &TcpSegment,
+        out: &mut ListenerOutput,
+    ) {
+        if self.accept_q.len() >= self.cfg.accept_backlog {
+            self.stats.accept_overflow_drops += 1;
+            out.events.push(ListenerEvent::AcceptOverflow { flow });
+            return;
+        }
+        self.accept_q.push_back(Established {
+            flow,
+            server_next_seq,
+            mss,
+        });
+        self.in_accept_q.insert(flow, ());
+        match via {
+            EstablishedVia::ListenQueue => self.stats.established_direct += 1,
+            EstablishedVia::SynCache => self.stats.established_syncache += 1,
+            EstablishedVia::Cookie => self.stats.established_cookie += 1,
+            EstablishedVia::Puzzle => self.stats.established_puzzle += 1,
+        }
+        out.events.push(ListenerEvent::Established { flow, via });
+        if !seg.payload.is_empty() || seg.flags.contains(TcpFlags::FIN) {
+            self.stats.data_segments += 1;
+            out.events.push(ListenerEvent::Data {
+                flow,
+                payload: seg.payload.clone(),
+                fin: seg.flags.contains(TcpFlags::FIN),
+            });
+        }
+    }
+
+    fn send_rst(&mut self, flow: FlowKey, seg: &TcpSegment, out: &mut ListenerOutput) {
+        let rst = SegmentBuilder::new(self.cfg.port, flow.port)
+            .seq(seg.ack)
+            .flags(TcpFlags::RST)
+            .build();
+        self.stats.rsts_sent += 1;
+        out.events.push(ListenerEvent::ResetSent { flow });
+        out.replies.push((flow.addr, rst));
+    }
+
+    fn tuple_for(&self, flow: FlowKey, client_isn: u32) -> ConnectionTuple {
+        ConnectionTuple::new(
+            flow.addr,
+            flow.port,
+            self.cfg.local_addr,
+            self.cfg.port,
+            client_isn,
+        )
+    }
+
+    /// Verifies the solution option against the recomputed challenge.
+    /// Returns the client's re-sent MSS on success.
+    fn verify_solution(
+        &mut self,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        sol: &SolutionOption,
+        pc: &PuzzleConfig,
+    ) -> Result<u16, VerifyError> {
+        let k = pc.difficulty.k();
+        // Timestamp source: TS option echo, else embedded in the block.
+        let ts_echo = seg.timestamps().map(|(_, tsecr)| tsecr);
+        let embedded = ts_echo.is_none();
+        let (proofs, embedded_ts) = sol
+            .split(k, pc.preimage_bits, embedded)
+            .map_err(|_| VerifyError::WrongSolutionCount {
+                expected: k,
+                got: 0,
+            })?;
+        let issued_at = ts_echo.or(embedded_ts).unwrap_or(0);
+        let client_isn = seg.seq.wrapping_sub(1);
+        let tuple = self.tuple_for(flow, client_isn);
+        let params = ChallengeParams {
+            difficulty: pc.difficulty,
+            preimage_bits: pc.preimage_bits as u8,
+            timestamp: issued_at,
+        };
+        let solution = Solution::new(proofs);
+        let now_ts = puzzle_clock(now);
+        match pc.verify {
+            VerifyMode::Real => self.verifier.verify(&tuple, &params, &solution, now_ts)?,
+            VerifyMode::Oracle => {
+                oracle_verify(&self.secret, &self.verifier, &tuple, &params, &solution, now_ts)?
+            }
+        }
+        Ok(sol.mss)
+    }
+}
+
+/// Builds a stateful SYN-ACK with the standard option set.
+fn build_synack(
+    port: u16,
+    flow: FlowKey,
+    server_isn: u32,
+    client_isn: u32,
+    mss: u16,
+    ts: Option<(u32, u32)>,
+) -> TcpSegment {
+    let mut b = SegmentBuilder::new(port, flow.port)
+        .seq(server_isn)
+        .ack_num(client_isn.wrapping_add(1))
+        .flags(TcpFlags::SYN | TcpFlags::ACK)
+        .mss(mss)
+        .window_scale(7);
+    if let Some((tsval, tsecr)) = ts {
+        b = b.timestamps(tsval, tsecr);
+    }
+    b.build()
+}
+
+/// The cookie epoch for a simulation instant.
+fn cookie_counter(now: SimTime) -> u64 {
+    now.as_nanos() / 1_000_000_000 / crate::cookie::COUNTER_PERIOD_SECS
+}
+
+/// Mints the simulation-oracle proof for sub-puzzle `index` (1-based):
+/// `HMAC(secret, preimage ‖ index)` truncated to the solution length.
+///
+/// Solving hosts in the simulator call this *after* modelling the
+/// brute-force delay; the listener in [`VerifyMode::Oracle`] recomputes it
+/// to verify. See the mode's docs for why this preserves the protocol's
+/// observable behaviour.
+pub fn oracle_proof(secret: &ServerSecret, preimage: &[u8], index: u8, len: usize) -> Vec<u8> {
+    let mut mac = HmacSha256::new(secret.as_bytes());
+    mac.update(preimage);
+    mac.update(&[index]);
+    mac.finalize()[..len].to_vec()
+}
+
+/// Oracle-mode verification: identical structural and freshness checks to
+/// [`Verifier::verify`], with the hash-prefix check replaced by the keyed
+/// oracle comparison.
+fn oracle_verify(
+    secret: &ServerSecret,
+    verifier: &Verifier,
+    tuple: &ConnectionTuple,
+    params: &ChallengeParams,
+    solution: &Solution,
+    now: u32,
+) -> Result<(), VerifyError> {
+    // Freshness window (same as the real verifier).
+    if params.timestamp > now {
+        return Err(VerifyError::FutureTimestamp {
+            issued_at: params.timestamp,
+            now,
+        });
+    }
+    if now - params.timestamp > verifier.max_age() {
+        return Err(VerifyError::Expired {
+            issued_at: params.timestamp,
+            now,
+            max_age: verifier.max_age(),
+        });
+    }
+    let k = params.difficulty.k();
+    if solution.len() != k as usize {
+        return Err(VerifyError::WrongSolutionCount {
+            expected: k,
+            got: solution.len(),
+        });
+    }
+    // Recompute the pre-image exactly as the real path does.
+    let challenge = puzzle_core::Challenge::issue(
+        secret,
+        tuple,
+        params.timestamp,
+        params.difficulty,
+        params.preimage_bits as u16,
+    )
+    .map_err(VerifyError::BadParams)?;
+    let len = challenge.preimage().len();
+    for (i, proof) in solution.proofs().iter().enumerate() {
+        if proof.len() != len {
+            return Err(VerifyError::BadSolutionLength { index: i });
+        }
+        if proof != &oracle_proof(secret, challenge.preimage(), i as u8 + 1, len) {
+            return Err(VerifyError::Invalid { index: i });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puzzle_core::Solver;
+
+    const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const CLIENT_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn listener(defense: DefenseMode, backlog: usize, accept_backlog: usize) -> Listener {
+        let mut cfg = ListenerConfig::new(SERVER_IP, 80);
+        cfg.defense = defense;
+        cfg.backlog = backlog;
+        cfg.accept_backlog = accept_backlog;
+        Listener::new(cfg, ServerSecret::from_bytes([7; 32]))
+    }
+
+    fn syn(port: u16, isn: u32) -> TcpSegment {
+        SegmentBuilder::new(port, 80)
+            .seq(isn)
+            .flags(TcpFlags::SYN)
+            .mss(1460)
+            .timestamps(1, 0)
+            .build()
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn plain_handshake_establishes() {
+        let mut l = listener(DefenseMode::None, 4, 4);
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(1000, 500));
+        assert_eq!(out.replies.len(), 1);
+        let (_, synack) = &out.replies[0];
+        assert!(synack.flags.contains(TcpFlags::SYN | TcpFlags::ACK));
+        assert_eq!(synack.ack, 501);
+        assert_eq!(l.queue_depths(), (1, 0));
+
+        let ack = SegmentBuilder::new(1000, 80)
+            .seq(501)
+            .ack_num(synack.seq.wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .build();
+        let out = l.on_segment(t(0), CLIENT_IP, &ack);
+        assert!(matches!(
+            out.events.as_slice(),
+            [ListenerEvent::Established {
+                via: EstablishedVia::ListenQueue,
+                ..
+            }]
+        ));
+        assert_eq!(l.queue_depths(), (0, 1));
+        assert_eq!(l.stats().established_direct, 1);
+        assert_eq!(l.accept(), Some(FlowKey { addr: CLIENT_IP, port: 1000 }));
+    }
+
+    #[test]
+    fn wrong_ack_number_does_not_establish() {
+        let mut l = listener(DefenseMode::None, 4, 4);
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(1000, 500));
+        let (_, synack) = &out.replies[0];
+        let bad_ack = SegmentBuilder::new(1000, 80)
+            .seq(501)
+            .ack_num(synack.seq) // off by one
+            .flags(TcpFlags::ACK)
+            .build();
+        let out = l.on_segment(t(0), CLIENT_IP, &bad_ack);
+        assert!(out.events.is_empty());
+        assert_eq!(l.queue_depths(), (1, 0));
+    }
+
+    #[test]
+    fn no_defense_drops_syns_when_backlog_full() {
+        let mut l = listener(DefenseMode::None, 2, 4);
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        l.on_segment(t(0), CLIENT_IP, &syn(1001, 2));
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(1002, 3));
+        assert!(out.replies.is_empty());
+        assert!(matches!(out.events.as_slice(), [ListenerEvent::SynDropped { .. }]));
+        assert_eq!(l.stats().syns_dropped, 1);
+        assert_eq!(l.queue_depths(), (2, 0));
+    }
+
+    #[test]
+    fn duplicate_syn_retransmits_same_synack() {
+        let mut l = listener(DefenseMode::None, 4, 4);
+        let a = l.on_segment(t(0), CLIENT_IP, &syn(1000, 500));
+        let b = l.on_segment(t(1), CLIENT_IP, &syn(1000, 500));
+        assert_eq!(a.replies[0].1.seq, b.replies[0].1.seq);
+        assert_eq!(l.queue_depths(), (1, 0));
+    }
+
+    #[test]
+    fn cookies_engage_when_backlog_full_and_validate() {
+        let mut l = listener(DefenseMode::SynCookies, 1, 4);
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        // Backlog (1) now full: next SYN gets a cookie.
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(2000, 77));
+        assert_eq!(out.replies.len(), 1);
+        let cookie_synack = &out.replies[0].1;
+        assert_eq!(l.stats().cookies_sent, 1);
+        assert_eq!(l.queue_depths(), (1, 0)); // stateless
+
+        let ack = SegmentBuilder::new(2000, 80)
+            .seq(78)
+            .ack_num(cookie_synack.seq.wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .build();
+        let out = l.on_segment(t(1), CLIENT_IP, &ack);
+        assert!(matches!(
+            out.events.as_slice(),
+            [ListenerEvent::Established {
+                via: EstablishedVia::Cookie,
+                ..
+            }]
+        ));
+        assert_eq!(l.stats().established_cookie, 1);
+    }
+
+    #[test]
+    fn forged_cookie_ack_rejected() {
+        let mut l = listener(DefenseMode::SynCookies, 1, 4);
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        let ack = SegmentBuilder::new(2000, 80)
+            .seq(78)
+            .ack_num(0x1234_5678)
+            .flags(TcpFlags::ACK)
+            .build();
+        let out = l.on_segment(t(0), CLIENT_IP, &ack);
+        assert!(out.events.is_empty());
+        assert_eq!(l.stats().established_cookie, 0);
+    }
+
+    fn puzzle_listener(backlog: usize, accept_backlog: usize, verify: VerifyMode) -> Listener {
+        let pc = PuzzleConfig {
+            difficulty: Difficulty::new(2, 6).unwrap(),
+            preimage_bits: 32,
+            expiry: 8,
+            verify,
+            hold: netsim::SimDuration::ZERO,
+        };
+        listener(DefenseMode::Puzzles(pc), backlog, accept_backlog)
+    }
+
+    /// Completes a challenged handshake with the real solver.
+    fn solve_and_ack(
+        l: &mut Listener,
+        now: SimTime,
+        client_port: u16,
+        client_isn: u32,
+        challenged: &TcpSegment,
+    ) -> TcpSegment {
+        let copt = challenged.challenge().expect("challenge expected");
+        let issued = challenged
+            .timestamps()
+            .map(|(tsval, _)| tsval)
+            .or(copt.timestamp)
+            .unwrap();
+        let tuple = ConnectionTuple::new(CLIENT_IP, client_port, SERVER_IP, 80, client_isn);
+        let challenge = puzzle_core::Challenge::issue(
+            &ServerSecret::from_bytes([7; 32]),
+            &tuple,
+            issued,
+            Difficulty::new(copt.k, copt.m).unwrap(),
+            copt.l_bits() as u16,
+        )
+        .unwrap();
+        assert_eq!(challenge.preimage(), &copt.preimage[..], "preimage mismatch");
+        let solved = Solver::new().solve(&challenge);
+        let sol = SolutionOption::build(1460, 7, solved.solution.proofs(), None);
+        let _ = now;
+        SegmentBuilder::new(client_port, 80)
+            .seq(client_isn.wrapping_add(1))
+            .ack_num(challenged.seq.wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .timestamps(2, issued)
+            .option(TcpOption::Solution(sol))
+            .build()
+    }
+
+    #[test]
+    fn puzzles_challenge_when_backlog_full_and_real_solution_establishes() {
+        let mut l = puzzle_listener(1, 4, VerifyMode::Real);
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 1)); // fills backlog
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(2000, 500));
+        let challenged = &out.replies[0].1;
+        assert!(challenged.challenge().is_some());
+        assert_eq!(l.stats().challenges_sent, 1);
+        assert_eq!(l.queue_depths(), (1, 0)); // stateless
+
+        let ack = solve_and_ack(&mut l, t(1), 2000, 500, challenged);
+        let out = l.on_segment(t(1), CLIENT_IP, &ack);
+        assert!(
+            matches!(
+                out.events.as_slice(),
+                [ListenerEvent::Established {
+                    via: EstablishedVia::Puzzle,
+                    ..
+                }]
+            ),
+            "events: {:?}",
+            out.events
+        );
+        assert_eq!(l.stats().established_puzzle, 1);
+    }
+
+    #[test]
+    fn puzzles_not_engaged_below_backlog() {
+        let mut l = puzzle_listener(4, 4, VerifyMode::Real);
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        assert!(out.replies[0].1.challenge().is_none());
+        assert_eq!(l.stats().challenges_sent, 0);
+        assert_eq!(l.stats().synacks_sent, 1);
+    }
+
+    #[test]
+    fn bogus_solution_rejected() {
+        let mut l = puzzle_listener(1, 4, VerifyMode::Real);
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(2000, 500));
+        let challenged = out.replies[0].1.clone();
+        let issued = challenged.timestamps().unwrap().0;
+        let bogus = SolutionOption::build(1460, 7, &[vec![0xaa; 4], vec![0xbb; 4]], None);
+        let ack = SegmentBuilder::new(2000, 80)
+            .seq(501)
+            .ack_num(challenged.seq.wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .timestamps(2, issued)
+            .option(TcpOption::Solution(bogus))
+            .build();
+        let out = l.on_segment(t(1), CLIENT_IP, &ack);
+        assert!(matches!(
+            out.events.as_slice(),
+            [ListenerEvent::SolutionRejected { .. }]
+        ));
+        assert_eq!(l.stats().verify_failures, 1);
+        assert_eq!(l.stats().established_puzzle, 0);
+    }
+
+    #[test]
+    fn expired_solution_rejected_replay_defence() {
+        let mut l = puzzle_listener(1, 4, VerifyMode::Real);
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(2000, 500));
+        let challenged = out.replies[0].1.clone();
+        let ack = solve_and_ack(&mut l, t(0), 2000, 500, &challenged);
+        // Replay 100 s later: outside the 8 s window.
+        let out = l.on_segment(t(100), CLIENT_IP, &ack);
+        assert!(matches!(
+            out.events.as_slice(),
+            [ListenerEvent::SolutionRejected {
+                reason: VerifyError::Expired { .. },
+                ..
+            }]
+        ));
+        assert_eq!(l.stats().verify_expired, 1);
+    }
+
+    #[test]
+    fn replayed_solution_for_other_flow_rejected() {
+        let mut l = puzzle_listener(1, 4, VerifyMode::Real);
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(2000, 500));
+        let challenged = out.replies[0].1.clone();
+        let ack = solve_and_ack(&mut l, t(0), 2000, 500, &challenged);
+        // Attacker at a different port replays the same ACK payload.
+        let mut replay = ack.clone();
+        replay.src_port = 3000;
+        let out = l.on_segment(t(1), CLIENT_IP, &replay);
+        assert!(matches!(
+            out.events.as_slice(),
+            [ListenerEvent::SolutionRejected { .. }]
+        ));
+        // The original still works (one slot per solution).
+        let out = l.on_segment(t(1), CLIENT_IP, &ack);
+        assert!(matches!(
+            out.events.as_slice(),
+            [ListenerEvent::Established { .. }]
+        ));
+    }
+
+    #[test]
+    fn ack_ignored_when_accept_queue_full_then_data_gets_rst() {
+        let mut l = puzzle_listener(1, 0, VerifyMode::Real); // accept backlog 0
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(2000, 500));
+        let challenged = out.replies[0].1.clone();
+        let ack = solve_and_ack(&mut l, t(0), 2000, 500, &challenged);
+        let out = l.on_segment(t(0), CLIENT_IP, &ack);
+        // Ignored silently: no reply, deception event only.
+        assert!(out.replies.is_empty());
+        assert!(matches!(
+            out.events.as_slice(),
+            [ListenerEvent::AckIgnoredQueueFull { .. }]
+        ));
+        // The deceived client pushes data → RST.
+        let data = SegmentBuilder::new(2000, 80)
+            .seq(502)
+            .flags(TcpFlags::ACK | TcpFlags::PSH)
+            .payload(b"GET /".to_vec())
+            .build();
+        let out = l.on_segment(t(0), CLIENT_IP, &data);
+        assert_eq!(out.replies.len(), 1);
+        assert!(out.replies[0].1.flags.contains(TcpFlags::RST));
+        assert_eq!(l.stats().rsts_sent, 1);
+    }
+
+    #[test]
+    fn non_solver_ack_is_ignored_while_puzzles_active() {
+        let mut l = puzzle_listener(1, 4, VerifyMode::Real);
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(2000, 500));
+        let challenged = out.replies[0].1.clone();
+        let plain_ack = SegmentBuilder::new(2000, 80)
+            .seq(501)
+            .ack_num(challenged.seq.wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .build();
+        let out = l.on_segment(t(0), CLIENT_IP, &plain_ack);
+        assert!(out.replies.is_empty());
+        assert!(out.events.is_empty());
+        assert_eq!(l.stats().acks_without_solution, 1);
+    }
+
+    #[test]
+    fn oracle_mode_accepts_oracle_proofs_rejects_garbage() {
+        let mut l = puzzle_listener(1, 4, VerifyMode::Oracle);
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(2000, 500));
+        let challenged = out.replies[0].1.clone();
+        let copt = challenged.challenge().unwrap();
+        let issued = challenged.timestamps().unwrap().0;
+        let secret = ServerSecret::from_bytes([7; 32]);
+        let proofs: Vec<Vec<u8>> = (1..=copt.k)
+            .map(|i| oracle_proof(&secret, &copt.preimage, i, 4))
+            .collect();
+        let sol = SolutionOption::build(1460, 7, &proofs, None);
+        let good = SegmentBuilder::new(2000, 80)
+            .seq(501)
+            .ack_num(challenged.seq.wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .timestamps(2, issued)
+            .option(TcpOption::Solution(sol))
+            .build();
+        let out = l.on_segment(t(1), CLIENT_IP, &good);
+        assert!(matches!(
+            out.events.as_slice(),
+            [ListenerEvent::Established {
+                via: EstablishedVia::Puzzle,
+                ..
+            }]
+        ));
+
+        // Garbage proofs still rejected in oracle mode.
+        let out2 = l.on_segment(t(0), CLIENT_IP, &syn(2001, 7));
+        let challenged2 = out2.replies[0].1.clone();
+        let bad = SolutionOption::build(1460, 7, &[vec![1; 4], vec![2; 4]], None);
+        let ack = SegmentBuilder::new(2001, 80)
+            .seq(8)
+            .ack_num(challenged2.seq.wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .timestamps(2, challenged2.timestamps().unwrap().0)
+            .option(TcpOption::Solution(bad))
+            .build();
+        let out = l.on_segment(t(1), CLIENT_IP, &ack);
+        assert!(matches!(
+            out.events.as_slice(),
+            [ListenerEvent::SolutionRejected { .. }]
+        ));
+    }
+
+    #[test]
+    fn accept_queue_pressure_triggers_puzzles_but_not_cookies() {
+        // Connection-flood shape: listen queue empty, accept queue full.
+        let mut lp = puzzle_listener(64, 1, VerifyMode::Real);
+        // Establish one connection to fill the accept queue (cap 1).
+        let out = lp.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        let synack = out.replies[0].1.clone();
+        let ack = SegmentBuilder::new(1000, 80)
+            .seq(2)
+            .ack_num(synack.seq.wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .build();
+        lp.on_segment(t(0), CLIENT_IP, &ack);
+        assert_eq!(lp.queue_depths(), (0, 1));
+        // Listen queue has room, but the accept queue is full → challenge.
+        let out = lp.on_segment(t(0), CLIENT_IP, &syn(2000, 5));
+        assert!(out.replies[0].1.challenge().is_some());
+
+        // Cookies keep the stock Linux behaviour: a SYN arriving while the
+        // accept queue is full is dropped, not answered.
+        let mut lc = listener(DefenseMode::SynCookies, 64, 1);
+        let out = lc.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        let synack = out.replies[0].1.clone();
+        let ack = SegmentBuilder::new(1000, 80)
+            .seq(2)
+            .ack_num(synack.seq.wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .build();
+        lc.on_segment(t(0), CLIENT_IP, &ack);
+        let out = lc.on_segment(t(0), CLIENT_IP, &syn(2000, 5));
+        assert_eq!(lc.stats().cookies_sent, 0);
+        assert!(out.replies.is_empty());
+        assert_eq!(lc.stats().syns_dropped, 1);
+        assert_eq!(lc.queue_depths(), (0, 1));
+    }
+
+    #[test]
+    fn accept_overflow_leaves_half_open_stuck_then_retries_succeed() {
+        let mut l = listener(DefenseMode::None, 8, 1);
+        // Open both handshakes while there is room everywhere.
+        let out_a = l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        let sa1 = out_a.replies[0].1.clone();
+        let out_b = l.on_segment(t(0), CLIENT_IP, &syn(2000, 5));
+        let sa2 = out_b.replies[0].1.clone();
+        assert_eq!(l.queue_depths(), (2, 0));
+
+        // First ACK fills the accept queue (capacity 1).
+        let ack1 = SegmentBuilder::new(1000, 80)
+            .seq(2)
+            .ack_num(sa1.seq.wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .build();
+        l.on_segment(t(0), CLIENT_IP, &ack1);
+        assert_eq!(l.queue_depths(), (1, 1));
+
+        // Second handshake completes while the accept queue is full: the
+        // half-open must remain queued, not vanish.
+        let ack2 = SegmentBuilder::new(2000, 80)
+            .seq(6)
+            .ack_num(sa2.seq.wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .build();
+        let out = l.on_segment(t(0), CLIENT_IP, &ack2);
+        assert!(matches!(
+            out.events.as_slice(),
+            [ListenerEvent::AcceptOverflow { .. }]
+        ));
+        assert_eq!(l.queue_depths(), (1, 1), "half-open stuck in listen queue");
+
+        // New SYNs are refused while the accept queue is full (Linux drop).
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(3000, 9));
+        assert!(out.replies.is_empty());
+        assert_eq!(l.stats().syns_dropped, 1);
+
+        // App accepts, freeing a slot; a retried ACK now promotes.
+        assert!(l.accept().is_some());
+        let out = l.on_segment(t(1), CLIENT_IP, &ack2);
+        assert!(matches!(
+            out.events.as_slice(),
+            [ListenerEvent::Established { .. }]
+        ));
+        assert_eq!(l.queue_depths(), (0, 1));
+    }
+
+    #[test]
+    fn zero_backlog_always_challenges() {
+        let mut l = puzzle_listener(0, 4, VerifyMode::Real);
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        assert!(out.replies[0].1.challenge().is_some());
+        assert_eq!(l.queue_depths(), (0, 0));
+    }
+
+
+    #[test]
+    fn syn_cache_absorbs_backlog_overflow() {
+        // §2.1: "The SYN cache reduces the amount of memory needed …
+        // maintains a hash table for half-open connections".
+        let cc = SynCacheConfig {
+            capacity: 8,
+            lifetime: SimDuration::from_secs(15),
+        };
+        let mut l = listener(DefenseMode::SynCache(cc), 1, 4);
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 1)); // fills backlog (1)
+        // Overflow SYN lands in the cache and still gets a SYN-ACK.
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(2000, 50));
+        assert_eq!(out.replies.len(), 1);
+        assert_eq!(l.syn_cache_len(), 1);
+        let synack = out.replies[0].1.clone();
+        // Completing the handshake promotes from the cache.
+        let ack = SegmentBuilder::new(2000, 80)
+            .seq(51)
+            .ack_num(synack.seq.wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .build();
+        let out = l.on_segment(t(1), CLIENT_IP, &ack);
+        assert!(matches!(
+            out.events.as_slice(),
+            [ListenerEvent::Established {
+                via: EstablishedVia::SynCache,
+                ..
+            }]
+        ));
+        assert_eq!(l.stats().established_syncache, 1);
+        assert_eq!(l.syn_cache_len(), 0);
+    }
+
+    #[test]
+    fn syn_cache_full_defaults_to_drops() {
+        // §2.1: "Once the cache is full, the server will default to the
+        // same behavior it performed when its backlog limit is reached."
+        let cc = SynCacheConfig {
+            capacity: 2,
+            lifetime: SimDuration::from_secs(15),
+        };
+        let mut l = listener(DefenseMode::SynCache(cc), 0, 4);
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        l.on_segment(t(0), CLIENT_IP, &syn(1001, 2));
+        assert_eq!(l.syn_cache_len(), 2);
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(1002, 3));
+        assert!(out.replies.is_empty());
+        assert_eq!(l.stats().syns_dropped, 1);
+    }
+
+    #[test]
+    fn syn_cache_entries_expire() {
+        let cc = SynCacheConfig {
+            capacity: 8,
+            lifetime: SimDuration::from_secs(5),
+        };
+        let mut l = listener(DefenseMode::SynCache(cc), 0, 4);
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        let synack = out.replies[0].1.clone();
+        // Reaped by poll after the lifetime.
+        l.poll(t(6));
+        assert_eq!(l.syn_cache_len(), 0);
+        assert_eq!(l.stats().syncache_expired, 1);
+        // A late ACK no longer matches anything.
+        let ack = SegmentBuilder::new(1000, 80)
+            .seq(2)
+            .ack_num(synack.seq.wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .build();
+        let out = l.on_segment(t(7), CLIENT_IP, &ack);
+        assert!(out.events.is_empty());
+        assert_eq!(l.stats().established_total(), 0);
+    }
+
+    #[test]
+    fn syn_cache_wrong_ack_not_promoted() {
+        let cc = SynCacheConfig::default();
+        let mut l = listener(DefenseMode::SynCache(cc), 0, 4);
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        let ack = SegmentBuilder::new(1000, 80)
+            .seq(2)
+            .ack_num(0xdead_beef)
+            .flags(TcpFlags::ACK)
+            .build();
+        let out = l.on_segment(t(1), CLIENT_IP, &ack);
+        assert!(out.events.is_empty());
+        assert_eq!(l.syn_cache_len(), 1, "entry stays for the real ACK");
+    }
+
+    #[test]
+    fn synack_retransmission_then_expiry() {
+        let mut cfg = ListenerConfig::new(SERVER_IP, 80);
+        cfg.synack_retries = 2;
+        cfg.synack_timeout = SimDuration::from_secs(1);
+        let mut l = Listener::new(cfg, ServerSecret::from_bytes([7; 32]));
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        assert_eq!(l.poll(t(0)).len(), 0); // not due yet
+        assert_eq!(l.poll(t(1)).len(), 1); // 1st retx at +1 s
+        assert_eq!(l.poll(t(2)).len(), 0); // backoff pushed to +3 s
+        assert_eq!(l.poll(t(3)).len(), 1); // 2nd retx
+        assert_eq!(l.poll(t(8)).len(), 0); // retries exhausted → dropped
+        assert_eq!(l.stats().half_open_expired, 1);
+        assert_eq!(l.queue_depths(), (0, 0));
+    }
+
+    #[test]
+    fn send_data_chunks_by_mss_and_fin_closes() {
+        let mut l = listener(DefenseMode::None, 4, 4);
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(1000, 500));
+        let synack = out.replies[0].1.clone();
+        let ack = SegmentBuilder::new(1000, 80)
+            .seq(501)
+            .ack_num(synack.seq.wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .build();
+        l.on_segment(t(0), CLIENT_IP, &ack);
+        let flow = l.accept().unwrap();
+        let segs = l.send_data(flow, 10_000, true);
+        // 10 kB at MSS 1460 → 7 segments; last has PSH|FIN.
+        assert_eq!(segs.len(), 7);
+        let total: usize = segs.iter().map(|(_, s)| s.payload.len()).sum();
+        assert_eq!(total, 10_000);
+        assert!(segs.last().unwrap().1.flags.contains(TcpFlags::FIN | TcpFlags::PSH));
+        assert!(!segs[0].1.flags.contains(TcpFlags::FIN));
+        // Connection closed: further sends produce nothing.
+        assert!(l.send_data(flow, 10, false).is_empty());
+    }
+
+    #[test]
+    fn rst_clears_state() {
+        let mut l = listener(DefenseMode::None, 4, 4);
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 500));
+        assert_eq!(l.queue_depths(), (1, 0));
+        let rst = SegmentBuilder::new(1000, 80).flags(TcpFlags::RST).build();
+        l.on_segment(t(0), CLIENT_IP, &rst);
+        assert_eq!(l.queue_depths(), (0, 0));
+    }
+
+    #[test]
+    fn data_on_established_connection_delivered() {
+        let mut l = listener(DefenseMode::None, 4, 4);
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(1000, 500));
+        let synack = out.replies[0].1.clone();
+        let ack = SegmentBuilder::new(1000, 80)
+            .seq(501)
+            .ack_num(synack.seq.wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .payload(b"GET /gettext/10000".to_vec())
+            .build();
+        let out = l.on_segment(t(0), CLIENT_IP, &ack);
+        assert!(out.events.iter().any(|e| matches!(
+            e,
+            ListenerEvent::Data { payload, .. } if payload == b"GET /gettext/10000"
+        )));
+        assert_eq!(l.stats().data_segments, 1);
+    }
+
+    #[test]
+    fn runtime_difficulty_tuning() {
+        let mut l = puzzle_listener(1, 4, VerifyMode::Real);
+        l.set_difficulty(Difficulty::new(3, 9).unwrap());
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(2000, 2));
+        let copt = out.replies[0].1.challenge().unwrap();
+        assert_eq!((copt.k, copt.m), (3, 9));
+    }
+}

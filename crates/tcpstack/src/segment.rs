@@ -1,0 +1,336 @@
+//! TCP segments: flags, header fields, options, payload.
+
+use crate::options::TcpOption;
+use netsim::Payload;
+
+/// Fixed TCP header length (no options), in bytes.
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// Maximum TCP options area: the 4-bit data-offset field caps the header
+/// at 60 bytes, leaving 40 for options. The puzzle option formats were
+/// designed to fit this budget (paper §5).
+pub const MAX_OPTIONS_LEN: usize = 40;
+
+/// TCP control flags (the subset the handshake model uses).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct TcpFlags(u8);
+
+impl TcpFlags {
+    /// No flags set.
+    pub const NONE: TcpFlags = TcpFlags(0);
+    /// FIN: sender is done sending.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN: synchronize sequence numbers.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST: reset the connection.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH: push buffered data to the application.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK: the acknowledgement number is valid.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+
+    /// Union of two flag sets.
+    pub const fn union(self, other: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | other.0)
+    }
+
+    /// Does this set contain every flag in `other`?
+    pub const fn contains(self, other: TcpFlags) -> bool {
+        (self.0 & other.0) == other.0
+    }
+
+    /// The raw bit pattern (matches the wire layout's low byte).
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Builds from a raw bit pattern (unknown bits are preserved).
+    pub const fn from_bits(bits: u8) -> TcpFlags {
+        TcpFlags(bits)
+    }
+}
+
+impl std::ops::BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        self.union(rhs)
+    }
+}
+
+impl std::fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (bit, name) in [
+            (TcpFlags::SYN, "SYN"),
+            (TcpFlags::ACK, "ACK"),
+            (TcpFlags::FIN, "FIN"),
+            (TcpFlags::RST, "RST"),
+            (TcpFlags::PSH, "PSH"),
+        ] {
+            if self.contains(bit) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "-")?;
+        }
+        Ok(())
+    }
+}
+
+/// A TCP segment as carried through the simulator.
+///
+/// Header fields are kept parsed for speed; the options list round-trips
+/// byte-exactly through [`crate::options`] (property-tested), and
+/// [`TcpSegment::wire_len`] accounts for the encoded size including
+/// padding, so link-level timing and throughput see real bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number (meaningful when ACK is set).
+    pub ack: u32,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window.
+    pub window: u16,
+    /// TCP options, in wire order.
+    pub options: Vec<TcpOption>,
+    /// Application payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl TcpSegment {
+    /// Encoded length of the options area including NOP padding to a
+    /// 32-bit boundary.
+    pub fn options_len(&self) -> usize {
+        let raw: usize = self.options.iter().map(TcpOption::encoded_len).sum();
+        raw.div_ceil(4) * 4
+    }
+
+    /// Total TCP bytes on the wire: header + padded options + payload.
+    pub fn wire_len(&self) -> usize {
+        TCP_HEADER_LEN + self.options_len() + self.payload.len()
+    }
+
+    /// Looks up the first option matching `pred`.
+    pub fn find_option<T>(&self, pred: impl Fn(&TcpOption) -> Option<T>) -> Option<T> {
+        self.options.iter().find_map(|o| pred(o))
+    }
+
+    /// The MSS option value, if present.
+    pub fn mss(&self) -> Option<u16> {
+        self.find_option(|o| match o {
+            TcpOption::Mss(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// The timestamps option, if present: `(tsval, tsecr)`.
+    pub fn timestamps(&self) -> Option<(u32, u32)> {
+        self.find_option(|o| match o {
+            TcpOption::Timestamps { tsval, tsecr } => Some((*tsval, *tsecr)),
+            _ => None,
+        })
+    }
+
+    /// The challenge option, if present.
+    pub fn challenge(&self) -> Option<&crate::options::ChallengeOption> {
+        self.options.iter().find_map(|o| match o {
+            TcpOption::Challenge(c) => Some(c),
+            _ => None,
+        })
+    }
+
+    /// The solution option, if present.
+    pub fn solution(&self) -> Option<&crate::options::SolutionOption> {
+        self.options.iter().find_map(|o| match o {
+            TcpOption::Solution(s) => Some(s),
+            _ => None,
+        })
+    }
+}
+
+impl Payload for TcpSegment {
+    fn wire_len(&self) -> usize {
+        TcpSegment::wire_len(self)
+    }
+}
+
+/// Fluent constructor for segments.
+///
+/// # Example
+///
+/// ```
+/// use tcpstack::{SegmentBuilder, TcpFlags};
+///
+/// let syn = SegmentBuilder::new(40000, 80)
+///     .seq(1000)
+///     .flags(TcpFlags::SYN)
+///     .mss(1460)
+///     .build();
+/// assert!(syn.flags.contains(TcpFlags::SYN));
+/// assert_eq!(syn.wire_len(), 20 + 4); // header + MSS option
+/// ```
+#[derive(Clone, Debug)]
+pub struct SegmentBuilder {
+    seg: TcpSegment,
+}
+
+impl SegmentBuilder {
+    /// Starts a segment from `src_port` to `dst_port`.
+    pub fn new(src_port: u16, dst_port: u16) -> Self {
+        SegmentBuilder {
+            seg: TcpSegment {
+                src_port,
+                dst_port,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::NONE,
+                window: 65535,
+                options: Vec::new(),
+                payload: Vec::new(),
+            },
+        }
+    }
+
+    /// Sets the sequence number.
+    pub fn seq(mut self, seq: u32) -> Self {
+        self.seg.seq = seq;
+        self
+    }
+
+    /// Sets the acknowledgement number (does not set the ACK flag).
+    pub fn ack_num(mut self, ack: u32) -> Self {
+        self.seg.ack = ack;
+        self
+    }
+
+    /// Sets the control flags.
+    pub fn flags(mut self, flags: TcpFlags) -> Self {
+        self.seg.flags = flags;
+        self
+    }
+
+    /// Sets the advertised window.
+    pub fn window(mut self, window: u16) -> Self {
+        self.seg.window = window;
+        self
+    }
+
+    /// Appends an arbitrary option.
+    pub fn option(mut self, option: TcpOption) -> Self {
+        self.seg.options.push(option);
+        self
+    }
+
+    /// Appends an MSS option.
+    pub fn mss(self, mss: u16) -> Self {
+        self.option(TcpOption::Mss(mss))
+    }
+
+    /// Appends a window-scale option.
+    pub fn window_scale(self, shift: u8) -> Self {
+        self.option(TcpOption::WindowScale(shift))
+    }
+
+    /// Appends a timestamps option.
+    pub fn timestamps(self, tsval: u32, tsecr: u32) -> Self {
+        self.option(TcpOption::Timestamps { tsval, tsecr })
+    }
+
+    /// Sets the payload.
+    pub fn payload(mut self, payload: Vec<u8>) -> Self {
+        self.seg.payload = payload;
+        self
+    }
+
+    /// Finishes the segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoded options exceed [`MAX_OPTIONS_LEN`] — the
+    /// segment could not exist on a real wire, so building it is a bug.
+    pub fn build(self) -> TcpSegment {
+        assert!(
+            self.seg.options_len() <= MAX_OPTIONS_LEN,
+            "options occupy {} bytes > TCP max {}",
+            self.seg.options_len(),
+            MAX_OPTIONS_LEN
+        );
+        self.seg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::ChallengeOption;
+
+    #[test]
+    fn flags_algebra() {
+        let f = TcpFlags::SYN | TcpFlags::ACK;
+        assert!(f.contains(TcpFlags::SYN));
+        assert!(f.contains(TcpFlags::ACK));
+        assert!(!f.contains(TcpFlags::RST));
+        assert_eq!(f.bits(), 0x12);
+        assert_eq!(TcpFlags::from_bits(0x12), f);
+        assert_eq!(f.to_string(), "SYN|ACK");
+        assert_eq!(TcpFlags::NONE.to_string(), "-");
+    }
+
+    #[test]
+    fn wire_len_counts_padded_options_and_payload() {
+        let seg = SegmentBuilder::new(1, 2)
+            .flags(TcpFlags::SYN)
+            .mss(1460) // 4 bytes
+            .window_scale(7) // 3 bytes -> 7 raw -> 8 padded
+            .payload(vec![0; 10])
+            .build();
+        assert_eq!(seg.options_len(), 8);
+        assert_eq!(seg.wire_len(), 20 + 8 + 10);
+        assert_eq!(Payload::wire_len(&seg), 38);
+    }
+
+    #[test]
+    fn builder_roundtrip_accessors() {
+        let seg = SegmentBuilder::new(5, 6)
+            .seq(100)
+            .ack_num(200)
+            .flags(TcpFlags::ACK)
+            .window(1024)
+            .mss(536)
+            .timestamps(9, 8)
+            .build();
+        assert_eq!(seg.mss(), Some(536));
+        assert_eq!(seg.timestamps(), Some((9, 8)));
+        assert_eq!(seg.window, 1024);
+        assert!(seg.challenge().is_none());
+        assert!(seg.solution().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "options occupy")]
+    fn oversized_options_rejected() {
+        // A challenge with a 31-byte pre-image plus timestamps blows the
+        // 40-byte budget.
+        let big = ChallengeOption {
+            k: 2,
+            m: 17,
+            preimage: vec![0; 31],
+            timestamp: Some(1),
+        };
+        SegmentBuilder::new(1, 2)
+            .option(TcpOption::Challenge(big))
+            .timestamps(1, 2)
+            .build();
+    }
+}

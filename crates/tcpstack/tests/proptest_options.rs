@@ -1,0 +1,85 @@
+//! Property tests: the TCP option codec round-trips arbitrary options.
+
+use proptest::prelude::*;
+use tcpstack::{ChallengeOption, SolutionOption, TcpOption};
+
+fn arb_option() -> impl Strategy<Value = TcpOption> {
+    prop_oneof![
+        any::<u16>().prop_map(TcpOption::Mss),
+        (0u8..15).prop_map(TcpOption::WindowScale),
+        Just(TcpOption::SackPermitted),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(tsval, tsecr)| TcpOption::Timestamps { tsval, tsecr }),
+        (
+            1u8..5,
+            1u8..30,
+            prop::collection::vec(any::<u8>(), 4..8),
+            prop::option::of(any::<u32>()),
+        )
+            .prop_map(|(k, m, preimage, timestamp)| {
+                TcpOption::Challenge(ChallengeOption {
+                    k,
+                    m,
+                    preimage,
+                    timestamp,
+                })
+            }),
+        (
+            any::<u16>(),
+            0u8..15,
+            prop::collection::vec(prop::collection::vec(any::<u8>(), 4), 1..4),
+            prop::option::of(any::<u32>()),
+        )
+            .prop_map(|(mss, wscale, proofs, ts)| {
+                TcpOption::Solution(SolutionOption::build(mss, wscale, &proofs, ts))
+            }),
+        (
+            // Kinds outside the known set and outside NOP/EOL.
+            prop::sample::select(vec![5u8, 6, 7, 9, 30, 200, 254]),
+            prop::collection::vec(any::<u8>(), 0..6),
+        )
+            .prop_map(|(kind, data)| TcpOption::Unknown { kind, data }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity for any sequence of options.
+    #[test]
+    fn options_round_trip(options in prop::collection::vec(arb_option(), 0..4)) {
+        let bytes = TcpOption::encode_all(&options);
+        prop_assert_eq!(bytes.len() % 4, 0);
+        let decoded = TcpOption::decode_all(&bytes).unwrap();
+        prop_assert_eq!(decoded, options);
+    }
+
+    /// The decoder never panics on arbitrary bytes — it either parses or
+    /// returns a structured error.
+    #[test]
+    fn decoder_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = TcpOption::decode_all(&bytes);
+    }
+
+    /// Solution blocks split back into exactly the proofs they were built
+    /// from, for any (k, l) combination that fits.
+    #[test]
+    fn solution_split_round_trip(
+        mss in any::<u16>(),
+        wscale in 0u8..15,
+        k in 1usize..5,
+        l_bytes in prop::sample::select(vec![2usize, 4, 8]),
+        ts in prop::option::of(any::<u32>()),
+        seed in any::<u8>(),
+    ) {
+        let proofs: Vec<Vec<u8>> = (0..k)
+            .map(|i| vec![seed.wrapping_add(i as u8); l_bytes])
+            .collect();
+        let sol = SolutionOption::build(mss, wscale, &proofs, ts);
+        let (got, got_ts) = sol
+            .split(k as u8, (l_bytes * 8) as u16, ts.is_some())
+            .unwrap();
+        prop_assert_eq!(got, proofs);
+        prop_assert_eq!(got_ts, ts);
+    }
+}

@@ -1,0 +1,36 @@
+//! Partial-adoption demo (the paper's Experiment 5 / Figure 15): what
+//! service do solving and non-solving clients get against solving and
+//! non-solving attackers?
+//!
+//! Run with: `cargo run --release --example adoption`
+
+use tcp_puzzles::experiments::fig15;
+use tcp_puzzles::experiments::scenario::Timeline;
+use tcp_puzzles::simmetrics::Table;
+
+fn main() {
+    let timeline = Timeline::smoke();
+    println!("Partial adoption under a connection flood (Nash puzzles at the server)\n");
+    let result = fig15::run_with(23, &timeline, 10, 500.0);
+
+    let mut t = Table::new(vec!["scenario", "meaning", "mean % served", "min %"]);
+    for row in &result.rows {
+        let meaning = match row.label.as_str() {
+            "(NA, NC)" => "nobody solves",
+            "(SA, NC)" => "attacker solves, client does not",
+            "(SA, SC)" => "both solve",
+            "(NA, SC)" => "client solves, attacker does not",
+            _ => "?",
+        };
+        t.row(vec![
+            row.label.clone(),
+            meaning.into(),
+            format!("{:.0}", row.mean_pct),
+            format!("{:.0}", row.min_pct),
+        ]);
+    }
+    println!("{t}");
+    println!("The adoption incentive (paper §6.5): a client that solves is served no");
+    println!("matter what the attacker does; a client that does not solve gets erratic");
+    println!("service at best — and almost nothing against a non-solving flood.");
+}

@@ -1,0 +1,68 @@
+//! Difficulty planner: the paper's §4.3–§4.4 procedure end to end, on
+//! *your* machine.
+//!
+//! 1. Profiles the local CPU's SHA-256 throughput (the `w_av` estimation
+//!    of Fig. 3a — this actually hashes for ~1 second).
+//! 2. Runs a simulated `ab`-style stress test against the modelled server
+//!    to estimate µ and α (Fig. 3b).
+//! 3. Applies Theorem 1 and the parameter-selection rule to produce the
+//!    `(k*, m*)` you would configure via sysctl.
+//!
+//! Run with: `cargo run --release --example difficulty_planner`
+
+use std::time::Duration;
+
+use tcp_puzzles::experiments::fig03;
+use tcp_puzzles::puzzle_game::profile::{profile_local_hash_rate, ServiceCurve, USABILITY_BUDGET};
+use tcp_puzzles::puzzle_game::{
+    asymptotic_difficulty, max_feasible_difficulty, select_parameters, GameConfig, SelectionPolicy,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Local hash profile (real hashing, ~1 s of wall-clock).
+    println!("Profiling local SHA-256 throughput (~1 s)...");
+    let profile = profile_local_hash_rate(Duration::from_secs(1));
+    let w_av = profile.hashes_in(USABILITY_BUDGET);
+    println!(
+        "  {:.0} H/s -> w_av = {:.0} hashes per {} ms budget",
+        profile.hashes_per_sec,
+        w_av,
+        USABILITY_BUDGET.as_millis()
+    );
+
+    // 2. Simulated stress test (the experiments crate's Fig. 3b harness).
+    println!("\nStress-testing the simulated server (ab-style closed loop)...");
+    let stress = fig03::stress_test(7, &[10, 100, 400, 1000], 8.0);
+    let mut curve = ServiceCurve::new();
+    for row in &stress {
+        println!(
+            "  concurrency {:4}: {:6.0} req/s (alpha {:.2})",
+            row.concurrency, row.service_rate, row.alpha
+        );
+        curve.push(row.concurrency as f64, row.service_rate.max(1.0));
+    }
+    let mu = curve.mu();
+    let alpha = curve.alpha();
+    println!("  -> mu = {mu:.0} req/s, alpha = {alpha:.2}");
+
+    // 3. Equilibrium difficulty.
+    let ell = asymptotic_difficulty(w_av, alpha);
+    let chosen = select_parameters(ell, SelectionPolicy::FixedK(2))?;
+    println!("\nTheorem 1: ell* = {ell:.0} expected hashes per request");
+    println!(
+        "Configure: k = {}, m = {}  (client cost ~{:.0} hashes ≈ {:.0} ms on this machine)",
+        chosen.k(),
+        chosen.m(),
+        chosen.expected_client_hashes(),
+        chosen.expected_client_hashes() / profile.hashes_per_sec * 1e3,
+    );
+
+    // Sanity: the finite-N game agrees and the price is feasible.
+    let cfg = GameConfig::homogeneous(10_000, w_av, alpha * 10_000.0)?;
+    println!(
+        "Feasibility: ell* = {:.0} < r-hat = {:.0}",
+        ell,
+        max_feasible_difficulty(&cfg)
+    );
+    Ok(())
+}

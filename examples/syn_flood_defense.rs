@@ -1,0 +1,52 @@
+//! SYN-flood defence demo: watch an undefended server collapse under a
+//! spoofed SYN flood, then the same attack bounce off client puzzles.
+//!
+//! Reproduces the Figure 7 scenario at demo scale (40 s, one client, one
+//! flooding bot) and prints a per-second throughput timeline.
+//!
+//! Run with: `cargo run --release --example syn_flood_defense`
+
+use tcp_puzzles::experiments::scenario::{Defense, Scenario, Timeline};
+
+fn run(defense: Defense) -> Vec<(f64, f64)> {
+    let timeline = Timeline {
+        total: 40.0,
+        attack_start: 10.0,
+        attack_stop: 30.0,
+    };
+    let mut scenario = Scenario::standard(3, defense, &timeline);
+    scenario.clients.truncate(3);
+    scenario.attackers = Scenario::syn_flood_bots(2, 2_000.0, &timeline);
+    let mut tb = scenario.build();
+    tb.run_until_secs(timeline.total);
+    tb.client_goodput().rates()
+}
+
+fn sparkline(rates: &[(f64, f64)], max: f64) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    rates
+        .iter()
+        .map(|(_, v)| {
+            let idx = ((v / max) * 7.0).round().min(7.0) as usize;
+            BARS[idx]
+        })
+        .collect()
+}
+
+fn main() {
+    println!("SYN flood (spoofed, 4000 pps) against 3 clients; attack on [10, 30) s\n");
+    for defense in [
+        Defense::None,
+        Defense::Cookies,
+        Defense::Puzzles { k: 1, m: 8 },
+        Defense::nash(),
+    ] {
+        let label = defense.label();
+        let rates = run(defense);
+        let max = rates.iter().map(|(_, v)| *v).fold(1.0, f64::max);
+        println!("{label:>18}  {}", sparkline(&rates, max));
+    }
+    println!("\n(each cell = 1 s of aggregate client goodput; taller = more bytes)");
+    println!("Expected shapes: nodefense collapses during [10,30) and recovers ~30 s");
+    println!("later; cookies and easy puzzles ride through; Nash puzzles dip but hold.");
+}

@@ -1,0 +1,20 @@
+//! # tcp-puzzles
+//!
+//! Facade crate for the client-puzzles reproduction of Noureddine et al.,
+//! *Revisiting Client Puzzles for State Exhaustion Attacks Resilience*
+//! (DSN 2019). Re-exports every subsystem crate under one roof so examples,
+//! integration tests, and downstream users need a single dependency.
+//!
+//! See the repository `README.md` for a tour and `DESIGN.md` for the system
+//! inventory.
+
+#![forbid(unsafe_code)]
+
+pub use experiments;
+pub use hostsim;
+pub use netsim;
+pub use puzzle_core;
+pub use puzzle_crypto;
+pub use puzzle_game;
+pub use simmetrics;
+pub use tcpstack;

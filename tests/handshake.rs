@@ -1,0 +1,254 @@
+//! Integration: the full challenge-bearing TCP handshake (Fig. 1b) with
+//! the *real* cryptographic path, driven sans-IO across the tcpstack and
+//! puzzle-core crates.
+
+use tcp_puzzles::netsim::{SimDuration, SimTime};
+use tcp_puzzles::puzzle_core::{Difficulty, ServerSecret, Solver};
+use tcp_puzzles::puzzle_core::{Challenge, ChallengeParams};
+use tcp_puzzles::tcpstack::{
+    ClientConfig, ClientConn, ClientEvent, DefenseMode, Listener, ListenerConfig, ListenerEvent,
+    PuzzleConfig, SolutionOption, TcpOption, VerifyMode,
+};
+
+const SERVER_IP: std::net::Ipv4Addr = std::net::Ipv4Addr::new(10, 0, 0, 1);
+const CLIENT_IP: std::net::Ipv4Addr = std::net::Ipv4Addr::new(10, 0, 0, 2);
+
+fn t(ms: u64) -> SimTime {
+    SimTime::from_millis(ms)
+}
+
+/// Figure 1(b): SYN → SYN-ACK+challenge → solve → ACK+solution →
+/// established → request → response.
+#[test]
+fn challenge_handshake_end_to_end_with_real_solving() {
+    let secret = ServerSecret::from_bytes([1; 32]);
+    let mut cfg = ListenerConfig::new(SERVER_IP, 80);
+    cfg.backlog = 0; // challenge every SYN
+    cfg.defense = DefenseMode::Puzzles(PuzzleConfig {
+        difficulty: Difficulty::new(2, 10).expect("valid"),
+        preimage_bits: 32,
+        expiry: 8,
+        verify: VerifyMode::Real,
+        hold: SimDuration::ZERO,
+    });
+    let mut listener = Listener::new(cfg, secret.clone());
+
+    let (mut conn, syn) = ClientConn::connect(
+        ClientConfig::new(CLIENT_IP, 40_000, SERVER_IP, 80),
+        0xdead_beef,
+        t(0),
+    );
+
+    // SYN → challenge SYN-ACK.
+    let out = listener.on_segment(t(1), CLIENT_IP, &syn);
+    assert_eq!(out.replies.len(), 1);
+    let synack = out.replies[0].1.clone();
+    assert!(synack.challenge().is_some(), "must carry a challenge");
+    assert_eq!(listener.queue_depths(), (0, 0), "stateless so far");
+
+    // Client surfaces the challenge...
+    let (none, events) = conn.on_segment(t(2), &synack);
+    assert!(none.is_none());
+    let ClientEvent::Challenged {
+        challenge,
+        issued_at,
+    } = &events[0]
+    else {
+        panic!("expected challenge event, got {events:?}");
+    };
+
+    // ...the host really solves it...
+    let params = ChallengeParams {
+        difficulty: Difficulty::new(challenge.k, challenge.m).expect("valid"),
+        preimage_bits: challenge.l_bits(),
+        timestamp: *issued_at,
+    };
+    let wire = Challenge::from_wire(params, challenge.preimage.clone()).expect("consistent");
+    let solved = Solver::new().solve(&wire);
+    assert!(solved.hashes > 0);
+
+    // ...and replies with the solution ACK.
+    let ack = conn.provide_solution(t(3), solved.solution.proofs());
+    let out = listener.on_segment(t(4), CLIENT_IP, &ack);
+    assert!(
+        matches!(out.events.as_slice(), [ListenerEvent::Established { .. }]),
+        "got {:?}",
+        out.events
+    );
+    assert_eq!(listener.stats().established_puzzle, 1);
+
+    // Application data flows: request in, chunked response out.
+    let flow = listener.accept().expect("in accept queue");
+    let request = conn.send(b"GET /gettext/4000".to_vec());
+    let out = listener.on_segment(t(5), CLIENT_IP, &request);
+    assert!(out
+        .events
+        .iter()
+        .any(|e| matches!(e, ListenerEvent::Data { payload, .. } if payload.starts_with(b"GET"))));
+
+    let segs = listener.send_data(flow, 4_000, true);
+    let mut received = 0;
+    let mut finished = false;
+    for (_, seg) in segs {
+        let (_, events) = conn.on_segment(t(6), &seg);
+        for e in events {
+            if let ClientEvent::Data { len, fin } = e {
+                received += len;
+                finished |= fin;
+            }
+        }
+    }
+    assert_eq!(received, 4_000);
+    assert!(finished);
+    assert_eq!(conn.bytes_received(), 4_000);
+}
+
+/// The paper's deception path: a non-solver's ACK is ignored, its data
+/// draws an RST, and the client discovers the truth only then.
+#[test]
+fn non_solver_is_deceived_then_reset() {
+    let secret = ServerSecret::from_bytes([2; 32]);
+    let mut cfg = ListenerConfig::new(SERVER_IP, 80);
+    cfg.backlog = 0;
+    cfg.defense = DefenseMode::Puzzles(PuzzleConfig {
+        difficulty: Difficulty::new(1, 8).expect("valid"),
+        preimage_bits: 32,
+        expiry: 8,
+        verify: VerifyMode::Real,
+        hold: SimDuration::ZERO,
+    });
+    let mut listener = Listener::new(cfg, secret);
+
+    let (mut conn, syn) = ClientConn::connect(
+        ClientConfig::new(CLIENT_IP, 41_000, SERVER_IP, 80),
+        7,
+        t(0),
+    );
+    let out = listener.on_segment(t(1), CLIENT_IP, &syn);
+    let synack = out.replies[0].1.clone();
+    conn.on_segment(t(2), &synack);
+
+    // Plain ACK without solving: ignored silently.
+    let plain = conn.acknowledge_plain(t(3));
+    let out = listener.on_segment(t(4), CLIENT_IP, &plain);
+    assert!(out.replies.is_empty());
+    assert_eq!(listener.stats().acks_without_solution, 1);
+    assert_eq!(
+        conn.state(),
+        tcp_puzzles::tcpstack::ClientState::Established,
+        "the client *believes* it connected"
+    );
+
+    // Its request data draws the RST that reveals the deception.
+    let request = conn.send(b"GET /gettext/100".to_vec());
+    let out = listener.on_segment(t(5), CLIENT_IP, &request);
+    assert_eq!(out.replies.len(), 1);
+    let rst = &out.replies[0].1;
+    let (_, events) = conn.on_segment(t(6), rst);
+    assert_eq!(events, vec![ClientEvent::Reset]);
+}
+
+/// A forged solution with valid shape but wrong bytes is rejected by the
+/// real verifier and costs the server only the recomputed pre-image.
+#[test]
+fn forged_solution_rejected() {
+    let secret = ServerSecret::from_bytes([3; 32]);
+    let mut cfg = ListenerConfig::new(SERVER_IP, 80);
+    cfg.backlog = 0;
+    cfg.defense = DefenseMode::Puzzles(PuzzleConfig {
+        difficulty: Difficulty::new(2, 16).expect("valid"),
+        preimage_bits: 32,
+        expiry: 8,
+        verify: VerifyMode::Real,
+        hold: SimDuration::ZERO,
+    });
+    let mut listener = Listener::new(cfg, secret);
+
+    let (mut conn, syn) = ClientConn::connect(
+        ClientConfig::new(CLIENT_IP, 42_000, SERVER_IP, 80),
+        9,
+        t(0),
+    );
+    let out = listener.on_segment(t(1), CLIENT_IP, &syn);
+    conn.on_segment(t(2), &out.replies[0].1);
+    // Forge: correct lengths, random bytes.
+    let ack = conn.provide_solution(t(3), &[vec![0xAA; 4], vec![0xBB; 4]]);
+    let out = listener.on_segment(t(4), CLIENT_IP, &ack);
+    assert!(matches!(
+        out.events.as_slice(),
+        [ListenerEvent::SolutionRejected { .. }]
+    ));
+    assert_eq!(listener.stats().verify_failures, 1);
+    assert_eq!(listener.stats().established_puzzle, 0);
+}
+
+/// The challenge and solution survive a byte-exact trip through the TCP
+/// options codec — what actually crosses the wire parses back intact.
+#[test]
+fn wire_round_trip_of_challenge_and_solution() {
+    let secret = ServerSecret::from_bytes([4; 32]);
+    let mut cfg = ListenerConfig::new(SERVER_IP, 80);
+    cfg.backlog = 0;
+    cfg.defense = DefenseMode::Puzzles(PuzzleConfig {
+        difficulty: Difficulty::new(2, 6).expect("valid"),
+        preimage_bits: 32,
+        expiry: 8,
+        verify: VerifyMode::Real,
+        hold: SimDuration::ZERO,
+    });
+    let mut listener = Listener::new(cfg, secret);
+
+    let (mut conn, syn) = ClientConn::connect(
+        ClientConfig::new(CLIENT_IP, 43_000, SERVER_IP, 80),
+        11,
+        t(0),
+    );
+    let out = listener.on_segment(t(1), CLIENT_IP, &syn);
+    let synack = out.replies[0].1.clone();
+
+    // Encode the SYN-ACK's options to bytes and decode them back.
+    let bytes = TcpOption::encode_all(&synack.options);
+    assert!(bytes.len() <= 40, "option area {} > 40", bytes.len());
+    let decoded = TcpOption::decode_all(&bytes).expect("valid wire bytes");
+    assert_eq!(decoded, synack.options);
+
+    // Continue the handshake from the *decoded* options.
+    let mut resynack = synack.clone();
+    resynack.options = decoded;
+    let (_, events) = conn.on_segment(t(2), &resynack);
+    let ClientEvent::Challenged {
+        challenge,
+        issued_at,
+    } = &events[0]
+    else {
+        panic!("expected challenge");
+    };
+    let params = ChallengeParams {
+        difficulty: Difficulty::new(challenge.k, challenge.m).expect("valid"),
+        preimage_bits: challenge.l_bits(),
+        timestamp: *issued_at,
+    };
+    let wire = Challenge::from_wire(params, challenge.preimage.clone()).expect("consistent");
+    let solved = Solver::new().solve(&wire);
+    let ack = conn.provide_solution(t(3), solved.solution.proofs());
+
+    // Round-trip the solution ACK too.
+    let ack_bytes = TcpOption::encode_all(&ack.options);
+    let ack_decoded = TcpOption::decode_all(&ack_bytes).expect("valid wire bytes");
+    assert_eq!(ack_decoded, ack.options);
+    let sol = ack_decoded
+        .iter()
+        .find_map(|o| match o {
+            TcpOption::Solution(s) => Some(s.clone()),
+            _ => None,
+        })
+        .expect("solution present");
+    let (proofs, _) = SolutionOption::split(&sol, 2, 32, false).expect("well-formed");
+    assert_eq!(proofs.len(), 2);
+
+    let out = listener.on_segment(t(4), CLIENT_IP, &ack);
+    assert!(matches!(
+        out.events.as_slice(),
+        [ListenerEvent::Established { .. }]
+    ));
+}

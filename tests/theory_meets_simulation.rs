@@ -1,0 +1,102 @@
+//! Integration: the game theory's predictions hold in the simulated
+//! testbed — the pipeline from measured parameters to deployed difficulty
+//! to observed attack tolerance.
+
+use tcp_puzzles::experiments::scenario::{Defense, Scenario, Timeline};
+use tcp_puzzles::hostsim::profiles;
+use tcp_puzzles::puzzle_game::{
+    asymptotic_difficulty, nash_rates, select_parameters, GameConfig, SelectionPolicy,
+};
+
+/// The §4.3→§4.4 pipeline: profile-derived parameters produce (2, 17),
+/// and that difficulty throttles a solving bot to its CPU ceiling in the
+/// simulator.
+#[test]
+fn derived_difficulty_throttles_attackers_as_predicted() {
+    // Theory side.
+    let wav = profiles::wav_reference();
+    let ell = asymptotic_difficulty(wav, profiles::PAPER_ALPHA);
+    let d = select_parameters(ell, SelectionPolicy::FixedK(2)).expect("feasible");
+    assert_eq!((d.k(), d.m()), (2, 17));
+
+    // Predicted single-core solve throughput for a 400 kH/s bot.
+    let bot_rate = 400_000.0;
+    let predicted_cps = bot_rate / d.expected_client_hashes();
+
+    // Simulation side: one solving bot against the Nash server.
+    let timeline = Timeline {
+        total: 50.0,
+        attack_start: 5.0,
+        attack_stop: 45.0,
+    };
+    let mut scenario = Scenario::standard(77, Defense::nash(), &timeline);
+    scenario.server.backlog = 0; // always challenged: isolate the CPU bound
+    scenario.clients.truncate(1);
+    scenario.attackers = Scenario::conn_flood_bots(1, 500.0, true, &timeline);
+    let mut tb = scenario.build();
+    tb.run_until_secs(timeline.total);
+
+    let measured_cps = tb
+        .server_metrics()
+        .established_rate_for(tb.attacker_addrs(), 1.0)
+        .mean_rate_between(10.0, 40.0);
+    // CPU-bound prediction: ~3 cps. Allow a generous band (queueing,
+    // gating, expiry all shave it).
+    assert!(
+        measured_cps > 0.3 * predicted_cps && measured_cps < 1.5 * predicted_cps,
+        "measured {measured_cps:.2} cps vs predicted {predicted_cps:.2} cps"
+    );
+}
+
+/// The followers' equilibrium is consistent: at the Nash difficulty the
+/// per-user rate stays positive and total load below capacity.
+#[test]
+fn equilibrium_rates_feasible_at_selected_difficulty() {
+    let wav = profiles::wav_reference();
+    let n = 1000;
+    let cfg = GameConfig::homogeneous(n, wav, profiles::PAPER_ALPHA * n as f64).expect("valid");
+    let ell = asymptotic_difficulty(wav, profiles::PAPER_ALPHA);
+    let sol = nash_rates(&cfg, ell).expect("feasible");
+    assert!(sol.all_participate);
+    assert!(sol.aggregate_rate > 0.0);
+    assert!(sol.aggregate_rate < cfg.mu());
+    // §4.2: a well-provisioned server (α > 1) prices below w_av.
+    assert!(ell < wav);
+}
+
+/// Harder-than-equilibrium puzzles shed more attacker throughput but cost
+/// the clients more — the §4.2 trade-off, measured in the simulator.
+#[test]
+fn difficulty_tradeoff_matches_theory_direction() {
+    let timeline = Timeline {
+        total: 40.0,
+        attack_start: 5.0,
+        attack_stop: 35.0,
+    };
+    let run = |m: u8| {
+        let mut scenario = Scenario::standard(88, Defense::Puzzles { k: 2, m }, &timeline);
+        scenario.server.backlog = 0;
+        scenario.clients.truncate(5);
+        scenario.attackers = Scenario::conn_flood_bots(2, 500.0, true, &timeline);
+        let mut tb = scenario.build();
+        tb.run_until_secs(timeline.total);
+        let attacker = tb
+            .server_metrics()
+            .established_rate_for(tb.attacker_addrs(), 1.0)
+            .mean_rate_between(10.0, 30.0);
+        let clients: u64 = tb.clients().map(|c| c.metrics().completed).sum();
+        (attacker, clients)
+    };
+    let (atk_easy, clients_easy) = run(14);
+    let (atk_hard, clients_hard) = run(19);
+    // Harder puzzles throttle attackers more...
+    assert!(
+        atk_hard < atk_easy / 2.0,
+        "attacker {atk_hard:.2} vs {atk_easy:.2}"
+    );
+    // ...and serve clients less (their own solve cost rises 32x).
+    assert!(
+        clients_hard < clients_easy,
+        "clients {clients_hard} vs {clients_easy}"
+    );
+}
