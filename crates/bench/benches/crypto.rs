@@ -1,7 +1,10 @@
-//! Micro-benchmarks: the crypto substrate (SHA-256, HMAC).
+//! Micro-benchmarks: the crypto substrate (SHA-256, HMAC) and the
+//! [`HashBackend`] seam the verification pipeline runs through — scalar
+//! today, the comparison point for SIMD/multi-buffer backends tomorrow.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use puzzle_crypto::{sha256, HmacSha256, Sha256};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use puzzle_core::{ConnectionTuple, Difficulty, ServerSecret, Solver, Verifier, VerifyRequest};
+use puzzle_crypto::{sha256, HashBackend, HmacSha256, ScalarBackend, Sha256};
 use std::hint::black_box;
 
 fn bench_sha256(c: &mut Criterion) {
@@ -9,9 +12,7 @@ fn bench_sha256(c: &mut Criterion) {
     for size in [64usize, 256, 1024, 8192] {
         let data = vec![0xabu8; size];
         g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("{size}B"), |b| {
-            b.iter(|| sha256(black_box(&data)))
-        });
+        g.bench_function(format!("{size}B"), |b| b.iter(|| sha256(black_box(&data))));
     }
     g.finish();
 }
@@ -37,5 +38,59 @@ fn bench_hmac(c: &mut Criterion) {
     });
 }
 
-criterion_group!{name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_sha256, bench_sha256_streaming, bench_hmac}
+/// The backend seam itself: batched independent hashing, the round shape
+/// `verify_batch` feeds to SIMD-capable backends.
+fn bench_backend_batch(c: &mut Criterion) {
+    let backend = ScalarBackend;
+    let mut g = c.benchmark_group("backend/sha256_batch");
+    for n in [1usize, 16, 256] {
+        let messages: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 52]).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &messages, |b, msgs| {
+            let mut out = Vec::with_capacity(msgs.len());
+            b.iter(|| {
+                out.clear();
+                backend.sha256_batch(black_box(msgs), &mut out);
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Verify throughput through the backend seam: `verify_batch` over
+/// pre-solved requests at increasing batch sizes, in solutions/second.
+/// This is the perf-trajectory baseline (`BENCH_verify.json`).
+fn bench_verify_batch(c: &mut Criterion) {
+    let secret = ServerSecret::from_bytes([4; 32]);
+    let verifier = Verifier::with_backend(secret, ScalarBackend).with_expiry(8);
+    let d = Difficulty::new(2, 10).expect("valid");
+    let mut g = c.benchmark_group("backend/verify_batch");
+    for n in [1usize, 16, 256] {
+        let requests: Vec<VerifyRequest> = (0..n)
+            .map(|i| {
+                let tuple = ConnectionTuple::new(
+                    "10.0.0.2".parse().expect("addr"),
+                    40_000 + i as u16,
+                    "10.0.0.1".parse().expect("addr"),
+                    80,
+                    0x1234 + i as u32,
+                );
+                let challenge = verifier.issue(&tuple, 100, d, 32).expect("valid");
+                let solved = Solver::new().solve(&challenge);
+                (tuple, challenge.params(), solved.solution)
+            })
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &requests, |b, reqs| {
+            b.iter(|| {
+                let out = verifier.verify_batch(black_box(reqs), 100);
+                assert_eq!(out.accepted(), reqs.len());
+                out
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_sha256, bench_sha256_streaming, bench_hmac, bench_backend_batch, bench_verify_batch}
 criterion_main!(benches);

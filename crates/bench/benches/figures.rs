@@ -123,5 +123,5 @@ fn bench_nash(c: &mut Criterion) {
     });
 }
 
-criterion_group!{name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_fig03, bench_fig06, bench_fig07, bench_fig08, bench_fig09, bench_fig10, bench_fig11, bench_fig12, bench_fig13, bench_fig14, bench_fig15, bench_table1, bench_solution_flood, bench_nash}
+criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_fig03, bench_fig06, bench_fig07, bench_fig08, bench_fig09, bench_fig10, bench_fig11, bench_fig12, bench_fig13, bench_fig14, bench_fig15, bench_table1, bench_solution_flood, bench_nash}
 criterion_main!(benches);

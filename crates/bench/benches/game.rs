@@ -31,11 +31,14 @@ fn bench_best_response(c: &mut Criterion) {
 fn bench_select(c: &mut Criterion) {
     c.bench_function("game/select_parameters", |b| {
         b.iter(|| {
-            select_parameters(black_box(66_966.7), SelectionPolicy::MinimizeOvershoot { k_max: 4 })
-                .expect("valid")
+            select_parameters(
+                black_box(66_966.7),
+                SelectionPolicy::MinimizeOvershoot { k_max: 4 },
+            )
+            .expect("valid")
         })
     });
 }
 
-criterion_group!{name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_nash_rates, bench_optimal_difficulty, bench_best_response, bench_select}
+criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_nash_rates, bench_optimal_difficulty, bench_best_response, bench_select}
 criterion_main!(benches);

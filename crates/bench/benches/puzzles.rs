@@ -56,12 +56,7 @@ fn bench_verify(c: &mut Criterion) {
     c.bench_function("puzzle/verify(2,10)", |b| {
         b.iter(|| {
             verifier
-                .verify(
-                    black_box(&t),
-                    &challenge.params(),
-                    &solved.solution,
-                    100,
-                )
+                .verify(black_box(&t), &challenge.params(), &solved.solution, 100)
                 .expect("valid")
         })
     });
@@ -84,5 +79,5 @@ fn bench_cost_model(c: &mut Criterion) {
     });
 }
 
-criterion_group!{name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_issue, bench_solve, bench_verify, bench_cost_model}
+criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_issue, bench_solve, bench_verify, bench_cost_model}
 criterion_main!(benches);

@@ -41,5 +41,5 @@ fn bench_flooded_testbed(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_quiet_testbed, bench_flooded_testbed}
+criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_quiet_testbed, bench_flooded_testbed}
 criterion_main!(benches);

@@ -7,7 +7,10 @@ use tcpstack::{ChallengeOption, SolutionOption, SynCookieCodec, TcpOption};
 fn challenge_options() -> Vec<TcpOption> {
     vec![
         TcpOption::Mss(1460),
-        TcpOption::Timestamps { tsval: 77, tsecr: 0 },
+        TcpOption::Timestamps {
+            tsval: 77,
+            tsecr: 0,
+        },
         TcpOption::Challenge(ChallengeOption {
             k: 2,
             m: 17,
@@ -55,5 +58,5 @@ fn bench_cookies(c: &mut Criterion) {
     });
 }
 
-criterion_group!{name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_encode, bench_decode, bench_solution_split, bench_cookies}
+criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_encode, bench_decode, bench_solution_split, bench_cookies}
 criterion_main!(benches);

@@ -4,7 +4,7 @@ use crate::difficulty::Difficulty;
 use crate::error::IssueError;
 use crate::tuple::ConnectionTuple;
 use crate::verify::ServerSecret;
-use puzzle_crypto::Sha256;
+use puzzle_crypto::{HashBackend, ScalarBackend};
 
 /// Maximum pre-image length in bits (the wire format encodes `l` in one
 /// byte and the pre-image is truncated SHA-256 output, so at most 248 bits
@@ -58,8 +58,37 @@ impl Challenge {
         difficulty: Difficulty,
         preimage_bits: u16,
     ) -> Result<Self, IssueError> {
+        Self::issue_with(
+            &ScalarBackend,
+            secret,
+            tuple,
+            timestamp,
+            difficulty,
+            preimage_bits,
+        )
+    }
+
+    /// [`Challenge::issue`] through an explicit [`HashBackend`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Challenge::issue`].
+    pub fn issue_with<B: HashBackend>(
+        backend: &B,
+        secret: &ServerSecret,
+        tuple: &ConnectionTuple,
+        timestamp: u32,
+        difficulty: Difficulty,
+        preimage_bits: u16,
+    ) -> Result<Self, IssueError> {
         validate_preimage_bits(preimage_bits, difficulty)?;
-        let preimage = compute_preimage(secret, tuple, timestamp, preimage_bits as usize / 8);
+        let preimage = compute_preimage(
+            backend,
+            secret,
+            tuple,
+            timestamp,
+            preimage_bits as usize / 8,
+        );
         Ok(Challenge {
             params: ChallengeParams {
                 difficulty,
@@ -107,6 +136,7 @@ impl Challenge {
     /// `index` is 1-based, matching the paper's `1 ≤ i ≤ k`.
     pub fn sub_solution_ok(&self, index: u8, candidate: &[u8]) -> bool {
         sub_solution_ok(
+            &ScalarBackend,
             &self.preimage,
             self.params.difficulty.m(),
             index,
@@ -117,7 +147,7 @@ impl Challenge {
 
 /// Validates `(l, difficulty)` compatibility.
 fn validate_preimage_bits(preimage_bits: u16, difficulty: Difficulty) -> Result<(), IssueError> {
-    if preimage_bits == 0 || preimage_bits % 8 != 0 || preimage_bits > MAX_PREIMAGE_BITS {
+    if preimage_bits == 0 || !preimage_bits.is_multiple_of(8) || preimage_bits > MAX_PREIMAGE_BITS {
         return Err(IssueError::BadPreimageLength(preimage_bits));
     }
     if difficulty.m() as u16 >= preimage_bits {
@@ -130,28 +160,58 @@ fn validate_preimage_bits(preimage_bits: u16, difficulty: Difficulty) -> Result<
 }
 
 /// `P = first l bits of h(secret ‖ T ‖ packet-data)` — paper Figure 2.
-pub(crate) fn compute_preimage(
+///
+/// Generic over the [`HashBackend`] so batch/SIMD backends serve the same
+/// derivation (one hash, g(p) = 1).
+pub fn compute_preimage<B: HashBackend>(
+    backend: &B,
     secret: &ServerSecret,
     tuple: &ConnectionTuple,
     timestamp: u32,
     len_bytes: usize,
 ) -> Vec<u8> {
-    let mut h = Sha256::new();
-    h.update(secret.as_bytes());
-    h.update(&timestamp.to_be_bytes());
-    h.update(&tuple.to_bytes());
-    let digest = h.finalize();
+    let digest = backend.sha256_parts(&[
+        secret.as_bytes(),
+        &timestamp.to_be_bytes(),
+        &tuple.to_bytes(),
+    ]);
     digest[..len_bytes].to_vec()
 }
 
+/// The exact message bytes hashed by [`compute_preimage`] — the unit the
+/// batched verifier hands to [`HashBackend::sha256_batch`].
+pub(crate) fn preimage_message(
+    secret: &ServerSecret,
+    tuple: &ConnectionTuple,
+    timestamp: u32,
+) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(32 + 4 + 16);
+    msg.extend_from_slice(secret.as_bytes());
+    msg.extend_from_slice(&timestamp.to_be_bytes());
+    msg.extend_from_slice(&tuple.to_bytes());
+    msg
+}
+
 /// Shared sub-solution predicate used by both solver and verifier.
-pub(crate) fn sub_solution_ok(preimage: &[u8], m: u8, index: u8, candidate: &[u8]) -> bool {
-    let mut h = Sha256::new();
-    h.update(preimage);
-    h.update(&[index]);
-    h.update(candidate);
-    let digest = h.finalize();
+pub(crate) fn sub_solution_ok<B: HashBackend>(
+    backend: &B,
+    preimage: &[u8],
+    m: u8,
+    index: u8,
+    candidate: &[u8],
+) -> bool {
+    let digest = backend.sha256_parts(&[preimage, &[index], candidate]);
     leading_bits_match(&digest, preimage, m as usize)
+}
+
+/// The exact message bytes hashed by [`sub_solution_ok`] — the unit the
+/// batched verifier hands to [`HashBackend::sha256_batch`].
+pub(crate) fn sub_solution_message(preimage: &[u8], index: u8, candidate: &[u8]) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(preimage.len() + 1 + candidate.len());
+    msg.extend_from_slice(preimage);
+    msg.push(index);
+    msg.extend_from_slice(candidate);
+    msg
 }
 
 /// Do the first `m` bits of `a` and `b` agree?

@@ -38,8 +38,12 @@ pub enum SolveCostModel {
 /// # Panics
 ///
 /// Panics if `m == 0` or `m > 63`.
-pub fn sample_sub_puzzle_hashes(m: u8, model: SolveCostModel, next_f64: &mut dyn FnMut() -> f64) -> u64 {
-    assert!(m >= 1 && m <= 63, "m={m} outside 1..=63");
+pub fn sample_sub_puzzle_hashes(
+    m: u8,
+    model: SolveCostModel,
+    next_f64: &mut dyn FnMut() -> f64,
+) -> u64 {
+    assert!((1..=63).contains(&m), "m={m} outside 1..=63");
     let space = 1u64 << m;
     match model {
         SolveCostModel::UniformPlacement => {

@@ -115,7 +115,10 @@ mod tests {
     #[test]
     fn construction_validates() {
         assert_eq!(Difficulty::new(0, 8), Err(DifficultyError::ZeroSolutions));
-        assert_eq!(Difficulty::new(1, 0), Err(DifficultyError::BitsOutOfRange(0)));
+        assert_eq!(
+            Difficulty::new(1, 0),
+            Err(DifficultyError::BitsOutOfRange(0))
+        );
         assert_eq!(
             Difficulty::new(1, 64),
             Err(DifficultyError::BitsOutOfRange(64))

@@ -45,7 +45,10 @@ impl fmt::Display for IssueError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IssueError::BadPreimageLength(l) => {
-                write!(f, "pre-image length {l} bits is not a multiple of 8 in 8..=255")
+                write!(
+                    f,
+                    "pre-image length {l} bits is not a multiple of 8 in 8..=255"
+                )
             }
             IssueError::DifficultyExceedsPreimage { m, l } => {
                 write!(f, "difficulty {m} bits must be < pre-image length {l} bits")
@@ -95,6 +98,10 @@ pub enum VerifyError {
     },
     /// Challenge parameters in the packet are malformed or unsupported.
     BadParams(IssueError),
+    /// An admission for the same `(tuple, timestamp)` was already granted
+    /// inside the replay window (sharded replay-cache rejection; see
+    /// [`crate::ReplayCache`]).
+    Replayed,
 }
 
 impl fmt::Display for VerifyError {
@@ -109,7 +116,10 @@ impl fmt::Display for VerifyError {
                 "challenge issued at {issued_at} expired at time {now} (max age {max_age})"
             ),
             VerifyError::FutureTimestamp { issued_at, now } => {
-                write!(f, "challenge timestamp {issued_at} is in the future (now {now})")
+                write!(
+                    f,
+                    "challenge timestamp {issued_at} is in the future (now {now})"
+                )
             }
             VerifyError::WrongSolutionCount { expected, got } => {
                 write!(f, "expected {expected} sub-solutions, got {got}")
@@ -121,6 +131,9 @@ impl fmt::Display for VerifyError {
                 write!(f, "sub-solution {index} fails the difficulty check")
             }
             VerifyError::BadParams(e) => write!(f, "bad challenge parameters: {e}"),
+            VerifyError::Replayed => {
+                write!(f, "solution already admitted inside the replay window")
+            }
         }
     }
 }
@@ -146,14 +159,16 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(DifficultyError::ZeroSolutions.to_string().contains("at least 1"));
-        assert!(DifficultyError::BitsOutOfRange(99).to_string().contains("99"));
+        assert!(DifficultyError::ZeroSolutions
+            .to_string()
+            .contains("at least 1"));
+        assert!(DifficultyError::BitsOutOfRange(99)
+            .to_string()
+            .contains("99"));
         assert!(IssueError::BadPreimageLength(13).to_string().contains("13"));
-        assert!(
-            IssueError::DifficultyExceedsPreimage { m: 70, l: 64 }
-                .to_string()
-                .contains("70")
-        );
+        assert!(IssueError::DifficultyExceedsPreimage { m: 70, l: 64 }
+            .to_string()
+            .contains("70"));
         let e = VerifyError::Expired {
             issued_at: 5,
             now: 20,

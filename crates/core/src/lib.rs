@@ -52,14 +52,16 @@ mod challenge;
 mod cost;
 mod difficulty;
 mod error;
+mod replay;
 mod solve;
 mod tuple;
 mod verify;
 
-pub use challenge::{Challenge, ChallengeParams, Solution, MAX_PREIMAGE_BITS};
+pub use challenge::{compute_preimage, Challenge, ChallengeParams, Solution, MAX_PREIMAGE_BITS};
 pub use cost::{sample_solve_hashes, sample_sub_puzzle_hashes, SolveCostModel};
 pub use difficulty::Difficulty;
 pub use error::{DifficultyError, IssueError, VerifyError};
+pub use replay::ReplayCache;
 pub use solve::{SolveOutcome, Solver};
 pub use tuple::ConnectionTuple;
-pub use verify::{ServerSecret, Verifier};
+pub use verify::{BatchOutcome, ServerSecret, Verifier, VerifyRequest};

@@ -1,0 +1,238 @@
+//! Sharded replay-window cache for admitted solutions.
+//!
+//! The protocol's first replay defence is the challenge timestamp: a
+//! solution older than the expiry window never verifies (paper §5). Inside
+//! the window, however, a captured solution ACK still re-verifies — the
+//! paper accepts this residual exposure (§7, "Replay attacks") because the
+//! bound tuple limits it to one queue slot at a time. This cache closes
+//! that residual window: once a `(tuple, timestamp)` admission is granted,
+//! any identical re-admission attempt inside the window is rejected as
+//! [`crate::VerifyError::Replayed`] *without spending any hash work*,
+//! which also turns replay floods from a per-packet `1 + k` hash cost into
+//! a lock-and-lookup.
+//!
+//! The cache is sharded: entries hash to one of `2^n` independently locked
+//! shards, so concurrent verification pipelines (one batch per core) do
+//! not serialize on a single lock. Entries expire with the same window the
+//! verifier enforces, and shards sweep themselves opportunistically as
+//! they grow, so memory stays proportional to the admission rate times the
+//! window — not to attack duration.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use crate::tuple::ConnectionTuple;
+
+/// Full identity of an admission: the bound tuple plus the challenge
+/// timestamp. Stored whole (not fingerprinted) so an attacker cannot
+/// engineer collisions that lock legitimate flows out.
+type ReplayKey = (u128, u32);
+
+fn key_for(tuple: &ConnectionTuple, timestamp: u32) -> ReplayKey {
+    (u128::from_be_bytes(tuple.to_bytes()), timestamp)
+}
+
+/// One lockable shard: the admission keys (each key carries its own issue
+/// timestamp), plus the size at which the next opportunistic sweep
+/// triggers.
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashSet<ReplayKey>,
+    sweep_at: usize,
+}
+
+/// Sharded set of recently admitted `(tuple, timestamp)` pairs.
+#[derive(Debug)]
+pub struct ReplayCache {
+    shards: Vec<Mutex<Shard>>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    mask: usize,
+}
+
+impl Default for ReplayCache {
+    fn default() -> Self {
+        ReplayCache::new(Self::DEFAULT_SHARDS)
+    }
+}
+
+impl ReplayCache {
+    /// Default shard count: enough that per-core verification pipelines
+    /// rarely contend.
+    pub const DEFAULT_SHARDS: usize = 64;
+
+    const INITIAL_SWEEP_AT: usize = 128;
+
+    /// Creates a cache with at least `shards` shards (rounded up to a
+    /// power of two, minimum 1).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ReplayCache {
+            shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
+            mask: n - 1,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: &ReplayKey) -> &Mutex<Shard> {
+        // splitmix64-style finalizer over the key halves: cheap and well
+        // distributed; shard choice is not security-relevant (keys are
+        // stored whole).
+        let mut h = (key.0 as u64) ^ ((key.0 >> 64) as u64) ^ u64::from(key.1);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        &self.shards[(h ^ (h >> 31)) as usize & self.mask]
+    }
+
+    fn lock(shard: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+        shard
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn stale(issued_at: u32, now: u32, max_age: u32) -> bool {
+        now.saturating_sub(issued_at) > max_age
+    }
+
+    /// Is an unexpired admission for `(tuple, timestamp)` already
+    /// recorded? Non-mutating aside from dropping the entry if it has
+    /// aged out.
+    pub fn contains(
+        &self,
+        tuple: &ConnectionTuple,
+        timestamp: u32,
+        now: u32,
+        max_age: u32,
+    ) -> bool {
+        let key = key_for(tuple, timestamp);
+        let mut shard = Self::lock(self.shard(&key));
+        if !shard.entries.contains(&key) {
+            return false;
+        }
+        if Self::stale(key.1, now, max_age) {
+            shard.entries.remove(&key);
+            return false;
+        }
+        true
+    }
+
+    /// Records an admission. Returns `true` if this is the first
+    /// (unexpired) admission for `(tuple, timestamp)`; `false` means the
+    /// caller is looking at a replay.
+    pub fn insert(&self, tuple: &ConnectionTuple, timestamp: u32, now: u32, max_age: u32) -> bool {
+        let key = key_for(tuple, timestamp);
+        let mut shard = Self::lock(self.shard(&key));
+        if shard.sweep_at == 0 {
+            shard.sweep_at = Self::INITIAL_SWEEP_AT;
+        }
+        if shard.entries.len() >= shard.sweep_at {
+            shard
+                .entries
+                .retain(|entry| !Self::stale(entry.1, now, max_age));
+            shard.sweep_at = (shard.entries.len() * 2).max(Self::INITIAL_SWEEP_AT);
+        }
+        if shard.entries.contains(&key) && !Self::stale(key.1, now, max_age) {
+            return false;
+        }
+        shard.entries.insert(key);
+        true
+    }
+
+    /// Drops every entry older than the window (periodic maintenance; the
+    /// cache also sweeps itself opportunistically on insert).
+    pub fn purge_expired(&self, now: u32, max_age: u32) {
+        for shard in &self.shards {
+            let mut shard = Self::lock(shard);
+            shard
+                .entries
+                .retain(|entry| !Self::stale(entry.1, now, max_age));
+        }
+    }
+
+    /// Total retained admissions across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| Self::lock(s).entries.len())
+            .sum()
+    }
+
+    /// True when no admissions are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn tuple(port: u16) -> ConnectionTuple {
+        ConnectionTuple::new(
+            Ipv4Addr::new(10, 0, 0, 2),
+            port,
+            Ipv4Addr::new(10, 0, 0, 1),
+            80,
+            42,
+        )
+    }
+
+    #[test]
+    fn first_insert_accepts_second_rejects() {
+        let cache = ReplayCache::new(4);
+        assert!(cache.insert(&tuple(1000), 100, 100, 8));
+        assert!(!cache.insert(&tuple(1000), 100, 101, 8));
+        assert!(cache.contains(&tuple(1000), 100, 101, 8));
+        // Different timestamp or tuple: independent admissions.
+        assert!(cache.insert(&tuple(1000), 101, 101, 8));
+        assert!(cache.insert(&tuple(1001), 100, 101, 8));
+    }
+
+    #[test]
+    fn entries_age_out_with_the_window() {
+        let cache = ReplayCache::new(1);
+        assert!(cache.insert(&tuple(1), 100, 100, 8));
+        assert!(!cache.insert(&tuple(1), 100, 108, 8)); // inside window
+        assert!(cache.insert(&tuple(1), 100, 109, 8)); // aged out: fresh admission
+    }
+
+    #[test]
+    fn purge_drops_only_stale_entries() {
+        let cache = ReplayCache::new(2);
+        cache.insert(&tuple(1), 100, 100, 8);
+        cache.insert(&tuple(2), 105, 105, 8);
+        cache.purge_expired(110, 8);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.contains(&tuple(2), 105, 110, 8));
+        assert!(!cache.contains(&tuple(1), 100, 110, 8));
+    }
+
+    #[test]
+    fn opportunistic_sweep_bounds_memory() {
+        let cache = ReplayCache::new(1);
+        // Fill well past the sweep threshold with entries that expire at
+        // t=109, then keep inserting at t=200: the shard must not grow
+        // without bound.
+        for port in 0..2000u16 {
+            cache.insert(&tuple(port), 100, 100, 8);
+        }
+        for port in 0..64u16 {
+            cache.insert(&tuple(port), 200, 200, 8);
+        }
+        assert!(cache.len() < 2000, "sweep never ran: {}", cache.len());
+    }
+
+    #[test]
+    fn shard_count_rounds_up() {
+        assert_eq!(ReplayCache::new(0).shard_count(), 1);
+        assert_eq!(ReplayCache::new(3).shard_count(), 4);
+        assert_eq!(
+            ReplayCache::default().shard_count(),
+            ReplayCache::DEFAULT_SHARDS
+        );
+    }
+}

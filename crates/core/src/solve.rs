@@ -150,14 +150,9 @@ mod tests {
                         80,
                         salt,
                     );
-                    let c = Challenge::issue(
-                        &secret,
-                        &tuple,
-                        salt,
-                        Difficulty::new(1, m).unwrap(),
-                        64,
-                    )
-                    .unwrap();
+                    let c =
+                        Challenge::issue(&secret, &tuple, salt, Difficulty::new(1, m).unwrap(), 64)
+                            .unwrap();
                     solver.solve(&c).hashes
                 })
                 .sum()

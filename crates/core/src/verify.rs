@@ -1,10 +1,28 @@
 //! Server secret and stateless solution verification.
+//!
+//! The [`Verifier`] is generic over a [`HashBackend`] — the workspace's
+//! pluggable hashing seam — and exposes two entry points:
+//!
+//! * [`Verifier::verify`] — one flow, identical semantics to the paper's
+//!   per-ACK check (freshness → structure → pre-image → sub-solutions,
+//!   failing at the first invalid proof);
+//! * [`Verifier::verify_batch`] — the scalable engine: whole *rounds* of
+//!   independent hashes are handed to [`HashBackend::sha256_batch`], and
+//!   an optional sharded [`ReplayCache`] rejects duplicate admissions
+//!   before any hash is spent.
+//!
+//! Both report the number of hash operations charged, which is the single
+//! source of truth the host simulation's CPU accounting consumes.
 
-use crate::challenge::{compute_preimage, sub_solution_ok, Solution};
+use std::sync::Arc;
+
+use crate::challenge::{leading_bits_match, preimage_message, sub_solution_message, Solution};
 use crate::challenge::{Challenge, ChallengeParams};
 use crate::difficulty::Difficulty;
 use crate::error::{IssueError, VerifyError};
+use crate::replay::ReplayCache;
 use crate::tuple::ConnectionTuple;
+use puzzle_crypto::{Digest, HashBackend, ScalarBackend};
 
 /// The server's puzzle secret, generated once per listening socket
 /// lifetime (paper §5).
@@ -46,8 +64,35 @@ impl std::fmt::Debug for ServerSecret {
     }
 }
 
+/// One verification request for [`Verifier::verify_batch`]: the echoed
+/// connection tuple, the clear challenge parameters, and the returned
+/// solution.
+pub type VerifyRequest = (ConnectionTuple, ChallengeParams, Solution);
+
+/// The outcome of a [`Verifier::verify_batch`] call.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Per-request verdicts, in request order; identical to what
+    /// sequential [`Verifier::verify`] would return for each request
+    /// (plus [`VerifyError::Replayed`] when a replay cache is attached).
+    pub verdicts: Vec<Result<(), VerifyError>>,
+    /// Total hash operations charged across the batch (pre-images plus
+    /// sub-solution checks; replay-cache hits cost zero).
+    pub hashes: u64,
+}
+
+impl BatchOutcome {
+    /// Number of accepted requests.
+    pub fn accepted(&self) -> usize {
+        self.verdicts.iter().filter(|v| v.is_ok()).count()
+    }
+}
+
 /// Stateless verifier: recomputes pre-images from echoed packet fields and
 /// checks sub-solutions and the replay-defence timestamp window.
+///
+/// Generic over the [`HashBackend`]; [`Verifier::new`] picks the scalar
+/// default, [`Verifier::with_backend`] plugs in anything else.
 ///
 /// # Example
 ///
@@ -68,26 +113,38 @@ impl std::fmt::Debug for ServerSecret {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Clone, Debug)]
-pub struct Verifier {
+pub struct Verifier<B: HashBackend = ScalarBackend> {
     secret: ServerSecret,
     /// Maximum accepted challenge age, in the server's timestamp unit.
     max_age: u32,
     /// Tolerated forward clock skew.
     future_skew: u32,
+    backend: B,
+    /// Optional replay-window cache consulted by the batch engine.
+    replay: Option<Arc<ReplayCache>>,
 }
 
-impl Verifier {
+impl Verifier<ScalarBackend> {
+    /// Creates a verifier over the default scalar backend with the default
+    /// expiry window and no tolerated future skew.
+    pub fn new(secret: ServerSecret) -> Self {
+        Verifier::with_backend(secret, ScalarBackend)
+    }
+}
+
+impl<B: HashBackend> Verifier<B> {
     /// Default challenge expiry window (paper §5 leaves the timeout as a
     /// `sysctl` tunable; 8 time units is this library's default).
     pub const DEFAULT_MAX_AGE: u32 = 8;
 
-    /// Creates a verifier with the default expiry window and no tolerated
-    /// future skew.
-    pub fn new(secret: ServerSecret) -> Self {
+    /// Creates a verifier hashing through `backend`.
+    pub fn with_backend(secret: ServerSecret, backend: B) -> Self {
         Verifier {
             secret,
             max_age: Self::DEFAULT_MAX_AGE,
             future_skew: 0,
+            backend,
+            replay: None,
         }
     }
 
@@ -103,13 +160,31 @@ impl Verifier {
         self
     }
 
+    /// Attaches a sharded replay cache. [`Verifier::verify_batch`] then
+    /// rejects any `(tuple, timestamp)` admission it has already granted
+    /// inside the expiry window — without spending hash work on it.
+    pub fn with_replay_cache(mut self, cache: Arc<ReplayCache>) -> Self {
+        self.replay = Some(cache);
+        self
+    }
+
     /// The configured replay window.
     pub fn max_age(&self) -> u32 {
         self.max_age
     }
 
-    /// Issues a challenge under this verifier's secret — a convenience
-    /// wrapper over [`Challenge::issue`].
+    /// The hashing backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The attached replay cache, if any.
+    pub fn replay_cache(&self) -> Option<&Arc<ReplayCache>> {
+        self.replay.as_ref()
+    }
+
+    /// Issues a challenge under this verifier's secret and backend — a
+    /// convenience wrapper over [`Challenge::issue_with`].
     ///
     /// # Errors
     ///
@@ -121,14 +196,23 @@ impl Verifier {
         difficulty: Difficulty,
         preimage_bits: u16,
     ) -> Result<Challenge, IssueError> {
-        Challenge::issue(&self.secret, tuple, timestamp, difficulty, preimage_bits)
+        Challenge::issue_with(
+            &self.backend,
+            &self.secret,
+            tuple,
+            timestamp,
+            difficulty,
+            preimage_bits,
+        )
     }
 
     /// Verifies a returned solution against the echoed challenge fields.
     ///
     /// The checks, in order (cheapest first, as the kernel patch does):
     /// timestamp freshness, solution count and lengths, then the hash
-    /// checks, failing at the first invalid sub-solution.
+    /// checks, failing at the first invalid sub-solution. This single-flow
+    /// path never consults the replay cache; batch admission goes through
+    /// [`Verifier::verify_batch`].
     ///
     /// # Errors
     ///
@@ -136,6 +220,148 @@ impl Verifier {
     pub fn verify(
         &self,
         tuple: &ConnectionTuple,
+        params: &ChallengeParams,
+        solution: &Solution,
+        now: u32,
+    ) -> Result<(), VerifyError> {
+        self.verify_counted(tuple, params, solution, now).0
+    }
+
+    /// [`Verifier::verify`] plus the number of hash operations charged
+    /// (`1 + ⌈checked proofs⌉`: the pre-image recomputation and one hash
+    /// per sub-solution inspected before success or first failure).
+    pub fn verify_counted(
+        &self,
+        tuple: &ConnectionTuple,
+        params: &ChallengeParams,
+        solution: &Solution,
+        now: u32,
+    ) -> (Result<(), VerifyError>, u64) {
+        if let Err(e) = self.precheck(params, solution, now) {
+            return (Err(e), 0);
+        }
+
+        // Recompute the pre-image (1 hash) and check each sub-solution.
+        let expected_len = params.preimage_len();
+        let preimage = crate::challenge::compute_preimage(
+            &self.backend,
+            &self.secret,
+            tuple,
+            params.timestamp,
+            expected_len,
+        );
+        let mut hashes = 1u64;
+        for (i, proof) in solution.proofs().iter().enumerate() {
+            hashes += 1;
+            if !crate::challenge::sub_solution_ok(
+                &self.backend,
+                &preimage,
+                params.difficulty.m(),
+                i as u8 + 1,
+                proof,
+            ) {
+                return (Err(VerifyError::Invalid { index: i }), hashes);
+            }
+        }
+        (Ok(()), hashes)
+    }
+
+    /// Verifies a batch of independent requests through the backend's
+    /// batched hashing entry point.
+    ///
+    /// Semantics per request are identical to sequential
+    /// [`Verifier::verify`] — same verdicts, same hash charges — but the
+    /// hashing is organized into rounds of independent messages (all
+    /// pre-images, then every request's first proof, then every survivor's
+    /// second proof, …), the shape SIMD/multi-buffer backends consume. If
+    /// a replay cache is attached, requests whose `(tuple, timestamp)` was
+    /// already admitted are rejected with [`VerifyError::Replayed`] before
+    /// any hashing, and every accepted request records its admission.
+    pub fn verify_batch(&self, requests: &[VerifyRequest], now: u32) -> BatchOutcome {
+        let n = requests.len();
+        let mut verdicts: Vec<Result<(), VerifyError>> = Vec::with_capacity(n);
+        let mut hashes = 0u64;
+
+        // Round 0: freshness + structural checks and replay pre-screen
+        // (no hashing).
+        let mut alive: Vec<usize> = Vec::with_capacity(n);
+        for (idx, (tuple, params, solution)) in requests.iter().enumerate() {
+            match self.precheck(params, solution, now) {
+                Err(e) => verdicts.push(Err(e)),
+                Ok(()) => {
+                    if let Some(cache) = &self.replay {
+                        if cache.contains(tuple, params.timestamp, now, self.max_age) {
+                            verdicts.push(Err(VerifyError::Replayed));
+                            continue;
+                        }
+                    }
+                    verdicts.push(Ok(()));
+                    alive.push(idx);
+                }
+            }
+        }
+
+        // Round 1: recompute every live request's pre-image (1 hash each).
+        let mut digests: Vec<Digest> = Vec::new();
+        let messages: Vec<Vec<u8>> = alive
+            .iter()
+            .map(|&idx| preimage_message(&self.secret, &requests[idx].0, requests[idx].1.timestamp))
+            .collect();
+        self.backend.sha256_batch(&messages, &mut digests);
+        hashes += messages.len() as u64;
+        let mut preimages: Vec<Vec<u8>> = Vec::with_capacity(alive.len());
+        for (&idx, digest) in alive.iter().zip(&digests) {
+            preimages.push(digest[..requests[idx].1.preimage_len()].to_vec());
+        }
+
+        // Rounds 2..: proof `round` of every still-live request, one batch
+        // per round, dropping requests at their first invalid proof —
+        // exactly the sequential early-exit, so hash charges match.
+        // Invariant: every `live` entry has more than `round` proofs.
+        let mut live: Vec<(usize, Vec<u8>)> = alive.into_iter().zip(preimages).collect();
+        let mut round = 0usize;
+        let mut messages: Vec<Vec<u8>> = Vec::new();
+        while !live.is_empty() {
+            messages.clear();
+            messages.extend(live.iter().map(|(idx, pre)| {
+                sub_solution_message(pre, round as u8 + 1, &requests[*idx].2.proofs()[round])
+            }));
+            digests.clear();
+            self.backend.sha256_batch(&messages, &mut digests);
+            hashes += messages.len() as u64;
+
+            let mut survivors: Vec<(usize, Vec<u8>)> = Vec::with_capacity(live.len());
+            for ((idx, pre), digest) in live.drain(..).zip(&digests) {
+                let m = requests[idx].1.difficulty.m() as usize;
+                if !leading_bits_match(digest, &pre, m) {
+                    verdicts[idx] = Err(VerifyError::Invalid { index: round });
+                } else if round + 1 < requests[idx].2.len() {
+                    survivors.push((idx, pre));
+                }
+            }
+            live = survivors;
+            round += 1;
+        }
+
+        // Record admissions; a duplicate inside this very batch loses.
+        if let Some(cache) = &self.replay {
+            for (idx, verdict) in verdicts.iter_mut().enumerate() {
+                if verdict.is_ok() {
+                    let (tuple, params, _) = &requests[idx];
+                    if !cache.insert(tuple, params.timestamp, now, self.max_age) {
+                        *verdict = Err(VerifyError::Replayed);
+                    }
+                }
+            }
+        }
+
+        BatchOutcome { verdicts, hashes }
+    }
+
+    /// The hash-free front of the pipeline: freshness window and
+    /// structural validation.
+    fn precheck(
+        &self,
         params: &ChallengeParams,
         solution: &Solution,
         now: u32,
@@ -158,7 +384,7 @@ impl Verifier {
         // 2. Structural checks.
         let difficulty = params.difficulty;
         if params.preimage_bits == 0
-            || params.preimage_bits % 8 != 0
+            || !params.preimage_bits.is_multiple_of(8)
             || difficulty.m() >= params.preimage_bits
         {
             return Err(VerifyError::BadParams(IssueError::BadPreimageLength(
@@ -175,14 +401,6 @@ impl Verifier {
         for (i, proof) in solution.proofs().iter().enumerate() {
             if proof.len() != expected_len {
                 return Err(VerifyError::BadSolutionLength { index: i });
-            }
-        }
-
-        // 3. Recompute the pre-image (1 hash) and check each sub-solution.
-        let preimage = compute_preimage(&self.secret, tuple, params.timestamp, expected_len);
-        for (i, proof) in solution.proofs().iter().enumerate() {
-            if !sub_solution_ok(&preimage, difficulty.m(), i as u8 + 1, proof) {
-                return Err(VerifyError::Invalid { index: i });
             }
         }
         Ok(())
@@ -346,5 +564,118 @@ mod tests {
             v.verify(&t, &bad, &s, 100),
             Err(VerifyError::BadParams(_))
         ));
+    }
+
+    #[test]
+    fn counted_hash_charges_match_paper_costs() {
+        // Accepted: 1 pre-image + k sub-checks (d(p) upper bound).
+        let (v, t, c, s) = setup(3, 6);
+        let (res, hashes) = v.verify_counted(&t, &c.params(), &s, 100);
+        assert_eq!(res, Ok(()));
+        assert_eq!(hashes, 1 + 3);
+
+        // Structurally rejected garbage costs nothing.
+        let short = Solution::new(vec![vec![0u8; 8]]);
+        let (res, hashes) = v.verify_counted(&t, &c.params(), &short, 100);
+        assert!(res.is_err());
+        assert_eq!(hashes, 0);
+
+        // Corrupt first proof: 1 pre-image + 1 failing check.
+        let mut proofs = s.proofs().to_vec();
+        proofs[0][0] ^= 0x80;
+        let (res, hashes) = v.verify_counted(&t, &c.params(), &Solution::new(proofs), 100);
+        assert_eq!(res, Err(VerifyError::Invalid { index: 0 }));
+        assert_eq!(hashes, 2);
+    }
+
+    #[test]
+    fn explicit_backend_matches_default() {
+        let (v, t, c, s) = setup(2, 6);
+        let vb = Verifier::with_backend(ServerSecret::from_bytes([11u8; 32]), ScalarBackend)
+            .with_expiry(8);
+        assert_eq!(
+            v.verify(&t, &c.params(), &s, 100),
+            vb.verify(&t, &c.params(), &s, 100)
+        );
+    }
+
+    #[test]
+    fn batch_matches_sequential_verdicts_and_hashes() {
+        let (v, t, c, s) = setup(2, 6);
+        let mut bad = s.proofs().to_vec();
+        bad[0][0] ^= 0x80;
+        let requests: Vec<VerifyRequest> = vec![
+            (t, c.params(), s.clone()),
+            (t, c.params(), Solution::new(bad)),
+            (t, c.params(), Solution::new(vec![])), // structural failure
+        ];
+        let out = v.verify_batch(&requests, 100);
+        let mut seq_hashes = 0;
+        for ((tuple, params, solution), verdict) in requests.iter().zip(&out.verdicts) {
+            let (res, h) = v.verify_counted(tuple, params, solution, 100);
+            assert_eq!(&res, verdict);
+            seq_hashes += h;
+        }
+        assert_eq!(out.hashes, seq_hashes);
+        assert_eq!(out.accepted(), 1);
+    }
+
+    #[test]
+    fn batch_handles_mixed_difficulties() {
+        let (v1, t1, c1, s1) = setup(1, 5);
+        let (_, t3, c3, s3) = setup(3, 6);
+        let out = v1.verify_batch(&[(t1, c1.params(), s1), (t3, c3.params(), s3)], 100);
+        assert_eq!(out.verdicts, vec![Ok(()), Ok(())]);
+        assert_eq!(out.hashes, (1 + 1) + (1 + 3));
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let (v, ..) = setup(1, 5);
+        let out = v.verify_batch(&[], 100);
+        assert!(out.verdicts.is_empty());
+        assert_eq!(out.hashes, 0);
+    }
+
+    #[test]
+    fn replay_cache_rejects_second_admission_for_free() {
+        let (v, t, c, s) = setup(2, 6);
+        let v = v.with_replay_cache(Arc::new(ReplayCache::new(4)));
+        let req = vec![(t, c.params(), s)];
+
+        let first = v.verify_batch(&req, 100);
+        assert_eq!(first.verdicts, vec![Ok(())]);
+        assert!(first.hashes > 0);
+
+        // Same admission again: rejected before any hashing.
+        let second = v.verify_batch(&req, 101);
+        assert_eq!(second.verdicts, vec![Err(VerifyError::Replayed)]);
+        assert_eq!(second.hashes, 0);
+
+        // Past the window the entry ages out; the timestamp check now
+        // rejects it anyway.
+        let third = v.verify_batch(&req, 120);
+        assert!(matches!(
+            third.verdicts[0],
+            Err(VerifyError::Expired { .. })
+        ));
+    }
+
+    #[test]
+    fn replay_cache_catches_duplicates_within_one_batch() {
+        let (v, t, c, s) = setup(1, 6);
+        let v = v.with_replay_cache(Arc::new(ReplayCache::new(4)));
+        let out = v.verify_batch(&[(t, c.params(), s.clone()), (t, c.params(), s)], 100);
+        assert_eq!(out.verdicts, vec![Ok(()), Err(VerifyError::Replayed)]);
+    }
+
+    #[test]
+    fn single_flow_verify_skips_replay_cache() {
+        // The immutable per-flow path stays idempotent (documented):
+        // repeat verification of the same solution succeeds.
+        let (v, t, c, s) = setup(1, 6);
+        let v = v.with_replay_cache(Arc::new(ReplayCache::new(4)));
+        assert_eq!(v.verify(&t, &c.params(), &s, 100), Ok(()));
+        assert_eq!(v.verify(&t, &c.params(), &s, 100), Ok(()));
     }
 }

@@ -1,0 +1,84 @@
+//! Property: `verify_batch` accepts/rejects exactly the same set as
+//! sequential `verify`, with identical error verdicts and hash charges.
+
+use proptest::prelude::*;
+use puzzle_core::{
+    ConnectionTuple, Difficulty, ServerSecret, Solution, Solver, Verifier, VerifyRequest,
+};
+use std::net::Ipv4Addr;
+
+fn arb_tuple() -> impl Strategy<Value = ConnectionTuple> {
+    (
+        any::<u32>(),
+        any::<u16>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u32>(),
+    )
+        .prop_map(|(src, sp, dst, dp, isn)| {
+            ConnectionTuple::new(Ipv4Addr::from(src), sp, Ipv4Addr::from(dst), dp, isn)
+        })
+}
+
+/// How one batched request is constructed: a fresh valid solution, or one
+/// of the tamperings the sequential path classifies.
+fn arb_mutation() -> impl Strategy<Value = u8> {
+    0u8..6
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batch verdicts and hash charges equal the sequential ones for
+    /// arbitrary mixes of valid, tampered, stale, and malformed requests.
+    #[test]
+    fn batch_equals_sequential(
+        tuples in prop::collection::vec(arb_tuple(), 1..8),
+        mutations in prop::collection::vec(arb_mutation(), 1..8),
+        k in 1u8..3,
+        m in 1u8..7,
+        ts in 100u32..1_000_000,
+    ) {
+        let secret = ServerSecret::from_bytes([9u8; 32]);
+        let verifier = Verifier::new(secret).with_expiry(8);
+        let difficulty = Difficulty::new(k, m).unwrap();
+
+        let mut requests: Vec<VerifyRequest> = Vec::new();
+        for (tuple, mutation) in tuples.iter().zip(mutations.iter().cycle()) {
+            let challenge = verifier.issue(tuple, ts, difficulty, 64).unwrap();
+            let solved = Solver::new().solve(&challenge);
+            let mut params = challenge.params();
+            let mut tuple = *tuple;
+            let mut solution = solved.solution;
+            match mutation {
+                0 => {} // valid
+                1 => {
+                    // Corrupt the first proof.
+                    let mut proofs = solution.proofs().to_vec();
+                    proofs[0][0] ^= 0x80;
+                    solution = Solution::new(proofs);
+                }
+                2 => {
+                    // Corrupt the last proof.
+                    let mut proofs = solution.proofs().to_vec();
+                    proofs.last_mut().unwrap()[1] ^= 0x40;
+                    solution = Solution::new(proofs);
+                }
+                3 => params.timestamp = ts.saturating_sub(100), // expired
+                4 => solution = Solution::new(vec![]),          // wrong count
+                _ => tuple.src_port ^= 1,                       // wrong tuple
+            }
+            requests.push((tuple, params, solution));
+        }
+
+        let out = verifier.verify_batch(&requests, ts);
+        prop_assert_eq!(out.verdicts.len(), requests.len());
+        let mut sequential_hashes = 0u64;
+        for ((tuple, params, solution), batch_verdict) in requests.iter().zip(&out.verdicts) {
+            let (seq_verdict, hashes) = verifier.verify_counted(tuple, params, solution, ts);
+            prop_assert_eq!(&seq_verdict, batch_verdict);
+            sequential_hashes += hashes;
+        }
+        prop_assert_eq!(out.hashes, sequential_hashes);
+    }
+}

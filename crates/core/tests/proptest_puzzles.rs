@@ -8,11 +8,16 @@ use puzzle_core::{
 use std::net::Ipv4Addr;
 
 fn arb_tuple() -> impl Strategy<Value = ConnectionTuple> {
-    (any::<u32>(), any::<u16>(), any::<u32>(), any::<u16>(), any::<u32>()).prop_map(
-        |(src, sp, dst, dp, isn)| {
-            ConnectionTuple::new(Ipv4Addr::from(src), sp, Ipv4Addr::from(dst), dp, isn)
-        },
+    (
+        any::<u32>(),
+        any::<u16>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u32>(),
     )
+        .prop_map(|(src, sp, dst, dp, isn)| {
+            ConnectionTuple::new(Ipv4Addr::from(src), sp, Ipv4Addr::from(dst), dp, isn)
+        })
 }
 
 fn arb_secret() -> impl Strategy<Value = ServerSecret> {

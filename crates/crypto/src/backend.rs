@@ -1,0 +1,133 @@
+//! The pluggable hashing seam for the puzzle verification data path.
+//!
+//! Every hash the puzzle protocol performs — pre-image derivation,
+//! sub-solution checks, keyed ISN/oracle tags — flows through a
+//! [`HashBackend`]. The default [`ScalarBackend`] uses this crate's
+//! portable SHA-256/HMAC; alternative backends (SIMD multi-buffer,
+//! hardware-offloaded, instrumented-for-test) implement the same trait and
+//! plug into `puzzle_core::Verifier` and `tcpstack::Listener` without any
+//! caller changes.
+//!
+//! The trait is deliberately generic (no trait objects anywhere in the
+//! verification path): callers are monomorphized over the backend, so the
+//! scalar implementation compiles to direct calls and a future SIMD
+//! backend can batch without indirection. [`HashBackend::sha256_batch`]
+//! is the scaling hook: the batched verifier hands over whole *rounds* of
+//! independent messages, which is exactly the shape multi-buffer SHA-256
+//! (SHA-NI, AVX2 8-way, NEON) wants.
+
+use crate::hmac::HmacSha256;
+use crate::sha256::{Digest, Sha256};
+
+/// A provider of the hash primitives the puzzle protocol needs.
+///
+/// Implementations must be cheap to clone (they are carried by value in
+/// verifiers and listeners) and thread-safe, so one backend instance can
+/// serve sharded verification pipelines.
+pub trait HashBackend: Clone + Send + Sync + std::fmt::Debug {
+    /// SHA-256 over the concatenation of `parts` (equivalent to hashing
+    /// the flattened byte string; parts only exist to avoid copies).
+    fn sha256_parts(&self, parts: &[&[u8]]) -> Digest;
+
+    /// HMAC-SHA-256 over the concatenation of `parts` under `key`.
+    fn hmac_sha256_parts(&self, key: &[u8], parts: &[&[u8]]) -> Digest;
+
+    /// One-shot SHA-256 of a single message.
+    fn sha256(&self, data: &[u8]) -> Digest {
+        self.sha256_parts(&[data])
+    }
+
+    /// Hashes a batch of *independent* messages, appending one digest per
+    /// message to `out` in order.
+    ///
+    /// The default implementation loops over [`HashBackend::sha256_parts`];
+    /// batch-capable backends override this with multi-buffer kernels.
+    /// Callers must not assume any particular evaluation order beyond the
+    /// output ordering.
+    fn sha256_batch(&self, messages: &[Vec<u8>], out: &mut Vec<Digest>) {
+        out.reserve(messages.len());
+        for msg in messages {
+            out.push(self.sha256_parts(&[msg]));
+        }
+    }
+}
+
+/// The default backend: this crate's portable scalar SHA-256 and HMAC.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScalarBackend;
+
+impl HashBackend for ScalarBackend {
+    fn sha256_parts(&self, parts: &[&[u8]]) -> Digest {
+        let mut h = Sha256::new();
+        for part in parts {
+            h.update(part);
+        }
+        h.finalize()
+    }
+
+    fn hmac_sha256_parts(&self, key: &[u8], parts: &[&[u8]]) -> Digest {
+        let mut mac = HmacSha256::new(key);
+        for part in parts {
+            mac.update(part);
+        }
+        mac.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn scalar_sha256_matches_nist_vectors() {
+        let b = ScalarBackend;
+        assert_eq!(
+            hex::encode(&b.sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex::encode(&b.sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn parts_are_concatenation() {
+        let b = ScalarBackend;
+        assert_eq!(b.sha256_parts(&[b"ab", b"c"]), b.sha256(b"abc"));
+        assert_eq!(b.sha256_parts(&[b"", b"abc", b""]), b.sha256(b"abc"));
+    }
+
+    #[test]
+    fn scalar_hmac_matches_rfc4231() {
+        let b = ScalarBackend;
+        let tag = b.hmac_sha256_parts(&[0x0b; 20], &[b"Hi ", b"There"]);
+        assert_eq!(
+            hex::encode(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn batch_matches_singles() {
+        let b = ScalarBackend;
+        let messages: Vec<Vec<u8>> = (0u8..9).map(|i| vec![i; i as usize * 7]).collect();
+        let mut out = Vec::new();
+        b.sha256_batch(&messages, &mut out);
+        assert_eq!(out.len(), messages.len());
+        for (msg, digest) in messages.iter().zip(&out) {
+            assert_eq!(*digest, b.sha256(msg));
+        }
+    }
+
+    #[test]
+    fn batch_appends_to_existing_output() {
+        let b = ScalarBackend;
+        let mut out = vec![b.sha256(b"sentinel")];
+        b.sha256_batch(&[b"x".to_vec()], &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], b.sha256(b"sentinel"));
+        assert_eq!(out[1], b.sha256(b"x"));
+    }
+}

@@ -62,7 +62,7 @@ pub fn encode(bytes: &[u8]) -> String {
 /// ```
 pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
     let bytes = s.as_bytes();
-    if bytes.len() % 2 != 0 {
+    if !bytes.len().is_multiple_of(2) {
         return Err(DecodeHexError::OddLength);
     }
     let nibble = |c: u8, at: usize| -> Result<u8, DecodeHexError> {

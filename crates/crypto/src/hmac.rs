@@ -143,7 +143,10 @@ mod tests {
     #[test]
     fn rfc4231_case_6_long_key() {
         let key = [0xaa; 131];
-        let tag = HmacSha256::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let tag = HmacSha256::mac(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             hex::encode(&tag),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
@@ -187,9 +190,6 @@ mod tests {
 
     #[test]
     fn distinct_keys_distinct_tags() {
-        assert_ne!(
-            HmacSha256::mac(b"a", b"msg"),
-            HmacSha256::mac(b"b", b"msg")
-        );
+        assert_ne!(HmacSha256::mac(b"a", b"msg"), HmacSha256::mac(b"b", b"msg"));
     }
 }

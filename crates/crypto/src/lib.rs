@@ -11,6 +11,10 @@
 //!   tagging and keyed pre-image derivation.
 //! * [`hex`] — small hexadecimal encode/decode helpers used by diagnostics
 //!   and tests.
+//! * [`HashBackend`] / [`ScalarBackend`] — the pluggable hashing seam the
+//!   verification pipeline is generic over, with a batch entry point
+//!   ([`HashBackend::sha256_batch`]) that future SIMD/multi-buffer
+//!   backends override.
 //!
 //! # Example
 //!
@@ -34,9 +38,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 pub mod hex;
 mod hmac;
 mod sha256;
 
+pub use backend::{HashBackend, ScalarBackend};
 pub use hmac::HmacSha256;
 pub use sha256::{sha256, Digest, Sha256, DIGEST_LEN};

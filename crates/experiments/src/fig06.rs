@@ -119,7 +119,13 @@ impl fmt::Display for Fig06Result {
             self.hash_rate
         )?;
         let mut t = Table::new(vec![
-            "k", "m", "n", "mean (us)", "p50 (us)", "p90 (us)", "p99 (us)",
+            "k",
+            "m",
+            "n",
+            "mean (us)",
+            "p50 (us)",
+            "p90 (us)",
+            "p99 (us)",
         ]);
         for r in &self.rows {
             t.row(vec![
@@ -164,10 +170,7 @@ mod tests {
         let k1 = measure(6, 1, 14, rate, 40.0, 4.0);
         let k3 = measure(6, 3, 14, rate, 40.0, 4.0);
         let kratio = k3.mean_us() / k1.mean_us();
-        assert!(
-            (1.8..5.0).contains(&kratio),
-            "k growth ratio {kratio}"
-        );
+        assert!((1.8..5.0).contains(&kratio), "k growth ratio {kratio}");
     }
 
     #[test]

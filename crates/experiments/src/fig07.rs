@@ -174,7 +174,11 @@ mod tests {
         let nash = by_label("k2m17");
 
         assert!(nodef.retained() < 0.2, "nodefense {:.2}", nodef.retained());
-        assert!(cookies.retained() > 0.8, "cookies {:.2}", cookies.retained());
+        assert!(
+            cookies.retained() > 0.8,
+            "cookies {:.2}",
+            cookies.retained()
+        );
         assert!(easy.retained() > 0.8, "easy {:.2}", easy.retained());
         assert!(
             nash.retained() > 0.05 && nash.retained() < 0.9,

@@ -108,7 +108,11 @@ mod tests {
         let (nash, nash_challenges) = by_label("k2m17");
 
         assert!(nodef.retained() < 0.4, "nodefense {:.2}", nodef.retained());
-        assert!(cookies.retained() < 0.4, "cookies {:.2}", cookies.retained());
+        assert!(
+            cookies.retained() < 0.4,
+            "cookies {:.2}",
+            cookies.retained()
+        );
         assert!(
             nash.retained() > 1.4 * cookies.retained().max(0.05),
             "nash {:.2} vs cookies {:.2}",

@@ -61,26 +61,24 @@ pub fn run_with(seed: u64, timeline: Timeline, bots: usize, rate: f64) -> Fig09R
             max: means.iter().map(|(_, x)| *x).fold(0.0, f64::max),
         }
     };
-    let clients = avg(
-        tb.clients()
-            .map(|c| {
-                (
-                    c.metrics().cpu_util.mean_between(a0, a1),
-                    c.metrics().cpu_util.max_between(a0, a1),
-                )
-            })
-            .collect(),
-    );
-    let attackers = avg(
-        tb.attackers()
-            .map(|a| {
-                (
-                    a.metrics().cpu_util.mean_between(a0, a1),
-                    a.metrics().cpu_util.max_between(a0, a1),
-                )
-            })
-            .collect(),
-    );
+    let clients = avg(tb
+        .clients()
+        .map(|c| {
+            (
+                c.metrics().cpu_util.mean_between(a0, a1),
+                c.metrics().cpu_util.max_between(a0, a1),
+            )
+        })
+        .collect());
+    let attackers = avg(tb
+        .attackers()
+        .map(|a| {
+            (
+                a.metrics().cpu_util.mean_between(a0, a1),
+                a.metrics().cpu_util.max_between(a0, a1),
+            )
+        })
+        .collect());
     Fig09Result {
         server,
         clients,
@@ -91,7 +89,10 @@ pub fn run_with(seed: u64, timeline: Timeline, bots: usize, rate: f64) -> Fig09R
 
 impl fmt::Display for Fig09Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 9 — CPU utilization during connection flood (Nash puzzles)")?;
+        writeln!(
+            f,
+            "Figure 9 — CPU utilization during connection flood (Nash puzzles)"
+        )?;
         let mut t = Table::new(vec!["population", "mean util", "max util"]);
         for (name, row) in [
             ("server", self.server),

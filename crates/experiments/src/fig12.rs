@@ -38,7 +38,14 @@ pub struct Fig12Result {
 }
 
 /// Measures one difficulty cell.
-pub fn measure(seed: u64, k: u8, m: u8, timeline: &Timeline, bots: usize, rate: f64) -> DifficultyCell {
+pub fn measure(
+    seed: u64,
+    k: u8,
+    m: u8,
+    timeline: &Timeline,
+    bots: usize,
+    rate: f64,
+) -> DifficultyCell {
     let mut scenario = Scenario::standard(seed, Defense::Puzzles { k, m }, timeline);
     // §6.3 keeps the connection flood with attackers that solve
     // (their establishment rate is part of the reported comparison).
@@ -143,7 +150,10 @@ impl Fig12Result {
 
 impl fmt::Display for Fig12Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 12 — client throughput by difficulty (connection flood)")?;
+        writeln!(
+            f,
+            "Figure 12 — client throughput by difficulty (connection flood)"
+        )?;
         let mut t = Table::new(vec![
             "k",
             "m",
@@ -193,7 +203,11 @@ mod tests {
         // CPU-bound, clearly lower. (The paper's own Fig. 12 numbers show
         // a moderate cps gap between neighbouring settings — 30 vs 22 —
         // and a collapse in *client* service at low difficulty.)
-        assert!(easy.attacker_cps > 15.0, "easy {:.1} cps", easy.attacker_cps);
+        assert!(
+            easy.attacker_cps > 15.0,
+            "easy {:.1} cps",
+            easy.attacker_cps
+        );
         assert!(
             easy.attacker_cps > 2.0 * nash.attacker_cps.max(0.1),
             "easy {:.1} cps vs nash {:.1} cps",

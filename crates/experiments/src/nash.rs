@@ -41,8 +41,7 @@ pub struct NashResult {
 /// Panics if the parameters are degenerate (non-positive µ or `w_av`).
 pub fn derive(wav: f64, mu: f64, alpha: f64, n: usize) -> NashResult {
     let ell_star = asymptotic_difficulty(wav, alpha);
-    let difficulty =
-        select_parameters(ell_star, SelectionPolicy::FixedK(2)).expect("valid target");
+    let difficulty = select_parameters(ell_star, SelectionPolicy::FixedK(2)).expect("valid target");
     let cfg = GameConfig::homogeneous(n, wav, alpha * n as f64).expect("valid game");
     let finite_n_ell = optimal_difficulty(&cfg).expect("feasible game");
     let r_hat = max_feasible_difficulty(&cfg);
@@ -68,9 +67,21 @@ impl fmt::Display for NashResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Nash equilibrium difficulty (paper §4.4)")?;
         let mut t = Table::new(vec!["quantity", "value", "paper"]);
-        t.row(vec!["w_av (hashes)".into(), format!("{:.0}", self.wav), "140630".into()]);
-        t.row(vec!["mu (req/s)".into(), format!("{:.0}", self.mu), "~1100".into()]);
-        t.row(vec!["alpha".into(), format!("{:.2}", self.alpha), "1.1".into()]);
+        t.row(vec![
+            "w_av (hashes)".into(),
+            format!("{:.0}", self.wav),
+            "140630".into(),
+        ]);
+        t.row(vec![
+            "mu (req/s)".into(),
+            format!("{:.0}", self.mu),
+            "~1100".into(),
+        ]);
+        t.row(vec![
+            "alpha".into(),
+            format!("{:.2}", self.alpha),
+            "1.1".into(),
+        ]);
         t.row(vec![
             "ell* = w_av/(alpha+1)".into(),
             format!("{:.0}", self.ell_star),

@@ -75,7 +75,11 @@ pub fn measure(seed: u64, rate: f64, timeline: &Timeline) -> FloodPoint {
 
 /// Runs the flood-rate sweep plus the analytic saturation bound.
 pub fn run(seed: u64, full: bool) -> SolutionFloodResult {
-    let timeline = if full { Timeline::quick() } else { Timeline::smoke() };
+    let timeline = if full {
+        Timeline::quick()
+    } else {
+        Timeline::smoke()
+    };
     let rates: &[f64] = if full {
         &[1000.0, 5000.0, 10_000.0, 20_000.0]
     } else {
@@ -128,7 +132,11 @@ mod tests {
         let t = Timeline::smoke();
         let p = measure(121, 3000.0, &t);
         assert_eq!(p.admitted, 0);
-        assert!(p.rejects_per_sec > 1000.0, "rejects {:.0}", p.rejects_per_sec);
+        assert!(
+            p.rejects_per_sec > 1000.0,
+            "rejects {:.0}",
+            p.rejects_per_sec
+        );
         assert!(p.server_cpu_max < 0.05, "cpu {:.3}", p.server_cpu_max);
     }
 

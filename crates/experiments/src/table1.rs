@@ -60,7 +60,11 @@ pub fn run(seed: u64, full: bool) -> Table1Result {
     let rows = rows(difficulty);
     let commodity = difficulty.expected_client_hashes() / CLIENT_CPUS[0].hash_rate;
 
-    let timeline = if full { Timeline::quick() } else { Timeline::smoke() };
+    let timeline = if full {
+        Timeline::quick()
+    } else {
+        Timeline::smoke()
+    };
     let mut scenario = Scenario::standard(seed, Defense::nash(), &timeline);
     scenario.attackers = IOT_DEVICES
         .iter()
@@ -142,7 +146,12 @@ mod tests {
         assert!((rows[0].hashes_400ms - 19_846.8).abs() < 1.0);
         // Every Pi needs > 1.7 s per Nash puzzle: flooding is hopeless.
         for r in &rows {
-            assert!(r.nash_solve_secs > 1.7, "{}: {:.2}s", r.device.name, r.nash_solve_secs);
+            assert!(
+                r.nash_solve_secs > 1.7,
+                "{}: {:.2}s",
+                r.device.name,
+                r.nash_solve_secs
+            );
             assert!(r.max_flood_cps < 0.6);
         }
     }

@@ -61,7 +61,11 @@ mod tests {
         }
         .to_string()
         .contains("r-hat"));
-        assert!(GameError::AllUsersDroppedOut.to_string().contains("dropped"));
-        assert!(GameError::NoConvergence("bisect").to_string().contains("bisect"));
+        assert!(GameError::AllUsersDroppedOut
+            .to_string()
+            .contains("dropped"));
+        assert!(GameError::NoConvergence("bisect")
+            .to_string()
+            .contains("bisect"));
     }
 }

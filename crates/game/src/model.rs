@@ -144,10 +144,7 @@ mod tests {
 
     #[test]
     fn utility_blows_up_at_capacity() {
-        assert_eq!(
-            user_utility(10.0, 5.0, 5.0, 1.0, 10.0),
-            f64::NEG_INFINITY
-        );
+        assert_eq!(user_utility(10.0, 5.0, 5.0, 1.0, 10.0), f64::NEG_INFINITY);
         assert!(user_utility(10.0, 1.0, 2.0, 1.0, 10.0).is_finite());
     }
 

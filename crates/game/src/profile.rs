@@ -162,7 +162,11 @@ mod tests {
     fn local_profiler_measures_something() {
         let p = profile_local_hash_rate(Duration::from_millis(30));
         assert!(p.hashes >= 1024);
-        assert!(p.hashes_per_sec > 1000.0, "implausibly slow: {}", p.hashes_per_sec);
+        assert!(
+            p.hashes_per_sec > 1000.0,
+            "implausibly slow: {}",
+            p.hashes_per_sec
+        );
         assert!(p.elapsed >= Duration::from_millis(25));
         // 400 ms budget scales linearly from the rate.
         let w = p.hashes_in(USABILITY_BUDGET);

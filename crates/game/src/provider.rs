@@ -183,8 +183,9 @@ mod tests {
         let ell_star = optimal_difficulty(&cfg).unwrap();
         let approx = provider_revenue_approx(&cfg, ell_star).unwrap();
         // Concrete difficulty near ℓ*: k = 2, m from rounding.
-        let d = crate::select::select_parameters(ell_star, crate::select::SelectionPolicy::FixedK(2))
-            .unwrap();
+        let d =
+            crate::select::select_parameters(ell_star, crate::select::SelectionPolicy::FixedK(2))
+                .unwrap();
         let exact = provider_revenue(&cfg, d);
         if let Ok(exact) = exact {
             let bound = (d.k() as f64 / 2.0 + 2.0) * cfg.mu();

@@ -204,19 +204,9 @@ impl AttackerHost {
         SimDuration::from_secs_f64((0.5 + rng.next_f64()) / rate)
     }
 
-    fn send_from(
-        &mut self,
-        ctx: &mut Context<'_, TcpSegment>,
-        src: Ipv4Addr,
-        seg: TcpSegment,
-    ) {
-        self.metrics
-            .packets_sent
-            .incr(ctx.now().as_secs_f64());
-        ctx.send(
-            IfaceId(0),
-            Packet::new(src, self.params.target_addr, seg),
-        );
+    fn send_from(&mut self, ctx: &mut Context<'_, TcpSegment>, src: Ipv4Addr, seg: TcpSegment) {
+        self.metrics.packets_sent.incr(ctx.now().as_secs_f64());
+        ctx.send(IfaceId(0), Packet::new(src, self.params.target_addr, seg));
     }
 
     /// One firing of the attack's send loop.

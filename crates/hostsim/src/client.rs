@@ -66,7 +66,12 @@ pub struct ClientParams {
 impl ClientParams {
     /// The paper's default client: 20 req/s of 10 kB, solving with the
     /// given strategy, on the given device profile.
-    pub fn new(addr: Ipv4Addr, server_addr: Ipv4Addr, behavior: SolveBehavior, hash_rate: f64) -> Self {
+    pub fn new(
+        addr: Ipv4Addr,
+        server_addr: Ipv4Addr,
+        behavior: SolveBehavior,
+        hash_rate: f64,
+    ) -> Self {
         ClientParams {
             addr,
             server_addr,
@@ -315,8 +320,7 @@ impl ClientHost {
                                 self.params.server_port,
                                 0, // informational; the oracle binds via the pre-image
                             );
-                            let solved =
-                                strategy.solve(&tuple, &challenge, issued_at, ctx.rng());
+                            let solved = strategy.solve(&tuple, &challenge, issued_at, ctx.rng());
                             let done = self.cpu.schedule_hashes(now, solved.hashes as f64);
                             if let Some(entry) = self.conns.get_mut(&port) {
                                 entry.pending_proofs = Some(solved.proofs);
@@ -358,8 +362,7 @@ impl netsim::Node<TcpSegment> for ClientHost {
                 }
             }
             None => {
-                let first =
-                    SimDuration::from_secs_f64(ctx.rng().exp_f64(self.params.request_rate));
+                let first = SimDuration::from_secs_f64(ctx.rng().exp_f64(self.params.request_rate));
                 ctx.set_timer(first, tag(K_NEWREQ, 0));
             }
         }
@@ -389,9 +392,7 @@ impl netsim::Node<TcpSegment> for ClientHost {
         match t >> 56 {
             K_NEWREQ => {
                 self.start_request(ctx);
-                let next = SimDuration::from_secs_f64(
-                    ctx.rng().exp_f64(self.params.request_rate),
-                );
+                let next = SimDuration::from_secs_f64(ctx.rng().exp_f64(self.params.request_rate));
                 ctx.set_timer(next, tag(K_NEWREQ, 0));
             }
             K_RETX => {
@@ -419,12 +420,11 @@ impl netsim::Node<TcpSegment> for ClientHost {
                     }
                 }
             }
-            K_TIMEOUT => {
+            K_TIMEOUT
                 // Give up on the request if it is still pending.
-                if self.conns.contains_key(&port) {
+                if self.conns.contains_key(&port) => {
                     self.finish(ctx, port, false);
                 }
-            }
             K_TICK => {
                 let secs = now.as_secs_f64();
                 if now.as_nanos() >= 1_000_000_000 {

@@ -262,17 +262,18 @@ impl ServerHost {
     }
 
     /// Charges puzzle crypto work since the last call to the CPU model.
+    ///
+    /// The listener's counters are the single source of truth: challenge
+    /// generation costs 1 hash each (g(p) = 1) and `verify_hashes` is the
+    /// exact per-solution charge reported by the verification chokepoint
+    /// (1 + checked proofs; replay-cache hits are free), so the CPU model
+    /// tracks the paper's d(p) accounting without re-estimating it here.
     fn account_crypto(&mut self, now: SimTime) {
         let s = self.listener.stats();
         let p = self.prev_stats;
-        let k = match &self.params.defense {
-            DefenseMode::Puzzles(pc) => pc.difficulty.k() as f64,
-            _ => 0.0,
-        };
         let gen = (s.challenges_sent - p.challenges_sent) as f64; // 1 hash each
-        let rejected = (s.verify_failures - p.verify_failures) as f64; // ~2 hashes
-        let accepted = (s.established_puzzle - p.established_puzzle) as f64; // 1 + k
-        let hashes = gen + 2.0 * rejected + accepted * (1.0 + k);
+        let verify = (s.verify_hashes - p.verify_hashes) as f64; // exact charge
+        let hashes = gen + verify;
         if hashes > 0.0 {
             self.cpu.schedule_hashes(now, hashes);
         }
@@ -410,8 +411,7 @@ impl netsim::Node<TcpSegment> for ServerHost {
                 // observation per tick, difficulty applied immediately.
                 if let Some(ctl) = &mut self.adaptive {
                     let obs = AdaptiveObservation {
-                        puzzle_established: s.established_puzzle
-                            - p.established_puzzle,
+                        puzzle_established: s.established_puzzle - p.established_puzzle,
                         under_pressure: s.challenges_sent > p.challenges_sent
                             || s.syns_dropped > p.syns_dropped
                             || s.accept_overflow_drops > p.accept_overflow_drops,

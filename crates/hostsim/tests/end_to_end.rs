@@ -152,11 +152,7 @@ fn syn_flood_kills_undefended_server() {
 
 #[test]
 fn syn_flood_with_puzzles_keeps_clients_served() {
-    let mut server = ServerParams::new(
-        SERVER_IP,
-        80,
-        puzzle_defense(1, 8, VerifyMode::Oracle),
-    );
+    let mut server = ServerParams::new(SERVER_IP, 80, puzzle_defense(1, 8, VerifyMode::Oracle));
     server.backlog = 256;
     let client = ClientParams::new(
         client_ip(0),
@@ -245,26 +241,34 @@ fn connection_flood_beats_cookies_but_not_puzzles() {
         run(puzzle_defense(2, 17, VerifyMode::Oracle), None, 5);
 
     // Fig. 10 with cookies: both queues saturate.
-    assert!(cookie_accept > 0.8 * 256.0, "cookie accept depth {cookie_accept}");
-    assert!(cookie_listen > 0.8 * 256.0, "cookie listen depth {cookie_listen}");
+    assert!(
+        cookie_accept > 0.8 * 256.0,
+        "cookie accept depth {cookie_accept}"
+    );
+    assert!(
+        cookie_listen > 0.8 * 256.0,
+        "cookie listen depth {cookie_listen}"
+    );
     // Fig. 10 with challenges: the accept queue stays (almost) empty.
-    assert!(puzzle_accept < 0.2 * 256.0, "puzzle accept depth {puzzle_accept}");
+    assert!(
+        puzzle_accept < 0.2 * 256.0,
+        "puzzle accept depth {puzzle_accept}"
+    );
     // Fig. 8: puzzles sustain clearly more client goodput than cookies,
     // and cookies are well below nominal (~200 kB/s).
     assert!(
         puzzle_rate > 1.3 * cookie_rate,
         "cookies {cookie_rate} vs puzzles {puzzle_rate}"
     );
-    assert!(cookie_rate < 80_000.0, "cookies should degrade: {cookie_rate}");
+    assert!(
+        cookie_rate < 80_000.0,
+        "cookies should degrade: {cookie_rate}"
+    );
 }
 
 #[test]
 fn puzzles_throttle_solving_attackers() {
-    let mut server = ServerParams::new(
-        SERVER_IP,
-        80,
-        puzzle_defense(2, 17, VerifyMode::Oracle),
-    );
+    let mut server = ServerParams::new(SERVER_IP, 80, puzzle_defense(2, 17, VerifyMode::Oracle));
     server.backlog = 0; // puzzles always active: isolate the throttling
     let client = ClientParams::new(
         client_ip(0),
@@ -347,7 +351,11 @@ fn real_verify_mode_full_protocol_small_difficulty() {
     w.sim.run_until(SimTime::from_secs(10));
 
     let stats = w.sim.node(w.server).as_server().unwrap().listener_stats();
-    assert!(stats.challenges_sent > 10, "challenges: {}", stats.challenges_sent);
+    assert!(
+        stats.challenges_sent > 10,
+        "challenges: {}",
+        stats.challenges_sent
+    );
     assert!(
         stats.established_puzzle > 10,
         "real-solved establishments: {}",
@@ -382,7 +390,11 @@ fn replay_flood_is_contained() {
     // replays are inert duplicates; after each idle reap the stale
     // solution re-admits only while inside its 8 s window — beyond that
     // every replay is rejected as expired (§5, §7).
-    assert!(stats.verify_expired > 1000, "expired: {}", stats.verify_expired);
+    assert!(
+        stats.verify_expired > 1000,
+        "expired: {}",
+        stats.verify_expired
+    );
     let est = srv.metrics().established_rate_for(&[attacker_ip(0)], 1.0);
     // A replayed solution occupies at most one connection slot at a time:
     // total admissions over 70 s stay bounded by the expiry window over
@@ -413,7 +425,11 @@ fn solution_flood_burns_bounded_server_cpu() {
 
     let srv = w.sim.node(w.server).as_server().unwrap();
     let stats = srv.listener_stats();
-    assert!(stats.verify_failures > 10_000, "failures: {}", stats.verify_failures);
+    assert!(
+        stats.verify_failures > 10_000,
+        "failures: {}",
+        stats.verify_failures
+    );
     assert_eq!(stats.established_puzzle, 0, "forgeries never admitted");
     // §7: verification is ~2 hashes at 10.8 MH/s — 2000 pps is nothing.
     let cpu = srv.metrics().cpu_util.max_between(3.0, 20.0);

@@ -56,9 +56,7 @@ impl IntervalSeries {
 
     /// `(bin_start_time, sum / interval)` pairs — per-second rates.
     pub fn rates(&self) -> Vec<(f64, f64)> {
-        self.points()
-            .map(|(t, v)| (t, v / self.interval))
-            .collect()
+        self.points().map(|(t, v)| (t, v / self.interval)).collect()
     }
 
     /// Sum over bins whose start time lies in `[from, to)`.
@@ -72,10 +70,7 @@ impl IntervalSeries {
     /// Mean *rate* (value per second) over bins starting in `[from, to)`.
     /// Returns 0 for an empty window.
     pub fn mean_rate_between(&self, from: f64, to: f64) -> f64 {
-        let n = self
-            .points()
-            .filter(|(t, _)| *t >= from && *t < to)
-            .count();
+        let n = self.points().filter(|(t, _)| *t >= from && *t < to).count();
         if n == 0 {
             return 0.0;
         }

@@ -39,11 +39,7 @@ enum EventKind<P> {
         packet: Packet<P>,
     },
     /// A node timer fires.
-    Timer {
-        node: NodeId,
-        id: TimerId,
-        tag: u64,
-    },
+    Timer { node: NodeId, id: TimerId, tag: u64 },
 }
 
 struct Event<P> {
@@ -123,8 +119,14 @@ impl<N> NetBuilder<N> {
         self.links.push(LinkState {
             spec,
             ends: [
-                Endpoint { node: a, iface: iface_a },
-                Endpoint { node: b, iface: iface_b },
+                Endpoint {
+                    node: a,
+                    iface: iface_a,
+                },
+                Endpoint {
+                    node: b,
+                    iface: iface_b,
+                },
             ],
             dirs: [LinkDirection::new(), LinkDirection::new()],
         });
@@ -409,7 +411,6 @@ impl<P: Payload, N: Node<P>> Simulation<P, N> {
             }
         }
     }
-
 }
 
 #[cfg(test)]
@@ -435,7 +436,6 @@ mod tests {
         received: Vec<(SimTime, u32)>,
         bounce_below: u32,
         timer_fires: Vec<u64>,
-        cancel_next: Option<TimerId>,
     }
 
     impl Node<Msg> for Bouncer {

@@ -138,10 +138,7 @@ mod tests {
     fn serialization_time_scales_with_size() {
         let spec = spec_1mbps();
         // 125 bytes = 1000 bits at 1 Mbps = 1 ms.
-        assert_eq!(
-            spec.serialization_time(125),
-            SimDuration::from_millis(1)
-        );
+        assert_eq!(spec.serialization_time(125), SimDuration::from_millis(1));
     }
 
     #[test]

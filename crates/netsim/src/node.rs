@@ -22,18 +22,9 @@ pub struct TimerId(pub(crate) u64);
 /// deterministic).
 #[derive(Debug)]
 pub(crate) enum Command<P> {
-    Send {
-        iface: IfaceId,
-        packet: Packet<P>,
-    },
-    SetTimer {
-        id: TimerId,
-        at: SimTime,
-        tag: u64,
-    },
-    CancelTimer {
-        id: TimerId,
-    },
+    Send { iface: IfaceId, packet: Packet<P> },
+    SetTimer { id: TimerId, at: SimTime, tag: u64 },
+    CancelTimer { id: TimerId },
 }
 
 /// Behaviour of a simulated node.

@@ -100,7 +100,7 @@ impl Router {
         let mut best: Option<&Route> = None;
         for r in self.routes.iter().filter(|r| r.matches(dst)) {
             // Strict comparison keeps the first-inserted route on ties.
-            if best.map_or(true, |b| r.prefix_len > b.prefix_len) {
+            if best.is_none_or(|b| r.prefix_len > b.prefix_len) {
                 best = Some(r);
             }
         }

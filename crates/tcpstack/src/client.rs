@@ -491,13 +491,25 @@ mod tests {
             .payload(vec![0; 1460])
             .build();
         let (_, ev) = c.on_segment(t(2), &data);
-        assert_eq!(ev, vec![ClientEvent::Data { len: 1460, fin: false }]);
+        assert_eq!(
+            ev,
+            vec![ClientEvent::Data {
+                len: 1460,
+                fin: false
+            }]
+        );
         let last = SegmentBuilder::new(80, 40000)
             .flags(TcpFlags::ACK | TcpFlags::PSH | TcpFlags::FIN)
             .payload(vec![0; 500])
             .build();
         let (_, ev) = c.on_segment(t(3), &last);
-        assert_eq!(ev, vec![ClientEvent::Data { len: 500, fin: true }]);
+        assert_eq!(
+            ev,
+            vec![ClientEvent::Data {
+                len: 500,
+                fin: true
+            }]
+        );
         assert_eq!(c.state(), ClientState::Closed);
         assert_eq!(c.bytes_received(), 1960);
     }

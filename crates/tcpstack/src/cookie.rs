@@ -49,6 +49,7 @@ impl SynCookieCodec {
     /// Encodes a cookie ISN for the SYN described by the arguments.
     ///
     /// `counter` is the coarse time epoch (e.g. seconds / 64).
+    #[allow(clippy::too_many_arguments)]
     pub fn encode(
         &self,
         src: Ipv4Addr,
@@ -66,6 +67,7 @@ impl SynCookieCodec {
 
     /// Validates a cookie echoed back as `ack − 1`. Returns the recovered
     /// MSS when the cookie is genuine and at most one epoch old.
+    #[allow(clippy::too_many_arguments)]
     pub fn validate(
         &self,
         src: Ipv4Addr,
@@ -94,6 +96,7 @@ impl SynCookieCodec {
         None
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn mac(
         &self,
         src: Ipv4Addr,

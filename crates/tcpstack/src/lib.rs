@@ -45,8 +45,8 @@ pub mod segment;
 pub use client::{ClientConfig, ClientConn, ClientEvent, ClientState};
 pub use cookie::SynCookieCodec;
 pub use listener::{
-    puzzle_clock, DefenseMode, FlowKey, Listener, ListenerConfig, ListenerEvent, ListenerStats,
-    PuzzleConfig, SynCacheConfig, VerifyMode,
+    oracle_proof, oracle_proof_with, puzzle_clock, DefenseMode, FlowKey, Listener, ListenerConfig,
+    ListenerEvent, ListenerStats, PuzzleConfig, SynCacheConfig, VerifyMode,
 };
 pub use options::{ChallengeOption, OptionDecodeError, SolutionOption, TcpOption};
 pub use segment::{SegmentBuilder, TcpFlags, TcpSegment, MAX_OPTIONS_LEN, TCP_HEADER_LEN};

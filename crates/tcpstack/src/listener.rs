@@ -22,15 +22,17 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use crate::cookie::SynCookieCodec;
 use crate::options::{ChallengeOption, SolutionOption, TcpOption};
 use crate::segment::{SegmentBuilder, TcpFlags, TcpSegment};
 use netsim::{SimDuration, SimTime};
 use puzzle_core::{
-    ChallengeParams, ConnectionTuple, Difficulty, ServerSecret, Solution, Verifier, VerifyError,
+    ChallengeParams, ConnectionTuple, Difficulty, ReplayCache, ServerSecret, Solution, Verifier,
+    VerifyError, VerifyRequest,
 };
-use puzzle_crypto::HmacSha256;
+use puzzle_crypto::{HashBackend, ScalarBackend};
 
 /// Converts simulator time to the puzzle/second clock used in challenge
 /// timestamps and expiry checks.
@@ -281,6 +283,14 @@ pub struct ListenerStats {
     pub verify_failures: u64,
     /// Verification failures specifically due to expiry (replay window).
     pub verify_expired: u64,
+    /// Verification failures because the replay cache had already granted
+    /// the same `(tuple, timestamp)` admission.
+    pub verify_replayed: u64,
+    /// Hash operations charged by solution verification (pre-images plus
+    /// sub-solution checks; oracle mode charges the real-path equivalent).
+    /// Together with `challenges_sent` (1 hash each) this is the single
+    /// source of truth for puzzle CPU accounting.
+    pub verify_hashes: u64,
     /// RST segments sent.
     pub rsts_sent: u64,
     /// Data segments received on established connections.
@@ -326,12 +336,38 @@ pub struct ListenerOutput {
     pub events: Vec<ListenerEvent>,
 }
 
-/// The listening socket. See the module docs for the behavioural model.
+/// A solution-bearing ACK waiting for the batched verification flush in
+/// [`Listener::on_segments`].
 #[derive(Debug)]
-pub struct Listener {
+struct PendingSolution {
+    flow: FlowKey,
+    /// ACK number (the server's next sequence number on establish).
+    ack: u32,
+    /// MSS echoed in the solution option.
+    mss: u16,
+    request: VerifyRequest,
+    payload: Vec<u8>,
+    fin: bool,
+}
+
+/// How one inbound segment was routed by the batch collector.
+enum Collected {
+    /// A solution ACK queued for the next batched verification flush.
+    Pending(PendingSolution),
+    /// Fully handled during collection (queue-gated or parse-rejected).
+    Handled,
+    /// Needs ordinary sequential processing.
+    Sequential,
+}
+
+/// The listening socket, generic over the [`HashBackend`] that serves its
+/// puzzle and ISN hashing. See the module docs for the behavioural model.
+#[derive(Debug)]
+pub struct Listener<B: HashBackend = ScalarBackend> {
     cfg: ListenerConfig,
     secret: ServerSecret,
-    verifier: Verifier,
+    backend: B,
+    verifier: Verifier<B>,
     cookies: SynCookieCodec,
     listen_q: HashMap<FlowKey, HalfOpen>,
     /// Reduced-state overflow entries (SYN-cache mode): flow → (server
@@ -348,18 +384,32 @@ pub struct Listener {
     challenge_hold_until: SimTime,
 }
 
-impl Listener {
-    /// Creates a listener from a configuration and the server secret.
+impl Listener<ScalarBackend> {
+    /// Creates a listener over the default scalar hash backend.
     pub fn new(cfg: ListenerConfig, secret: ServerSecret) -> Self {
+        Listener::with_backend(cfg, secret, ScalarBackend)
+    }
+}
+
+impl<B: HashBackend> Listener<B> {
+    /// Creates a listener hashing through `backend`. In puzzle mode the
+    /// verifier gets a sharded [`ReplayCache`], so a solution is admitted
+    /// at most once per `(tuple, timestamp)` inside the expiry window.
+    pub fn with_backend(cfg: ListenerConfig, secret: ServerSecret, backend: B) -> Self {
         let expiry = match &cfg.defense {
             DefenseMode::Puzzles(p) => p.expiry,
             _ => PuzzleConfig::default().expiry,
         };
-        let verifier = Verifier::new(secret.clone()).with_expiry(expiry);
+        let mut verifier =
+            Verifier::with_backend(secret.clone(), backend.clone()).with_expiry(expiry);
+        if matches!(cfg.defense, DefenseMode::Puzzles(_)) {
+            verifier = verifier.with_replay_cache(Arc::new(ReplayCache::default()));
+        }
         let cookies = SynCookieCodec::new(*secret.as_bytes());
         Listener {
             cfg,
             secret,
+            backend,
             verifier,
             cookies,
             listen_q: HashMap::new(),
@@ -415,7 +465,12 @@ impl Listener {
     /// closing the connection server-side.
     ///
     /// Returns an empty vector if the flow is not in the accepted set.
-    pub fn send_data(&mut self, flow: FlowKey, len: usize, fin: bool) -> Vec<(Ipv4Addr, TcpSegment)> {
+    pub fn send_data(
+        &mut self,
+        flow: FlowKey,
+        len: usize,
+        fin: bool,
+    ) -> Vec<(Ipv4Addr, TcpSegment)> {
         let Some(conn) = self.accepted.get_mut(&flow) else {
             return Vec::new();
         };
@@ -459,6 +514,59 @@ impl Listener {
     /// spoofed — the listener treats it as opaque, like a real stack).
     pub fn on_segment(&mut self, now: SimTime, src: Ipv4Addr, seg: &TcpSegment) -> ListenerOutput {
         let mut out = ListenerOutput::default();
+        match self.collect_solution(src, seg, 0, &mut out) {
+            Collected::Pending(p) => {
+                let mut pending = vec![p];
+                self.flush_solutions(now, &mut pending, &mut out);
+            }
+            Collected::Handled => {}
+            Collected::Sequential => self.segment_inner(now, src, seg, &mut out),
+        }
+        out
+    }
+
+    /// Feeds a burst of inbound segments, verifying all their puzzle
+    /// solutions through one [`Verifier::verify_batch`] call.
+    ///
+    /// Runs of consecutive solution-bearing ACKs from unknown flows — the
+    /// dominant traffic shape under a solving connection flood — are
+    /// queue-gated in arrival order (each unverified batch member counts
+    /// as a presumptive admission, matching sequential processing when
+    /// solutions are valid) and then handed to the batch engine as one
+    /// round-structured hash workload. Any other segment flushes the
+    /// pending run first, so segment ordering semantics are preserved.
+    /// One divergence from strictly sequential processing: a flow sending
+    /// two solution ACKs in the same run has its second rejected as
+    /// [`VerifyError::Replayed`] instead of being treated as a data ACK.
+    pub fn on_segments(
+        &mut self,
+        now: SimTime,
+        segments: &[(Ipv4Addr, TcpSegment)],
+    ) -> ListenerOutput {
+        let mut out = ListenerOutput::default();
+        let mut pending: Vec<PendingSolution> = Vec::new();
+        for (src, seg) in segments {
+            match self.collect_solution(*src, seg, pending.len(), &mut out) {
+                Collected::Pending(p) => pending.push(p),
+                Collected::Handled => {}
+                Collected::Sequential => {
+                    self.flush_solutions(now, &mut pending, &mut out);
+                    self.segment_inner(now, *src, seg, &mut out);
+                }
+            }
+        }
+        self.flush_solutions(now, &mut pending, &mut out);
+        out
+    }
+
+    /// Sequential (non-batched) processing of one segment.
+    fn segment_inner(
+        &mut self,
+        now: SimTime,
+        src: Ipv4Addr,
+        seg: &TcpSegment,
+        out: &mut ListenerOutput,
+    ) {
         let flow = FlowKey {
             addr: src,
             port: seg.src_port,
@@ -467,14 +575,170 @@ impl Listener {
             self.listen_q.remove(&flow);
             self.syn_cache.remove(&flow);
             self.accepted.remove(&flow);
-            return out;
+            return;
         }
         if seg.flags.contains(TcpFlags::SYN) && !seg.flags.contains(TcpFlags::ACK) {
-            self.handle_syn(now, flow, seg, &mut out);
+            self.handle_syn(now, flow, seg, out);
         } else if seg.flags.contains(TcpFlags::ACK) {
-            self.handle_ack(now, flow, seg, &mut out);
+            self.handle_ack(now, flow, seg, out);
         }
-        out
+    }
+
+    /// Routes a segment into the batched verification pipeline when it is
+    /// a solution-bearing ACK for a flow with no listener state; performs
+    /// the paper's check-queue-before-verify gating and option parsing.
+    fn collect_solution(
+        &mut self,
+        src: Ipv4Addr,
+        seg: &TcpSegment,
+        pending_count: usize,
+        out: &mut ListenerOutput,
+    ) -> Collected {
+        let DefenseMode::Puzzles(pc) = self.cfg.defense.clone() else {
+            return Collected::Sequential;
+        };
+        if !seg.flags.contains(TcpFlags::ACK) || seg.flags.contains(TcpFlags::RST) {
+            return Collected::Sequential;
+        }
+        let Some(sol) = seg.solution() else {
+            return Collected::Sequential;
+        };
+        let flow = FlowKey {
+            addr: src,
+            port: seg.src_port,
+        };
+        if self.accepted.contains_key(&flow)
+            || self.in_accept_q.contains_key(&flow)
+            || self.listen_q.contains_key(&flow)
+            || self.syn_cache.contains_key(&flow)
+        {
+            return Collected::Sequential;
+        }
+        // "First checks if the queue is full and only performs the
+        // verification procedure when there is room" (§5).
+        if self.accept_q.len() + pending_count >= self.cfg.accept_backlog {
+            self.stats.acks_ignored_queue_full += 1;
+            out.events.push(ListenerEvent::AckIgnoredQueueFull { flow });
+            return Collected::Handled;
+        }
+        match self.parse_solution(flow, seg, sol, &pc) {
+            Ok((request, mss)) => Collected::Pending(PendingSolution {
+                flow,
+                ack: seg.ack,
+                mss,
+                request,
+                payload: seg.payload.clone(),
+                fin: seg.flags.contains(TcpFlags::FIN),
+            }),
+            Err(reason) => {
+                self.note_rejection(flow, reason, out);
+                Collected::Handled
+            }
+        }
+    }
+
+    /// Verifies and applies a pending run of solution ACKs.
+    fn flush_solutions(
+        &mut self,
+        now: SimTime,
+        pending: &mut Vec<PendingSolution>,
+        out: &mut ListenerOutput,
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        // Split each pending entry into its verification request and the
+        // establishment metadata, so the batch borrows the requests
+        // without re-cloning proof vectors.
+        let mut requests: Vec<VerifyRequest> = Vec::with_capacity(pending.len());
+        let mut meta: Vec<(FlowKey, u32, u16, Vec<u8>, bool)> = Vec::with_capacity(pending.len());
+        for p in pending.drain(..) {
+            requests.push(p.request);
+            meta.push((p.flow, p.ack, p.mss, p.payload, p.fin));
+        }
+        let verdicts = self.check_solution_acks(puzzle_clock(now), &requests);
+        for ((flow, ack, mss, payload, fin), verdict) in meta.into_iter().zip(verdicts) {
+            match verdict {
+                Ok(()) => self.finish_establish(
+                    flow,
+                    ack,
+                    mss.min(self.cfg.mss),
+                    EstablishedVia::Puzzle,
+                    &payload,
+                    fin,
+                    out,
+                ),
+                Err(reason) => self.note_rejection(flow, reason, out),
+            }
+        }
+    }
+
+    /// The verification chokepoint both solution paths share: real mode
+    /// goes through the backend's batch engine (replay cache included);
+    /// oracle mode recomputes keyed proofs and charges the real-path
+    /// hash-count equivalent, consulting the same replay cache.
+    fn check_solution_acks(
+        &mut self,
+        now_ts: u32,
+        requests: &[VerifyRequest],
+    ) -> Vec<Result<(), VerifyError>> {
+        let mode = match &self.cfg.defense {
+            DefenseMode::Puzzles(pc) => pc.verify,
+            _ => VerifyMode::Real,
+        };
+        match mode {
+            VerifyMode::Real => {
+                let batch = self.verifier.verify_batch(requests, now_ts);
+                self.stats.verify_hashes += batch.hashes;
+                batch.verdicts
+            }
+            VerifyMode::Oracle => {
+                let cache = self.verifier.replay_cache().cloned();
+                let max_age = self.verifier.max_age();
+                let mut verdicts = Vec::with_capacity(requests.len());
+                for (tuple, params, solution) in requests {
+                    if let Some(c) = &cache {
+                        if c.contains(tuple, params.timestamp, now_ts, max_age) {
+                            verdicts.push(Err(VerifyError::Replayed));
+                            continue;
+                        }
+                    }
+                    let (res, hashes) = oracle_verify(
+                        &self.backend,
+                        &self.secret,
+                        max_age,
+                        tuple,
+                        params,
+                        solution,
+                        now_ts,
+                    );
+                    self.stats.verify_hashes += hashes;
+                    let res = match (&res, &cache) {
+                        (Ok(()), Some(c))
+                            if !c.insert(tuple, params.timestamp, now_ts, max_age) =>
+                        {
+                            Err(VerifyError::Replayed)
+                        }
+                        _ => res,
+                    };
+                    verdicts.push(res);
+                }
+                verdicts
+            }
+        }
+    }
+
+    /// Books a failed verification: counters plus the rejection event.
+    fn note_rejection(&mut self, flow: FlowKey, reason: VerifyError, out: &mut ListenerOutput) {
+        self.stats.verify_failures += 1;
+        if matches!(reason, VerifyError::Expired { .. }) {
+            self.stats.verify_expired += 1;
+        }
+        if matches!(reason, VerifyError::Replayed) {
+            self.stats.verify_replayed += 1;
+        }
+        out.events
+            .push(ListenerEvent::SolutionRejected { flow, reason });
     }
 
     /// Drives retransmissions and half-open expiry; call periodically.
@@ -504,7 +768,9 @@ impl Listener {
                 half.server_isn,
                 half.client_isn,
                 half.mss,
-                use_ts.then_some((now_ts, half.peer_tsval)).filter(|_| half.has_ts),
+                use_ts
+                    .then_some((now_ts, half.peer_tsval))
+                    .filter(|_| half.has_ts),
             );
             out.push((flow.addr, seg));
         }
@@ -521,12 +787,15 @@ impl Listener {
 
     fn next_server_isn(&mut self, flow: FlowKey) -> u32 {
         self.isn_counter += 1;
-        let mut mac = HmacSha256::new(self.secret.as_bytes());
-        mac.update(b"isn");
-        mac.update(&flow.addr.octets());
-        mac.update(&flow.port.to_be_bytes());
-        mac.update(&self.isn_counter.to_be_bytes());
-        let t = mac.finalize();
+        let t = self.backend.hmac_sha256_parts(
+            self.secret.as_bytes(),
+            &[
+                b"isn",
+                &flow.addr.octets(),
+                &flow.port.to_be_bytes(),
+                &self.isn_counter.to_be_bytes(),
+            ],
+        );
         u32::from_be_bytes([t[0], t[1], t[2], t[3]])
     }
 
@@ -620,8 +889,7 @@ impl Listener {
                     }
                     let lifetime = cc.lifetime;
                     let server_isn = self.next_server_isn(flow);
-                    self.syn_cache
-                        .insert(flow, (server_isn, now + lifetime));
+                    self.syn_cache.insert(flow, (server_isn, now + lifetime));
                     let reply = build_synack(
                         self.cfg.port,
                         flow,
@@ -737,7 +1005,8 @@ impl Listener {
                     half.server_isn.wrapping_add(1),
                     half.mss,
                     EstablishedVia::ListenQueue,
-                    seg,
+                    &seg.payload,
+                    seg.flags.contains(TcpFlags::FIN),
                     out,
                 );
             }
@@ -767,7 +1036,8 @@ impl Listener {
                         server_isn.wrapping_add(1),
                         536,
                         EstablishedVia::SynCache,
-                        seg,
+                        &seg.payload,
+                        seg.flags.contains(TcpFlags::FIN),
                         out,
                     );
                     return;
@@ -779,31 +1049,35 @@ impl Listener {
         match self.cfg.defense.clone() {
             DefenseMode::Puzzles(pc) => {
                 if let Some(sol) = seg.solution() {
-                    // "First checks if the queue is full and only performs
-                    // the verification procedure when there is room."
+                    // Solution ACKs for unknown flows are normally diverted
+                    // into the batch pipeline before reaching this point;
+                    // this branch keeps `handle_ack` self-contained by
+                    // running the same gate + chokepoint for one request.
                     if self.accept_q.len() >= self.cfg.accept_backlog {
                         self.stats.acks_ignored_queue_full += 1;
                         out.events.push(ListenerEvent::AckIgnoredQueueFull { flow });
                         return;
                     }
-                    match self.verify_solution(now, flow, seg, sol, &pc) {
-                        Ok(mss) => {
-                            self.finish_establish(
-                                flow,
-                                seg.ack,
-                                mss.min(self.cfg.mss),
-                                EstablishedVia::Puzzle,
-                                seg,
-                                out,
-                            );
-                        }
-                        Err(reason) => {
-                            self.stats.verify_failures += 1;
-                            if matches!(reason, VerifyError::Expired { .. }) {
-                                self.stats.verify_expired += 1;
+                    match self.parse_solution(flow, seg, sol, &pc) {
+                        Ok((request, mss)) => {
+                            let verdict = self
+                                .check_solution_acks(puzzle_clock(now), &[request])
+                                .pop()
+                                .expect("one verdict per request");
+                            match verdict {
+                                Ok(()) => self.finish_establish(
+                                    flow,
+                                    seg.ack,
+                                    mss.min(self.cfg.mss),
+                                    EstablishedVia::Puzzle,
+                                    &seg.payload,
+                                    seg.flags.contains(TcpFlags::FIN),
+                                    out,
+                                ),
+                                Err(reason) => self.note_rejection(flow, reason, out),
                             }
-                            out.events.push(ListenerEvent::SolutionRejected { flow, reason });
                         }
+                        Err(reason) => self.note_rejection(flow, reason, out),
                     }
                     return;
                 }
@@ -835,7 +1109,15 @@ impl Listener {
                             out.events.push(ListenerEvent::AcceptOverflow { flow });
                             return;
                         }
-                        self.finish_establish(flow, seg.ack, mss, EstablishedVia::Cookie, seg, out);
+                        self.finish_establish(
+                            flow,
+                            seg.ack,
+                            mss,
+                            EstablishedVia::Cookie,
+                            &seg.payload,
+                            seg.flags.contains(TcpFlags::FIN),
+                            out,
+                        );
                     }
                     None => {
                         if !seg.payload.is_empty() || seg.flags.contains(TcpFlags::FIN) {
@@ -853,13 +1135,15 @@ impl Listener {
     }
 
     /// Common establishment tail: accept-queue admission + data delivery.
+    #[allow(clippy::too_many_arguments)]
     fn finish_establish(
         &mut self,
         flow: FlowKey,
         server_next_seq: u32,
         mss: u16,
         via: EstablishedVia,
-        seg: &TcpSegment,
+        payload: &[u8],
+        fin: bool,
         out: &mut ListenerOutput,
     ) {
         if self.accept_q.len() >= self.cfg.accept_backlog {
@@ -880,12 +1164,12 @@ impl Listener {
             EstablishedVia::Puzzle => self.stats.established_puzzle += 1,
         }
         out.events.push(ListenerEvent::Established { flow, via });
-        if !seg.payload.is_empty() || seg.flags.contains(TcpFlags::FIN) {
+        if !payload.is_empty() || fin {
             self.stats.data_segments += 1;
             out.events.push(ListenerEvent::Data {
                 flow,
-                payload: seg.payload.clone(),
-                fin: seg.flags.contains(TcpFlags::FIN),
+                payload: payload.to_vec(),
+                fin,
             });
         }
     }
@@ -910,26 +1194,25 @@ impl Listener {
         )
     }
 
-    /// Verifies the solution option against the recomputed challenge.
-    /// Returns the client's re-sent MSS on success.
-    fn verify_solution(
-        &mut self,
-        now: SimTime,
+    /// Decodes a solution option into a [`VerifyRequest`] for the batch
+    /// engine. Returns the request plus the client's re-sent MSS.
+    fn parse_solution(
+        &self,
         flow: FlowKey,
         seg: &TcpSegment,
         sol: &SolutionOption,
         pc: &PuzzleConfig,
-    ) -> Result<u16, VerifyError> {
+    ) -> Result<(VerifyRequest, u16), VerifyError> {
         let k = pc.difficulty.k();
         // Timestamp source: TS option echo, else embedded in the block.
         let ts_echo = seg.timestamps().map(|(_, tsecr)| tsecr);
         let embedded = ts_echo.is_none();
-        let (proofs, embedded_ts) = sol
-            .split(k, pc.preimage_bits, embedded)
-            .map_err(|_| VerifyError::WrongSolutionCount {
+        let (proofs, embedded_ts) = sol.split(k, pc.preimage_bits, embedded).map_err(|_| {
+            VerifyError::WrongSolutionCount {
                 expected: k,
                 got: 0,
-            })?;
+            }
+        })?;
         let issued_at = ts_echo.or(embedded_ts).unwrap_or(0);
         let client_isn = seg.seq.wrapping_sub(1);
         let tuple = self.tuple_for(flow, client_isn);
@@ -938,15 +1221,7 @@ impl Listener {
             preimage_bits: pc.preimage_bits as u8,
             timestamp: issued_at,
         };
-        let solution = Solution::new(proofs);
-        let now_ts = puzzle_clock(now);
-        match pc.verify {
-            VerifyMode::Real => self.verifier.verify(&tuple, &params, &solution, now_ts)?,
-            VerifyMode::Oracle => {
-                oracle_verify(&self.secret, &self.verifier, &tuple, &params, &solution, now_ts)?
-            }
-        }
-        Ok(sol.mss)
+        Ok(((tuple, params, Solution::new(proofs)), sol.mss))
     }
 }
 
@@ -977,70 +1252,96 @@ fn cookie_counter(now: SimTime) -> u64 {
 }
 
 /// Mints the simulation-oracle proof for sub-puzzle `index` (1-based):
-/// `HMAC(secret, preimage ‖ index)` truncated to the solution length.
+/// `HMAC(secret, preimage ‖ index)` truncated to the solution length,
+/// through the default scalar backend.
 ///
 /// Solving hosts in the simulator call this *after* modelling the
 /// brute-force delay; the listener in [`VerifyMode::Oracle`] recomputes it
 /// to verify. See the mode's docs for why this preserves the protocol's
 /// observable behaviour.
 pub fn oracle_proof(secret: &ServerSecret, preimage: &[u8], index: u8, len: usize) -> Vec<u8> {
-    let mut mac = HmacSha256::new(secret.as_bytes());
-    mac.update(preimage);
-    mac.update(&[index]);
-    mac.finalize()[..len].to_vec()
+    oracle_proof_with(&ScalarBackend, secret, preimage, index, len)
+}
+
+/// [`oracle_proof`] through an explicit [`HashBackend`].
+pub fn oracle_proof_with<B: HashBackend>(
+    backend: &B,
+    secret: &ServerSecret,
+    preimage: &[u8],
+    index: u8,
+    len: usize,
+) -> Vec<u8> {
+    backend.hmac_sha256_parts(secret.as_bytes(), &[preimage, &[index]])[..len].to_vec()
 }
 
 /// Oracle-mode verification: identical structural and freshness checks to
 /// [`Verifier::verify`], with the hash-prefix check replaced by the keyed
-/// oracle comparison.
-fn oracle_verify(
+/// oracle comparison. Returns the verdict plus the hash count the *real*
+/// path would have charged (1 pre-image + 1 per checked proof), so CPU
+/// accounting stays faithful to the paper whichever mode runs.
+fn oracle_verify<B: HashBackend>(
+    backend: &B,
     secret: &ServerSecret,
-    verifier: &Verifier,
+    max_age: u32,
     tuple: &ConnectionTuple,
     params: &ChallengeParams,
     solution: &Solution,
     now: u32,
-) -> Result<(), VerifyError> {
+) -> (Result<(), VerifyError>, u64) {
     // Freshness window (same as the real verifier).
     if params.timestamp > now {
-        return Err(VerifyError::FutureTimestamp {
-            issued_at: params.timestamp,
-            now,
-        });
+        return (
+            Err(VerifyError::FutureTimestamp {
+                issued_at: params.timestamp,
+                now,
+            }),
+            0,
+        );
     }
-    if now - params.timestamp > verifier.max_age() {
-        return Err(VerifyError::Expired {
-            issued_at: params.timestamp,
-            now,
-            max_age: verifier.max_age(),
-        });
+    if now - params.timestamp > max_age {
+        return (
+            Err(VerifyError::Expired {
+                issued_at: params.timestamp,
+                now,
+                max_age,
+            }),
+            0,
+        );
     }
     let k = params.difficulty.k();
     if solution.len() != k as usize {
-        return Err(VerifyError::WrongSolutionCount {
-            expected: k,
-            got: solution.len(),
-        });
+        return (
+            Err(VerifyError::WrongSolutionCount {
+                expected: k,
+                got: solution.len(),
+            }),
+            0,
+        );
     }
-    // Recompute the pre-image exactly as the real path does.
-    let challenge = puzzle_core::Challenge::issue(
+    // Recompute the pre-image exactly as the real path does (1 hash).
+    let challenge = match puzzle_core::Challenge::issue_with(
+        backend,
         secret,
         tuple,
         params.timestamp,
         params.difficulty,
         params.preimage_bits as u16,
-    )
-    .map_err(VerifyError::BadParams)?;
+    ) {
+        Ok(c) => c,
+        Err(e) => return (Err(VerifyError::BadParams(e)), 0),
+    };
     let len = challenge.preimage().len();
+    let mut hashes = 1u64;
     for (i, proof) in solution.proofs().iter().enumerate() {
         if proof.len() != len {
-            return Err(VerifyError::BadSolutionLength { index: i });
+            return (Err(VerifyError::BadSolutionLength { index: i }), hashes);
         }
-        if proof != &oracle_proof(secret, challenge.preimage(), i as u8 + 1, len) {
-            return Err(VerifyError::Invalid { index: i });
+        hashes += 1;
+        if proof != &oracle_proof_with(backend, secret, challenge.preimage(), i as u8 + 1, len) {
+            return (Err(VerifyError::Invalid { index: i }), hashes);
         }
     }
-    Ok(())
+    (Ok(()), hashes)
 }
 
 #[cfg(test)]
@@ -1097,7 +1398,13 @@ mod tests {
         ));
         assert_eq!(l.queue_depths(), (0, 1));
         assert_eq!(l.stats().established_direct, 1);
-        assert_eq!(l.accept(), Some(FlowKey { addr: CLIENT_IP, port: 1000 }));
+        assert_eq!(
+            l.accept(),
+            Some(FlowKey {
+                addr: CLIENT_IP,
+                port: 1000
+            })
+        );
     }
 
     #[test]
@@ -1122,7 +1429,10 @@ mod tests {
         l.on_segment(t(0), CLIENT_IP, &syn(1001, 2));
         let out = l.on_segment(t(0), CLIENT_IP, &syn(1002, 3));
         assert!(out.replies.is_empty());
-        assert!(matches!(out.events.as_slice(), [ListenerEvent::SynDropped { .. }]));
+        assert!(matches!(
+            out.events.as_slice(),
+            [ListenerEvent::SynDropped { .. }]
+        ));
         assert_eq!(l.stats().syns_dropped, 1);
         assert_eq!(l.queue_depths(), (2, 0));
     }
@@ -1190,7 +1500,7 @@ mod tests {
 
     /// Completes a challenged handshake with the real solver.
     fn solve_and_ack(
-        l: &mut Listener,
+        _l: &mut Listener,
         now: SimTime,
         client_port: u16,
         client_isn: u32,
@@ -1211,7 +1521,11 @@ mod tests {
             copt.l_bits() as u16,
         )
         .unwrap();
-        assert_eq!(challenge.preimage(), &copt.preimage[..], "preimage mismatch");
+        assert_eq!(
+            challenge.preimage(),
+            &copt.preimage[..],
+            "preimage mismatch"
+        );
         let solved = Solver::new().solve(&challenge);
         let sol = SolutionOption::build(1460, 7, solved.solution.proofs(), None);
         let _ = now;
@@ -1507,7 +1821,6 @@ mod tests {
         assert_eq!(l.queue_depths(), (0, 0));
     }
 
-
     #[test]
     fn syn_cache_absorbs_backlog_overflow() {
         // §2.1: "The SYN cache reduces the amount of memory needed …
@@ -1518,7 +1831,7 @@ mod tests {
         };
         let mut l = listener(DefenseMode::SynCache(cc), 1, 4);
         l.on_segment(t(0), CLIENT_IP, &syn(1000, 1)); // fills backlog (1)
-        // Overflow SYN lands in the cache and still gets a SYN-ACK.
+                                                      // Overflow SYN lands in the cache and still gets a SYN-ACK.
         let out = l.on_segment(t(0), CLIENT_IP, &syn(2000, 50));
         assert_eq!(out.replies.len(), 1);
         assert_eq!(l.syn_cache_len(), 1);
@@ -1630,7 +1943,12 @@ mod tests {
         assert_eq!(segs.len(), 7);
         let total: usize = segs.iter().map(|(_, s)| s.payload.len()).sum();
         assert_eq!(total, 10_000);
-        assert!(segs.last().unwrap().1.flags.contains(TcpFlags::FIN | TcpFlags::PSH));
+        assert!(segs
+            .last()
+            .unwrap()
+            .1
+            .flags
+            .contains(TcpFlags::FIN | TcpFlags::PSH));
         assert!(!segs[0].1.flags.contains(TcpFlags::FIN));
         // Connection closed: further sends produce nothing.
         assert!(l.send_data(flow, 10, false).is_empty());
@@ -1663,6 +1981,106 @@ mod tests {
             ListenerEvent::Data { payload, .. } if payload == b"GET /gettext/10000"
         )));
         assert_eq!(l.stats().data_segments, 1);
+    }
+
+    #[test]
+    fn on_segments_batch_establishes_a_run_of_solutions() {
+        let mut l = puzzle_listener(0, 8, VerifyMode::Real); // always challenge
+                                                             // Three clients get challenged...
+        let mut acks = Vec::new();
+        for (i, port) in [2000u16, 2001, 2002].iter().enumerate() {
+            let out = l.on_segment(t(0), CLIENT_IP, &syn(*port, 100 + i as u32));
+            let challenged = out.replies[0].1.clone();
+            acks.push((
+                CLIENT_IP,
+                solve_and_ack(&mut l, t(0), *port, 100 + i as u32, &challenged),
+            ));
+        }
+        let hashes_before = l.stats().verify_hashes;
+        // ...and their solution ACKs verify as one batch.
+        let out = l.on_segments(t(1), &acks);
+        let established = out
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    ListenerEvent::Established {
+                        via: EstablishedVia::Puzzle,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(established, 3, "events: {:?}", out.events);
+        assert_eq!(l.stats().established_puzzle, 3);
+        // Exact hash accounting: 1 pre-image + k=2 proofs per solution.
+        assert_eq!(l.stats().verify_hashes - hashes_before, 3 * (1 + 2));
+    }
+
+    #[test]
+    fn on_segments_flushes_batch_before_other_segments() {
+        let mut l = puzzle_listener(0, 8, VerifyMode::Real);
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(2000, 500));
+        let challenged = out.replies[0].1.clone();
+        let ack = solve_and_ack(&mut l, t(0), 2000, 500, &challenged);
+        // Solution ACK followed by data on the flow it establishes: the
+        // flush must admit the flow before the data segment is processed.
+        let data = SegmentBuilder::new(2000, 80)
+            .seq(502)
+            .flags(TcpFlags::ACK | TcpFlags::PSH)
+            .payload(b"GET /gettext/5".to_vec())
+            .build();
+        let out = l.on_segments(t(0), &[(CLIENT_IP, ack), (CLIENT_IP, data)]);
+        assert!(
+            out.events
+                .iter()
+                .any(|e| matches!(e, ListenerEvent::Established { .. })),
+            "events: {:?}",
+            out.events
+        );
+        assert!(
+            out.events
+                .iter()
+                .any(|e| matches!(e, ListenerEvent::Data { .. })),
+            "data must be delivered, not RST: {:?}",
+            out.events
+        );
+        assert_eq!(l.stats().rsts_sent, 0);
+    }
+
+    #[test]
+    fn replay_cache_blocks_readmission_after_close() {
+        let mut l = puzzle_listener(1, 4, VerifyMode::Real);
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(2000, 500));
+        let challenged = out.replies[0].1.clone();
+        let ack = solve_and_ack(&mut l, t(0), 2000, 500, &challenged);
+        let out = l.on_segment(t(1), CLIENT_IP, &ack);
+        assert!(matches!(
+            out.events.as_slice(),
+            [ListenerEvent::Established { .. }]
+        ));
+        // The server application services and closes the connection...
+        let flow = l.accept().expect("established");
+        l.close(flow);
+        // ...and a verbatim replay inside the expiry window is now
+        // rejected by the replay cache — with zero hash cost.
+        let hashes_before = l.stats().verify_hashes;
+        let out = l.on_segment(t(2), CLIENT_IP, &ack);
+        assert!(
+            matches!(
+                out.events.as_slice(),
+                [ListenerEvent::SolutionRejected {
+                    reason: VerifyError::Replayed,
+                    ..
+                }]
+            ),
+            "events: {:?}",
+            out.events
+        );
+        assert_eq!(l.stats().verify_replayed, 1);
+        assert_eq!(l.stats().verify_hashes, hashes_before);
     }
 
     #[test]

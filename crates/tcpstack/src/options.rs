@@ -122,7 +122,7 @@ impl SolutionOption {
     ) -> Result<(Vec<Vec<u8>>, Option<u32>), OptionDecodeError> {
         let sol_len = l_bits as usize / 8;
         let expect = k as usize * sol_len + if embedded_ts { 4 } else { 0 };
-        if l_bits % 8 != 0 || self.data.len() != expect {
+        if !l_bits.is_multiple_of(8) || self.data.len() != expect {
             return Err(OptionDecodeError::BadLength {
                 kind: KIND_SOLUTION,
                 len: self.data.len(),
@@ -252,8 +252,8 @@ impl TcpOption {
         let mut out = Vec::new();
         while let Some((&kind, rest)) = bytes.split_first() {
             match kind {
-                0 => break,               // EOL
-                1 => bytes = rest,        // NOP
+                0 => break,        // EOL
+                1 => bytes = rest, // NOP
                 _ => {
                     let Some((&len, _)) = rest.split_first() else {
                         return Err(OptionDecodeError::Truncated);

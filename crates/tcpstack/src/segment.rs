@@ -123,7 +123,7 @@ impl TcpSegment {
 
     /// Looks up the first option matching `pred`.
     pub fn find_option<T>(&self, pred: impl Fn(&TcpOption) -> Option<T>) -> Option<T> {
-        self.options.iter().find_map(|o| pred(o))
+        self.options.iter().find_map(pred)
     }
 
     /// The MSS option value, if present.

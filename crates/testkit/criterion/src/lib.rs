@@ -1,0 +1,375 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of Criterion's API that the workspace's benches use: timed
+//! `Bencher::iter` with warm-up and a fixed measurement budget, benchmark
+//! groups, throughput annotation, and the `criterion_group!`/
+//! `criterion_main!` macros. Results print one line per benchmark and,
+//! when the `BENCH_JSON` environment variable names a path, are also
+//! written there as a JSON report (the workspace's perf baselines, e.g.
+//! `BENCH_verify.json`, are produced this way).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measured result for one benchmark id.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function`).
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations measured (after warm-up).
+    pub iterations: u64,
+    /// Optional throughput annotation.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    fn rate_suffix(&self) -> String {
+        match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let mbps = n as f64 / self.ns_per_iter * 1e9 / 1e6;
+                format!("  {mbps:>10.1} MB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let eps = n as f64 / self.ns_per_iter * 1e9;
+                format!("  {eps:>10.0} elem/s")
+            }
+            None => String::new(),
+        }
+    }
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (joined to the group name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs closures under timing; handed to benchmark functions.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    ns_per_iter: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then measuring for the configured
+    /// budget. The mean ns/iter is recorded for the enclosing benchmark.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses (at least once).
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            if start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        // Calibrate a batch size of roughly 1/100 of the budget.
+        let probe_start = Instant::now();
+        black_box(f());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+        let batch = (self.measurement.as_nanos() / 100 / probe.as_nanos()).clamp(1, 1 << 20) as u64;
+
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.measurement {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            elapsed += t0.elapsed();
+            iters += batch;
+        }
+        self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+        self.iterations = iters;
+    }
+}
+
+/// Entry point and result sink; mirrors `criterion::Criterion`.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for API compatibility; this harness is time-budgeted, not
+    /// sample-count-budgeted.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.into(), None, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    fn run_one<F>(&mut self, id: String, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            ns_per_iter: 0.0,
+            iterations: 0,
+        };
+        f(&mut b);
+        let result = BenchResult {
+            id,
+            ns_per_iter: b.ns_per_iter,
+            iterations: b.iterations,
+            throughput,
+        };
+        println!(
+            "bench: {:<44} {:>14.1} ns/iter{}",
+            result.id,
+            result.ns_per_iter,
+            result.rate_suffix()
+        );
+        self.results.push(result);
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// Writes the JSON report for `results` if `BENCH_JSON` is set; called by
+/// `criterion_main!` once, with every group's results merged, so a bench
+/// binary with multiple groups reports all of them.
+pub fn write_json_report(results: &[BenchResult]) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut out = String::from("{\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let tp = match r.throughput {
+            Some(Throughput::Bytes(n)) => format!(", \"throughput_bytes\": {n}"),
+            Some(Throughput::Elements(n)) => format!(", \"throughput_elements\": {n}"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iterations\": {}{}}}{}\n",
+            r.id.replace('"', "\\\""),
+            r.ns_per_iter,
+            r.iterations,
+            tp,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("bench: wrote JSON report to {path}");
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility (time-budgeted harness).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let tp = self.throughput;
+        self.criterion.run_one(full, tp, |b| f(b));
+        self
+    }
+
+    /// Runs `group/id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let tp = self.throughput;
+        self.criterion.run_one(full, tp, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function. Both criterion forms are accepted:
+/// `criterion_group!(name, target, ...)` and
+/// `criterion_group!{name = n; config = expr; targets = t, ...}`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() -> $crate::Criterion {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+            criterion
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group and emitting one
+/// merged JSON report when requested.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut all_results: Vec<$crate::BenchResult> = Vec::new();
+            $(
+                let criterion = $group();
+                all_results.extend(criterion.results().iter().cloned());
+            )+
+            $crate::write_json_report(&all_results);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].ns_per_iter > 0.0);
+        assert!(c.results()[0].iterations > 0);
+    }
+
+    #[test]
+    fn group_ids_are_prefixed() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Bytes(64));
+            g.bench_function("f", |b| b.iter(|| black_box(0u64)));
+            g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, x| {
+                b.iter(|| *x + 1)
+            });
+            g.finish();
+        }
+        let ids: Vec<&str> = c.results().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["g/f", "g/7"]);
+        assert!(matches!(
+            c.results()[0].throughput,
+            Some(Throughput::Bytes(64))
+        ));
+    }
+}

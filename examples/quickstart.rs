@@ -3,9 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use tcp_puzzles::puzzle_core::{
-    ConnectionTuple, Difficulty, ServerSecret, Solver, Verifier,
-};
+use tcp_puzzles::puzzle_core::{ConnectionTuple, Difficulty, ServerSecret, Solver, Verifier};
 use tcp_puzzles::puzzle_game::{asymptotic_difficulty, select_parameters, SelectionPolicy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ell_star = asymptotic_difficulty(w_av, alpha);
     let nash = select_parameters(ell_star, SelectionPolicy::FixedK(2))?;
     println!("Theorem 1: ell* = w_av/(alpha+1) = {ell_star:.0} hashes");
-    println!("Selected difficulty: (k={}, m={})  [paper: (2, 17)]", nash.k(), nash.m());
+    println!(
+        "Selected difficulty: (k={}, m={})  [paper: (2, 17)]",
+        nash.k(),
+        nash.m()
+    );
 
     // ---------------------------------------------------------------
     // 2. The protocol round trip (paper §5, Figure 2). We use a small

@@ -3,8 +3,8 @@
 //! puzzle-core crates.
 
 use tcp_puzzles::netsim::{SimDuration, SimTime};
-use tcp_puzzles::puzzle_core::{Difficulty, ServerSecret, Solver};
 use tcp_puzzles::puzzle_core::{Challenge, ChallengeParams};
+use tcp_puzzles::puzzle_core::{Difficulty, ServerSecret, Solver};
 use tcp_puzzles::tcpstack::{
     ClientConfig, ClientConn, ClientEvent, DefenseMode, Listener, ListenerConfig, ListenerEvent,
     PuzzleConfig, SolutionOption, TcpOption, VerifyMode,
@@ -119,11 +119,8 @@ fn non_solver_is_deceived_then_reset() {
     });
     let mut listener = Listener::new(cfg, secret);
 
-    let (mut conn, syn) = ClientConn::connect(
-        ClientConfig::new(CLIENT_IP, 41_000, SERVER_IP, 80),
-        7,
-        t(0),
-    );
+    let (mut conn, syn) =
+        ClientConn::connect(ClientConfig::new(CLIENT_IP, 41_000, SERVER_IP, 80), 7, t(0));
     let out = listener.on_segment(t(1), CLIENT_IP, &syn);
     let synack = out.replies[0].1.clone();
     conn.on_segment(t(2), &synack);
@@ -164,11 +161,8 @@ fn forged_solution_rejected() {
     });
     let mut listener = Listener::new(cfg, secret);
 
-    let (mut conn, syn) = ClientConn::connect(
-        ClientConfig::new(CLIENT_IP, 42_000, SERVER_IP, 80),
-        9,
-        t(0),
-    );
+    let (mut conn, syn) =
+        ClientConn::connect(ClientConfig::new(CLIENT_IP, 42_000, SERVER_IP, 80), 9, t(0));
     let out = listener.on_segment(t(1), CLIENT_IP, &syn);
     conn.on_segment(t(2), &out.replies[0].1);
     // Forge: correct lengths, random bytes.
