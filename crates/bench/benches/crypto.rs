@@ -1,10 +1,25 @@
 //! Micro-benchmarks: the crypto substrate (SHA-256, HMAC) and the
-//! [`HashBackend`] seam the verification pipeline runs through — scalar
-//! today, the comparison point for SIMD/multi-buffer backends tomorrow.
+//! [`HashBackend`] seam the verification pipeline runs through — every
+//! shipped backend, so committed numbers are attributable per engine.
+//!
+//! Benchmark id scheme:
+//!
+//! * `backend/…` — the **portable** batch path ([`MultiLaneBackend`]; no
+//!   SHA-NI required), the workspace's headline perf-trajectory ids
+//!   tracked in `BENCH_verify.json`.
+//! * `backend-scalar/…`, `backend-shani/…`, `backend-auto/…` — the same
+//!   workloads per engine (`backend-shani` only where the CPU has the
+//!   extension; `backend-auto` is whatever [`auto_backend`] picks on the
+//!   machine that produced the report).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use puzzle_core::{ConnectionTuple, Difficulty, ServerSecret, Solver, Verifier, VerifyRequest};
-use puzzle_crypto::{sha256, HashBackend, HmacSha256, ScalarBackend, Sha256};
+use puzzle_core::{
+    BatchScratch, ConnectionTuple, Difficulty, ServerSecret, Solver, Verifier, VerifyRequest,
+};
+use puzzle_crypto::{
+    auto_backend, sha256, HashBackend, HmacSha256, MessageArena, MultiLaneBackend, ScalarBackend,
+    Sha256, ShaNiBackend,
+};
 use std::hint::black_box;
 
 fn bench_sha256(c: &mut Criterion) {
@@ -38,33 +53,37 @@ fn bench_hmac(c: &mut Criterion) {
     });
 }
 
-/// The backend seam itself: batched independent hashing, the round shape
-/// `verify_batch` feeds to SIMD-capable backends.
-fn bench_backend_batch(c: &mut Criterion) {
-    let backend = ScalarBackend;
-    let mut g = c.benchmark_group("backend/sha256_batch");
+/// Batched independent hashing through one backend: the round shape
+/// `verify_batch` feeds to the seam, 52-byte messages (the pre-image
+/// message size).
+fn bench_backend_batch_for<B: HashBackend>(c: &mut Criterion, group: &str, backend: &B) {
+    println!("backend: {group} runs the `{}` engine", backend.name());
+    let mut g = c.benchmark_group(format!("{group}/sha256_batch"));
     for n in [1usize, 16, 256] {
-        let messages: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 52]).collect();
+        let mut arena = MessageArena::new();
+        for i in 0..n {
+            arena.push(&[i as u8; 52]);
+        }
         g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &messages, |b, msgs| {
-            let mut out = Vec::with_capacity(msgs.len());
+        g.bench_with_input(BenchmarkId::from_parameter(n), &arena, |b, arena| {
+            let mut out = Vec::with_capacity(arena.len());
             b.iter(|| {
                 out.clear();
-                backend.sha256_batch(black_box(msgs), &mut out);
+                backend.sha256_arena(black_box(arena), &mut out);
             })
         });
     }
     g.finish();
 }
 
-/// Verify throughput through the backend seam: `verify_batch` over
-/// pre-solved requests at increasing batch sizes, in solutions/second.
-/// This is the perf-trajectory baseline (`BENCH_verify.json`).
-fn bench_verify_batch(c: &mut Criterion) {
+/// Verify throughput through one backend: `verify_batch_with` over
+/// pre-solved requests at increasing batch sizes, in solutions/second,
+/// through a reused scratch (the listener's steady state).
+fn bench_verify_batch_for<B: HashBackend>(c: &mut Criterion, group: &str, backend: B) {
     let secret = ServerSecret::from_bytes([4; 32]);
-    let verifier = Verifier::with_backend(secret, ScalarBackend).with_expiry(8);
+    let verifier = Verifier::with_backend(secret, backend).with_expiry(8);
     let d = Difficulty::new(2, 10).expect("valid");
-    let mut g = c.benchmark_group("backend/verify_batch");
+    let mut g = c.benchmark_group(format!("{group}/verify_batch"));
     for n in [1usize, 16, 256] {
         let requests: Vec<VerifyRequest> = (0..n)
             .map(|i| {
@@ -82,15 +101,38 @@ fn bench_verify_batch(c: &mut Criterion) {
             .collect();
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::from_parameter(n), &requests, |b, reqs| {
+            let mut scratch = BatchScratch::new();
             b.iter(|| {
-                let out = verifier.verify_batch(black_box(reqs), 100);
-                assert_eq!(out.accepted(), reqs.len());
-                out
+                let hashes = verifier.verify_batch_with(black_box(reqs), 100, &mut scratch);
+                assert_eq!(scratch.accepted(), reqs.len());
+                hashes
             })
         });
     }
     g.finish();
 }
 
-criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_sha256, bench_sha256_streaming, bench_hmac, bench_backend_batch, bench_verify_batch}
+/// The headline perf-trajectory ids (`backend/…`, tracked in
+/// `BENCH_verify.json`): the portable multi-lane path — no hardware
+/// extension required — plus per-engine attribution groups.
+fn bench_backends(c: &mut Criterion) {
+    bench_backend_batch_for(c, "backend", &MultiLaneBackend);
+    bench_verify_batch_for(c, "backend", MultiLaneBackend);
+
+    bench_backend_batch_for(c, "backend-scalar", &ScalarBackend);
+    bench_verify_batch_for(c, "backend-scalar", ScalarBackend);
+
+    if let Some(ni) = ShaNiBackend::new() {
+        bench_backend_batch_for(c, "backend-shani", &ni);
+        bench_verify_batch_for(c, "backend-shani", ni);
+    } else {
+        println!("backend: backend-shani skipped (no SHA extensions on this CPU)");
+    }
+
+    let auto = auto_backend();
+    bench_backend_batch_for(c, "backend-auto", &auto);
+    bench_verify_batch_for(c, "backend-auto", auto);
+}
+
+criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_sha256, bench_sha256_streaming, bench_hmac, bench_backends}
 criterion_main!(benches);

@@ -59,6 +59,7 @@ fn bench_syn_challenge(c: &mut Criterion) {
         expiry: 8,
         verify: VerifyMode::Real,
         hold: SimDuration::ZERO,
+        verify_workers: 1,
     };
     c.bench_function("stack/syn_challenge", |b| {
         let mut l = listener(DefenseMode::Puzzles(pc.clone()), 0);

@@ -4,7 +4,7 @@ use crate::difficulty::Difficulty;
 use crate::error::IssueError;
 use crate::tuple::ConnectionTuple;
 use crate::verify::ServerSecret;
-use puzzle_crypto::{HashBackend, ScalarBackend};
+use puzzle_crypto::{HashBackend, MessageArena, ScalarBackend};
 
 /// Maximum pre-image length in bits (the wire format encodes `l` in one
 /// byte and the pre-image is truncated SHA-256 output, so at most 248 bits
@@ -178,18 +178,19 @@ pub fn compute_preimage<B: HashBackend>(
     digest[..len_bytes].to_vec()
 }
 
-/// The exact message bytes hashed by [`compute_preimage`] — the unit the
-/// batched verifier hands to [`HashBackend::sha256_batch`].
-pub(crate) fn preimage_message(
+/// Appends the exact message bytes hashed by [`compute_preimage`] to the
+/// batch arena — the unit the batched verifier hands to
+/// [`HashBackend::sha256_arena`]. Writing straight into the arena keeps
+/// the round loop allocation-free.
+pub(crate) fn push_preimage_message(
+    arena: &mut MessageArena,
     secret: &ServerSecret,
     tuple: &ConnectionTuple,
     timestamp: u32,
-) -> Vec<u8> {
-    let mut msg = Vec::with_capacity(32 + 4 + 16);
-    msg.extend_from_slice(secret.as_bytes());
-    msg.extend_from_slice(&timestamp.to_be_bytes());
-    msg.extend_from_slice(&tuple.to_bytes());
-    msg
+) {
+    let ts = timestamp.to_be_bytes();
+    let tb = tuple.to_bytes();
+    arena.push_parts(&[secret.as_bytes(), &ts, &tb]);
 }
 
 /// Shared sub-solution predicate used by both solver and verifier.
@@ -204,14 +205,16 @@ pub(crate) fn sub_solution_ok<B: HashBackend>(
     leading_bits_match(&digest, preimage, m as usize)
 }
 
-/// The exact message bytes hashed by [`sub_solution_ok`] — the unit the
-/// batched verifier hands to [`HashBackend::sha256_batch`].
-pub(crate) fn sub_solution_message(preimage: &[u8], index: u8, candidate: &[u8]) -> Vec<u8> {
-    let mut msg = Vec::with_capacity(preimage.len() + 1 + candidate.len());
-    msg.extend_from_slice(preimage);
-    msg.push(index);
-    msg.extend_from_slice(candidate);
-    msg
+/// Appends the exact message bytes hashed by [`sub_solution_ok`] to the
+/// batch arena — the unit the batched verifier hands to
+/// [`HashBackend::sha256_arena`].
+pub(crate) fn push_sub_solution_message(
+    arena: &mut MessageArena,
+    preimage: &[u8],
+    index: u8,
+    candidate: &[u8],
+) {
+    arena.push_parts(&[preimage, &[index], candidate]);
 }
 
 /// Do the first `m` bits of `a` and `b` agree?

@@ -64,4 +64,4 @@ pub use error::{DifficultyError, IssueError, VerifyError};
 pub use replay::ReplayCache;
 pub use solve::{SolveOutcome, Solver};
 pub use tuple::ConnectionTuple;
-pub use verify::{BatchOutcome, ServerSecret, Verifier, VerifyRequest};
+pub use verify::{BatchOutcome, BatchScratch, ServerSecret, Verifier, VerifyRequest};

@@ -32,6 +32,22 @@ fn key_for(tuple: &ConnectionTuple, timestamp: u32) -> ReplayKey {
     (u128::from_be_bytes(tuple.to_bytes()), timestamp)
 }
 
+/// splitmix64-style finalizer over the key halves: cheap and well
+/// distributed; not security-relevant (keys are stored whole). The single
+/// mixing function behind both this cache's shard choice and the worker
+/// partitioning of `Verifier::verify_batch_parallel`, so one admission
+/// identity always maps to one shard *and* one worker.
+pub(crate) fn admission_mix(tuple: &ConnectionTuple, timestamp: u32) -> u64 {
+    mix(&key_for(tuple, timestamp))
+}
+
+fn mix(key: &ReplayKey) -> u64 {
+    let mut h = (key.0 as u64) ^ ((key.0 >> 64) as u64) ^ u64::from(key.1);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
 /// One lockable shard: the admission keys (each key carries its own issue
 /// timestamp), plus the size at which the next opportunistic sweep
 /// triggers.
@@ -78,13 +94,7 @@ impl ReplayCache {
     }
 
     fn shard(&self, key: &ReplayKey) -> &Mutex<Shard> {
-        // splitmix64-style finalizer over the key halves: cheap and well
-        // distributed; shard choice is not security-relevant (keys are
-        // stored whole).
-        let mut h = (key.0 as u64) ^ ((key.0 >> 64) as u64) ^ u64::from(key.1);
-        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        &self.shards[(h ^ (h >> 31)) as usize & self.mask]
+        &self.shards[mix(key) as usize & self.mask]
     }
 
     fn lock(shard: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {

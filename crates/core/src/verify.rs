@@ -7,22 +7,28 @@
 //!   per-ACK check (freshness → structure → pre-image → sub-solutions,
 //!   failing at the first invalid proof);
 //! * [`Verifier::verify_batch`] — the scalable engine: whole *rounds* of
-//!   independent hashes are handed to [`HashBackend::sha256_batch`], and
-//!   an optional sharded [`ReplayCache`] rejects duplicate admissions
-//!   before any hash is spent.
+//!   independent hashes are staged in a flat [`MessageArena`] and handed
+//!   to [`HashBackend::sha256_arena`], and an optional sharded
+//!   [`ReplayCache`] rejects duplicate admissions before any hash is
+//!   spent. [`Verifier::verify_batch_with`] reuses caller-owned
+//!   [`BatchScratch`] buffers (zero steady-state allocations), and
+//!   [`Verifier::verify_batch_parallel`] fans a batch across scoped
+//!   worker threads partitioned by replay key.
 //!
 //! Both report the number of hash operations charged, which is the single
 //! source of truth the host simulation's CPU accounting consumes.
 
 use std::sync::Arc;
 
-use crate::challenge::{leading_bits_match, preimage_message, sub_solution_message, Solution};
+use crate::challenge::{
+    leading_bits_match, push_preimage_message, push_sub_solution_message, Solution,
+};
 use crate::challenge::{Challenge, ChallengeParams};
 use crate::difficulty::Difficulty;
 use crate::error::{IssueError, VerifyError};
 use crate::replay::ReplayCache;
 use crate::tuple::ConnectionTuple;
-use puzzle_crypto::{Digest, HashBackend, ScalarBackend};
+use puzzle_crypto::{Digest, HashBackend, MessageArena, ScalarBackend};
 
 /// The server's puzzle secret, generated once per listening socket
 /// lifetime (paper §5).
@@ -83,6 +89,47 @@ pub struct BatchOutcome {
 
 impl BatchOutcome {
     /// Number of accepted requests.
+    pub fn accepted(&self) -> usize {
+        self.verdicts.iter().filter(|v| v.is_ok()).count()
+    }
+}
+
+/// Reusable working memory for [`Verifier::verify_batch_with`].
+///
+/// The batch engine hashes whole rounds of independent messages. With a
+/// scratch reused across batches, every buffer — the flat message arena,
+/// the digest output, the live set, the verdict list — retains its
+/// high-water capacity, so steady-state batch verification performs
+/// **zero heap allocations** (checked by the workspace's
+/// counting-allocator test). Create one per verification pipeline (e.g.
+/// per listener, per worker thread) and hand it to every call.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// Flat message storage for the current hashing round.
+    arena: MessageArena,
+    /// Digest output of the current round.
+    digests: Vec<Digest>,
+    /// Still-live requests: position in the batch plus the recomputed
+    /// pre-image digest (truncated on use to the request's `l`).
+    live: Vec<(u32, Digest)>,
+    /// Per-request verdicts, positional.
+    verdicts: Vec<Result<(), VerifyError>>,
+}
+
+impl BatchScratch {
+    /// Creates an empty scratch; buffers grow to their steady-state sizes
+    /// during the first batches.
+    pub fn new() -> Self {
+        BatchScratch::default()
+    }
+
+    /// Verdicts of the most recent batch, in request order — identical to
+    /// what sequential [`Verifier::verify`] would return per request.
+    pub fn verdicts(&self) -> &[Result<(), VerifyError>] {
+        &self.verdicts
+    }
+
+    /// Number of accepted requests in the most recent batch.
     pub fn accepted(&self) -> usize {
         self.verdicts.iter().filter(|v| v.is_ok()).count()
     }
@@ -278,88 +325,195 @@ impl<B: HashBackend> Verifier<B> {
     /// already admitted are rejected with [`VerifyError::Replayed`] before
     /// any hashing, and every accepted request records its admission.
     pub fn verify_batch(&self, requests: &[VerifyRequest], now: u32) -> BatchOutcome {
-        let n = requests.len();
-        let mut verdicts: Vec<Result<(), VerifyError>> = Vec::with_capacity(n);
+        let mut scratch = BatchScratch::new();
+        let hashes = self.verify_batch_core(requests, None, now, &mut scratch);
+        BatchOutcome {
+            verdicts: std::mem::take(&mut scratch.verdicts),
+            hashes,
+        }
+    }
+
+    /// [`Verifier::verify_batch`] writing into caller-owned scratch
+    /// buffers instead of allocating the outcome.
+    ///
+    /// Returns the total hash operations charged; the per-request verdicts
+    /// are left in [`BatchScratch::verdicts`] (request order). Reusing one
+    /// scratch across batches makes steady-state verification
+    /// allocation-free — this is the entry point the TCP listener's
+    /// batched chokepoint drives.
+    pub fn verify_batch_with(
+        &self,
+        requests: &[VerifyRequest],
+        now: u32,
+        scratch: &mut BatchScratch,
+    ) -> u64 {
+        self.verify_batch_core(requests, None, now, scratch)
+    }
+
+    /// Verifies a batch across `workers` scoped threads, partitioning
+    /// requests by their replay key so every `(tuple, timestamp)` identity
+    /// — and therefore every [`ReplayCache`] shard entry it touches — has
+    /// a single worker: in-batch duplicate semantics stay deterministic
+    /// and workers rarely contend on the same cache shard.
+    ///
+    /// Verdicts and hash charges are identical to [`Verifier::verify_batch`].
+    /// `workers <= 1` (or a batch too small to split) degrades to the
+    /// sequential engine.
+    pub fn verify_batch_parallel(
+        &self,
+        requests: &[VerifyRequest],
+        now: u32,
+        workers: usize,
+    ) -> BatchOutcome {
+        let workers = workers.min(requests.len());
+        if workers <= 1 {
+            return self.verify_batch(requests, now);
+        }
+        let mut parts: Vec<Vec<u32>> = vec![Vec::new(); workers];
+        for (i, (tuple, params, _)) in requests.iter().enumerate() {
+            parts[replay_partition(tuple, params.timestamp, workers)].push(i as u32);
+        }
+        let results: Vec<(Vec<u32>, BatchScratch, u64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .filter(|p| !p.is_empty())
+                .map(|part| {
+                    s.spawn(move || {
+                        let mut scratch = BatchScratch::new();
+                        let hashes =
+                            self.verify_batch_core(requests, Some(&part), now, &mut scratch);
+                        (part, scratch, hashes)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("verify worker panicked"))
+                .collect()
+        });
+        let mut verdicts: Vec<Result<(), VerifyError>> = vec![Ok(()); requests.len()];
+        let mut hashes = 0u64;
+        for (part, scratch, h) in results {
+            hashes += h;
+            for (j, &idx) in part.iter().enumerate() {
+                verdicts[idx as usize] = scratch.verdicts[j];
+            }
+        }
+        BatchOutcome { verdicts, hashes }
+    }
+
+    /// The batch engine. `idxs` selects which requests this call handles
+    /// (`None` = all, in order); verdict `j` in `scratch.verdicts`
+    /// corresponds to request `idxs[j]`. Every buffer lives in `scratch`
+    /// and is reused, so a warmed scratch makes this loop allocation-free.
+    fn verify_batch_core(
+        &self,
+        requests: &[VerifyRequest],
+        idxs: Option<&[u32]>,
+        now: u32,
+        scratch: &mut BatchScratch,
+    ) -> u64 {
+        let count = idxs.map_or(requests.len(), <[u32]>::len);
+        let at = |j: usize| -> usize { idxs.map_or(j, |ix| ix[j] as usize) };
+
+        scratch.verdicts.clear();
+        scratch.live.clear();
+        scratch.arena.clear();
+        scratch.digests.clear();
         let mut hashes = 0u64;
 
-        // Round 0: freshness + structural checks and replay pre-screen
-        // (no hashing).
-        let mut alive: Vec<usize> = Vec::with_capacity(n);
-        for (idx, (tuple, params, solution)) in requests.iter().enumerate() {
+        // Round 0: freshness + structural checks and replay pre-screen (no
+        // hashing); survivors get their pre-image message staged in the
+        // arena as we go.
+        for j in 0..count {
+            let (tuple, params, solution) = &requests[at(j)];
             match self.precheck(params, solution, now) {
-                Err(e) => verdicts.push(Err(e)),
+                Err(e) => scratch.verdicts.push(Err(e)),
                 Ok(()) => {
                     if let Some(cache) = &self.replay {
                         if cache.contains(tuple, params.timestamp, now, self.max_age) {
-                            verdicts.push(Err(VerifyError::Replayed));
+                            scratch.verdicts.push(Err(VerifyError::Replayed));
                             continue;
                         }
                     }
-                    verdicts.push(Ok(()));
-                    alive.push(idx);
+                    scratch.verdicts.push(Ok(()));
+                    scratch.live.push((j as u32, [0u8; 32]));
+                    push_preimage_message(
+                        &mut scratch.arena,
+                        &self.secret,
+                        tuple,
+                        params.timestamp,
+                    );
                 }
             }
         }
 
         // Round 1: recompute every live request's pre-image (1 hash each).
-        let mut digests: Vec<Digest> = Vec::new();
-        let messages: Vec<Vec<u8>> = alive
-            .iter()
-            .map(|&idx| preimage_message(&self.secret, &requests[idx].0, requests[idx].1.timestamp))
-            .collect();
-        self.backend.sha256_batch(&messages, &mut digests);
-        hashes += messages.len() as u64;
-        let mut preimages: Vec<Vec<u8>> = Vec::with_capacity(alive.len());
-        for (&idx, digest) in alive.iter().zip(&digests) {
-            preimages.push(digest[..requests[idx].1.preimage_len()].to_vec());
+        // The full digest is kept per live entry; its truncation to the
+        // request's `l` bytes is taken on use.
+        self.backend
+            .sha256_arena(&scratch.arena, &mut scratch.digests);
+        hashes += scratch.arena.len() as u64;
+        for (entry, digest) in scratch.live.iter_mut().zip(&scratch.digests) {
+            entry.1 = *digest;
         }
 
         // Rounds 2..: proof `round` of every still-live request, one batch
         // per round, dropping requests at their first invalid proof —
         // exactly the sequential early-exit, so hash charges match.
         // Invariant: every `live` entry has more than `round` proofs.
-        let mut live: Vec<(usize, Vec<u8>)> = alive.into_iter().zip(preimages).collect();
         let mut round = 0usize;
-        let mut messages: Vec<Vec<u8>> = Vec::new();
-        while !live.is_empty() {
-            messages.clear();
-            messages.extend(live.iter().map(|(idx, pre)| {
-                sub_solution_message(pre, round as u8 + 1, &requests[*idx].2.proofs()[round])
-            }));
-            digests.clear();
-            self.backend.sha256_batch(&messages, &mut digests);
-            hashes += messages.len() as u64;
+        while !scratch.live.is_empty() {
+            scratch.arena.clear();
+            for (j, pre) in &scratch.live {
+                let (_, params, solution) = &requests[at(*j as usize)];
+                push_sub_solution_message(
+                    &mut scratch.arena,
+                    &pre[..params.preimage_len()],
+                    round as u8 + 1,
+                    &solution.proofs()[round],
+                );
+            }
+            scratch.digests.clear();
+            self.backend
+                .sha256_arena(&scratch.arena, &mut scratch.digests);
+            hashes += scratch.arena.len() as u64;
 
-            let mut survivors: Vec<(usize, Vec<u8>)> = Vec::with_capacity(live.len());
-            for ((idx, pre), digest) in live.drain(..).zip(&digests) {
-                let m = requests[idx].1.difficulty.m() as usize;
-                if !leading_bits_match(digest, &pre, m) {
-                    verdicts[idx] = Err(VerifyError::Invalid { index: round });
-                } else if round + 1 < requests[idx].2.len() {
-                    survivors.push((idx, pre));
+            // Compact the live set in place (no fresh survivor vector).
+            let mut kept = 0usize;
+            for i in 0..scratch.live.len() {
+                let (j, pre) = scratch.live[i];
+                let (_, params, solution) = &requests[at(j as usize)];
+                let m = params.difficulty.m() as usize;
+                if !leading_bits_match(&scratch.digests[i], &pre, m) {
+                    scratch.verdicts[j as usize] = Err(VerifyError::Invalid { index: round });
+                } else if round + 1 < solution.len() {
+                    scratch.live[kept] = (j, pre);
+                    kept += 1;
                 }
             }
-            live = survivors;
+            scratch.live.truncate(kept);
             round += 1;
         }
 
         // Record admissions; a duplicate inside this very batch loses.
         if let Some(cache) = &self.replay {
-            for (idx, verdict) in verdicts.iter_mut().enumerate() {
-                if verdict.is_ok() {
-                    let (tuple, params, _) = &requests[idx];
+            for j in 0..count {
+                if scratch.verdicts[j].is_ok() {
+                    let (tuple, params, _) = &requests[at(j)];
                     if !cache.insert(tuple, params.timestamp, now, self.max_age) {
-                        *verdict = Err(VerifyError::Replayed);
+                        scratch.verdicts[j] = Err(VerifyError::Replayed);
                     }
                 }
             }
         }
 
-        BatchOutcome { verdicts, hashes }
+        hashes
     }
 
     /// The hash-free front of the pipeline: freshness window and
     /// structural validation.
+    #[inline]
     fn precheck(
         &self,
         params: &ChallengeParams,
@@ -405,6 +559,14 @@ impl<B: HashBackend> Verifier<B> {
         }
         Ok(())
     }
+}
+
+/// Worker index for a request's replay identity: the [`ReplayCache`]'s
+/// own admission mix reduced modulo the worker count, so one worker owns
+/// each `(tuple, timestamp)` key (and therefore each shard entry it
+/// touches).
+fn replay_partition(tuple: &ConnectionTuple, timestamp: u32, workers: usize) -> usize {
+    (crate::replay::admission_mix(tuple, timestamp) % workers as u64) as usize
 }
 
 #[cfg(test)]
@@ -667,6 +829,80 @@ mod tests {
         let v = v.with_replay_cache(Arc::new(ReplayCache::new(4)));
         let out = v.verify_batch(&[(t, c.params(), s.clone()), (t, c.params(), s)], 100);
         assert_eq!(out.verdicts, vec![Ok(()), Err(VerifyError::Replayed)]);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_outcome() {
+        let (v, t, c, s) = setup(2, 6);
+        let mut bad = s.proofs().to_vec();
+        bad[0][0] ^= 0x80;
+        let requests: Vec<VerifyRequest> = vec![
+            (t, c.params(), s.clone()),
+            (t, c.params(), Solution::new(bad)),
+            (t, c.params(), Solution::new(vec![])),
+        ];
+        let fresh = v.verify_batch(&requests, 100);
+        let mut scratch = BatchScratch::new();
+        for _ in 0..3 {
+            let hashes = v.verify_batch_with(&requests, 100, &mut scratch);
+            assert_eq!(scratch.verdicts(), &fresh.verdicts[..]);
+            assert_eq!(hashes, fresh.hashes);
+            assert_eq!(scratch.accepted(), fresh.accepted());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let secret = ServerSecret::from_bytes([11u8; 32]);
+        let verifier = Verifier::new(secret).with_expiry(8);
+        let d = Difficulty::new(2, 5).unwrap();
+        let mut requests: Vec<VerifyRequest> = (0..24u16)
+            .map(|i| {
+                let tuple = ConnectionTuple::new(
+                    Ipv4Addr::new(172, 16, 1, (i % 250) as u8 + 1),
+                    40_000 + i,
+                    Ipv4Addr::new(172, 16, 0, 2),
+                    8080,
+                    900 + u32::from(i),
+                );
+                let c = verifier.issue(&tuple, 100, d, 64).unwrap();
+                let out = Solver::new().solve(&c);
+                (tuple, c.params(), out.solution)
+            })
+            .collect();
+        // Corrupt a few and duplicate one to exercise mixed verdicts.
+        requests[3].2 = Solution::new(vec![]);
+        let dup = requests[5].clone();
+        requests.push(dup);
+
+        let sequential = verifier.verify_batch(&requests, 100);
+        for workers in [1, 2, 3, 8, 64] {
+            let parallel = verifier.verify_batch_parallel(&requests, 100, workers);
+            assert_eq!(parallel.verdicts, sequential.verdicts, "workers={workers}");
+            assert_eq!(parallel.hashes, sequential.hashes, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_replay_duplicates_stay_deterministic() {
+        let (v, t, c, s) = setup(1, 6);
+        let v = v.with_replay_cache(Arc::new(ReplayCache::new(4)));
+        // The same admission three times in one batch: exactly one wins,
+        // and it is the first in request order (same worker handles all).
+        let requests = vec![
+            (t, c.params(), s.clone()),
+            (t, c.params(), s.clone()),
+            (t, c.params(), s),
+        ];
+        let out = v.verify_batch_parallel(&requests, 100, 4);
+        assert_eq!(
+            out.verdicts,
+            vec![
+                Ok(()),
+                Err(VerifyError::Replayed),
+                Err(VerifyError::Replayed)
+            ]
+        );
     }
 
     #[test]

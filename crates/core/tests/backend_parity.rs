@@ -1,0 +1,111 @@
+//! Property: `verify_batch` verdicts and hash charges are identical for
+//! every hash backend — scalar, multi-lane, SHA-NI (when the CPU has it),
+//! and the auto-selected engine — and for the sharded parallel mode.
+//!
+//! The backends are digest-identical by construction (proptested in
+//! `puzzle-crypto`); this test closes the loop at the protocol layer,
+//! where a divergence would silently change which connections a defended
+//! server admits.
+
+use proptest::prelude::*;
+use puzzle_core::{
+    BatchOutcome, ConnectionTuple, Difficulty, ServerSecret, Solution, Solver, Verifier,
+    VerifyRequest,
+};
+use puzzle_crypto::{auto_backend, HashBackend, MultiLaneBackend, ScalarBackend, ShaNiBackend};
+use std::net::Ipv4Addr;
+
+fn arb_tuple() -> impl Strategy<Value = ConnectionTuple> {
+    (
+        any::<u32>(),
+        any::<u16>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u32>(),
+    )
+        .prop_map(|(src, sp, dst, dp, isn)| {
+            ConnectionTuple::new(Ipv4Addr::from(src), sp, Ipv4Addr::from(dst), dp, isn)
+        })
+}
+
+/// Builds a request mix under the scalar verifier: valid solutions plus
+/// the tampering shapes the sequential path classifies.
+fn build_requests(
+    tuples: &[ConnectionTuple],
+    mutations: &[u8],
+    k: u8,
+    m: u8,
+    ts: u32,
+) -> Vec<VerifyRequest> {
+    let secret = ServerSecret::from_bytes([9u8; 32]);
+    let issuer = Verifier::new(secret).with_expiry(8);
+    let difficulty = Difficulty::new(k, m).unwrap();
+    let mut requests = Vec::new();
+    for (tuple, mutation) in tuples.iter().zip(mutations.iter().cycle()) {
+        let challenge = issuer.issue(tuple, ts, difficulty, 64).unwrap();
+        let solved = Solver::new().solve(&challenge);
+        let mut params = challenge.params();
+        let mut tuple = *tuple;
+        let mut solution = solved.solution;
+        match mutation {
+            0 => {} // valid
+            1 => {
+                let mut proofs = solution.proofs().to_vec();
+                proofs[0][0] ^= 0x80;
+                solution = Solution::new(proofs);
+            }
+            2 => params.timestamp = ts.saturating_sub(100), // expired
+            3 => solution = Solution::new(vec![]),          // wrong count
+            _ => tuple.src_port ^= 1,                       // wrong tuple
+        }
+        requests.push((tuple, params, solution));
+    }
+    requests
+}
+
+fn verify_with<B: HashBackend>(backend: B, requests: &[VerifyRequest], ts: u32) -> BatchOutcome {
+    Verifier::with_backend(ServerSecret::from_bytes([9u8; 32]), backend)
+        .with_expiry(8)
+        .verify_batch(requests, ts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every backend produces the scalar baseline's verdicts and hash
+    /// charges, batch after batch, and the parallel engine agrees too.
+    #[test]
+    fn all_backends_agree_with_scalar(
+        tuples in prop::collection::vec(arb_tuple(), 1..10),
+        mutations in prop::collection::vec(0u8..5, 1..10),
+        k in 1u8..3,
+        m in 1u8..7,
+        ts in 100u32..1_000_000,
+    ) {
+        let requests = build_requests(&tuples, &mutations, k, m, ts);
+        let baseline = verify_with(ScalarBackend, &requests, ts);
+
+        let lanes = verify_with(MultiLaneBackend, &requests, ts);
+        prop_assert_eq!(&lanes.verdicts, &baseline.verdicts);
+        prop_assert_eq!(lanes.hashes, baseline.hashes);
+
+        let auto = verify_with(auto_backend(), &requests, ts);
+        prop_assert_eq!(&auto.verdicts, &baseline.verdicts);
+        prop_assert_eq!(auto.hashes, baseline.hashes);
+
+        if let Some(ni) = ShaNiBackend::new() {
+            let shani = verify_with(ni, &requests, ts);
+            prop_assert_eq!(&shani.verdicts, &baseline.verdicts);
+            prop_assert_eq!(shani.hashes, baseline.hashes);
+        }
+
+        let parallel = Verifier::with_backend(
+            ServerSecret::from_bytes([9u8; 32]),
+            auto_backend(),
+        )
+        .with_expiry(8)
+        .verify_batch_parallel(&requests, ts, 4);
+        prop_assert_eq!(&parallel.verdicts, &baseline.verdicts);
+        prop_assert_eq!(parallel.hashes, baseline.hashes);
+    }
+}

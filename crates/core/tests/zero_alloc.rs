@@ -1,0 +1,69 @@
+//! Steady-state batch verification performs zero heap allocations.
+//!
+//! This is the guarantee the `BatchScratch`/`MessageArena` redesign
+//! exists for: after warm-up, `Verifier::verify_batch_with` must not
+//! touch the allocator no matter which hash backend drives it. The test
+//! binary installs the counting allocator from `testkit-alloc` and
+//! measures the delta across warmed calls.
+//!
+//! Kept as its own integration-test binary with a single `#[test]` so no
+//! concurrent test can inflate the process-global counters.
+
+use puzzle_core::{BatchScratch, ConnectionTuple, Difficulty, ServerSecret, Solver, Verifier};
+use puzzle_core::{Solution, VerifyRequest};
+use puzzle_crypto::{auto_backend, HashBackend, MultiLaneBackend, ScalarBackend};
+
+#[global_allocator]
+static ALLOC: testkit_alloc::CountingAllocator = testkit_alloc::CountingAllocator;
+
+fn requests_for<B: HashBackend>(verifier: &Verifier<B>, n: usize) -> Vec<VerifyRequest> {
+    let d = Difficulty::new(2, 8).expect("valid difficulty");
+    (0..n)
+        .map(|i| {
+            let tuple = ConnectionTuple::new(
+                "10.0.0.2".parse().expect("addr"),
+                40_000 + i as u16,
+                "10.0.0.1".parse().expect("addr"),
+                80,
+                0x4000 + i as u32,
+            );
+            let challenge = verifier.issue(&tuple, 100, d, 32).expect("valid");
+            let solved = Solver::new().solve(&challenge);
+            (tuple, challenge.params(), solved.solution)
+        })
+        .collect()
+}
+
+fn assert_allocation_free<B: HashBackend>(backend: B) {
+    let name = backend.name();
+    let verifier = Verifier::with_backend(ServerSecret::from_bytes([9; 32]), backend);
+    let mut requests = requests_for(&verifier, 64);
+    // Mix in rejection shapes so the early-exit branches run too.
+    requests[7].2 = Solution::new(vec![vec![0u8; 4], vec![1u8; 4]]); // invalid proofs
+    requests[11].1.timestamp = 9999; // future → structural reject
+
+    let mut scratch = BatchScratch::new();
+    // Warm-up: buffers grow to their high-water capacity.
+    let expected = verifier.verify_batch_with(&requests, 100, &mut scratch);
+    assert_eq!(scratch.accepted(), 62, "backend {name}");
+    verifier.verify_batch_with(&requests, 100, &mut scratch);
+
+    // Steady state: not a single allocator call.
+    let before = testkit_alloc::allocation_count();
+    let hashes = verifier.verify_batch_with(&requests, 100, &mut scratch);
+    let after = testkit_alloc::allocation_count();
+    assert_eq!(hashes, expected, "backend {name}");
+    assert_eq!(
+        after - before,
+        0,
+        "backend {name}: steady-state verify_batch allocated"
+    );
+}
+
+#[test]
+fn steady_state_verify_batch_is_allocation_free() {
+    assert_allocation_free(ScalarBackend);
+    assert_allocation_free(MultiLaneBackend);
+    // Whatever this machine's best backend is (SHA-NI where present).
+    assert_allocation_free(auto_backend());
+}

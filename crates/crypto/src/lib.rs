@@ -11,10 +11,16 @@
 //!   tagging and keyed pre-image derivation.
 //! * [`hex`] — small hexadecimal encode/decode helpers used by diagnostics
 //!   and tests.
-//! * [`HashBackend`] / [`ScalarBackend`] — the pluggable hashing seam the
-//!   verification pipeline is generic over, with a batch entry point
-//!   ([`HashBackend::sha256_batch`]) that future SIMD/multi-buffer
-//!   backends override.
+//! * [`HashBackend`] and its implementations — the pluggable hashing seam
+//!   the verification pipeline is generic over: [`ScalarBackend`]
+//!   (portable reference), [`MultiLaneBackend`] (lane-interleaved
+//!   multi-buffer hashing the compiler auto-vectorizes), [`ShaNiBackend`]
+//!   (x86 SHA extensions, runtime-detected), and [`AutoBackend`] /
+//!   [`auto_backend`] (best-available selection, overridable via the
+//!   `PUZZLE_BACKEND` environment variable).
+//! * [`MessageArena`] — flat, reusable storage for batched hashing: one
+//!   contiguous buffer plus an offset table, the allocation-free shape
+//!   [`HashBackend::sha256_arena`] consumes.
 //!
 //! # Example
 //!
@@ -35,14 +41,25 @@
 //! assert_eq!(hasher.finalize(), digest);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the SHA-NI kernel module opts back in locally for
+// the hardware intrinsics (every call runtime-gated); everything else in
+// the crate stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod backend;
 pub mod hex;
 mod hmac;
+mod multilane;
 mod sha256;
+mod shani;
 
-pub use backend::{HashBackend, ScalarBackend};
+pub use arena::MessageArena;
+pub use backend::{
+    auto_backend, AutoBackend, HashBackend, MultiLaneBackend, ScalarBackend, ShaNiBackend,
+};
 pub use hmac::HmacSha256;
+pub use multilane::LANES;
 pub use sha256::{sha256, Digest, Sha256, DIGEST_LEN};
+pub use shani::available as shani_available;

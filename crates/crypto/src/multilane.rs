@@ -1,0 +1,315 @@
+//! Portable multi-lane SHA-256: N independent hash states interleaved
+//! through the compression function.
+//!
+//! Scalar SHA-256 is latency-bound: every round depends on the previous
+//! one, so a modern out-of-order core spends most of its issue slots
+//! waiting on the `a`/`e` dependency chains. Batches of *independent*
+//! messages break that bound — by laying the working variables out as
+//! structure-of-arrays (`[u32; LANES]` per variable) and performing every
+//! round operation lane-wise, the compiler auto-vectorizes the round
+//! computation across messages (SSE2 gives 4 lanes per op, AVX2 all 8),
+//! and even un-vectorized lanes fill otherwise-idle pipeline slots.
+//!
+//! No intrinsics and no unsafe code in the kernel itself: the only
+//! `unsafe` is the `#[target_feature(enable = "avx2")]` re-instantiation
+//! of the portable kernel, which lets LLVM emit 8-wide AVX2 code when the
+//! running CPU supports it (checked at runtime).
+//!
+//! Messages of mixed lengths are handled by a fixed-depth schedule: each
+//! group of up to [`LANES`] messages runs for `max(padded blocks)`
+//! compressions, and a lane's digest is snapshotted the moment its own
+//! final padded block has been compressed (later dummy blocks corrupt
+//! only dead state).
+
+use crate::arena::MessageArena;
+use crate::sha256::{fill_padded_block, padded_block_count, Digest, DIGEST_LEN, H0, K};
+
+/// Number of interleaved hash states in the portable kernel. Eight lanes
+/// of `u32` fill one AVX2 register exactly and two SSE registers on the
+/// x86-64 baseline.
+pub const LANES: usize = 8;
+
+/// One variable across all lanes (structure-of-arrays layout).
+type Lanes = [u32; LANES];
+
+#[inline(always)]
+fn vadd(a: Lanes, b: Lanes) -> Lanes {
+    let mut r = [0u32; LANES];
+    for i in 0..LANES {
+        r[i] = a[i].wrapping_add(b[i]);
+    }
+    r
+}
+
+#[inline(always)]
+fn vadd_k(a: Lanes, k: u32) -> Lanes {
+    let mut r = [0u32; LANES];
+    for i in 0..LANES {
+        r[i] = a[i].wrapping_add(k);
+    }
+    r
+}
+
+#[inline(always)]
+fn vrotr(a: Lanes, n: u32) -> Lanes {
+    let mut r = [0u32; LANES];
+    for i in 0..LANES {
+        r[i] = a[i].rotate_right(n);
+    }
+    r
+}
+
+#[inline(always)]
+fn vshr(a: Lanes, n: u32) -> Lanes {
+    let mut r = [0u32; LANES];
+    for i in 0..LANES {
+        r[i] = a[i] >> n;
+    }
+    r
+}
+
+#[inline(always)]
+fn vxor(a: Lanes, b: Lanes) -> Lanes {
+    let mut r = [0u32; LANES];
+    for i in 0..LANES {
+        r[i] = a[i] ^ b[i];
+    }
+    r
+}
+
+/// `ch(e, f, g) = (e & f) ^ (!e & g)` lane-wise.
+#[inline(always)]
+fn vch(e: Lanes, f: Lanes, g: Lanes) -> Lanes {
+    let mut r = [0u32; LANES];
+    for i in 0..LANES {
+        r[i] = g[i] ^ (e[i] & (f[i] ^ g[i]));
+    }
+    r
+}
+
+/// `maj(a, b, c)` lane-wise.
+#[inline(always)]
+fn vmaj(a: Lanes, b: Lanes, c: Lanes) -> Lanes {
+    let mut r = [0u32; LANES];
+    for i in 0..LANES {
+        r[i] = (a[i] & b[i]) | (c[i] & (a[i] | b[i]));
+    }
+    r
+}
+
+/// One compression of [`LANES`] independent 64-byte blocks, each into its
+/// own lane of `state`.
+#[inline(always)]
+fn compress_lanes(state: &mut [Lanes; 8], blocks: &[[u8; 64]; LANES]) {
+    // Transposed message schedule: w[t][lane].
+    let mut w = [[0u32; LANES]; 64];
+    for (t, wt) in w.iter_mut().take(16).enumerate() {
+        for (l, block) in blocks.iter().enumerate() {
+            wt[l] = u32::from_be_bytes([
+                block[4 * t],
+                block[4 * t + 1],
+                block[4 * t + 2],
+                block[4 * t + 3],
+            ]);
+        }
+    }
+    for t in 16..64 {
+        let s0 = vxor(
+            vxor(vrotr(w[t - 15], 7), vrotr(w[t - 15], 18)),
+            vshr(w[t - 15], 3),
+        );
+        let s1 = vxor(
+            vxor(vrotr(w[t - 2], 17), vrotr(w[t - 2], 19)),
+            vshr(w[t - 2], 10),
+        );
+        w[t] = vadd(vadd(w[t - 16], s0), vadd(w[t - 7], s1));
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+
+    for t in 0..64 {
+        let big_s1 = vxor(vxor(vrotr(e, 6), vrotr(e, 11)), vrotr(e, 25));
+        let t1 = vadd(vadd(h, big_s1), vadd(vch(e, f, g), vadd_k(w[t], K[t])));
+        let big_s0 = vxor(vxor(vrotr(a, 2), vrotr(a, 13)), vrotr(a, 22));
+        let t2 = vadd(big_s0, vmaj(a, b, c));
+
+        h = g;
+        g = f;
+        f = e;
+        e = vadd(d, t1);
+        d = c;
+        c = b;
+        b = a;
+        a = vadd(t1, t2);
+    }
+
+    state[0] = vadd(state[0], a);
+    state[1] = vadd(state[1], b);
+    state[2] = vadd(state[2], c);
+    state[3] = vadd(state[3], d);
+    state[4] = vadd(state[4], e);
+    state[5] = vadd(state[5], f);
+    state[6] = vadd(state[6], g);
+    state[7] = vadd(state[7], h);
+}
+
+/// The portable kernel re-instantiated with AVX2 codegen: the body is the
+/// same safe Rust, but compiling it under `target_feature(avx2)` lets the
+/// auto-vectorizer use 8-wide 256-bit registers instead of the SSE2
+/// baseline's 4-wide ops. Callers must have verified AVX2 support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_code)]
+unsafe fn compress_lanes_avx2(state: &mut [Lanes; 8], blocks: &[[u8; 64]; LANES]) {
+    compress_lanes(state, blocks);
+}
+
+/// Whether the AVX2 re-instantiation should be used on this machine.
+#[inline]
+fn use_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Hashes messages `base..base + count` of `arena` (with `count <=
+/// LANES`), writing their digests to `out` in order. Unused lanes run a
+/// dummy empty message whose state is never read.
+fn digest_group(arena: &MessageArena, base: usize, count: usize, avx2: bool, out: &mut [Digest]) {
+    debug_assert!((1..=LANES).contains(&count));
+    let mut state = [[0u32; LANES]; 8];
+    for (w, init) in state.iter_mut().zip(H0) {
+        *w = [init; LANES];
+    }
+
+    let mut nblocks = [1usize; LANES];
+    let mut max_blocks = 1usize;
+    for (l, nb) in nblocks.iter_mut().enumerate().take(count) {
+        *nb = padded_block_count(arena.msg(base + l).len());
+        max_blocks = max_blocks.max(*nb);
+    }
+
+    let mut blocks = [[0u8; 64]; LANES];
+    for b in 0..max_blocks {
+        for (l, block) in blocks.iter_mut().enumerate() {
+            let msg: &[u8] = if l < count { arena.msg(base + l) } else { &[] };
+            fill_padded_block(msg, b, block);
+        }
+        #[cfg(target_arch = "x86_64")]
+        if avx2 {
+            // SAFETY: `avx2` is only true when runtime detection confirmed
+            // AVX2 support (see `use_avx2`).
+            #[allow(unsafe_code)]
+            unsafe {
+                compress_lanes_avx2(&mut state, &blocks)
+            };
+        } else {
+            compress_lanes(&mut state, &blocks);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = avx2;
+            compress_lanes(&mut state, &blocks);
+        }
+
+        // Snapshot every lane whose final padded block this was; later
+        // (dummy) blocks only corrupt state we no longer need.
+        for l in 0..count {
+            if nblocks[l] == b + 1 {
+                let digest = &mut out[l];
+                for w in 0..8 {
+                    digest[4 * w..4 * w + 4].copy_from_slice(&state[w][l].to_be_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// Lanes below which a group falls back to scalar hashing: driving the
+/// 8-lane kernel for 1–2 real messages costs more than hashing them
+/// directly.
+const MIN_LANE_GROUP: usize = 3;
+
+/// Hashes every message in `arena`, appending one digest per message to
+/// `out` in order, through the lane-interleaved kernel.
+pub(crate) fn sha256_arena_lanes(arena: &MessageArena, out: &mut Vec<Digest>) {
+    let n = arena.len();
+    let start = out.len();
+    out.resize(start + n, [0u8; DIGEST_LEN]);
+    let avx2 = use_avx2();
+    let mut i = 0;
+    while i + LANES <= n {
+        digest_group(
+            arena,
+            i,
+            LANES,
+            avx2,
+            &mut out[start + i..start + i + LANES],
+        );
+        i += LANES;
+    }
+    let rem = n - i;
+    if rem >= MIN_LANE_GROUP {
+        digest_group(arena, i, rem, avx2, &mut out[start + i..start + n]);
+    } else {
+        for j in i..n {
+            out[start + j] = crate::sha256::sha256(arena.msg(j));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    fn check_batch(messages: Vec<Vec<u8>>) {
+        let arena = MessageArena::from_messages(&messages);
+        let mut out = Vec::new();
+        sha256_arena_lanes(&arena, &mut out);
+        assert_eq!(out.len(), messages.len());
+        for (i, m) in messages.iter().enumerate() {
+            assert_eq!(out[i], sha256(m), "message {i} (len {})", m.len());
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        check_batch(vec![]);
+    }
+
+    #[test]
+    fn single_message() {
+        check_batch(vec![b"abc".to_vec()]);
+    }
+
+    #[test]
+    fn full_group_uniform() {
+        check_batch((0u8..8).map(|i| vec![i; 52]).collect());
+    }
+
+    #[test]
+    fn ragged_lengths_across_block_boundaries() {
+        // 55/56/63/64/65 straddle every padding case; 0 and 200 add the
+        // empty and multi-block extremes.
+        let lens = [0usize, 55, 56, 63, 64, 65, 200, 129, 1, 119, 128, 127];
+        check_batch(
+            lens.iter()
+                .enumerate()
+                .map(|(i, &l)| vec![i as u8; l])
+                .collect(),
+        );
+    }
+
+    #[test]
+    fn remainder_paths() {
+        for n in 1..=(2 * LANES + 2) {
+            check_batch((0..n).map(|i| vec![i as u8; 3 * i]).collect());
+        }
+    }
+}

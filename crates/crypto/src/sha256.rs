@@ -12,7 +12,7 @@ pub type Digest = [u8; DIGEST_LEN];
 
 /// FIPS 180-4 §4.2.2 round constants: the first 32 bits of the fractional
 /// parts of the cube roots of the first 64 primes.
-const K: [u32; 64] = [
+pub(crate) const K: [u32; 64] = [
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
     0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
     0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
@@ -25,7 +25,7 @@ const K: [u32; 64] = [
 
 /// FIPS 180-4 §5.3.3 initial hash value: the first 32 bits of the fractional
 /// parts of the square roots of the first 8 primes.
-const H0: [u32; 8] = [
+pub(crate) const H0: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
@@ -181,6 +181,44 @@ impl Sha256 {
         self.state[5] = self.state[5].wrapping_add(f);
         self.state[6] = self.state[6].wrapping_add(g);
         self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// Number of 64-byte blocks `len` message bytes occupy after
+/// Merkle–Damgård padding (0x80, zeros, 8-byte length).
+pub(crate) fn padded_block_count(len: usize) -> usize {
+    (len + 9).div_ceil(64)
+}
+
+/// Writes padded block `block_idx` of the message `msg` into `out`.
+///
+/// Blocks past `padded_block_count(msg.len()) - 1` are all zeros (callers
+/// feeding fixed-depth lane kernels may request them; the resulting state
+/// is discarded). Shared by the block-gathering batch kernels
+/// (multi-lane, SHA-NI) so padding is implemented exactly once outside the
+/// streaming hasher.
+pub(crate) fn fill_padded_block(msg: &[u8], block_idx: usize, out: &mut [u8; 64]) {
+    let len = msg.len();
+    let start = block_idx * 64;
+    if start + 64 <= len {
+        // Whole block of message bytes.
+        out.copy_from_slice(&msg[start..start + 64]);
+        return;
+    }
+    *out = [0u8; 64];
+    if start < len {
+        let tail = &msg[start..];
+        out[..tail.len()].copy_from_slice(tail);
+    }
+    // The 0x80 terminator lands in the block that contains the byte just
+    // past the message (possibly position 0 of the block after a
+    // 64-aligned message).
+    if start <= len && len < start + 64 {
+        out[len - start] = 0x80;
+    }
+    // The 64-bit big-endian bit length closes the final padded block.
+    if block_idx + 1 == padded_block_count(len) {
+        out[56..].copy_from_slice(&((len as u64) * 8).to_be_bytes());
     }
 }
 

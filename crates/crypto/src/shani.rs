@@ -1,0 +1,276 @@
+//! Hardware SHA-256 via the x86 SHA extensions (SHA-NI).
+//!
+//! The `sha256rnds2` / `sha256msg1` / `sha256msg2` instructions compute
+//! two compression rounds per instruction with the message schedule
+//! assisted in hardware — roughly an order of magnitude faster per block
+//! than portable scalar code. The extension is single-stream (one message
+//! at a time), so batches are simply looped; the per-message rate is high
+//! enough that the loop, not the hash, becomes the overhead.
+//!
+//! This module is the only place in the workspace that uses `unsafe`: the
+//! intrinsics require it, every call is gated behind
+//! `is_x86_feature_detected!`, and all buffer handling around them is
+//! ordinary safe slice code (the shared padding helpers from
+//! [`crate::sha256`]). On non-x86_64 targets the module compiles to
+//! nothing and [`available`] reports `false`.
+
+#![allow(unsafe_code)]
+
+use crate::arena::MessageArena;
+use crate::sha256::{fill_padded_block, padded_block_count, Digest, DIGEST_LEN, H0};
+
+/// Is the SHA-NI path usable on the running CPU?
+///
+/// Checks the `sha` extension plus the SSSE3/SSE4.1 shuffles the kernel's
+/// prologue and epilogue use.
+pub fn available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("sha")
+            && std::arch::is_x86_feature_detected!("ssse3")
+            && std::arch::is_x86_feature_detected!("sse4.1")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod kernel {
+    use std::arch::x86_64::*;
+
+    /// Compresses one 64-byte block into `state` using the SHA extensions.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified `sha`, `ssse3`, and `sse4.1` support
+    /// (see [`available`]).
+    #[target_feature(enable = "sha,sse2,ssse3,sse4.1")]
+    pub(super) unsafe fn compress_block(state: &mut [u32; 8], block: &[u8; 64]) {
+        // Byte shuffle turning four little-endian u32 loads into the
+        // big-endian words SHA-256 consumes.
+        let mask = _mm_set_epi64x(0x0c0d_0e0f_0809_0a0bu64 as i64, 0x0405_0607_0001_0203);
+
+        // Pack the state into the ABEF/CDGH register layout the
+        // instructions expect.
+        let tmp = _mm_loadu_si128(state.as_ptr().cast::<__m128i>()); // DCBA
+        let st1 = _mm_loadu_si128(state.as_ptr().add(4).cast::<__m128i>()); // HGFE
+        let tmp = _mm_shuffle_epi32(tmp, 0xB1); // CDAB
+        let st1 = _mm_shuffle_epi32(st1, 0x1B); // EFGH
+        let mut state0 = _mm_alignr_epi8(tmp, st1, 8); // ABEF
+        let mut state1 = _mm_blend_epi16(st1, tmp, 0xF0); // CDGH
+
+        let abef_save = state0;
+        let cdgh_save = state1;
+
+        let k = crate::sha256::K.as_ptr().cast::<__m128i>();
+        let p = block.as_ptr().cast::<__m128i>();
+        let mut msg0 = _mm_shuffle_epi8(_mm_loadu_si128(p), mask);
+        let mut msg1 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(1)), mask);
+        let mut msg2 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(2)), mask);
+        let mut msg3 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(3)), mask);
+
+        // Four rounds per iteration: two `sha256rnds2` on the low then
+        // high halves of w + K.
+        macro_rules! rounds4 {
+            ($w:expr, $i:expr) => {{
+                let wk = _mm_add_epi32($w, _mm_loadu_si128(k.add($i)));
+                state1 = _mm_sha256rnds2_epu32(state1, state0, wk);
+                let wk_hi = _mm_shuffle_epi32(wk, 0x0E);
+                state0 = _mm_sha256rnds2_epu32(state0, state1, wk_hi);
+            }};
+        }
+        // Message-schedule step producing w[t..t+4] from the previous
+        // sixteen words.
+        macro_rules! schedule {
+            ($w0:expr, $w1:expr, $w2:expr, $w3:expr) => {{
+                let t = _mm_sha256msg1_epu32($w0, $w1);
+                let t = _mm_add_epi32(t, _mm_alignr_epi8($w3, $w2, 4));
+                _mm_sha256msg2_epu32(t, $w3)
+            }};
+        }
+
+        rounds4!(msg0, 0);
+        rounds4!(msg1, 1);
+        rounds4!(msg2, 2);
+        rounds4!(msg3, 3);
+        for chunk in 1..4 {
+            msg0 = schedule!(msg0, msg1, msg2, msg3);
+            rounds4!(msg0, 4 * chunk);
+            msg1 = schedule!(msg1, msg2, msg3, msg0);
+            rounds4!(msg1, 4 * chunk + 1);
+            msg2 = schedule!(msg2, msg3, msg0, msg1);
+            rounds4!(msg2, 4 * chunk + 2);
+            msg3 = schedule!(msg3, msg0, msg1, msg2);
+            rounds4!(msg3, 4 * chunk + 3);
+        }
+
+        state0 = _mm_add_epi32(state0, abef_save);
+        state1 = _mm_add_epi32(state1, cdgh_save);
+
+        // Unpack ABEF/CDGH back to the linear a..h order.
+        let tmp = _mm_shuffle_epi32(state0, 0x1B); // FEBA
+        let state1 = _mm_shuffle_epi32(state1, 0xB1); // DCHG
+        let out0 = _mm_blend_epi16(tmp, state1, 0xF0); // DCBA
+        let out1 = _mm_alignr_epi8(state1, tmp, 8); // HGFE
+        _mm_storeu_si128(state.as_mut_ptr().cast::<__m128i>(), out0);
+        _mm_storeu_si128(state.as_mut_ptr().add(4).cast::<__m128i>(), out1);
+    }
+}
+
+/// One-shot digest of `msg` through the SHA-NI kernel.
+///
+/// # Panics
+///
+/// Debug-asserts [`available`]; callers gate on it.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn sha256_ni(msg: &[u8]) -> Digest {
+    debug_assert!(available());
+    let mut state = H0;
+    let mut block = [0u8; 64];
+    let nblocks = padded_block_count(msg.len());
+    for b in 0..nblocks {
+        fill_padded_block(msg, b, &mut block);
+        // SAFETY: gated on `available()` by every public entry point.
+        unsafe { kernel::compress_block(&mut state, &block) };
+    }
+    let mut out = [0u8; DIGEST_LEN];
+    for (i, word) in state.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Digest of the concatenation of `parts` through the SHA-NI kernel,
+/// streaming across part boundaries without concatenating on the heap.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn sha256_parts_ni(parts: &[&[u8]]) -> Digest {
+    debug_assert!(available());
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut state = H0;
+    let mut block = [0u8; 64];
+    let mut fill = 0usize;
+    for part in parts {
+        let mut part = *part;
+        while !part.is_empty() {
+            let take = (64 - fill).min(part.len());
+            block[fill..fill + take].copy_from_slice(&part[..take]);
+            fill += take;
+            part = &part[take..];
+            if fill == 64 {
+                // SAFETY: gated on `available()` by every public entry point.
+                unsafe { kernel::compress_block(&mut state, &block) };
+                fill = 0;
+            }
+        }
+    }
+    // Padding: 0x80, zeros, 64-bit big-endian bit length.
+    block[fill] = 0x80;
+    if fill + 9 > 64 {
+        block[fill + 1..].fill(0);
+        // SAFETY: gated on `available()` by every public entry point.
+        unsafe { kernel::compress_block(&mut state, &block) };
+        block.fill(0);
+    } else {
+        block[fill + 1..56].fill(0);
+    }
+    block[56..].copy_from_slice(&((total as u64) * 8).to_be_bytes());
+    // SAFETY: gated on `available()` by every public entry point.
+    unsafe { kernel::compress_block(&mut state, &block) };
+
+    let mut out = [0u8; DIGEST_LEN];
+    for (i, word) in state.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Hashes every message in `arena` through the SHA-NI kernel, appending
+/// one digest per message to `out` in order.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn sha256_arena_ni(arena: &MessageArena, out: &mut Vec<Digest>) {
+    debug_assert!(available());
+    out.reserve(arena.len());
+    for msg in arena.iter() {
+        out.push(sha256_ni(msg));
+    }
+}
+
+// Non-x86_64 stubs keep the call sites compiling; `available()` is false
+// there so they are unreachable.
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) fn sha256_ni(_msg: &[u8]) -> Digest {
+    unreachable!("SHA-NI path invoked without hardware support")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) fn sha256_parts_ni(_parts: &[&[u8]]) -> Digest {
+    unreachable!("SHA-NI path invoked without hardware support")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) fn sha256_arena_ni(_arena: &MessageArena, _out: &mut Vec<Digest>) {
+    unreachable!("SHA-NI path invoked without hardware support")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+    use crate::sha256::sha256;
+
+    #[test]
+    fn matches_nist_vectors_when_available() {
+        if !available() {
+            eprintln!("SHA-NI not available; skipping");
+            return;
+        }
+        assert_eq!(
+            hex::encode(&sha256_ni(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex::encode(&sha256_ni(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn matches_scalar_across_lengths() {
+        if !available() {
+            return;
+        }
+        for len in [0usize, 1, 3, 55, 56, 57, 63, 64, 65, 119, 127, 128, 1000] {
+            let msg: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            assert_eq!(sha256_ni(&msg), sha256(&msg), "len={len}");
+        }
+    }
+
+    #[test]
+    fn parts_stream_across_boundaries() {
+        if !available() {
+            return;
+        }
+        let msg: Vec<u8> = (0u16..300).map(|i| (i % 251) as u8).collect();
+        for split in [0usize, 1, 52, 55, 64, 100, 200, 300] {
+            let parts: Vec<&[u8]> = vec![&msg[..split], &msg[split..]];
+            assert_eq!(sha256_parts_ni(&parts), sha256(&msg), "split={split}");
+        }
+        assert_eq!(sha256_parts_ni(&[]), sha256(b""));
+    }
+
+    #[test]
+    fn arena_batches_match_scalar() {
+        if !available() {
+            return;
+        }
+        let messages: Vec<Vec<u8>> = (0u8..9).map(|i| vec![i; i as usize * 13]).collect();
+        let arena = MessageArena::from_messages(&messages);
+        let mut out = Vec::new();
+        sha256_arena_ni(&arena, &mut out);
+        for (m, d) in messages.iter().zip(&out) {
+            assert_eq!(*d, sha256(m));
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Property: every hash backend is digest-identical to [`ScalarBackend`].
+//!
+//! The scalar FIPS 180-4 implementation (checked against NIST vectors in
+//! its own unit tests) is the semantic baseline; the multi-lane and
+//! SHA-NI kernels are pure performance substitutes. Any divergence —
+//! over arbitrary message sets, empty messages, block-boundary lengths —
+//! is a correctness bug in the fast path, so the whole surface is
+//! property-tested here: single-shot, parts, and arena-batched entry
+//! points.
+
+use proptest::prelude::*;
+use puzzle_crypto::{
+    auto_backend, Digest, HashBackend, MessageArena, MultiLaneBackend, ScalarBackend, ShaNiBackend,
+};
+
+/// Lengths that straddle every SHA-256 padding case: the 55/56 boundary
+/// (length word fits / spills), the 63/64/65 block edge, and multi-block
+/// tails.
+const BOUNDARY_LENS: [usize; 10] = [0, 1, 55, 56, 63, 64, 65, 119, 127, 128];
+
+fn arena_digests<B: HashBackend>(backend: &B, messages: &[Vec<u8>]) -> Vec<Digest> {
+    let arena = MessageArena::from_messages(messages);
+    let mut out = Vec::new();
+    backend.sha256_arena(&arena, &mut out);
+    out
+}
+
+/// Asserts `backend` matches the scalar baseline over `messages` for
+/// every entry point.
+fn assert_backend_matches<B: HashBackend>(backend: &B, messages: &[Vec<u8>]) {
+    let name = backend.name();
+    let reference: Vec<Digest> = messages.iter().map(|m| ScalarBackend.sha256(m)).collect();
+
+    let batched = arena_digests(backend, messages);
+    assert_eq!(batched.len(), reference.len(), "backend {name}: batch size");
+    for (i, (got, want)) in batched.iter().zip(&reference).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "backend {name}: arena digest {i} (len {})",
+            messages[i].len()
+        );
+    }
+
+    for (m, want) in messages.iter().zip(&reference) {
+        assert_eq!(&backend.sha256(m), want, "backend {name}: single-shot");
+        // Split into two parts at the middle: the parts path must stream
+        // across the boundary.
+        let mid = m.len() / 2;
+        assert_eq!(
+            &backend.sha256_parts(&[&m[..mid], &m[mid..]]),
+            want,
+            "backend {name}: parts"
+        );
+    }
+}
+
+fn assert_all_backends_match(messages: &[Vec<u8>]) {
+    assert_backend_matches(&MultiLaneBackend, messages);
+    assert_backend_matches(&auto_backend(), messages);
+    if let Some(ni) = ShaNiBackend::new() {
+        assert_backend_matches(&ni, messages);
+    }
+}
+
+#[test]
+fn block_boundary_lengths_match() {
+    let messages: Vec<Vec<u8>> = BOUNDARY_LENS
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| (0..len).map(|j| (i * 31 + j) as u8).collect())
+        .collect();
+    assert_all_backends_match(&messages);
+}
+
+#[test]
+fn all_empty_batch_matches() {
+    assert_all_backends_match(&vec![Vec::new(); 9]);
+    assert_all_backends_match(&[]);
+}
+
+#[test]
+fn hmac_matches_scalar_for_every_backend() {
+    let key = b"a puzzle server secret key......";
+    let msg = b"tuple-bytes-and-timestamp";
+    let want = ScalarBackend.hmac_sha256_parts(key, &[msg]);
+    assert_eq!(MultiLaneBackend.hmac_sha256_parts(key, &[msg]), want);
+    assert_eq!(auto_backend().hmac_sha256_parts(key, &[msg]), want);
+    if let Some(ni) = ShaNiBackend::new() {
+        assert_eq!(ni.hmac_sha256_parts(key, &[msg]), want);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary message sets (arbitrary sizes and contents, including
+    /// runs longer than one lane group) hash identically on every
+    /// backend.
+    #[test]
+    fn arbitrary_batches_match(
+        messages in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..200), 0..40),
+    ) {
+        assert_all_backends_match(&messages);
+    }
+
+    /// Batches built purely from block-boundary lengths (the padding
+    /// edge cases) hash identically on every backend.
+    #[test]
+    fn boundary_length_batches_match(
+        picks in prop::collection::vec(0usize..BOUNDARY_LENS.len(), 1..24),
+        fill in any::<u8>(),
+    ) {
+        let messages: Vec<Vec<u8>> = picks
+            .iter()
+            .map(|&p| vec![fill; BOUNDARY_LENS[p]])
+            .collect();
+        assert_all_backends_match(&messages);
+    }
+}

@@ -4,6 +4,7 @@
 //! `--full` uses the paper's 600 s timeline instead of the compressed one.
 
 fn main() {
+    experiments::report_backend();
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
     let seed = args

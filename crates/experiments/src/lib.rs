@@ -45,3 +45,15 @@ pub mod solution_flood;
 pub mod table1;
 
 pub use scenario::{Scenario, Testbed, Timeline};
+
+/// Prints (to stderr, so piped table output stays clean) which hash
+/// backend this process verifies puzzles through, making every committed
+/// experiment number attributable to the engine that produced it. Every
+/// `fig*`/`table*` binary calls this at startup.
+pub fn report_backend() {
+    use puzzle_crypto::HashBackend;
+    eprintln!(
+        "hash backend: {} (override with PUZZLE_BACKEND=scalar|multilane|shani)",
+        puzzle_crypto::auto_backend().name()
+    );
+}

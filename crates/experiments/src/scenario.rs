@@ -159,6 +159,7 @@ impl Defense {
                 expiry: 8,
                 verify: VerifyMode::Oracle,
                 hold: SimDuration::from_secs(30),
+                verify_workers: 1,
             }),
         }
     }

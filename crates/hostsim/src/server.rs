@@ -173,7 +173,12 @@ enum WorkerPhase {
 #[derive(Debug)]
 pub struct ServerHost {
     params: ServerParams,
-    listener: Listener,
+    /// The listening socket, hashing through the process-wide
+    /// auto-selected backend (SHA-NI → multi-lane → scalar; overridable
+    /// via `PUZZLE_BACKEND`). Every backend is digest-identical, so
+    /// simulation results do not depend on the selection — only the CPU
+    /// time burned per verification does.
+    listener: Listener<puzzle_crypto::AutoBackend>,
     cpu: Cpu,
     metrics: ServerMetrics,
     free_workers: usize,
@@ -201,7 +206,8 @@ impl ServerHost {
         lcfg.backlog = params.backlog;
         lcfg.accept_backlog = params.accept_backlog;
         lcfg.defense = params.defense.clone();
-        let listener = Listener::new(lcfg, params.secret.clone());
+        let listener =
+            Listener::with_backend(lcfg, params.secret.clone(), puzzle_crypto::auto_backend());
         ServerHost {
             cpu: Cpu::new(params.hash_rate),
             listener,

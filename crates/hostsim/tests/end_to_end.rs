@@ -81,6 +81,7 @@ fn puzzle_defense(k: u8, m: u8, verify: VerifyMode) -> DefenseMode {
         expiry: 8,
         verify,
         hold: SimDuration::from_secs(30),
+        verify_workers: 1,
     })
 }
 

@@ -29,8 +29,8 @@ use crate::options::{ChallengeOption, SolutionOption, TcpOption};
 use crate::segment::{SegmentBuilder, TcpFlags, TcpSegment};
 use netsim::{SimDuration, SimTime};
 use puzzle_core::{
-    ChallengeParams, ConnectionTuple, Difficulty, ReplayCache, ServerSecret, Solution, Verifier,
-    VerifyError, VerifyRequest,
+    BatchScratch, ChallengeParams, ConnectionTuple, Difficulty, ReplayCache, ServerSecret,
+    Solution, Verifier, VerifyError, VerifyRequest,
 };
 use puzzle_crypto::{HashBackend, ScalarBackend};
 
@@ -85,6 +85,12 @@ pub struct PuzzleConfig {
     /// openings tens of seconds apart, Figs. 8 and 10) show an
     /// effectively latched controller. See DESIGN.md.
     pub hold: SimDuration,
+    /// Worker threads for batched solution verification. `0` or `1` keeps
+    /// verification on the calling thread (through the reusable
+    /// zero-allocation scratch); higher values fan each batch across
+    /// scoped threads partitioned by replay key
+    /// ([`Verifier::verify_batch_parallel`]) for multi-core scaling.
+    pub verify_workers: usize,
 }
 
 impl Default for PuzzleConfig {
@@ -95,6 +101,7 @@ impl Default for PuzzleConfig {
             expiry: 8,
             verify: VerifyMode::Real,
             hold: SimDuration::from_secs(30),
+            verify_workers: 1,
         }
     }
 }
@@ -382,6 +389,11 @@ pub struct Listener<B: HashBackend = ScalarBackend> {
     isn_counter: u64,
     /// Puzzle-controller latch: challenge every SYN until this instant.
     challenge_hold_until: SimTime,
+    /// Reusable batch-verification buffers: after warm-up, flushing a run
+    /// of solution ACKs through the verifier allocates nothing.
+    scratch: BatchScratch,
+    /// Reusable verdict staging for the flush loop.
+    verdict_buf: Vec<Result<(), VerifyError>>,
 }
 
 impl Listener<ScalarBackend> {
@@ -420,6 +432,8 @@ impl<B: HashBackend> Listener<B> {
             stats: ListenerStats::default(),
             isn_counter: 0,
             challenge_hold_until: SimTime::ZERO,
+            scratch: BatchScratch::new(),
+            verdict_buf: Vec::new(),
         }
     }
 
@@ -656,8 +670,11 @@ impl<B: HashBackend> Listener<B> {
             requests.push(p.request);
             meta.push((p.flow, p.ack, p.mss, p.payload, p.fin));
         }
-        let verdicts = self.check_solution_acks(puzzle_clock(now), &requests);
-        for ((flow, ack, mss, payload, fin), verdict) in meta.into_iter().zip(verdicts) {
+        // Stage verdicts in the reusable buffer (taken out of `self` so
+        // the establishment loop below can borrow the listener mutably).
+        let mut verdicts = std::mem::take(&mut self.verdict_buf);
+        self.check_solution_acks(puzzle_clock(now), &requests, &mut verdicts);
+        for ((flow, ack, mss, payload, fin), verdict) in meta.into_iter().zip(verdicts.drain(..)) {
             match verdict {
                 Ok(()) => self.finish_establish(
                     flow,
@@ -671,31 +688,44 @@ impl<B: HashBackend> Listener<B> {
                 Err(reason) => self.note_rejection(flow, reason, out),
             }
         }
+        self.verdict_buf = verdicts;
     }
 
-    /// The verification chokepoint both solution paths share: real mode
-    /// goes through the backend's batch engine (replay cache included);
+    /// The verification chokepoint both solution paths share, appending
+    /// one verdict per request to `verdicts`: real mode goes through the
+    /// backend's batch engine (replay cache included) — via the reusable
+    /// zero-allocation scratch on the calling thread, or fanned across
+    /// scoped worker threads when [`PuzzleConfig::verify_workers`] > 1;
     /// oracle mode recomputes keyed proofs and charges the real-path
     /// hash-count equivalent, consulting the same replay cache.
     fn check_solution_acks(
         &mut self,
         now_ts: u32,
         requests: &[VerifyRequest],
-    ) -> Vec<Result<(), VerifyError>> {
-        let mode = match &self.cfg.defense {
-            DefenseMode::Puzzles(pc) => pc.verify,
-            _ => VerifyMode::Real,
+        verdicts: &mut Vec<Result<(), VerifyError>>,
+    ) {
+        let (mode, workers) = match &self.cfg.defense {
+            DefenseMode::Puzzles(pc) => (pc.verify, pc.verify_workers),
+            _ => (VerifyMode::Real, 1),
         };
         match mode {
-            VerifyMode::Real => {
-                let batch = self.verifier.verify_batch(requests, now_ts);
+            VerifyMode::Real if workers > 1 => {
+                let batch = self
+                    .verifier
+                    .verify_batch_parallel(requests, now_ts, workers);
                 self.stats.verify_hashes += batch.hashes;
-                batch.verdicts
+                verdicts.extend(batch.verdicts);
+            }
+            VerifyMode::Real => {
+                self.stats.verify_hashes +=
+                    self.verifier
+                        .verify_batch_with(requests, now_ts, &mut self.scratch);
+                verdicts.extend_from_slice(self.scratch.verdicts());
             }
             VerifyMode::Oracle => {
                 let cache = self.verifier.replay_cache().cloned();
                 let max_age = self.verifier.max_age();
-                let mut verdicts = Vec::with_capacity(requests.len());
+                verdicts.reserve(requests.len());
                 for (tuple, params, solution) in requests {
                     if let Some(c) = &cache {
                         if c.contains(tuple, params.timestamp, now_ts, max_age) {
@@ -723,7 +753,6 @@ impl<B: HashBackend> Listener<B> {
                     };
                     verdicts.push(res);
                 }
-                verdicts
             }
         }
     }
@@ -1060,10 +1089,11 @@ impl<B: HashBackend> Listener<B> {
                     }
                     match self.parse_solution(flow, seg, sol, &pc) {
                         Ok((request, mss)) => {
-                            let verdict = self
-                                .check_solution_acks(puzzle_clock(now), &[request])
-                                .pop()
-                                .expect("one verdict per request");
+                            let mut verdicts = std::mem::take(&mut self.verdict_buf);
+                            self.check_solution_acks(puzzle_clock(now), &[request], &mut verdicts);
+                            let verdict = verdicts.pop().expect("one verdict per request");
+                            verdicts.clear();
+                            self.verdict_buf = verdicts;
                             match verdict {
                                 Ok(()) => self.finish_establish(
                                     flow,
@@ -1494,6 +1524,7 @@ mod tests {
             expiry: 8,
             verify,
             hold: netsim::SimDuration::ZERO,
+            verify_workers: 1,
         };
         listener(DefenseMode::Puzzles(pc), backlog, accept_backlog)
     }
@@ -2016,6 +2047,47 @@ mod tests {
         assert_eq!(l.stats().established_puzzle, 3);
         // Exact hash accounting: 1 pre-image + k=2 proofs per solution.
         assert_eq!(l.stats().verify_hashes - hashes_before, 3 * (1 + 2));
+    }
+
+    #[test]
+    fn on_segments_parallel_workers_match_sequential() {
+        // The same run of solution ACKs, verified sequentially and with
+        // the sharded parallel mode: identical establishments, hash
+        // charges, and replay bookkeeping.
+        let mk = |workers: usize| {
+            let pc = PuzzleConfig {
+                difficulty: Difficulty::new(2, 6).unwrap(),
+                preimage_bits: 32,
+                expiry: 8,
+                verify: VerifyMode::Real,
+                hold: netsim::SimDuration::ZERO,
+                verify_workers: workers,
+            };
+            listener(DefenseMode::Puzzles(pc), 0, 16)
+        };
+        let run = |mut l: Listener| -> (u64, u64, u64) {
+            let mut acks = Vec::new();
+            for (i, port) in (2000u16..2006).enumerate() {
+                let out = l.on_segment(t(0), CLIENT_IP, &syn(port, 100 + i as u32));
+                let challenged = out.replies[0].1.clone();
+                acks.push((
+                    CLIENT_IP,
+                    solve_and_ack(&mut l, t(0), port, 100 + i as u32, &challenged),
+                ));
+            }
+            // Duplicate the last ACK: the replay cache must reject the
+            // copy under either mode.
+            let dup = acks.last().unwrap().clone();
+            acks.push(dup);
+            l.on_segments(t(1), &acks);
+            let s = l.stats();
+            (s.established_puzzle, s.verify_hashes, s.verify_replayed)
+        };
+        let sequential = run(mk(1));
+        let parallel = run(mk(4));
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential.0, 6);
+        assert_eq!(sequential.2, 1);
     }
 
     #[test]

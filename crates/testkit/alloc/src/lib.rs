@@ -1,0 +1,98 @@
+//! A counting global allocator for zero-allocation assertions.
+//!
+//! Hot paths in this workspace (the batched puzzle verifier above all)
+//! promise **zero steady-state heap allocations**. That promise is easy
+//! to break silently — one stray `Vec` in a refactor and the property is
+//! gone with every test still green. This crate makes it testable:
+//! install [`CountingAllocator`] as the test binary's global allocator
+//! and assert that the measured region performs no allocations.
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: testkit_alloc::CountingAllocator = testkit_alloc::CountingAllocator;
+//!
+//! let before = testkit_alloc::allocation_count();
+//! hot_path();
+//! assert_eq!(testkit_alloc::allocation_count() - before, 0);
+//! ```
+//!
+//! Counts are process-global and monotonically increasing. A concurrent
+//! test's allocations inflate the measured delta, which can only turn a
+//! passing zero-delta assertion into a failure — never hide a real
+//! allocation — so keep zero-allocation tests in their own
+//! integration-test binary (one `#[test]`, or serialized).
+
+#![deny(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+/// Number of allocation calls (`alloc`, `alloc_zeroed`, plus every
+/// `realloc`, which may move) since process start.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+/// Number of deallocation calls since process start.
+pub fn deallocation_count() -> u64 {
+    DEALLOCATIONS.load(Ordering::SeqCst)
+}
+
+/// Total bytes requested from the allocator since process start.
+pub fn bytes_allocated() -> u64 {
+    BYTES_ALLOCATED.load(Ordering::SeqCst)
+}
+
+/// A system-allocator wrapper that counts every call. Install with
+/// `#[global_allocator]` in the test binary that wants the counts.
+pub struct CountingAllocator;
+
+#[allow(unsafe_code)]
+// SAFETY: pure pass-through to `System`; the only added behaviour is
+// relaxed-to-seqcst counter updates, which allocate nothing.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::SeqCst);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        BYTES_ALLOCATED.fetch_add(new_size as u64, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[global_allocator]
+    static ALLOC: CountingAllocator = CountingAllocator;
+
+    #[test]
+    fn counts_move() {
+        let before = allocation_count();
+        let v: Vec<u8> = Vec::with_capacity(1024);
+        assert!(allocation_count() > before);
+        drop(v);
+        assert!(deallocation_count() > 0);
+        assert!(bytes_allocated() >= 1024);
+    }
+}

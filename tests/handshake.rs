@@ -30,6 +30,7 @@ fn challenge_handshake_end_to_end_with_real_solving() {
         expiry: 8,
         verify: VerifyMode::Real,
         hold: SimDuration::ZERO,
+        verify_workers: 1,
     });
     let mut listener = Listener::new(cfg, secret.clone());
 
@@ -116,6 +117,7 @@ fn non_solver_is_deceived_then_reset() {
         expiry: 8,
         verify: VerifyMode::Real,
         hold: SimDuration::ZERO,
+        verify_workers: 1,
     });
     let mut listener = Listener::new(cfg, secret);
 
@@ -158,6 +160,7 @@ fn forged_solution_rejected() {
         expiry: 8,
         verify: VerifyMode::Real,
         hold: SimDuration::ZERO,
+        verify_workers: 1,
     });
     let mut listener = Listener::new(cfg, secret);
 
@@ -189,6 +192,7 @@ fn wire_round_trip_of_challenge_and_solution() {
         expiry: 8,
         verify: VerifyMode::Real,
         hold: SimDuration::ZERO,
+        verify_workers: 1,
     });
     let mut listener = Listener::new(cfg, secret);
 

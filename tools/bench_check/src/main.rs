@@ -1,0 +1,235 @@
+//! Bench regression guard.
+//!
+//! Compares a fresh benchmark JSON report (produced by the workspace's
+//! criterion shim via `BENCH_JSON=path cargo bench -p bench --bench …`)
+//! against a committed baseline such as `BENCH_verify.json`, and fails
+//! when any shared benchmark id slowed down beyond the tolerance band.
+//!
+//! ```text
+//! bench_check <baseline.json> <fresh.json> [--tolerance 0.5]
+//! ```
+//!
+//! The tolerance is a fractional slowdown bound: `0.5` tolerates up to
+//! +50 % ns/iter over the baseline before flagging a regression — wide on
+//! purpose, because CI machines are noisy and the guard is meant to catch
+//! order-of-magnitude cliffs (a lost SIMD path, an accidental per-message
+//! allocation), not 5 % jitter. Ids present on only one side are
+//! reported but never fail the run, so adding or renaming benches does
+//! not break the guard. Exit codes: 0 ok, 1 regression, 2 usage/parse
+//! error.
+
+use std::process::ExitCode;
+
+/// One `{"id": …, "ns_per_iter": …}` record from a report.
+#[derive(Clone, Debug, PartialEq)]
+struct Entry {
+    id: String,
+    ns_per_iter: f64,
+}
+
+/// Extracts the next double-quoted string starting at or after `from`,
+/// returning `(value, index past the closing quote)`. The report format
+/// only escapes `"`, matching the writer in the criterion shim.
+fn parse_string(s: &str, from: usize) -> Option<(String, usize)> {
+    let bytes = s.as_bytes();
+    let start = s[from..].find('"')? + from + 1;
+    let mut out = String::new();
+    let mut i = start;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if i + 1 < bytes.len() => {
+                out.push(bytes[i + 1] as char);
+                i += 2;
+            }
+            b'"' => return Some((out, i + 1)),
+            c => {
+                out.push(c as char);
+                i += 1;
+            }
+        }
+    }
+    None
+}
+
+/// Parses the bench-report JSON written by the workspace's criterion
+/// shim. Tolerant of field order and unknown fields: it scans for
+/// `"id"` / `"ns_per_iter"` key-value pairs and pairs each id with the
+/// next ns value that follows it.
+fn parse_report(text: &str) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    let mut pos = 0usize;
+    while let Some(rel) = text[pos..].find("\"id\"") {
+        let key_end = pos + rel + 4;
+        let Some((id, after_id)) = parse_string(text, key_end) else {
+            break;
+        };
+        pos = after_id;
+        let Some(rel_ns) = text[pos..].find("\"ns_per_iter\"") else {
+            break;
+        };
+        let val_start = pos + rel_ns + "\"ns_per_iter\"".len();
+        let tail = &text[val_start..];
+        let tail = tail.trim_start_matches([':', ' ']);
+        let num: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+            .collect();
+        match num.parse::<f64>() {
+            Ok(ns_per_iter) => entries.push(Entry { id, ns_per_iter }),
+            Err(_) => break,
+        }
+        pos = val_start;
+    }
+    entries
+}
+
+/// The verdict for one shared id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Verdict {
+    Ok,
+    Improved,
+    Regressed,
+}
+
+fn classify(baseline: f64, fresh: f64, tolerance: f64) -> Verdict {
+    if fresh > baseline * (1.0 + tolerance) {
+        Verdict::Regressed
+    } else if fresh < baseline * (1.0 - tolerance.min(0.9)) {
+        Verdict::Improved
+    } else {
+        Verdict::Ok
+    }
+}
+
+fn run(baseline_path: &str, fresh_path: &str, tolerance: f64) -> Result<bool, String> {
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+    let baseline = parse_report(&read(baseline_path)?);
+    let fresh = parse_report(&read(fresh_path)?);
+    if baseline.is_empty() {
+        return Err(format!("no benchmark entries found in {baseline_path}"));
+    }
+    if fresh.is_empty() {
+        return Err(format!("no benchmark entries found in {fresh_path}"));
+    }
+
+    let mut regressed = false;
+    println!(
+        "{:<44} {:>12} {:>12} {:>8}  verdict",
+        "id", "baseline ns", "fresh ns", "delta"
+    );
+    for b in &baseline {
+        let Some(f) = fresh.iter().find(|f| f.id == b.id) else {
+            println!(
+                "{:<44} {:>12.1} {:>12} {:>8}  missing-in-fresh",
+                b.id, b.ns_per_iter, "-", "-"
+            );
+            continue;
+        };
+        let delta = f.ns_per_iter / b.ns_per_iter - 1.0;
+        let verdict = classify(b.ns_per_iter, f.ns_per_iter, tolerance);
+        regressed |= verdict == Verdict::Regressed;
+        println!(
+            "{:<44} {:>12.1} {:>12.1} {:>+7.1}%  {}",
+            b.id,
+            b.ns_per_iter,
+            f.ns_per_iter,
+            delta * 100.0,
+            match verdict {
+                Verdict::Ok => "ok",
+                Verdict::Improved => "improved",
+                Verdict::Regressed => "REGRESSED",
+            }
+        );
+    }
+    for f in &fresh {
+        if !baseline.iter().any(|b| b.id == f.id) {
+            println!(
+                "{:<44} {:>12} {:>12.1} {:>8}  new",
+                f.id, "-", f.ns_per_iter, "-"
+            );
+        }
+    }
+    Ok(regressed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let mut paths = Vec::new();
+    let mut tolerance = 0.5f64;
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == "--tolerance" {
+            match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(t) => tolerance = t,
+                None => {
+                    eprintln!("--tolerance needs a numeric argument");
+                    return ExitCode::from(2);
+                }
+            }
+            i += 2;
+        } else {
+            paths.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let [baseline, fresh] = paths.as_slice() else {
+        eprintln!("usage: bench_check <baseline.json> <fresh.json> [--tolerance 0.5]");
+        return ExitCode::from(2);
+    };
+    match run(baseline, fresh, tolerance) {
+        Ok(false) => {
+            println!(
+                "bench_check: within ±{:.0}% tolerance of {baseline}",
+                tolerance * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(true) => {
+            eprintln!(
+                "bench_check: regression beyond +{:.0}% tolerance",
+                tolerance * 100.0
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "results": [
+    {"id": "sha256/64B", "ns_per_iter": 680.2, "iterations": 2951760, "throughput_bytes": 64},
+    {"id": "backend/verify_batch/256", "ns_per_iter": 367214.8, "iterations": 5460, "throughput_elements": 256}
+  ]
+}"#;
+
+    #[test]
+    fn parses_the_shim_report_format() {
+        let entries = parse_report(SAMPLE);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].id, "sha256/64B");
+        assert!((entries[0].ns_per_iter - 680.2).abs() < 1e-9);
+        assert_eq!(entries[1].id, "backend/verify_batch/256");
+        assert!((entries[1].ns_per_iter - 367214.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classification_bands() {
+        assert_eq!(classify(100.0, 149.0, 0.5), Verdict::Ok);
+        assert_eq!(classify(100.0, 151.0, 0.5), Verdict::Regressed);
+        assert_eq!(classify(100.0, 30.0, 0.5), Verdict::Improved);
+        assert_eq!(classify(100.0, 100.0, 0.5), Verdict::Ok);
+    }
+
+    #[test]
+    fn empty_input_yields_no_entries() {
+        assert!(parse_report("{}").is_empty());
+        assert!(parse_report("").is_empty());
+    }
+}
