@@ -1,7 +1,12 @@
 //! Micro-benchmarks: listener fast paths — what bounds the server's
-//! packets-per-second under each defence.
+//! packets-per-second under each defence — plus the simulation engine's
+//! event queue (timer wheel vs. the heap reference) and a fleet-scale
+//! scenario step.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::scenario::{Defense, Matrix, Timeline};
+use hostsim::FleetAttack;
+use netsim::wheel::{HeapQueue, TimerWheel};
 use netsim::{SimDuration, SimTime};
 use puzzle_core::{Difficulty, ServerSecret};
 use std::hint::black_box;
@@ -69,5 +74,94 @@ fn bench_syn_challenge(c: &mut Criterion) {
     });
 }
 
-criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_syn_stateful, bench_syn_cookie, bench_syn_challenge}
+/// Steady-state event-queue churn at `pending` in-flight events: each
+/// iteration pops the earliest event and schedules a replacement — the
+/// engine's inner loop. The wheel should stay flat as `pending` grows
+/// (O(1)); the heap reference pays `log n` per operation.
+fn bench_event_queue(c: &mut Criterion) {
+    const PENDING: usize = 100_000;
+    // Deterministic pseudo-random deltas spanning wheel levels.
+    fn delta(i: u64) -> u64 {
+        1 + (i.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 44)
+    }
+
+    c.bench_function("eventq/wheel/churn_100k", |b| {
+        let mut q: TimerWheel<u64> = TimerWheel::new();
+        let mut seq = 0u64;
+        for i in 0..PENDING as u64 {
+            q.schedule(SimTime::from_nanos(delta(i)), seq, i);
+            seq += 1;
+        }
+        b.iter(|| {
+            let ev = q.pop().expect("queue never drains");
+            q.schedule(ev.at + SimDuration::from_nanos(delta(ev.seq)), seq, ev.item);
+            seq += 1;
+            black_box(ev.at)
+        })
+    });
+
+    c.bench_function("eventq/heap/churn_100k", |b| {
+        let mut q: HeapQueue<u64> = HeapQueue::new();
+        let mut seq = 0u64;
+        for i in 0..PENDING as u64 {
+            q.schedule(SimTime::from_nanos(delta(i)), seq, i);
+            seq += 1;
+        }
+        b.iter(|| {
+            let ev = q.pop().expect("queue never drains");
+            q.schedule(ev.at + SimDuration::from_nanos(delta(ev.seq)), seq, ev.item);
+            seq += 1;
+            black_box(ev.at)
+        })
+    });
+
+    c.bench_function("eventq/wheel/schedule_pop_4k", |b| {
+        b.iter(|| {
+            let mut q: TimerWheel<u64> = TimerWheel::new();
+            for i in 0..4096u64 {
+                q.schedule(SimTime::from_nanos(delta(i)), i, i);
+            }
+            let mut last = 0;
+            while let Some(ev) = q.pop() {
+                last = ev.at.as_nanos();
+            }
+            black_box(last)
+        })
+    });
+}
+
+/// One simulated 100 ms step of a 100k-flow connection-flood scenario
+/// (mid-attack): the fleet-scale acceptance workload as a benchmark.
+fn bench_fleet_step(c: &mut Criterion) {
+    let timeline = Timeline {
+        total: 3600.0,
+        attack_start: 1.0,
+        attack_stop: 3600.0,
+    };
+    let matrix = Matrix::new(timeline)
+        .defenses(vec![Defense::nash()])
+        .attacks(vec![FleetAttack::ConnFlood {
+            rate: 50_000.0,
+            solve: None,
+            conn_timeout: SimDuration::from_secs(1),
+            ack_delay: SimDuration::from_millis(500),
+        }])
+        .fleet_sizes(vec![100_000])
+        .seeds(vec![1]);
+    let mut tb = matrix
+        .cell_scenario(&matrix.defenses[0], &matrix.attacks[0], 100_000, 1)
+        .build();
+    // Warm into the attack's steady state.
+    tb.run_until_secs(3.0);
+    let mut now = 3.0;
+    c.bench_function("fleet/conn_flood_100k/step_100ms", |b| {
+        b.iter(|| {
+            now += 0.1;
+            tb.run_until_secs(now);
+            black_box(tb.sim.stats().events_processed)
+        })
+    });
+}
+
+criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_syn_stateful, bench_syn_cookie, bench_syn_challenge, bench_event_queue, bench_fleet_step}
 criterion_main!(benches);

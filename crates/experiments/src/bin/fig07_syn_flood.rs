@@ -1,18 +1,28 @@
 //! Regenerates Figure 7 (SYN flood throughput).
 //!
-//! Usage: `cargo run --release -p experiments --bin fig07_syn_flood [-- --full] [--seed N]`
+//! Usage: `cargo run --release -p experiments --bin fig07_syn_flood [-- --full] [--seed N] [--fleet FLOWS]`
 //! `--full` uses the paper's 600 s timeline instead of the compressed one.
+//! `--fleet FLOWS` swaps the per-host botnet for one aggregated fleet of
+//! that many flows (the `scenario::Matrix` fleet-scale path).
 
 fn main() {
     experiments::report_backend();
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
-    let seed = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
+    let seed = experiments::arg_after(&args, "--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(1u64);
+    if let Some(raw) = experiments::arg_after(&args, "--fleet") {
+        let flows: usize = raw.parse().unwrap_or_else(|_| {
+            eprintln!("--fleet expects a flow count, got {raw:?}");
+            std::process::exit(2);
+        });
+        let timeline = experiments::Timeline::from_full_flag(full);
+        for cell in experiments::fig07::run_fleet(seed, timeline, flows, 5000.0) {
+            println!("{cell}");
+        }
+        return;
+    }
     let result = experiments::fig07::run(seed, full);
     println!("{result}");
 }

@@ -1,0 +1,60 @@
+//! Runs a `scenario::Matrix` sweep: {defense × attack × fleet size ×
+//! seed}, one goodput summary + digest per cell.
+//!
+//! Usage:
+//!   cargo run --release -p experiments --bin matrix_sweep \
+//!     [-- --full] [--sizes 1000,100000] [--seeds 1,2] [--rate 20000]
+//!
+//! Defaults sweep {nodefense, cookies, nash} × {syn-flood, conn-flood}
+//! × {1k, 10k} flows × seed 1 on the compressed timeline.
+
+use experiments::scenario::{Defense, Matrix, Timeline};
+use hostsim::FleetAttack;
+use netsim::SimDuration;
+
+fn main() {
+    experiments::report_backend();
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let parse_list = |s: &String| -> Vec<u64> {
+        s.split(',')
+            .map(|x| {
+                x.parse().unwrap_or_else(|_| {
+                    eprintln!("expected a comma-separated number list, got {x:?} in {s:?}");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+    let sizes: Vec<usize> = experiments::arg_after(&args, "--sizes")
+        .map(parse_list)
+        .unwrap_or_else(|| vec![1_000, 10_000])
+        .into_iter()
+        .map(|n| n as usize)
+        .collect();
+    let seeds = experiments::arg_after(&args, "--seeds")
+        .map(parse_list)
+        .unwrap_or_else(|| vec![1]);
+    let rate: f64 = experiments::arg_after(&args, "--rate")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000.0);
+
+    let matrix = Matrix::new(Timeline::from_full_flag(full))
+        .defenses(vec![Defense::None, Defense::Cookies, Defense::nash()])
+        .attacks(vec![
+            FleetAttack::SynFlood { rate, spoof: true },
+            FleetAttack::ConnFlood {
+                rate,
+                solve: None,
+                conn_timeout: SimDuration::from_secs(1),
+                ack_delay: SimDuration::from_millis(500),
+            },
+        ])
+        .fleet_sizes(sizes)
+        .seeds(seeds);
+
+    eprintln!("running {} cells…", matrix.cell_count());
+    for cell in matrix.run() {
+        println!("{cell}");
+    }
+}

@@ -102,6 +102,30 @@ pub fn run(seed: u64, full: bool) -> Fig07Result {
     run_with(seed, Timeline::from_full_flag(full), 10, 500.0)
 }
 
+/// Fleet-scale variant: the same defence axis driven by one aggregated
+/// [`hostsim::BotFleet`] instead of per-host bots, through the shared
+/// [`crate::scenario::Matrix`] entry point. `rate` is the *aggregate*
+/// SYN rate. Scales to 10⁵–10⁶ flows where the per-host testbed tops
+/// out at a few hundred bots.
+pub fn run_fleet(
+    seed: u64,
+    timeline: Timeline,
+    flows: usize,
+    rate: f64,
+) -> Vec<crate::scenario::MatrixCell> {
+    crate::scenario::Matrix::new(timeline)
+        .defenses(vec![
+            Defense::None,
+            Defense::Cookies,
+            Defense::Puzzles { k: 1, m: 8 },
+            Defense::nash(),
+        ])
+        .attacks(vec![hostsim::FleetAttack::SynFlood { rate, spoof: true }])
+        .fleet_sizes(vec![flows])
+        .seeds(vec![seed])
+        .run()
+}
+
 /// Parameterized variant (used by tests with smaller botnets).
 pub fn run_with(seed: u64, timeline: Timeline, bots: usize, rate: f64) -> Fig07Result {
     let defenses = [

@@ -32,6 +32,29 @@ pub fn run(seed: u64, full: bool) -> Fig08Result {
     run_with(seed, Timeline::from_full_flag(full), 10, 500.0)
 }
 
+/// Fleet-scale variant: the same defence axis under one aggregated
+/// connection-flood [`hostsim::BotFleet`], through the shared
+/// [`crate::scenario::Matrix`] entry point. `rate` is the *aggregate*
+/// attempt rate; concurrency is bounded by `flows`.
+pub fn run_fleet(
+    seed: u64,
+    timeline: Timeline,
+    flows: usize,
+    rate: f64,
+) -> Vec<crate::scenario::MatrixCell> {
+    crate::scenario::Matrix::new(timeline)
+        .defenses(vec![Defense::None, Defense::Cookies, Defense::nash()])
+        .attacks(vec![hostsim::FleetAttack::ConnFlood {
+            rate,
+            solve: None,
+            conn_timeout: netsim::SimDuration::from_secs(1),
+            ack_delay: netsim::SimDuration::from_millis(500),
+        }])
+        .fleet_sizes(vec![flows])
+        .seeds(vec![seed])
+        .run()
+}
+
 /// Parameterized variant (tests use smaller botnets).
 pub fn run_with(seed: u64, timeline: Timeline, bots: usize, rate: f64) -> Fig08Result {
     let defenses = [Defense::None, Defense::Cookies, Defense::nash()];

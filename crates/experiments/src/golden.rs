@@ -1,0 +1,134 @@
+//! Golden-run scenarios and digests: the regression anchor for the
+//! simulation engine.
+//!
+//! A *golden run* is a small, seeded instance of one of the standard
+//! experiment scenarios (the fig03 baseline load, the fig07 SYN flood,
+//! the fig08 connection flood) reduced to a single SHA-256 digest over
+//! every observable the figures read: per-client counters, the goodput
+//! trace, listener counters, attacker self-measurements, and the
+//! engine's own event statistics. The digests are committed in
+//! `tests/golden_runs.rs`; any change to event ordering, RNG draw
+//! order, or protocol behaviour shows up as a digest mismatch.
+//!
+//! This is what licensed the event-queue swap (BinaryHeap → hierarchical
+//! timer wheel): the digests were captured under the heap engine and the
+//! wheel engine must reproduce them byte-for-byte. They are also
+//! asserted identical across all three hash backends (`PUZZLE_BACKEND`
+//! CI matrix) — verification is digest-identical by contract, so the
+//! backend must never leak into simulation results.
+
+use std::fmt::Write as _;
+
+use crate::scenario::{Defense, Scenario, Testbed, Timeline};
+
+/// The golden timeline: short enough for CI, long enough that the
+/// attack window shapes the trace.
+pub fn golden_timeline() -> Timeline {
+    Timeline {
+        total: 20.0,
+        attack_start: 4.0,
+        attack_stop: 16.0,
+    }
+}
+
+/// The fig03-style baseline: solving clients under the Nash defence,
+/// no attack.
+pub fn standard_scenario(seed: u64) -> Scenario {
+    let timeline = golden_timeline();
+    let mut s = Scenario::standard(seed, Defense::nash(), &timeline);
+    s.clients.truncate(5);
+    s
+}
+
+/// The fig07-style golden run: spoofed SYN flood against Nash puzzles.
+pub fn syn_flood_scenario(seed: u64) -> Scenario {
+    let timeline = golden_timeline();
+    let mut s = Scenario::standard(seed, Defense::nash(), &timeline);
+    s.clients.truncate(5);
+    s.attackers = Scenario::syn_flood_bots(3, 800.0, &timeline);
+    s
+}
+
+/// The fig08-style golden run: non-solving connection flood against
+/// Nash puzzles.
+pub fn conn_flood_scenario(seed: u64) -> Scenario {
+    let timeline = golden_timeline();
+    let mut s = Scenario::standard(seed, Defense::nash(), &timeline);
+    s.clients.truncate(5);
+    s.attackers = Scenario::conn_flood_bots(3, 300.0, false, &timeline);
+    s
+}
+
+/// Runs a scenario to the golden timeline's end and digests it.
+pub fn run_and_digest(scenario: Scenario) -> String {
+    let timeline = golden_timeline();
+    let mut tb = scenario.build();
+    tb.run_until_secs(timeline.total);
+    digest_testbed(&tb)
+}
+
+/// Reduces a finished testbed to a hex SHA-256 digest over everything
+/// the figures measure. Any behavioural drift — event ordering, RNG
+/// draw order, protocol logic, queue admission — changes this string.
+pub fn digest_testbed(tb: &Testbed) -> String {
+    let mut t = String::new();
+    for c in tb.clients() {
+        let m = c.metrics();
+        let _ = writeln!(
+            t,
+            "client {} started={} established={} completed={} failed={} solves={}",
+            c.addr(),
+            m.started,
+            m.established,
+            m.completed,
+            m.failed,
+            m.solves
+        );
+    }
+    let _ = writeln!(t, "goodput {:?}", tb.client_goodput().rates());
+    let _ = writeln!(t, "listener {:?}", tb.server().listener_stats());
+    let sm = tb.server_metrics();
+    let _ = writeln!(
+        t,
+        "server served={} read_timeouts={} established={}",
+        sm.requests_served,
+        sm.read_timeouts,
+        sm.established_log.len()
+    );
+    for a in tb.attackers() {
+        let m = a.metrics();
+        let _ = writeln!(
+            t,
+            "attacker {} sent={} believed={} solves={} resets={}",
+            a.addr(),
+            m.packets_sent.total(),
+            m.believed_established,
+            m.solves,
+            m.resets
+        );
+    }
+    for f in tb.bot_fleets() {
+        let _ = writeln!(t, "bot-fleet {} {:?}", f.addr_base(), f.stats());
+    }
+    for f in tb.client_fleets() {
+        let _ = writeln!(t, "client-fleet {} {:?}", f.addr_base(), f.stats());
+    }
+    let _ = writeln!(t, "sim {:?}", tb.sim.stats());
+    puzzle_crypto::hex::encode(puzzle_crypto::sha256(t.as_bytes()).as_ref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_hex_sha256() {
+        let timeline = golden_timeline();
+        assert!(timeline.attack_stop < timeline.total);
+        let mut s = standard_scenario(3);
+        s.clients.truncate(1);
+        let d = run_and_digest(s);
+        assert_eq!(d.len(), 64);
+        assert!(d.bytes().all(|b| b.is_ascii_hexdigit()));
+    }
+}

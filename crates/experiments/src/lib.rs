@@ -39,12 +39,21 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod golden;
 pub mod nash;
 pub mod scenario;
 pub mod solution_flood;
 pub mod table1;
 
-pub use scenario::{Scenario, Testbed, Timeline};
+pub use scenario::{Matrix, MatrixCell, Scenario, Testbed, Timeline};
+
+/// Returns the value following flag `name` in `args` — the shared
+/// `--flag VALUE` parsing of the `fig*`/`matrix_sweep` binaries.
+pub fn arg_after<'a>(args: &'a [String], name: &str) -> Option<&'a String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+}
 
 /// Prints (to stderr, so piped table output stays clean) which hash
 /// backend this process verifies puzzles through, making every committed

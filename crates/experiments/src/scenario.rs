@@ -5,11 +5,13 @@
 //! server hangs off router 0 on a 1 Gbps link; clients and attackers are
 //! spread round-robin across routers 1 and 2 on 100 Mbps links.
 
+use std::fmt;
 use std::net::Ipv4Addr;
 
 use hostsim::{
-    AttackKind, AttackerHost, AttackerParams, ClientHost, ClientParams, Host, ServerHost,
-    ServerMetrics, ServerParams, SolveBehavior, SolveStrategy,
+    AttackKind, AttackerHost, AttackerParams, BotFleet, BotFleetParams, ClientFleet,
+    ClientFleetParams, ClientHost, ClientParams, FleetAttack, Host, ServerHost, ServerMetrics,
+    ServerParams, SolveBehavior, SolveStrategy,
 };
 use netsim::{LinkSpec, NetBuilder, NodeId, Route, Router, SimDuration, SimTime, Simulation};
 use puzzle_core::{Difficulty, ServerSecret, SolveCostModel};
@@ -44,6 +46,18 @@ pub fn client_addr(i: usize) -> Ipv4Addr {
 /// Address of attacker `i`.
 pub fn attacker_addr(i: usize) -> Ipv4Addr {
     Ipv4Addr::new(10, 3, (i / 250) as u8, (1 + i % 250) as u8)
+}
+
+/// Base of bot-fleet `i`'s `/16` source block.
+pub fn bot_fleet_base(i: usize) -> Ipv4Addr {
+    assert!(i < 64, "bot fleet index {i} out of range");
+    Ipv4Addr::new(10, 64 + i as u8, 0, 0)
+}
+
+/// Base of client-fleet `i`'s `/16` source block.
+pub fn client_fleet_base(i: usize) -> Ipv4Addr {
+    assert!(i < 64, "client fleet index {i} out of range");
+    Ipv4Addr::new(10, 128 + i as u8, 0, 0)
 }
 
 /// Experiment timeline: total duration and the attack window.
@@ -176,6 +190,12 @@ pub struct Scenario {
     pub clients: Vec<ClientParams>,
     /// Attacker parameters, one per bot.
     pub attackers: Vec<AttackerParams>,
+    /// Aggregated botnets, one node each (fleet-scale attacks; see
+    /// `hostsim::fleet`). The `addr_base` should come from
+    /// [`bot_fleet_base`] so routing stays collision-free.
+    pub bot_fleets: Vec<BotFleetParams>,
+    /// Aggregated benign populations, one node each.
+    pub client_fleets: Vec<ClientFleetParams>,
 }
 
 impl Scenario {
@@ -261,6 +281,8 @@ impl Scenario {
             server: Self::paper_server(&defense),
             clients: Self::paper_clients(15, true),
             attackers: Vec::new(),
+            bot_fleets: Vec::new(),
+            client_fleets: Vec::new(),
         }
     }
 
@@ -307,6 +329,29 @@ impl Scenario {
             attacker_addrs.push(addr);
         }
 
+        // Fleets aggregate whole populations behind one node, so they
+        // attach on gigabit links and route by their /16 block.
+        // Per-router prefix routes: (block base, iface on that router).
+        let mut fleet_routes: Vec<Vec<(Ipv4Addr, netsim::IfaceId)>> = vec![vec![]; 3];
+        let mut bot_fleet_ids = Vec::new();
+        for (i, params) in self.bot_fleets.into_iter().enumerate() {
+            let base = params.addr_base;
+            let id = b.add_node(Host::BotFleet(BotFleet::new(params)));
+            let router = routers[1 + i % 2];
+            let (r_if, _) = b.connect(router, id, LinkSpec::gigabit());
+            fleet_routes[1 + i % 2].push((base, r_if));
+            bot_fleet_ids.push(id);
+        }
+        let mut client_fleet_ids = Vec::new();
+        for (i, params) in self.client_fleets.into_iter().enumerate() {
+            let base = params.addr_base;
+            let id = b.add_node(Host::ClientFleet(ClientFleet::new(params)));
+            let router = routers[1 + i % 2];
+            let (r_if, _) = b.connect(router, id, LinkSpec::gigabit());
+            fleet_routes[1 + i % 2].push((base, r_if));
+            client_fleet_ids.push(id);
+        }
+
         let mut sim = b.build();
 
         // Routing: r0 reaches the server directly and each host subnet via
@@ -321,6 +366,12 @@ impl Scenario {
             for &(addr, _) in &host_routes[2] {
                 r.add_route(Route::host(addr, r0_to_r2));
             }
+            for &(base, _) in &fleet_routes[1] {
+                r.add_route(Route::new(base, 16, r0_to_r1));
+            }
+            for &(base, _) in &fleet_routes[2] {
+                r.add_route(Route::new(base, 16, r0_to_r2));
+            }
         }
         {
             let r = sim.node_mut(r1).as_router_mut().expect("router");
@@ -330,6 +381,12 @@ impl Scenario {
             }
             for &(addr, _) in &host_routes[2] {
                 r.add_route(Route::host(addr, r1_to_r2));
+            }
+            for &(base, iface) in &fleet_routes[1] {
+                r.add_route(Route::new(base, 16, iface));
+            }
+            for &(base, _) in &fleet_routes[2] {
+                r.add_route(Route::new(base, 16, r1_to_r2));
             }
         }
         {
@@ -341,6 +398,12 @@ impl Scenario {
             for &(addr, _) in &host_routes[1] {
                 r.add_route(Route::host(addr, r2_to_r1));
             }
+            for &(base, iface) in &fleet_routes[2] {
+                r.add_route(Route::new(base, 16, iface));
+            }
+            for &(base, _) in &fleet_routes[1] {
+                r.add_route(Route::new(base, 16, r2_to_r1));
+            }
         }
 
         Testbed {
@@ -348,6 +411,8 @@ impl Scenario {
             server_id,
             client_ids,
             attacker_ids,
+            bot_fleet_ids,
+            client_fleet_ids,
             client_addrs,
             attacker_addrs,
         }
@@ -361,6 +426,8 @@ pub struct Testbed {
     server_id: NodeId,
     client_ids: Vec<NodeId>,
     attacker_ids: Vec<NodeId>,
+    bot_fleet_ids: Vec<NodeId>,
+    client_fleet_ids: Vec<NodeId>,
     client_addrs: Vec<Ipv4Addr>,
     attacker_addrs: Vec<Ipv4Addr>,
 }
@@ -395,6 +462,20 @@ impl Testbed {
             .map(|id| self.sim.node(*id).as_attacker().expect("attacker"))
     }
 
+    /// The aggregated bot fleets.
+    pub fn bot_fleets(&self) -> impl Iterator<Item = &BotFleet> {
+        self.bot_fleet_ids
+            .iter()
+            .map(|id| self.sim.node(*id).as_bot_fleet().expect("bot fleet"))
+    }
+
+    /// The aggregated client fleets.
+    pub fn client_fleets(&self) -> impl Iterator<Item = &ClientFleet> {
+        self.client_fleet_ids
+            .iter()
+            .map(|id| self.sim.node(*id).as_client_fleet().expect("client fleet"))
+    }
+
     /// All attacker addresses (for server-side attribution).
     pub fn attacker_addrs(&self) -> &[Ipv4Addr] {
         &self.attacker_addrs
@@ -416,6 +497,13 @@ impl Testbed {
                 }
             }
         }
+        for f in self.client_fleets() {
+            for (t, v) in f.goodput().points() {
+                if v != 0.0 {
+                    total.add(t, v);
+                }
+            }
+        }
         let now = self.sim.now().as_secs_f64();
         if now >= 1.0 {
             total.extend_to(now - 1.0);
@@ -423,7 +511,7 @@ impl Testbed {
         total
     }
 
-    /// Aggregate attacker packets-sent series.
+    /// Aggregate attacker packets-sent series (per-host bots and fleets).
     pub fn attacker_packet_rate(&self) -> IntervalSeries {
         let mut total = IntervalSeries::new(1.0);
         for a in self.attackers() {
@@ -433,7 +521,225 @@ impl Testbed {
                 }
             }
         }
+        for f in self.bot_fleets() {
+            for (t, v) in f.packet_series().points() {
+                if v != 0.0 {
+                    total.add(t, v);
+                }
+            }
+        }
         total
+    }
+}
+
+/// A scenario-matrix sweep: the cross product of
+/// {defense × attack kind × fleet size × seed}, each cell run on the
+/// standard testbed with one aggregated [`BotFleet`] carrying the
+/// attack. Every cell reduces to a [`MatrixCell`]: a goodput summary
+/// plus the golden-run digest of the whole testbed, so sweeps are both
+/// comparable (goodput) and reproducible (digest — same seed ⇒ same
+/// digest, across engines and hash backends).
+///
+/// This is the shared entry point for fig07/fig08-style experiments at
+/// fleet scale (see [`crate::fig07::run_fleet`] and
+/// [`crate::fig08::run_fleet`]) and for ad-hoc sweeps:
+///
+/// ```no_run
+/// use experiments::scenario::{Defense, Matrix, Timeline};
+/// use hostsim::FleetAttack;
+/// use netsim::SimDuration;
+///
+/// let cells = Matrix::new(Timeline::smoke())
+///     .defenses(vec![Defense::None, Defense::nash()])
+///     .attacks(vec![FleetAttack::ConnFlood {
+///         rate: 20_000.0,
+///         solve: None,
+///         conn_timeout: SimDuration::from_secs(1),
+///         ack_delay: SimDuration::from_millis(500),
+///     }])
+///     .fleet_sizes(vec![10_000, 100_000])
+///     .seeds(vec![1, 2])
+///     .run();
+/// for c in &cells {
+///     println!("{c}");
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Matrix {
+    /// Timeline every cell runs on.
+    pub timeline: Timeline,
+    /// Defence axis.
+    pub defenses: Vec<Defense>,
+    /// Attack axis (aggregate rates live inside the variants).
+    pub attacks: Vec<FleetAttack>,
+    /// Fleet-size axis (flows per cell, up to 10⁶).
+    pub fleet_sizes: Vec<usize>,
+    /// Seed axis.
+    pub seeds: Vec<u64>,
+    /// Benign per-host clients measuring goodput in every cell.
+    pub clients: usize,
+}
+
+/// One finished matrix cell.
+#[derive(Clone, Debug)]
+pub struct MatrixCell {
+    /// Defence label ([`Defense::label`]).
+    pub defense: String,
+    /// Attack label ([`FleetAttack::label`]).
+    pub attack: String,
+    /// Fleet size (flows).
+    pub flows: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Golden-run digest of the finished testbed
+    /// ([`crate::golden::digest_testbed`]).
+    pub digest: String,
+    /// Mean client goodput before the attack (B/s).
+    pub goodput_before: f64,
+    /// Mean client goodput during the attack window (B/s).
+    pub goodput_during: f64,
+    /// Attack packets the fleet actually sent.
+    pub attack_packets: u64,
+}
+
+impl MatrixCell {
+    /// Goodput retained during the attack, as a fraction of nominal.
+    pub fn retained(&self) -> f64 {
+        if self.goodput_before <= 0.0 {
+            return 0.0;
+        }
+        self.goodput_during / self.goodput_before
+    }
+}
+
+impl fmt::Display for MatrixCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} x {} x {} flows x seed {}: {:.0} -> {:.0} kB/s ({:.0}% retained) digest {}",
+            self.defense,
+            self.attack,
+            self.flows,
+            self.seed,
+            self.goodput_before / 1e3,
+            self.goodput_during / 1e3,
+            self.retained() * 100.0,
+            &self.digest[..16],
+        )
+    }
+}
+
+impl Matrix {
+    /// A matrix over `timeline` with empty axes and the paper's 15
+    /// goodput-measuring clients.
+    pub fn new(timeline: Timeline) -> Self {
+        Matrix {
+            timeline,
+            defenses: Vec::new(),
+            attacks: Vec::new(),
+            fleet_sizes: Vec::new(),
+            seeds: Vec::new(),
+            clients: 15,
+        }
+    }
+
+    /// Sets the defence axis.
+    pub fn defenses(mut self, defenses: Vec<Defense>) -> Self {
+        self.defenses = defenses;
+        self
+    }
+
+    /// Sets the attack axis.
+    pub fn attacks(mut self, attacks: Vec<FleetAttack>) -> Self {
+        self.attacks = attacks;
+        self
+    }
+
+    /// Sets the fleet-size axis.
+    pub fn fleet_sizes(mut self, fleet_sizes: Vec<usize>) -> Self {
+        self.fleet_sizes = fleet_sizes;
+        self
+    }
+
+    /// Sets the seed axis.
+    pub fn seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Sets how many benign clients measure goodput per cell.
+    pub fn clients(mut self, clients: usize) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Number of cells the sweep will run.
+    pub fn cell_count(&self) -> usize {
+        self.defenses.len() * self.attacks.len() * self.fleet_sizes.len() * self.seeds.len()
+    }
+
+    /// Builds the scenario for one cell (also useful to run a single
+    /// cell by hand, e.g. the CI 100k-flow smoke).
+    pub fn cell_scenario(
+        &self,
+        defense: &Defense,
+        attack: &FleetAttack,
+        flows: usize,
+        seed: u64,
+    ) -> Scenario {
+        let mut s = Scenario::standard(seed, defense.clone(), &self.timeline);
+        s.clients = Scenario::paper_clients(self.clients, true);
+        s.bot_fleets = vec![BotFleetParams {
+            addr_base: bot_fleet_base(0),
+            target_addr: SERVER_IP,
+            target_port: SERVER_PORT,
+            attack: attack.clone(),
+            flows,
+            hash_rate: 400_000.0,
+            start: SimTime::from_secs_f64(self.timeline.attack_start),
+            stop: SimTime::from_secs_f64(self.timeline.attack_stop),
+        }];
+        s
+    }
+
+    /// Runs one cell to completion and reduces it.
+    pub fn run_cell(
+        &self,
+        defense: &Defense,
+        attack: &FleetAttack,
+        flows: usize,
+        seed: u64,
+    ) -> MatrixCell {
+        let mut tb = self.cell_scenario(defense, attack, flows, seed).build();
+        tb.run_until_secs(self.timeline.total);
+        let goodput = tb.client_goodput();
+        let (b0, b1) = self.timeline.before_window();
+        let (a0, a1) = self.timeline.attack_window();
+        MatrixCell {
+            defense: defense.label(),
+            attack: attack.label().to_string(),
+            flows,
+            seed,
+            digest: crate::golden::digest_testbed(&tb),
+            goodput_before: goodput.mean_rate_between(b0, b1),
+            goodput_during: goodput.mean_rate_between(a0, a1),
+            attack_packets: tb.bot_fleets().map(|f| f.stats().packets_sent).sum(),
+        }
+    }
+
+    /// Runs the whole sweep, cells in axis order (defense-major).
+    pub fn run(&self) -> Vec<MatrixCell> {
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for defense in &self.defenses {
+            for attack in &self.attacks {
+                for &flows in &self.fleet_sizes {
+                    for &seed in &self.seeds {
+                        cells.push(self.run_cell(defense, attack, flows, seed));
+                    }
+                }
+            }
+        }
+        cells
     }
 }
 
@@ -487,6 +793,125 @@ mod tests {
         // Goodput ≈ 3 clients × 20 req/s × 10 kB.
         let rate = tb.client_goodput().mean_rate_between(3.0, 9.0);
         assert!((rate - 600_000.0).abs() < 150_000.0, "rate {rate}");
+    }
+
+    // Attack must start at ≥ 5 s or `before_window()` is empty.
+    fn tiny_timeline() -> Timeline {
+        Timeline {
+            total: 16.0,
+            attack_start: 5.0,
+            attack_stop: 13.0,
+        }
+    }
+
+    #[test]
+    fn matrix_cell_runs_fleet_conn_flood_end_to_end() {
+        let matrix = Matrix::new(tiny_timeline())
+            .defenses(vec![Defense::nash()])
+            .attacks(vec![FleetAttack::ConnFlood {
+                rate: 500.0,
+                solve: None,
+                conn_timeout: SimDuration::from_secs(1),
+                ack_delay: SimDuration::from_millis(500),
+            }])
+            .fleet_sizes(vec![500])
+            .seeds(vec![5])
+            .clients(3);
+        assert_eq!(matrix.cell_count(), 1);
+        let cells = matrix.run();
+        assert_eq!(cells.len(), 1);
+        let cell = &cells[0];
+        assert_eq!(cell.digest.len(), 64);
+        assert_eq!(cell.defense, "challenges-k2m17");
+        assert_eq!(cell.attack, "conn-flood");
+        // The fleet actually attacked…
+        assert!(cell.attack_packets > 1_000, "sent {}", cell.attack_packets);
+        // …and the clients still got service before the attack.
+        assert!(cell.goodput_before > 100_000.0, "{}", cell.goodput_before);
+        // Same cell, same seed ⇒ same digest (fleet runs are golden too).
+        let again = matrix.run_cell(
+            &matrix.defenses[0],
+            &matrix.attacks[0],
+            matrix.fleet_sizes[0],
+            matrix.seeds[0],
+        );
+        assert_eq!(again.digest, cell.digest);
+    }
+
+    #[test]
+    fn fleet_syn_flood_collapses_undefended_server() {
+        let timeline = tiny_timeline();
+        let matrix = Matrix::new(timeline)
+            .attacks(vec![FleetAttack::SynFlood {
+                rate: 5000.0,
+                spoof: true,
+            }])
+            .clients(3);
+        let nodef = matrix.run_cell(&Defense::None, &matrix.attacks[0], 1_000, 7);
+        let nash = matrix.run_cell(&Defense::nash(), &matrix.attacks[0], 1_000, 7);
+        assert!(nodef.retained() < 0.5, "nodefense {:.2}", nodef.retained());
+        assert!(
+            nash.retained() > nodef.retained(),
+            "nash {:.2} vs nodefense {:.2}",
+            nash.retained(),
+            nodef.retained()
+        );
+    }
+
+    #[test]
+    fn fleet_replay_flood_captures_and_replays() {
+        let timeline = tiny_timeline();
+        let matrix = Matrix::new(timeline)
+            .attacks(vec![FleetAttack::ReplayFlood {
+                rate: 2000.0,
+                solve: oracle_strategy(),
+            }])
+            .clients(3);
+        let mut s = matrix.cell_scenario(&Defense::nash(), &matrix.attacks[0], 300, 3);
+        s.server.backlog = 0; // force challenges, so captures have solutions to steal
+        let mut tb = s.build();
+        tb.run_until_secs(timeline.total);
+        let f = tb.bot_fleets().next().expect("fleet");
+        let s = f.stats();
+        // Every flow starts a capture handshake…
+        assert!(s.attempts >= 250, "capture attempts {}", s.attempts);
+        // …the challenged ones mint real solutions…
+        assert!(s.solves > 0, "captures must solve");
+        // …and the pacer then replays them in volume.
+        assert!(
+            s.packets_sent > s.attempts * 2,
+            "replays must dominate: {} packets vs {} attempts",
+            s.packets_sent,
+            s.attempts
+        );
+    }
+
+    #[test]
+    fn client_fleet_drives_goodput() {
+        let timeline = tiny_timeline();
+        let mut s = Scenario::standard(9, Defense::nash(), &timeline);
+        s.clients.clear();
+        s.client_fleets = vec![ClientFleetParams::population(
+            client_fleet_base(0),
+            SERVER_IP,
+            3,
+            SolveBehavior::Solve(oracle_strategy()),
+        )];
+        let mut tb = s.build();
+        tb.run_until_secs(timeline.total);
+        let f = tb.client_fleets().next().expect("fleet");
+        let stats = f.stats();
+        assert!(stats.started > 100, "started {}", stats.started);
+        assert!(
+            stats.completed as f64 > stats.started as f64 * 0.8,
+            "completed {} of {}",
+            stats.completed,
+            stats.started
+        );
+        // Goodput ≈ 3 clients × 20 req/s × 10 kB. (No attack here, so the
+        // opportunistic controller never challenges — solves stay 0.)
+        let rate = tb.client_goodput().mean_rate_between(3.0, 12.0);
+        assert!((rate - 600_000.0).abs() < 200_000.0, "rate {rate}");
     }
 
     #[test]

@@ -1,0 +1,1091 @@
+//! Aggregated fleet actors: N flows' worth of traffic from one node.
+//!
+//! The per-host actors ([`crate::AttackerHost`], [`crate::ClientHost`])
+//! model one machine each — faithful, but a simulation node, link, and
+//! routing entry per bot caps scenarios at a few hundred endpoints. The
+//! fleet actors aggregate an entire botnet (or client population) into
+//! a single node: per-flow protocol state lives in flat parallel arrays
+//! indexed by flow id, packets map back to their flow arithmetically
+//! from `(dst addr, dst port)` (no hash map on the fast path), and one
+//! pacing timer drives the aggregate send rate. This is what takes
+//! scenarios from hundreds of endpoints to 10⁵–10⁶ flows.
+//!
+//! Addressing: a fleet owns a `/16` block. Flow `i` maps to address
+//! `base + 1 + i / PORTS_PER_ADDR` and port `PORT_BASE + i %
+//! PORTS_PER_ADDR`, so one prefix route steers the whole fleet and a
+//! million flows fit in ~21 addresses.
+//!
+//! Fidelity: a fleet flow speaks exactly the same handshake dialect as
+//! the per-host actors (same SYN options, same plain/solution ACKs, the
+//! same solve-latency model of `hashes / hash_rate` per single-threaded
+//! flow), so servers cannot tell a fleet from the equivalent host
+//! population — only the simulator's cost per endpoint changes.
+
+use std::net::Ipv4Addr;
+
+use crate::solve::SolveStrategy;
+use netsim::{Context, IfaceId, Packet, SimDuration, SimTime, TimerId};
+use puzzle_core::ConnectionTuple;
+use simmetrics::IntervalSeries;
+use tcpstack::{ChallengeOption, SegmentBuilder, SolutionOption, TcpFlags, TcpOption, TcpSegment};
+
+/// First port a fleet flow uses on its address.
+pub const PORT_BASE: u16 = 1024;
+/// Flows carried per fleet address (ports `PORT_BASE ..`).
+pub const PORTS_PER_ADDR: usize = 50_000;
+
+const K_START: u64 = 1;
+const K_SEND: u64 = 2;
+const K_CONNTO: u64 = 3;
+const K_DELAYACK: u64 = 4;
+const K_SOLVE: u64 = 5;
+const K_RETX: u64 = 6;
+const K_CAPTURE: u64 = 7;
+
+/// Timer tag: kind byte, 24-bit per-flow epoch, 32-bit flow index.
+const fn tag(kind: u64, epoch: u32, idx: u32) -> u64 {
+    (kind << 56) | ((epoch as u64 & 0xff_ffff) << 32) | idx as u64
+}
+
+const fn tag_kind(t: u64) -> u64 {
+    t >> 56
+}
+
+const fn tag_epoch(t: u64) -> u32 {
+    ((t >> 32) & 0xff_ffff) as u32
+}
+
+const fn tag_idx(t: u64) -> u32 {
+    t as u32
+}
+
+/// Millisecond timestamp clock (mirrors the stack's client side).
+fn ts_ms(now: SimTime) -> u32 {
+    (now.as_nanos() / 1_000_000) as u32
+}
+
+/// Maps flow `i` within `base`'s block to its source address.
+pub fn flow_addr(base: Ipv4Addr, i: usize) -> Ipv4Addr {
+    Ipv4Addr::from(u32::from(base) + 1 + (i / PORTS_PER_ADDR) as u32)
+}
+
+/// Maps flow `i` to its source port.
+pub fn flow_port(i: usize) -> u16 {
+    PORT_BASE + (i % PORTS_PER_ADDR) as u16
+}
+
+/// Inverse of [`flow_addr`]/[`flow_port`]: the flow a packet addressed
+/// to `(addr, port)` belongs to, if it is one of `flows`.
+fn flow_index(base: Ipv4Addr, flows: usize, addr: Ipv4Addr, port: u16) -> Option<usize> {
+    let offset = u32::from(addr).checked_sub(u32::from(base) + 1)? as usize;
+    let port = (port as usize).checked_sub(PORT_BASE as usize)?;
+    if port >= PORTS_PER_ADDR {
+        return None;
+    }
+    let idx = offset * PORTS_PER_ADDR + port;
+    (idx < flows).then_some(idx)
+}
+
+/// Per-flow lifecycle state (one byte per flow).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(u8)]
+enum FlowState {
+    /// Unused slot, available from the free list.
+    #[default]
+    Idle,
+    /// SYN sent, awaiting SYN-ACK.
+    SynSent,
+    /// Solving a challenge (solve-completion timer armed).
+    Solving,
+    /// ACK held back by the tool's lag (delayed-ACK timer armed).
+    AckPending,
+    /// Believes itself established; holds the connection open.
+    Holding,
+}
+
+/// Flat per-flow state: parallel vectors indexed by flow id. A slot is
+/// 4 + 4 + 4 + 1 bytes of fixed state plus two side vectors (pending
+/// proofs, deferred segment) that are empty except mid-handshake.
+#[derive(Debug, Default)]
+struct FlowTable {
+    state: Vec<FlowState>,
+    /// Generation counter: bumped on every release so stale timers
+    /// (reaped flow, reused slot) can be recognized and dropped.
+    epoch: Vec<u32>,
+    isn: Vec<u32>,
+    server_isn: Vec<u32>,
+    issued_at: Vec<u32>,
+    /// Proofs awaiting the solve-completion timer.
+    pending_proofs: Vec<Vec<Vec<u8>>>,
+    /// ACK held for the delayed-ACK timer.
+    deferred: Vec<Option<TcpSegment>>,
+    /// Idle slots (stack).
+    free: Vec<u32>,
+}
+
+impl FlowTable {
+    fn new(flows: usize) -> Self {
+        FlowTable {
+            state: vec![FlowState::Idle; flows],
+            epoch: vec![0; flows],
+            isn: vec![0; flows],
+            server_isn: vec![0; flows],
+            issued_at: vec![0; flows],
+            pending_proofs: vec![Vec::new(); flows],
+            deferred: vec![None; flows],
+            free: (0..flows as u32).rev().collect(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    fn active(&self) -> usize {
+        self.state.len() - self.free.len()
+    }
+
+    /// Claims an idle flow, if any.
+    fn claim(&mut self, isn: u32) -> Option<usize> {
+        let idx = self.free.pop()? as usize;
+        self.state[idx] = FlowState::SynSent;
+        self.isn[idx] = isn;
+        idx.into()
+    }
+
+    /// Releases a flow back to the free list, invalidating its timers.
+    fn release(&mut self, idx: usize) {
+        debug_assert_ne!(self.state[idx], FlowState::Idle);
+        self.state[idx] = FlowState::Idle;
+        self.epoch[idx] = self.epoch[idx].wrapping_add(1);
+        self.pending_proofs[idx].clear();
+        self.deferred[idx] = None;
+        self.free.push(idx as u32);
+    }
+
+    /// Whether timer tag `t` still refers to the flow's current tenancy.
+    /// The tag carries only the low 24 epoch bits, so compare masked.
+    fn tag_live(&self, t: u64) -> Option<usize> {
+        let idx = tag_idx(t) as usize;
+        (idx < self.state.len()
+            && self.state[idx] != FlowState::Idle
+            && self.epoch[idx] & 0xff_ffff == tag_epoch(t))
+        .then_some(idx)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bot fleet
+// ---------------------------------------------------------------------
+
+/// The attack an aggregated fleet drives. Rates are *aggregate* across
+/// the whole fleet (packets or attempts per second), unlike the
+/// per-bot rates of [`crate::AttackKind`].
+#[derive(Clone, Debug)]
+pub enum FleetAttack {
+    /// Half-open SYN flood; optionally from randomized spoofed sources.
+    SynFlood {
+        /// Aggregate SYNs per second.
+        rate: f64,
+        /// Spoof random 198.18/15 sources when true.
+        spoof: bool,
+    },
+    /// Handshake-completing connection flood. Concurrency is bounded by
+    /// the fleet's flow count (each flow is one socket).
+    ConnFlood {
+        /// Aggregate connection attempts per second.
+        rate: f64,
+        /// `Some` for a solving fleet ("SA"), `None` for stock bots.
+        solve: Option<SolveStrategy>,
+        /// Per-attempt give-up timeout.
+        conn_timeout: SimDuration,
+        /// Lag between SYN-ACK and the completing ACK (see
+        /// [`crate::AttackKind::ConnFlood`]).
+        ack_delay: SimDuration,
+    },
+    /// Every flow mints one legitimate solution, then the fleet replays
+    /// the captured ACKs round-robin.
+    ReplayFlood {
+        /// Aggregate replays per second.
+        rate: f64,
+        /// Strategy for the per-flow legitimate solves.
+        solve: SolveStrategy,
+    },
+    /// Forged ACKs with random solution bytes from rotating sources.
+    SolutionFlood {
+        /// Aggregate forged ACKs per second.
+        rate: f64,
+        /// `k` to fake.
+        k: u8,
+        /// Bytes per fake solution (`l/8`).
+        sol_len: usize,
+    },
+}
+
+impl FleetAttack {
+    fn rate(&self) -> f64 {
+        match self {
+            FleetAttack::SynFlood { rate, .. }
+            | FleetAttack::ConnFlood { rate, .. }
+            | FleetAttack::ReplayFlood { rate, .. }
+            | FleetAttack::SolutionFlood { rate, .. } => *rate,
+        }
+    }
+
+    /// Short label for scenario-matrix cells.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FleetAttack::SynFlood { .. } => "syn-flood",
+            FleetAttack::ConnFlood { solve: None, .. } => "conn-flood",
+            FleetAttack::ConnFlood { solve: Some(_), .. } => "conn-flood-solving",
+            FleetAttack::ReplayFlood { .. } => "replay-flood",
+            FleetAttack::SolutionFlood { .. } => "solution-flood",
+        }
+    }
+}
+
+/// Bot-fleet configuration.
+#[derive(Clone, Debug)]
+pub struct BotFleetParams {
+    /// Base of the fleet's `/16` source block (host bits zero).
+    pub addr_base: Ipv4Addr,
+    /// Victim address.
+    pub target_addr: Ipv4Addr,
+    /// Victim port.
+    pub target_port: u16,
+    /// The attack, with aggregate rates.
+    pub attack: FleetAttack,
+    /// Number of flows (sockets) the fleet drives.
+    pub flows: usize,
+    /// Per-flow SHA-256 throughput (each flow solves single-threaded).
+    pub hash_rate: f64,
+    /// Attack start.
+    pub start: SimTime,
+    /// Attack stop.
+    pub stop: SimTime,
+}
+
+/// Counters a bot fleet keeps about itself. `Debug` output feeds the
+/// golden-run digests.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BotFleetStats {
+    /// Attack packets sent (SYNs, ACKs, replays, forgeries).
+    pub packets_sent: u64,
+    /// Connection attempts started.
+    pub attempts: u64,
+    /// Attempts suppressed because every flow was busy.
+    pub window_full: u64,
+    /// Handshakes the fleet believes completed.
+    pub believed_established: u64,
+    /// Challenges solved.
+    pub solves: u64,
+    /// RSTs received.
+    pub resets: u64,
+    /// Attempts reaped by the connection timeout.
+    pub timeouts: u64,
+}
+
+/// An aggregated botnet on one simulation node.
+#[derive(Debug)]
+pub struct BotFleet {
+    params: BotFleetParams,
+    flows: FlowTable,
+    stats: BotFleetStats,
+    /// Attack packets per 1 s bin (the fleet's measured rate).
+    packets_series: IntervalSeries,
+    /// Captured solution ACKs (replay fleets) with the source address
+    /// they verify under, replayed round-robin.
+    captured: Vec<(Ipv4Addr, TcpSegment)>,
+    replay_cursor: usize,
+    /// Flows per pacer firing (≥ 1; batches keep the pacer at ≤ ~1 kHz
+    /// so timer overhead stays flat as the aggregate rate grows).
+    batch: u64,
+}
+
+impl BotFleet {
+    /// Builds a fleet from its parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows` is zero or overflows the `/16` address block.
+    pub fn new(params: BotFleetParams) -> Self {
+        assert!(params.flows > 0, "fleet needs at least one flow");
+        assert!(
+            params.flows <= PORTS_PER_ADDR * 255,
+            "fleet of {} flows overflows its /16 block",
+            params.flows
+        );
+        let rate = params.attack.rate();
+        BotFleet {
+            flows: FlowTable::new(params.flows),
+            stats: BotFleetStats::default(),
+            packets_series: IntervalSeries::new(1.0),
+            captured: Vec::new(),
+            replay_cursor: 0,
+            batch: (rate / 1000.0).ceil().max(1.0) as u64,
+            params,
+        }
+    }
+
+    /// The fleet's address-block base.
+    pub fn addr_base(&self) -> Ipv4Addr {
+        self.params.addr_base
+    }
+
+    /// Flow count.
+    pub fn flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Flows currently mid-attempt or holding a connection.
+    pub fn active_flows(&self) -> usize {
+        self.flows.active()
+    }
+
+    /// Collected counters.
+    pub fn stats(&self) -> &BotFleetStats {
+        &self.stats
+    }
+
+    /// Attack packets per second, binned.
+    pub fn packet_series(&self) -> &IntervalSeries {
+        &self.packets_series
+    }
+
+    fn send(&mut self, ctx: &mut Context<'_, TcpSegment>, src: Ipv4Addr, seg: TcpSegment) {
+        self.stats.packets_sent += 1;
+        self.packets_series.incr(ctx.now().as_secs_f64());
+        ctx.send(IfaceId(0), Packet::new(src, self.params.target_addr, seg));
+    }
+
+    fn build_syn(&self, idx: usize, now: SimTime) -> TcpSegment {
+        SegmentBuilder::new(flow_port(idx), self.params.target_port)
+            .seq(self.flows.isn[idx])
+            .flags(TcpFlags::SYN)
+            .mss(1460)
+            .window_scale(7)
+            .timestamps(ts_ms(now), 0)
+            .build()
+    }
+
+    fn build_plain_ack(&self, idx: usize) -> TcpSegment {
+        SegmentBuilder::new(flow_port(idx), self.params.target_port)
+            .seq(self.flows.isn[idx].wrapping_add(1))
+            .ack_num(self.flows.server_isn[idx].wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .build()
+    }
+
+    fn build_solution_ack(&self, idx: usize, now: SimTime, proofs: &[Vec<u8>]) -> TcpSegment {
+        let sol = SolutionOption::build(1460, 7, proofs, None);
+        SegmentBuilder::new(flow_port(idx), self.params.target_port)
+            .seq(self.flows.isn[idx].wrapping_add(1))
+            .ack_num(self.flows.server_isn[idx].wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .timestamps(ts_ms(now), self.flows.issued_at[idx])
+            .option(TcpOption::Solution(sol))
+            .build()
+    }
+
+    /// Starts one connection attempt on a free flow.
+    fn start_attempt(
+        &mut self,
+        ctx: &mut Context<'_, TcpSegment>,
+        conn_timeout: SimDuration,
+    ) -> Option<usize> {
+        let isn = ctx.rng().next_u32();
+        let Some(idx) = self.flows.claim(isn) else {
+            self.stats.window_full += 1;
+            return None;
+        };
+        self.stats.attempts += 1;
+        let syn = self.build_syn(idx, ctx.now());
+        let src = flow_addr(self.params.addr_base, idx);
+        self.send(ctx, src, syn);
+        ctx.set_timer(
+            conn_timeout,
+            tag(K_CONNTO, self.flows.epoch[idx], idx as u32),
+        );
+        Some(idx)
+    }
+
+    /// One aggregate-pacer firing: `batch` sends.
+    fn fire(&mut self, ctx: &mut Context<'_, TcpSegment>) {
+        /// The per-send parameters of each attack, all `Copy` — lifted
+        /// out of [`FleetAttack`] so the hot loop never clones the
+        /// strategy (which carries the oracle secret).
+        #[derive(Clone, Copy)]
+        enum Plan {
+            Syn { spoof: bool },
+            Conn { conn_timeout: SimDuration },
+            Replay,
+            Solution { k: u8, sol_len: usize },
+        }
+        let plan = match &self.params.attack {
+            FleetAttack::SynFlood { spoof, .. } => Plan::Syn { spoof: *spoof },
+            FleetAttack::ConnFlood { conn_timeout, .. } => Plan::Conn {
+                conn_timeout: *conn_timeout,
+            },
+            FleetAttack::ReplayFlood { .. } => Plan::Replay,
+            FleetAttack::SolutionFlood { k, sol_len, .. } => Plan::Solution {
+                k: *k,
+                sol_len: *sol_len,
+            },
+        };
+        for _ in 0..self.batch {
+            match plan {
+                Plan::Syn { spoof } => {
+                    let src = if spoof {
+                        Ipv4Addr::new(
+                            198,
+                            18 + (ctx.rng().below(2) as u8),
+                            ctx.rng().below(256) as u8,
+                            ctx.rng().below(256) as u8,
+                        )
+                    } else {
+                        flow_addr(
+                            self.params.addr_base,
+                            ctx.rng().below(self.flows.len() as u64) as usize,
+                        )
+                    };
+                    let syn = SegmentBuilder::new(
+                        ctx.rng().range_u64(1024, 65_535) as u16,
+                        self.params.target_port,
+                    )
+                    .seq(ctx.rng().next_u32())
+                    .flags(TcpFlags::SYN)
+                    .mss(1460)
+                    .build();
+                    self.send(ctx, src, syn);
+                }
+                Plan::Conn { conn_timeout } => {
+                    self.start_attempt(ctx, conn_timeout);
+                }
+                Plan::Replay => {
+                    if !self.captured.is_empty() {
+                        self.replay_cursor = (self.replay_cursor + 1) % self.captured.len();
+                        let (src, seg) = self.captured[self.replay_cursor].clone();
+                        self.send(ctx, src, seg);
+                    }
+                }
+                Plan::Solution { k, sol_len } => {
+                    let proofs: Vec<Vec<u8>> = (0..k)
+                        .map(|_| {
+                            let mut p = vec![0u8; sol_len];
+                            ctx.rng().fill_bytes(&mut p);
+                            p
+                        })
+                        .collect();
+                    let sol = SolutionOption::build(1460, 7, &proofs, None);
+                    let src = flow_addr(
+                        self.params.addr_base,
+                        ctx.rng().below(self.flows.len() as u64) as usize,
+                    );
+                    let ack = SegmentBuilder::new(
+                        ctx.rng().range_u64(1024, 65_535) as u16,
+                        self.params.target_port,
+                    )
+                    .seq(ctx.rng().next_u32())
+                    .ack_num(ctx.rng().next_u32())
+                    .flags(TcpFlags::ACK)
+                    .timestamps(1, tcpstack::puzzle_clock(ctx.now()))
+                    .option(TcpOption::Solution(sol))
+                    .build();
+                    self.send(ctx, src, ack);
+                }
+            }
+        }
+    }
+
+    /// Interval to the next pacer firing: mean `batch/rate`, ±50%
+    /// jitter (same desynchronization argument as the per-host bots).
+    fn next_interval(&self, ctx: &mut Context<'_, TcpSegment>) -> SimDuration {
+        let mean = self.batch as f64 / self.params.attack.rate();
+        SimDuration::from_secs_f64(mean * (0.5 + ctx.rng().next_f64()))
+    }
+
+    fn on_synack(&mut self, ctx: &mut Context<'_, TcpSegment>, idx: usize, seg: &TcpSegment) {
+        if self.flows.state[idx] != FlowState::SynSent
+            || seg.ack != self.flows.isn[idx].wrapping_add(1)
+        {
+            return;
+        }
+        self.flows.server_isn[idx] = seg.seq;
+        let challenge = seg.challenge().cloned();
+        // Decide before mutating: clone only the solve strategy, and
+        // only on the (expensive anyway) solving path.
+        enum Action {
+            Solve(SolveStrategy),
+            PlainAck { delay: SimDuration },
+            Ignore,
+        }
+        let action = match (&self.params.attack, &challenge) {
+            (FleetAttack::ConnFlood { solve: Some(s), .. }, Some(_))
+            | (FleetAttack::ReplayFlood { solve: s, .. }, Some(_)) => Action::Solve(s.clone()),
+            // Stock flooder (or no challenge demanded): complete the
+            // handshake with a plain ACK after the tool's lag.
+            (FleetAttack::ConnFlood { ack_delay, .. }, _) => Action::PlainAck { delay: *ack_delay },
+            // A replay capture got no challenge: just hold the connection.
+            (FleetAttack::ReplayFlood { .. }, None) => Action::PlainAck {
+                delay: SimDuration::ZERO,
+            },
+            (FleetAttack::SynFlood { .. } | FleetAttack::SolutionFlood { .. }, _) => Action::Ignore,
+        };
+        match action {
+            Action::Solve(strategy) => {
+                let copt = challenge.expect("solve action implies challenge");
+                self.begin_solve(ctx, idx, &copt, seg, &strategy);
+            }
+            Action::PlainAck { delay } => {
+                let ack = self.build_plain_ack(idx);
+                self.stats.believed_established += 1;
+                if delay > SimDuration::ZERO {
+                    self.flows.deferred[idx] = Some(ack);
+                    self.flows.state[idx] = FlowState::AckPending;
+                    ctx.set_timer(delay, tag(K_DELAYACK, self.flows.epoch[idx], idx as u32));
+                } else {
+                    self.flows.state[idx] = FlowState::Holding;
+                    let src = flow_addr(self.params.addr_base, idx);
+                    self.send(ctx, src, ack);
+                }
+            }
+            Action::Ignore => {}
+        }
+    }
+
+    fn begin_solve(
+        &mut self,
+        ctx: &mut Context<'_, TcpSegment>,
+        idx: usize,
+        copt: &ChallengeOption,
+        seg: &TcpSegment,
+        solve: &SolveStrategy,
+    ) {
+        let issued_at = seg
+            .timestamps()
+            .map(|(tsval, _)| tsval)
+            .or(copt.timestamp)
+            .unwrap_or(0);
+        self.flows.issued_at[idx] = issued_at;
+        let tuple = ConnectionTuple::new(
+            flow_addr(self.params.addr_base, idx),
+            flow_port(idx),
+            self.params.target_addr,
+            self.params.target_port,
+            0,
+        );
+        let solved = solve.solve(&tuple, copt, issued_at, ctx.rng());
+        // Each flow solves single-threaded at the fleet's per-flow hash
+        // rate; the latency is the whole cost model.
+        let latency = SimDuration::from_secs_f64(solved.hashes as f64 / self.params.hash_rate);
+        self.flows.pending_proofs[idx] = solved.proofs;
+        self.flows.state[idx] = FlowState::Solving;
+        self.stats.solves += 1;
+        ctx.set_timer(latency, tag(K_SOLVE, self.flows.epoch[idx], idx as u32));
+    }
+}
+
+impl netsim::Node<TcpSegment> for BotFleet {
+    fn on_start(&mut self, ctx: &mut Context<'_, TcpSegment>) {
+        ctx.set_timer(self.params.start.since(SimTime::ZERO), tag(K_START, 0, 0));
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut Context<'_, TcpSegment>,
+        _iface: IfaceId,
+        pkt: Packet<TcpSegment>,
+    ) {
+        let Some(idx) = flow_index(
+            self.params.addr_base,
+            self.flows.len(),
+            pkt.dst,
+            pkt.payload.dst_port,
+        ) else {
+            return;
+        };
+        if self.flows.state[idx] == FlowState::Idle {
+            return;
+        }
+        let seg = &pkt.payload;
+        if seg.flags.contains(TcpFlags::RST) {
+            self.stats.resets += 1;
+            self.flows.release(idx);
+            return;
+        }
+        if seg.flags.contains(TcpFlags::SYN | TcpFlags::ACK) {
+            // `pkt` is owned by this frame, so the segment can be
+            // borrowed straight through the handshake path.
+            self.on_synack(ctx, idx, &pkt.payload);
+        }
+        // Data/FIN on held connections is ignored: bots never read.
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, TcpSegment>, _id: TimerId, t: u64) {
+        let now = ctx.now();
+        match tag_kind(t) {
+            K_START => {
+                if let FleetAttack::ReplayFlood { .. } = self.params.attack {
+                    // Stagger the capture handshakes across one second
+                    // before the replay pacer starts.
+                    for i in 0..self.flows.len() {
+                        let jitter = SimDuration::from_secs_f64(ctx.rng().next_f64().min(0.999));
+                        ctx.set_timer(jitter, tag(K_CAPTURE, 0, i as u32));
+                    }
+                    ctx.set_timer(SimDuration::from_secs(1), tag(K_SEND, 0, 0));
+                } else {
+                    let first = self.next_interval(ctx);
+                    ctx.set_timer(first, tag(K_SEND, 0, 0));
+                }
+            }
+            K_SEND => {
+                if now >= self.params.stop {
+                    return;
+                }
+                self.fire(ctx);
+                let next = self.next_interval(ctx);
+                ctx.set_timer(next, tag(K_SEND, 0, 0));
+            }
+            K_CAPTURE => {
+                // One capture handshake per timer; the slot choice is
+                // arbitrary, so take whichever the free list hands out.
+                let isn = ctx.rng().next_u32();
+                if let Some(idx) = self.flows.claim(isn) {
+                    self.stats.attempts += 1;
+                    let syn = self.build_syn(idx, now);
+                    let src = flow_addr(self.params.addr_base, idx);
+                    self.send(ctx, src, syn);
+                }
+            }
+            K_CONNTO => {
+                if let Some(idx) = self.flows.tag_live(t) {
+                    self.stats.timeouts += 1;
+                    self.flows.release(idx);
+                }
+            }
+            K_DELAYACK => {
+                if let Some(idx) = self.flows.tag_live(t) {
+                    if let Some(ack) = self.flows.deferred[idx].take() {
+                        self.flows.state[idx] = FlowState::Holding;
+                        let src = flow_addr(self.params.addr_base, idx);
+                        self.send(ctx, src, ack);
+                    }
+                }
+            }
+            K_SOLVE => {
+                if let Some(idx) = self.flows.tag_live(t) {
+                    if self.flows.state[idx] == FlowState::Solving {
+                        let proofs = std::mem::take(&mut self.flows.pending_proofs[idx]);
+                        let ack = self.build_solution_ack(idx, now, &proofs);
+                        if matches!(self.params.attack, FleetAttack::ReplayFlood { .. }) {
+                            self.captured
+                                .push((flow_addr(self.params.addr_base, idx), ack.clone()));
+                        }
+                        self.flows.state[idx] = FlowState::Holding;
+                        self.stats.believed_established += 1;
+                        let src = flow_addr(self.params.addr_base, idx);
+                        self.send(ctx, src, ack);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client fleet
+// ---------------------------------------------------------------------
+
+/// Client-fleet configuration: a benign population on one node.
+#[derive(Clone, Debug)]
+pub struct ClientFleetParams {
+    /// Base of the fleet's `/16` source block.
+    pub addr_base: Ipv4Addr,
+    /// Server address.
+    pub server_addr: Ipv4Addr,
+    /// Server port.
+    pub server_port: u16,
+    /// Concurrent request slots (the population's socket budget).
+    pub flows: usize,
+    /// Aggregate request rate (requests/second, Poisson).
+    pub request_rate: f64,
+    /// Bytes requested per connection.
+    pub request_size: usize,
+    /// Whether the population solves challenges.
+    pub behavior: crate::client::SolveBehavior,
+    /// Per-flow SHA-256 throughput.
+    pub hash_rate: f64,
+    /// Give-up deadline per request.
+    pub request_timeout: SimDuration,
+}
+
+impl ClientFleetParams {
+    /// A population equivalent to `n` paper clients (20 req/s each).
+    pub fn population(
+        addr_base: Ipv4Addr,
+        server_addr: Ipv4Addr,
+        n: usize,
+        behavior: crate::client::SolveBehavior,
+    ) -> Self {
+        ClientFleetParams {
+            addr_base,
+            server_addr,
+            server_port: 80,
+            flows: (n * 64).max(256),
+            request_rate: n as f64 * 20.0,
+            request_size: 10_000,
+            behavior,
+            hash_rate: crate::profiles::CLIENT_CPUS[0].hash_rate,
+            request_timeout: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// Counters a client fleet keeps. `Debug` output feeds the golden-run
+/// digests.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClientFleetStats {
+    /// Requests started.
+    pub started: u64,
+    /// Requests suppressed because every flow was busy.
+    pub window_full: u64,
+    /// Connections (locally) established.
+    pub established: u64,
+    /// Requests whose full response arrived.
+    pub completed: u64,
+    /// Requests that failed (reset, reaped, or SYN retries exhausted).
+    pub failed: u64,
+    /// Challenges solved.
+    pub solves: u64,
+}
+
+/// An aggregated benign-client population on one simulation node.
+#[derive(Debug)]
+pub struct ClientFleet {
+    params: ClientFleetParams,
+    flows: FlowTable,
+    stats: ClientFleetStats,
+    /// Application bytes received per 1 s bin (the goodput series).
+    bytes_rx: IntervalSeries,
+    /// Requests completed per 1 s bin.
+    completions: IntervalSeries,
+    /// SYN retransmissions left, per flow.
+    retries: Vec<u8>,
+}
+
+const FLEET_SYN_RETRIES: u8 = 3;
+const FLEET_SYN_TIMEOUT: SimDuration = SimDuration::from_secs(1);
+
+impl ClientFleet {
+    /// Builds a client fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows` is zero or overflows the `/16` block.
+    pub fn new(params: ClientFleetParams) -> Self {
+        assert!(params.flows > 0, "fleet needs at least one flow");
+        assert!(
+            params.flows <= PORTS_PER_ADDR * 255,
+            "fleet of {} flows overflows its /16 block",
+            params.flows
+        );
+        ClientFleet {
+            flows: FlowTable::new(params.flows),
+            stats: ClientFleetStats::default(),
+            bytes_rx: IntervalSeries::new(1.0),
+            completions: IntervalSeries::new(1.0),
+            retries: vec![0; params.flows],
+            params,
+        }
+    }
+
+    /// The fleet's address-block base.
+    pub fn addr_base(&self) -> Ipv4Addr {
+        self.params.addr_base
+    }
+
+    /// Collected counters.
+    pub fn stats(&self) -> &ClientFleetStats {
+        &self.stats
+    }
+
+    /// Application bytes received per second, binned (goodput).
+    pub fn goodput(&self) -> &IntervalSeries {
+        &self.bytes_rx
+    }
+
+    /// Requests completed per second, binned.
+    pub fn completion_series(&self) -> &IntervalSeries {
+        &self.completions
+    }
+
+    fn send(&self, ctx: &mut Context<'_, TcpSegment>, idx: usize, seg: TcpSegment) {
+        let src = flow_addr(self.params.addr_base, idx);
+        ctx.send(IfaceId(0), Packet::new(src, self.params.server_addr, seg));
+    }
+
+    fn build_syn(&self, idx: usize, now: SimTime) -> TcpSegment {
+        SegmentBuilder::new(flow_port(idx), self.params.server_port)
+            .seq(self.flows.isn[idx])
+            .flags(TcpFlags::SYN)
+            .mss(1460)
+            .window_scale(7)
+            .timestamps(ts_ms(now), 0)
+            .build()
+    }
+
+    fn start_request(&mut self, ctx: &mut Context<'_, TcpSegment>) {
+        let isn = ctx.rng().next_u32();
+        let Some(idx) = self.flows.claim(isn) else {
+            self.stats.window_full += 1;
+            return;
+        };
+        self.stats.started += 1;
+        self.retries[idx] = 0;
+        let now = ctx.now();
+        let syn = self.build_syn(idx, now);
+        self.send(ctx, idx, syn);
+        let epoch = self.flows.epoch[idx];
+        ctx.set_timer(FLEET_SYN_TIMEOUT, tag(K_RETX, epoch, idx as u32));
+        ctx.set_timer(
+            self.params.request_timeout,
+            tag(K_CONNTO, epoch, idx as u32),
+        );
+    }
+
+    fn finish(&mut self, idx: usize, now: SimTime, completed: bool) {
+        if completed {
+            self.stats.completed += 1;
+            self.completions.incr(now.as_secs_f64());
+        } else {
+            self.stats.failed += 1;
+        }
+        self.flows.release(idx);
+    }
+
+    fn establish_and_request(&mut self, ctx: &mut Context<'_, TcpSegment>, idx: usize) {
+        self.flows.state[idx] = FlowState::Holding;
+        self.stats.established += 1;
+        let size = self.params.request_size;
+        let payload = format!("GET /gettext/{size}").into_bytes();
+        let req = SegmentBuilder::new(flow_port(idx), self.params.server_port)
+            .seq(self.flows.isn[idx].wrapping_add(1))
+            .ack_num(self.flows.server_isn[idx].wrapping_add(1))
+            .flags(TcpFlags::ACK | TcpFlags::PSH)
+            .payload(payload)
+            .build();
+        self.send(ctx, idx, req);
+    }
+}
+
+impl netsim::Node<TcpSegment> for ClientFleet {
+    fn on_start(&mut self, ctx: &mut Context<'_, TcpSegment>) {
+        let first = SimDuration::from_secs_f64(ctx.rng().exp_f64(self.params.request_rate));
+        ctx.set_timer(first, tag(K_SEND, 0, 0));
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut Context<'_, TcpSegment>,
+        _iface: IfaceId,
+        pkt: Packet<TcpSegment>,
+    ) {
+        let Some(idx) = flow_index(
+            self.params.addr_base,
+            self.flows.len(),
+            pkt.dst,
+            pkt.payload.dst_port,
+        ) else {
+            return;
+        };
+        if self.flows.state[idx] == FlowState::Idle {
+            return;
+        }
+        let now = ctx.now();
+        let seg = &pkt.payload;
+        if seg.flags.contains(TcpFlags::RST) {
+            self.finish(idx, now, false);
+            return;
+        }
+        if seg.flags.contains(TcpFlags::SYN | TcpFlags::ACK) {
+            if self.flows.state[idx] != FlowState::SynSent
+                || seg.ack != self.flows.isn[idx].wrapping_add(1)
+            {
+                return;
+            }
+            self.flows.server_isn[idx] = seg.seq;
+            match (seg.challenge().cloned(), self.params.behavior.clone()) {
+                (Some(copt), crate::client::SolveBehavior::Solve(strategy)) => {
+                    let issued_at = seg
+                        .timestamps()
+                        .map(|(tsval, _)| tsval)
+                        .or(copt.timestamp)
+                        .unwrap_or(0);
+                    self.flows.issued_at[idx] = issued_at;
+                    let tuple = ConnectionTuple::new(
+                        flow_addr(self.params.addr_base, idx),
+                        flow_port(idx),
+                        self.params.server_addr,
+                        self.params.server_port,
+                        0,
+                    );
+                    let solved = strategy.solve(&tuple, &copt, issued_at, ctx.rng());
+                    let latency =
+                        SimDuration::from_secs_f64(solved.hashes as f64 / self.params.hash_rate);
+                    self.flows.pending_proofs[idx] = solved.proofs;
+                    self.flows.state[idx] = FlowState::Solving;
+                    self.stats.solves += 1;
+                    ctx.set_timer(latency, tag(K_SOLVE, self.flows.epoch[idx], idx as u32));
+                }
+                (Some(_), crate::client::SolveBehavior::Ignore) | (None, _) => {
+                    // Plain ACK (non-adopter answers a challenge with
+                    // one too), then the request rides immediately.
+                    let ack = SegmentBuilder::new(flow_port(idx), self.params.server_port)
+                        .seq(self.flows.isn[idx].wrapping_add(1))
+                        .ack_num(self.flows.server_isn[idx].wrapping_add(1))
+                        .flags(TcpFlags::ACK)
+                        .build();
+                    self.send(ctx, idx, ack);
+                    self.establish_and_request(ctx, idx);
+                }
+            }
+            return;
+        }
+        if self.flows.state[idx] == FlowState::Holding
+            && (!seg.payload.is_empty() || seg.flags.contains(TcpFlags::FIN))
+        {
+            self.bytes_rx
+                .add(now.as_secs_f64(), seg.payload.len() as f64);
+            if seg.flags.contains(TcpFlags::FIN) {
+                self.finish(idx, now, true);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, TcpSegment>, _id: TimerId, t: u64) {
+        let now = ctx.now();
+        match tag_kind(t) {
+            K_SEND => {
+                self.start_request(ctx);
+                let next = SimDuration::from_secs_f64(ctx.rng().exp_f64(self.params.request_rate));
+                ctx.set_timer(next, tag(K_SEND, 0, 0));
+            }
+            K_RETX => {
+                if let Some(idx) = self.flows.tag_live(t) {
+                    if self.flows.state[idx] != FlowState::SynSent {
+                        return;
+                    }
+                    if self.retries[idx] >= FLEET_SYN_RETRIES {
+                        self.finish(idx, now, false);
+                        return;
+                    }
+                    self.retries[idx] += 1;
+                    let syn = self.build_syn(idx, now);
+                    self.send(ctx, idx, syn);
+                    let backoff = FLEET_SYN_TIMEOUT * (1u64 << self.retries[idx]);
+                    ctx.set_timer(backoff, tag(K_RETX, self.flows.epoch[idx], idx as u32));
+                }
+            }
+            K_CONNTO => {
+                if let Some(idx) = self.flows.tag_live(t) {
+                    self.finish(idx, now, false);
+                }
+            }
+            K_SOLVE => {
+                if let Some(idx) = self.flows.tag_live(t) {
+                    if self.flows.state[idx] == FlowState::Solving {
+                        let proofs = std::mem::take(&mut self.flows.pending_proofs[idx]);
+                        let sol = SolutionOption::build(1460, 7, &proofs, None);
+                        let ack = SegmentBuilder::new(flow_port(idx), self.params.server_port)
+                            .seq(self.flows.isn[idx].wrapping_add(1))
+                            .ack_num(self.flows.server_isn[idx].wrapping_add(1))
+                            .flags(TcpFlags::ACK)
+                            .timestamps(ts_ms(now), self.flows.issued_at[idx])
+                            .option(TcpOption::Solution(sol))
+                            .build();
+                        self.send(ctx, idx, ack);
+                        self.establish_and_request(ctx, idx);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_addressing_round_trips() {
+        let base = Ipv4Addr::new(10, 64, 0, 0);
+        for i in [
+            0usize,
+            1,
+            PORTS_PER_ADDR - 1,
+            PORTS_PER_ADDR,
+            123_456,
+            999_999,
+        ] {
+            let (a, p) = (flow_addr(base, i), flow_port(i));
+            assert_eq!(flow_index(base, 1_000_000, a, p), Some(i), "flow {i}");
+        }
+        // Outside the fleet: wrong port range, wrong address.
+        assert_eq!(flow_index(base, 10, flow_addr(base, 0), 80), None);
+        assert_eq!(
+            flow_index(base, 10, Ipv4Addr::new(10, 63, 255, 255), PORT_BASE),
+            None
+        );
+        // Flow id past the fleet size.
+        assert_eq!(
+            flow_index(base, 10, flow_addr(base, 10), flow_port(10)),
+            None
+        );
+    }
+
+    #[test]
+    fn flow_table_claim_release_cycles() {
+        let mut t = FlowTable::new(3);
+        let a = t.claim(1).unwrap();
+        let b = t.claim(2).unwrap();
+        let c = t.claim(3).unwrap();
+        assert_eq!(t.claim(4), None, "window exhausted");
+        assert_eq!(t.active(), 3);
+        let tag_a = tag(K_CONNTO, t.epoch[a], a as u32);
+        t.release(b);
+        assert_eq!(t.tag_live(tag_a), Some(a));
+        // Released flow's old tag is dead even after the slot is reused.
+        let tag_b = tag(K_CONNTO, t.epoch[b].wrapping_sub(1), b as u32);
+        assert_eq!(t.claim(5), Some(b));
+        assert_eq!(t.tag_live(tag_b), None);
+        let _ = c;
+    }
+
+    #[test]
+    fn tag_packs_and_unpacks() {
+        let t = tag(K_SOLVE, 0xabcdef, 0xdead_beef);
+        assert_eq!(tag_kind(t), K_SOLVE);
+        assert_eq!(tag_epoch(t), 0xabcdef);
+        assert_eq!(tag_idx(t), 0xdead_beef);
+    }
+
+    #[test]
+    fn batch_scales_with_rate() {
+        let mk = |rate| {
+            BotFleet::new(BotFleetParams {
+                addr_base: Ipv4Addr::new(10, 64, 0, 0),
+                target_addr: Ipv4Addr::new(10, 1, 0, 1),
+                target_port: 80,
+                attack: FleetAttack::SynFlood { rate, spoof: true },
+                flows: 100,
+                hash_rate: 400_000.0,
+                start: SimTime::ZERO,
+                stop: SimTime::from_secs(10),
+            })
+        };
+        assert_eq!(mk(500.0).batch, 1);
+        assert_eq!(mk(100_000.0).batch, 100);
+    }
+}

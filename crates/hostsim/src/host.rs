@@ -2,6 +2,7 @@
 
 use crate::attacker::AttackerHost;
 use crate::client::ClientHost;
+use crate::fleet::{BotFleet, ClientFleet};
 use crate::server::ServerHost;
 use netsim::{Context, IfaceId, Node, Packet, Router, TimerId};
 use tcpstack::TcpSegment;
@@ -25,6 +26,10 @@ pub enum Host {
     Client(ClientHost),
     /// A botnet member.
     Attacker(AttackerHost),
+    /// An aggregated botnet (N attack flows on one node).
+    BotFleet(BotFleet),
+    /// An aggregated benign-client population.
+    ClientFleet(ClientFleet),
 }
 
 impl Host {
@@ -75,6 +80,22 @@ impl Host {
             _ => None,
         }
     }
+
+    /// The bot fleet, if this node is one.
+    pub fn as_bot_fleet(&self) -> Option<&BotFleet> {
+        match self {
+            Host::BotFleet(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The client fleet, if this node is one.
+    pub fn as_client_fleet(&self) -> Option<&ClientFleet> {
+        match self {
+            Host::ClientFleet(f) => Some(f),
+            _ => None,
+        }
+    }
 }
 
 impl From<Router> for Host {
@@ -97,6 +118,16 @@ impl From<AttackerHost> for Host {
         Host::Attacker(a)
     }
 }
+impl From<BotFleet> for Host {
+    fn from(f: BotFleet) -> Host {
+        Host::BotFleet(f)
+    }
+}
+impl From<ClientFleet> for Host {
+    fn from(f: ClientFleet) -> Host {
+        Host::ClientFleet(f)
+    }
+}
 
 impl Node<TcpSegment> for Host {
     fn on_start(&mut self, ctx: &mut Context<'_, TcpSegment>) {
@@ -105,6 +136,8 @@ impl Node<TcpSegment> for Host {
             Host::Server(s) => s.on_start(ctx),
             Host::Client(c) => c.on_start(ctx),
             Host::Attacker(a) => a.on_start(ctx),
+            Host::BotFleet(f) => f.on_start(ctx),
+            Host::ClientFleet(f) => f.on_start(ctx),
         }
     }
 
@@ -119,6 +152,8 @@ impl Node<TcpSegment> for Host {
             Host::Server(s) => s.on_packet(ctx, iface, pkt),
             Host::Client(c) => c.on_packet(ctx, iface, pkt),
             Host::Attacker(a) => a.on_packet(ctx, iface, pkt),
+            Host::BotFleet(f) => f.on_packet(ctx, iface, pkt),
+            Host::ClientFleet(f) => f.on_packet(ctx, iface, pkt),
         }
     }
 
@@ -128,6 +163,8 @@ impl Node<TcpSegment> for Host {
             Host::Server(s) => s.on_timer(ctx, id, tag),
             Host::Client(c) => c.on_timer(ctx, id, tag),
             Host::Attacker(a) => a.on_timer(ctx, id, tag),
+            Host::BotFleet(f) => f.on_timer(ctx, id, tag),
+            Host::ClientFleet(f) => f.on_timer(ctx, id, tag),
         }
     }
 }

@@ -30,6 +30,7 @@
 mod attacker;
 mod client;
 mod cpu;
+pub mod fleet;
 mod host;
 pub mod profiles;
 mod server;
@@ -38,6 +39,10 @@ mod solve;
 pub use attacker::{AttackKind, AttackerHost, AttackerMetrics, AttackerParams};
 pub use client::{ClientHost, ClientMetrics, ClientParams, RequestOutcome, SolveBehavior};
 pub use cpu::Cpu;
+pub use fleet::{
+    BotFleet, BotFleetParams, BotFleetStats, ClientFleet, ClientFleetParams, ClientFleetStats,
+    FleetAttack,
+};
 pub use host::Host;
 pub use server::{parse_gettext_request, ServerHost, ServerMetrics, ServerParams};
 pub use solve::SolveStrategy;

@@ -1,13 +1,18 @@
 //! The event loop: builder, scheduler, link transmission, dispatch.
+//!
+//! Events live in a hierarchical [`TimerWheel`] (O(1) schedule, the
+//! original `BinaryHeap` is retained in [`crate::wheel`] as the tested
+//! reference); firing order is `(time, seq)` with `seq` breaking
+//! same-tick ties in FIFO scheduling order, exactly as under the heap.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::HashSet;
 
 use crate::link::{LinkDirection, LinkId, LinkSpec, LinkStats};
 use crate::node::{Command, Context, IfaceId, Node, NodeId, TimerId};
 use crate::packet::{Packet, Payload};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::{Scheduled, TimerWheel};
 
 /// One endpoint of a link: which node, and which of its interfaces.
 #[derive(Clone, Copy, Debug)]
@@ -42,29 +47,8 @@ enum EventKind<P> {
     Timer { node: NodeId, id: TimerId, tag: u64 },
 }
 
-struct Event<P> {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind<P>,
-}
-
-// Events order by (time, seq); seq breaks ties FIFO for determinism.
-impl<P> PartialEq for Event<P> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<P> Eq for Event<P> {}
-impl<P> PartialOrd for Event<P> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<P> Ord for Event<P> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
+/// A queued event: the wheel entry carrying this engine's event kind.
+type Event<P> = Scheduled<EventKind<P>>;
 
 /// Global counters for a simulation run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -148,7 +132,7 @@ impl<N> NetBuilder<N> {
         let mut sim = Simulation {
             clock: SimTime::ZERO,
             seq: 0,
-            events: BinaryHeap::new(),
+            events: TimerWheel::new(),
             nodes: self.nodes,
             node_ifaces: self.node_ifaces,
             links: self.links,
@@ -169,7 +153,7 @@ impl<N> NetBuilder<N> {
 pub struct Simulation<P: Payload, N> {
     clock: SimTime,
     seq: u64,
-    events: BinaryHeap<Reverse<Event<P>>>,
+    events: TimerWheel<EventKind<P>>,
     nodes: Vec<N>,
     node_ifaces: Vec<Vec<(LinkId, usize)>>,
     links: Vec<LinkState>,
@@ -248,26 +232,22 @@ impl<P: Payload, N: Node<P>> Simulation<P, N> {
     /// had arrived from the wire. Useful for tests and traffic injection.
     pub fn inject(&mut self, node: NodeId, iface: IfaceId, packet: Packet<P>) {
         let seq = self.bump_seq();
-        self.events.push(Reverse(Event {
-            at: self.clock,
+        self.events.schedule(
+            self.clock,
             seq,
-            kind: EventKind::Deliver {
+            EventKind::Deliver {
                 node,
                 iface,
                 packet,
             },
-        }));
+        );
     }
 
     /// Runs until the event queue drains or the clock passes `deadline`,
     /// whichever comes first. Returns the number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut n = 0;
-        while let Some(Reverse(ev)) = self.events.peek() {
-            if ev.at > deadline {
-                break;
-            }
-            let Reverse(ev) = self.events.pop().expect("peeked");
+        while let Some(ev) = self.events.pop_before(deadline) {
             self.clock = ev.at;
             self.dispatch(ev);
             n += 1;
@@ -289,13 +269,19 @@ impl<P: Payload, N: Node<P>> Simulation<P, N> {
     /// the queue is empty.
     pub fn step(&mut self) -> bool {
         match self.events.pop() {
-            Some(Reverse(ev)) => {
+            Some(ev) => {
                 self.clock = ev.at;
                 self.dispatch(ev);
                 true
             }
             None => false,
         }
+    }
+
+    /// Number of events pending in the queue (fleet-scale scenarios keep
+    /// hundreds of thousands in flight; exposed for tests and benches).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
     }
 
     fn bump_seq(&mut self) -> u64 {
@@ -306,7 +292,7 @@ impl<P: Payload, N: Node<P>> Simulation<P, N> {
 
     fn dispatch(&mut self, ev: Event<P>) {
         self.stats.events_processed += 1;
-        match ev.kind {
+        match ev.item {
             EventKind::Deliver {
                 node,
                 iface,
@@ -339,15 +325,15 @@ impl<P: Payload, N: Node<P>> Simulation<P, N> {
                 let to = l.ends[1 - dir];
                 let arrive = self.clock + l.spec.delay;
                 let seq = self.bump_seq();
-                self.events.push(Reverse(Event {
-                    at: arrive,
+                self.events.schedule(
+                    arrive,
                     seq,
-                    kind: EventKind::Deliver {
+                    EventKind::Deliver {
                         node: to.node,
                         iface: to.iface,
                         packet,
                     },
-                }));
+                );
             }
             EventKind::Timer { node, id, tag } => {
                 if self.cancelled.remove(&id) {
@@ -381,16 +367,16 @@ impl<P: Payload, N: Node<P>> Simulation<P, N> {
                     match l.dirs[dir].try_transmit(self.clock, len, &l.spec) {
                         Some(done) => {
                             let seq = self.bump_seq();
-                            self.events.push(Reverse(Event {
-                                at: done,
+                            self.events.schedule(
+                                done,
                                 seq,
-                                kind: EventKind::Departure {
+                                EventKind::Departure {
                                     link: link_id,
                                     dir,
                                     len,
                                     packet,
                                 },
-                            }));
+                            );
                         }
                         None => {
                             self.stats.dropped_packets += 1;
@@ -399,11 +385,8 @@ impl<P: Payload, N: Node<P>> Simulation<P, N> {
                 }
                 Command::SetTimer { id, at, tag } => {
                     let seq = self.bump_seq();
-                    self.events.push(Reverse(Event {
-                        at,
-                        seq,
-                        kind: EventKind::Timer { node, id, tag },
-                    }));
+                    self.events
+                        .schedule(at, seq, EventKind::Timer { node, id, tag });
                 }
                 Command::CancelTimer { id } => {
                     self.cancelled.insert(id);

@@ -61,6 +61,7 @@ mod packet;
 pub mod rng;
 mod router;
 mod time;
+pub mod wheel;
 
 pub use engine::{NetBuilder, SimStats, Simulation};
 pub use link::{LinkId, LinkSpec, LinkStats};

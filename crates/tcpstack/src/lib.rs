@@ -49,4 +49,6 @@ pub use listener::{
     ListenerEvent, ListenerStats, PuzzleConfig, SynCacheConfig, VerifyMode,
 };
 pub use options::{ChallengeOption, OptionDecodeError, SolutionOption, TcpOption};
-pub use segment::{SegmentBuilder, TcpFlags, TcpSegment, MAX_OPTIONS_LEN, TCP_HEADER_LEN};
+pub use segment::{
+    SegmentBuilder, SegmentDecodeError, TcpFlags, TcpSegment, MAX_OPTIONS_LEN, TCP_HEADER_LEN,
+};

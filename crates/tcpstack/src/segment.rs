@@ -1,6 +1,7 @@
-//! TCP segments: flags, header fields, options, payload.
+//! TCP segments: flags, header fields, options, payload — including the
+//! full wire codec ([`TcpSegment::encode`] / [`TcpSegment::decode`]).
 
-use crate::options::TcpOption;
+use crate::options::{OptionDecodeError, TcpOption};
 use netsim::Payload;
 
 /// Fixed TCP header length (no options), in bytes.
@@ -157,7 +158,94 @@ impl TcpSegment {
             _ => None,
         })
     }
+
+    /// Encodes the segment to its wire bytes: the 20-byte base header
+    /// (RFC 793 layout, checksum zero — the simulator never corrupts),
+    /// the NOP-padded options area, then the payload. The result's
+    /// length equals [`TcpSegment::wire_len`].
+    pub fn encode(&self) -> Vec<u8> {
+        let options = TcpOption::encode_all(&self.options);
+        debug_assert!(options.len() <= MAX_OPTIONS_LEN);
+        let mut out = Vec::with_capacity(TCP_HEADER_LEN + options.len() + self.payload.len());
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        let data_offset = ((TCP_HEADER_LEN + options.len()) / 4) as u8;
+        out.push(data_offset << 4);
+        out.push(self.flags.bits());
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum (unused in simulation)
+        out.extend_from_slice(&[0, 0]); // urgent pointer
+        out.extend_from_slice(&options);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Decodes a segment produced by [`TcpSegment::encode`] (or a real
+    /// stack). Everything after the header is payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegmentDecodeError`] when the buffer is shorter than
+    /// the declared header, the data offset is impossible, or the
+    /// options area does not parse.
+    pub fn decode(bytes: &[u8]) -> Result<TcpSegment, SegmentDecodeError> {
+        if bytes.len() < TCP_HEADER_LEN {
+            return Err(SegmentDecodeError::Truncated);
+        }
+        let header_len = ((bytes[12] >> 4) as usize) * 4;
+        if !(TCP_HEADER_LEN..=TCP_HEADER_LEN + MAX_OPTIONS_LEN).contains(&header_len) {
+            return Err(SegmentDecodeError::BadDataOffset {
+                offset_words: bytes[12] >> 4,
+            });
+        }
+        if bytes.len() < header_len {
+            return Err(SegmentDecodeError::Truncated);
+        }
+        let options = TcpOption::decode_all(&bytes[TCP_HEADER_LEN..header_len])
+            .map_err(SegmentDecodeError::Options)?;
+        Ok(TcpSegment {
+            src_port: u16::from_be_bytes([bytes[0], bytes[1]]),
+            dst_port: u16::from_be_bytes([bytes[2], bytes[3]]),
+            seq: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+            ack: u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
+            flags: TcpFlags::from_bits(bytes[13]),
+            window: u16::from_be_bytes([bytes[14], bytes[15]]),
+            options,
+            payload: bytes[header_len..].to_vec(),
+        })
+    }
 }
+
+/// Error decoding a TCP segment from wire bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SegmentDecodeError {
+    /// The buffer ends before the declared header does.
+    Truncated,
+    /// The data-offset field is below the minimum header or above the
+    /// 60-byte maximum.
+    BadDataOffset {
+        /// The offending offset, in 32-bit words.
+        offset_words: u8,
+    },
+    /// The options area failed to parse.
+    Options(OptionDecodeError),
+}
+
+impl std::fmt::Display for SegmentDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentDecodeError::Truncated => write!(f, "segment truncated"),
+            SegmentDecodeError::BadDataOffset { offset_words } => {
+                write!(f, "impossible data offset {offset_words} words")
+            }
+            SegmentDecodeError::Options(e) => write!(f, "bad options: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SegmentDecodeError {}
 
 impl Payload for TcpSegment {
     fn wire_len(&self) -> usize {
@@ -315,6 +403,61 @@ mod tests {
         assert_eq!(seg.window, 1024);
         assert!(seg.challenge().is_none());
         assert!(seg.solution().is_none());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let seg = SegmentBuilder::new(40000, 80)
+            .seq(0xdead_beef)
+            .ack_num(0x0102_0304)
+            .flags(TcpFlags::SYN | TcpFlags::ACK)
+            .window(8192)
+            .mss(1460)
+            .window_scale(7)
+            .timestamps(55, 1)
+            .payload(b"hello".to_vec())
+            .build();
+        let bytes = seg.encode();
+        assert_eq!(bytes.len(), seg.wire_len());
+        assert_eq!(TcpSegment::decode(&bytes), Ok(seg));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_bad_offset() {
+        let seg = SegmentBuilder::new(1, 2)
+            .flags(TcpFlags::SYN)
+            .mss(1460)
+            .build();
+        let bytes = seg.encode();
+        // Any cut inside the header/options area is an error.
+        for k in 0..bytes.len() {
+            assert_eq!(
+                TcpSegment::decode(&bytes[..k]),
+                Err(SegmentDecodeError::Truncated)
+            );
+        }
+        // Data offset below 5 words or above 15... (15 is the wire max
+        // and equals 60 bytes, which is allowed; below-minimum rejected.)
+        let mut bad = bytes.clone();
+        bad[12] = 4 << 4;
+        assert_eq!(
+            TcpSegment::decode(&bad),
+            Err(SegmentDecodeError::BadDataOffset { offset_words: 4 })
+        );
+    }
+
+    #[test]
+    fn decode_surfaces_option_errors() {
+        let seg = SegmentBuilder::new(1, 2)
+            .flags(TcpFlags::ACK)
+            .mss(9)
+            .build();
+        let mut bytes = seg.encode();
+        bytes[TCP_HEADER_LEN + 1] = 3; // MSS with impossible length
+        assert!(matches!(
+            TcpSegment::decode(&bytes),
+            Err(SegmentDecodeError::Options(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Property tests: the full-segment wire codec round-trips arbitrary
+//! segments — including solution-bearing ACKs and odd option padding —
+//! and rejects every truncation of the header/options area.
+
+use proptest::prelude::*;
+use tcpstack::{
+    ChallengeOption, SegmentBuilder, SegmentDecodeError, SolutionOption, TcpFlags, TcpOption,
+    TcpSegment, TCP_HEADER_LEN,
+};
+
+fn arb_flags() -> impl Strategy<Value = TcpFlags> {
+    prop::sample::select(vec![
+        TcpFlags::SYN,
+        TcpFlags::SYN | TcpFlags::ACK,
+        TcpFlags::ACK,
+        TcpFlags::ACK | TcpFlags::PSH,
+        TcpFlags::ACK | TcpFlags::FIN,
+        TcpFlags::RST,
+    ])
+}
+
+/// Option sets as the stack actually combines them, deliberately
+/// including odd raw lengths (window scale = 3 bytes, challenge = 9+)
+/// so the NOP padding path is always on the table.
+fn arb_options() -> impl Strategy<Value = Vec<TcpOption>> {
+    prop_oneof![
+        Just(vec![]),
+        Just(vec![TcpOption::Mss(1460), TcpOption::WindowScale(7)]),
+        (any::<u32>(), any::<u32>()).prop_map(|(tsval, tsecr)| vec![
+            TcpOption::Mss(536),
+            TcpOption::Timestamps { tsval, tsecr },
+        ]),
+        (1u8..4, 1u8..30, prop::collection::vec(any::<u8>(), 4..8)).prop_map(
+            |(k, m, preimage)| vec![
+                TcpOption::Timestamps { tsval: 9, tsecr: 0 },
+                TcpOption::Challenge(ChallengeOption {
+                    k,
+                    m,
+                    preimage,
+                    timestamp: None,
+                }),
+            ]
+        ),
+        // The solution ACK: the wire shape the listener chokepoint
+        // batches on.
+        (
+            1usize..4,
+            prop::sample::select(vec![2usize, 4]),
+            any::<u8>(),
+            prop::option::of(any::<u32>()),
+        )
+            .prop_map(|(k, l_bytes, seed, ts)| {
+                let proofs: Vec<Vec<u8>> = (0..k)
+                    .map(|i| vec![seed.wrapping_add(i as u8); l_bytes])
+                    .collect();
+                vec![
+                    TcpOption::Timestamps { tsval: 3, tsecr: 2 },
+                    TcpOption::Solution(SolutionOption::build(1460, 7, &proofs, ts)),
+                ]
+            }),
+    ]
+}
+
+fn arb_segment() -> impl Strategy<Value = TcpSegment> {
+    (
+        (any::<u16>(), any::<u16>(), any::<u32>(), any::<u32>()),
+        arb_flags(),
+        any::<u16>(),
+        arb_options(),
+        prop::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|((src, dst, seq, ack), flags, window, options, payload)| {
+            let mut b = SegmentBuilder::new(src, dst)
+                .seq(seq)
+                .ack_num(ack)
+                .flags(flags)
+                .window(window)
+                .payload(payload);
+            for o in options {
+                b = b.option(o);
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity, and the encoding is exactly
+    /// `wire_len` bytes with a 32-bit-aligned header.
+    #[test]
+    fn segment_round_trips(seg in arb_segment()) {
+        let bytes = seg.encode();
+        prop_assert_eq!(bytes.len(), seg.wire_len());
+        prop_assert_eq!((TCP_HEADER_LEN + seg.options_len()) % 4, 0);
+        let decoded = TcpSegment::decode(&bytes);
+        prop_assert_eq!(decoded, Ok(seg));
+    }
+
+    /// Every strict prefix of the header + options area is rejected as
+    /// truncated — a cut segment never silently parses.
+    #[test]
+    fn truncated_headers_rejected(seg in arb_segment(), cut in 0.0f64..1.0) {
+        let bytes = seg.encode();
+        let header_len = TCP_HEADER_LEN + seg.options_len();
+        let k = (cut * header_len as f64) as usize; // < header_len
+        prop_assert_eq!(
+            TcpSegment::decode(&bytes[..k]),
+            Err(SegmentDecodeError::Truncated)
+        );
+    }
+
+    /// The decoder is total on arbitrary bytes: structured error or
+    /// parse, never a panic.
+    #[test]
+    fn decoder_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = TcpSegment::decode(&bytes);
+    }
+}

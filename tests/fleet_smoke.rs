@@ -1,0 +1,59 @@
+//! Fleet-scale smoke: a 100k-flow connection flood must complete a
+//! 30-simulated-second run in bounded wall-clock time.
+//!
+//! `#[ignore]` by default — this is a release-mode scale test, run by
+//! the CI `fleet-smoke` leg (and by hand) as
+//! `cargo test -q --release -- --ignored fleet_smoke`.
+
+use hostsim::FleetAttack;
+use netsim::SimDuration;
+use tcp_puzzles::experiments::scenario::{Defense, Matrix, Timeline};
+
+#[test]
+#[ignore = "release-mode scale smoke; run with -- --ignored fleet_smoke"]
+fn fleet_smoke_100k_conn_flood() {
+    let timeline = Timeline {
+        total: 30.0,
+        attack_start: 5.0,
+        attack_stop: 25.0,
+    };
+    let matrix = Matrix::new(timeline)
+        .defenses(vec![Defense::nash()])
+        .attacks(vec![FleetAttack::ConnFlood {
+            rate: 50_000.0,
+            solve: None,
+            conn_timeout: SimDuration::from_secs(1),
+            ack_delay: SimDuration::from_millis(500),
+        }])
+        .fleet_sizes(vec![100_000])
+        .seeds(vec![1]);
+
+    let started = std::time::Instant::now();
+    let cell = matrix.run_cell(
+        &matrix.defenses[0],
+        &matrix.attacks[0],
+        matrix.fleet_sizes[0],
+        matrix.seeds[0],
+    );
+    let wall = started.elapsed();
+
+    // The flood really ran at scale…
+    assert!(
+        cell.attack_packets > 500_000,
+        "attack packets {}",
+        cell.attack_packets
+    );
+    // …service survived under the Nash defence…
+    assert!(
+        cell.goodput_before > 100_000.0,
+        "before {}",
+        cell.goodput_before
+    );
+    // …and the engine met the wall-clock budget (acceptance criterion:
+    // < 60 s for 30 simulated seconds at ≥ 100k flows).
+    assert!(
+        wall < std::time::Duration::from_secs(60),
+        "30 simulated seconds took {wall:?} (budget 60 s)"
+    );
+    println!("fleet_smoke: {cell} in {wall:?}");
+}

@@ -1,0 +1,71 @@
+//! Golden-run regression suite: seeded digests of the standard
+//! scenarios, committed as expectations.
+//!
+//! Each digest is a SHA-256 over every observable the figures read (see
+//! `experiments::golden`). The values below were captured under the
+//! original `BinaryHeap` event queue and pin the engine's behaviour:
+//! the hierarchical timer wheel, all three hash backends
+//! (`PUZZLE_BACKEND=scalar|multilane|shani` — exercised by the CI
+//! backend matrix), and any future scheduler work must reproduce them
+//! byte-for-byte. A mismatch means event order, RNG draw order, or
+//! protocol behaviour changed; do not update an expectation unless that
+//! change is intended and understood.
+
+use tcp_puzzles::experiments::golden::{
+    conn_flood_scenario, run_and_digest, standard_scenario, syn_flood_scenario,
+};
+
+/// Seed used by every committed expectation.
+const GOLDEN_SEED: u64 = 12345;
+
+fn assert_digest(name: &str, actual: String, expected: &str) {
+    assert_eq!(
+        actual, expected,
+        "golden run '{name}' drifted: expected {expected}, got {actual}. \
+         If this change is intentional, update tests/golden_runs.rs."
+    );
+}
+
+#[test]
+fn golden_standard_load() {
+    assert_digest(
+        "standard",
+        run_and_digest(standard_scenario(GOLDEN_SEED)),
+        "c53e7574f22d34aadd8d4b738095a34c0a2e4898e1f8b4008622c135d77b5e14",
+    );
+}
+
+#[test]
+fn golden_syn_flood() {
+    assert_digest(
+        "syn_flood",
+        run_and_digest(syn_flood_scenario(GOLDEN_SEED)),
+        "5006adf5ae0beb3b0e5805b623c3802b88dcc8844129147a758a0da5dba1ed76",
+    );
+}
+
+#[test]
+fn golden_conn_flood() {
+    assert_digest(
+        "conn_flood",
+        run_and_digest(conn_flood_scenario(GOLDEN_SEED)),
+        "b10af12c4faf41bef5d22e94c1dd2a67cc87c1e41ee88ac1f62ba3fdd7dbd366",
+    );
+}
+
+#[test]
+fn identical_seeds_identical_runs() {
+    assert_eq!(
+        run_and_digest(conn_flood_scenario(777)),
+        run_and_digest(conn_flood_scenario(777)),
+    );
+}
+
+#[test]
+fn different_seeds_differ() {
+    assert_ne!(
+        run_and_digest(conn_flood_scenario(1)),
+        run_and_digest(conn_flood_scenario(2)),
+        "distinct seeds must yield distinct traces"
+    );
+}
