@@ -2,7 +2,7 @@
 //! testbed under load, which bounds every experiment's wall-clock cost.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use experiments::scenario::{Defense, Scenario, Timeline};
+use experiments::scenario::{DefenseSpec, Scenario, Timeline};
 
 /// Ten simulated seconds of the standard quiet scenario (15 clients).
 fn bench_quiet_testbed(c: &mut Criterion) {
@@ -11,7 +11,7 @@ fn bench_quiet_testbed(c: &mut Criterion) {
     g.bench_function("quiet_10s_15clients", |b| {
         b.iter(|| {
             let timeline = Timeline::smoke();
-            let scenario = Scenario::standard(5, Defense::None, &timeline);
+            let scenario = Scenario::standard(5, DefenseSpec::none(), &timeline);
             let mut tb = scenario.build();
             tb.run_until_secs(10.0);
             tb.sim.stats().events_processed
@@ -31,7 +31,7 @@ fn bench_flooded_testbed(c: &mut Criterion) {
                 attack_start: 1.0,
                 attack_stop: 10.0,
             };
-            let mut scenario = Scenario::standard(5, Defense::nash(), &timeline);
+            let mut scenario = Scenario::standard(5, DefenseSpec::nash(), &timeline);
             scenario.attackers = Scenario::conn_flood_bots(10, 500.0, false, &timeline);
             let mut tb = scenario.build();
             tb.run_until_secs(10.0);

@@ -4,7 +4,7 @@
 //! scenario step.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use experiments::scenario::{Defense, Matrix, Timeline};
+use experiments::scenario::{DefenseSpec, Matrix, Timeline};
 use hostsim::FleetAttack;
 use netsim::wheel::{HeapQueue, TimerWheel};
 use netsim::{SimDuration, SimTime};
@@ -12,16 +12,20 @@ use puzzle_core::{Difficulty, ServerSecret};
 use std::hint::black_box;
 use std::net::Ipv4Addr;
 use tcpstack::{
-    DefenseMode, Listener, ListenerConfig, PuzzleConfig, SegmentBuilder, TcpFlags, VerifyMode,
+    Listener, ListenerConfig, PolicyBuilder, PuzzleConfig, SegmentBuilder, TcpFlags, VerifyMode,
 };
 
 const SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
 
-fn listener(defense: DefenseMode, backlog: usize) -> Listener {
+fn listener(defense: PolicyBuilder<puzzle_crypto::ScalarBackend>, backlog: usize) -> Listener {
     let mut cfg = ListenerConfig::new(SERVER, 80);
     cfg.backlog = backlog;
-    cfg.defense = defense;
-    Listener::new(cfg, ServerSecret::from_bytes([7; 32]))
+    Listener::with_policy(
+        cfg,
+        ServerSecret::from_bytes([7; 32]),
+        puzzle_crypto::ScalarBackend,
+        &defense,
+    )
 }
 
 fn syn(port: u16) -> tcpstack::TcpSegment {
@@ -36,7 +40,7 @@ fn syn(port: u16) -> tcpstack::TcpSegment {
 /// Stateful SYN handling (half-open creation + SYN-ACK).
 fn bench_syn_stateful(c: &mut Criterion) {
     c.bench_function("stack/syn_stateful", |b| {
-        let mut l = listener(DefenseMode::None, usize::MAX);
+        let mut l = listener(PolicyBuilder::none(), usize::MAX);
         let mut port = 1000u16;
         let src = Ipv4Addr::new(10, 0, 0, 2);
         b.iter(|| {
@@ -49,7 +53,7 @@ fn bench_syn_stateful(c: &mut Criterion) {
 /// Stateless cookie SYN-ACK generation under overflow.
 fn bench_syn_cookie(c: &mut Criterion) {
     c.bench_function("stack/syn_cookie", |b| {
-        let mut l = listener(DefenseMode::SynCookies, 0);
+        let mut l = listener(PolicyBuilder::syn_cookies(), 0);
         let src = Ipv4Addr::new(10, 0, 0, 3);
         let seg = syn(2000);
         b.iter(|| l.on_segment(SimTime::ZERO, src, black_box(&seg)))
@@ -67,7 +71,7 @@ fn bench_syn_challenge(c: &mut Criterion) {
         verify_workers: 1,
     };
     c.bench_function("stack/syn_challenge", |b| {
-        let mut l = listener(DefenseMode::Puzzles(pc.clone()), 0);
+        let mut l = listener(PolicyBuilder::puzzles(pc.clone()), 0);
         let src = Ipv4Addr::new(10, 0, 0, 4);
         let seg = syn(3000);
         b.iter(|| l.on_segment(SimTime::ZERO, src, black_box(&seg)))
@@ -139,7 +143,7 @@ fn bench_fleet_step(c: &mut Criterion) {
         attack_stop: 3600.0,
     };
     let matrix = Matrix::new(timeline)
-        .defenses(vec![Defense::nash()])
+        .defenses(vec![DefenseSpec::nash()])
         .attacks(vec![FleetAttack::ConnFlood {
             rate: 50_000.0,
             solve: None,

@@ -3,12 +3,16 @@
 //!
 //! Usage:
 //!   cargo run --release -p experiments --bin matrix_sweep \
-//!     [-- --full] [--sizes 1000,100000] [--seeds 1,2] [--rate 20000]
+//!     [-- --full] [--defense none,cookies,nash,adaptive,stacked] \
+//!     [--sizes 1000,100000] [--seeds 1,2] [--rate 20000]
 //!
-//! Defaults sweep {nodefense, cookies, nash} × {syn-flood, conn-flood}
-//! × {1k, 10k} flows × seed 1 on the compressed timeline.
+//! `--defense` sweeps registered defence specs by name
+//! (`DefenseSpec::by_name`): `none`, `syncache[-<cap>]`, `cookies`,
+//! `nash`, `puzzles-k<k>m<m>`, `adaptive`, `stacked`. Defaults sweep
+//! {nodefense, cookies, nash} × {syn-flood, conn-flood} × {1k, 10k}
+//! flows × seed 1 on the compressed timeline.
 
-use experiments::scenario::{Defense, Matrix, Timeline};
+use experiments::scenario::{DefenseSpec, Matrix, Timeline};
 use hostsim::FleetAttack;
 use netsim::SimDuration;
 
@@ -38,9 +42,34 @@ fn main() {
     let rate: f64 = experiments::arg_after(&args, "--rate")
         .and_then(|s| s.parse().ok())
         .unwrap_or(20_000.0);
+    let defenses: Vec<DefenseSpec> = experiments::arg_after(&args, "--defense")
+        .map(|list| {
+            list.split(',')
+                .map(|name| {
+                    DefenseSpec::by_name(name).unwrap_or_else(|| {
+                        eprintln!(
+                            "unknown defense {name:?}; registered: {}",
+                            DefenseSpec::registered()
+                                .iter()
+                                .map(|s| s.name().to_string())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        std::process::exit(2);
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| {
+            vec![
+                DefenseSpec::none(),
+                DefenseSpec::cookies(),
+                DefenseSpec::nash(),
+            ]
+        });
 
     let matrix = Matrix::new(Timeline::from_full_flag(full))
-        .defenses(vec![Defense::None, Defense::Cookies, Defense::nash()])
+        .defenses(defenses)
         .attacks(vec![
             FleetAttack::SynFlood { rate, spoof: true },
             FleetAttack::ConnFlood {

@@ -12,7 +12,7 @@ use hostsim::{profiles, ClientHost, ClientParams, Host, ServerHost, ServerParams
 use netsim::{LinkSpec, NetBuilder, Route, Router, SimDuration, SimTime};
 use puzzle_game::profile::ServiceCurve;
 use simmetrics::Table;
-use tcpstack::DefenseMode;
+use tcpstack::PolicyBuilder;
 
 use crate::scenario::{SERVER_IP, SERVER_PORT};
 
@@ -88,7 +88,7 @@ fn run_stress_point(seed: u64, concurrency: usize, measure_secs: f64) -> f64 {
     // bottlenecks the stress test (ab runs on a LAN next to the server).
     let mut b = NetBuilder::new(seed);
     let router = b.add_node(Host::Router(Router::new()));
-    let server = ServerParams::new(SERVER_IP, SERVER_PORT, DefenseMode::None);
+    let server = ServerParams::new(SERVER_IP, SERVER_PORT, PolicyBuilder::none());
     let server_id = b.add_node(Host::Server(ServerHost::new(server)));
     let (r_to_srv, _) = b.connect(router, server_id, LinkSpec::gigabit());
 

@@ -19,7 +19,7 @@ use hostsim::{ClientParams, SolveBehavior};
 use netsim::SimDuration;
 use simmetrics::{Cdf, Table};
 
-use crate::scenario::{oracle_strategy, Defense, Scenario, Timeline, SERVER_IP};
+use crate::scenario::{oracle_strategy, DefenseSpec, Scenario, Timeline, SERVER_IP};
 
 /// The kernel-crypto hash rate implied by the paper's Fig. 6 latencies.
 pub const KERNEL_HASH_RATE: f64 = 1.15e8;
@@ -63,7 +63,7 @@ pub fn measure(seed: u64, k: u8, m: u8, hash_rate: f64, duration: f64, rate: f64
         attack_start: duration,
         attack_stop: duration,
     };
-    let mut scenario = Scenario::standard(seed, Defense::Puzzles { k, m }, &timeline);
+    let mut scenario = Scenario::standard(seed, DefenseSpec::puzzles(k, m), &timeline);
     scenario.server.backlog = 0; // challenge every SYN
     let mut client = ClientParams::new(
         crate::scenario::client_addr(0),

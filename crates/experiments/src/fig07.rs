@@ -12,7 +12,7 @@ use std::fmt;
 
 use simmetrics::{IntervalSeries, Table};
 
-use crate::scenario::{Defense, Scenario, Testbed, Timeline};
+use crate::scenario::{DefenseSpec, Scenario, Testbed, Timeline};
 
 /// Per-defence outcome.
 #[derive(Clone, Debug)]
@@ -55,7 +55,7 @@ pub struct Fig07Result {
 /// to a [`DefenseOutcome`]. Shared by Figs. 7 and 8.
 pub(crate) fn run_defended(
     seed: u64,
-    defense: Defense,
+    defense: DefenseSpec,
     timeline: &Timeline,
     attackers: Vec<hostsim::AttackerParams>,
     n_clients: usize,
@@ -115,10 +115,10 @@ pub fn run_fleet(
 ) -> Vec<crate::scenario::MatrixCell> {
     crate::scenario::Matrix::new(timeline)
         .defenses(vec![
-            Defense::None,
-            Defense::Cookies,
-            Defense::Puzzles { k: 1, m: 8 },
-            Defense::nash(),
+            DefenseSpec::none(),
+            DefenseSpec::cookies(),
+            DefenseSpec::puzzles(1, 8),
+            DefenseSpec::nash(),
         ])
         .attacks(vec![hostsim::FleetAttack::SynFlood { rate, spoof: true }])
         .fleet_sizes(vec![flows])
@@ -129,10 +129,10 @@ pub fn run_fleet(
 /// Parameterized variant (used by tests with smaller botnets).
 pub fn run_with(seed: u64, timeline: Timeline, bots: usize, rate: f64) -> Fig07Result {
     let defenses = [
-        Defense::None,
-        Defense::Cookies,
-        Defense::Puzzles { k: 1, m: 8 },
-        Defense::nash(),
+        DefenseSpec::none(),
+        DefenseSpec::cookies(),
+        DefenseSpec::puzzles(1, 8),
+        DefenseSpec::nash(),
     ];
     let outcomes = defenses
         .into_iter()

@@ -11,7 +11,7 @@ use std::fmt;
 use simmetrics::Table;
 
 use crate::fig07::{run_defended, DefenseOutcome};
-use crate::scenario::{Defense, Scenario, Timeline};
+use crate::scenario::{DefenseSpec, Scenario, Timeline};
 
 /// Figure 8 outcome: per-defence throughput plus sparkline rates.
 #[derive(Clone, Debug)]
@@ -43,7 +43,11 @@ pub fn run_fleet(
     rate: f64,
 ) -> Vec<crate::scenario::MatrixCell> {
     crate::scenario::Matrix::new(timeline)
-        .defenses(vec![Defense::None, Defense::Cookies, Defense::nash()])
+        .defenses(vec![
+            DefenseSpec::none(),
+            DefenseSpec::cookies(),
+            DefenseSpec::nash(),
+        ])
         .attacks(vec![hostsim::FleetAttack::ConnFlood {
             rate,
             solve: None,
@@ -57,7 +61,11 @@ pub fn run_fleet(
 
 /// Parameterized variant (tests use smaller botnets).
 pub fn run_with(seed: u64, timeline: Timeline, bots: usize, rate: f64) -> Fig08Result {
-    let defenses = [Defense::None, Defense::Cookies, Defense::nash()];
+    let defenses = [
+        DefenseSpec::none(),
+        DefenseSpec::cookies(),
+        DefenseSpec::nash(),
+    ];
     let mut outcomes = Vec::new();
     let mut challenge_rates = Vec::new();
     let mut plain_rates = Vec::new();

@@ -10,7 +10,7 @@ use std::fmt;
 
 use simmetrics::Table;
 
-use crate::scenario::{Defense, Scenario, Timeline};
+use crate::scenario::{DefenseSpec, Scenario, Timeline};
 
 /// Utilization summary for one population.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -44,7 +44,7 @@ pub fn run_with(seed: u64, timeline: Timeline, bots: usize, rate: f64) -> Fig09R
     // Solving attackers: the paper's Fig. 9 attacker curve shows heavy
     // solving load (up to ~60%).
     let attackers = Scenario::conn_flood_bots(bots, rate, true, &timeline);
-    let mut scenario = Scenario::standard(seed, Defense::nash(), &timeline);
+    let mut scenario = Scenario::standard(seed, DefenseSpec::nash(), &timeline);
     scenario.attackers = attackers;
     let mut tb = scenario.build();
     tb.run_until_secs(timeline.total);

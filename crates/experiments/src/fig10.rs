@@ -9,7 +9,7 @@ use std::fmt;
 
 use simmetrics::{SampleSeries, Table};
 
-use crate::scenario::{Defense, Scenario, Timeline};
+use crate::scenario::{DefenseSpec, Scenario, Timeline};
 
 /// Queue traces for one defence.
 #[derive(Clone, Debug)]
@@ -50,7 +50,7 @@ pub fn run_with(seed: u64, timeline: Timeline, bots: usize, rate: f64) -> Fig10R
     let mut traces = Vec::new();
     let mut backlog = 0;
     let mut accept_backlog = 0;
-    for defense in [Defense::nash(), Defense::Cookies] {
+    for defense in [DefenseSpec::nash(), DefenseSpec::cookies()] {
         let label = defense.label();
         let mut scenario = Scenario::standard(seed, defense, &timeline);
         scenario.attackers = Scenario::conn_flood_bots(bots, rate, false, &timeline);

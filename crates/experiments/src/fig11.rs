@@ -10,7 +10,7 @@ use std::fmt;
 
 use simmetrics::{IntervalSeries, Table};
 
-use crate::scenario::{Defense, Scenario, Timeline};
+use crate::scenario::{DefenseSpec, Scenario, Timeline};
 
 /// Per-defence attacker establishment measurements.
 #[derive(Clone, Debug)]
@@ -45,7 +45,7 @@ pub fn run(seed: u64, full: bool) -> Fig11Result {
 pub fn run_with(seed: u64, timeline: Timeline, bots: usize, rate: f64) -> Fig11Result {
     let (a0, a1) = timeline.attack_window();
     let mut rows = Vec::new();
-    for defense in [Defense::Cookies, Defense::nash()] {
+    for defense in [DefenseSpec::cookies(), DefenseSpec::nash()] {
         let label = defense.label();
         let mut scenario = Scenario::standard(seed, defense, &timeline);
         scenario.attackers = Scenario::conn_flood_bots(bots, rate, false, &timeline);

@@ -10,7 +10,7 @@ use std::fmt;
 
 use simmetrics::{BoxStats, Table};
 
-use crate::scenario::{Defense, Scenario, Timeline};
+use crate::scenario::{DefenseSpec, Scenario, Timeline};
 
 /// One grid cell of the sweep.
 #[derive(Clone, Debug)]
@@ -46,7 +46,7 @@ pub fn measure(
     bots: usize,
     rate: f64,
 ) -> DifficultyCell {
-    let mut scenario = Scenario::standard(seed, Defense::Puzzles { k, m }, timeline);
+    let mut scenario = Scenario::standard(seed, DefenseSpec::puzzles(k, m), timeline);
     // §6.3 keeps the connection flood with attackers that solve
     // (their establishment rate is part of the reported comparison).
     scenario.attackers = Scenario::conn_flood_bots(bots, rate, true, timeline);

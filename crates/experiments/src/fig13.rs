@@ -10,7 +10,7 @@ use std::fmt;
 
 use simmetrics::Table;
 
-use crate::scenario::{Defense, Scenario, Timeline};
+use crate::scenario::{DefenseSpec, Scenario, Timeline};
 
 /// One sweep point.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -36,7 +36,7 @@ pub struct Fig13Result {
 
 /// Measures one sweep point.
 pub fn measure(seed: u64, bots: usize, rate: f64, timeline: &Timeline) -> RatePoint {
-    let mut scenario = Scenario::standard(seed, Defense::nash(), timeline);
+    let mut scenario = Scenario::standard(seed, DefenseSpec::nash(), timeline);
     scenario.attackers = Scenario::conn_flood_bots(bots, rate, true, timeline);
     let mut tb = scenario.build();
     tb.run_until_secs(timeline.total);

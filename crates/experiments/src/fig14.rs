@@ -12,7 +12,7 @@ use std::fmt;
 
 use simmetrics::Table;
 
-use crate::scenario::{Defense, Scenario, Timeline};
+use crate::scenario::{DefenseSpec, Scenario, Timeline};
 
 /// One sweep point.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -39,7 +39,7 @@ pub struct Fig14Result {
 /// Measures one sweep point.
 pub fn measure(seed: u64, bots: usize, total_rate: f64, timeline: &Timeline) -> SizePoint {
     let per_bot = total_rate / bots as f64;
-    let mut scenario = Scenario::standard(seed, Defense::nash(), timeline);
+    let mut scenario = Scenario::standard(seed, DefenseSpec::nash(), timeline);
     scenario.attackers = Scenario::conn_flood_bots(bots, per_bot, true, timeline);
     let mut tb = scenario.build();
     tb.run_until_secs(timeline.total);

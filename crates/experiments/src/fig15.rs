@@ -11,7 +11,7 @@ use std::fmt;
 
 use simmetrics::Table;
 
-use crate::scenario::{Defense, Scenario, Timeline};
+use crate::scenario::{DefenseSpec, Scenario, Timeline};
 
 /// One adoption scenario's outcome.
 #[derive(Clone, Debug)]
@@ -50,7 +50,7 @@ pub fn measure(
         if attacker_solves { "SA" } else { "NA" },
         if client_solves { "SC" } else { "NC" }
     );
-    let mut scenario = Scenario::standard(seed, Defense::nash(), timeline);
+    let mut scenario = Scenario::standard(seed, DefenseSpec::nash(), timeline);
     scenario.clients = Scenario::paper_clients(15, client_solves);
     // Kernel-speed hashing for the clients: Fig. 15 reports completion
     // percentages near 100% for solving clients at 20 req/s, which is

@@ -19,7 +19,7 @@
 
 use std::fmt::Write as _;
 
-use crate::scenario::{Defense, Scenario, Testbed, Timeline};
+use crate::scenario::{DefenseSpec, Scenario, Testbed, Timeline};
 
 /// The golden timeline: short enough for CI, long enough that the
 /// attack window shapes the trace.
@@ -35,28 +35,40 @@ pub fn golden_timeline() -> Timeline {
 /// no attack.
 pub fn standard_scenario(seed: u64) -> Scenario {
     let timeline = golden_timeline();
-    let mut s = Scenario::standard(seed, Defense::nash(), &timeline);
+    let mut s = Scenario::standard(seed, DefenseSpec::nash(), &timeline);
     s.clients.truncate(5);
     s
 }
 
-/// The fig07-style golden run: spoofed SYN flood against Nash puzzles.
-pub fn syn_flood_scenario(seed: u64) -> Scenario {
+/// The fig07-style golden run under an arbitrary defence spec: spoofed
+/// SYN flood against 5 solving clients.
+pub fn defended_syn_flood_scenario(seed: u64, defense: DefenseSpec) -> Scenario {
     let timeline = golden_timeline();
-    let mut s = Scenario::standard(seed, Defense::nash(), &timeline);
+    let mut s = Scenario::standard(seed, defense, &timeline);
     s.clients.truncate(5);
     s.attackers = Scenario::syn_flood_bots(3, 800.0, &timeline);
     s
 }
 
-/// The fig08-style golden run: non-solving connection flood against
-/// Nash puzzles.
-pub fn conn_flood_scenario(seed: u64) -> Scenario {
+/// The fig08-style golden run under an arbitrary defence spec:
+/// non-solving connection flood against 5 solving clients.
+pub fn defended_conn_flood_scenario(seed: u64, defense: DefenseSpec) -> Scenario {
     let timeline = golden_timeline();
-    let mut s = Scenario::standard(seed, Defense::nash(), &timeline);
+    let mut s = Scenario::standard(seed, defense, &timeline);
     s.clients.truncate(5);
     s.attackers = Scenario::conn_flood_bots(3, 300.0, false, &timeline);
     s
+}
+
+/// The fig07-style golden run: spoofed SYN flood against Nash puzzles.
+pub fn syn_flood_scenario(seed: u64) -> Scenario {
+    defended_syn_flood_scenario(seed, DefenseSpec::nash())
+}
+
+/// The fig08-style golden run: non-solving connection flood against
+/// Nash puzzles.
+pub fn conn_flood_scenario(seed: u64) -> Scenario {
+    defended_conn_flood_scenario(seed, DefenseSpec::nash())
 }
 
 /// Runs a scenario to the golden timeline's end and digests it.

@@ -15,8 +15,10 @@ use hostsim::{
 };
 use netsim::{LinkSpec, NetBuilder, NodeId, Route, Router, SimDuration, SimTime, Simulation};
 use puzzle_core::{Difficulty, ServerSecret, SolveCostModel};
+use puzzle_crypto::AutoBackend;
 use simmetrics::IntervalSeries;
-use tcpstack::{DefenseMode, PuzzleConfig, SynCacheConfig, TcpSegment, VerifyMode};
+use tcpstack::adaptive::AdaptiveDifficulty;
+use tcpstack::{PolicyBuilder, PuzzleConfig, SynCacheConfig, TcpSegment, VerifyMode};
 
 /// The server's address in every scenario.
 pub const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 1);
@@ -121,61 +123,188 @@ impl Timeline {
     }
 }
 
-/// Defence presets used across experiments.
-#[derive(Clone, Debug)]
-pub enum Defense {
-    /// Unprotected server.
-    None,
-    /// SYN cache with the given capacity (§2.1 baseline).
-    SynCache {
-        /// Reduced-state entries beyond the backlog.
-        capacity: usize,
-    },
-    /// SYN cookies.
-    Cookies,
-    /// Client puzzles at difficulty `(k, m)` with the oracle verifier.
-    Puzzles {
-        /// Sub-solutions per challenge.
-        k: u8,
-        /// Difficulty bits.
-        m: u8,
-    },
+/// The puzzle parameters every scenario preset shares: oracle
+/// verification (the simulation substitution, DESIGN.md) and the paper's
+/// 30 s controller hold.
+fn oracle_puzzle_config(k: u8, m: u8) -> PuzzleConfig {
+    PuzzleConfig {
+        difficulty: Difficulty::new(k, m).expect("valid difficulty"),
+        preimage_bits: 32,
+        expiry: 8,
+        verify: VerifyMode::Oracle,
+        hold: SimDuration::from_secs(30),
+        verify_workers: 1,
+    }
 }
 
-impl Defense {
+/// A named, buildable defence — one entry of the sweep axis.
+///
+/// This replaces the old closed `Defense` enum with a registry:
+/// [`DefenseSpec::registered`] lists the standard specs (including the
+/// `adaptive` and `stacked` compositions the enum could never express),
+/// [`DefenseSpec::by_name`] resolves sweep names like `--defense
+/// adaptive`, and every spec carries the [`PolicyBuilder`] that servers
+/// instantiate per listener.
+#[derive(Clone, Debug)]
+pub struct DefenseSpec {
+    name: String,
+    label: String,
+    builder: PolicyBuilder<AutoBackend>,
+}
+
+impl DefenseSpec {
+    fn make(
+        name: impl Into<String>,
+        label: impl Into<String>,
+        builder: PolicyBuilder<AutoBackend>,
+    ) -> DefenseSpec {
+        DefenseSpec {
+            name: name.into(),
+            label: label.into(),
+            builder,
+        }
+    }
+
+    /// Unprotected server.
+    pub fn none() -> DefenseSpec {
+        DefenseSpec::make("none", "nodefense", PolicyBuilder::none())
+    }
+
+    /// SYN cache with the given capacity (§2.1 baseline).
+    pub fn syn_cache(capacity: usize) -> DefenseSpec {
+        DefenseSpec::make(
+            "syncache",
+            format!("syncache-{capacity}"),
+            PolicyBuilder::syn_cache(SynCacheConfig {
+                capacity,
+                ..SynCacheConfig::default()
+            }),
+        )
+    }
+
+    /// SYN cookies.
+    pub fn cookies() -> DefenseSpec {
+        DefenseSpec::make("cookies", "cookies", PolicyBuilder::syn_cookies())
+    }
+
+    /// Client puzzles at difficulty `(k, m)` with the oracle verifier.
+    pub fn puzzles(k: u8, m: u8) -> DefenseSpec {
+        DefenseSpec::make(
+            format!("puzzles-k{k}m{m}"),
+            format!("challenges-k{k}m{m}"),
+            PolicyBuilder::puzzles(oracle_puzzle_config(k, m)),
+        )
+    }
+
     /// The paper's Nash difficulty (2, 17) (§4.4).
-    pub fn nash() -> Defense {
-        Defense::Puzzles { k: 2, m: 17 }
+    pub fn nash() -> DefenseSpec {
+        let mut spec = DefenseSpec::puzzles(2, 17);
+        spec.name = "nash".into();
+        spec
+    }
+
+    /// Closed-loop puzzles (§7): difficulty moves in `[floor_m,
+    /// ceiling_m]` bits at fixed `k`, escalating while puzzle admissions
+    /// exceed `target` per second and relaxing after `cooldown` calm
+    /// seconds.
+    pub fn adaptive_between(
+        k: u8,
+        floor_m: u8,
+        ceiling_m: u8,
+        target: f64,
+        cooldown: u32,
+    ) -> DefenseSpec {
+        let controller = AdaptiveDifficulty::new(
+            Difficulty::new(k, floor_m).expect("valid floor"),
+            Difficulty::new(k, ceiling_m).expect("valid ceiling"),
+            target,
+            cooldown,
+        )
+        .expect("valid controller config");
+        DefenseSpec::make(
+            "adaptive",
+            format!("adaptive-k{k}m{floor_m}..{ceiling_m}"),
+            PolicyBuilder::adaptive_puzzles(oracle_puzzle_config(k, floor_m), controller),
+        )
+    }
+
+    /// The standard adaptive preset: `(2, 12..20)`, 60 admissions/s
+    /// target, 10 s cooldown.
+    pub fn adaptive() -> DefenseSpec {
+        DefenseSpec::adaptive_between(2, 12, 20, 60.0, 10)
+    }
+
+    /// SYN-cache spillover *then* Nash puzzles — the paper's precedence
+    /// rules as explicit composition.
+    pub fn stacked_syncache_puzzles(capacity: usize) -> DefenseSpec {
+        DefenseSpec::make(
+            "stacked",
+            format!("syncache-{capacity}+challenges-k2m17"),
+            PolicyBuilder::stacked(vec![
+                PolicyBuilder::syn_cache(SynCacheConfig {
+                    capacity,
+                    ..SynCacheConfig::default()
+                }),
+                PolicyBuilder::puzzles(oracle_puzzle_config(2, 17)),
+            ]),
+        )
+    }
+
+    /// The registry: every standard named defence, in sweep order.
+    pub fn registered() -> Vec<DefenseSpec> {
+        vec![
+            DefenseSpec::none(),
+            DefenseSpec::syn_cache(4096),
+            DefenseSpec::cookies(),
+            DefenseSpec::nash(),
+            DefenseSpec::adaptive(),
+            DefenseSpec::stacked_syncache_puzzles(4096),
+        ]
+    }
+
+    /// Resolves a sweep name (`--defense <name>`): registry names
+    /// (`none`/`nodefense`, `syncache[-<cap>]`, `cookies`,
+    /// `nash`/`puzzles`, `adaptive`, `stacked`) plus parameterized
+    /// puzzle forms (`puzzles-k<k>m<m>`, `challenges-k<k>m<m>`).
+    pub fn by_name(name: &str) -> Option<DefenseSpec> {
+        match name {
+            "none" | "nodefense" => return Some(DefenseSpec::none()),
+            "syncache" => return Some(DefenseSpec::syn_cache(4096)),
+            "cookies" => return Some(DefenseSpec::cookies()),
+            "nash" | "puzzles" => return Some(DefenseSpec::nash()),
+            "adaptive" => return Some(DefenseSpec::adaptive()),
+            "stacked" | "syncache+puzzles" => {
+                return Some(DefenseSpec::stacked_syncache_puzzles(4096))
+            }
+            _ => {}
+        }
+        if let Some(cap) = name.strip_prefix("syncache-") {
+            return cap.parse().ok().map(DefenseSpec::syn_cache);
+        }
+        let km = name
+            .strip_prefix("puzzles-k")
+            .or_else(|| name.strip_prefix("challenges-k"))?;
+        let (k, m) = km.split_once('m')?;
+        let (k, m) = (k.parse().ok()?, m.parse().ok()?);
+        // Out-of-range difficulties (k = 0, m = 0, m > 63) are "unknown
+        // defense", not a panic inside the builder.
+        Difficulty::new(k, m).ok()?;
+        Some(DefenseSpec::puzzles(k, m))
+    }
+
+    /// The registry/sweep name.
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// Short display label for tables.
     pub fn label(&self) -> String {
-        match self {
-            Defense::None => "nodefense".into(),
-            Defense::SynCache { capacity } => format!("syncache-{capacity}"),
-            Defense::Cookies => "cookies".into(),
-            Defense::Puzzles { k, m } => format!("challenges-k{k}m{m}"),
-        }
+        self.label.clone()
     }
 
-    /// Lowers to the tcpstack defence mode.
-    pub fn to_mode(&self) -> DefenseMode {
-        match self {
-            Defense::None => DefenseMode::None,
-            Defense::SynCache { capacity } => DefenseMode::SynCache(SynCacheConfig {
-                capacity: *capacity,
-                ..SynCacheConfig::default()
-            }),
-            Defense::Cookies => DefenseMode::SynCookies,
-            Defense::Puzzles { k, m } => DefenseMode::Puzzles(PuzzleConfig {
-                difficulty: Difficulty::new(*k, *m).expect("valid difficulty"),
-                preimage_bits: 32,
-                expiry: 8,
-                verify: VerifyMode::Oracle,
-                hold: SimDuration::from_secs(30),
-                verify_workers: 1,
-            }),
-        }
+    /// The policy factory servers instantiate.
+    pub fn builder(&self) -> &PolicyBuilder<AutoBackend> {
+        &self.builder
     }
 }
 
@@ -206,8 +335,8 @@ impl Scenario {
     /// before the application's connection table is poisoned — see
     /// EXPERIMENTS.md for the scaling discussion. The fill *fractions*
     /// are the reproduction target, not the absolute axis.)
-    pub fn paper_server(defense: &Defense) -> ServerParams {
-        let mut p = ServerParams::new(SERVER_IP, SERVER_PORT, defense.to_mode());
+    pub fn paper_server(defense: &DefenseSpec) -> ServerParams {
+        let mut p = ServerParams::new(SERVER_IP, SERVER_PORT, defense.builder().clone());
         p.backlog = 256;
         p.accept_backlog = 512;
         p.secret = scenario_secret();
@@ -274,7 +403,7 @@ impl Scenario {
     }
 
     /// The paper's standard load (§6): 15 clients at 20 req/s of 10 kB.
-    pub fn standard(seed: u64, defense: Defense, timeline: &Timeline) -> Scenario {
+    pub fn standard(seed: u64, defense: DefenseSpec, timeline: &Timeline) -> Scenario {
         let _ = timeline;
         Scenario {
             seed,
@@ -443,6 +572,14 @@ impl Testbed {
         self.sim.node(self.server_id).as_server().expect("server")
     }
 
+    /// Mutable server access (runtime difficulty tuning and the like).
+    pub fn server_mut(&mut self) -> &mut ServerHost {
+        self.sim
+            .node_mut(self.server_id)
+            .as_server_mut()
+            .expect("server")
+    }
+
     /// Server metrics shorthand.
     pub fn server_metrics(&self) -> &ServerMetrics {
         self.server().metrics()
@@ -545,12 +682,12 @@ impl Testbed {
 /// [`crate::fig08::run_fleet`]) and for ad-hoc sweeps:
 ///
 /// ```no_run
-/// use experiments::scenario::{Defense, Matrix, Timeline};
+/// use experiments::scenario::{DefenseSpec, Matrix, Timeline};
 /// use hostsim::FleetAttack;
 /// use netsim::SimDuration;
 ///
 /// let cells = Matrix::new(Timeline::smoke())
-///     .defenses(vec![Defense::None, Defense::nash()])
+///     .defenses(vec![DefenseSpec::none(), DefenseSpec::nash()])
 ///     .attacks(vec![FleetAttack::ConnFlood {
 ///         rate: 20_000.0,
 ///         solve: None,
@@ -569,7 +706,7 @@ pub struct Matrix {
     /// Timeline every cell runs on.
     pub timeline: Timeline,
     /// Defence axis.
-    pub defenses: Vec<Defense>,
+    pub defenses: Vec<DefenseSpec>,
     /// Attack axis (aggregate rates live inside the variants).
     pub attacks: Vec<FleetAttack>,
     /// Fleet-size axis (flows per cell, up to 10⁶).
@@ -583,7 +720,7 @@ pub struct Matrix {
 /// One finished matrix cell.
 #[derive(Clone, Debug)]
 pub struct MatrixCell {
-    /// Defence label ([`Defense::label`]).
+    /// Defence label ([`DefenseSpec::label`]).
     pub defense: String,
     /// Attack label ([`FleetAttack::label`]).
     pub attack: String,
@@ -644,7 +781,7 @@ impl Matrix {
     }
 
     /// Sets the defence axis.
-    pub fn defenses(mut self, defenses: Vec<Defense>) -> Self {
+    pub fn defenses(mut self, defenses: Vec<DefenseSpec>) -> Self {
         self.defenses = defenses;
         self
     }
@@ -682,7 +819,7 @@ impl Matrix {
     /// cell by hand, e.g. the CI 100k-flow smoke).
     pub fn cell_scenario(
         &self,
-        defense: &Defense,
+        defense: &DefenseSpec,
         attack: &FleetAttack,
         flows: usize,
         seed: u64,
@@ -705,7 +842,7 @@ impl Matrix {
     /// Runs one cell to completion and reduces it.
     pub fn run_cell(
         &self,
-        defense: &Defense,
+        defense: &DefenseSpec,
         attack: &FleetAttack,
         flows: usize,
         seed: u64,
@@ -769,17 +906,47 @@ mod tests {
 
     #[test]
     fn defense_labels_and_modes() {
-        assert_eq!(Defense::None.label(), "nodefense");
-        assert_eq!(Defense::Cookies.label(), "cookies");
-        assert_eq!(Defense::nash().label(), "challenges-k2m17");
-        assert!(matches!(Defense::nash().to_mode(), DefenseMode::Puzzles(_)));
+        assert_eq!(DefenseSpec::none().label(), "nodefense");
+        assert_eq!(DefenseSpec::cookies().label(), "cookies");
+        assert_eq!(DefenseSpec::nash().label(), "challenges-k2m17");
+        assert_eq!(DefenseSpec::syn_cache(4096).label(), "syncache-4096");
+        assert_eq!(DefenseSpec::nash().builder().label(), "puzzles");
+        assert_eq!(DefenseSpec::adaptive().builder().label(), "adaptive");
+
+        // The registry resolves every spec it lists, by name.
+        for spec in DefenseSpec::registered() {
+            let resolved = DefenseSpec::by_name(spec.name()).expect("registered name resolves");
+            assert_eq!(resolved.label(), spec.label(), "{}", spec.name());
+        }
+        // Parameterized and alias forms.
+        assert_eq!(
+            DefenseSpec::by_name("challenges-k3m9")
+                .expect("parses")
+                .label(),
+            "challenges-k3m9"
+        );
+        assert_eq!(
+            DefenseSpec::by_name("syncache-512")
+                .expect("parses")
+                .label(),
+            "syncache-512"
+        );
+        assert_eq!(
+            DefenseSpec::by_name("nodefense").expect("alias").label(),
+            "nodefense"
+        );
+        assert!(DefenseSpec::by_name("frobnicate").is_none());
+        // Syntactically valid but out-of-range difficulties are unknown,
+        // not a panic in the builder.
+        assert!(DefenseSpec::by_name("puzzles-k0m8").is_none());
+        assert!(DefenseSpec::by_name("challenges-k2m64").is_none());
     }
 
     #[test]
     fn fig16_testbed_routes_traffic_end_to_end() {
         // One client, no attack: requests must complete across the mesh.
         let timeline = Timeline::smoke();
-        let mut scenario = Scenario::standard(11, Defense::None, &timeline);
+        let mut scenario = Scenario::standard(11, DefenseSpec::none(), &timeline);
         scenario.clients.truncate(3);
         let mut tb = scenario.build();
         tb.run_until_secs(10.0);
@@ -807,7 +974,7 @@ mod tests {
     #[test]
     fn matrix_cell_runs_fleet_conn_flood_end_to_end() {
         let matrix = Matrix::new(tiny_timeline())
-            .defenses(vec![Defense::nash()])
+            .defenses(vec![DefenseSpec::nash()])
             .attacks(vec![FleetAttack::ConnFlood {
                 rate: 500.0,
                 solve: None,
@@ -847,8 +1014,8 @@ mod tests {
                 spoof: true,
             }])
             .clients(3);
-        let nodef = matrix.run_cell(&Defense::None, &matrix.attacks[0], 1_000, 7);
-        let nash = matrix.run_cell(&Defense::nash(), &matrix.attacks[0], 1_000, 7);
+        let nodef = matrix.run_cell(&DefenseSpec::none(), &matrix.attacks[0], 1_000, 7);
+        let nash = matrix.run_cell(&DefenseSpec::nash(), &matrix.attacks[0], 1_000, 7);
         assert!(nodef.retained() < 0.5, "nodefense {:.2}", nodef.retained());
         assert!(
             nash.retained() > nodef.retained(),
@@ -867,7 +1034,7 @@ mod tests {
                 solve: oracle_strategy(),
             }])
             .clients(3);
-        let mut s = matrix.cell_scenario(&Defense::nash(), &matrix.attacks[0], 300, 3);
+        let mut s = matrix.cell_scenario(&DefenseSpec::nash(), &matrix.attacks[0], 300, 3);
         s.server.backlog = 0; // force challenges, so captures have solutions to steal
         let mut tb = s.build();
         tb.run_until_secs(timeline.total);
@@ -889,7 +1056,7 @@ mod tests {
     #[test]
     fn client_fleet_drives_goodput() {
         let timeline = tiny_timeline();
-        let mut s = Scenario::standard(9, Defense::nash(), &timeline);
+        let mut s = Scenario::standard(9, DefenseSpec::nash(), &timeline);
         s.clients.clear();
         s.client_fleets = vec![ClientFleetParams::population(
             client_fleet_base(0),

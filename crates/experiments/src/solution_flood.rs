@@ -11,7 +11,7 @@ use std::fmt;
 use netsim::SimTime;
 use simmetrics::Table;
 
-use crate::scenario::{Defense, Scenario, Timeline, SERVER_IP, SERVER_PORT};
+use crate::scenario::{DefenseSpec, Scenario, Timeline, SERVER_IP, SERVER_PORT};
 use hostsim::profiles::SERVER_HASH_RATE;
 use hostsim::{AttackKind, AttackerParams};
 
@@ -39,7 +39,7 @@ pub struct SolutionFloodResult {
 
 /// Measures one flood rate.
 pub fn measure(seed: u64, rate: f64, timeline: &Timeline) -> FloodPoint {
-    let mut scenario = Scenario::standard(seed, Defense::nash(), timeline);
+    let mut scenario = Scenario::standard(seed, DefenseSpec::nash(), timeline);
     scenario.server.backlog = 0; // puzzles always on
     scenario.attackers = vec![AttackerParams {
         addr: crate::scenario::attacker_addr(0),

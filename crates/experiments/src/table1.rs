@@ -8,7 +8,7 @@ use netsim::SimDuration;
 use puzzle_core::Difficulty;
 use simmetrics::Table;
 
-use crate::scenario::{oracle_strategy, Defense, Scenario, Timeline, SERVER_IP, SERVER_PORT};
+use crate::scenario::{oracle_strategy, DefenseSpec, Scenario, Timeline, SERVER_IP, SERVER_PORT};
 use hostsim::{AttackKind, AttackerParams};
 use netsim::SimTime;
 
@@ -65,7 +65,7 @@ pub fn run(seed: u64, full: bool) -> Table1Result {
     } else {
         Timeline::smoke()
     };
-    let mut scenario = Scenario::standard(seed, Defense::nash(), &timeline);
+    let mut scenario = Scenario::standard(seed, DefenseSpec::nash(), &timeline);
     scenario.attackers = IOT_DEVICES
         .iter()
         .enumerate()

@@ -31,9 +31,8 @@ use crate::profiles::SERVER_HASH_RATE;
 use netsim::{Context, IfaceId, Packet, SimDuration, SimTime, TimerId};
 use puzzle_core::ServerSecret;
 use simmetrics::{IntervalSeries, SampleSeries};
-use tcpstack::adaptive::{AdaptiveDifficulty, AdaptiveObservation};
 use tcpstack::{
-    DefenseMode, FlowKey, Listener, ListenerConfig, ListenerEvent, ListenerStats, TcpSegment,
+    FlowKey, Listener, ListenerConfig, ListenerEvent, ListenerStats, PolicyBuilder, TcpSegment,
 };
 
 /// Timer tag kinds (high byte of the tag).
@@ -57,8 +56,11 @@ pub struct ServerParams {
     pub backlog: usize,
     /// Accept-queue capacity.
     pub accept_backlog: usize,
-    /// Defence mode.
-    pub defense: DefenseMode,
+    /// Defence policy factory: each server builds a fresh live policy
+    /// bound to its listener's secret and backend. Compose with
+    /// [`PolicyBuilder::stacked`] or go closed-loop with
+    /// [`PolicyBuilder::adaptive_puzzles`].
+    pub defense: PolicyBuilder<puzzle_crypto::AutoBackend>,
     /// Worker pool size (apache's MaxRequestWorkers; a connection holds a
     /// worker from accept to close).
     pub workers: usize,
@@ -71,10 +73,6 @@ pub struct ServerParams {
     pub hash_rate: f64,
     /// The puzzle/cookie secret.
     pub secret: ServerSecret,
-    /// Optional closed-loop difficulty controller (the paper's §7
-    /// future-work extension), stepped once per second against the
-    /// listener's observed traffic.
-    pub adaptive: Option<AdaptiveDifficulty>,
 }
 
 impl ServerParams {
@@ -85,7 +83,11 @@ impl ServerParams {
     /// behind a poisoned pool, admission latency exceeds a client's
     /// patience — the cookie-mode collapse of Figs. 8 and 11. 10.8 MH/s
     /// crypto per §7.
-    pub fn new(addr: Ipv4Addr, port: u16, defense: DefenseMode) -> Self {
+    pub fn new(
+        addr: Ipv4Addr,
+        port: u16,
+        defense: PolicyBuilder<puzzle_crypto::AutoBackend>,
+    ) -> Self {
         ServerParams {
             addr,
             port,
@@ -97,7 +99,6 @@ impl ServerParams {
             service_rate: crate::profiles::PAPER_MU,
             hash_rate: SERVER_HASH_RATE,
             secret: ServerSecret::from_bytes([0x5e; 32]),
-            adaptive: None,
         }
     }
 }
@@ -195,8 +196,6 @@ pub struct ServerHost {
     prev_stats: ListenerStats,
     /// Listener stats at the previous sparkline sample.
     prev_tick_stats: ListenerStats,
-    /// Closed-loop difficulty controller, if configured.
-    adaptive: Option<AdaptiveDifficulty>,
 }
 
 impl ServerHost {
@@ -205,9 +204,12 @@ impl ServerHost {
         let mut lcfg = ListenerConfig::new(params.addr, params.port);
         lcfg.backlog = params.backlog;
         lcfg.accept_backlog = params.accept_backlog;
-        lcfg.defense = params.defense.clone();
-        let listener =
-            Listener::with_backend(lcfg, params.secret.clone(), puzzle_crypto::auto_backend());
+        let listener = Listener::with_policy(
+            lcfg,
+            params.secret.clone(),
+            puzzle_crypto::auto_backend(),
+            &params.defense,
+        );
         ServerHost {
             cpu: Cpu::new(params.hash_rate),
             listener,
@@ -220,7 +222,6 @@ impl ServerHost {
             next_job: 0,
             prev_stats: ListenerStats::default(),
             prev_tick_stats: ListenerStats::default(),
-            adaptive: params.adaptive.clone(),
             params,
         }
     }
@@ -250,9 +251,12 @@ impl ServerHost {
         self.params.workers - self.free_workers
     }
 
-    /// Runtime difficulty tuning (sysctl analogue).
-    pub fn set_difficulty(&mut self, difficulty: puzzle_core::Difficulty) {
-        self.listener.set_difficulty(difficulty);
+    /// Runtime difficulty tuning (sysctl analogue). Returns whether the
+    /// installed defence policy applied it — `false` for policies
+    /// without a difficulty knob (and for closed-loop policies, which
+    /// own the knob themselves).
+    pub fn set_difficulty(&mut self, difficulty: puzzle_core::Difficulty) -> bool {
+        self.listener.set_difficulty(difficulty)
     }
 
     fn alloc_job(&mut self, flow: FlowKey) -> u64 {
@@ -413,18 +417,15 @@ impl netsim::Node<TcpSegment> for ServerHost {
                 self.metrics
                     .plain_synack_rate
                     .push(secs, (s.synacks_sent - p.synacks_sent) as f64);
-                // Closed-loop difficulty control (§7 extension): one
-                // observation per tick, difficulty applied immediately.
-                if let Some(ctl) = &mut self.adaptive {
-                    let obs = AdaptiveObservation {
-                        puzzle_established: s.established_puzzle - p.established_puzzle,
-                        under_pressure: s.challenges_sent > p.challenges_sent
-                            || s.syns_dropped > p.syns_dropped
-                            || s.accept_overflow_drops > p.accept_overflow_drops,
-                    };
-                    let d = ctl.observe(obs);
-                    self.listener.set_difficulty(d);
-                    self.metrics.difficulty_m.push(secs, d.m() as f64);
+                // Closed-loop difficulty control (§7 extension) runs
+                // inside the listener's policy tick
+                // (`AdaptivePuzzleDefense`); sample the difficulty it
+                // holds in force for the metrics series.
+                let ps = self.listener.policy_stats();
+                if ps.adaptive {
+                    if let Some(d) = ps.difficulty {
+                        self.metrics.difficulty_m.push(secs, d.m() as f64);
+                    }
                 }
                 self.prev_tick_stats = s;
                 ctx.set_timer(SimDuration::from_secs(1), tag(K_TICK, 0));
@@ -505,7 +506,7 @@ mod tests {
 
     #[test]
     fn dead_connection_drain_rate_matches_pool_over_timeout() {
-        let p = ServerParams::new(Ipv4Addr::new(10, 0, 0, 1), 80, DefenseMode::None);
+        let p = ServerParams::new(Ipv4Addr::new(10, 0, 0, 1), 80, PolicyBuilder::none());
         let drain = p.workers as f64 / p.read_timeout.as_secs_f64();
         // Slow enough that a backed-up accept queue exceeds client patience.
         assert!((drain - 30.0).abs() < 2.0, "drain {drain}");

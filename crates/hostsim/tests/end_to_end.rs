@@ -8,7 +8,8 @@ use hostsim::{
 };
 use netsim::{LinkSpec, NetBuilder, NodeId, Route, Router, SimDuration, SimTime, Simulation};
 use puzzle_core::{Difficulty, ServerSecret, SolveCostModel};
-use tcpstack::{DefenseMode, PuzzleConfig, TcpSegment, VerifyMode};
+use puzzle_crypto::AutoBackend;
+use tcpstack::{PolicyBuilder, PuzzleConfig, TcpSegment, VerifyMode};
 
 const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 1);
 
@@ -74,8 +75,8 @@ fn secret() -> ServerSecret {
     ServerSecret::from_bytes([0x5e; 32])
 }
 
-fn puzzle_defense(k: u8, m: u8, verify: VerifyMode) -> DefenseMode {
-    DefenseMode::Puzzles(PuzzleConfig {
+fn puzzle_defense(k: u8, m: u8, verify: VerifyMode) -> PolicyBuilder<AutoBackend> {
+    PolicyBuilder::puzzles(PuzzleConfig {
         difficulty: Difficulty::new(k, m).unwrap(),
         preimage_bits: 32,
         expiry: 8,
@@ -94,7 +95,7 @@ fn oracle() -> SolveStrategy {
 
 #[test]
 fn quiet_network_serves_all_requests() {
-    let server = ServerParams::new(SERVER_IP, 80, DefenseMode::None);
+    let server = ServerParams::new(SERVER_IP, 80, PolicyBuilder::none());
     let client = ClientParams::new(client_ip(0), SERVER_IP, SolveBehavior::Ignore, 350_000.0);
     let mut w = build_world(1, server, vec![client], vec![]);
     w.sim.run_until(SimTime::from_secs(30));
@@ -120,7 +121,7 @@ fn quiet_network_serves_all_requests() {
 
 #[test]
 fn syn_flood_kills_undefended_server() {
-    let mut server = ServerParams::new(SERVER_IP, 80, DefenseMode::None);
+    let mut server = ServerParams::new(SERVER_IP, 80, PolicyBuilder::none());
     server.backlog = 256;
     let client = ClientParams::new(client_ip(0), SERVER_IP, SolveBehavior::Ignore, 350_000.0);
     let attacker = AttackerParams {
@@ -192,7 +193,7 @@ fn syn_flood_with_puzzles_keeps_clients_served() {
 fn connection_flood_beats_cookies_but_not_puzzles() {
     // Returns (client goodput B/s, mean accept depth, mean listen depth)
     // over the attack window — the Fig. 8 + Fig. 10 signatures.
-    let run = |defense: DefenseMode, solve: Option<SolveStrategy>, seed: u64| {
+    let run = |defense: PolicyBuilder<AutoBackend>, solve: Option<SolveStrategy>, seed: u64| {
         let mut server = ServerParams::new(SERVER_IP, 80, defense);
         server.backlog = 256;
         server.accept_backlog = 256;
@@ -237,7 +238,7 @@ fn connection_flood_beats_cookies_but_not_puzzles() {
         )
     };
 
-    let (cookie_rate, cookie_accept, cookie_listen) = run(DefenseMode::SynCookies, None, 4);
+    let (cookie_rate, cookie_accept, cookie_listen) = run(PolicyBuilder::syn_cookies(), None, 4);
     let (puzzle_rate, puzzle_accept, _puzzle_listen) =
         run(puzzle_defense(2, 17, VerifyMode::Oracle), None, 5);
 

@@ -40,15 +40,23 @@ pub mod client;
 pub mod cookie;
 pub mod listener;
 pub mod options;
+pub mod policy;
 pub mod segment;
 
 pub use client::{ClientConfig, ClientConn, ClientEvent, ClientState};
 pub use cookie::SynCookieCodec;
+#[allow(deprecated)]
+pub use listener::DefenseMode;
 pub use listener::{
-    oracle_proof, oracle_proof_with, puzzle_clock, DefenseMode, FlowKey, Listener, ListenerConfig,
+    oracle_proof, oracle_proof_with, puzzle_clock, FlowKey, Listener, ListenerConfig, ListenerCore,
     ListenerEvent, ListenerStats, PuzzleConfig, SynCacheConfig, VerifyMode,
 };
 pub use options::{ChallengeOption, OptionDecodeError, SolutionOption, TcpOption};
+pub use policy::{
+    AckClass, AckDisposition, AdaptivePuzzleDefense, DefensePolicy, NoDefense, PendingSolution,
+    PolicyBuilder, PolicyStats, PuzzleDefense, QueuePressure, Stacked, SynCacheDefense,
+    SynCookieDefense, SynDisposition,
+};
 pub use segment::{
     SegmentBuilder, SegmentDecodeError, TcpFlags, TcpSegment, MAX_OPTIONS_LEN, TCP_HEADER_LEN,
 };

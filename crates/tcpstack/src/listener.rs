@@ -19,19 +19,21 @@
 //!   data elicits an RST.
 //! * Replay defence: the solution timestamp must be fresh, and tampering
 //!   with it breaks the recomputed pre-image (§5, §7).
+//!
+//! The defences themselves live behind the composable
+//! [`DefensePolicy`](crate::policy::DefensePolicy) pipeline: the listener
+//! owns the queues, counters, and crypto identity ([`ListenerCore`]) and
+//! consults its installed policy at each phase. The legacy [`DefenseMode`]
+//! enum survives only as a deprecated mapping onto policy builders.
 
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
-use std::sync::Arc;
 
-use crate::cookie::SynCookieCodec;
-use crate::options::{ChallengeOption, SolutionOption, TcpOption};
+use crate::policy::{AckClass, AckDisposition, PendingSolution, PolicyBuilder, PolicyStats};
+use crate::policy::{DefensePolicy, QueuePressure, SynDisposition};
 use crate::segment::{SegmentBuilder, TcpFlags, TcpSegment};
 use netsim::{SimDuration, SimTime};
-use puzzle_core::{
-    BatchScratch, ChallengeParams, ConnectionTuple, Difficulty, ReplayCache, ServerSecret,
-    Solution, Verifier, VerifyError, VerifyRequest,
-};
+use puzzle_core::{ConnectionTuple, Difficulty, ServerSecret, VerifyError, VerifyRequest};
 use puzzle_crypto::{HashBackend, ScalarBackend};
 
 /// Converts simulator time to the puzzle/second clock used in challenge
@@ -89,7 +91,8 @@ pub struct PuzzleConfig {
     /// verification on the calling thread (through the reusable
     /// zero-allocation scratch); higher values fan each batch across
     /// scoped threads partitioned by replay key
-    /// ([`Verifier::verify_batch_parallel`]) for multi-core scaling.
+    /// ([`puzzle_core::Verifier::verify_batch_parallel`]) for multi-core
+    /// scaling.
     pub verify_workers: usize,
 }
 
@@ -127,16 +130,22 @@ impl Default for SynCacheConfig {
     }
 }
 
-/// The listener's defence mode.
-#[derive(Clone, Debug, Default)]
+/// The legacy closed defence-mode enum.
+///
+/// Defences are now composable [`DefensePolicy`] implementations built
+/// through [`PolicyBuilder`]; this enum survives only as a thin
+/// compatibility constructor — [`DefenseMode::into_builder`] maps each
+/// old variant to its policy.
+#[deprecated(
+    note = "build a composable policy via tcpstack::policy::PolicyBuilder \
+            (PolicyBuilder::none/syn_cache/syn_cookies/puzzles/stacked/adaptive_puzzles)"
+)]
+#[derive(Clone, Debug)]
 pub enum DefenseMode {
     /// No protection: the listen queue overflows and SYNs are dropped.
-    #[default]
     None,
     /// SYN cache: overflowing half-opens spill into a larger
-    /// reduced-state table (§2.1). "Although efficient against a single
-    /// attacker … once the cache is full, the server will default to the
-    /// same behavior it performed when its backlog limit is reached."
+    /// reduced-state table (§2.1).
     SynCache(SynCacheConfig),
     /// SYN cookies engage when the listen queue is full.
     SynCookies,
@@ -145,7 +154,22 @@ pub enum DefenseMode {
     Puzzles(PuzzleConfig),
 }
 
-/// Listener configuration.
+#[allow(deprecated)]
+impl DefenseMode {
+    /// The deprecated compatibility constructor: maps each legacy
+    /// variant to its composable policy builder.
+    pub fn into_builder<B: HashBackend + 'static>(self) -> PolicyBuilder<B> {
+        match self {
+            DefenseMode::None => PolicyBuilder::none(),
+            DefenseMode::SynCache(cc) => PolicyBuilder::syn_cache(cc),
+            DefenseMode::SynCookies => PolicyBuilder::syn_cookies(),
+            DefenseMode::Puzzles(pc) => PolicyBuilder::puzzles(pc),
+        }
+    }
+}
+
+/// Listener configuration. The defence itself is no longer part of the
+/// config — pass a [`PolicyBuilder`] to [`Listener::with_policy`].
 #[derive(Clone, Debug)]
 pub struct ListenerConfig {
     /// The server's own address.
@@ -156,8 +180,6 @@ pub struct ListenerConfig {
     pub backlog: usize,
     /// Accept-queue capacity.
     pub accept_backlog: usize,
-    /// Defence mode.
-    pub defense: DefenseMode,
     /// SYN-ACK retransmissions before a half-open connection is dropped.
     /// The default (4, with a 1 s base timeout and exponential backoff)
     /// gives half-opens a ~31 s lifetime — this is what produces the
@@ -174,14 +196,13 @@ pub struct ListenerConfig {
 
 impl ListenerConfig {
     /// A conventional configuration on `addr:port` with Linux-ish
-    /// defaults (backlog 256, accept backlog 256, no defence).
+    /// defaults (backlog 256, accept backlog 256).
     pub fn new(addr: Ipv4Addr, port: u16) -> Self {
         ListenerConfig {
             local_addr: addr,
             port,
             backlog: 256,
             accept_backlog: 256,
-            defense: DefenseMode::None,
             synack_retries: 4,
             synack_timeout: SimDuration::from_secs(1),
             mss: 1460,
@@ -316,7 +337,7 @@ impl ListenerStats {
 
 /// A half-open connection in the listen queue.
 #[derive(Clone, Debug)]
-struct HalfOpen {
+pub(crate) struct HalfOpen {
     client_isn: u32,
     server_isn: u32,
     mss: u16,
@@ -328,7 +349,7 @@ struct HalfOpen {
 
 /// An established connection (accept queue or accepted).
 #[derive(Clone, Debug)]
-struct Established {
+pub(crate) struct Established {
     flow: FlowKey,
     server_next_seq: u32,
     mss: u16,
@@ -343,478 +364,81 @@ pub struct ListenerOutput {
     pub events: Vec<ListenerEvent>,
 }
 
-/// A solution-bearing ACK waiting for the batched verification flush in
-/// [`Listener::on_segments`].
+/// The listener's defence-independent machinery: configuration, crypto
+/// identity, queues, and counters. Every [`DefensePolicy`] hook receives
+/// a mutable reference so policies drive the same state the hard-coded
+/// enum arms used to.
 #[derive(Debug)]
-struct PendingSolution {
-    flow: FlowKey,
-    /// ACK number (the server's next sequence number on establish).
-    ack: u32,
-    /// MSS echoed in the solution option.
-    mss: u16,
-    request: VerifyRequest,
-    payload: Vec<u8>,
-    fin: bool,
-}
-
-/// How one inbound segment was routed by the batch collector.
-enum Collected {
-    /// A solution ACK queued for the next batched verification flush.
-    Pending(PendingSolution),
-    /// Fully handled during collection (queue-gated or parse-rejected).
-    Handled,
-    /// Needs ordinary sequential processing.
-    Sequential,
-}
-
-/// The listening socket, generic over the [`HashBackend`] that serves its
-/// puzzle and ISN hashing. See the module docs for the behavioural model.
-#[derive(Debug)]
-pub struct Listener<B: HashBackend = ScalarBackend> {
-    cfg: ListenerConfig,
-    secret: ServerSecret,
-    backend: B,
-    verifier: Verifier<B>,
-    cookies: SynCookieCodec,
-    listen_q: HashMap<FlowKey, HalfOpen>,
-    /// Reduced-state overflow entries (SYN-cache mode): flow → (server
-    /// ISN, expiry instant). No retransmission state is kept.
-    syn_cache: HashMap<FlowKey, (u32, SimTime)>,
-    accept_q: VecDeque<Established>,
+pub struct ListenerCore<B: HashBackend> {
+    pub(crate) cfg: ListenerConfig,
+    pub(crate) secret: ServerSecret,
+    pub(crate) backend: B,
+    pub(crate) listen_q: HashMap<FlowKey, HalfOpen>,
+    pub(crate) accept_q: VecDeque<Established>,
     /// Flows currently in the accept queue (for O(1) membership tests).
-    in_accept_q: HashMap<FlowKey, ()>,
+    pub(crate) in_accept_q: HashMap<FlowKey, ()>,
     /// Connections handed to the application by [`Listener::accept`].
-    accepted: HashMap<FlowKey, Established>,
-    stats: ListenerStats,
-    isn_counter: u64,
-    /// Puzzle-controller latch: challenge every SYN until this instant.
-    challenge_hold_until: SimTime,
-    /// Reusable batch-verification buffers: after warm-up, flushing a run
-    /// of solution ACKs through the verifier allocates nothing.
-    scratch: BatchScratch,
-    /// Reusable verdict staging for the flush loop.
-    verdict_buf: Vec<Result<(), VerifyError>>,
+    pub(crate) accepted: HashMap<FlowKey, Established>,
+    pub(crate) stats: ListenerStats,
+    pub(crate) isn_counter: u64,
+    /// Reusable verdict staging for the verification paths.
+    pub(crate) verdict_buf: Vec<Result<(), VerifyError>>,
 }
 
-impl Listener<ScalarBackend> {
-    /// Creates a listener over the default scalar hash backend.
-    pub fn new(cfg: ListenerConfig, secret: ServerSecret) -> Self {
-        Listener::with_backend(cfg, secret, ScalarBackend)
-    }
-}
-
-impl<B: HashBackend> Listener<B> {
-    /// Creates a listener hashing through `backend`. In puzzle mode the
-    /// verifier gets a sharded [`ReplayCache`], so a solution is admitted
-    /// at most once per `(tuple, timestamp)` inside the expiry window.
-    pub fn with_backend(cfg: ListenerConfig, secret: ServerSecret, backend: B) -> Self {
-        let expiry = match &cfg.defense {
-            DefenseMode::Puzzles(p) => p.expiry,
-            _ => PuzzleConfig::default().expiry,
-        };
-        let mut verifier =
-            Verifier::with_backend(secret.clone(), backend.clone()).with_expiry(expiry);
-        if matches!(cfg.defense, DefenseMode::Puzzles(_)) {
-            verifier = verifier.with_replay_cache(Arc::new(ReplayCache::default()));
-        }
-        let cookies = SynCookieCodec::new(*secret.as_bytes());
-        Listener {
-            cfg,
-            secret,
-            backend,
-            verifier,
-            cookies,
-            listen_q: HashMap::new(),
-            syn_cache: HashMap::new(),
-            accept_q: VecDeque::new(),
-            in_accept_q: HashMap::new(),
-            accepted: HashMap::new(),
-            stats: ListenerStats::default(),
-            isn_counter: 0,
-            challenge_hold_until: SimTime::ZERO,
-            scratch: BatchScratch::new(),
-            verdict_buf: Vec::new(),
-        }
-    }
-
+impl<B: HashBackend> ListenerCore<B> {
     /// Current configuration.
     pub fn config(&self) -> &ListenerConfig {
         &self.cfg
     }
 
-    /// Runtime-tunes the puzzle difficulty, like the paper's sysctl knob.
-    /// No-op unless the defence mode is `Puzzles`.
-    pub fn set_difficulty(&mut self, difficulty: Difficulty) {
-        if let DefenseMode::Puzzles(p) = &mut self.cfg.defense {
-            p.difficulty = difficulty;
-        }
+    /// The listener's secret (cookie/puzzle keying).
+    pub fn secret(&self) -> &ServerSecret {
+        &self.secret
     }
 
-    /// Counter snapshot.
-    pub fn stats(&self) -> ListenerStats {
-        self.stats
+    /// The hash backend serving this listener.
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
-    /// `(listen_queue_len, accept_queue_len)` — what Fig. 10 plots.
-    pub fn queue_depths(&self) -> (usize, usize) {
-        (self.listen_q.len(), self.accept_q.len())
+    /// Mutable counter access for policy bookkeeping.
+    pub fn stats_mut(&mut self) -> &mut ListenerStats {
+        &mut self.stats
     }
 
-    /// Current SYN-cache occupancy (0 unless in SYN-cache mode).
-    pub fn syn_cache_len(&self) -> usize {
-        self.syn_cache.len()
+    /// Current accept-queue occupancy.
+    pub fn accept_queue_len(&self) -> usize {
+        self.accept_q.len()
     }
 
-    /// Pops the oldest established connection for application service.
-    pub fn accept(&mut self) -> Option<FlowKey> {
-        let conn = self.accept_q.pop_front()?;
-        self.in_accept_q.remove(&conn.flow);
-        let flow = conn.flow;
-        self.accepted.insert(flow, conn);
-        Some(flow)
+    /// Whether the accept queue is at capacity.
+    pub fn accept_queue_full(&self) -> bool {
+        self.accept_q.len() >= self.cfg.accept_backlog
     }
 
-    /// Sends `len` bytes of application data to an accepted flow, chunked
-    /// by the connection MSS; sets FIN on the last chunk when `fin`,
-    /// closing the connection server-side.
-    ///
-    /// Returns an empty vector if the flow is not in the accepted set.
-    pub fn send_data(
-        &mut self,
-        flow: FlowKey,
-        len: usize,
-        fin: bool,
-    ) -> Vec<(Ipv4Addr, TcpSegment)> {
-        let Some(conn) = self.accepted.get_mut(&flow) else {
-            return Vec::new();
-        };
-        let mut out = Vec::new();
-        let mss = conn.mss as usize;
-        let mut remaining = len;
-        loop {
-            let chunk = remaining.min(mss);
-            remaining -= chunk;
-            let last = remaining == 0;
-            let mut flags = TcpFlags::ACK;
-            if last {
-                flags = flags | TcpFlags::PSH;
-                if fin {
-                    flags = flags | TcpFlags::FIN;
-                }
-            }
-            let seg = SegmentBuilder::new(self.cfg.port, flow.port)
-                .seq(conn.server_next_seq)
-                .flags(flags)
-                .payload(vec![b'x'; chunk])
-                .build();
-            conn.server_next_seq = conn.server_next_seq.wrapping_add(chunk as u32);
-            out.push((flow.addr, seg));
-            if last {
-                break;
-            }
-        }
-        if fin {
-            self.accepted.remove(&flow);
-        }
-        out
+    /// Takes the reusable verdict-staging buffer (return it with
+    /// [`ListenerCore::put_verdict_buf`] so steady-state verification
+    /// stays allocation-free).
+    pub fn take_verdict_buf(&mut self) -> Vec<Result<(), VerifyError>> {
+        std::mem::take(&mut self.verdict_buf)
     }
 
-    /// Closes an accepted flow without sending anything.
-    pub fn close(&mut self, flow: FlowKey) {
-        self.accepted.remove(&flow);
+    /// Returns the verdict-staging buffer after use (cleared).
+    pub fn put_verdict_buf(&mut self, mut buf: Vec<Result<(), VerifyError>>) {
+        buf.clear();
+        self.verdict_buf = buf;
     }
 
-    /// Feeds one inbound segment. `src` is the IP source address (possibly
-    /// spoofed — the listener treats it as opaque, like a real stack).
-    pub fn on_segment(&mut self, now: SimTime, src: Ipv4Addr, seg: &TcpSegment) -> ListenerOutput {
-        let mut out = ListenerOutput::default();
-        match self.collect_solution(src, seg, 0, &mut out) {
-            Collected::Pending(p) => {
-                let mut pending = vec![p];
-                self.flush_solutions(now, &mut pending, &mut out);
-            }
-            Collected::Handled => {}
-            Collected::Sequential => self.segment_inner(now, src, seg, &mut out),
-        }
-        out
+    /// Whether the listener itself holds state for `flow` (accepted,
+    /// queued, or half-open).
+    pub fn knows_flow(&self, flow: &FlowKey) -> bool {
+        self.accepted.contains_key(flow)
+            || self.in_accept_q.contains_key(flow)
+            || self.listen_q.contains_key(flow)
     }
 
-    /// Feeds a burst of inbound segments, verifying all their puzzle
-    /// solutions through one [`Verifier::verify_batch`] call.
-    ///
-    /// Runs of consecutive solution-bearing ACKs from unknown flows — the
-    /// dominant traffic shape under a solving connection flood — are
-    /// queue-gated in arrival order (each unverified batch member counts
-    /// as a presumptive admission, matching sequential processing when
-    /// solutions are valid) and then handed to the batch engine as one
-    /// round-structured hash workload. Any other segment flushes the
-    /// pending run first, so segment ordering semantics are preserved.
-    /// One divergence from strictly sequential processing: a flow sending
-    /// two solution ACKs in the same run has its second rejected as
-    /// [`VerifyError::Replayed`] instead of being treated as a data ACK.
-    pub fn on_segments(
-        &mut self,
-        now: SimTime,
-        segments: &[(Ipv4Addr, TcpSegment)],
-    ) -> ListenerOutput {
-        let mut out = ListenerOutput::default();
-        let mut pending: Vec<PendingSolution> = Vec::new();
-        for (src, seg) in segments {
-            match self.collect_solution(*src, seg, pending.len(), &mut out) {
-                Collected::Pending(p) => pending.push(p),
-                Collected::Handled => {}
-                Collected::Sequential => {
-                    self.flush_solutions(now, &mut pending, &mut out);
-                    self.segment_inner(now, *src, seg, &mut out);
-                }
-            }
-        }
-        self.flush_solutions(now, &mut pending, &mut out);
-        out
-    }
-
-    /// Sequential (non-batched) processing of one segment.
-    fn segment_inner(
-        &mut self,
-        now: SimTime,
-        src: Ipv4Addr,
-        seg: &TcpSegment,
-        out: &mut ListenerOutput,
-    ) {
-        let flow = FlowKey {
-            addr: src,
-            port: seg.src_port,
-        };
-        if seg.flags.contains(TcpFlags::RST) {
-            self.listen_q.remove(&flow);
-            self.syn_cache.remove(&flow);
-            self.accepted.remove(&flow);
-            return;
-        }
-        if seg.flags.contains(TcpFlags::SYN) && !seg.flags.contains(TcpFlags::ACK) {
-            self.handle_syn(now, flow, seg, out);
-        } else if seg.flags.contains(TcpFlags::ACK) {
-            self.handle_ack(now, flow, seg, out);
-        }
-    }
-
-    /// Routes a segment into the batched verification pipeline when it is
-    /// a solution-bearing ACK for a flow with no listener state; performs
-    /// the paper's check-queue-before-verify gating and option parsing.
-    fn collect_solution(
-        &mut self,
-        src: Ipv4Addr,
-        seg: &TcpSegment,
-        pending_count: usize,
-        out: &mut ListenerOutput,
-    ) -> Collected {
-        let DefenseMode::Puzzles(pc) = self.cfg.defense.clone() else {
-            return Collected::Sequential;
-        };
-        if !seg.flags.contains(TcpFlags::ACK) || seg.flags.contains(TcpFlags::RST) {
-            return Collected::Sequential;
-        }
-        let Some(sol) = seg.solution() else {
-            return Collected::Sequential;
-        };
-        let flow = FlowKey {
-            addr: src,
-            port: seg.src_port,
-        };
-        if self.accepted.contains_key(&flow)
-            || self.in_accept_q.contains_key(&flow)
-            || self.listen_q.contains_key(&flow)
-            || self.syn_cache.contains_key(&flow)
-        {
-            return Collected::Sequential;
-        }
-        // "First checks if the queue is full and only performs the
-        // verification procedure when there is room" (§5).
-        if self.accept_q.len() + pending_count >= self.cfg.accept_backlog {
-            self.stats.acks_ignored_queue_full += 1;
-            out.events.push(ListenerEvent::AckIgnoredQueueFull { flow });
-            return Collected::Handled;
-        }
-        match self.parse_solution(flow, seg, sol, &pc) {
-            Ok((request, mss)) => Collected::Pending(PendingSolution {
-                flow,
-                ack: seg.ack,
-                mss,
-                request,
-                payload: seg.payload.clone(),
-                fin: seg.flags.contains(TcpFlags::FIN),
-            }),
-            Err(reason) => {
-                self.note_rejection(flow, reason, out);
-                Collected::Handled
-            }
-        }
-    }
-
-    /// Verifies and applies a pending run of solution ACKs.
-    fn flush_solutions(
-        &mut self,
-        now: SimTime,
-        pending: &mut Vec<PendingSolution>,
-        out: &mut ListenerOutput,
-    ) {
-        if pending.is_empty() {
-            return;
-        }
-        // Split each pending entry into its verification request and the
-        // establishment metadata, so the batch borrows the requests
-        // without re-cloning proof vectors.
-        let mut requests: Vec<VerifyRequest> = Vec::with_capacity(pending.len());
-        let mut meta: Vec<(FlowKey, u32, u16, Vec<u8>, bool)> = Vec::with_capacity(pending.len());
-        for p in pending.drain(..) {
-            requests.push(p.request);
-            meta.push((p.flow, p.ack, p.mss, p.payload, p.fin));
-        }
-        // Stage verdicts in the reusable buffer (taken out of `self` so
-        // the establishment loop below can borrow the listener mutably).
-        let mut verdicts = std::mem::take(&mut self.verdict_buf);
-        self.check_solution_acks(puzzle_clock(now), &requests, &mut verdicts);
-        for ((flow, ack, mss, payload, fin), verdict) in meta.into_iter().zip(verdicts.drain(..)) {
-            match verdict {
-                Ok(()) => self.finish_establish(
-                    flow,
-                    ack,
-                    mss.min(self.cfg.mss),
-                    EstablishedVia::Puzzle,
-                    &payload,
-                    fin,
-                    out,
-                ),
-                Err(reason) => self.note_rejection(flow, reason, out),
-            }
-        }
-        self.verdict_buf = verdicts;
-    }
-
-    /// The verification chokepoint both solution paths share, appending
-    /// one verdict per request to `verdicts`: real mode goes through the
-    /// backend's batch engine (replay cache included) — via the reusable
-    /// zero-allocation scratch on the calling thread, or fanned across
-    /// scoped worker threads when [`PuzzleConfig::verify_workers`] > 1;
-    /// oracle mode recomputes keyed proofs and charges the real-path
-    /// hash-count equivalent, consulting the same replay cache.
-    fn check_solution_acks(
-        &mut self,
-        now_ts: u32,
-        requests: &[VerifyRequest],
-        verdicts: &mut Vec<Result<(), VerifyError>>,
-    ) {
-        let (mode, workers) = match &self.cfg.defense {
-            DefenseMode::Puzzles(pc) => (pc.verify, pc.verify_workers),
-            _ => (VerifyMode::Real, 1),
-        };
-        match mode {
-            VerifyMode::Real if workers > 1 => {
-                let batch = self
-                    .verifier
-                    .verify_batch_parallel(requests, now_ts, workers);
-                self.stats.verify_hashes += batch.hashes;
-                verdicts.extend(batch.verdicts);
-            }
-            VerifyMode::Real => {
-                self.stats.verify_hashes +=
-                    self.verifier
-                        .verify_batch_with(requests, now_ts, &mut self.scratch);
-                verdicts.extend_from_slice(self.scratch.verdicts());
-            }
-            VerifyMode::Oracle => {
-                let cache = self.verifier.replay_cache().cloned();
-                let max_age = self.verifier.max_age();
-                verdicts.reserve(requests.len());
-                for (tuple, params, solution) in requests {
-                    if let Some(c) = &cache {
-                        if c.contains(tuple, params.timestamp, now_ts, max_age) {
-                            verdicts.push(Err(VerifyError::Replayed));
-                            continue;
-                        }
-                    }
-                    let (res, hashes) = oracle_verify(
-                        &self.backend,
-                        &self.secret,
-                        max_age,
-                        tuple,
-                        params,
-                        solution,
-                        now_ts,
-                    );
-                    self.stats.verify_hashes += hashes;
-                    let res = match (&res, &cache) {
-                        (Ok(()), Some(c))
-                            if !c.insert(tuple, params.timestamp, now_ts, max_age) =>
-                        {
-                            Err(VerifyError::Replayed)
-                        }
-                        _ => res,
-                    };
-                    verdicts.push(res);
-                }
-            }
-        }
-    }
-
-    /// Books a failed verification: counters plus the rejection event.
-    fn note_rejection(&mut self, flow: FlowKey, reason: VerifyError, out: &mut ListenerOutput) {
-        self.stats.verify_failures += 1;
-        if matches!(reason, VerifyError::Expired { .. }) {
-            self.stats.verify_expired += 1;
-        }
-        if matches!(reason, VerifyError::Replayed) {
-            self.stats.verify_replayed += 1;
-        }
-        out.events
-            .push(ListenerEvent::SolutionRejected { flow, reason });
-    }
-
-    /// Drives retransmissions and half-open expiry; call periodically.
-    pub fn poll(&mut self, now: SimTime) -> Vec<(Ipv4Addr, TcpSegment)> {
-        let mut out = Vec::new();
-        let mut expired = Vec::new();
-        let max_retries = self.cfg.synack_retries;
-        let base = self.cfg.synack_timeout;
-        let port = self.cfg.port;
-        let use_ts = self.cfg.use_timestamps;
-        let now_ts = puzzle_clock(now);
-        for (flow, half) in self.listen_q.iter_mut() {
-            if half.next_retx > now {
-                continue;
-            }
-            if half.retries >= max_retries {
-                expired.push(*flow);
-                continue;
-            }
-            half.retries += 1;
-            // Exponential backoff: timeout × 2^retries.
-            let backoff = base * (1u64 << half.retries.min(16));
-            half.next_retx = now + backoff;
-            let seg = build_synack(
-                port,
-                *flow,
-                half.server_isn,
-                half.client_isn,
-                half.mss,
-                use_ts
-                    .then_some((now_ts, half.peer_tsval))
-                    .filter(|_| half.has_ts),
-            );
-            out.push((flow.addr, seg));
-        }
-        for flow in expired {
-            self.listen_q.remove(&flow);
-            self.stats.half_open_expired += 1;
-        }
-        let before = self.syn_cache.len();
-        self.syn_cache.retain(|_, (_, expires)| *expires > now);
-        self.stats.syncache_expired += (before - self.syn_cache.len()) as u64;
-        self.stats.synacks_sent += out.len() as u64;
-        out
-    }
-
-    fn next_server_isn(&mut self, flow: FlowKey) -> u32 {
+    /// Mints the next server ISN for `flow` (keyed counter hash).
+    pub fn next_server_isn(&mut self, flow: FlowKey) -> u32 {
         self.isn_counter += 1;
         let t = self.backend.hmac_sha256_parts(
             self.secret.as_bytes(),
@@ -828,345 +452,20 @@ impl<B: HashBackend> Listener<B> {
         u32::from_be_bytes([t[0], t[1], t[2], t[3]])
     }
 
-    fn handle_syn(
-        &mut self,
-        now: SimTime,
-        flow: FlowKey,
-        seg: &TcpSegment,
-        out: &mut ListenerOutput,
-    ) {
-        self.stats.syns_received += 1;
-        let now_ts = puzzle_clock(now);
-        let client_ts = seg.timestamps().map(|(tsval, _)| tsval);
-
-        // Duplicate SYN for an existing half-open: retransmit the SYN-ACK.
-        if let Some(half) = self.listen_q.get(&flow) {
-            let reply = build_synack(
-                self.cfg.port,
-                flow,
-                half.server_isn,
-                half.client_isn,
-                half.mss,
-                (self.cfg.use_timestamps && half.has_ts).then_some((now_ts, half.peer_tsval)),
-            );
-            self.stats.synacks_sent += 1;
-            out.replies.push((flow.addr, reply));
-            return;
-        }
-        // SYN for an already-established flow: ignore.
-        if self.in_accept_q.contains_key(&flow) || self.accepted.contains_key(&flow) {
-            return;
-        }
-
-        let listen_full = self.listen_q.len() >= self.cfg.backlog;
-        let accept_full = self.accept_q.len() >= self.cfg.accept_backlog;
-        // Queue-pressure policy:
-        // * Puzzles engage when *either* queue is under pressure — §5
-        //   explicitly modifies the listening socket "to send a challenge
-        //   when the protection is in effect, even if the accept queue
-        //   overflows" — and stay engaged for the hysteresis hold after
-        //   the last observed overflow (see [`PuzzleConfig::hold`]).
-        // * Stock Linux (None / SynCookies) drops a SYN outright while the
-        //   accept queue is full — a completing child could not be
-        //   admitted anyway. Cookies only address listen-queue overflow,
-        //   which is why they fail against connection floods (§2.1, §6.2).
-        let puzzles_latched = if let DefenseMode::Puzzles(pc) = &self.cfg.defense {
-            if listen_full || accept_full {
-                self.challenge_hold_until = now + pc.hold;
-            }
-            now < self.challenge_hold_until
-        } else {
-            false
-        };
-        if listen_full || accept_full || puzzles_latched {
-            match &self.cfg.defense {
-                DefenseMode::Puzzles(pc) => {
-                    // Stateless challenge, even if the accept queue is also
-                    // overflowing (§5).
-                    let tuple = self.tuple_for(flow, seg.seq);
-                    let challenge = self
-                        .verifier
-                        .issue(&tuple, now_ts, pc.difficulty, pc.preimage_bits)
-                        .expect("validated at config time");
-                    let embed_ts = !(self.cfg.use_timestamps && client_ts.is_some());
-                    let copt = ChallengeOption {
-                        k: pc.difficulty.k(),
-                        m: pc.difficulty.m(),
-                        preimage: challenge.preimage().to_vec(),
-                        timestamp: embed_ts.then_some(now_ts),
-                    };
-                    let server_isn = self.next_server_isn(flow);
-                    let mut b = SegmentBuilder::new(self.cfg.port, flow.port)
-                        .seq(server_isn)
-                        .ack_num(seg.seq.wrapping_add(1))
-                        .flags(TcpFlags::SYN | TcpFlags::ACK)
-                        .mss(self.cfg.mss);
-                    if let (true, Some(tsval)) = (self.cfg.use_timestamps, client_ts) {
-                        b = b.timestamps(now_ts, tsval);
-                    }
-                    let reply = b.option(TcpOption::Challenge(copt)).build();
-                    self.stats.challenges_sent += 1;
-                    out.replies.push((flow.addr, reply));
-                }
-                DefenseMode::SynCache(cc) => {
-                    // Spill into the reduced-state cache while it has room
-                    // (and the accept path could still admit a completion).
-                    if accept_full || self.syn_cache.len() >= cc.capacity {
-                        self.stats.syns_dropped += 1;
-                        out.events.push(ListenerEvent::SynDropped { flow });
-                        return;
-                    }
-                    let lifetime = cc.lifetime;
-                    let server_isn = self.next_server_isn(flow);
-                    self.syn_cache.insert(flow, (server_isn, now + lifetime));
-                    let reply = build_synack(
-                        self.cfg.port,
-                        flow,
-                        server_isn,
-                        seg.seq,
-                        self.cfg.mss,
-                        (self.cfg.use_timestamps && client_ts.is_some())
-                            .then_some((now_ts, client_ts.unwrap_or(0))),
-                    );
-                    self.stats.synacks_sent += 1;
-                    out.replies.push((flow.addr, reply));
-                }
-                DefenseMode::SynCookies => {
-                    if accept_full {
-                        self.stats.syns_dropped += 1;
-                        out.events.push(ListenerEvent::SynDropped { flow });
-                        return;
-                    }
-                    let counter = cookie_counter(now);
-                    let isn = self.cookies.encode(
-                        flow.addr,
-                        flow.port,
-                        self.cfg.local_addr,
-                        self.cfg.port,
-                        seg.seq,
-                        seg.mss().unwrap_or(536),
-                        counter,
-                    );
-                    // Cookies cannot carry window scale; MSS is quantized
-                    // into the cookie itself. The SYN-ACK advertises the
-                    // server MSS as usual.
-                    let mut b = SegmentBuilder::new(self.cfg.port, flow.port)
-                        .seq(isn)
-                        .ack_num(seg.seq.wrapping_add(1))
-                        .flags(TcpFlags::SYN | TcpFlags::ACK)
-                        .mss(self.cfg.mss);
-                    if let (true, Some(tsval)) = (self.cfg.use_timestamps, client_ts) {
-                        b = b.timestamps(now_ts, tsval);
-                    }
-                    self.stats.cookies_sent += 1;
-                    out.replies.push((flow.addr, b.build()));
-                }
-                DefenseMode::None => {
-                    self.stats.syns_dropped += 1;
-                    out.events.push(ListenerEvent::SynDropped { flow });
-                }
-            }
-            return;
-        }
-
-        // Room in the listen queue: ordinary stateful handshake.
-        let server_isn = self.next_server_isn(flow);
-        let mss = seg.mss().unwrap_or(536).min(self.cfg.mss);
-        let half = HalfOpen {
-            client_isn: seg.seq,
-            server_isn,
-            mss,
-            retries: 0,
-            next_retx: now + self.cfg.synack_timeout,
-            peer_tsval: client_ts.unwrap_or(0),
-            has_ts: client_ts.is_some(),
-        };
-        let reply = build_synack(
+    /// The connection tuple binding challenges to `flow`.
+    pub fn tuple_for(&self, flow: FlowKey, client_isn: u32) -> ConnectionTuple {
+        ConnectionTuple::new(
+            flow.addr,
+            flow.port,
+            self.cfg.local_addr,
             self.cfg.port,
-            flow,
-            server_isn,
-            seg.seq,
-            self.cfg.mss,
-            (self.cfg.use_timestamps && half.has_ts).then_some((now_ts, half.peer_tsval)),
-        );
-        self.listen_q.insert(flow, half);
-        self.stats.synacks_sent += 1;
-        out.replies.push((flow.addr, reply));
-    }
-
-    fn handle_ack(
-        &mut self,
-        now: SimTime,
-        flow: FlowKey,
-        seg: &TcpSegment,
-        out: &mut ListenerOutput,
-    ) {
-        // Data (or pure ACK) on a connection we admitted.
-        if self.accepted.contains_key(&flow) || self.in_accept_q.contains_key(&flow) {
-            if !seg.payload.is_empty() || seg.flags.contains(TcpFlags::FIN) {
-                self.stats.data_segments += 1;
-                out.events.push(ListenerEvent::Data {
-                    flow,
-                    payload: seg.payload.clone(),
-                    fin: seg.flags.contains(TcpFlags::FIN),
-                });
-            }
-            return;
-        }
-
-        // Handshake completion for a stateful half-open connection.
-        if let Some(half) = self.listen_q.get(&flow) {
-            if seg.ack == half.server_isn.wrapping_add(1) {
-                if self.accept_q.len() >= self.cfg.accept_backlog {
-                    // Linux behaviour: with the accept queue full the ACK
-                    // cannot be honoured; the half-open stays in the listen
-                    // queue (SYN-ACK keeps retransmitting until it expires).
-                    // This is how accept-queue pressure backs up into the
-                    // listen queue — the saturation Fig. 10 shows under a
-                    // connection flood.
-                    self.stats.accept_overflow_drops += 1;
-                    out.events.push(ListenerEvent::AcceptOverflow { flow });
-                    return;
-                }
-                let half = self.listen_q.remove(&flow).expect("present");
-                self.finish_establish(
-                    flow,
-                    half.server_isn.wrapping_add(1),
-                    half.mss,
-                    EstablishedVia::ListenQueue,
-                    &seg.payload,
-                    seg.flags.contains(TcpFlags::FIN),
-                    out,
-                );
-            }
-            // Wrong ack number: leave the half-open alone and ignore.
-            return;
-        }
-
-        // Reduced-state SYN-cache promotion.
-        if let Some(&(server_isn, expires)) = self.syn_cache.get(&flow) {
-            if seg.ack == server_isn.wrapping_add(1) {
-                if now > expires {
-                    self.syn_cache.remove(&flow);
-                    self.stats.syncache_expired += 1;
-                } else if self.accept_q.len() >= self.cfg.accept_backlog {
-                    // Partial state cannot linger like a full half-open:
-                    // the entry stays until expiry, the ACK is dropped.
-                    self.stats.accept_overflow_drops += 1;
-                    out.events.push(ListenerEvent::AcceptOverflow { flow });
-                    return;
-                } else {
-                    self.syn_cache.remove(&flow);
-                    // The cache kept no MSS state; fall back to the
-                    // minimum like cookies do (the degradation §2.1
-                    // mitigations accept).
-                    self.finish_establish(
-                        flow,
-                        server_isn.wrapping_add(1),
-                        536,
-                        EstablishedVia::SynCache,
-                        &seg.payload,
-                        seg.flags.contains(TcpFlags::FIN),
-                        out,
-                    );
-                    return;
-                }
-            }
-        }
-
-        // No state: stateless defence completion paths.
-        match self.cfg.defense.clone() {
-            DefenseMode::Puzzles(pc) => {
-                if let Some(sol) = seg.solution() {
-                    // Solution ACKs for unknown flows are normally diverted
-                    // into the batch pipeline before reaching this point;
-                    // this branch keeps `handle_ack` self-contained by
-                    // running the same gate + chokepoint for one request.
-                    if self.accept_q.len() >= self.cfg.accept_backlog {
-                        self.stats.acks_ignored_queue_full += 1;
-                        out.events.push(ListenerEvent::AckIgnoredQueueFull { flow });
-                        return;
-                    }
-                    match self.parse_solution(flow, seg, sol, &pc) {
-                        Ok((request, mss)) => {
-                            let mut verdicts = std::mem::take(&mut self.verdict_buf);
-                            self.check_solution_acks(puzzle_clock(now), &[request], &mut verdicts);
-                            let verdict = verdicts.pop().expect("one verdict per request");
-                            verdicts.clear();
-                            self.verdict_buf = verdicts;
-                            match verdict {
-                                Ok(()) => self.finish_establish(
-                                    flow,
-                                    seg.ack,
-                                    mss.min(self.cfg.mss),
-                                    EstablishedVia::Puzzle,
-                                    &seg.payload,
-                                    seg.flags.contains(TcpFlags::FIN),
-                                    out,
-                                ),
-                                Err(reason) => self.note_rejection(flow, reason, out),
-                            }
-                        }
-                        Err(reason) => self.note_rejection(flow, reason, out),
-                    }
-                    return;
-                }
-                // ACK without a solution while puzzles are required: the
-                // sender either ignored our challenge or is flooding.
-                if !seg.payload.is_empty() || seg.flags.contains(TcpFlags::FIN) {
-                    // Deceived sender pushing data: reset (§5).
-                    self.send_rst(flow, seg, out);
-                } else {
-                    self.stats.acks_without_solution += 1;
-                }
-            }
-            DefenseMode::SynCookies => {
-                let cookie = seg.ack.wrapping_sub(1);
-                let client_isn = seg.seq.wrapping_sub(1);
-                let mss = self.cookies.validate(
-                    flow.addr,
-                    flow.port,
-                    self.cfg.local_addr,
-                    self.cfg.port,
-                    client_isn,
-                    cookie,
-                    cookie_counter(now),
-                );
-                match mss {
-                    Some(mss) => {
-                        if self.accept_q.len() >= self.cfg.accept_backlog {
-                            self.stats.accept_overflow_drops += 1;
-                            out.events.push(ListenerEvent::AcceptOverflow { flow });
-                            return;
-                        }
-                        self.finish_establish(
-                            flow,
-                            seg.ack,
-                            mss,
-                            EstablishedVia::Cookie,
-                            &seg.payload,
-                            seg.flags.contains(TcpFlags::FIN),
-                            out,
-                        );
-                    }
-                    None => {
-                        if !seg.payload.is_empty() || seg.flags.contains(TcpFlags::FIN) {
-                            self.send_rst(flow, seg, out);
-                        }
-                    }
-                }
-            }
-            DefenseMode::None | DefenseMode::SynCache(_) => {
-                if !seg.payload.is_empty() || seg.flags.contains(TcpFlags::FIN) {
-                    self.send_rst(flow, seg, out);
-                }
-            }
-        }
+            client_isn,
+        )
     }
 
     /// Common establishment tail: accept-queue admission + data delivery.
     #[allow(clippy::too_many_arguments)]
-    fn finish_establish(
+    pub fn finish_establish(
         &mut self,
         flow: FlowKey,
         server_next_seq: u32,
@@ -1204,7 +503,20 @@ impl<B: HashBackend> Listener<B> {
         }
     }
 
-    fn send_rst(&mut self, flow: FlowKey, seg: &TcpSegment, out: &mut ListenerOutput) {
+    /// Books a failed verification: counters plus the rejection event.
+    pub fn note_rejection(&mut self, flow: FlowKey, reason: VerifyError, out: &mut ListenerOutput) {
+        self.stats.verify_failures += 1;
+        if matches!(reason, VerifyError::Expired { .. }) {
+            self.stats.verify_expired += 1;
+        }
+        if matches!(reason, VerifyError::Replayed) {
+            self.stats.verify_replayed += 1;
+        }
+        out.events
+            .push(ListenerEvent::SolutionRejected { flow, reason });
+    }
+
+    pub(crate) fn send_rst(&mut self, flow: FlowKey, seg: &TcpSegment, out: &mut ListenerOutput) {
         let rst = SegmentBuilder::new(self.cfg.port, flow.port)
             .seq(seg.ack)
             .flags(TcpFlags::RST)
@@ -1214,49 +526,514 @@ impl<B: HashBackend> Listener<B> {
         out.replies.push((flow.addr, rst));
     }
 
-    fn tuple_for(&self, flow: FlowKey, client_isn: u32) -> ConnectionTuple {
-        ConnectionTuple::new(
-            flow.addr,
-            flow.port,
-            self.cfg.local_addr,
-            self.cfg.port,
-            client_isn,
-        )
+    /// Drives SYN-ACK retransmissions and half-open expiry.
+    fn poll_retransmits(&mut self, now: SimTime) -> Vec<(Ipv4Addr, TcpSegment)> {
+        let mut out = Vec::new();
+        let mut expired = Vec::new();
+        let max_retries = self.cfg.synack_retries;
+        let base = self.cfg.synack_timeout;
+        let port = self.cfg.port;
+        let use_ts = self.cfg.use_timestamps;
+        let now_ts = puzzle_clock(now);
+        for (flow, half) in self.listen_q.iter_mut() {
+            if half.next_retx > now {
+                continue;
+            }
+            if half.retries >= max_retries {
+                expired.push(*flow);
+                continue;
+            }
+            half.retries += 1;
+            // Exponential backoff: timeout × 2^retries.
+            let backoff = base * (1u64 << half.retries.min(16));
+            half.next_retx = now + backoff;
+            let seg = build_synack(
+                port,
+                *flow,
+                half.server_isn,
+                half.client_isn,
+                half.mss,
+                use_ts
+                    .then_some((now_ts, half.peer_tsval))
+                    .filter(|_| half.has_ts),
+            );
+            out.push((flow.addr, seg));
+        }
+        for flow in expired {
+            self.listen_q.remove(&flow);
+            self.stats.half_open_expired += 1;
+        }
+        out
+    }
+}
+
+/// The listening socket, generic over the [`HashBackend`] that serves its
+/// puzzle and ISN hashing. See the module docs for the behavioural model;
+/// the defence runs behind the installed
+/// [`DefensePolicy`](crate::policy::DefensePolicy).
+#[derive(Debug)]
+pub struct Listener<B: HashBackend = ScalarBackend> {
+    core: ListenerCore<B>,
+    policy: Box<dyn DefensePolicy<B>>,
+}
+
+impl Listener<ScalarBackend> {
+    /// Creates an undefended listener over the default scalar backend.
+    pub fn new(cfg: ListenerConfig, secret: ServerSecret) -> Self {
+        Listener::with_policy(cfg, secret, ScalarBackend, &PolicyBuilder::none())
+    }
+}
+
+impl<B: HashBackend + 'static> Listener<B> {
+    /// Creates an undefended listener hashing through `backend`.
+    pub fn with_backend(cfg: ListenerConfig, secret: ServerSecret, backend: B) -> Self {
+        Listener::with_policy(cfg, secret, backend, &PolicyBuilder::none())
     }
 
-    /// Decodes a solution option into a [`VerifyRequest`] for the batch
-    /// engine. Returns the request plus the client's re-sent MSS.
-    fn parse_solution(
-        &self,
+    /// Creates a listener defended by a fresh policy built from
+    /// `policy`, bound to this listener's secret and backend.
+    pub fn with_policy(
+        cfg: ListenerConfig,
+        secret: ServerSecret,
+        backend: B,
+        policy: &PolicyBuilder<B>,
+    ) -> Self {
+        let policy = policy.build(&secret, &backend);
+        Listener {
+            core: ListenerCore {
+                cfg,
+                secret,
+                backend,
+                listen_q: HashMap::new(),
+                accept_q: VecDeque::new(),
+                in_accept_q: HashMap::new(),
+                accepted: HashMap::new(),
+                stats: ListenerStats::default(),
+                isn_counter: 0,
+                verdict_buf: Vec::new(),
+            },
+            policy,
+        }
+    }
+}
+
+impl<B: HashBackend> Listener<B> {
+    /// Current configuration.
+    pub fn config(&self) -> &ListenerConfig {
+        &self.core.cfg
+    }
+
+    /// Runtime-tunes the puzzle difficulty, like the paper's sysctl knob,
+    /// through the installed policy. Returns whether it applied — `false`
+    /// for policies without a difficulty knob (and for closed-loop
+    /// policies, which own the knob themselves).
+    pub fn set_difficulty(&mut self, difficulty: Difficulty) -> bool {
+        self.policy.set_difficulty(difficulty)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ListenerStats {
+        self.core.stats
+    }
+
+    /// Policy-level observability (cache occupancy, difficulty in force).
+    pub fn policy_stats(&self) -> PolicyStats {
+        self.policy.stats()
+    }
+
+    /// The installed policy's diagnostic name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// `(listen_queue_len, accept_queue_len)` — what Fig. 10 plots.
+    pub fn queue_depths(&self) -> (usize, usize) {
+        (self.core.listen_q.len(), self.core.accept_q.len())
+    }
+
+    /// Current SYN-cache occupancy (0 unless a cache layer runs).
+    pub fn syn_cache_len(&self) -> usize {
+        self.policy.stats().syn_cache_len
+    }
+
+    /// Pops the oldest established connection for application service.
+    pub fn accept(&mut self) -> Option<FlowKey> {
+        let conn = self.core.accept_q.pop_front()?;
+        self.core.in_accept_q.remove(&conn.flow);
+        let flow = conn.flow;
+        self.core.accepted.insert(flow, conn);
+        Some(flow)
+    }
+
+    /// Sends `len` bytes of application data to an accepted flow, chunked
+    /// by the connection MSS; sets FIN on the last chunk when `fin`,
+    /// closing the connection server-side.
+    ///
+    /// Returns an empty vector if the flow is not in the accepted set.
+    pub fn send_data(
+        &mut self,
+        flow: FlowKey,
+        len: usize,
+        fin: bool,
+    ) -> Vec<(Ipv4Addr, TcpSegment)> {
+        let Some(conn) = self.core.accepted.get_mut(&flow) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mss = conn.mss as usize;
+        let mut remaining = len;
+        loop {
+            let chunk = remaining.min(mss);
+            remaining -= chunk;
+            let last = remaining == 0;
+            let mut flags = TcpFlags::ACK;
+            if last {
+                flags = flags | TcpFlags::PSH;
+                if fin {
+                    flags = flags | TcpFlags::FIN;
+                }
+            }
+            let seg = SegmentBuilder::new(self.core.cfg.port, flow.port)
+                .seq(conn.server_next_seq)
+                .flags(flags)
+                .payload(vec![b'x'; chunk])
+                .build();
+            conn.server_next_seq = conn.server_next_seq.wrapping_add(chunk as u32);
+            out.push((flow.addr, seg));
+            if last {
+                break;
+            }
+        }
+        if fin {
+            self.core.accepted.remove(&flow);
+        }
+        out
+    }
+
+    /// Closes an accepted flow without sending anything.
+    pub fn close(&mut self, flow: FlowKey) {
+        self.core.accepted.remove(&flow);
+    }
+
+    /// Feeds one inbound segment. `src` is the IP source address (possibly
+    /// spoofed — the listener treats it as opaque, like a real stack).
+    pub fn on_segment(&mut self, now: SimTime, src: Ipv4Addr, seg: &TcpSegment) -> ListenerOutput {
+        let mut out = ListenerOutput::default();
+        match self.collect_solution(src, seg, 0, &mut out) {
+            AckClass::Pending(p) => {
+                let mut pending = vec![p];
+                self.flush_solutions(now, &mut pending, &mut out);
+            }
+            AckClass::Handled => {}
+            AckClass::Sequential => self.segment_inner(now, src, seg, &mut out),
+        }
+        self.notify_established(&out);
+        out
+    }
+
+    /// Feeds a burst of inbound segments, verifying all their puzzle
+    /// solutions through one batched policy `verify` call.
+    ///
+    /// Runs of consecutive solution-bearing ACKs from unknown flows — the
+    /// dominant traffic shape under a solving connection flood — are
+    /// queue-gated in arrival order (each unverified batch member counts
+    /// as a presumptive admission, matching sequential processing when
+    /// solutions are valid) and then handed to the batch engine as one
+    /// round-structured hash workload. Any other segment flushes the
+    /// pending run first, so segment ordering semantics are preserved.
+    /// One divergence from strictly sequential processing: a flow sending
+    /// two solution ACKs in the same run has its second rejected as
+    /// [`VerifyError::Replayed`] instead of being treated as a data ACK.
+    pub fn on_segments(
+        &mut self,
+        now: SimTime,
+        segments: &[(Ipv4Addr, TcpSegment)],
+    ) -> ListenerOutput {
+        let mut out = ListenerOutput::default();
+        let mut pending: Vec<PendingSolution> = Vec::new();
+        for (src, seg) in segments {
+            match self.collect_solution(*src, seg, pending.len(), &mut out) {
+                AckClass::Pending(p) => pending.push(p),
+                AckClass::Handled => {}
+                AckClass::Sequential => {
+                    self.flush_solutions(now, &mut pending, &mut out);
+                    self.segment_inner(now, *src, seg, &mut out);
+                }
+            }
+        }
+        self.flush_solutions(now, &mut pending, &mut out);
+        self.notify_established(&out);
+        out
+    }
+
+    /// Surfaces every establishment in `out` to the policy's
+    /// `on_established` hook.
+    fn notify_established(&mut self, out: &ListenerOutput) {
+        for ev in &out.events {
+            if let ListenerEvent::Established { flow, via } = ev {
+                self.policy.on_established(&mut self.core, *flow, *via);
+            }
+        }
+    }
+
+    /// Sequential (non-batched) processing of one segment.
+    fn segment_inner(
+        &mut self,
+        now: SimTime,
+        src: Ipv4Addr,
+        seg: &TcpSegment,
+        out: &mut ListenerOutput,
+    ) {
+        let flow = FlowKey {
+            addr: src,
+            port: seg.src_port,
+        };
+        if seg.flags.contains(TcpFlags::RST) {
+            self.core.listen_q.remove(&flow);
+            self.policy.forget_flow(&flow);
+            self.core.accepted.remove(&flow);
+            return;
+        }
+        if seg.flags.contains(TcpFlags::SYN) && !seg.flags.contains(TcpFlags::ACK) {
+            self.handle_syn(now, flow, seg, out);
+        } else if seg.flags.contains(TcpFlags::ACK) {
+            self.handle_ack(now, flow, seg, out);
+        }
+    }
+
+    /// Routes a segment into the batched verification pipeline when it is
+    /// a solution-bearing ACK for a flow with no listener or policy
+    /// state; the policy performs the paper's check-queue-before-verify
+    /// gating and option parsing.
+    fn collect_solution(
+        &mut self,
+        src: Ipv4Addr,
+        seg: &TcpSegment,
+        pending_count: usize,
+        out: &mut ListenerOutput,
+    ) -> AckClass {
+        if !seg.flags.contains(TcpFlags::ACK) || seg.flags.contains(TcpFlags::RST) {
+            return AckClass::Sequential;
+        }
+        if seg.solution().is_none() {
+            return AckClass::Sequential;
+        }
+        let flow = FlowKey {
+            addr: src,
+            port: seg.src_port,
+        };
+        if self.core.knows_flow(&flow) || self.policy.has_flow_state(&flow) {
+            return AckClass::Sequential;
+        }
+        self.policy
+            .classify_ack(&mut self.core, flow, seg, pending_count, out)
+    }
+
+    /// Verifies and applies a pending run of solution ACKs.
+    fn flush_solutions(
+        &mut self,
+        now: SimTime,
+        pending: &mut Vec<PendingSolution>,
+        out: &mut ListenerOutput,
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        // Split each pending entry into its verification request and the
+        // establishment metadata, so the batch borrows the requests
+        // without re-cloning proof vectors.
+        let mut requests: Vec<VerifyRequest> = Vec::with_capacity(pending.len());
+        let mut meta: Vec<(FlowKey, u32, u16, Vec<u8>, bool)> = Vec::with_capacity(pending.len());
+        for p in pending.drain(..) {
+            requests.push(p.request);
+            meta.push((p.flow, p.ack, p.mss, p.payload, p.fin));
+        }
+        // Stage verdicts in the reusable buffer (taken out of the core so
+        // the establishment loop below can borrow it mutably).
+        let mut verdicts = self.core.take_verdict_buf();
+        let handled =
+            self.policy
+                .verify(&mut self.core, puzzle_clock(now), &requests, &mut verdicts);
+        if !handled {
+            // No verifying layer installed: every pending solution is
+            // rejected (unreachable for the built-in policies, which only
+            // classify solutions they can verify).
+            verdicts.extend(
+                requests
+                    .iter()
+                    .map(|_| Err(VerifyError::Invalid { index: 0 })),
+            );
+        }
+        for ((flow, ack, mss, payload, fin), verdict) in meta.into_iter().zip(verdicts.drain(..)) {
+            match verdict {
+                Ok(()) => self.core.finish_establish(
+                    flow,
+                    ack,
+                    mss.min(self.core.cfg.mss),
+                    EstablishedVia::Puzzle,
+                    &payload,
+                    fin,
+                    out,
+                ),
+                Err(reason) => self.core.note_rejection(flow, reason, out),
+            }
+        }
+        self.core.put_verdict_buf(verdicts);
+    }
+
+    /// Drives retransmissions, half-open expiry, and the policy's
+    /// periodic `tick` (cache expiry, adaptive difficulty control);
+    /// call periodically.
+    pub fn poll(&mut self, now: SimTime) -> Vec<(Ipv4Addr, TcpSegment)> {
+        let out = self.core.poll_retransmits(now);
+        self.policy.tick(&mut self.core, now);
+        self.core.stats.synacks_sent += out.len() as u64;
+        out
+    }
+
+    fn handle_syn(
+        &mut self,
+        now: SimTime,
         flow: FlowKey,
         seg: &TcpSegment,
-        sol: &SolutionOption,
-        pc: &PuzzleConfig,
-    ) -> Result<(VerifyRequest, u16), VerifyError> {
-        let k = pc.difficulty.k();
-        // Timestamp source: TS option echo, else embedded in the block.
-        let ts_echo = seg.timestamps().map(|(_, tsecr)| tsecr);
-        let embedded = ts_echo.is_none();
-        let (proofs, embedded_ts) = sol.split(k, pc.preimage_bits, embedded).map_err(|_| {
-            VerifyError::WrongSolutionCount {
-                expected: k,
-                got: 0,
-            }
-        })?;
-        let issued_at = ts_echo.or(embedded_ts).unwrap_or(0);
-        let client_isn = seg.seq.wrapping_sub(1);
-        let tuple = self.tuple_for(flow, client_isn);
-        let params = ChallengeParams {
-            difficulty: pc.difficulty,
-            preimage_bits: pc.preimage_bits as u8,
-            timestamp: issued_at,
+        out: &mut ListenerOutput,
+    ) {
+        self.core.stats.syns_received += 1;
+        let now_ts = puzzle_clock(now);
+        let client_ts = seg.timestamps().map(|(tsval, _)| tsval);
+
+        // Duplicate SYN for an existing half-open: retransmit the SYN-ACK.
+        if let Some(half) = self.core.listen_q.get(&flow) {
+            let reply = build_synack(
+                self.core.cfg.port,
+                flow,
+                half.server_isn,
+                half.client_isn,
+                half.mss,
+                (self.core.cfg.use_timestamps && half.has_ts).then_some((now_ts, half.peer_tsval)),
+            );
+            self.core.stats.synacks_sent += 1;
+            out.replies.push((flow.addr, reply));
+            return;
+        }
+        // SYN for an already-established flow: ignore.
+        if self.core.in_accept_q.contains_key(&flow) || self.core.accepted.contains_key(&flow) {
+            return;
+        }
+
+        // Queue-pressure policy dispatch. Stock behaviour (NoDefense,
+        // cookies) drops a SYN outright while the accept queue is full —
+        // a completing child could not be admitted anyway; puzzles
+        // challenge under either pressure and through their hysteresis
+        // hold (§5). The policy decides; `Decline` falls back to a drop.
+        let pressure = QueuePressure {
+            listen_full: self.core.listen_q.len() >= self.core.cfg.backlog,
+            accept_full: self.core.accept_q.len() >= self.core.cfg.accept_backlog,
         };
-        Ok(((tuple, params, Solution::new(proofs)), sol.mss))
+        match self
+            .policy
+            .on_syn(&mut self.core, now, flow, seg, pressure, out)
+        {
+            SynDisposition::Handled => return,
+            SynDisposition::Decline => {
+                self.core.stats.syns_dropped += 1;
+                out.events.push(ListenerEvent::SynDropped { flow });
+                return;
+            }
+            SynDisposition::Admit => {}
+        }
+
+        // Room in the listen queue: ordinary stateful handshake.
+        let server_isn = self.core.next_server_isn(flow);
+        let mss = seg.mss().unwrap_or(536).min(self.core.cfg.mss);
+        let half = HalfOpen {
+            client_isn: seg.seq,
+            server_isn,
+            mss,
+            retries: 0,
+            next_retx: now + self.core.cfg.synack_timeout,
+            peer_tsval: client_ts.unwrap_or(0),
+            has_ts: client_ts.is_some(),
+        };
+        let reply = build_synack(
+            self.core.cfg.port,
+            flow,
+            server_isn,
+            seg.seq,
+            self.core.cfg.mss,
+            (self.core.cfg.use_timestamps && half.has_ts).then_some((now_ts, half.peer_tsval)),
+        );
+        self.core.listen_q.insert(flow, half);
+        self.core.stats.synacks_sent += 1;
+        out.replies.push((flow.addr, reply));
+    }
+
+    fn handle_ack(
+        &mut self,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        out: &mut ListenerOutput,
+    ) {
+        // Data (or pure ACK) on a connection we admitted.
+        if self.core.accepted.contains_key(&flow) || self.core.in_accept_q.contains_key(&flow) {
+            if !seg.payload.is_empty() || seg.flags.contains(TcpFlags::FIN) {
+                self.core.stats.data_segments += 1;
+                out.events.push(ListenerEvent::Data {
+                    flow,
+                    payload: seg.payload.clone(),
+                    fin: seg.flags.contains(TcpFlags::FIN),
+                });
+            }
+            return;
+        }
+
+        // Handshake completion for a stateful half-open connection.
+        if let Some(half) = self.core.listen_q.get(&flow) {
+            if seg.ack == half.server_isn.wrapping_add(1) {
+                if self.core.accept_q.len() >= self.core.cfg.accept_backlog {
+                    // Linux behaviour: with the accept queue full the ACK
+                    // cannot be honoured; the half-open stays in the listen
+                    // queue (SYN-ACK keeps retransmitting until it expires).
+                    // This is how accept-queue pressure backs up into the
+                    // listen queue — the saturation Fig. 10 shows under a
+                    // connection flood.
+                    self.core.stats.accept_overflow_drops += 1;
+                    out.events.push(ListenerEvent::AcceptOverflow { flow });
+                    return;
+                }
+                let half = self.core.listen_q.remove(&flow).expect("present");
+                self.core.finish_establish(
+                    flow,
+                    half.server_isn.wrapping_add(1),
+                    half.mss,
+                    EstablishedVia::ListenQueue,
+                    &seg.payload,
+                    seg.flags.contains(TcpFlags::FIN),
+                    out,
+                );
+            }
+            // Wrong ack number: leave the half-open alone and ignore.
+            return;
+        }
+
+        // No listener state: the policy's stateless completion paths
+        // (SYN-cache promotion, cookie validation, solution checking).
+        match self.policy.on_ack(&mut self.core, now, flow, seg, out) {
+            AckDisposition::Consumed => {}
+            AckDisposition::Unclaimed => {
+                // Stock fallback: data for a connection the server never
+                // admitted draws an RST; a bare ACK is ignored.
+                if !seg.payload.is_empty() || seg.flags.contains(TcpFlags::FIN) {
+                    self.core.send_rst(flow, seg, out);
+                }
+            }
+        }
     }
 }
 
 /// Builds a stateful SYN-ACK with the standard option set.
-fn build_synack(
+pub(crate) fn build_synack(
     port: u16,
     flow: FlowKey,
     server_isn: u32,
@@ -1277,7 +1054,7 @@ fn build_synack(
 }
 
 /// The cookie epoch for a simulation instant.
-fn cookie_counter(now: SimTime) -> u64 {
+pub(crate) fn cookie_counter(now: SimTime) -> u64 {
     now.as_nanos() / 1_000_000_000 / crate::cookie::COUNTER_PERIOD_SECS
 }
 
@@ -1304,90 +1081,29 @@ pub fn oracle_proof_with<B: HashBackend>(
     backend.hmac_sha256_parts(secret.as_bytes(), &[preimage, &[index]])[..len].to_vec()
 }
 
-/// Oracle-mode verification: identical structural and freshness checks to
-/// [`Verifier::verify`], with the hash-prefix check replaced by the keyed
-/// oracle comparison. Returns the verdict plus the hash count the *real*
-/// path would have charged (1 pre-image + 1 per checked proof), so CPU
-/// accounting stays faithful to the paper whichever mode runs.
-fn oracle_verify<B: HashBackend>(
-    backend: &B,
-    secret: &ServerSecret,
-    max_age: u32,
-    tuple: &ConnectionTuple,
-    params: &ChallengeParams,
-    solution: &Solution,
-    now: u32,
-) -> (Result<(), VerifyError>, u64) {
-    // Freshness window (same as the real verifier).
-    if params.timestamp > now {
-        return (
-            Err(VerifyError::FutureTimestamp {
-                issued_at: params.timestamp,
-                now,
-            }),
-            0,
-        );
-    }
-    if now - params.timestamp > max_age {
-        return (
-            Err(VerifyError::Expired {
-                issued_at: params.timestamp,
-                now,
-                max_age,
-            }),
-            0,
-        );
-    }
-    let k = params.difficulty.k();
-    if solution.len() != k as usize {
-        return (
-            Err(VerifyError::WrongSolutionCount {
-                expected: k,
-                got: solution.len(),
-            }),
-            0,
-        );
-    }
-    // Recompute the pre-image exactly as the real path does (1 hash).
-    let challenge = match puzzle_core::Challenge::issue_with(
-        backend,
-        secret,
-        tuple,
-        params.timestamp,
-        params.difficulty,
-        params.preimage_bits as u16,
-    ) {
-        Ok(c) => c,
-        Err(e) => return (Err(VerifyError::BadParams(e)), 0),
-    };
-    let len = challenge.preimage().len();
-    let mut hashes = 1u64;
-    for (i, proof) in solution.proofs().iter().enumerate() {
-        if proof.len() != len {
-            return (Err(VerifyError::BadSolutionLength { index: i }), hashes);
-        }
-        hashes += 1;
-        if proof != &oracle_proof_with(backend, secret, challenge.preimage(), i as u8 + 1, len) {
-            return (Err(VerifyError::Invalid { index: i }), hashes);
-        }
-    }
-    (Ok(()), hashes)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::options::{SolutionOption, TcpOption};
     use puzzle_core::Solver;
 
     const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
     const CLIENT_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 
-    fn listener(defense: DefenseMode, backlog: usize, accept_backlog: usize) -> Listener {
+    fn listener(
+        policy: PolicyBuilder<ScalarBackend>,
+        backlog: usize,
+        accept_backlog: usize,
+    ) -> Listener {
         let mut cfg = ListenerConfig::new(SERVER_IP, 80);
-        cfg.defense = defense;
         cfg.backlog = backlog;
         cfg.accept_backlog = accept_backlog;
-        Listener::new(cfg, ServerSecret::from_bytes([7; 32]))
+        Listener::with_policy(
+            cfg,
+            ServerSecret::from_bytes([7; 32]),
+            ScalarBackend,
+            &policy,
+        )
     }
 
     fn syn(port: u16, isn: u32) -> TcpSegment {
@@ -1405,7 +1121,7 @@ mod tests {
 
     #[test]
     fn plain_handshake_establishes() {
-        let mut l = listener(DefenseMode::None, 4, 4);
+        let mut l = listener(PolicyBuilder::none(), 4, 4);
         let out = l.on_segment(t(0), CLIENT_IP, &syn(1000, 500));
         assert_eq!(out.replies.len(), 1);
         let (_, synack) = &out.replies[0];
@@ -1439,7 +1155,7 @@ mod tests {
 
     #[test]
     fn wrong_ack_number_does_not_establish() {
-        let mut l = listener(DefenseMode::None, 4, 4);
+        let mut l = listener(PolicyBuilder::none(), 4, 4);
         let out = l.on_segment(t(0), CLIENT_IP, &syn(1000, 500));
         let (_, synack) = &out.replies[0];
         let bad_ack = SegmentBuilder::new(1000, 80)
@@ -1454,7 +1170,7 @@ mod tests {
 
     #[test]
     fn no_defense_drops_syns_when_backlog_full() {
-        let mut l = listener(DefenseMode::None, 2, 4);
+        let mut l = listener(PolicyBuilder::none(), 2, 4);
         l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
         l.on_segment(t(0), CLIENT_IP, &syn(1001, 2));
         let out = l.on_segment(t(0), CLIENT_IP, &syn(1002, 3));
@@ -1469,7 +1185,7 @@ mod tests {
 
     #[test]
     fn duplicate_syn_retransmits_same_synack() {
-        let mut l = listener(DefenseMode::None, 4, 4);
+        let mut l = listener(PolicyBuilder::none(), 4, 4);
         let a = l.on_segment(t(0), CLIENT_IP, &syn(1000, 500));
         let b = l.on_segment(t(1), CLIENT_IP, &syn(1000, 500));
         assert_eq!(a.replies[0].1.seq, b.replies[0].1.seq);
@@ -1478,7 +1194,7 @@ mod tests {
 
     #[test]
     fn cookies_engage_when_backlog_full_and_validate() {
-        let mut l = listener(DefenseMode::SynCookies, 1, 4);
+        let mut l = listener(PolicyBuilder::syn_cookies(), 1, 4);
         l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
         // Backlog (1) now full: next SYN gets a cookie.
         let out = l.on_segment(t(0), CLIENT_IP, &syn(2000, 77));
@@ -1505,7 +1221,7 @@ mod tests {
 
     #[test]
     fn forged_cookie_ack_rejected() {
-        let mut l = listener(DefenseMode::SynCookies, 1, 4);
+        let mut l = listener(PolicyBuilder::syn_cookies(), 1, 4);
         l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
         let ack = SegmentBuilder::new(2000, 80)
             .seq(78)
@@ -1517,16 +1233,23 @@ mod tests {
         assert_eq!(l.stats().established_cookie, 0);
     }
 
-    fn puzzle_listener(backlog: usize, accept_backlog: usize, verify: VerifyMode) -> Listener {
-        let pc = PuzzleConfig {
+    fn puzzle_config(verify: VerifyMode) -> PuzzleConfig {
+        PuzzleConfig {
             difficulty: Difficulty::new(2, 6).unwrap(),
             preimage_bits: 32,
             expiry: 8,
             verify,
             hold: netsim::SimDuration::ZERO,
             verify_workers: 1,
-        };
-        listener(DefenseMode::Puzzles(pc), backlog, accept_backlog)
+        }
+    }
+
+    fn puzzle_listener(backlog: usize, accept_backlog: usize, verify: VerifyMode) -> Listener {
+        listener(
+            PolicyBuilder::puzzles(puzzle_config(verify)),
+            backlog,
+            accept_backlog,
+        )
     }
 
     /// Completes a challenged handshake with the real solver.
@@ -1780,7 +1503,7 @@ mod tests {
 
         // Cookies keep the stock Linux behaviour: a SYN arriving while the
         // accept queue is full is dropped, not answered.
-        let mut lc = listener(DefenseMode::SynCookies, 64, 1);
+        let mut lc = listener(PolicyBuilder::syn_cookies(), 64, 1);
         let out = lc.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
         let synack = out.replies[0].1.clone();
         let ack = SegmentBuilder::new(1000, 80)
@@ -1798,7 +1521,7 @@ mod tests {
 
     #[test]
     fn accept_overflow_leaves_half_open_stuck_then_retries_succeed() {
-        let mut l = listener(DefenseMode::None, 8, 1);
+        let mut l = listener(PolicyBuilder::none(), 8, 1);
         // Open both handshakes while there is room everywhere.
         let out_a = l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
         let sa1 = out_a.replies[0].1.clone();
@@ -1860,7 +1583,7 @@ mod tests {
             capacity: 8,
             lifetime: SimDuration::from_secs(15),
         };
-        let mut l = listener(DefenseMode::SynCache(cc), 1, 4);
+        let mut l = listener(PolicyBuilder::syn_cache(cc), 1, 4);
         l.on_segment(t(0), CLIENT_IP, &syn(1000, 1)); // fills backlog (1)
                                                       // Overflow SYN lands in the cache and still gets a SYN-ACK.
         let out = l.on_segment(t(0), CLIENT_IP, &syn(2000, 50));
@@ -1893,7 +1616,7 @@ mod tests {
             capacity: 2,
             lifetime: SimDuration::from_secs(15),
         };
-        let mut l = listener(DefenseMode::SynCache(cc), 0, 4);
+        let mut l = listener(PolicyBuilder::syn_cache(cc), 0, 4);
         l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
         l.on_segment(t(0), CLIENT_IP, &syn(1001, 2));
         assert_eq!(l.syn_cache_len(), 2);
@@ -1908,7 +1631,7 @@ mod tests {
             capacity: 8,
             lifetime: SimDuration::from_secs(5),
         };
-        let mut l = listener(DefenseMode::SynCache(cc), 0, 4);
+        let mut l = listener(PolicyBuilder::syn_cache(cc), 0, 4);
         let out = l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
         let synack = out.replies[0].1.clone();
         // Reaped by poll after the lifetime.
@@ -1929,7 +1652,7 @@ mod tests {
     #[test]
     fn syn_cache_wrong_ack_not_promoted() {
         let cc = SynCacheConfig::default();
-        let mut l = listener(DefenseMode::SynCache(cc), 0, 4);
+        let mut l = listener(PolicyBuilder::syn_cache(cc), 0, 4);
         l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
         let ack = SegmentBuilder::new(1000, 80)
             .seq(2)
@@ -1959,7 +1682,7 @@ mod tests {
 
     #[test]
     fn send_data_chunks_by_mss_and_fin_closes() {
-        let mut l = listener(DefenseMode::None, 4, 4);
+        let mut l = listener(PolicyBuilder::none(), 4, 4);
         let out = l.on_segment(t(0), CLIENT_IP, &syn(1000, 500));
         let synack = out.replies[0].1.clone();
         let ack = SegmentBuilder::new(1000, 80)
@@ -1987,7 +1710,7 @@ mod tests {
 
     #[test]
     fn rst_clears_state() {
-        let mut l = listener(DefenseMode::None, 4, 4);
+        let mut l = listener(PolicyBuilder::none(), 4, 4);
         l.on_segment(t(0), CLIENT_IP, &syn(1000, 500));
         assert_eq!(l.queue_depths(), (1, 0));
         let rst = SegmentBuilder::new(1000, 80).flags(TcpFlags::RST).build();
@@ -1996,8 +1719,19 @@ mod tests {
     }
 
     #[test]
+    fn rst_clears_syn_cache_entry() {
+        let cc = SynCacheConfig::default();
+        let mut l = listener(PolicyBuilder::syn_cache(cc), 0, 4);
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        assert_eq!(l.syn_cache_len(), 1);
+        let rst = SegmentBuilder::new(1000, 80).flags(TcpFlags::RST).build();
+        l.on_segment(t(0), CLIENT_IP, &rst);
+        assert_eq!(l.syn_cache_len(), 0);
+    }
+
+    #[test]
     fn data_on_established_connection_delivered() {
-        let mut l = listener(DefenseMode::None, 4, 4);
+        let mut l = listener(PolicyBuilder::none(), 4, 4);
         let out = l.on_segment(t(0), CLIENT_IP, &syn(1000, 500));
         let synack = out.replies[0].1.clone();
         let ack = SegmentBuilder::new(1000, 80)
@@ -2055,15 +1789,9 @@ mod tests {
         // the sharded parallel mode: identical establishments, hash
         // charges, and replay bookkeeping.
         let mk = |workers: usize| {
-            let pc = PuzzleConfig {
-                difficulty: Difficulty::new(2, 6).unwrap(),
-                preimage_bits: 32,
-                expiry: 8,
-                verify: VerifyMode::Real,
-                hold: netsim::SimDuration::ZERO,
-                verify_workers: workers,
-            };
-            listener(DefenseMode::Puzzles(pc), 0, 16)
+            let mut pc = puzzle_config(VerifyMode::Real);
+            pc.verify_workers = workers;
+            listener(PolicyBuilder::puzzles(pc), 0, 16)
         };
         let run = |mut l: Listener| -> (u64, u64, u64) {
             let mut acks = Vec::new();
@@ -2158,10 +1886,94 @@ mod tests {
     #[test]
     fn runtime_difficulty_tuning() {
         let mut l = puzzle_listener(1, 4, VerifyMode::Real);
-        l.set_difficulty(Difficulty::new(3, 9).unwrap());
+        assert!(l.set_difficulty(Difficulty::new(3, 9).unwrap()));
         l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
         let out = l.on_segment(t(0), CLIENT_IP, &syn(2000, 2));
         let copt = out.replies[0].1.challenge().unwrap();
         assert_eq!((copt.k, copt.m), (3, 9));
+    }
+
+    #[test]
+    fn set_difficulty_reports_not_applied_without_puzzles() {
+        let mut l = listener(PolicyBuilder::syn_cookies(), 1, 4);
+        assert!(!l.set_difficulty(Difficulty::new(3, 9).unwrap()));
+        let mut l = listener(PolicyBuilder::none(), 1, 4);
+        assert!(!l.set_difficulty(Difficulty::new(3, 9).unwrap()));
+    }
+
+    #[test]
+    fn empty_stack_behaves_like_no_defense() {
+        // No layer claims the SYN under pressure: the listener must drop
+        // it, never admit past a full backlog.
+        let mut l = listener(PolicyBuilder::stacked(vec![]), 1, 4);
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 1)); // fills backlog
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(2000, 2));
+        assert!(out.replies.is_empty());
+        assert!(matches!(
+            out.events.as_slice(),
+            [ListenerEvent::SynDropped { .. }]
+        ));
+        assert_eq!(l.queue_depths(), (1, 0), "backlog cap holds");
+    }
+
+    #[test]
+    fn stacked_syncache_spills_then_puzzles_challenge() {
+        // The composition the closed enum could never express: cache
+        // spillover first, puzzles once the cache is exhausted.
+        let cc = SynCacheConfig {
+            capacity: 1,
+            lifetime: SimDuration::from_secs(15),
+        };
+        let stack = PolicyBuilder::stacked(vec![
+            PolicyBuilder::syn_cache(cc),
+            PolicyBuilder::puzzles(puzzle_config(VerifyMode::Real)),
+        ]);
+        let mut l = listener(stack, 0, 8);
+        // First SYN: absorbed by the cache (plain SYN-ACK, no challenge).
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        let cached_synack = out.replies[0].1.clone();
+        assert!(cached_synack.challenge().is_none());
+        assert_eq!(l.syn_cache_len(), 1);
+        // Cache full: the next SYN falls through to the puzzle layer.
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(2000, 500));
+        let challenged = out.replies[0].1.clone();
+        assert!(challenged.challenge().is_some());
+        assert_eq!(l.stats().challenges_sent, 1);
+        // The challenged client solves and establishes via puzzles.
+        let ack = solve_and_ack(&mut l, t(1), 2000, 500, &challenged);
+        let out = l.on_segment(t(1), CLIENT_IP, &ack);
+        assert!(
+            matches!(
+                out.events.as_slice(),
+                [ListenerEvent::Established {
+                    via: EstablishedVia::Puzzle,
+                    ..
+                }]
+            ),
+            "events: {:?}",
+            out.events
+        );
+        // And the cached client still promotes through its layer: the
+        // ACK completing the original cache SYN-ACK establishes via the
+        // SYN cache, emptying it.
+        let ack = SegmentBuilder::new(1000, 80)
+            .seq(2)
+            .ack_num(cached_synack.seq.wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .build();
+        let out = l.on_segment(t(1), CLIENT_IP, &ack);
+        assert!(
+            matches!(
+                out.events.as_slice(),
+                [ListenerEvent::Established {
+                    via: EstablishedVia::SynCache,
+                    ..
+                }]
+            ),
+            "events: {:?}",
+            out.events
+        );
+        assert_eq!(l.syn_cache_len(), 0);
+        assert_eq!(l.stats().established_syncache, 1);
     }
 }

@@ -1,0 +1,1364 @@
+//! Composable defence policies — the per-phase hook pipeline behind
+//! [`Listener`](crate::Listener).
+//!
+//! The paper compares *defences* (SYN cache, SYN cookies, client puzzles
+//! at Nash difficulty) against state-exhaustion floods. Historically each
+//! defence was a variant of the closed `DefenseMode` enum, branched on at
+//! every decision point inside the listener. This module replaces that
+//! with a first-class API: [`DefensePolicy`] is a trait with one hook per
+//! protocol phase, and the listener consults its installed policy instead
+//! of matching on an enum.
+//!
+//! The phases, in the order a flow traverses them:
+//!
+//! 1. [`on_syn`](DefensePolicy::on_syn) — every fresh SYN, with the
+//!    listener's queue pressure. The policy admits it to the stateful
+//!    handshake, absorbs it (challenge / cookie / reduced-state cache
+//!    entry), or declines (the listener then drops it).
+//! 2. [`classify_ack`](DefensePolicy::classify_ack) — solution-bearing
+//!    ACKs from unknown flows are offered for the listener's *batched*
+//!    verification pipeline before sequential processing.
+//! 3. [`verify`](DefensePolicy::verify) — the batched verification
+//!    chokepoint: one call per run of collected solution ACKs.
+//! 4. [`on_ack`](DefensePolicy::on_ack) — stateless completion paths for
+//!    ACKs that match no listener state (cookie validation, SYN-cache
+//!    promotion, single-solution verification).
+//! 5. [`on_established`](DefensePolicy::on_established) — notification
+//!    for every connection that reaches the accept queue.
+//! 6. [`tick`](DefensePolicy::tick) — periodic maintenance from
+//!    [`Listener::poll`](crate::Listener::poll): cache expiry, closed-loop
+//!    difficulty control.
+//!
+//! Built-in policies: [`NoDefense`], [`SynCacheDefense`],
+//! [`SynCookieDefense`], [`PuzzleDefense`], plus two compositions the old
+//! enum could not express — [`Stacked`] (layered defences with explicit
+//! precedence, e.g. SYN-cache spillover *then* puzzles) and
+//! [`AdaptivePuzzleDefense`], which drives
+//! [`AdaptiveDifficulty`](crate::adaptive::AdaptiveDifficulty) from the
+//! listener's own tick path (the paper's §7 closed loop).
+//!
+//! Configurations store a [`PolicyBuilder`] — a clonable factory — since
+//! live policies are stateful and owned by exactly one listener.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::adaptive::{AdaptiveDifficulty, AdaptiveObservation};
+use crate::cookie::SynCookieCodec;
+use crate::listener::{
+    build_synack, cookie_counter, oracle_proof_with, puzzle_clock, EstablishedVia, FlowKey,
+    ListenerCore, ListenerEvent, ListenerOutput, PuzzleConfig, SynCacheConfig, VerifyMode,
+};
+use crate::options::{ChallengeOption, SolutionOption, TcpOption};
+use crate::segment::{SegmentBuilder, TcpFlags, TcpSegment};
+use netsim::{SimDuration, SimTime};
+use puzzle_core::{
+    BatchScratch, ChallengeParams, ConnectionTuple, Difficulty, ReplayCache, ServerSecret,
+    Solution, Verifier, VerifyError, VerifyRequest,
+};
+use puzzle_crypto::HashBackend;
+
+/// Queue fullness observed when a fresh SYN arrives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueuePressure {
+    /// The listen queue (half-open backlog) is at capacity.
+    pub listen_full: bool,
+    /// The accept queue is at capacity.
+    pub accept_full: bool,
+}
+
+impl QueuePressure {
+    /// Whether any queue is under pressure.
+    pub fn any(self) -> bool {
+        self.listen_full || self.accept_full
+    }
+}
+
+/// What a policy decided for a fresh SYN.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SynDisposition {
+    /// Proceed with the ordinary stateful handshake (listen-queue entry).
+    Admit,
+    /// The policy consumed the SYN (challenge, cookie, cache entry, …).
+    Handled,
+    /// The policy declines under pressure; the next stacked layer gets
+    /// the SYN, or — at the end of the stack — the listener drops it.
+    Decline,
+}
+
+/// What a policy decided for a stateless ACK.
+#[derive(Debug, PartialEq, Eq)]
+pub enum AckDisposition {
+    /// The policy consumed the segment (established, rejected, ignored).
+    Consumed,
+    /// Not this policy's segment; the listener applies the stock
+    /// fallback (an RST if the segment carried data or FIN).
+    Unclaimed,
+}
+
+/// A solution-bearing ACK parsed and queued for the next batched
+/// verification flush.
+#[derive(Debug)]
+pub struct PendingSolution {
+    /// The client flow.
+    pub flow: FlowKey,
+    /// ACK number (the server's next sequence number on establish).
+    pub ack: u32,
+    /// MSS echoed in the solution option.
+    pub mss: u16,
+    /// The decoded verification request.
+    pub request: VerifyRequest,
+    /// Segment payload, delivered on establishment.
+    pub payload: Vec<u8>,
+    /// Whether FIN was set.
+    pub fin: bool,
+}
+
+/// How one inbound segment was routed by the batch collector.
+#[derive(Debug)]
+pub enum AckClass {
+    /// Needs ordinary sequential processing.
+    Sequential,
+    /// A solution ACK queued for the next batched verification flush.
+    Pending(PendingSolution),
+    /// Fully handled during collection (queue-gated or parse-rejected).
+    Handled,
+}
+
+/// Policy-level observability, surfaced through
+/// [`Listener::policy_stats`](crate::Listener::policy_stats).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PolicyStats {
+    /// Reduced-state SYN-cache occupancy (0 unless a cache layer runs).
+    pub syn_cache_len: usize,
+    /// Puzzle difficulty currently in force, if the policy issues
+    /// challenges.
+    pub difficulty: Option<Difficulty>,
+    /// Whether difficulty is under closed-loop (adaptive) control.
+    pub adaptive: bool,
+}
+
+/// A composable defence: one hook per handshake phase. See the module
+/// docs for the phase order and the built-in implementations.
+///
+/// All hooks receive the [`ListenerCore`] — the listener's queues,
+/// counters, configuration, and crypto identity — so policies mutate the
+/// same machinery the hard-coded enum arms used to.
+pub trait DefensePolicy<B: HashBackend>: fmt::Debug {
+    /// Short diagnostic name.
+    fn name(&self) -> &'static str;
+
+    /// A fresh SYN arrived (no existing half-open/established state).
+    /// `pressure` reports queue fullness at arrival. The default admits
+    /// under no pressure and declines otherwise (stock drop behaviour).
+    fn on_syn(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        pressure: QueuePressure,
+        out: &mut ListenerOutput,
+    ) -> SynDisposition {
+        let _ = (core, now, flow, seg, out);
+        if pressure.any() {
+            SynDisposition::Decline
+        } else {
+            SynDisposition::Admit
+        }
+    }
+
+    /// Offers a solution-bearing ACK from an unknown flow to the batched
+    /// verification pipeline. `pending` is the number of ACKs already
+    /// collected in the current run (for queue-admission gating). Only
+    /// called for segments with `ACK` set, `RST` clear, a solution
+    /// option present, and no listener or policy state for the flow.
+    fn classify_ack(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        pending: usize,
+        out: &mut ListenerOutput,
+    ) -> AckClass {
+        let _ = (core, flow, seg, pending, out);
+        AckClass::Sequential
+    }
+
+    /// Batched verification chokepoint: appends one verdict per request.
+    /// Returns `false` if this policy does not verify solutions (the
+    /// default); a stack delegates to its first verifying layer.
+    fn verify(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now_ts: u32,
+        requests: &[VerifyRequest],
+        verdicts: &mut Vec<Result<(), VerifyError>>,
+    ) -> bool {
+        let _ = (core, now_ts, requests, verdicts);
+        false
+    }
+
+    /// An ACK matched no listener state (not established, no half-open,
+    /// not claimed by the batch collector): the stateless completion
+    /// phase. Return [`AckDisposition::Unclaimed`] to let the listener
+    /// apply the stock fallback (RST if the segment carried data/FIN).
+    fn on_ack(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        out: &mut ListenerOutput,
+    ) -> AckDisposition {
+        let _ = (core, now, flow, seg, out);
+        AckDisposition::Unclaimed
+    }
+
+    /// A connection reached the accept queue (any path). Invoked by the
+    /// listener after the segment (or batch) that established it.
+    fn on_established(&mut self, core: &mut ListenerCore<B>, flow: FlowKey, via: EstablishedVia) {
+        let _ = (core, flow, via);
+    }
+
+    /// Periodic maintenance, driven by [`Listener::poll`](crate::Listener::poll):
+    /// cache expiry, closed-loop difficulty control.
+    fn tick(&mut self, core: &mut ListenerCore<B>, now: SimTime) {
+        let _ = (core, now);
+    }
+
+    /// Drops any per-flow policy state (e.g. a SYN-cache entry) — the
+    /// listener calls this on RST.
+    fn forget_flow(&mut self, flow: &FlowKey) {
+        let _ = flow;
+    }
+
+    /// Whether the policy holds per-flow handshake state for `flow`
+    /// (keeps such flows out of the batched-solution fast path).
+    fn has_flow_state(&self, flow: &FlowKey) -> bool {
+        let _ = flow;
+        false
+    }
+
+    /// Runtime difficulty tuning (the paper's sysctl analogue). Returns
+    /// whether the new difficulty was applied — `false` for policies
+    /// without a difficulty knob, and for closed-loop policies that own
+    /// the knob themselves.
+    fn set_difficulty(&mut self, difficulty: Difficulty) -> bool {
+        let _ = difficulty;
+        false
+    }
+
+    /// Policy-level observability snapshot.
+    fn stats(&self) -> PolicyStats {
+        PolicyStats::default()
+    }
+}
+
+/// The factory signature [`PolicyBuilder`] wraps: builds a fresh policy
+/// bound to a listener's secret and hash backend.
+pub type BuildFn<B> = dyn Fn(&ServerSecret, &B) -> Box<dyn DefensePolicy<B>> + Send + Sync;
+
+/// A clonable, named factory for [`DefensePolicy`] instances — what
+/// configurations store ([`hostsim::ServerParams`-style structs] keep a
+/// builder; each listener builds its own live policy at construction,
+/// binding it to the listener's secret and backend).
+pub struct PolicyBuilder<B: HashBackend> {
+    label: String,
+    build: Arc<BuildFn<B>>,
+}
+
+impl<B: HashBackend> Clone for PolicyBuilder<B> {
+    fn clone(&self) -> Self {
+        PolicyBuilder {
+            label: self.label.clone(),
+            build: Arc::clone(&self.build),
+        }
+    }
+}
+
+impl<B: HashBackend> fmt::Debug for PolicyBuilder<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PolicyBuilder({})", self.label)
+    }
+}
+
+impl<B: HashBackend + 'static> PolicyBuilder<B> {
+    /// Wraps an arbitrary factory under a display label.
+    pub fn new<F>(label: impl Into<String>, build: F) -> Self
+    where
+        F: Fn(&ServerSecret, &B) -> Box<dyn DefensePolicy<B>> + Send + Sync + 'static,
+    {
+        PolicyBuilder {
+            label: label.into(),
+            build: Arc::new(build),
+        }
+    }
+
+    /// No protection: queue overflow drops SYNs.
+    pub fn none() -> Self {
+        PolicyBuilder::new("none", |_, _| Box::new(NoDefense))
+    }
+
+    /// SYN cache (§2.1): overflow spills into a reduced-state table.
+    pub fn syn_cache(cfg: SynCacheConfig) -> Self {
+        PolicyBuilder::new("syncache", move |_, _| Box::new(SynCacheDefense::new(cfg)))
+    }
+
+    /// SYN cookies engage when the listen queue is full.
+    pub fn syn_cookies() -> Self {
+        PolicyBuilder::new("cookies", |secret, _| {
+            Box::new(SynCookieDefense::new(secret))
+        })
+    }
+
+    /// Client puzzles engage under queue pressure (precedence over
+    /// cookies, §5).
+    pub fn puzzles(cfg: PuzzleConfig) -> Self {
+        PolicyBuilder::new("puzzles", move |secret, backend| {
+            Box::new(PuzzleDefense::new(cfg.clone(), secret, backend))
+        })
+    }
+
+    /// Client puzzles with closed-loop difficulty control (§7): the
+    /// controller observes the listener once per second of simulated
+    /// time and retunes the difficulty in force.
+    pub fn adaptive_puzzles(cfg: PuzzleConfig, controller: AdaptiveDifficulty) -> Self {
+        PolicyBuilder::new("adaptive", move |secret, backend| {
+            Box::new(AdaptivePuzzleDefense::new(
+                cfg.clone(),
+                controller.clone(),
+                SimDuration::from_secs(1),
+                secret,
+                backend,
+            ))
+        })
+    }
+
+    /// Layered composition: each SYN/ACK is offered to the layers in
+    /// order; the first that handles it wins (e.g. SYN-cache spillover
+    /// *then* puzzles).
+    pub fn stacked(layers: Vec<PolicyBuilder<B>>) -> Self {
+        let label = format!(
+            "stacked[{}]",
+            layers
+                .iter()
+                .map(|l| l.label.as_str())
+                .collect::<Vec<_>>()
+                .join("+")
+        );
+        PolicyBuilder::new(label, move |secret, backend| {
+            Box::new(Stacked {
+                layers: layers.iter().map(|l| l.build(secret, backend)).collect(),
+            })
+        })
+    }
+
+    /// The builder's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Builds a fresh policy bound to `secret` and `backend`.
+    pub fn build(&self, secret: &ServerSecret, backend: &B) -> Box<dyn DefensePolicy<B>> {
+        (self.build)(secret, backend)
+    }
+}
+
+/// No protection: the listen queue overflows and SYNs are dropped.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoDefense;
+
+impl<B: HashBackend> DefensePolicy<B> for NoDefense {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// SYN cookies (§2.1 baseline): a stateless cookie SYN-ACK when the
+/// listen queue is full. Stock Linux behaviour is preserved: a SYN
+/// arriving while the *accept* queue is full is dropped — cookies only
+/// address listen-queue overflow, which is why they fail against
+/// connection floods (§6.2).
+#[derive(Debug)]
+pub struct SynCookieDefense {
+    codec: SynCookieCodec,
+}
+
+impl SynCookieDefense {
+    /// Builds the cookie codec from the listener's secret.
+    pub fn new(secret: &ServerSecret) -> Self {
+        SynCookieDefense {
+            codec: SynCookieCodec::new(*secret.as_bytes()),
+        }
+    }
+}
+
+impl<B: HashBackend> DefensePolicy<B> for SynCookieDefense {
+    fn name(&self) -> &'static str {
+        "cookies"
+    }
+
+    fn on_syn(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        pressure: QueuePressure,
+        out: &mut ListenerOutput,
+    ) -> SynDisposition {
+        if !pressure.any() {
+            return SynDisposition::Admit;
+        }
+        if pressure.accept_full {
+            return SynDisposition::Decline;
+        }
+        let cfg = core.config();
+        let (local_addr, port, adv_mss, use_ts) =
+            (cfg.local_addr, cfg.port, cfg.mss, cfg.use_timestamps);
+        let now_ts = puzzle_clock(now);
+        let client_ts = seg.timestamps().map(|(tsval, _)| tsval);
+        let counter = cookie_counter(now);
+        let isn = self.codec.encode(
+            flow.addr,
+            flow.port,
+            local_addr,
+            port,
+            seg.seq,
+            seg.mss().unwrap_or(536),
+            counter,
+        );
+        // Cookies cannot carry window scale; MSS is quantized into the
+        // cookie itself. The SYN-ACK advertises the server MSS as usual.
+        let mut b = SegmentBuilder::new(port, flow.port)
+            .seq(isn)
+            .ack_num(seg.seq.wrapping_add(1))
+            .flags(TcpFlags::SYN | TcpFlags::ACK)
+            .mss(adv_mss);
+        if let (true, Some(tsval)) = (use_ts, client_ts) {
+            b = b.timestamps(now_ts, tsval);
+        }
+        core.stats_mut().cookies_sent += 1;
+        out.replies.push((flow.addr, b.build()));
+        SynDisposition::Handled
+    }
+
+    fn on_ack(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        out: &mut ListenerOutput,
+    ) -> AckDisposition {
+        let cfg = core.config();
+        let (local_addr, port) = (cfg.local_addr, cfg.port);
+        let cookie = seg.ack.wrapping_sub(1);
+        let client_isn = seg.seq.wrapping_sub(1);
+        let mss = self.codec.validate(
+            flow.addr,
+            flow.port,
+            local_addr,
+            port,
+            client_isn,
+            cookie,
+            cookie_counter(now),
+        );
+        match mss {
+            Some(mss) => {
+                if core.accept_queue_full() {
+                    core.stats_mut().accept_overflow_drops += 1;
+                    out.events.push(ListenerEvent::AcceptOverflow { flow });
+                    return AckDisposition::Consumed;
+                }
+                core.finish_establish(
+                    flow,
+                    seg.ack,
+                    mss,
+                    EstablishedVia::Cookie,
+                    &seg.payload,
+                    seg.flags.contains(TcpFlags::FIN),
+                    out,
+                );
+                AckDisposition::Consumed
+            }
+            None => AckDisposition::Unclaimed,
+        }
+    }
+}
+
+/// SYN cache (the Lemon 2002 mitigation, §2.1): overflowing half-opens
+/// spill into a larger reduced-state table. "Once the cache is full, the
+/// server will default to the same behavior it performed when its
+/// backlog limit is reached."
+#[derive(Debug)]
+pub struct SynCacheDefense {
+    cfg: SynCacheConfig,
+    /// flow → (server ISN, expiry instant). No retransmission state.
+    cache: HashMap<FlowKey, (u32, SimTime)>,
+}
+
+impl SynCacheDefense {
+    /// An empty cache with the given parameters.
+    pub fn new(cfg: SynCacheConfig) -> Self {
+        SynCacheDefense {
+            cfg,
+            cache: HashMap::new(),
+        }
+    }
+}
+
+impl<B: HashBackend> DefensePolicy<B> for SynCacheDefense {
+    fn name(&self) -> &'static str {
+        "syncache"
+    }
+
+    fn on_syn(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        pressure: QueuePressure,
+        out: &mut ListenerOutput,
+    ) -> SynDisposition {
+        if !pressure.any() {
+            return SynDisposition::Admit;
+        }
+        // Spill into the reduced-state cache while it has room (and the
+        // accept path could still admit a completion).
+        if pressure.accept_full || self.cache.len() >= self.cfg.capacity {
+            return SynDisposition::Decline;
+        }
+        let cfg = core.config();
+        let (port, adv_mss, use_ts) = (cfg.port, cfg.mss, cfg.use_timestamps);
+        let now_ts = puzzle_clock(now);
+        let client_ts = seg.timestamps().map(|(tsval, _)| tsval);
+        let server_isn = core.next_server_isn(flow);
+        self.cache
+            .insert(flow, (server_isn, now + self.cfg.lifetime));
+        let reply = build_synack(
+            port,
+            flow,
+            server_isn,
+            seg.seq,
+            adv_mss,
+            (use_ts && client_ts.is_some()).then_some((now_ts, client_ts.unwrap_or(0))),
+        );
+        core.stats_mut().synacks_sent += 1;
+        out.replies.push((flow.addr, reply));
+        SynDisposition::Handled
+    }
+
+    fn on_ack(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        out: &mut ListenerOutput,
+    ) -> AckDisposition {
+        // Reduced-state promotion. The expiry boundary is deliberately
+        // inclusive here (`now > expires` keeps an ACK landing at the
+        // exact expiry instant alive) while `tick`'s reaper is strict
+        // (`expires > now` removes it) — inherited from the enum-era
+        // listener and pinned by the golden digests, so an entry's fate
+        // at now == expires depends on same-instant poll/segment order.
+        if let Some(&(server_isn, expires)) = self.cache.get(&flow) {
+            if seg.ack == server_isn.wrapping_add(1) {
+                if now > expires {
+                    self.cache.remove(&flow);
+                    core.stats_mut().syncache_expired += 1;
+                } else if core.accept_queue_full() {
+                    // Partial state cannot linger like a full half-open:
+                    // the entry stays until expiry, the ACK is dropped.
+                    core.stats_mut().accept_overflow_drops += 1;
+                    out.events.push(ListenerEvent::AcceptOverflow { flow });
+                    return AckDisposition::Consumed;
+                } else {
+                    self.cache.remove(&flow);
+                    // The cache kept no MSS state; fall back to the
+                    // minimum like cookies do (the degradation §2.1
+                    // mitigations accept).
+                    core.finish_establish(
+                        flow,
+                        server_isn.wrapping_add(1),
+                        536,
+                        EstablishedVia::SynCache,
+                        &seg.payload,
+                        seg.flags.contains(TcpFlags::FIN),
+                        out,
+                    );
+                    return AckDisposition::Consumed;
+                }
+            }
+        }
+        AckDisposition::Unclaimed
+    }
+
+    fn tick(&mut self, core: &mut ListenerCore<B>, now: SimTime) {
+        let before = self.cache.len();
+        self.cache.retain(|_, (_, expires)| *expires > now);
+        core.stats_mut().syncache_expired += (before - self.cache.len()) as u64;
+    }
+
+    fn forget_flow(&mut self, flow: &FlowKey) {
+        self.cache.remove(flow);
+    }
+
+    fn has_flow_state(&self, flow: &FlowKey) -> bool {
+        self.cache.contains_key(flow)
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            syn_cache_len: self.cache.len(),
+            ..PolicyStats::default()
+        }
+    }
+}
+
+/// Client puzzles (§5): a stateless challenge under queue pressure —
+/// even when the accept queue overflows — latched for the configured
+/// hysteresis hold; solution ACKs verified through the batch engine
+/// with replay defence.
+#[derive(Debug)]
+pub struct PuzzleDefense<B: HashBackend> {
+    cfg: PuzzleConfig,
+    verifier: Verifier<B>,
+    /// Controller latch: challenge every SYN until this instant.
+    hold_until: SimTime,
+    /// Reusable batch-verification buffers: after warm-up, flushing a
+    /// run of solution ACKs allocates nothing.
+    scratch: BatchScratch,
+}
+
+impl<B: HashBackend> PuzzleDefense<B> {
+    /// Builds the defence: the verifier gets a sharded [`ReplayCache`],
+    /// so a solution is admitted at most once per `(tuple, timestamp)`
+    /// inside the expiry window.
+    pub fn new(cfg: PuzzleConfig, secret: &ServerSecret, backend: &B) -> Self {
+        let verifier = Verifier::with_backend(secret.clone(), backend.clone())
+            .with_expiry(cfg.expiry)
+            .with_replay_cache(Arc::new(ReplayCache::default()));
+        PuzzleDefense {
+            cfg,
+            verifier,
+            hold_until: SimTime::ZERO,
+            scratch: BatchScratch::new(),
+        }
+    }
+
+    /// Difficulty currently in force.
+    pub fn difficulty(&self) -> Difficulty {
+        self.cfg.difficulty
+    }
+
+    pub(crate) fn set_difficulty_inner(&mut self, difficulty: Difficulty) {
+        self.cfg.difficulty = difficulty;
+    }
+
+    /// Decodes a solution option into a [`VerifyRequest`] for the batch
+    /// engine. Returns the request plus the client's re-sent MSS.
+    fn parse_solution(
+        &self,
+        core: &ListenerCore<B>,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        sol: &SolutionOption,
+    ) -> Result<(VerifyRequest, u16), VerifyError> {
+        let k = self.cfg.difficulty.k();
+        // Timestamp source: TS option echo, else embedded in the block.
+        let ts_echo = seg.timestamps().map(|(_, tsecr)| tsecr);
+        let embedded = ts_echo.is_none();
+        let (proofs, embedded_ts) =
+            sol.split(k, self.cfg.preimage_bits, embedded)
+                .map_err(|_| VerifyError::WrongSolutionCount {
+                    expected: k,
+                    got: 0,
+                })?;
+        let issued_at = ts_echo.or(embedded_ts).unwrap_or(0);
+        let client_isn = seg.seq.wrapping_sub(1);
+        let tuple = core.tuple_for(flow, client_isn);
+        let params = ChallengeParams {
+            difficulty: self.cfg.difficulty,
+            preimage_bits: self.cfg.preimage_bits as u8,
+            timestamp: issued_at,
+        };
+        Ok(((tuple, params, Solution::new(proofs)), sol.mss))
+    }
+
+    /// The verification chokepoint both solution paths share, appending
+    /// one verdict per request: real mode goes through the backend's
+    /// batch engine (replay cache included) — via the reusable
+    /// zero-allocation scratch on the calling thread, or fanned across
+    /// scoped worker threads when [`PuzzleConfig::verify_workers`] > 1;
+    /// oracle mode recomputes keyed proofs and charges the real-path
+    /// hash-count equivalent, consulting the same replay cache.
+    fn verify_requests(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now_ts: u32,
+        requests: &[VerifyRequest],
+        verdicts: &mut Vec<Result<(), VerifyError>>,
+    ) {
+        match self.cfg.verify {
+            VerifyMode::Real if self.cfg.verify_workers > 1 => {
+                let batch =
+                    self.verifier
+                        .verify_batch_parallel(requests, now_ts, self.cfg.verify_workers);
+                core.stats_mut().verify_hashes += batch.hashes;
+                verdicts.extend(batch.verdicts);
+            }
+            VerifyMode::Real => {
+                core.stats_mut().verify_hashes +=
+                    self.verifier
+                        .verify_batch_with(requests, now_ts, &mut self.scratch);
+                verdicts.extend_from_slice(self.scratch.verdicts());
+            }
+            VerifyMode::Oracle => {
+                let cache = self.verifier.replay_cache().cloned();
+                let max_age = self.verifier.max_age();
+                verdicts.reserve(requests.len());
+                for (tuple, params, solution) in requests {
+                    if let Some(c) = &cache {
+                        if c.contains(tuple, params.timestamp, now_ts, max_age) {
+                            verdicts.push(Err(VerifyError::Replayed));
+                            continue;
+                        }
+                    }
+                    let (res, hashes) = oracle_verify(
+                        core.backend(),
+                        core.secret(),
+                        max_age,
+                        tuple,
+                        params,
+                        solution,
+                        now_ts,
+                    );
+                    core.stats_mut().verify_hashes += hashes;
+                    let res = match (&res, &cache) {
+                        (Ok(()), Some(c))
+                            if !c.insert(tuple, params.timestamp, now_ts, max_age) =>
+                        {
+                            Err(VerifyError::Replayed)
+                        }
+                        _ => res,
+                    };
+                    verdicts.push(res);
+                }
+            }
+        }
+    }
+}
+
+impl<B: HashBackend> DefensePolicy<B> for PuzzleDefense<B> {
+    fn name(&self) -> &'static str {
+        "puzzles"
+    }
+
+    fn on_syn(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        pressure: QueuePressure,
+        out: &mut ListenerOutput,
+    ) -> SynDisposition {
+        // Puzzles engage when *either* queue is under pressure — §5
+        // explicitly modifies the listening socket "to send a challenge
+        // when the protection is in effect, even if the accept queue
+        // overflows" — and stay engaged for the hysteresis hold after
+        // the last observed overflow (see [`PuzzleConfig::hold`]).
+        if pressure.any() {
+            self.hold_until = now + self.cfg.hold;
+        }
+        if !pressure.any() && now >= self.hold_until {
+            return SynDisposition::Admit;
+        }
+        let now_ts = puzzle_clock(now);
+        let client_ts = seg.timestamps().map(|(tsval, _)| tsval);
+        // Stateless challenge, even if the accept queue is also
+        // overflowing (§5).
+        let tuple = core.tuple_for(flow, seg.seq);
+        let challenge = self
+            .verifier
+            .issue(&tuple, now_ts, self.cfg.difficulty, self.cfg.preimage_bits)
+            .expect("validated at config time");
+        let use_ts = core.config().use_timestamps;
+        let embed_ts = !(use_ts && client_ts.is_some());
+        let copt = ChallengeOption {
+            k: self.cfg.difficulty.k(),
+            m: self.cfg.difficulty.m(),
+            preimage: challenge.preimage().to_vec(),
+            timestamp: embed_ts.then_some(now_ts),
+        };
+        let server_isn = core.next_server_isn(flow);
+        let cfg = core.config();
+        let mut b = SegmentBuilder::new(cfg.port, flow.port)
+            .seq(server_isn)
+            .ack_num(seg.seq.wrapping_add(1))
+            .flags(TcpFlags::SYN | TcpFlags::ACK)
+            .mss(cfg.mss);
+        if let (true, Some(tsval)) = (use_ts, client_ts) {
+            b = b.timestamps(now_ts, tsval);
+        }
+        let reply = b.option(TcpOption::Challenge(copt)).build();
+        core.stats_mut().challenges_sent += 1;
+        out.replies.push((flow.addr, reply));
+        SynDisposition::Handled
+    }
+
+    fn classify_ack(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        pending: usize,
+        out: &mut ListenerOutput,
+    ) -> AckClass {
+        let Some(sol) = seg.solution() else {
+            return AckClass::Sequential;
+        };
+        // "First checks if the queue is full and only performs the
+        // verification procedure when there is room" (§5).
+        if core.accept_queue_len() + pending >= core.config().accept_backlog {
+            core.stats_mut().acks_ignored_queue_full += 1;
+            out.events.push(ListenerEvent::AckIgnoredQueueFull { flow });
+            return AckClass::Handled;
+        }
+        match self.parse_solution(core, flow, seg, sol) {
+            Ok((request, mss)) => AckClass::Pending(PendingSolution {
+                flow,
+                ack: seg.ack,
+                mss,
+                request,
+                payload: seg.payload.clone(),
+                fin: seg.flags.contains(TcpFlags::FIN),
+            }),
+            Err(reason) => {
+                core.note_rejection(flow, reason, out);
+                AckClass::Handled
+            }
+        }
+    }
+
+    fn verify(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now_ts: u32,
+        requests: &[VerifyRequest],
+        verdicts: &mut Vec<Result<(), VerifyError>>,
+    ) -> bool {
+        self.verify_requests(core, now_ts, requests, verdicts);
+        true
+    }
+
+    fn on_ack(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        out: &mut ListenerOutput,
+    ) -> AckDisposition {
+        if let Some(sol) = seg.solution() {
+            // Solution ACKs for unknown flows are normally diverted into
+            // the batch pipeline before reaching this point; this branch
+            // keeps the sequential path self-contained by running the
+            // same gate + chokepoint for one request.
+            if core.accept_queue_full() {
+                core.stats_mut().acks_ignored_queue_full += 1;
+                out.events.push(ListenerEvent::AckIgnoredQueueFull { flow });
+                return AckDisposition::Consumed;
+            }
+            match self.parse_solution(core, flow, seg, sol) {
+                Ok((request, mss)) => {
+                    let mut verdicts = core.take_verdict_buf();
+                    self.verify_requests(core, puzzle_clock(now), &[request], &mut verdicts);
+                    let verdict = verdicts.pop().expect("one verdict per request");
+                    core.put_verdict_buf(verdicts);
+                    match verdict {
+                        Ok(()) => {
+                            let mss = mss.min(core.config().mss);
+                            core.finish_establish(
+                                flow,
+                                seg.ack,
+                                mss,
+                                EstablishedVia::Puzzle,
+                                &seg.payload,
+                                seg.flags.contains(TcpFlags::FIN),
+                                out,
+                            );
+                        }
+                        Err(reason) => core.note_rejection(flow, reason, out),
+                    }
+                }
+                Err(reason) => core.note_rejection(flow, reason, out),
+            }
+            return AckDisposition::Consumed;
+        }
+        // ACK without a solution while puzzles are required: the sender
+        // either ignored our challenge or is flooding. Data draws the
+        // deception RST (the listener's Unclaimed fallback); a pure ACK
+        // is counted and ignored.
+        if seg.payload.is_empty() && !seg.flags.contains(TcpFlags::FIN) {
+            core.stats_mut().acks_without_solution += 1;
+            AckDisposition::Consumed
+        } else {
+            AckDisposition::Unclaimed
+        }
+    }
+
+    fn set_difficulty(&mut self, difficulty: Difficulty) -> bool {
+        self.set_difficulty_inner(difficulty);
+        true
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            difficulty: Some(self.cfg.difficulty),
+            ..PolicyStats::default()
+        }
+    }
+}
+
+/// Client puzzles with the §7 closed control loop: an
+/// [`AdaptiveDifficulty`] controller observes the listener once per
+/// `period` of simulated time (driven by the listener's own
+/// [`tick`](DefensePolicy::tick) path) and retunes the difficulty in
+/// force.
+#[derive(Debug)]
+pub struct AdaptivePuzzleDefense<B: HashBackend> {
+    inner: PuzzleDefense<B>,
+    controller: AdaptiveDifficulty,
+    period: SimDuration,
+    next_obs: SimTime,
+    /// Puzzle-path admissions since the last observation.
+    puzzle_established: u64,
+    /// Pressure-signal counters at the last observation:
+    /// (challenges_sent, syns_dropped, accept_overflow_drops).
+    prev: (u64, u64, u64),
+}
+
+impl<B: HashBackend> AdaptivePuzzleDefense<B> {
+    /// Builds the defence starting at the controller's current
+    /// difficulty (its floor, unless pre-stepped).
+    pub fn new(
+        mut cfg: PuzzleConfig,
+        controller: AdaptiveDifficulty,
+        period: SimDuration,
+        secret: &ServerSecret,
+        backend: &B,
+    ) -> Self {
+        cfg.difficulty = controller.current();
+        AdaptivePuzzleDefense {
+            inner: PuzzleDefense::new(cfg, secret, backend),
+            controller,
+            period,
+            next_obs: SimTime::ZERO + period,
+            puzzle_established: 0,
+            prev: (0, 0, 0),
+        }
+    }
+
+    /// The controller's difficulty currently in force.
+    pub fn difficulty(&self) -> Difficulty {
+        self.inner.difficulty()
+    }
+}
+
+impl<B: HashBackend> DefensePolicy<B> for AdaptivePuzzleDefense<B> {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn on_syn(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        pressure: QueuePressure,
+        out: &mut ListenerOutput,
+    ) -> SynDisposition {
+        self.inner.on_syn(core, now, flow, seg, pressure, out)
+    }
+
+    fn classify_ack(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        pending: usize,
+        out: &mut ListenerOutput,
+    ) -> AckClass {
+        self.inner.classify_ack(core, flow, seg, pending, out)
+    }
+
+    fn verify(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now_ts: u32,
+        requests: &[VerifyRequest],
+        verdicts: &mut Vec<Result<(), VerifyError>>,
+    ) -> bool {
+        DefensePolicy::verify(&mut self.inner, core, now_ts, requests, verdicts)
+    }
+
+    fn on_ack(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        out: &mut ListenerOutput,
+    ) -> AckDisposition {
+        self.inner.on_ack(core, now, flow, seg, out)
+    }
+
+    fn on_established(&mut self, _core: &mut ListenerCore<B>, _flow: FlowKey, via: EstablishedVia) {
+        if via == EstablishedVia::Puzzle {
+            self.puzzle_established += 1;
+        }
+    }
+
+    fn tick(&mut self, core: &mut ListenerCore<B>, now: SimTime) {
+        if now < self.next_obs {
+            return;
+        }
+        // One observation per due poll: a caller polling less often than
+        // the period collapses the whole gap into a single observation
+        // instead of feeding the controller phantom zero-delta "calm"
+        // periods that would relax difficulty mid-attack.
+        let s = *core.stats_mut();
+        let under_pressure = s.challenges_sent > self.prev.0
+            || s.syns_dropped > self.prev.1
+            || s.accept_overflow_drops > self.prev.2;
+        self.prev = (s.challenges_sent, s.syns_dropped, s.accept_overflow_drops);
+        let obs = AdaptiveObservation {
+            puzzle_established: self.puzzle_established,
+            under_pressure,
+        };
+        self.puzzle_established = 0;
+        let d = self.controller.observe(obs);
+        self.inner.set_difficulty_inner(d);
+        self.next_obs = now + self.period;
+    }
+
+    fn forget_flow(&mut self, flow: &FlowKey) {
+        DefensePolicy::<B>::forget_flow(&mut self.inner, flow);
+    }
+
+    fn has_flow_state(&self, flow: &FlowKey) -> bool {
+        DefensePolicy::<B>::has_flow_state(&self.inner, flow)
+    }
+
+    fn set_difficulty(&mut self, _difficulty: Difficulty) -> bool {
+        // The closed loop owns the knob; external tuning is refused so
+        // callers learn it did not stick.
+        false
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            difficulty: Some(self.inner.difficulty()),
+            adaptive: true,
+            ..PolicyStats::default()
+        }
+    }
+}
+
+/// Layered composition: every hook is offered to the layers in order
+/// and the first layer that handles it wins, turning the paper's
+/// hard-coded precedence rules ("challenges take precedence over the
+/// SYN cookies") into explicit composition.
+///
+/// A stack of one behaves identically to its sole layer (property-tested
+/// in `crates/tcpstack/tests/proptest_policy.rs`). At most one layer
+/// should verify solutions.
+#[derive(Debug)]
+pub struct Stacked<B: HashBackend> {
+    layers: Vec<Box<dyn DefensePolicy<B>>>,
+}
+
+impl<B: HashBackend> Stacked<B> {
+    /// Composes `layers`, consulted in order.
+    pub fn new(layers: Vec<Box<dyn DefensePolicy<B>>>) -> Self {
+        Stacked { layers }
+    }
+}
+
+impl<B: HashBackend> DefensePolicy<B> for Stacked<B> {
+    fn name(&self) -> &'static str {
+        "stacked"
+    }
+
+    fn on_syn(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        pressure: QueuePressure,
+        out: &mut ListenerOutput,
+    ) -> SynDisposition {
+        // Every layer sees the SYN until one absorbs it: an early layer's
+        // Admit must not stop a later latched layer (e.g. puzzles in
+        // their hysteresis hold) from challenging; a Decline stays the
+        // verdict unless a later layer absorbs. The fold starts from the
+        // stock disposition so a pressured SYN is never admitted merely
+        // because no layer claimed it (an empty stack ≡ NoDefense).
+        let mut disposition = if pressure.any() {
+            SynDisposition::Decline
+        } else {
+            SynDisposition::Admit
+        };
+        for layer in &mut self.layers {
+            match layer.on_syn(core, now, flow, seg, pressure, out) {
+                SynDisposition::Handled => return SynDisposition::Handled,
+                SynDisposition::Decline => disposition = SynDisposition::Decline,
+                SynDisposition::Admit => {}
+            }
+        }
+        disposition
+    }
+
+    fn classify_ack(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        pending: usize,
+        out: &mut ListenerOutput,
+    ) -> AckClass {
+        for layer in &mut self.layers {
+            match layer.classify_ack(core, flow, seg, pending, out) {
+                AckClass::Sequential => continue,
+                other => return other,
+            }
+        }
+        AckClass::Sequential
+    }
+
+    fn verify(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now_ts: u32,
+        requests: &[VerifyRequest],
+        verdicts: &mut Vec<Result<(), VerifyError>>,
+    ) -> bool {
+        self.layers
+            .iter_mut()
+            .any(|layer| layer.verify(core, now_ts, requests, verdicts))
+    }
+
+    fn on_ack(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        out: &mut ListenerOutput,
+    ) -> AckDisposition {
+        for layer in &mut self.layers {
+            if layer.on_ack(core, now, flow, seg, out) == AckDisposition::Consumed {
+                return AckDisposition::Consumed;
+            }
+        }
+        AckDisposition::Unclaimed
+    }
+
+    fn on_established(&mut self, core: &mut ListenerCore<B>, flow: FlowKey, via: EstablishedVia) {
+        for layer in &mut self.layers {
+            layer.on_established(core, flow, via);
+        }
+    }
+
+    fn tick(&mut self, core: &mut ListenerCore<B>, now: SimTime) {
+        for layer in &mut self.layers {
+            layer.tick(core, now);
+        }
+    }
+
+    fn forget_flow(&mut self, flow: &FlowKey) {
+        for layer in &mut self.layers {
+            layer.forget_flow(flow);
+        }
+    }
+
+    fn has_flow_state(&self, flow: &FlowKey) -> bool {
+        self.layers.iter().any(|layer| layer.has_flow_state(flow))
+    }
+
+    fn set_difficulty(&mut self, difficulty: Difficulty) -> bool {
+        let mut applied = false;
+        for layer in &mut self.layers {
+            applied |= layer.set_difficulty(difficulty);
+        }
+        applied
+    }
+
+    fn stats(&self) -> PolicyStats {
+        let mut merged = PolicyStats::default();
+        for layer in &self.layers {
+            let s = layer.stats();
+            merged.syn_cache_len += s.syn_cache_len;
+            merged.difficulty = merged.difficulty.or(s.difficulty);
+            merged.adaptive |= s.adaptive;
+        }
+        merged
+    }
+}
+
+/// Oracle-mode verification: identical structural and freshness checks
+/// to [`Verifier::verify`], with the hash-prefix check replaced by the
+/// keyed oracle comparison. Returns the verdict plus the hash count the
+/// *real* path would have charged (1 pre-image + 1 per checked proof),
+/// so CPU accounting stays faithful to the paper whichever mode runs.
+fn oracle_verify<B: HashBackend>(
+    backend: &B,
+    secret: &ServerSecret,
+    max_age: u32,
+    tuple: &ConnectionTuple,
+    params: &ChallengeParams,
+    solution: &Solution,
+    now: u32,
+) -> (Result<(), VerifyError>, u64) {
+    // Freshness window (same as the real verifier).
+    if params.timestamp > now {
+        return (
+            Err(VerifyError::FutureTimestamp {
+                issued_at: params.timestamp,
+                now,
+            }),
+            0,
+        );
+    }
+    if now - params.timestamp > max_age {
+        return (
+            Err(VerifyError::Expired {
+                issued_at: params.timestamp,
+                now,
+                max_age,
+            }),
+            0,
+        );
+    }
+    let k = params.difficulty.k();
+    if solution.len() != k as usize {
+        return (
+            Err(VerifyError::WrongSolutionCount {
+                expected: k,
+                got: solution.len(),
+            }),
+            0,
+        );
+    }
+    // Recompute the pre-image exactly as the real path does (1 hash).
+    let challenge = match puzzle_core::Challenge::issue_with(
+        backend,
+        secret,
+        tuple,
+        params.timestamp,
+        params.difficulty,
+        params.preimage_bits as u16,
+    ) {
+        Ok(c) => c,
+        Err(e) => return (Err(VerifyError::BadParams(e)), 0),
+    };
+    let len = challenge.preimage().len();
+    let mut hashes = 1u64;
+    for (i, proof) in solution.proofs().iter().enumerate() {
+        if proof.len() != len {
+            return (Err(VerifyError::BadSolutionLength { index: i }), hashes);
+        }
+        hashes += 1;
+        if proof != &oracle_proof_with(backend, secret, challenge.preimage(), i as u8 + 1, len) {
+            return (Err(VerifyError::Invalid { index: i }), hashes);
+        }
+    }
+    (Ok(()), hashes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puzzle_crypto::ScalarBackend;
+
+    fn secret() -> ServerSecret {
+        ServerSecret::from_bytes([7; 32])
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn defense_mode_compat_maps_each_variant() {
+        use crate::listener::DefenseMode;
+        let cases: [(DefenseMode, &str); 4] = [
+            (DefenseMode::None, "none"),
+            (DefenseMode::SynCache(SynCacheConfig::default()), "syncache"),
+            (DefenseMode::SynCookies, "cookies"),
+            (DefenseMode::Puzzles(PuzzleConfig::default()), "puzzles"),
+        ];
+        for (mode, expected) in cases {
+            let builder: PolicyBuilder<ScalarBackend> = mode.into_builder();
+            assert_eq!(builder.label(), expected);
+            let policy = builder.build(&secret(), &ScalarBackend);
+            assert_eq!(policy.name(), expected);
+        }
+    }
+
+    #[test]
+    fn builder_labels() {
+        let b: PolicyBuilder<ScalarBackend> = PolicyBuilder::stacked(vec![
+            PolicyBuilder::syn_cache(SynCacheConfig::default()),
+            PolicyBuilder::puzzles(PuzzleConfig::default()),
+        ]);
+        assert_eq!(b.label(), "stacked[syncache+puzzles]");
+        let p = b.build(&secret(), &ScalarBackend);
+        assert_eq!(p.name(), "stacked");
+        assert_eq!(p.stats().difficulty, Some(Difficulty::new(2, 17).unwrap()));
+    }
+
+    #[test]
+    fn set_difficulty_reports_whether_it_applied() {
+        let s = secret();
+        let d = Difficulty::new(3, 9).unwrap();
+        let mut none = NoDefense;
+        assert!(!DefensePolicy::<ScalarBackend>::set_difficulty(
+            &mut none, d
+        ));
+        let mut puzzles = PuzzleDefense::new(PuzzleConfig::default(), &s, &ScalarBackend);
+        assert!(DefensePolicy::<ScalarBackend>::set_difficulty(
+            &mut puzzles,
+            d
+        ));
+        assert_eq!(puzzles.difficulty(), d);
+        // The closed loop owns its knob: external tuning is refused.
+        let ctl = AdaptiveDifficulty::new(
+            Difficulty::new(2, 12).unwrap(),
+            Difficulty::new(2, 20).unwrap(),
+            10.0,
+            3,
+        )
+        .unwrap();
+        let mut adaptive = AdaptivePuzzleDefense::new(
+            PuzzleConfig::default(),
+            ctl,
+            SimDuration::from_secs(1),
+            &s,
+            &ScalarBackend,
+        );
+        assert!(!DefensePolicy::<ScalarBackend>::set_difficulty(
+            &mut adaptive,
+            d
+        ));
+        assert_eq!(adaptive.difficulty(), Difficulty::new(2, 12).unwrap());
+        let stats = DefensePolicy::<ScalarBackend>::stats(&adaptive);
+        assert!(stats.adaptive);
+        assert_eq!(stats.difficulty, Some(Difficulty::new(2, 12).unwrap()));
+    }
+}

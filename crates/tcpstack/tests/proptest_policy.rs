@@ -1,0 +1,272 @@
+//! Property: a [`Stacked`] pipeline of one layer behaves *identically*
+//! to that layer installed bare — same replies, same events, same
+//! counters, same queue depths — under arbitrary interleavings of SYNs,
+//! handshake completions, forged ACKs, real puzzle solutions, data,
+//! RSTs, polls, and accepts, for every built-in policy.
+//!
+//! This is the composition law that makes `Stacked` safe to use as the
+//! default composition operator: wrapping adds nothing and removes
+//! nothing.
+
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+
+use netsim::{SimDuration, SimTime};
+use proptest::prelude::*;
+use puzzle_core::{ConnectionTuple, Difficulty, ServerSecret, Solver};
+use tcpstack::{
+    Listener, ListenerConfig, PolicyBuilder, PuzzleConfig, SegmentBuilder, SolutionOption,
+    SynCacheConfig, TcpFlags, TcpOption, TcpSegment, VerifyMode,
+};
+
+const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const CLIENT_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+const CLIENTS: usize = 3;
+
+fn client_port(client: usize) -> u16 {
+    1000 + client as u16
+}
+
+/// One step of the randomized protocol script.
+#[derive(Clone, Debug)]
+enum Action {
+    /// A fresh (or duplicate) SYN from `client` with sequence `isn`.
+    Syn { client: usize, isn: u32 },
+    /// ACK completing the client's last SYN-ACK (correct ack number).
+    CompleteAck { client: usize, with_data: bool },
+    /// ACK with a forged ack number (and optionally data → RST path).
+    ForgedAck { client: usize, with_data: bool },
+    /// Really solve the client's last challenge and send the solution.
+    Solve { client: usize },
+    /// RST from the client (clears listener and policy flow state).
+    Rst { client: usize },
+    /// Advance time and drive retransmits + the policy tick.
+    Poll { millis: u64 },
+    /// Application accepts the oldest established connection.
+    Accept,
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    let client = 0usize..CLIENTS;
+    prop_oneof![
+        (client.clone(), any::<u32>()).prop_map(|(client, isn)| Action::Syn { client, isn }),
+        (client.clone(), any::<bool>())
+            .prop_map(|(client, with_data)| Action::CompleteAck { client, with_data }),
+        (client.clone(), any::<bool>())
+            .prop_map(|(client, with_data)| Action::ForgedAck { client, with_data }),
+        client.clone().prop_map(|client| Action::Solve { client }),
+        client.prop_map(|client| Action::Rst { client }),
+        (50u64..3000).prop_map(|millis| Action::Poll { millis }),
+        Just(Action::Accept),
+    ]
+}
+
+/// The policies under test. Small queues and a short hold so pressure,
+/// latch, overflow, cache-full, and expiry paths all trigger within a
+/// short script; tiny real difficulty so `Solve` is instant.
+fn policy_under_test(idx: usize) -> PolicyBuilder<puzzle_crypto::ScalarBackend> {
+    match idx {
+        0 => PolicyBuilder::none(),
+        1 => PolicyBuilder::syn_cookies(),
+        2 => PolicyBuilder::syn_cache(SynCacheConfig {
+            capacity: 2,
+            lifetime: SimDuration::from_secs(2),
+        }),
+        _ => PolicyBuilder::puzzles(PuzzleConfig {
+            difficulty: Difficulty::new(1, 4).expect("valid"),
+            preimage_bits: 32,
+            expiry: 8,
+            verify: VerifyMode::Real,
+            hold: SimDuration::from_secs(2),
+            verify_workers: 1,
+        }),
+    }
+}
+
+/// Drives one listener through the script, folding every observable —
+/// replies, events, queue depths, cache occupancy, final counters —
+/// into a transcript string.
+struct Driver {
+    listener: Listener,
+    now: SimTime,
+    /// Per client: ISN of its last SYN.
+    last_isn: [u32; CLIENTS],
+    /// Per client: the last SYN-ACK-ish reply addressed to it.
+    last_reply: [Option<TcpSegment>; CLIENTS],
+    log: String,
+}
+
+impl Driver {
+    fn new(policy: PolicyBuilder<puzzle_crypto::ScalarBackend>) -> Self {
+        let mut cfg = ListenerConfig::new(SERVER_IP, 80);
+        cfg.backlog = 1;
+        cfg.accept_backlog = 2;
+        Driver {
+            listener: Listener::with_policy(
+                cfg,
+                ServerSecret::from_bytes([7; 32]),
+                puzzle_crypto::ScalarBackend,
+                &policy,
+            ),
+            now: SimTime::ZERO,
+            last_isn: [0; CLIENTS],
+            last_reply: [None, None, None],
+            log: String::new(),
+        }
+    }
+
+    fn feed(&mut self, client: usize, seg: TcpSegment) {
+        let out = self.listener.on_segment(self.now, CLIENT_IP, &seg);
+        for (dst, reply) in &out.replies {
+            let _ = writeln!(self.log, "reply {dst} {reply:?}");
+            // Track the latest handshake reply per client for
+            // completion/solving actions.
+            for (c, slot) in self.last_reply.iter_mut().enumerate() {
+                if reply.dst_port == client_port(c) && reply.flags.contains(TcpFlags::SYN) {
+                    *slot = Some(reply.clone());
+                }
+            }
+        }
+        for ev in &out.events {
+            let _ = writeln!(self.log, "event {ev:?}");
+        }
+        let _ = writeln!(
+            self.log,
+            "after[{client}] depths={:?} cache={}",
+            self.listener.queue_depths(),
+            self.listener.syn_cache_len()
+        );
+    }
+
+    fn step(&mut self, action: &Action) {
+        self.now += SimDuration::from_millis(100);
+        match *action {
+            Action::Syn { client, isn } => {
+                self.last_isn[client] = isn;
+                let seg = SegmentBuilder::new(client_port(client), 80)
+                    .seq(isn)
+                    .flags(TcpFlags::SYN)
+                    .mss(1460)
+                    .timestamps(1, 0)
+                    .build();
+                self.feed(client, seg);
+            }
+            Action::CompleteAck { client, with_data } => {
+                let Some(reply) = self.last_reply[client].clone() else {
+                    return;
+                };
+                let mut b = SegmentBuilder::new(client_port(client), 80)
+                    .seq(self.last_isn[client].wrapping_add(1))
+                    .ack_num(reply.seq.wrapping_add(1))
+                    .flags(TcpFlags::ACK);
+                if with_data {
+                    b = b.payload(b"GET /gettext/64".to_vec());
+                }
+                self.feed(client, b.build());
+            }
+            Action::ForgedAck { client, with_data } => {
+                let mut b = SegmentBuilder::new(client_port(client), 80)
+                    .seq(self.last_isn[client].wrapping_add(1))
+                    .ack_num(0xdead_beef)
+                    .flags(TcpFlags::ACK);
+                if with_data {
+                    b = b.payload(b"GET /gettext/64".to_vec());
+                }
+                self.feed(client, b.build());
+            }
+            Action::Solve { client } => {
+                let Some(reply) = self.last_reply[client].clone() else {
+                    return;
+                };
+                let Some(copt) = reply.challenge() else {
+                    return;
+                };
+                let issued = reply
+                    .timestamps()
+                    .map(|(tsval, _)| tsval)
+                    .or(copt.timestamp)
+                    .unwrap_or(0);
+                let client_isn = self.last_isn[client];
+                let tuple =
+                    ConnectionTuple::new(CLIENT_IP, client_port(client), SERVER_IP, 80, client_isn);
+                let challenge = puzzle_core::Challenge::issue(
+                    &ServerSecret::from_bytes([7; 32]),
+                    &tuple,
+                    issued,
+                    Difficulty::new(copt.k, copt.m).expect("valid"),
+                    copt.l_bits() as u16,
+                )
+                .expect("valid challenge");
+                if challenge.preimage() != &copt.preimage[..] {
+                    return; // stale challenge (difficulty changed); skip
+                }
+                let solved = Solver::new().solve(&challenge);
+                let sol = SolutionOption::build(1460, 7, solved.solution.proofs(), None);
+                let seg = SegmentBuilder::new(client_port(client), 80)
+                    .seq(client_isn.wrapping_add(1))
+                    .ack_num(reply.seq.wrapping_add(1))
+                    .flags(TcpFlags::ACK)
+                    .timestamps(2, issued)
+                    .option(TcpOption::Solution(sol))
+                    .build();
+                self.feed(client, seg);
+            }
+            Action::Rst { client } => {
+                let seg = SegmentBuilder::new(client_port(client), 80)
+                    .flags(TcpFlags::RST)
+                    .build();
+                self.feed(client, seg);
+            }
+            Action::Poll { millis } => {
+                self.now += SimDuration::from_millis(millis);
+                let retx = self.listener.poll(self.now);
+                for (dst, reply) in &retx {
+                    let _ = writeln!(self.log, "retx {dst} {reply:?}");
+                }
+                let _ = writeln!(
+                    self.log,
+                    "poll depths={:?} cache={}",
+                    self.listener.queue_depths(),
+                    self.listener.syn_cache_len()
+                );
+            }
+            Action::Accept => {
+                let flow = self.listener.accept();
+                let _ = writeln!(self.log, "accept {flow:?}");
+            }
+        }
+    }
+
+    fn finish(mut self) -> String {
+        let _ = writeln!(self.log, "stats {:?}", self.listener.stats());
+        let _ = writeln!(self.log, "policy_stats {:?}", self.listener.policy_stats());
+        self.log
+    }
+}
+
+fn transcript(policy: PolicyBuilder<puzzle_crypto::ScalarBackend>, actions: &[Action]) -> String {
+    let mut d = Driver::new(policy);
+    for a in actions {
+        d.step(a);
+    }
+    d.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `Stacked([X])` ≡ `X` for every built-in policy, over arbitrary
+    /// protocol scripts.
+    #[test]
+    fn stacked_singleton_is_identity(
+        policy_idx in 0usize..4,
+        actions in prop::collection::vec(arb_action(), 1..50),
+    ) {
+        let bare = transcript(policy_under_test(policy_idx), &actions);
+        let stacked = transcript(
+            PolicyBuilder::stacked(vec![policy_under_test(policy_idx)]),
+            &actions,
+        );
+        prop_assert_eq!(bare, stacked);
+    }
+}

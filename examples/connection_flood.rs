@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example connection_flood`
 
-use tcp_puzzles::experiments::scenario::{Defense, Scenario, Timeline};
+use tcp_puzzles::experiments::scenario::{DefenseSpec, Scenario, Timeline};
 use tcp_puzzles::simmetrics::Table;
 
 fn main() {
@@ -21,7 +21,11 @@ fn main() {
         "accept-queue fill",
     ]);
 
-    for defense in [Defense::None, Defense::Cookies, Defense::nash()] {
+    for defense in [
+        DefenseSpec::none(),
+        DefenseSpec::cookies(),
+        DefenseSpec::nash(),
+    ] {
         let label = defense.label();
         let mut scenario = Scenario::standard(17, defense, &timeline);
         scenario.attackers = Scenario::conn_flood_bots(10, 500.0, false, &timeline);

@@ -6,9 +6,9 @@
 //!
 //! Run with: `cargo run --release --example syn_flood_defense`
 
-use tcp_puzzles::experiments::scenario::{Defense, Scenario, Timeline};
+use tcp_puzzles::experiments::scenario::{DefenseSpec, Scenario, Timeline};
 
-fn run(defense: Defense) -> Vec<(f64, f64)> {
+fn run(defense: DefenseSpec) -> Vec<(f64, f64)> {
     let timeline = Timeline {
         total: 40.0,
         attack_start: 10.0,
@@ -36,10 +36,10 @@ fn sparkline(rates: &[(f64, f64)], max: f64) -> String {
 fn main() {
     println!("SYN flood (spoofed, 4000 pps) against 3 clients; attack on [10, 30) s\n");
     for defense in [
-        Defense::None,
-        Defense::Cookies,
-        Defense::Puzzles { k: 1, m: 8 },
-        Defense::nash(),
+        DefenseSpec::none(),
+        DefenseSpec::cookies(),
+        DefenseSpec::puzzles(1, 8),
+        DefenseSpec::nash(),
     ] {
         let label = defense.label();
         let rates = run(defense);

@@ -1,10 +1,12 @@
 //! Integration: the §7 closed-loop difficulty controller, live in the
-//! simulated testbed — difficulty escalates while a solving botnet buys
-//! service too fast, throttles it, and relaxes after the attack ends.
+//! simulated testbed through the `AdaptivePuzzleDefense` policy (the
+//! `adaptive` defense spec) — difficulty escalates while a solving
+//! botnet buys service too fast, throttles it, and relaxes after the
+//! attack ends. The controller runs inside the listener's own policy
+//! tick; the server only samples the difficulty it holds in force.
 
-use tcp_puzzles::experiments::scenario::{Defense, Scenario, Timeline};
+use tcp_puzzles::experiments::scenario::{DefenseSpec, Scenario, Timeline};
 use tcp_puzzles::puzzle_core::Difficulty;
-use tcp_puzzles::tcpstack::adaptive::AdaptiveDifficulty;
 
 #[test]
 fn controller_escalates_under_attack_and_relaxes_after() {
@@ -16,16 +18,8 @@ fn controller_escalates_under_attack_and_relaxes_after() {
     // Start easy (2, 12): a solving bot can buy ~100 admissions/s at this
     // price. Benign load (2 clients × 20 req/s) stays under the 60/s
     // target, so only attack traffic drives escalation.
-    let mut scenario = Scenario::standard(99, Defense::Puzzles { k: 2, m: 12 }, &timeline);
-    scenario.server.adaptive = Some(
-        AdaptiveDifficulty::new(
-            Difficulty::new(2, 12).expect("valid"),
-            Difficulty::new(2, 20).expect("valid"),
-            60.0, // target puzzle admissions per second (above benign load)
-            10,   // calm seconds before relaxing a bit
-        )
-        .expect("valid config"),
-    );
+    let defense = DefenseSpec::adaptive_between(2, 12, 20, 60.0, 10);
+    let mut scenario = Scenario::standard(99, defense, &timeline);
     scenario.clients.truncate(2);
     scenario.attackers = Scenario::conn_flood_bots(2, 500.0, true, &timeline);
     let mut tb = scenario.build();
@@ -59,4 +53,18 @@ fn controller_escalates_under_attack_and_relaxes_after() {
         relaxed_m < late_attack_m,
         "controller should relax after the attack: {relaxed_m} vs {late_attack_m}"
     );
+}
+
+/// The closed loop owns its knob: the sysctl analogue reports that it
+/// did not stick, instead of silently no-opping (old `set_difficulty`
+/// behaviour on non-puzzle modes).
+#[test]
+fn external_tuning_is_refused_under_closed_loop_control() {
+    let timeline = Timeline::smoke();
+    let mut scenario = Scenario::standard(7, DefenseSpec::adaptive(), &timeline);
+    scenario.clients.truncate(1);
+    let mut tb = scenario.build();
+    tb.run_until_secs(1.0);
+    let server = tb.server_mut();
+    assert!(!server.set_difficulty(Difficulty::new(2, 19).expect("valid")));
 }

@@ -7,7 +7,7 @@
 
 use hostsim::FleetAttack;
 use netsim::SimDuration;
-use tcp_puzzles::experiments::scenario::{Defense, Matrix, Timeline};
+use tcp_puzzles::experiments::scenario::{DefenseSpec, Matrix, Timeline};
 
 #[test]
 #[ignore = "release-mode scale smoke; run with -- --ignored fleet_smoke"]
@@ -18,7 +18,7 @@ fn fleet_smoke_100k_conn_flood() {
         attack_stop: 25.0,
     };
     let matrix = Matrix::new(timeline)
-        .defenses(vec![Defense::nash()])
+        .defenses(vec![DefenseSpec::nash()])
         .attacks(vec![FleetAttack::ConnFlood {
             rate: 50_000.0,
             solve: None,

@@ -12,8 +12,10 @@
 //! change is intended and understood.
 
 use tcp_puzzles::experiments::golden::{
-    conn_flood_scenario, run_and_digest, standard_scenario, syn_flood_scenario,
+    conn_flood_scenario, defended_conn_flood_scenario, defended_syn_flood_scenario, run_and_digest,
+    standard_scenario, syn_flood_scenario,
 };
+use tcp_puzzles::experiments::scenario::DefenseSpec;
 
 /// Seed used by every committed expectation.
 const GOLDEN_SEED: u64 = 12345;
@@ -51,6 +53,68 @@ fn golden_conn_flood() {
         run_and_digest(conn_flood_scenario(GOLDEN_SEED)),
         "b10af12c4faf41bef5d22e94c1dd2a67cc87c1e41ee88ac1f62ba3fdd7dbd366",
     );
+}
+
+/// Every registered defence spec, run through the syn-flood and
+/// conn-flood golden scenarios. The legacy four (none, syncache,
+/// cookies, nash puzzles) digests were captured **before** the
+/// `DefensePolicy` redesign replaced the closed `DefenseMode` enum — the
+/// composable pipeline must reproduce the enum-era behaviour
+/// byte-for-byte. The `adaptive` and `stacked` rows pin the new
+/// compositions' first capture, so the CI backend matrix asserts them
+/// per hash backend like every other golden run.
+#[test]
+fn golden_defense_matrix() {
+    let expectations: [(&str, &str, &str); 6] = [
+        (
+            "none",
+            "9c9943d212af1c878e264228eb08d207baa008fd00d16d566a2726333449c107",
+            "05aeb61934f9a847d5e7bddcc0f65011588e978d48a4f7619a5ecc93e0c7a040",
+        ),
+        (
+            "syncache",
+            "ebce1fb64be0a43052a6dc8564bb573785d7cd96bd66d03a29ac01ff90a3a190",
+            "7fc339ad894d907fe69c75cc9b9265f575c36d4223ef91dc5551fd7026fd3903",
+        ),
+        (
+            "cookies",
+            "a6c0a46f706209a8673c23b12e69637b789ae96a5b40fdedd54708cdc38e414b",
+            "23cc41a270a11974bd91be7b5bcc898af00b2be18204c81a061c5411e6320d43",
+        ),
+        (
+            "nash",
+            "5006adf5ae0beb3b0e5805b623c3802b88dcc8844129147a758a0da5dba1ed76",
+            "b10af12c4faf41bef5d22e94c1dd2a67cc87c1e41ee88ac1f62ba3fdd7dbd366",
+        ),
+        (
+            "adaptive",
+            "fb0b25d511797ffe3f5af46f5ea61df1dca8ed105c20c32fbea01365900a0a78",
+            "a95f9601b5382a84fafd8b04fb92aa602bf973e7cbc2a74095c47c7da8a4ff5e",
+        ),
+        (
+            "stacked",
+            "0cc5b1b304ee325a81a8da1bd6bd61e90bc04429c776b6eedfb1fa6eaf5a3e13",
+            "6cbb90193b9b03a5e8ed75b68f105a5d850ad27245b434e76f6ed7ef2e436b6f",
+        ),
+    ];
+    assert_eq!(
+        expectations.len(),
+        DefenseSpec::registered().len(),
+        "every registered defense spec needs a golden pin"
+    );
+    for (name, syn_expected, conn_expected) in expectations {
+        let spec = DefenseSpec::by_name(name).expect("registered name resolves");
+        assert_digest(
+            &format!("syn_flood/{name}"),
+            run_and_digest(defended_syn_flood_scenario(GOLDEN_SEED, spec.clone())),
+            syn_expected,
+        );
+        assert_digest(
+            &format!("conn_flood/{name}"),
+            run_and_digest(defended_conn_flood_scenario(GOLDEN_SEED, spec)),
+            conn_expected,
+        );
+    }
 }
 
 #[test]

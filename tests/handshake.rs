@@ -5,8 +5,9 @@
 use tcp_puzzles::netsim::{SimDuration, SimTime};
 use tcp_puzzles::puzzle_core::{Challenge, ChallengeParams};
 use tcp_puzzles::puzzle_core::{Difficulty, ServerSecret, Solver};
+use tcp_puzzles::puzzle_crypto::ScalarBackend;
 use tcp_puzzles::tcpstack::{
-    ClientConfig, ClientConn, ClientEvent, DefenseMode, Listener, ListenerConfig, ListenerEvent,
+    ClientConfig, ClientConn, ClientEvent, Listener, ListenerConfig, ListenerEvent, PolicyBuilder,
     PuzzleConfig, SolutionOption, TcpOption, VerifyMode,
 };
 
@@ -24,15 +25,20 @@ fn challenge_handshake_end_to_end_with_real_solving() {
     let secret = ServerSecret::from_bytes([1; 32]);
     let mut cfg = ListenerConfig::new(SERVER_IP, 80);
     cfg.backlog = 0; // challenge every SYN
-    cfg.defense = DefenseMode::Puzzles(PuzzleConfig {
+    let pc = PuzzleConfig {
         difficulty: Difficulty::new(2, 10).expect("valid"),
         preimage_bits: 32,
         expiry: 8,
         verify: VerifyMode::Real,
         hold: SimDuration::ZERO,
         verify_workers: 1,
-    });
-    let mut listener = Listener::new(cfg, secret.clone());
+    };
+    let mut listener = Listener::with_policy(
+        cfg,
+        secret.clone(),
+        ScalarBackend,
+        &PolicyBuilder::puzzles(pc),
+    );
 
     let (mut conn, syn) = ClientConn::connect(
         ClientConfig::new(CLIENT_IP, 40_000, SERVER_IP, 80),
@@ -111,15 +117,16 @@ fn non_solver_is_deceived_then_reset() {
     let secret = ServerSecret::from_bytes([2; 32]);
     let mut cfg = ListenerConfig::new(SERVER_IP, 80);
     cfg.backlog = 0;
-    cfg.defense = DefenseMode::Puzzles(PuzzleConfig {
+    let pc = PuzzleConfig {
         difficulty: Difficulty::new(1, 8).expect("valid"),
         preimage_bits: 32,
         expiry: 8,
         verify: VerifyMode::Real,
         hold: SimDuration::ZERO,
         verify_workers: 1,
-    });
-    let mut listener = Listener::new(cfg, secret);
+    };
+    let mut listener =
+        Listener::with_policy(cfg, secret, ScalarBackend, &PolicyBuilder::puzzles(pc));
 
     let (mut conn, syn) =
         ClientConn::connect(ClientConfig::new(CLIENT_IP, 41_000, SERVER_IP, 80), 7, t(0));
@@ -154,15 +161,16 @@ fn forged_solution_rejected() {
     let secret = ServerSecret::from_bytes([3; 32]);
     let mut cfg = ListenerConfig::new(SERVER_IP, 80);
     cfg.backlog = 0;
-    cfg.defense = DefenseMode::Puzzles(PuzzleConfig {
+    let pc = PuzzleConfig {
         difficulty: Difficulty::new(2, 16).expect("valid"),
         preimage_bits: 32,
         expiry: 8,
         verify: VerifyMode::Real,
         hold: SimDuration::ZERO,
         verify_workers: 1,
-    });
-    let mut listener = Listener::new(cfg, secret);
+    };
+    let mut listener =
+        Listener::with_policy(cfg, secret, ScalarBackend, &PolicyBuilder::puzzles(pc));
 
     let (mut conn, syn) =
         ClientConn::connect(ClientConfig::new(CLIENT_IP, 42_000, SERVER_IP, 80), 9, t(0));
@@ -186,15 +194,16 @@ fn wire_round_trip_of_challenge_and_solution() {
     let secret = ServerSecret::from_bytes([4; 32]);
     let mut cfg = ListenerConfig::new(SERVER_IP, 80);
     cfg.backlog = 0;
-    cfg.defense = DefenseMode::Puzzles(PuzzleConfig {
+    let pc = PuzzleConfig {
         difficulty: Difficulty::new(2, 6).expect("valid"),
         preimage_bits: 32,
         expiry: 8,
         verify: VerifyMode::Real,
         hold: SimDuration::ZERO,
         verify_workers: 1,
-    });
-    let mut listener = Listener::new(cfg, secret);
+    };
+    let mut listener =
+        Listener::with_policy(cfg, secret, ScalarBackend, &PolicyBuilder::puzzles(pc));
 
     let (mut conn, syn) = ClientConn::connect(
         ClientConfig::new(CLIENT_IP, 43_000, SERVER_IP, 80),

@@ -6,13 +6,13 @@
 //! the cache is full, the server will default to the same behavior it
 //! performed when its backlog limit is reached."
 
-use tcp_puzzles::experiments::scenario::{Defense, Scenario, Timeline};
+use tcp_puzzles::experiments::scenario::{DefenseSpec, Scenario, Timeline};
 
 /// Runs a spoofed SYN flood at `pps` against a SYN-cache server; returns
 /// the clients' retained goodput fraction during the attack.
 fn retained_under_flood(capacity: usize, bots: usize, pps: f64, seed: u64) -> f64 {
     let timeline = Timeline::smoke();
-    let mut scenario = Scenario::standard(seed, Defense::SynCache { capacity }, &timeline);
+    let mut scenario = Scenario::standard(seed, DefenseSpec::syn_cache(capacity), &timeline);
     scenario.clients.truncate(5);
     scenario.attackers = Scenario::syn_flood_bots(bots, pps, &timeline);
     let mut tb = scenario.build();

@@ -2,7 +2,7 @@
 //! testbed — the pipeline from measured parameters to deployed difficulty
 //! to observed attack tolerance.
 
-use tcp_puzzles::experiments::scenario::{Defense, Scenario, Timeline};
+use tcp_puzzles::experiments::scenario::{DefenseSpec, Scenario, Timeline};
 use tcp_puzzles::hostsim::profiles;
 use tcp_puzzles::puzzle_game::{
     asymptotic_difficulty, nash_rates, select_parameters, GameConfig, SelectionPolicy,
@@ -29,7 +29,7 @@ fn derived_difficulty_throttles_attackers_as_predicted() {
         attack_start: 5.0,
         attack_stop: 45.0,
     };
-    let mut scenario = Scenario::standard(77, Defense::nash(), &timeline);
+    let mut scenario = Scenario::standard(77, DefenseSpec::nash(), &timeline);
     scenario.server.backlog = 0; // always challenged: isolate the CPU bound
     scenario.clients.truncate(1);
     scenario.attackers = Scenario::conn_flood_bots(1, 500.0, true, &timeline);
@@ -74,7 +74,7 @@ fn difficulty_tradeoff_matches_theory_direction() {
         attack_stop: 35.0,
     };
     let run = |m: u8| {
-        let mut scenario = Scenario::standard(88, Defense::Puzzles { k: 2, m }, &timeline);
+        let mut scenario = Scenario::standard(88, DefenseSpec::puzzles(2, m), &timeline);
         scenario.server.backlog = 0;
         scenario.clients.truncate(5);
         scenario.attackers = Scenario::conn_flood_bots(2, 500.0, true, &timeline);
