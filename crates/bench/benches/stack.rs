@@ -12,7 +12,8 @@ use puzzle_core::{Difficulty, ServerSecret};
 use std::hint::black_box;
 use std::net::Ipv4Addr;
 use tcpstack::{
-    Listener, ListenerConfig, PolicyBuilder, PuzzleConfig, SegmentBuilder, TcpFlags, VerifyMode,
+    Listener, ListenerConfig, PolicyBuilder, PuzzleConfig, SegmentBuilder, ShardedListener,
+    TcpFlags, TcpSegment, VerifyMode,
 };
 
 const SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
@@ -76,6 +77,53 @@ fn bench_syn_challenge(c: &mut Criterion) {
         let seg = syn(3000);
         b.iter(|| l.on_segment(SimTime::ZERO, src, black_box(&seg)))
     });
+}
+
+/// Multi-core batch stepping through the RSS-style sharded listener:
+/// one conn-flood-shaped batch (256 SYNs from 256 distinct flows)
+/// against latched puzzles, so every segment costs a challenge HMAC —
+/// the admission-path workload the paper's cost model assumes all cores
+/// share. The batch is partitioned by flow hash and the shards step on
+/// scoped threads; on a multi-core host `sharded/on_segments/8` should
+/// scale towards 8× `sharded/on_segments/1` (thread spawn overhead
+/// aside), while on a single-core host the facade steps shards in-line
+/// and the group measures pure dispatch overhead instead (see
+/// DESIGN.md, "Sharded listener").
+fn bench_sharded_step(c: &mut Criterion) {
+    let pc = PuzzleConfig {
+        difficulty: Difficulty::new(2, 17).expect("valid"),
+        preimage_bits: 32,
+        expiry: 8,
+        verify: VerifyMode::Real,
+        hold: SimDuration::from_secs(3600),
+        verify_workers: 1,
+    };
+    let batch: Vec<(std::net::Ipv4Addr, TcpSegment)> = (0..256)
+        .map(|i: u32| {
+            let addr = Ipv4Addr::new(10, 1, (i / 200) as u8, 2 + (i % 200) as u8);
+            let seg = SegmentBuilder::new(1024 + i as u16, 80)
+                .seq(i)
+                .flags(TcpFlags::SYN)
+                .mss(1460)
+                .timestamps(1, 0)
+                .build();
+            (addr, seg)
+        })
+        .collect();
+    for shards in [1usize, 2, 4, 8] {
+        c.bench_function(format!("sharded/on_segments/{shards}"), |b| {
+            let mut cfg = ListenerConfig::new(SERVER, 80);
+            cfg.backlog = 0; // permanent pressure: every SYN is challenged
+            let mut l = ShardedListener::with_policy(
+                cfg,
+                ServerSecret::from_bytes([7; 32]),
+                puzzle_crypto::ScalarBackend,
+                &PolicyBuilder::puzzles(pc.clone()),
+                shards,
+            );
+            b.iter(|| l.on_segments(SimTime::ZERO, black_box(&batch)))
+        });
+    }
 }
 
 /// Steady-state event-queue churn at `pending` in-flight events: each
@@ -167,5 +215,5 @@ fn bench_fleet_step(c: &mut Criterion) {
     });
 }
 
-criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_syn_stateful, bench_syn_cookie, bench_syn_challenge, bench_event_queue, bench_fleet_step}
+criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_syn_stateful, bench_syn_cookie, bench_syn_challenge, bench_sharded_step, bench_event_queue, bench_fleet_step}
 criterion_main!(benches);

@@ -61,7 +61,7 @@ pub use challenge::{compute_preimage, Challenge, ChallengeParams, Solution, MAX_
 pub use cost::{sample_solve_hashes, sample_sub_puzzle_hashes, SolveCostModel};
 pub use difficulty::Difficulty;
 pub use error::{DifficultyError, IssueError, VerifyError};
-pub use replay::ReplayCache;
+pub use replay::{mix64, ReplayCache};
 pub use solve::{SolveOutcome, Solver};
 pub use tuple::ConnectionTuple;
 pub use verify::{BatchOutcome, BatchScratch, ServerSecret, Verifier, VerifyRequest};

@@ -41,11 +41,23 @@ pub(crate) fn admission_mix(tuple: &ConnectionTuple, timestamp: u32) -> u64 {
     mix(&key_for(tuple, timestamp))
 }
 
-fn mix(key: &ReplayKey) -> u64 {
-    let mut h = (key.0 as u64) ^ ((key.0 >> 64) as u64) ^ u64::from(key.1);
+/// The splitmix64 finalizer behind every shard/worker choice in the
+/// verification path: the replay cache's shard selection, the worker
+/// partitioning of `Verifier::verify_batch_parallel`, and (through
+/// `tcpstack::ShardedListener`) the RSS-style listener-shard dispatch.
+/// Each layer hashes its own key, so the indices differ across layers,
+/// but placement is deterministic and uniformly spread everywhere by
+/// this one mixing function. Cheap, well distributed, not
+/// security-relevant.
+pub fn mix64(h: u64) -> u64 {
+    let mut h = h;
     h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     h ^ (h >> 31)
+}
+
+fn mix(key: &ReplayKey) -> u64 {
+    mix64((key.0 as u64) ^ ((key.0 >> 64) as u64) ^ u64::from(key.1))
 }
 
 /// One lockable shard: the admission keys (each key carries its own issue

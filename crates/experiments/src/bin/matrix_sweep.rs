@@ -4,13 +4,15 @@
 //! Usage:
 //!   cargo run --release -p experiments --bin matrix_sweep \
 //!     [-- --full] [--defense none,cookies,nash,adaptive,stacked] \
-//!     [--sizes 1000,100000] [--seeds 1,2] [--rate 20000]
+//!     [--sizes 1000,100000] [--shards 1,4] [--seeds 1,2] [--rate 20000]
 //!
 //! `--defense` sweeps registered defence specs by name
 //! (`DefenseSpec::by_name`): `none`, `syncache[-<cap>]`, `cookies`,
-//! `nash`, `puzzles-k<k>m<m>`, `adaptive`, `stacked`. Defaults sweep
-//! {nodefense, cookies, nash} × {syn-flood, conn-flood} × {1k, 10k}
-//! flows × seed 1 on the compressed timeline.
+//! `nash`, `puzzles-k<k>m<m>`, `adaptive`, `stacked`. `--shards` sweeps
+//! the server's RSS-style listener-shard count (each value rounds up to
+//! a power of two; default 1). Defaults sweep {nodefense, cookies,
+//! nash} × {syn-flood, conn-flood} × {1k, 10k} flows × 1 shard × seed 1
+//! on the compressed timeline.
 
 use experiments::scenario::{DefenseSpec, Matrix, Timeline};
 use hostsim::FleetAttack;
@@ -33,6 +35,12 @@ fn main() {
     let sizes: Vec<usize> = experiments::arg_after(&args, "--sizes")
         .map(parse_list)
         .unwrap_or_else(|| vec![1_000, 10_000])
+        .into_iter()
+        .map(|n| n as usize)
+        .collect();
+    let shards: Vec<usize> = experiments::arg_after(&args, "--shards")
+        .map(parse_list)
+        .unwrap_or_else(|| vec![1])
         .into_iter()
         .map(|n| n as usize)
         .collect();
@@ -80,6 +88,7 @@ fn main() {
             },
         ])
         .fleet_sizes(sizes)
+        .shards(shards)
         .seeds(seeds);
 
     eprintln!("running {} cells…", matrix.cell_count());

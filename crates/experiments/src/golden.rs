@@ -71,6 +71,16 @@ pub fn conn_flood_scenario(seed: u64) -> Scenario {
     defended_conn_flood_scenario(seed, DefenseSpec::nash())
 }
 
+/// Reconfigures a golden scenario's server to run `shards` RSS-style
+/// listener shards — how the CI backend matrix re-runs the defense
+/// suite at `shards = 4`. At `shards = 1` the scenario is unchanged
+/// (the sharded facade is a transparent wrapper), so the pre-sharding
+/// digests pin that case directly.
+pub fn sharded(mut scenario: Scenario, shards: usize) -> Scenario {
+    scenario.server.shards = shards;
+    scenario
+}
+
 /// Runs a scenario to the golden timeline's end and digests it.
 pub fn run_and_digest(scenario: Scenario) -> String {
     let timeline = golden_timeline();

@@ -711,6 +711,10 @@ pub struct Matrix {
     pub attacks: Vec<FleetAttack>,
     /// Fleet-size axis (flows per cell, up to 10⁶).
     pub fleet_sizes: Vec<usize>,
+    /// Listener-shard axis ([`ServerParams::shards`]; each entry rounds
+    /// up to a power of two). Defaults to `[1]` — the serial listener
+    /// every pre-sharding digest was captured under.
+    pub shards: Vec<usize>,
     /// Seed axis.
     pub seeds: Vec<u64>,
     /// Benign per-host clients measuring goodput in every cell.
@@ -726,6 +730,8 @@ pub struct MatrixCell {
     pub attack: String,
     /// Fleet size (flows).
     pub flows: usize,
+    /// Listener shards the cell's server ran with.
+    pub shards: usize,
     /// RNG seed.
     pub seed: u64,
     /// Golden-run digest of the finished testbed
@@ -753,10 +759,11 @@ impl fmt::Display for MatrixCell {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} x {} x {} flows x seed {}: {:.0} -> {:.0} kB/s ({:.0}% retained) digest {}",
+            "{} x {} x {} flows x {} shards x seed {}: {:.0} -> {:.0} kB/s ({:.0}% retained) digest {}",
             self.defense,
             self.attack,
             self.flows,
+            self.shards,
             self.seed,
             self.goodput_before / 1e3,
             self.goodput_during / 1e3,
@@ -775,6 +782,7 @@ impl Matrix {
             defenses: Vec::new(),
             attacks: Vec::new(),
             fleet_sizes: Vec::new(),
+            shards: vec![1],
             seeds: Vec::new(),
             clients: 15,
         }
@@ -798,6 +806,12 @@ impl Matrix {
         self
     }
 
+    /// Sets the listener-shard axis (default `[1]`).
+    pub fn shards(mut self, shards: Vec<usize>) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Sets the seed axis.
     pub fn seeds(mut self, seeds: Vec<u64>) -> Self {
         self.seeds = seeds;
@@ -812,11 +826,16 @@ impl Matrix {
 
     /// Number of cells the sweep will run.
     pub fn cell_count(&self) -> usize {
-        self.defenses.len() * self.attacks.len() * self.fleet_sizes.len() * self.seeds.len()
+        self.defenses.len()
+            * self.attacks.len()
+            * self.fleet_sizes.len()
+            * self.shards.len()
+            * self.seeds.len()
     }
 
     /// Builds the scenario for one cell (also useful to run a single
-    /// cell by hand, e.g. the CI 100k-flow smoke).
+    /// cell by hand, e.g. the CI 100k-flow smoke) with a single-shard
+    /// server. See [`Matrix::cell_scenario_sharded`] for the shard axis.
     pub fn cell_scenario(
         &self,
         defense: &DefenseSpec,
@@ -824,7 +843,22 @@ impl Matrix {
         flows: usize,
         seed: u64,
     ) -> Scenario {
+        self.cell_scenario_sharded(defense, attack, flows, 1, seed)
+    }
+
+    /// Builds the scenario for one cell with `shards` listener shards
+    /// (normalized to the power of two the server will actually run —
+    /// [`tcpstack::ShardedListener`] rounds up).
+    pub fn cell_scenario_sharded(
+        &self,
+        defense: &DefenseSpec,
+        attack: &FleetAttack,
+        flows: usize,
+        shards: usize,
+        seed: u64,
+    ) -> Scenario {
         let mut s = Scenario::standard(seed, defense.clone(), &self.timeline);
+        s.server.shards = shards.max(1).next_power_of_two();
         s.clients = Scenario::paper_clients(self.clients, true);
         s.bot_fleets = vec![BotFleetParams {
             addr_base: bot_fleet_base(0),
@@ -839,7 +873,7 @@ impl Matrix {
         s
     }
 
-    /// Runs one cell to completion and reduces it.
+    /// Runs one single-shard cell to completion and reduces it.
     pub fn run_cell(
         &self,
         defense: &DefenseSpec,
@@ -847,7 +881,24 @@ impl Matrix {
         flows: usize,
         seed: u64,
     ) -> MatrixCell {
-        let mut tb = self.cell_scenario(defense, attack, flows, seed).build();
+        self.run_cell_sharded(defense, attack, flows, 1, seed)
+    }
+
+    /// Runs one cell at an explicit listener-shard count and reduces
+    /// it. The cell records the *effective* (power-of-two) shard count,
+    /// so `--shards 3` reports as the 4-shard run it actually was.
+    pub fn run_cell_sharded(
+        &self,
+        defense: &DefenseSpec,
+        attack: &FleetAttack,
+        flows: usize,
+        shards: usize,
+        seed: u64,
+    ) -> MatrixCell {
+        let shards = shards.max(1).next_power_of_two();
+        let mut tb = self
+            .cell_scenario_sharded(defense, attack, flows, shards, seed)
+            .build();
         tb.run_until_secs(self.timeline.total);
         let goodput = tb.client_goodput();
         let (b0, b1) = self.timeline.before_window();
@@ -856,6 +907,7 @@ impl Matrix {
             defense: defense.label(),
             attack: attack.label().to_string(),
             flows,
+            shards,
             seed,
             digest: crate::golden::digest_testbed(&tb),
             goodput_before: goodput.mean_rate_between(b0, b1),
@@ -870,8 +922,10 @@ impl Matrix {
         for defense in &self.defenses {
             for attack in &self.attacks {
                 for &flows in &self.fleet_sizes {
-                    for &seed in &self.seeds {
-                        cells.push(self.run_cell(defense, attack, flows, seed));
+                    for &shards in &self.shards {
+                        for &seed in &self.seeds {
+                            cells.push(self.run_cell_sharded(defense, attack, flows, shards, seed));
+                        }
                     }
                 }
             }

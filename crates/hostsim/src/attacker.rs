@@ -227,7 +227,7 @@ impl AttackerHost {
                     self.params.addr
                 };
                 let syn = SegmentBuilder::new(
-                    ctx.rng().range_u64(1024, 65_535) as u16,
+                    ctx.rng().range_u64(1024, 65_536) as u16,
                     self.params.target_port,
                 )
                 .seq(ctx.rng().next_u32())
@@ -279,7 +279,7 @@ impl AttackerHost {
                 let sol = SolutionOption::build(1460, 7, &proofs, None);
                 let now_ts = tcpstack::puzzle_clock(now);
                 let ack = SegmentBuilder::new(
-                    ctx.rng().range_u64(1024, 65_535) as u16,
+                    ctx.rng().range_u64(1024, 65_536) as u16,
                     self.params.target_port,
                 )
                 .seq(ctx.rng().next_u32())

@@ -42,9 +42,16 @@ const K_SOLVE: u64 = 5;
 const K_RETX: u64 = 6;
 const K_CAPTURE: u64 = 7;
 
-/// Timer tag: kind byte, 24-bit per-flow epoch, 32-bit flow index.
+/// Timer tag: kind byte, full 32-bit slot epoch, 24-bit flow index.
+///
+/// The epoch is carried whole: an earlier layout packed only its low 24
+/// bits, so after 2²⁴ reuses of one slot a stale timer's tag aliased the
+/// live epoch and fired on the wrong flow incarnation. A fleet's flow
+/// count is bounded by its `/16` block (≤ 255 × [`PORTS_PER_ADDR`] <
+/// 2²⁴), so the index is the field that fits in 24 bits.
 const fn tag(kind: u64, epoch: u32, idx: u32) -> u64 {
-    (kind << 56) | ((epoch as u64 & 0xff_ffff) << 32) | idx as u64
+    debug_assert!(idx <= 0xff_ffff, "flow index exceeds the 24-bit tag field");
+    (kind << 56) | ((epoch as u64) << 24) | (idx as u64 & 0xff_ffff)
 }
 
 const fn tag_kind(t: u64) -> u64 {
@@ -52,16 +59,34 @@ const fn tag_kind(t: u64) -> u64 {
 }
 
 const fn tag_epoch(t: u64) -> u32 {
-    ((t >> 32) & 0xff_ffff) as u32
+    ((t >> 24) & 0xffff_ffff) as u32
 }
 
 const fn tag_idx(t: u64) -> u32 {
-    t as u32
+    (t & 0xff_ffff) as u32
 }
 
-/// Millisecond timestamp clock (mirrors the stack's client side).
+/// Millisecond timestamp clock (mirrors the stack's client side), kept
+/// at full `u64` width internally so it never wraps over a simulation's
+/// lifetime. The *wire* TSval is its low 32 bits ([`ts_ms`]), which wrap
+/// every 2³² ms ≈ 49.7 days — RFC 7323 semantics, so consumers must
+/// compare TSvals with [`tsval_newer_eq`], never numerically.
+fn ts_ms64(now: SimTime) -> u64 {
+    now.as_nanos() / 1_000_000
+}
+
+/// The 32-bit wire TSval for an instant: the internal millisecond clock
+/// reduced modulo 2³².
 fn ts_ms(now: SimTime) -> u32 {
-    (now.as_nanos() / 1_000_000) as u32
+    ts_ms64(now) as u32
+}
+
+/// RFC 7323-style wraparound-aware TSval ordering: `a` is at-or-after
+/// `b` on the 32-bit circle (i.e. within half the space ahead of it).
+/// This is the comparison TSval consumers must use — after the wire
+/// clock wraps, a numerically *smaller* TSval is the newer one.
+pub fn tsval_newer_eq(a: u32, b: u32) -> bool {
+    a.wrapping_sub(b) < 1 << 31
 }
 
 /// Maps flow `i` within `base`'s block to its source address.
@@ -164,12 +189,13 @@ impl FlowTable {
     }
 
     /// Whether timer tag `t` still refers to the flow's current tenancy.
-    /// The tag carries only the low 24 epoch bits, so compare masked.
+    /// The tag carries the full 32-bit epoch, so this is an exact match
+    /// — a stale timer can never alias a reused slot.
     fn tag_live(&self, t: u64) -> Option<usize> {
         let idx = tag_idx(t) as usize;
         (idx < self.state.len()
             && self.state[idx] != FlowState::Idle
-            && self.epoch[idx] & 0xff_ffff == tag_epoch(t))
+            && self.epoch[idx] == tag_epoch(t))
         .then_some(idx)
     }
 }
@@ -449,7 +475,7 @@ impl BotFleet {
                         )
                     };
                     let syn = SegmentBuilder::new(
-                        ctx.rng().range_u64(1024, 65_535) as u16,
+                        ctx.rng().range_u64(1024, 65_536) as u16,
                         self.params.target_port,
                     )
                     .seq(ctx.rng().next_u32())
@@ -482,7 +508,7 @@ impl BotFleet {
                         ctx.rng().below(self.flows.len() as u64) as usize,
                     );
                     let ack = SegmentBuilder::new(
-                        ctx.rng().range_u64(1024, 65_535) as u16,
+                        ctx.rng().range_u64(1024, 65_536) as u16,
                         self.params.target_port,
                     )
                     .seq(ctx.rng().next_u32())
@@ -1064,11 +1090,119 @@ mod tests {
     }
 
     #[test]
+    fn ephemeral_port_range_includes_65535() {
+        // Regression: `range_u64`'s upper bound is exclusive, so the old
+        // `range_u64(1024, 65_535)` sampler could never mint port 65535.
+        // The fixed bound (65_536) covers the whole ephemeral range.
+        let mut rng = netsim::rng::SimRng::seed_from(42);
+        let mut hit_top = false;
+        for _ in 0..1_000_000 {
+            let port = rng.range_u64(1024, 65_536) as u16;
+            assert!(port >= 1024);
+            hit_top |= port == 65_535;
+        }
+        assert!(hit_top, "port 65535 must be reachable");
+    }
+
+    #[test]
     fn tag_packs_and_unpacks() {
-        let t = tag(K_SOLVE, 0xabcdef, 0xdead_beef);
+        // Full 32-bit epoch and the largest 24-bit flow index round-trip.
+        let t = tag(K_SOLVE, 0xdead_beef, 0xff_ffff);
         assert_eq!(tag_kind(t), K_SOLVE);
-        assert_eq!(tag_epoch(t), 0xabcdef);
-        assert_eq!(tag_idx(t), 0xdead_beef);
+        assert_eq!(tag_epoch(t), 0xdead_beef);
+        assert_eq!(tag_idx(t), 0xff_ffff);
+    }
+
+    #[test]
+    fn epochs_straddling_2_pow_24_do_not_alias() {
+        // Regression: the old layout carried only the low 24 epoch bits,
+        // so epoch 2^24 aliased epoch 0 and a stale timer from 2^24
+        // releases ago fired on the wrong flow incarnation.
+        let mut t = FlowTable::new(2);
+        let idx = t.claim(1).unwrap();
+        t.epoch[idx] = 0xff_ffff; // one release below the boundary
+        let stale = tag(K_CONNTO, t.epoch[idx], idx as u32);
+        t.release(idx); // epoch -> 0x100_0000
+        assert_eq!(t.claim(2), Some(idx));
+        assert_eq!(t.epoch[idx], 0x100_0000);
+        assert_eq!(t.tag_live(stale), None, "pre-boundary tag must be dead");
+        // A tag minted at the post-boundary epoch is live — and distinct
+        // from an epoch-0 tag, which the masked layout confused it with.
+        let live = tag(K_CONNTO, t.epoch[idx], idx as u32);
+        assert_eq!(t.tag_live(live), Some(idx));
+        let epoch_zero = tag(K_CONNTO, 0, idx as u32);
+        assert_ne!(live, epoch_zero);
+        assert_eq!(t.tag_live(epoch_zero), None, "2^24 must not alias 0");
+    }
+
+    #[test]
+    fn ts_clock_survives_the_u32_millisecond_wrap() {
+        // 2^32 ms ≈ 49.7 sim-days. The internal clock must keep counting
+        // (never wrap), while the wire TSval wraps modulo 2^32 and stays
+        // monotone under the RFC 7323 wraparound-aware comparison.
+        let wrap_ms: u64 = 1 << 32;
+        let mut prev = SimTime::from_millis(wrap_ms - 50);
+        for step in 1..=20u64 {
+            let now = SimTime::from_millis(wrap_ms - 50 + step * 10);
+            assert!(ts_ms64(now) > ts_ms64(prev), "internal clock monotone");
+            assert!(
+                tsval_newer_eq(ts_ms(now), ts_ms(prev)),
+                "wire TSval {} must be RFC-newer than {}",
+                ts_ms(now),
+                ts_ms(prev)
+            );
+            assert!(
+                !tsval_newer_eq(ts_ms(prev), ts_ms(now).wrapping_add(1)),
+                "ordering is strict across the wrap"
+            );
+            prev = now;
+        }
+        // Directly across the boundary the raw numeric comparison inverts…
+        let (before, after) = (
+            ts_ms(SimTime::from_millis(wrap_ms - 1)),
+            ts_ms(SimTime::from_millis(wrap_ms + 1)),
+        );
+        assert!(after < before, "numeric order inverts at the wrap");
+        // …but the wraparound-aware one does not.
+        assert!(tsval_newer_eq(after, before));
+        assert!(!tsval_newer_eq(before, after));
+    }
+
+    #[test]
+    fn fleet_tsvals_stay_monotone_past_the_wrap() {
+        // A fleet stepped past the 49.7-day wrap point keeps stamping
+        // SYNs (and echoing, via `issued_at`) timestamps that are
+        // monotone in the RFC 7323 sense.
+        let mut fleet = BotFleet::new(BotFleetParams {
+            addr_base: Ipv4Addr::new(10, 64, 0, 0),
+            target_addr: Ipv4Addr::new(10, 1, 0, 1),
+            target_port: 80,
+            attack: FleetAttack::ConnFlood {
+                rate: 100.0,
+                solve: None,
+                conn_timeout: SimDuration::from_secs(1),
+                ack_delay: SimDuration::ZERO,
+            },
+            flows: 4,
+            hash_rate: 400_000.0,
+            start: SimTime::ZERO,
+            stop: SimTime::from_secs(1),
+        });
+        let idx = fleet.flows.claim(7).unwrap();
+        let wrap_ms: u64 = 1 << 32;
+        let mut prev_tsval: Option<u32> = None;
+        for step in 0..40u64 {
+            let now = SimTime::from_millis(wrap_ms - 200 + step * 10);
+            let syn = fleet.build_syn(idx, now);
+            let (tsval, _) = syn.timestamps().expect("fleet SYNs carry timestamps");
+            if let Some(prev) = prev_tsval {
+                assert!(
+                    tsval_newer_eq(tsval, prev),
+                    "TSval {tsval} regressed behind {prev} at step {step}"
+                );
+            }
+            prev_tsval = Some(tsval);
+        }
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub use attacker::{AttackKind, AttackerHost, AttackerMetrics, AttackerParams};
 pub use client::{ClientHost, ClientMetrics, ClientParams, RequestOutcome, SolveBehavior};
 pub use cpu::Cpu;
 pub use fleet::{
-    BotFleet, BotFleetParams, BotFleetStats, ClientFleet, ClientFleetParams, ClientFleetStats,
-    FleetAttack,
+    tsval_newer_eq, BotFleet, BotFleetParams, BotFleetStats, ClientFleet, ClientFleetParams,
+    ClientFleetStats, FleetAttack,
 };
 pub use host::Host;
 pub use server::{parse_gettext_request, ServerHost, ServerMetrics, ServerParams};

@@ -32,7 +32,8 @@ use netsim::{Context, IfaceId, Packet, SimDuration, SimTime, TimerId};
 use puzzle_core::ServerSecret;
 use simmetrics::{IntervalSeries, SampleSeries};
 use tcpstack::{
-    FlowKey, Listener, ListenerConfig, ListenerEvent, ListenerStats, PolicyBuilder, TcpSegment,
+    FlowKey, ListenerConfig, ListenerEvent, ListenerStats, PolicyBuilder, ShardedListener,
+    TcpSegment,
 };
 
 /// Timer tag kinds (high byte of the tag).
@@ -73,6 +74,12 @@ pub struct ServerParams {
     pub hash_rate: f64,
     /// The puzzle/cookie secret.
     pub secret: ServerSecret,
+    /// Listener shards (RSS-style per-core partitioning; rounded up to a
+    /// power of two). `1` — the default — is the single serial listener
+    /// every pre-sharding golden digest was captured under; higher
+    /// values split the backlogs and admission path across N independent
+    /// [`ShardedListener`] shards.
+    pub shards: usize,
 }
 
 impl ServerParams {
@@ -99,6 +106,7 @@ impl ServerParams {
             service_rate: crate::profiles::PAPER_MU,
             hash_rate: SERVER_HASH_RATE,
             secret: ServerSecret::from_bytes([0x5e; 32]),
+            shards: 1,
         }
     }
 }
@@ -174,12 +182,14 @@ enum WorkerPhase {
 #[derive(Debug)]
 pub struct ServerHost {
     params: ServerParams,
-    /// The listening socket, hashing through the process-wide
-    /// auto-selected backend (SHA-NI → multi-lane → scalar; overridable
-    /// via `PUZZLE_BACKEND`). Every backend is digest-identical, so
-    /// simulation results do not depend on the selection — only the CPU
-    /// time burned per verification does.
-    listener: Listener<puzzle_crypto::AutoBackend>,
+    /// The listening socket — [`ServerParams::shards`] RSS-style shards
+    /// behind one facade (a transparent single listener at `shards: 1`)
+    /// — hashing through the process-wide auto-selected backend
+    /// (SHA-NI → multi-lane → scalar; overridable via `PUZZLE_BACKEND`).
+    /// Every backend is digest-identical, so simulation results do not
+    /// depend on the selection — only the CPU time burned per
+    /// verification does.
+    listener: ShardedListener<puzzle_crypto::AutoBackend>,
     cpu: Cpu,
     metrics: ServerMetrics,
     free_workers: usize,
@@ -204,11 +214,12 @@ impl ServerHost {
         let mut lcfg = ListenerConfig::new(params.addr, params.port);
         lcfg.backlog = params.backlog;
         lcfg.accept_backlog = params.accept_backlog;
-        let listener = Listener::with_policy(
+        let listener = ShardedListener::with_policy(
             lcfg,
             params.secret.clone(),
             puzzle_crypto::auto_backend(),
             &params.defense,
+            params.shards,
         );
         ServerHost {
             cpu: Cpu::new(params.hash_rate),

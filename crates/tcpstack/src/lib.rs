@@ -42,6 +42,7 @@ pub mod listener;
 pub mod options;
 pub mod policy;
 pub mod segment;
+pub mod shard;
 
 pub use client::{ClientConfig, ClientConn, ClientEvent, ClientState};
 pub use cookie::SynCookieCodec;
@@ -60,3 +61,4 @@ pub use policy::{
 pub use segment::{
     SegmentBuilder, SegmentDecodeError, TcpFlags, TcpSegment, MAX_OPTIONS_LEN, TCP_HEADER_LEN,
 };
+pub use shard::{shard_for, ShardedListener};

@@ -333,6 +333,53 @@ impl ListenerStats {
             + self.established_cookie
             + self.established_puzzle
     }
+
+    /// Field-wise accumulation — how [`crate::ShardedListener`]
+    /// aggregates its per-shard counters into one snapshot.
+    pub fn merge(&mut self, other: &ListenerStats) {
+        let ListenerStats {
+            syns_received,
+            synacks_sent,
+            challenges_sent,
+            cookies_sent,
+            syns_dropped,
+            half_open_expired,
+            established_direct,
+            established_syncache,
+            syncache_expired,
+            established_cookie,
+            established_puzzle,
+            accept_overflow_drops,
+            acks_ignored_queue_full,
+            acks_without_solution,
+            verify_failures,
+            verify_expired,
+            verify_replayed,
+            verify_hashes,
+            rsts_sent,
+            data_segments,
+        } = other;
+        self.syns_received += syns_received;
+        self.synacks_sent += synacks_sent;
+        self.challenges_sent += challenges_sent;
+        self.cookies_sent += cookies_sent;
+        self.syns_dropped += syns_dropped;
+        self.half_open_expired += half_open_expired;
+        self.established_direct += established_direct;
+        self.established_syncache += established_syncache;
+        self.syncache_expired += syncache_expired;
+        self.established_cookie += established_cookie;
+        self.established_puzzle += established_puzzle;
+        self.accept_overflow_drops += accept_overflow_drops;
+        self.acks_ignored_queue_full += acks_ignored_queue_full;
+        self.acks_without_solution += acks_without_solution;
+        self.verify_failures += verify_failures;
+        self.verify_expired += verify_expired;
+        self.verify_replayed += verify_replayed;
+        self.verify_hashes += verify_hashes;
+        self.rsts_sent += rsts_sent;
+        self.data_segments += data_segments;
+    }
 }
 
 /// A half-open connection in the listen queue.
@@ -574,7 +621,7 @@ impl<B: HashBackend> ListenerCore<B> {
 #[derive(Debug)]
 pub struct Listener<B: HashBackend = ScalarBackend> {
     core: ListenerCore<B>,
-    policy: Box<dyn DefensePolicy<B>>,
+    policy: Box<dyn DefensePolicy<B> + Send>,
 }
 
 impl Listener<ScalarBackend> {
@@ -748,6 +795,32 @@ impl<B: HashBackend> Listener<B> {
         &mut self,
         now: SimTime,
         segments: &[(Ipv4Addr, TcpSegment)],
+    ) -> ListenerOutput {
+        self.on_segments_iter(now, segments.iter())
+    }
+
+    /// Feeds the subset of `segments` selected by `idxs`, in index
+    /// order, through the same batched pipeline as
+    /// [`Listener::on_segments`].
+    ///
+    /// This is the shard entry point: [`crate::ShardedListener`]
+    /// partitions one inbound batch into per-shard index lists and steps
+    /// each shard over its selection without copying segments.
+    pub fn on_segments_indexed(
+        &mut self,
+        now: SimTime,
+        segments: &[(Ipv4Addr, TcpSegment)],
+        idxs: &[u32],
+    ) -> ListenerOutput {
+        self.on_segments_iter(now, idxs.iter().map(|&i| &segments[i as usize]))
+    }
+
+    /// The shared batch loop behind [`Listener::on_segments`] and
+    /// [`Listener::on_segments_indexed`].
+    fn on_segments_iter<'a>(
+        &mut self,
+        now: SimTime,
+        segments: impl Iterator<Item = &'a (Ipv4Addr, TcpSegment)>,
     ) -> ListenerOutput {
         let mut out = ListenerOutput::default();
         let mut pending: Vec<PendingSolution> = Vec::new();

@@ -257,8 +257,10 @@ pub trait DefensePolicy<B: HashBackend>: fmt::Debug {
 }
 
 /// The factory signature [`PolicyBuilder`] wraps: builds a fresh policy
-/// bound to a listener's secret and hash backend.
-pub type BuildFn<B> = dyn Fn(&ServerSecret, &B) -> Box<dyn DefensePolicy<B>> + Send + Sync;
+/// bound to a listener's secret and hash backend. Policies are `Send`
+/// so listener shards (one live policy each) can be stepped on scoped
+/// worker threads by [`crate::ShardedListener`].
+pub type BuildFn<B> = dyn Fn(&ServerSecret, &B) -> Box<dyn DefensePolicy<B> + Send> + Send + Sync;
 
 /// A clonable, named factory for [`DefensePolicy`] instances — what
 /// configurations store ([`hostsim::ServerParams`-style structs] keep a
@@ -288,7 +290,7 @@ impl<B: HashBackend + 'static> PolicyBuilder<B> {
     /// Wraps an arbitrary factory under a display label.
     pub fn new<F>(label: impl Into<String>, build: F) -> Self
     where
-        F: Fn(&ServerSecret, &B) -> Box<dyn DefensePolicy<B>> + Send + Sync + 'static,
+        F: Fn(&ServerSecret, &B) -> Box<dyn DefensePolicy<B> + Send> + Send + Sync + 'static,
     {
         PolicyBuilder {
             label: label.into(),
@@ -361,7 +363,7 @@ impl<B: HashBackend + 'static> PolicyBuilder<B> {
     }
 
     /// Builds a fresh policy bound to `secret` and `backend`.
-    pub fn build(&self, secret: &ServerSecret, backend: &B) -> Box<dyn DefensePolicy<B>> {
+    pub fn build(&self, secret: &ServerSecret, backend: &B) -> Box<dyn DefensePolicy<B> + Send> {
         (self.build)(secret, backend)
     }
 }
@@ -1082,12 +1084,12 @@ impl<B: HashBackend> DefensePolicy<B> for AdaptivePuzzleDefense<B> {
 /// should verify solutions.
 #[derive(Debug)]
 pub struct Stacked<B: HashBackend> {
-    layers: Vec<Box<dyn DefensePolicy<B>>>,
+    layers: Vec<Box<dyn DefensePolicy<B> + Send>>,
 }
 
 impl<B: HashBackend> Stacked<B> {
     /// Composes `layers`, consulted in order.
-    pub fn new(layers: Vec<Box<dyn DefensePolicy<B>>>) -> Self {
+    pub fn new(layers: Vec<Box<dyn DefensePolicy<B> + Send>>) -> Self {
         Stacked { layers }
     }
 }

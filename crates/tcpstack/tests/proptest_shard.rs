@@ -1,0 +1,327 @@
+//! Properties of the RSS-style sharded listener:
+//!
+//! 1. **Dispatch is total and stable** — for any client `(addr, port)`
+//!    and any power-of-two shard count, [`shard_for`] lands in range and
+//!    always returns the same shard for the same flow.
+//! 2. **`shards = 1` is transparent** — a [`ShardedListener`] with one
+//!    shard produces segment-for-segment identical output (replies,
+//!    events, retransmissions, accepts, counters, queue depths) to a
+//!    bare [`Listener`] over arbitrary segment batches, for every
+//!    built-in policy. This is the law that lets every pre-sharding
+//!    golden digest pin the `shards = 1` configuration directly.
+
+use std::net::Ipv4Addr;
+
+use netsim::{SimDuration, SimTime};
+use proptest::prelude::*;
+use puzzle_core::{ConnectionTuple, Difficulty, ServerSecret, Solver};
+use tcpstack::{
+    shard_for, Listener, ListenerConfig, PolicyBuilder, PuzzleConfig, SegmentBuilder,
+    ShardedListener, SolutionOption, SynCacheConfig, TcpFlags, TcpOption, TcpSegment, VerifyMode,
+};
+
+const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+/// 4 addresses × 3 ports = 12 distinct flows, enough to spread over
+/// every shard of a small listener while keeping scripts collisions-y.
+const ADDRS: usize = 4;
+const PORTS: usize = 3;
+const FLOWS: usize = ADDRS * PORTS;
+
+fn flow_addr(flow: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, 2 + (flow / PORTS) as u8)
+}
+
+fn flow_port(flow: usize) -> u16 {
+    1000 + (flow % PORTS) as u16
+}
+
+/// One segment of a batch, described abstractly so the same script can
+/// be replayed against both listeners.
+#[derive(Clone, Debug)]
+enum SegAction {
+    /// Fresh (or duplicate) SYN with sequence `isn`.
+    Syn { flow: usize, isn: u32 },
+    /// ACK completing the flow's last SYN-ACK.
+    CompleteAck { flow: usize, with_data: bool },
+    /// ACK with a forged ack number.
+    ForgedAck { flow: usize, with_data: bool },
+    /// Really solve the flow's last challenge and ACK the solution.
+    Solve { flow: usize },
+    /// RST from the flow.
+    Rst { flow: usize },
+}
+
+/// One step of the script: a batch through `on_segments`, a poll, or an
+/// application accept.
+#[derive(Clone, Debug)]
+enum Step {
+    Batch(Vec<SegAction>),
+    Poll { millis: u64 },
+    Accept,
+}
+
+fn arb_seg_action() -> impl Strategy<Value = SegAction> {
+    let flow = 0usize..FLOWS;
+    prop_oneof![
+        (flow.clone(), any::<u32>()).prop_map(|(flow, isn)| SegAction::Syn { flow, isn }),
+        (flow.clone(), any::<bool>())
+            .prop_map(|(flow, with_data)| SegAction::CompleteAck { flow, with_data }),
+        (flow.clone(), any::<bool>())
+            .prop_map(|(flow, with_data)| SegAction::ForgedAck { flow, with_data }),
+        flow.clone().prop_map(|flow| SegAction::Solve { flow }),
+        flow.prop_map(|flow| SegAction::Rst { flow }),
+    ]
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        // Batches dominate the mix (listed thrice: the shim's
+        // `prop_oneof!` has no weight syntax).
+        prop::collection::vec(arb_seg_action(), 1..12).prop_map(Step::Batch),
+        prop::collection::vec(arb_seg_action(), 1..12).prop_map(Step::Batch),
+        prop::collection::vec(arb_seg_action(), 1..12).prop_map(Step::Batch),
+        (50u64..3000).prop_map(|millis| Step::Poll { millis }),
+        Just(Step::Accept),
+    ]
+}
+
+/// The policies under test (same set as `proptest_policy.rs`): small
+/// queues and a short hold so pressure and expiry paths trigger inside
+/// short scripts, tiny real difficulty so `Solve` is instant.
+fn policy_under_test(idx: usize) -> PolicyBuilder<puzzle_crypto::ScalarBackend> {
+    match idx {
+        0 => PolicyBuilder::none(),
+        1 => PolicyBuilder::syn_cookies(),
+        2 => PolicyBuilder::syn_cache(SynCacheConfig {
+            capacity: 2,
+            lifetime: SimDuration::from_secs(2),
+        }),
+        _ => PolicyBuilder::puzzles(PuzzleConfig {
+            difficulty: Difficulty::new(1, 4).expect("valid"),
+            preimage_bits: 32,
+            expiry: 8,
+            verify: VerifyMode::Real,
+            hold: SimDuration::from_secs(2),
+            verify_workers: 1,
+        }),
+    }
+}
+
+fn secret() -> ServerSecret {
+    ServerSecret::from_bytes([7; 32])
+}
+
+fn config() -> ListenerConfig {
+    let mut cfg = ListenerConfig::new(SERVER_IP, 80);
+    cfg.backlog = 2;
+    cfg.accept_backlog = 3;
+    cfg
+}
+
+/// Builds the concrete segments for one batch, resolving completion and
+/// solving actions against the per-flow handshake state accumulated so
+/// far (`last_isn`, `last_reply`).
+fn materialize(
+    batch: &[SegAction],
+    last_isn: &[u32; FLOWS],
+    last_reply: &[Option<TcpSegment>; FLOWS],
+) -> Vec<(Ipv4Addr, TcpSegment)> {
+    let mut out = Vec::new();
+    for action in batch {
+        match *action {
+            SegAction::Syn { flow, isn } => {
+                out.push((
+                    flow_addr(flow),
+                    SegmentBuilder::new(flow_port(flow), 80)
+                        .seq(isn)
+                        .flags(TcpFlags::SYN)
+                        .mss(1460)
+                        .timestamps(1, 0)
+                        .build(),
+                ));
+            }
+            SegAction::CompleteAck { flow, with_data } => {
+                let Some(reply) = &last_reply[flow] else {
+                    continue;
+                };
+                let mut b = SegmentBuilder::new(flow_port(flow), 80)
+                    .seq(last_isn[flow].wrapping_add(1))
+                    .ack_num(reply.seq.wrapping_add(1))
+                    .flags(TcpFlags::ACK);
+                if with_data {
+                    b = b.payload(b"GET /gettext/64".to_vec());
+                }
+                out.push((flow_addr(flow), b.build()));
+            }
+            SegAction::ForgedAck { flow, with_data } => {
+                let mut b = SegmentBuilder::new(flow_port(flow), 80)
+                    .seq(last_isn[flow].wrapping_add(1))
+                    .ack_num(0xdead_beef)
+                    .flags(TcpFlags::ACK);
+                if with_data {
+                    b = b.payload(b"GET /gettext/64".to_vec());
+                }
+                out.push((flow_addr(flow), b.build()));
+            }
+            SegAction::Solve { flow } => {
+                let Some(reply) = &last_reply[flow] else {
+                    continue;
+                };
+                let Some(copt) = reply.challenge() else {
+                    continue;
+                };
+                let issued = reply
+                    .timestamps()
+                    .map(|(tsval, _)| tsval)
+                    .or(copt.timestamp)
+                    .unwrap_or(0);
+                let client_isn = last_isn[flow];
+                let tuple = ConnectionTuple::new(
+                    flow_addr(flow),
+                    flow_port(flow),
+                    SERVER_IP,
+                    80,
+                    client_isn,
+                );
+                let challenge = puzzle_core::Challenge::issue(
+                    &secret(),
+                    &tuple,
+                    issued,
+                    Difficulty::new(copt.k, copt.m).expect("valid"),
+                    copt.l_bits() as u16,
+                )
+                .expect("valid challenge");
+                if challenge.preimage() != &copt.preimage[..] {
+                    continue; // stale challenge; skip
+                }
+                let solved = Solver::new().solve(&challenge);
+                let sol = SolutionOption::build(1460, 7, solved.solution.proofs(), None);
+                out.push((
+                    flow_addr(flow),
+                    SegmentBuilder::new(flow_port(flow), 80)
+                        .seq(client_isn.wrapping_add(1))
+                        .ack_num(reply.seq.wrapping_add(1))
+                        .flags(TcpFlags::ACK)
+                        .timestamps(2, issued)
+                        .option(TcpOption::Solution(sol))
+                        .build(),
+                ));
+            }
+            SegAction::Rst { flow } => {
+                out.push((
+                    flow_addr(flow),
+                    SegmentBuilder::new(flow_port(flow), 80)
+                        .flags(TcpFlags::RST)
+                        .build(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Replays `steps` against a bare listener and a 1-shard
+/// [`ShardedListener`] in lockstep, asserting identical output after
+/// every step.
+fn assert_shards1_transparent(policy_idx: usize, steps: &[Step]) -> Result<(), TestCaseError> {
+    let mut bare = Listener::with_policy(
+        config(),
+        secret(),
+        puzzle_crypto::ScalarBackend,
+        &policy_under_test(policy_idx),
+    );
+    let mut sharded = ShardedListener::with_policy(
+        config(),
+        secret(),
+        puzzle_crypto::ScalarBackend,
+        &policy_under_test(policy_idx),
+        1,
+    );
+    let mut now = SimTime::ZERO;
+    let mut last_isn = [0u32; FLOWS];
+    let mut last_reply: [Option<TcpSegment>; FLOWS] = Default::default();
+    for step in steps {
+        now += SimDuration::from_millis(100);
+        match step {
+            Step::Batch(batch) => {
+                for action in batch {
+                    if let SegAction::Syn { flow, isn } = action {
+                        last_isn[*flow] = *isn;
+                    }
+                }
+                let segments = materialize(batch, &last_isn, &last_reply);
+                let b = bare.on_segments(now, &segments);
+                let s = sharded.on_segments(now, &segments);
+                assert_eq!(b.replies, s.replies, "replies diverged");
+                assert_eq!(b.events, s.events, "events diverged");
+                for (dst, reply) in &b.replies {
+                    for (flow, slot) in last_reply.iter_mut().enumerate() {
+                        if *dst == flow_addr(flow)
+                            && reply.dst_port == flow_port(flow)
+                            && reply.flags.contains(TcpFlags::SYN)
+                        {
+                            *slot = Some(reply.clone());
+                        }
+                    }
+                }
+            }
+            Step::Poll { millis } => {
+                now += SimDuration::from_millis(*millis);
+                // Retransmissions come out of half-open map iteration,
+                // whose order is a per-instance HashMap artifact (two
+                // bare listeners differ the same way), so compare as
+                // multisets rather than sequences.
+                let sort = |mut v: Vec<(Ipv4Addr, TcpSegment)>| {
+                    v.sort_by_cached_key(|(dst, seg)| format!("{dst} {seg:?}"));
+                    v
+                };
+                assert_eq!(
+                    sort(bare.poll(now)),
+                    sort(sharded.poll(now)),
+                    "retransmissions diverged"
+                );
+            }
+            Step::Accept => {
+                assert_eq!(bare.accept(), sharded.accept(), "accepts diverged");
+            }
+        }
+        assert_eq!(bare.stats(), sharded.stats());
+        assert_eq!(bare.queue_depths(), sharded.queue_depths());
+        assert_eq!(bare.syn_cache_len(), sharded.syn_cache_len());
+        assert_eq!(bare.policy_stats(), sharded.policy_stats());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Dispatch is total (in range) and stable (same flow → same shard)
+    /// for every power-of-two shard count, and agrees with the facade.
+    #[test]
+    fn dispatch_is_total_and_stable(addr in any::<u32>(), port in any::<u16>(), k in 0u32..9) {
+        let n = 1usize << k;
+        let addr = Ipv4Addr::from(addr);
+        let shard = shard_for(addr, port, n);
+        prop_assert!(shard < n);
+        prop_assert_eq!(shard, shard_for(addr, port, n));
+        // Sensitivity sanity: with more than one shard, *some* flow maps
+        // off shard 0 (mix64 is not constant).
+        if n > 1 {
+            let spread = (0..=u16::MAX)
+                .any(|p| shard_for(addr, p, n) != shard_for(addr, 0, n));
+            prop_assert!(spread, "dispatch collapsed to one shard");
+        }
+    }
+
+    /// A 1-shard `ShardedListener` is segment-for-segment identical to a
+    /// bare `Listener` over arbitrary batched scripts, for every
+    /// built-in policy.
+    #[test]
+    fn shards1_is_transparent(
+        policy_idx in 0usize..4,
+        steps in prop::collection::vec(arb_step(), 1..25),
+    ) {
+        assert_shards1_transparent(policy_idx, &steps)?;
+    }
+}

@@ -205,18 +205,22 @@ mod tests {
     const SAMPLE: &str = r#"{
   "results": [
     {"id": "sha256/64B", "ns_per_iter": 680.2, "iterations": 2951760, "throughput_bytes": 64},
-    {"id": "backend/verify_batch/256", "ns_per_iter": 367214.8, "iterations": 5460, "throughput_elements": 256}
+    {"id": "backend/verify_batch/256", "ns_per_iter": 367214.8, "iterations": 5460, "throughput_elements": 256},
+    {"id": "sharded/on_segments/8", "ns_per_iter": 123456.7, "iterations": 16000}
   ]
 }"#;
 
     #[test]
     fn parses_the_shim_report_format() {
         let entries = parse_report(SAMPLE);
-        assert_eq!(entries.len(), 2);
+        assert_eq!(entries.len(), 3);
         assert_eq!(entries[0].id, "sha256/64B");
         assert!((entries[0].ns_per_iter - 680.2).abs() < 1e-9);
         assert_eq!(entries[1].id, "backend/verify_batch/256");
         assert!((entries[1].ns_per_iter - 367214.8).abs() < 1e-9);
+        // The sharded listener's step group rides the same format.
+        assert_eq!(entries[2].id, "sharded/on_segments/8");
+        assert!((entries[2].ns_per_iter - 123456.7).abs() < 1e-9);
     }
 
     #[test]
