@@ -4,15 +4,20 @@
 //! Usage:
 //!   cargo run --release -p experiments --bin matrix_sweep \
 //!     [-- --full] [--defense none,cookies,nash,adaptive,stacked] \
-//!     [--sizes 1000,100000] [--shards 1,4] [--seeds 1,2] [--rate 20000]
+//!     [--sizes 1000,100000] [--shards 1,4] [--pipeline auto] \
+//!     [--seeds 1,2] [--rate 20000]
 //!
 //! `--defense` sweeps registered defence specs by name
 //! (`DefenseSpec::by_name`): `none`, `syncache[-<cap>]`, `cookies`,
 //! `nash`, `puzzles-k<k>m<m>`, `adaptive`, `stacked`. `--shards` sweeps
 //! the server's RSS-style listener-shard count (each value rounds up to
-//! a power of two; default 1). Defaults sweep {nodefense, cookies,
-//! nash} × {syn-flood, conn-flood} × {1k, 10k} flows × 1 shard × seed 1
-//! on the compressed timeline.
+//! a power of two; default 1). `--pipeline auto|inline|persistent`
+//! picks how multi-shard cells step their shards (default `auto`;
+//! digests are pipeline-invariant, so this changes wall-clock, never
+//! results — `persistent` exercises the worker pipeline even on one
+//! core). Defaults sweep {nodefense, cookies, nash} × {syn-flood,
+//! conn-flood} × {1k, 10k} flows × 1 shard × seed 1 on the compressed
+//! timeline.
 
 use experiments::scenario::{DefenseSpec, Matrix, Timeline};
 use hostsim::FleetAttack;
@@ -44,6 +49,15 @@ fn main() {
         .into_iter()
         .map(|n| n as usize)
         .collect();
+    let pipeline = match experiments::arg_after(&args, "--pipeline").map(|s| s.as_str()) {
+        None | Some("auto") => tcpstack::ShardPipeline::Auto,
+        Some("inline") => tcpstack::ShardPipeline::Inline,
+        Some("persistent") => tcpstack::ShardPipeline::Persistent,
+        Some(other) => {
+            eprintln!("unknown --pipeline {other:?}; expected auto, inline, or persistent");
+            std::process::exit(2);
+        }
+    };
     let seeds = experiments::arg_after(&args, "--seeds")
         .map(parse_list)
         .unwrap_or_else(|| vec![1]);
@@ -89,6 +103,7 @@ fn main() {
         ])
         .fleet_sizes(sizes)
         .shards(shards)
+        .pipeline(pipeline)
         .seeds(seeds);
 
     eprintln!("running {} cells…", matrix.cell_count());

@@ -81,6 +81,23 @@ pub fn sharded(mut scenario: Scenario, shards: usize) -> Scenario {
     scenario
 }
 
+/// [`sharded`] with an explicit step pipeline. The golden invariant
+/// this enables: the persistent-worker pipeline must reproduce the
+/// `shards = 4` pins byte-for-byte on *any* host — the pipeline decides
+/// where the stepping runs, never what it produces — so the suite can
+/// force `ShardPipeline::Persistent` even on a single-core runner,
+/// where `Auto` would fall back to in-line stepping and prove nothing
+/// about the workers.
+pub fn sharded_pipeline(
+    mut scenario: Scenario,
+    shards: usize,
+    pipeline: tcpstack::ShardPipeline,
+) -> Scenario {
+    scenario.server.shards = shards;
+    scenario.server.pipeline = pipeline;
+    scenario
+}
+
 /// Runs a scenario to the golden timeline's end and digests it.
 pub fn run_and_digest(scenario: Scenario) -> String {
     let timeline = golden_timeline();

@@ -715,6 +715,13 @@ pub struct Matrix {
     /// up to a power of two). Defaults to `[1]` — the serial listener
     /// every pre-sharding digest was captured under.
     pub shards: Vec<usize>,
+    /// Step pipeline every cell's sharded listener runs
+    /// ([`tcpstack::ShardPipeline`], default `Auto`). Not an axis:
+    /// digests are pipeline-invariant by construction, so sweeping it
+    /// would only re-run identical cells — but forcing `Persistent`
+    /// lets a single-core host exercise the worker pipeline, and
+    /// forcing `Inline` isolates dispatch overhead.
+    pub pipeline: tcpstack::ShardPipeline,
     /// Seed axis.
     pub seeds: Vec<u64>,
     /// Benign per-host clients measuring goodput in every cell.
@@ -783,6 +790,7 @@ impl Matrix {
             attacks: Vec::new(),
             fleet_sizes: Vec::new(),
             shards: vec![1],
+            pipeline: tcpstack::ShardPipeline::Auto,
             seeds: Vec::new(),
             clients: 15,
         }
@@ -809,6 +817,13 @@ impl Matrix {
     /// Sets the listener-shard axis (default `[1]`).
     pub fn shards(mut self, shards: Vec<usize>) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Sets the step pipeline for every cell (default
+    /// [`tcpstack::ShardPipeline::Auto`]).
+    pub fn pipeline(mut self, pipeline: tcpstack::ShardPipeline) -> Self {
+        self.pipeline = pipeline;
         self
     }
 
@@ -859,6 +874,7 @@ impl Matrix {
     ) -> Scenario {
         let mut s = Scenario::standard(seed, defense.clone(), &self.timeline);
         s.server.shards = shards.max(1).next_power_of_two();
+        s.server.pipeline = self.pipeline;
         s.clients = Scenario::paper_clients(self.clients, true);
         s.bot_fleets = vec![BotFleetParams {
             addr_base: bot_fleet_base(0),

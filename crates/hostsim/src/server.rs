@@ -80,6 +80,15 @@ pub struct ServerParams {
     /// values split the backlogs and admission path across N independent
     /// [`ShardedListener`] shards.
     pub shards: usize,
+    /// How a multi-shard listener steps its shards
+    /// ([`tcpstack::ShardPipeline`]): `Auto` — the default — runs the
+    /// persistent worker pipeline when the host has more than one
+    /// hardware thread and steps in-line otherwise; `Persistent` /
+    /// `Inline` force one path (useful to exercise the worker pipeline
+    /// deterministically, e.g. the golden suite's persistent-pipeline
+    /// leg on a single-core host). Simulation output is byte-identical
+    /// across modes — only where the stepping runs changes.
+    pub pipeline: tcpstack::ShardPipeline,
 }
 
 impl ServerParams {
@@ -107,6 +116,7 @@ impl ServerParams {
             hash_rate: SERVER_HASH_RATE,
             secret: ServerSecret::from_bytes([0x5e; 32]),
             shards: 1,
+            pipeline: tcpstack::ShardPipeline::Auto,
         }
     }
 }
@@ -214,12 +224,13 @@ impl ServerHost {
         let mut lcfg = ListenerConfig::new(params.addr, params.port);
         lcfg.backlog = params.backlog;
         lcfg.accept_backlog = params.accept_backlog;
-        let listener = ShardedListener::with_policy(
+        let listener = ShardedListener::with_policy_pipeline(
             lcfg,
             params.secret.clone(),
             puzzle_crypto::auto_backend(),
             &params.defense,
             params.shards,
+            params.pipeline,
         );
         ServerHost {
             cpu: Cpu::new(params.hash_rate),

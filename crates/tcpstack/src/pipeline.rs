@@ -1,0 +1,396 @@
+//! Persistent worker threads behind [`ShardedListener`]'s batch path.
+//!
+//! [`WorkerPool`] owns one long-lived thread per listener shard, spawned
+//! once at construction and joined on drop. Each worker is fed through a
+//! bounded [`ring`](crate::ring) SPSC ring of [`Job`] descriptors and
+//! reports through its own cache-padded completion [`Slot`] — so a
+//! steady-state [`ShardedListener::on_segments`] performs **zero thread
+//! spawns and zero heap allocations** in the dispatch path: partition
+//! scratch is reused by the caller, job descriptors are plain values
+//! pushed into pre-allocated ring slots, and results come back by move
+//! through the slot.
+//!
+//! # Safety protocol
+//!
+//! Jobs carry raw pointers to the dispatching call's borrows: the shard
+//! [`Listener`]s (owned by the facade), the inbound segment slice, and
+//! the per-shard index partition. That is sound for exactly the same
+//! reason `std::thread::scope` was in the per-batch-spawn design, but
+//! the scope is enforced by protocol rather than by lifetimes:
+//!
+//! 1. [`WorkerPool::step_batch`] / [`WorkerPool::step_poll`] hold
+//!    `&mut` borrows of everything a job points at **for the whole
+//!    call**, and do not return (or touch the borrows themselves) until
+//!    every dispatched job's completion slot reports done — including
+//!    the all-done wait *before* propagating a worker panic, so no job
+//!    can still be running when the borrows end, even on unwind.
+//! 2. Each worker owns the consuming end of its ring and is the only
+//!    thread that dereferences its jobs; the facade is the only
+//!    producer. At most one job is ever in flight per worker (the
+//!    pool's backpressure rule), so a ring can never fill and a slot is
+//!    never written concurrently.
+//! 3. Workers never touch a shard outside a job, and the facade never
+//!    touches a shard while that shard's job is in flight.
+//!
+//! This module and [`crate::ring`] are the crate's only `unsafe`
+//! islands (crate lint: `deny(unsafe_code)`).
+//!
+//! [`ShardedListener`]: crate::ShardedListener
+//! [`ShardedListener::on_segments`]: crate::ShardedListener::on_segments
+
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::net::Ipv4Addr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::listener::{Listener, ListenerOutput};
+use crate::ring::{self, Consumer, Producer};
+use crate::segment::TcpSegment;
+use netsim::SimTime;
+use puzzle_crypto::HashBackend;
+
+/// Jobs the facade can enqueue for a worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum JobKind {
+    /// Step the shard over an index partition of a segment batch.
+    Batch,
+    /// Drive the shard's retransmissions/expiry/policy tick.
+    Poll,
+    /// Exit the worker loop (sent once, from `Drop`).
+    Shutdown,
+}
+
+/// One unit of work, streamed to a worker through its ring. The raw
+/// pointers are borrows of the dispatching call's arguments; see the
+/// module docs for the protocol that keeps them valid.
+struct Job<B: HashBackend> {
+    kind: JobKind,
+    now: SimTime,
+    /// The worker's shard. Null only for `Shutdown`.
+    listener: *mut Listener<B>,
+    /// The inbound batch (`Batch` jobs only; null otherwise).
+    segments: *const (Ipv4Addr, TcpSegment),
+    seg_len: usize,
+    /// This shard's index partition of the batch (`Batch` only).
+    idxs: *const u32,
+    idx_len: usize,
+}
+
+// SAFETY: the pointers are only dereferenced while the dispatching call
+// holds the corresponding `&mut`/`&` borrows and blocks on the job's
+// completion slot (module-docs protocol), so sending the descriptor to
+// the worker thread cannot outlive the data it points at.
+unsafe impl<B: HashBackend> Send for Job<B> {}
+
+/// Per-worker completion slot: the worker moves its result in and
+/// raises `done`; the facade spins on `done` and takes the result out.
+/// Padded so two shards' completion flags never share a cache line.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct Slot {
+    out: UnsafeCell<ListenerOutput>,
+    done: AtomicBool,
+    panicked: AtomicBool,
+}
+
+// SAFETY: `out` is written by the worker strictly before its `done`
+// release-store and read by the facade strictly after the paired
+// acquire-load, and only one job per worker is ever in flight — the
+// accesses never overlap.
+unsafe impl Sync for Slot {}
+
+/// One persistent worker: its job ring's producing end, its completion
+/// slot, and the thread itself.
+struct Worker<B: HashBackend> {
+    jobs: Producer<Job<B>>,
+    slot: Arc<Slot>,
+    /// For unparking after a push.
+    thread: std::thread::Thread,
+    handle: Option<JoinHandle<()>>,
+    /// Jobs ever dispatched to this worker (occupancy counter surfaced
+    /// through [`crate::shard::PipelineStats`]).
+    dispatched: u64,
+}
+
+/// A fixed set of persistent shard workers. Spawned once, fed through
+/// SPSC rings, joined on drop.
+pub(crate) struct WorkerPool<B: HashBackend> {
+    workers: Vec<Worker<B>>,
+}
+
+impl<B: HashBackend> std::fmt::Debug for WorkerPool<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+/// Ring capacity per worker. The protocol never has more than one job
+/// in flight, plus one `Shutdown` at teardown; 4 slots is pure slack.
+const RING_CAPACITY: usize = 4;
+
+/// Facade-side spin budget between `yield_now` calls while waiting on a
+/// completion slot. Batches complete in microseconds, so spinning wins;
+/// the periodic yield keeps a forced-persistent pipeline live even on a
+/// single hardware thread.
+const WAIT_SPINS: u32 = 128;
+
+/// Worker-side spin budget on an empty ring before parking.
+const IDLE_SPINS: u32 = 256;
+
+impl<B: HashBackend + 'static> WorkerPool<B> {
+    /// Spawns `n` persistent shard workers.
+    pub(crate) fn new(n: usize) -> Self {
+        let workers = (0..n)
+            .map(|k| {
+                let (tx, rx) = ring::spsc::<Job<B>>(RING_CAPACITY);
+                let slot = Arc::new(Slot::default());
+                let worker_slot = Arc::clone(&slot);
+                let handle = std::thread::Builder::new()
+                    .name(format!("shard-worker-{k}"))
+                    .spawn(move || worker_loop(rx, worker_slot))
+                    .expect("spawn shard worker");
+                let thread = handle.thread().clone();
+                Worker {
+                    jobs: tx,
+                    slot,
+                    thread,
+                    handle: Some(handle),
+                    dispatched: 0,
+                }
+            })
+            .collect();
+        WorkerPool { workers }
+    }
+}
+
+impl<B: HashBackend> WorkerPool<B> {
+    /// Current depth of worker `k`'s job ring (0 or 1 between calls; the
+    /// protocol never queues deeper).
+    pub(crate) fn queue_len(&self, k: usize) -> usize {
+        self.workers[k].jobs.len()
+    }
+
+    /// Jobs ever dispatched to worker `k`.
+    pub(crate) fn dispatched(&self, k: usize) -> u64 {
+        self.workers[k].dispatched
+    }
+
+    /// Steps every shard with a non-empty partition over its slice of
+    /// `segments`, concurrently on the persistent workers, and merges
+    /// the outputs into `merged` in shard-major, input order — exactly
+    /// the in-line result. Blocks until every dispatched job completes.
+    pub(crate) fn step_batch(
+        &mut self,
+        shards: &mut [Listener<B>],
+        now: SimTime,
+        segments: &[(Ipv4Addr, TcpSegment)],
+        parts: &[Vec<u32>],
+        merged: &mut ListenerOutput,
+    ) {
+        debug_assert_eq!(shards.len(), self.workers.len());
+        debug_assert_eq!(parts.len(), self.workers.len());
+        for ((worker, shard), part) in self.workers.iter_mut().zip(shards).zip(parts) {
+            if part.is_empty() {
+                continue;
+            }
+            worker.dispatch(Job {
+                kind: JobKind::Batch,
+                now,
+                listener: shard,
+                segments: segments.as_ptr(),
+                seg_len: segments.len(),
+                idxs: part.as_ptr(),
+                idx_len: part.len(),
+            });
+        }
+        // Wait for *all* in-flight jobs before taking any result (or
+        // propagating any panic): once this loop finishes, no worker
+        // holds a pointer into this call's borrows.
+        for (worker, part) in self.workers.iter().zip(parts) {
+            if !part.is_empty() {
+                worker.wait();
+            }
+        }
+        self.check_panics();
+        for (worker, part) in self.workers.iter_mut().zip(parts) {
+            if part.is_empty() {
+                continue;
+            }
+            // SAFETY: the job is done (waited above) and no new job can
+            // be in flight, so the facade is the only slot accessor.
+            let mut out = std::mem::take(unsafe { &mut *worker.slot.out.get() });
+            merged.replies.append(&mut out.replies);
+            merged.events.append(&mut out.events);
+        }
+    }
+
+    /// Broadcasts a poll tick to every shard on the persistent workers
+    /// and returns the emitted segments concatenated shard-major —
+    /// exactly the in-line result. Blocks until every job completes.
+    pub(crate) fn step_poll(
+        &mut self,
+        shards: &mut [Listener<B>],
+        now: SimTime,
+    ) -> Vec<(Ipv4Addr, TcpSegment)> {
+        debug_assert_eq!(shards.len(), self.workers.len());
+        for (worker, shard) in self.workers.iter_mut().zip(shards) {
+            worker.dispatch(Job {
+                kind: JobKind::Poll,
+                now,
+                listener: shard,
+                segments: std::ptr::null(),
+                seg_len: 0,
+                idxs: std::ptr::null(),
+                idx_len: 0,
+            });
+        }
+        for worker in &self.workers {
+            worker.wait();
+        }
+        self.check_panics();
+        let mut out = Vec::new();
+        for worker in &mut self.workers {
+            // SAFETY: job done (waited above); only the facade touches
+            // the slot now.
+            let mut polled = std::mem::take(unsafe { &mut *worker.slot.out.get() });
+            out.append(&mut polled.replies);
+        }
+        out
+    }
+
+    /// Propagates a worker-job panic to the caller — after (and only
+    /// after) every in-flight job has completed.
+    fn check_panics(&self) {
+        for (k, worker) in self.workers.iter().enumerate() {
+            if worker.slot.panicked.swap(false, Ordering::Relaxed) {
+                panic!("listener shard {k} panicked");
+            }
+        }
+    }
+}
+
+impl<B: HashBackend> Worker<B> {
+    /// Arms the completion slot and enqueues one job. Never blocks: the
+    /// one-in-flight protocol guarantees ring space.
+    fn dispatch(&mut self, job: Job<B>) {
+        self.slot.done.store(false, Ordering::Relaxed);
+        if self.jobs.push(job).is_err() {
+            unreachable!("shard worker ring full: >1 job in flight");
+        }
+        self.dispatched += 1;
+        self.thread.unpark();
+    }
+
+    /// Spins (with periodic yields) until the worker reports done. Only
+    /// ever called after a `dispatch` in the same pool call armed the
+    /// flag, so the loop terminates as soon as the worker publishes.
+    fn wait(&self) {
+        let mut spins = 0u32;
+        while !self.slot.done.load(Ordering::Acquire) {
+            spins += 1;
+            if spins.is_multiple_of(WAIT_SPINS) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+impl<B: HashBackend> Drop for WorkerPool<B> {
+    fn drop(&mut self) {
+        // Graceful shutdown: one Shutdown job each (the rings are empty
+        // — no job outlives its dispatching call), then join so no
+        // worker thread leaks past the listener's lifetime.
+        for worker in &mut self.workers {
+            let _ = worker.jobs.push(Job {
+                kind: JobKind::Shutdown,
+                now: SimTime::ZERO,
+                listener: std::ptr::null_mut(),
+                segments: std::ptr::null(),
+                seg_len: 0,
+                idxs: std::ptr::null(),
+                idx_len: 0,
+            });
+            worker.thread.unpark();
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                // A worker that panicked outside a caught job (it
+                // cannot) would surface here; ignore during unwind.
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// The persistent worker body: pop a job (spin, then park when idle),
+/// run it, publish the result, repeat until `Shutdown`.
+fn worker_loop<B: HashBackend>(mut jobs: Consumer<Job<B>>, slot: Arc<Slot>) {
+    loop {
+        let job = match jobs.pop() {
+            Some(job) => job,
+            None => {
+                let mut spins = 0u32;
+                loop {
+                    if let Some(job) = jobs.pop() {
+                        break job;
+                    }
+                    spins += 1;
+                    if spins >= IDLE_SPINS {
+                        spins = 0;
+                        // A push-then-unpark racing this park makes the
+                        // park return immediately (the unpark token
+                        // persists), so no job can be missed.
+                        std::thread::park();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        };
+        if job.kind == JobKind::Shutdown {
+            return;
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| run_job(&job)));
+        match result {
+            Ok(out) => {
+                // SAFETY: the facade armed `done = false` at dispatch
+                // and does not touch the slot until it observes the
+                // release-store below — this worker has exclusive slot
+                // access right now.
+                unsafe { *slot.out.get() = out };
+            }
+            Err(_) => slot.panicked.store(true, Ordering::Relaxed),
+        }
+        slot.done.store(true, Ordering::Release);
+    }
+}
+
+/// Executes one non-shutdown job against its shard.
+fn run_job<B: HashBackend>(job: &Job<B>) -> ListenerOutput {
+    // SAFETY (all three derefs): the dispatching `step_batch`/`step_poll`
+    // call holds `&mut` borrows of the shard slice and shared borrows of
+    // the segment/index slices, and blocks until this job's `done` flag
+    // — which this worker has not raised yet — so the pointers are valid
+    // and unaliased for the duration of this function.
+    let listener = unsafe { &mut *job.listener };
+    match job.kind {
+        JobKind::Batch => {
+            let segments = unsafe { std::slice::from_raw_parts(job.segments, job.seg_len) };
+            let idxs = unsafe { std::slice::from_raw_parts(job.idxs, job.idx_len) };
+            listener.on_segments_indexed(job.now, segments, idxs)
+        }
+        JobKind::Poll => ListenerOutput {
+            replies: listener.poll(job.now),
+            events: Vec::new(),
+        },
+        JobKind::Shutdown => unreachable!("handled by the worker loop"),
+    }
+}

@@ -1,0 +1,277 @@
+//! Bounded single-producer/single-consumer ring for the persistent
+//! shard pipeline.
+//!
+//! [`ShardedListener`](crate::ShardedListener)'s worker threads are fed
+//! batch descriptors through one of these per shard: the dispatching
+//! thread is the only producer, the worker the only consumer, so the
+//! fast path needs no locks at all — one atomic load of the far side's
+//! position plus one release store of our own. Head and tail live on
+//! separate cache lines ([`CachePadded`]) so the producer's store never
+//! invalidates the consumer's line (false sharing is the classic SPSC
+//! throughput killer).
+//!
+//! Capacity is fixed at construction (rounded up to a power of two) and
+//! every slot is pre-allocated: pushing never touches the heap, which
+//! the shard dispatch path's zero-allocation test relies on. A full
+//! ring rejects the push and hands the value back — backpressure is the
+//! caller's problem by design (the shard pipeline never has more than
+//! one job in flight per worker, so its rings can never fill; see
+//! `DESIGN.md`, "Sharded listener").
+//!
+//! The implementation is the textbook Lamport queue: `tail` counts
+//! pushes, `head` counts pops, both monotonically (wrapping `usize`
+//! arithmetic); occupancy is `tail - head` and slot selection masks the
+//! count down to the power-of-two buffer. This module and the worker
+//! plumbing in `shard::pipeline` are the crate's only `unsafe` islands
+//! (the crate-level lint is `deny(unsafe_code)`); every unsafe block
+//! carries its invariant.
+
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Pads (and aligns) a value to a 64-byte cache line so two atomics on
+/// opposite sides of a ring never share one.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T>(pub T);
+
+/// Shared state of one SPSC ring.
+#[derive(Debug)]
+struct Inner<T> {
+    /// Slot storage; length is `mask + 1`, a power of two.
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Pop count: the consumer's position. Written only by the consumer.
+    head: CachePadded<AtomicUsize>,
+    /// Push count: the producer's position. Written only by the producer.
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the producer and consumer ends each mutate disjoint slots,
+// with the head/tail protocol (release store after write, acquire load
+// before read) ordering the handoff. `T: Send` because values cross
+// from the producer's thread to the consumer's.
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Exclusive access: drop whatever is still queued.
+        let head = *self.head.0.get_mut();
+        let tail = *self.tail.0.get_mut();
+        let mut i = head;
+        while i != tail {
+            // SAFETY: positions in [head, tail) were pushed and never
+            // popped, so their slots hold initialized values we own.
+            unsafe { self.slots[i & self.mask].get_mut().assume_init_drop() };
+            i = i.wrapping_add(1);
+        }
+    }
+}
+
+/// The producing end of an SPSC ring ([`spsc`]). Not clonable: *single*
+/// producer.
+#[derive(Debug)]
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The consuming end of an SPSC ring ([`spsc`]). Not clonable: *single*
+/// consumer.
+#[derive(Debug)]
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Creates a bounded SPSC ring holding at most
+/// `capacity.next_power_of_two()` values (minimum 1). All slots are
+/// allocated up front; push/pop never allocate.
+pub fn spsc<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(1).next_power_of_two();
+    let slots = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let inner = Arc::new(Inner {
+        slots,
+        mask: cap - 1,
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+    });
+    (
+        Producer {
+            inner: Arc::clone(&inner),
+        },
+        Consumer { inner },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Enqueues `value`, or hands it back if the ring is full. Lock-free
+    /// and allocation-free.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let inner = &*self.inner;
+        // Own position: only this thread writes tail, relaxed is enough.
+        let tail = inner.tail.0.load(Ordering::Relaxed);
+        // Acquire pairs with the consumer's release in `pop`: slots the
+        // consumer vacated are really vacant before we overwrite them.
+        let head = inner.head.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > inner.mask {
+            return Err(value);
+        }
+        // SAFETY: occupancy < capacity, so slot `tail & mask` is vacant
+        // and this thread is the only producer.
+        unsafe { (*inner.slots[tail & inner.mask].get()).write(value) };
+        // Release publishes the slot write to the consumer's acquire.
+        inner.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of values currently queued (exact from the producer side).
+    pub fn len(&self) -> usize {
+        let inner = &*self.inner;
+        inner
+            .tail
+            .0
+            .load(Ordering::Relaxed)
+            .wrapping_sub(inner.head.0.load(Ordering::Acquire))
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed slot count (a power of two).
+    pub fn capacity(&self) -> usize {
+        self.inner.mask + 1
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Dequeues the oldest value, or `None` if the ring is empty.
+    /// Lock-free and allocation-free.
+    pub fn pop(&mut self) -> Option<T> {
+        let inner = &*self.inner;
+        // Own position: only this thread writes head.
+        let head = inner.head.0.load(Ordering::Relaxed);
+        // Acquire pairs with the producer's release in `push`: the slot
+        // contents are visible before we read them.
+        let tail = inner.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: head != tail means slot `head & mask` holds a pushed,
+        // unpopped value, and this thread is the only consumer.
+        let value = unsafe { (*inner.slots[head & inner.mask].get()).assume_init_read() };
+        // Release vacates the slot for the producer's acquire.
+        inner.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+
+    /// Number of values currently queued (exact from the consumer side).
+    pub fn len(&self) -> usize {
+        let inner = &*self.inner;
+        inner
+            .tail
+            .0
+            .load(Ordering::Acquire)
+            .wrapping_sub(inner.head.0.load(Ordering::Relaxed))
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed slot count (a power of two).
+    pub fn capacity(&self) -> usize {
+        self.inner.mask + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity_bound() {
+        let (mut tx, mut rx) = spsc::<u32>(3); // rounds up to 4
+        assert_eq!(tx.capacity(), 4);
+        assert_eq!(rx.capacity(), 4);
+        for i in 0..4 {
+            assert_eq!(tx.push(i), Ok(()));
+        }
+        assert_eq!(tx.push(99), Err(99), "full ring hands the value back");
+        assert_eq!(tx.len(), 4);
+        for i in 0..4 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+        assert!(rx.is_empty() && tx.is_empty());
+    }
+
+    #[test]
+    fn slots_are_reusable_across_wraparound() {
+        let (mut tx, mut rx) = spsc::<u64>(2);
+        for round in 0..1000u64 {
+            assert_eq!(tx.push(round), Ok(()));
+            assert_eq!(rx.pop(), Some(round));
+        }
+    }
+
+    #[test]
+    fn cross_thread_transfer_preserves_every_value() {
+        const N: u64 = 100_000;
+        let (mut tx, mut rx) = spsc::<u64>(64);
+        let consumer = std::thread::spawn(move || {
+            let mut sum = 0u64;
+            let mut seen = 0u64;
+            while seen < N {
+                match rx.pop() {
+                    Some(v) => {
+                        sum += v;
+                        seen += 1;
+                    }
+                    None => std::hint::spin_loop(),
+                }
+            }
+            sum
+        });
+        let mut next = 0u64;
+        while next < N {
+            if tx.push(next).is_ok() {
+                next += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        assert_eq!(consumer.join().expect("consumer"), N * (N - 1) / 2);
+    }
+
+    #[test]
+    fn dropping_the_ring_drops_queued_values() {
+        let tracker = Arc::new(());
+        let (mut tx, rx) = spsc::<Arc<()>>(8);
+        for _ in 0..5 {
+            tx.push(Arc::clone(&tracker)).expect("fits");
+        }
+        assert_eq!(Arc::strong_count(&tracker), 6);
+        drop(tx);
+        drop(rx);
+        assert_eq!(
+            Arc::strong_count(&tracker),
+            1,
+            "in-flight values leaked on drop"
+        );
+    }
+
+    #[test]
+    fn head_and_tail_live_on_distinct_cache_lines() {
+        assert_eq!(std::mem::align_of::<CachePadded<AtomicUsize>>(), 64);
+        assert!(std::mem::size_of::<CachePadded<AtomicUsize>>() >= 64);
+    }
+}

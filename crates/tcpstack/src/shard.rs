@@ -26,45 +26,131 @@
 //!   secret — challenges and cookies stay verifiable wherever the ACK
 //!   lands, and dispatch determinism makes that the issuing shard.
 //! * **Batch stepping** ([`ShardedListener::on_segments`]) partitions
-//!   the inbound batch into per-shard index lists and steps the shards
-//!   concurrently on scoped threads (the same pattern as
-//!   `Verifier::verify_batch_parallel`), then merges the emitted
-//!   segments and events back in *shard-major, input order*: everything
-//!   shard 0 emitted (in its input order) before everything shard 1
-//!   emitted, and so on. Because shards share no mutable state and the
-//!   merge order is fixed, the output is deterministic regardless of
-//!   thread scheduling — and identical to stepping the shards in-line,
-//!   which is what happens on a single-core host where spawning would
-//!   only add overhead.
+//!   the inbound batch into per-shard index lists (held in scratch that
+//!   is reused across calls — the dispatch path performs no heap
+//!   allocation in steady state) and streams one batch descriptor per
+//!   non-empty shard to a **persistent worker thread** over a bounded
+//!   SPSC ring ([`crate::ring`]). The workers are spawned once, at
+//!   construction, and live until the listener drops — a steady-state
+//!   step creates **zero threads**. Each worker steps its shard over
+//!   [`Listener::on_segments_indexed`] and publishes the result through
+//!   a per-shard completion slot; the facade waits for every dispatched
+//!   job and merges the emitted segments and events back in
+//!   *shard-major, input order*: everything shard 0 emitted (in its
+//!   input order) before everything shard 1 emitted, and so on. Because
+//!   shards share no mutable state and the merge order is fixed, the
+//!   output is deterministic regardless of thread scheduling — and
+//!   byte-identical to stepping the shards in-line, which is what the
+//!   facade does on a single-core host (where a worker handoff buys
+//!   nothing) or when constructed with [`ShardPipeline::Inline`].
+//!   [`ShardedListener::poll`] broadcasts a tick job through the same
+//!   workers, so the whole steady-state step loop is spawn-free.
+//!
+//! # Worker / ring lifecycle
+//!
+//! ```text
+//!  construction            steady state                        drop
+//!  ────────────            ────────────                        ────
+//!  spawn worker 0 ──ring──▸ pop job ▸ step shard 0 ▸ slot 0 ─▸ Shutdown, join
+//!  spawn worker 1 ──ring──▸ pop job ▸ step shard 1 ▸ slot 1 ─▸ Shutdown, join
+//!     ⋮                        (park when idle)                   ⋮
+//! ```
+//!
+//! The backpressure rule: at most **one job per worker is ever in
+//! flight** — `on_segments`/`poll` dispatch then block until every
+//! completion slot reports done before returning — so the rings (fixed
+//! capacity, cache-line-padded head/tail, lock-free) can never fill and
+//! results never queue. Ring depth and per-shard job counters are
+//! observable through [`ShardedListener::pipeline_stats`]. Dropping the
+//! listener sends each worker a shutdown job and joins it: no thread
+//! outlives the facade.
 //!
 //! With `shards = 1` the facade is a transparent wrapper: every call
-//! delegates to the single inner listener unchanged, so existing golden
+//! delegates to the single inner listener unchanged and in-line (no
+//! workers are spawned, whatever the pipeline mode), so existing golden
 //! digests reproduce byte-for-byte (asserted by the golden suite and
 //! property-tested against arbitrary segment batches in
-//! `crates/tcpstack/tests/proptest_shard.rs`).
+//! `crates/tcpstack/tests/proptest_shard.rs` — which also proves the
+//! persistent pipeline segment-for-segment identical to in-line
+//! stepping at higher shard counts).
 
 use std::net::Ipv4Addr;
 
 use crate::listener::{FlowKey, Listener, ListenerConfig, ListenerOutput, ListenerStats};
+use crate::pipeline::WorkerPool;
 use crate::policy::{PolicyBuilder, PolicyStats};
 use crate::segment::TcpSegment;
 use netsim::SimTime;
 use puzzle_core::{mix64, Difficulty, ServerSecret};
 use puzzle_crypto::{HashBackend, ScalarBackend};
 
+/// How a multi-shard listener steps its shards.
+///
+/// Whatever the mode, `shards = 1` always steps in-line (the facade is
+/// a transparent wrapper there) and the emitted output is byte-for-byte
+/// identical across modes — the pipeline changes *where* the work runs,
+/// never what it produces.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardPipeline {
+    /// [`ShardPipeline::Persistent`] when the host has more than one
+    /// hardware thread, [`ShardPipeline::Inline`] otherwise (a worker
+    /// handoff on a single core only adds latency). The default.
+    #[default]
+    Auto,
+    /// Step shards serially on the calling thread. What every
+    /// single-core capture of the bench suite measures.
+    Inline,
+    /// Persistent per-shard worker threads fed by SPSC rings: spawn
+    /// once at construction, stream batch descriptors, join on drop.
+    Persistent,
+}
+
+/// Per-shard observability for the persistent pipeline: ring depth,
+/// jobs dispatched, and the shard's queue occupancy — the counters a
+/// front-end needs to spot a hot or stalled shard.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardQueueStats {
+    /// Jobs currently queued in this shard's ring (0 between steps, at
+    /// most 1 mid-step under the one-in-flight backpressure rule; always
+    /// 0 for an in-line pipeline, which has no rings).
+    pub ring_depth: usize,
+    /// Jobs ever dispatched to this shard's worker (0 in-line).
+    pub jobs_dispatched: u64,
+    /// The shard's listen-queue (half-open) occupancy.
+    pub listen_queue: usize,
+    /// The shard's accept-queue (established) occupancy.
+    pub accept_queue: usize,
+}
+
+/// Snapshot of the step pipeline across all shards
+/// ([`ShardedListener::pipeline_stats`]). Kept separate from
+/// [`ListenerStats`] on purpose: golden digests hash the listener
+/// counters, and pipeline topology must never leak into simulation
+/// observables.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// `true` when persistent workers are live (the spawn-free path).
+    pub persistent: bool,
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardQueueStats>,
+}
+
 /// N independent [`Listener`] shards behind a single listener-shaped
 /// facade, dispatched RSS-style by flow hash. See the module docs for
-/// the dispatch, determinism, and merge-order rules.
+/// the dispatch, determinism, merge-order, and worker-lifecycle rules.
 #[derive(Debug)]
 pub struct ShardedListener<B: HashBackend = ScalarBackend> {
     /// The facade-level configuration (undivided backlogs).
     cfg: ListenerConfig,
     shards: Vec<Listener<B>>,
-    /// Whether batch stepping uses scoped worker threads: decided once
-    /// at construction (more than one shard *and* more than one core —
-    /// on a single core spawning buys nothing and the in-line path is
-    /// output-identical).
-    parallel: bool,
+    /// The persistent shard workers, present when batch stepping runs
+    /// on worker threads: decided once at construction (more than one
+    /// shard, and — under [`ShardPipeline::Auto`] — more than one
+    /// hardware thread). `None` steps in-line, output-identically.
+    pool: Option<WorkerPool<B>>,
+    /// Per-shard index partitions, reused across `on_segments` calls so
+    /// the dispatch path performs no steady-state heap allocation.
+    scratch: Vec<Vec<u32>>,
     /// Round-robin start shard for [`ShardedListener::accept`].
     accept_cursor: usize,
 }
@@ -101,6 +187,24 @@ impl<B: HashBackend + 'static> ShardedListener<B> {
         policy: &PolicyBuilder<B>,
         shards: usize,
     ) -> Self {
+        Self::with_policy_pipeline(cfg, secret, backend, policy, shards, ShardPipeline::Auto)
+    }
+
+    /// [`ShardedListener::with_policy`] with an explicit step pipeline.
+    ///
+    /// [`ShardPipeline::Persistent`] forces the worker pipeline even on
+    /// a single-core host (the equivalence tests and the bench suite
+    /// need that determinism); [`ShardPipeline::Inline`] forces serial
+    /// stepping even on a many-core host. Output is identical either
+    /// way. With one shard no workers are ever spawned.
+    pub fn with_policy_pipeline(
+        cfg: ListenerConfig,
+        secret: ServerSecret,
+        backend: B,
+        policy: &PolicyBuilder<B>,
+        shards: usize,
+        pipeline: ShardPipeline,
+    ) -> Self {
         let n = shards.max(1).next_power_of_two();
         let mut shard_cfg = cfg.clone();
         shard_cfg.backlog = cfg.backlog.div_ceil(n);
@@ -110,11 +214,18 @@ impl<B: HashBackend + 'static> ShardedListener<B> {
                 Listener::with_policy(shard_cfg.clone(), secret.clone(), backend.clone(), policy)
             })
             .collect();
+        let workers = match pipeline {
+            ShardPipeline::Inline => false,
+            ShardPipeline::Persistent => n > 1,
+            ShardPipeline::Auto => {
+                n > 1 && std::thread::available_parallelism().is_ok_and(|cores| cores.get() > 1)
+            }
+        };
         ShardedListener {
             cfg,
             shards,
-            parallel: n > 1
-                && std::thread::available_parallelism().is_ok_and(|cores| cores.get() > 1),
+            pool: workers.then(|| WorkerPool::new(n)),
+            scratch: vec![Vec::new(); n],
             accept_cursor: 0,
         }
     }
@@ -149,86 +260,98 @@ impl<B: HashBackend> ShardedListener<B> {
     }
 
     /// Feeds a burst of inbound segments: the batch is partitioned by
-    /// shard (preserving input order within each shard), the shards step
-    /// concurrently on scoped threads, and the emitted segments and
-    /// events merge back in shard-major, input order. Deterministic
-    /// regardless of thread scheduling; with one shard this is exactly
-    /// [`Listener::on_segments`].
+    /// shard (preserving input order within each shard, into scratch
+    /// reused across calls), the shards step concurrently on the
+    /// persistent workers (in-line without a pool), and the emitted
+    /// segments and events merge back in shard-major, input order.
+    /// Deterministic regardless of thread scheduling; with one shard
+    /// this is exactly [`Listener::on_segments`]. An empty batch
+    /// returns immediately without touching any shard or worker.
     pub fn on_segments(
         &mut self,
         now: SimTime,
         segments: &[(Ipv4Addr, TcpSegment)],
     ) -> ListenerOutput {
+        if segments.is_empty() {
+            return ListenerOutput::default();
+        }
         if self.shards.len() == 1 {
             return self.shards[0].on_segments(now, segments);
         }
         let n = self.shards.len();
-        let mut parts: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for (i, (src, seg)) in segments.iter().enumerate() {
-            parts[shard_for(*src, seg.src_port, n)].push(i as u32);
+        for part in &mut self.scratch {
+            part.clear();
         }
-        let outs = self.step_shards(now, segments, &parts);
+        for (i, (src, seg)) in segments.iter().enumerate() {
+            self.scratch[shard_for(*src, seg.src_port, n)].push(i as u32);
+        }
         let mut merged = ListenerOutput::default();
-        for mut out in outs {
-            merged.replies.append(&mut out.replies);
-            merged.events.append(&mut out.events);
+        match &mut self.pool {
+            Some(pool) => {
+                pool.step_batch(&mut self.shards, now, segments, &self.scratch, &mut merged);
+            }
+            None => {
+                for (shard, part) in self.shards.iter_mut().zip(&self.scratch) {
+                    if part.is_empty() {
+                        continue;
+                    }
+                    let mut out = shard.on_segments_indexed(now, segments, part);
+                    merged.replies.append(&mut out.replies);
+                    merged.events.append(&mut out.events);
+                }
+            }
         }
         merged
     }
 
-    /// Steps every non-empty shard over its index list, in parallel on
-    /// scoped worker threads when the host has more than one core, and
-    /// in-line otherwise (identical output either way: shards share no
-    /// mutable state and results are collected in shard order).
-    fn step_shards(
-        &mut self,
-        now: SimTime,
-        segments: &[(Ipv4Addr, TcpSegment)],
-        parts: &[Vec<u32>],
-    ) -> Vec<ListenerOutput> {
-        if !self.parallel {
-            return self
-                .shards
-                .iter_mut()
-                .zip(parts)
-                .map(|(shard, part)| {
-                    if part.is_empty() {
-                        ListenerOutput::default()
-                    } else {
-                        shard.on_segments_indexed(now, segments, part)
-                    }
-                })
-                .collect();
+    /// Drives every shard's retransmissions, expiry, and policy tick —
+    /// broadcast through the persistent workers when they are live,
+    /// in-line otherwise; emitted segments concatenate shard-major
+    /// (identical output either way).
+    pub fn poll(&mut self, now: SimTime) -> Vec<(Ipv4Addr, TcpSegment)> {
+        match &mut self.pool {
+            Some(pool) => pool.step_poll(&mut self.shards, now),
+            None => {
+                let mut out = Vec::new();
+                for shard in &mut self.shards {
+                    out.append(&mut shard.poll(now));
+                }
+                out
+            }
         }
-        std::thread::scope(|s| {
-            let handles: Vec<_> = self
-                .shards
-                .iter_mut()
-                .zip(parts)
-                .map(|(shard, part)| {
-                    (!part.is_empty())
-                        .then(|| s.spawn(move || shard.on_segments_indexed(now, segments, part)))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.map_or_else(ListenerOutput::default, |h| {
-                        h.join().expect("listener shard panicked")
-                    })
-                })
-                .collect()
-        })
     }
 
-    /// Drives every shard's retransmissions, expiry, and policy tick;
-    /// emitted segments concatenate shard-major.
-    pub fn poll(&mut self, now: SimTime) -> Vec<(Ipv4Addr, TcpSegment)> {
-        let mut out = Vec::new();
-        for shard in &mut self.shards {
-            out.append(&mut shard.poll(now));
+    /// `true` when the persistent worker pipeline is live (batch steps
+    /// and polls run on the long-lived shard workers; no per-step
+    /// thread creation anywhere).
+    pub fn is_persistent(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// Step-pipeline observability: whether workers are live, plus
+    /// per-shard ring depth, dispatch counters, and queue occupancy.
+    /// Deliberately not part of [`ShardedListener::stats`]: golden
+    /// digests hash those counters, and pipeline topology must never
+    /// leak into simulation observables.
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(k, shard)| {
+                let (listen_queue, accept_queue) = shard.queue_depths();
+                ShardQueueStats {
+                    ring_depth: self.pool.as_ref().map_or(0, |p| p.queue_len(k)),
+                    jobs_dispatched: self.pool.as_ref().map_or(0, |p| p.dispatched(k)),
+                    listen_queue,
+                    accept_queue,
+                }
+            })
+            .collect();
+        PipelineStats {
+            persistent: self.pool.is_some(),
+            shards,
         }
-        out
     }
 
     /// Pops the oldest established connection from the next non-empty
@@ -426,6 +549,95 @@ mod tests {
         let mut sorted = shards_seen.clone();
         sorted.sort_unstable();
         assert_eq!(shards_seen, sorted, "replies group by shard index");
+    }
+
+    fn sharded_pipeline(n: usize, backlog: usize, pipeline: ShardPipeline) -> ShardedListener {
+        let mut cfg = ListenerConfig::new(SERVER_IP, 80);
+        cfg.backlog = backlog;
+        ShardedListener::with_policy_pipeline(
+            cfg,
+            ServerSecret::from_bytes([7; 32]),
+            ScalarBackend,
+            &PolicyBuilder::none(),
+            n,
+            pipeline,
+        )
+    }
+
+    #[test]
+    fn empty_batch_short_circuits_every_pipeline() {
+        for pipeline in [ShardPipeline::Inline, ShardPipeline::Persistent] {
+            for n in [1usize, 4] {
+                let mut l = sharded_pipeline(n, 64, pipeline);
+                let out = l.on_segments(SimTime::ZERO, &[]);
+                assert!(out.replies.is_empty() && out.events.is_empty());
+                assert_eq!(l.stats(), ListenerStats::default(), "no shard was touched");
+                let ps = l.pipeline_stats();
+                assert!(
+                    ps.shards.iter().all(|s| s.jobs_dispatched == 0),
+                    "empty batch must not dispatch worker jobs ({pipeline:?}/{n})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_never_spawns_workers() {
+        let l = sharded_pipeline(1, 64, ShardPipeline::Persistent);
+        assert!(!l.is_persistent(), "shards=1 stays fully in-line");
+        assert!(!l.pipeline_stats().persistent);
+    }
+
+    #[test]
+    fn persistent_and_inline_pipelines_emit_identical_batches() {
+        let batch: Vec<(Ipv4Addr, TcpSegment)> = (0..96)
+            .map(|i| syn(client(i), 4000 + i as u16, i as u32))
+            .collect();
+        let mut inline = sharded_pipeline(4, 1024, ShardPipeline::Inline);
+        let mut persistent = sharded_pipeline(4, 1024, ShardPipeline::Persistent);
+        assert!(!inline.is_persistent());
+        assert!(persistent.is_persistent());
+        let a = inline.on_segments(SimTime::ZERO, &batch);
+        let b = persistent.on_segments(SimTime::ZERO, &batch);
+        assert_eq!(a.replies, b.replies);
+        assert_eq!(a.events, b.events);
+        assert_eq!(inline.stats(), persistent.stats());
+        // Retransmission order within a shard is a per-instance HashMap
+        // iteration artifact (two in-line listeners differ the same
+        // way), so compare the broadcast as a multiset.
+        let sort = |mut v: Vec<(Ipv4Addr, TcpSegment)>| {
+            v.sort_by_cached_key(|(dst, seg)| format!("{dst} {seg:?}"));
+            v
+        };
+        assert_eq!(
+            sort(inline.poll(SimTime::from_secs(30))),
+            sort(persistent.poll(SimTime::from_secs(30))),
+            "broadcast poll diverged"
+        );
+    }
+
+    #[test]
+    fn pipeline_stats_track_dispatch_and_occupancy() {
+        let mut l = sharded_pipeline(4, 1024, ShardPipeline::Persistent);
+        let batch: Vec<(Ipv4Addr, TcpSegment)> = (0..64)
+            .map(|i| syn(client(i), 2000 + i as u16, i as u32))
+            .collect();
+        l.on_segments(SimTime::ZERO, &batch);
+        let ps = l.pipeline_stats();
+        assert!(ps.persistent);
+        assert_eq!(ps.shards.len(), 4);
+        let dispatched: u64 = ps.shards.iter().map(|s| s.jobs_dispatched).sum();
+        assert_eq!(dispatched, 4, "one batch job per (non-empty) shard");
+        assert!(
+            ps.shards.iter().all(|s| s.ring_depth == 0),
+            "rings drain before on_segments returns"
+        );
+        let listen_total: usize = ps.shards.iter().map(|s| s.listen_queue).sum();
+        assert_eq!(listen_total, 64);
+        l.poll(SimTime::from_millis(10));
+        let ps = l.pipeline_stats();
+        let dispatched: u64 = ps.shards.iter().map(|s| s.jobs_dispatched).sum();
+        assert_eq!(dispatched, 8, "poll broadcasts one job per shard");
     }
 
     #[test]

@@ -7,17 +7,32 @@
 //!    shard produces segment-for-segment identical output (replies,
 //!    events, retransmissions, accepts, counters, queue depths) to a
 //!    bare [`Listener`] over arbitrary segment batches, for every
-//!    built-in policy. This is the law that lets every pre-sharding
-//!    golden digest pin the `shards = 1` configuration directly.
+//!    built-in policy — even with [`ShardPipeline::Persistent`] forced
+//!    (one shard never spawns workers). This is the law that lets every
+//!    pre-sharding golden digest pin the `shards = 1` configuration
+//!    directly.
+//! 3. **The pipeline never leaks into output** — a 4-shard facade
+//!    stepping over the persistent worker pipeline is
+//!    segment-for-segment identical to one stepping in-line, over
+//!    arbitrary scripts and every built-in policy. This is the law that
+//!    lets the `shards = 4` golden pins stand unchanged under the
+//!    persistent pipeline.
+//!
+//! All three comparisons replay through one harness (the [`Drive`]
+//! trait below), so they assert the same surface: replies, events,
+//! retransmissions, accepts, counters, queue depths, cache occupancy,
+//! and policy observables after every step.
 
 use std::net::Ipv4Addr;
 
 use netsim::{SimDuration, SimTime};
 use proptest::prelude::*;
 use puzzle_core::{ConnectionTuple, Difficulty, ServerSecret, Solver};
+use tcpstack::listener::ListenerOutput;
 use tcpstack::{
-    shard_for, Listener, ListenerConfig, PolicyBuilder, PuzzleConfig, SegmentBuilder,
-    ShardedListener, SolutionOption, SynCacheConfig, TcpFlags, TcpOption, TcpSegment, VerifyMode,
+    shard_for, FlowKey, Listener, ListenerConfig, ListenerStats, PolicyBuilder, PolicyStats,
+    PuzzleConfig, SegmentBuilder, ShardPipeline, ShardedListener, SolutionOption, SynCacheConfig,
+    TcpFlags, TcpOption, TcpSegment, VerifyMode,
 };
 
 const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
@@ -220,23 +235,95 @@ fn materialize(
     out
 }
 
-/// Replays `steps` against a bare listener and a 1-shard
-/// [`ShardedListener`] in lockstep, asserting identical output after
-/// every step.
-fn assert_shards1_transparent(policy_idx: usize, steps: &[Step]) -> Result<(), TestCaseError> {
-    let mut bare = Listener::with_policy(
+/// The listener-shaped surface the equivalence replays drive, so one
+/// harness can compare any pair of {bare listener, in-line facade,
+/// persistent-pipeline facade}.
+trait Drive {
+    fn on_segments(&mut self, now: SimTime, segments: &[(Ipv4Addr, TcpSegment)]) -> ListenerOutput;
+    fn poll(&mut self, now: SimTime) -> Vec<(Ipv4Addr, TcpSegment)>;
+    fn accept(&mut self) -> Option<FlowKey>;
+    fn stats(&self) -> ListenerStats;
+    fn queue_depths(&self) -> (usize, usize);
+    fn syn_cache_len(&self) -> usize;
+    fn policy_stats(&self) -> PolicyStats;
+}
+
+impl Drive for Listener<puzzle_crypto::ScalarBackend> {
+    fn on_segments(&mut self, now: SimTime, segs: &[(Ipv4Addr, TcpSegment)]) -> ListenerOutput {
+        Listener::on_segments(self, now, segs)
+    }
+    fn poll(&mut self, now: SimTime) -> Vec<(Ipv4Addr, TcpSegment)> {
+        Listener::poll(self, now)
+    }
+    fn accept(&mut self) -> Option<FlowKey> {
+        Listener::accept(self)
+    }
+    fn stats(&self) -> ListenerStats {
+        Listener::stats(self)
+    }
+    fn queue_depths(&self) -> (usize, usize) {
+        Listener::queue_depths(self)
+    }
+    fn syn_cache_len(&self) -> usize {
+        Listener::syn_cache_len(self)
+    }
+    fn policy_stats(&self) -> PolicyStats {
+        Listener::policy_stats(self)
+    }
+}
+
+impl Drive for ShardedListener<puzzle_crypto::ScalarBackend> {
+    fn on_segments(&mut self, now: SimTime, segs: &[(Ipv4Addr, TcpSegment)]) -> ListenerOutput {
+        ShardedListener::on_segments(self, now, segs)
+    }
+    fn poll(&mut self, now: SimTime) -> Vec<(Ipv4Addr, TcpSegment)> {
+        ShardedListener::poll(self, now)
+    }
+    fn accept(&mut self) -> Option<FlowKey> {
+        ShardedListener::accept(self)
+    }
+    fn stats(&self) -> ListenerStats {
+        ShardedListener::stats(self)
+    }
+    fn queue_depths(&self) -> (usize, usize) {
+        ShardedListener::queue_depths(self)
+    }
+    fn syn_cache_len(&self) -> usize {
+        ShardedListener::syn_cache_len(self)
+    }
+    fn policy_stats(&self) -> PolicyStats {
+        ShardedListener::policy_stats(self)
+    }
+}
+
+/// Builds a sharded facade over the policy under test with an explicit
+/// step pipeline.
+fn facade(
+    policy_idx: usize,
+    shards: usize,
+    pipeline: ShardPipeline,
+) -> ShardedListener<puzzle_crypto::ScalarBackend> {
+    ShardedListener::with_policy_pipeline(
         config(),
         secret(),
         puzzle_crypto::ScalarBackend,
         &policy_under_test(policy_idx),
-    );
-    let mut sharded = ShardedListener::with_policy(
-        config(),
-        secret(),
-        puzzle_crypto::ScalarBackend,
-        &policy_under_test(policy_idx),
-        1,
-    );
+        shards,
+        pipeline,
+    )
+}
+
+/// Replays `steps` against two listener-shaped drivers in lockstep,
+/// asserting identical output after every step. Batch replies and
+/// events are compared *in order* (the shard-major merge is
+/// deterministic); poll retransmissions come out of half-open map
+/// iteration, whose order is a per-instance HashMap artifact (two bare
+/// listeners differ the same way), so those compare as multisets.
+fn replay_equivalent<A: Drive, L: Drive>(
+    a: &mut A,
+    b: &mut L,
+    steps: &[Step],
+) -> Result<(), TestCaseError> {
     let mut now = SimTime::ZERO;
     let mut last_isn = [0u32; FLOWS];
     let mut last_reply: [Option<TcpSegment>; FLOWS] = Default::default();
@@ -250,11 +337,11 @@ fn assert_shards1_transparent(policy_idx: usize, steps: &[Step]) -> Result<(), T
                     }
                 }
                 let segments = materialize(batch, &last_isn, &last_reply);
-                let b = bare.on_segments(now, &segments);
-                let s = sharded.on_segments(now, &segments);
-                assert_eq!(b.replies, s.replies, "replies diverged");
-                assert_eq!(b.events, s.events, "events diverged");
-                for (dst, reply) in &b.replies {
+                let x = a.on_segments(now, &segments);
+                let y = b.on_segments(now, &segments);
+                assert_eq!(x.replies, y.replies, "replies diverged");
+                assert_eq!(x.events, y.events, "events diverged");
+                for (dst, reply) in &x.replies {
                     for (flow, slot) in last_reply.iter_mut().enumerate() {
                         if *dst == flow_addr(flow)
                             && reply.dst_port == flow_port(flow)
@@ -267,28 +354,24 @@ fn assert_shards1_transparent(policy_idx: usize, steps: &[Step]) -> Result<(), T
             }
             Step::Poll { millis } => {
                 now += SimDuration::from_millis(*millis);
-                // Retransmissions come out of half-open map iteration,
-                // whose order is a per-instance HashMap artifact (two
-                // bare listeners differ the same way), so compare as
-                // multisets rather than sequences.
                 let sort = |mut v: Vec<(Ipv4Addr, TcpSegment)>| {
                     v.sort_by_cached_key(|(dst, seg)| format!("{dst} {seg:?}"));
                     v
                 };
                 assert_eq!(
-                    sort(bare.poll(now)),
-                    sort(sharded.poll(now)),
+                    sort(a.poll(now)),
+                    sort(b.poll(now)),
                     "retransmissions diverged"
                 );
             }
             Step::Accept => {
-                assert_eq!(bare.accept(), sharded.accept(), "accepts diverged");
+                assert_eq!(a.accept(), b.accept(), "accepts diverged");
             }
         }
-        assert_eq!(bare.stats(), sharded.stats());
-        assert_eq!(bare.queue_depths(), sharded.queue_depths());
-        assert_eq!(bare.syn_cache_len(), sharded.syn_cache_len());
-        assert_eq!(bare.policy_stats(), sharded.policy_stats());
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.queue_depths(), b.queue_depths());
+        assert_eq!(a.syn_cache_len(), b.syn_cache_len());
+        assert_eq!(a.policy_stats(), b.policy_stats());
     }
     Ok(())
 }
@@ -322,6 +405,51 @@ proptest! {
         policy_idx in 0usize..4,
         steps in prop::collection::vec(arb_step(), 1..25),
     ) {
-        assert_shards1_transparent(policy_idx, &steps)?;
+        let mut bare = Listener::with_policy(
+            config(),
+            secret(),
+            puzzle_crypto::ScalarBackend,
+            &policy_under_test(policy_idx),
+        );
+        let mut sharded = facade(policy_idx, 1, ShardPipeline::Auto);
+        replay_equivalent(&mut bare, &mut sharded, &steps)?;
+    }
+
+    /// Forcing `ShardPipeline::Persistent` at `shards = 1` changes
+    /// nothing: one shard never spawns workers, and the facade stays
+    /// segment-for-segment identical to a bare `Listener`.
+    #[test]
+    fn shards1_stays_transparent_with_persistent_forced(
+        policy_idx in 0usize..4,
+        steps in prop::collection::vec(arb_step(), 1..25),
+    ) {
+        let mut bare = Listener::with_policy(
+            config(),
+            secret(),
+            puzzle_crypto::ScalarBackend,
+            &policy_under_test(policy_idx),
+        );
+        let mut sharded = facade(policy_idx, 1, ShardPipeline::Persistent);
+        prop_assert!(!sharded.is_persistent(), "one shard must step in-line");
+        replay_equivalent(&mut bare, &mut sharded, &steps)?;
+    }
+
+    /// A 4-shard facade stepping over the persistent worker pipeline is
+    /// segment-for-segment identical to one stepping in-line, over
+    /// arbitrary scripts and every built-in policy — the pipeline
+    /// decides where the stepping runs, never what it produces.
+    #[test]
+    fn persistent_pipeline_matches_inline_at_4_shards(
+        policy_idx in 0usize..4,
+        steps in prop::collection::vec(arb_step(), 1..25),
+    ) {
+        let mut inline = facade(policy_idx, 4, ShardPipeline::Inline);
+        let mut persistent = facade(policy_idx, 4, ShardPipeline::Persistent);
+        prop_assert!(!inline.is_persistent());
+        prop_assert!(
+            persistent.is_persistent(),
+            "4 shards + Persistent must run the worker pipeline on any host"
+        );
+        replay_equivalent(&mut inline, &mut persistent, &steps)?;
     }
 }

@@ -1,0 +1,103 @@
+//! Steady-state sharded dispatch performs zero heap allocations.
+//!
+//! This is the guarantee the reused partition scratch and preallocated
+//! SPSC rings exist for: after warm-up, `ShardedListener::on_segments`
+//! must not touch the allocator — not on the calling thread
+//! (partition, dispatch, merge) and not on the workers (ring pop,
+//! step, completion-slot publish; the counting allocator is
+//! process-global, so a worker-side allocation fails the same
+//! assertion). The measured workload is RST-only batches against
+//! unknown flows: they exercise the full dispatch/step/merge path
+//! while producing no replies or events, so output buffers never need
+//! to grow.
+//!
+//! Kept as its own integration-test binary with a single `#[test]` so
+//! no concurrent test can inflate the process-global counters (style of
+//! `crates/core/tests/zero_alloc.rs`).
+
+use std::net::Ipv4Addr;
+
+use netsim::SimTime;
+use puzzle_core::ServerSecret;
+use tcpstack::{
+    ListenerConfig, PolicyBuilder, SegmentBuilder, ShardPipeline, ShardedListener, TcpFlags,
+    TcpSegment,
+};
+
+#[global_allocator]
+static ALLOC: testkit_alloc::CountingAllocator = testkit_alloc::CountingAllocator;
+
+/// RSTs for unknown flows, spread across every shard of a 4-way
+/// facade: full dispatch work, zero output.
+fn rst_batch(n: usize) -> Vec<(Ipv4Addr, TcpSegment)> {
+    (0..n)
+        .map(|i| {
+            (
+                Ipv4Addr::new(10, 0, (1 + i / 200) as u8, (i % 200) as u8),
+                SegmentBuilder::new(4000 + (i % 500) as u16, 80)
+                    .flags(TcpFlags::RST)
+                    .build(),
+            )
+        })
+        .collect()
+}
+
+fn assert_dispatch_allocation_free(pipeline: ShardPipeline, persistent: bool) {
+    let mut cfg = ListenerConfig::new(Ipv4Addr::new(10, 0, 0, 1), 80);
+    cfg.backlog = 256;
+    let mut l = ShardedListener::with_policy_pipeline(
+        cfg,
+        ServerSecret::from_bytes([7; 32]),
+        puzzle_crypto::ScalarBackend,
+        &PolicyBuilder::none(),
+        4,
+        pipeline,
+    );
+    assert_eq!(l.is_persistent(), persistent, "{pipeline:?}");
+    let batch = rst_batch(128);
+    // Warm-up: partition scratch grows to its high-water capacity.
+    for step in 0..8u64 {
+        l.on_segments(SimTime::from_millis(step), &batch);
+        l.poll(SimTime::from_millis(step));
+    }
+
+    // Steady state: not a single allocator call, on any thread.
+    let before = testkit_alloc::allocation_count();
+    let out = l.on_segments(SimTime::from_millis(100), &batch);
+    let after = testkit_alloc::allocation_count();
+    assert!(out.replies.is_empty() && out.events.is_empty());
+    assert_eq!(
+        after - before,
+        0,
+        "{pipeline:?}: steady-state on_segments allocated"
+    );
+
+    // The idle tick broadcast is allocation-free too (nothing pending).
+    let before = testkit_alloc::allocation_count();
+    let polled = l.poll(SimTime::from_millis(101));
+    let after = testkit_alloc::allocation_count();
+    assert!(polled.is_empty());
+    assert_eq!(
+        after - before,
+        0,
+        "{pipeline:?}: steady-state poll allocated"
+    );
+
+    // Prove the measured calls really did the work (and, when
+    // persistent, did it on the workers).
+    if persistent {
+        let dispatched: u64 = l
+            .pipeline_stats()
+            .shards
+            .iter()
+            .map(|s| s.jobs_dispatched)
+            .sum();
+        assert!(dispatched >= 9 * 4, "workers must have carried the batches");
+    }
+}
+
+#[test]
+fn steady_state_sharded_dispatch_is_allocation_free() {
+    assert_dispatch_allocation_free(ShardPipeline::Inline, false);
+    assert_dispatch_allocation_free(ShardPipeline::Persistent, true);
+}

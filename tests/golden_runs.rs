@@ -141,60 +141,86 @@ fn different_seeds_differ() {
 /// the digests differ from the `shards = 1` pins above — but they must
 /// be byte-stable across engines and hash backends just like every
 /// other golden run (the CI backend matrix asserts both shard counts).
-#[test]
-fn golden_defense_matrix_shards4() {
-    use tcp_puzzles::experiments::golden::sharded;
-    let expectations: [(&str, &str, &str); 6] = [
-        (
-            "none",
-            "92efbc71b8898e2a68deb4a07242840b2f8c48633998e06b88c7dc76ed96da89",
-            "1a75c4361b46fb51e8d235510e8aeb4db11de9d3d9b5437f0d023edb807b2609",
-        ),
-        (
-            "syncache",
-            "64e78d621899b069d85935b264a9545e34054792fbcd6f903c14b5bd1cf89608",
-            "c9ea85752fb53ee89ad463b844e49e7cc10368331ea8ca1bc4ff26ccb6fb65ad",
-        ),
-        (
-            "cookies",
-            "cef05efc33ec31a62a07f88e4e5bc7ffacc822bc5ec35480b547b3cbc88fd2bc",
-            "be548ab09e48f1021f96f86508b36c8de3ad693ef6a812d2924b2aa8e53cd9bd",
-        ),
-        (
-            "nash",
-            "85906e5cb5c6e7daf042d839dc0143b4bfd0e1ec3e47c1a67bf2b6a31e7729b4",
-            "0116d3f25632634ab885131134da1ca0b4e3d8cce338885c2919f8d8d42b644e",
-        ),
-        (
-            "adaptive",
-            "88c4c382c541986d7984bd0a8a6125403bf0eb688cb185504258055d4e825816",
-            "c36020ae1f3d1168a9a1f8f5b2bb5e56289da273b5f2338693444bed1bf99d40",
-        ),
-        (
-            "stacked",
-            "f6993539fa5e88821abbb2a65b21c499a4031a999446140b32250601d9a69cf2",
-            "d9fefb75ea15048917e91dbb38e9e546ccaa1a3b0d9e51182c36b7c12b63f8ff",
-        ),
-    ];
+/// The shards=4 defense-matrix pins, shared by the in-line and
+/// persistent-pipeline variants below: the step pipeline decides where
+/// shard stepping runs, never what it produces, so both must reproduce
+/// the same digests byte-for-byte.
+const SHARDS4_EXPECTATIONS: [(&str, &str, &str); 6] = [
+    (
+        "none",
+        "92efbc71b8898e2a68deb4a07242840b2f8c48633998e06b88c7dc76ed96da89",
+        "1a75c4361b46fb51e8d235510e8aeb4db11de9d3d9b5437f0d023edb807b2609",
+    ),
+    (
+        "syncache",
+        "64e78d621899b069d85935b264a9545e34054792fbcd6f903c14b5bd1cf89608",
+        "c9ea85752fb53ee89ad463b844e49e7cc10368331ea8ca1bc4ff26ccb6fb65ad",
+    ),
+    (
+        "cookies",
+        "cef05efc33ec31a62a07f88e4e5bc7ffacc822bc5ec35480b547b3cbc88fd2bc",
+        "be548ab09e48f1021f96f86508b36c8de3ad693ef6a812d2924b2aa8e53cd9bd",
+    ),
+    (
+        "nash",
+        "85906e5cb5c6e7daf042d839dc0143b4bfd0e1ec3e47c1a67bf2b6a31e7729b4",
+        "0116d3f25632634ab885131134da1ca0b4e3d8cce338885c2919f8d8d42b644e",
+    ),
+    (
+        "adaptive",
+        "88c4c382c541986d7984bd0a8a6125403bf0eb688cb185504258055d4e825816",
+        "c36020ae1f3d1168a9a1f8f5b2bb5e56289da273b5f2338693444bed1bf99d40",
+    ),
+    (
+        "stacked",
+        "f6993539fa5e88821abbb2a65b21c499a4031a999446140b32250601d9a69cf2",
+        "d9fefb75ea15048917e91dbb38e9e546ccaa1a3b0d9e51182c36b7c12b63f8ff",
+    ),
+];
+
+fn run_shards4_matrix(pipeline: tcp_puzzles::tcpstack::ShardPipeline, tag: &str) {
+    use tcp_puzzles::experiments::golden::sharded_pipeline;
     assert_eq!(
-        expectations.len(),
+        SHARDS4_EXPECTATIONS.len(),
         DefenseSpec::registered().len(),
         "every registered defense spec needs a shards=4 golden pin"
     );
-    for (name, syn_expected, conn_expected) in expectations {
+    for (name, syn_expected, conn_expected) in SHARDS4_EXPECTATIONS {
         let spec = DefenseSpec::by_name(name).expect("registered name resolves");
         assert_digest(
-            &format!("syn_flood/{name}/shards4"),
-            run_and_digest(sharded(
+            &format!("syn_flood/{name}/shards4/{tag}"),
+            run_and_digest(sharded_pipeline(
                 defended_syn_flood_scenario(GOLDEN_SEED, spec.clone()),
                 4,
+                pipeline,
             )),
             syn_expected,
         );
         assert_digest(
-            &format!("conn_flood/{name}/shards4"),
-            run_and_digest(sharded(defended_conn_flood_scenario(GOLDEN_SEED, spec), 4)),
+            &format!("conn_flood/{name}/shards4/{tag}"),
+            run_and_digest(sharded_pipeline(
+                defended_conn_flood_scenario(GOLDEN_SEED, spec),
+                4,
+                pipeline,
+            )),
             conn_expected,
         );
     }
+}
+
+#[test]
+fn golden_defense_matrix_shards4() {
+    run_shards4_matrix(tcp_puzzles::tcpstack::ShardPipeline::Inline, "inline");
+}
+
+/// The same pins re-run with `ShardPipeline::Persistent` forced: the
+/// persistent worker pipeline (SPSC rings + long-lived shard threads)
+/// must reproduce the in-line digests byte-for-byte on any host,
+/// including single-core runners where `Auto` would prove nothing.
+#[test]
+fn golden_defense_matrix_shards4_persistent() {
+    run_shards4_matrix(
+        tcp_puzzles::tcpstack::ShardPipeline::Persistent,
+        "persistent",
+    );
 }

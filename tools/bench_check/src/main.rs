@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! bench_check <baseline.json> <fresh.json> [--tolerance 0.5]
+//! bench_check <fresh.json> --require-scaling <prefix>:<shards>:<factor>
 //! ```
 //!
 //! The tolerance is a fractional slowdown bound: `0.5` tolerates up to
@@ -15,8 +16,17 @@
 //! order-of-magnitude cliffs (a lost SIMD path, an accidental per-message
 //! allocation), not 5 % jitter. Ids present on only one side are
 //! reported but never fail the run, so adding or renaming benches does
-//! not break the guard. Exit codes: 0 ok, 1 regression, 2 usage/parse
-//! error.
+//! not break the guard.
+//!
+//! `--require-scaling prefix:N:F` is the multicore guard: it reads
+//! *one* report (the fresh run — no baseline involved, since scaling is
+//! a property of the machine the report was captured on) and requires
+//! `ns(prefix/1) / ns(prefix/N) >= F`. The multicore CI leg uses it to
+//! assert the persistent shard pipeline really speeds up batch stepping
+//! on a multi-core runner (`sharded_persistent/on_segments:4:1.5` — a
+//! loose floor; perfect scaling would be 4×). With two paths it runs
+//! after the regression compare, against the fresh report. Exit codes:
+//! 0 ok, 1 regression or scaling failure, 2 usage/parse error.
 
 use std::process::ExitCode;
 
@@ -101,6 +111,58 @@ fn classify(baseline: f64, fresh: f64, tolerance: f64) -> Verdict {
     }
 }
 
+/// A `--require-scaling` demand: `ns(prefix/1) / ns(prefix/shards)`
+/// in one report must reach `factor`.
+#[derive(Clone, Debug, PartialEq)]
+struct ScalingReq {
+    prefix: String,
+    shards: u32,
+    factor: f64,
+}
+
+/// Parses `prefix:shards:factor` (the prefix itself may not contain
+/// `:`, which no bench id in this workspace does).
+fn parse_scaling_spec(spec: &str) -> Option<ScalingReq> {
+    let mut parts = spec.split(':');
+    let prefix = parts.next()?.to_string();
+    let shards: u32 = parts.next()?.parse().ok()?;
+    let factor: f64 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || prefix.is_empty() || shards < 2 || factor <= 0.0 {
+        return None;
+    }
+    Some(ScalingReq {
+        prefix,
+        shards,
+        factor,
+    })
+}
+
+/// Checks one report against a scaling demand. `Ok(true)` means the
+/// demand holds; a missing id is a hard error (the guard must never
+/// silently pass because a bench was renamed).
+fn check_scaling(entries: &[Entry], req: &ScalingReq) -> Result<bool, String> {
+    let find = |id: &str| {
+        entries
+            .iter()
+            .find(|e| e.id == id)
+            .ok_or_else(|| format!("scaling check: id {id:?} not found in the fresh report"))
+    };
+    let base = find(&format!("{}/1", req.prefix))?;
+    let scaled = find(&format!("{}/{}", req.prefix, req.shards))?;
+    let achieved = base.ns_per_iter / scaled.ns_per_iter;
+    let ok = achieved >= req.factor;
+    println!(
+        "scaling {}/{{1,{}}}: {:.1} ns -> {:.1} ns = {achieved:.2}x (need >= {:.2}x)  {}",
+        req.prefix,
+        req.shards,
+        base.ns_per_iter,
+        scaled.ns_per_iter,
+        req.factor,
+        if ok { "ok" } else { "TOO FLAT" }
+    );
+    Ok(ok)
+}
+
 fn run(baseline_path: &str, fresh_path: &str, tolerance: f64) -> Result<bool, String> {
     let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
     let baseline = parse_report(&read(baseline_path)?);
@@ -156,6 +218,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let mut paths = Vec::new();
     let mut tolerance = 0.5f64;
+    let mut scaling: Option<ScalingReq> = None;
     let mut i = 1;
     while i < args.len() {
         if args[i] == "--tolerance" {
@@ -167,34 +230,84 @@ fn main() -> ExitCode {
                 }
             }
             i += 2;
+        } else if args[i] == "--require-scaling" {
+            match args.get(i + 1).and_then(|s| parse_scaling_spec(s)) {
+                Some(req) => scaling = Some(req),
+                None => {
+                    eprintln!(
+                        "--require-scaling needs a <prefix>:<shards>:<factor> argument \
+                         (shards >= 2, factor > 0)"
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+            i += 2;
         } else {
             paths.push(args[i].clone());
             i += 1;
         }
     }
-    let [baseline, fresh] = paths.as_slice() else {
-        eprintln!("usage: bench_check <baseline.json> <fresh.json> [--tolerance 0.5]");
-        return ExitCode::from(2);
+    // The fresh report is the last path either way: the scaling-only
+    // mode takes one path, the compare mode two.
+    let (baseline, fresh) = match (paths.as_slice(), &scaling) {
+        ([baseline, fresh], _) => (Some(baseline.clone()), fresh.clone()),
+        ([fresh], Some(_)) => (None, fresh.clone()),
+        _ => {
+            eprintln!(
+                "usage: bench_check <baseline.json> <fresh.json> [--tolerance 0.5] \
+                 [--require-scaling prefix:N:F]\n       \
+                 bench_check <fresh.json> --require-scaling prefix:N:F"
+            );
+            return ExitCode::from(2);
+        }
     };
-    match run(baseline, fresh, tolerance) {
-        Ok(false) => {
-            println!(
+    let mut failed = false;
+    if let Some(baseline) = &baseline {
+        match run(baseline, &fresh, tolerance) {
+            Ok(false) => println!(
                 "bench_check: within ±{:.0}% tolerance of {baseline}",
                 tolerance * 100.0
-            );
-            ExitCode::SUCCESS
+            ),
+            Ok(true) => {
+                eprintln!(
+                    "bench_check: regression beyond +{:.0}% tolerance",
+                    tolerance * 100.0
+                );
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("bench_check: {e}");
+                return ExitCode::from(2);
+            }
         }
-        Ok(true) => {
-            eprintln!(
-                "bench_check: regression beyond +{:.0}% tolerance",
-                tolerance * 100.0
-            );
-            ExitCode::FAILURE
+    }
+    if let Some(req) = &scaling {
+        let entries = match std::fs::read_to_string(&fresh) {
+            Ok(text) => parse_report(&text),
+            Err(e) => {
+                eprintln!("bench_check: cannot read {fresh}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match check_scaling(&entries, req) {
+            Ok(true) => println!("bench_check: scaling demand met"),
+            Ok(false) => {
+                eprintln!(
+                    "bench_check: {} did not reach {:.2}x at {} shards",
+                    req.prefix, req.factor, req.shards
+                );
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("bench_check: {e}");
+                return ExitCode::from(2);
+            }
         }
-        Err(e) => {
-            eprintln!("bench_check: {e}");
-            ExitCode::from(2)
-        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -206,21 +319,63 @@ mod tests {
   "results": [
     {"id": "sha256/64B", "ns_per_iter": 680.2, "iterations": 2951760, "throughput_bytes": 64},
     {"id": "backend/verify_batch/256", "ns_per_iter": 367214.8, "iterations": 5460, "throughput_elements": 256},
-    {"id": "sharded/on_segments/8", "ns_per_iter": 123456.7, "iterations": 16000}
+    {"id": "sharded/on_segments/8", "ns_per_iter": 123456.7, "iterations": 16000},
+    {"id": "sharded_persistent/on_segments/1", "ns_per_iter": 400000.0, "iterations": 5000},
+    {"id": "sharded_persistent/on_segments/4", "ns_per_iter": 160000.0, "iterations": 12000}
   ]
 }"#;
 
     #[test]
     fn parses_the_shim_report_format() {
         let entries = parse_report(SAMPLE);
-        assert_eq!(entries.len(), 3);
+        assert_eq!(entries.len(), 5);
         assert_eq!(entries[0].id, "sha256/64B");
         assert!((entries[0].ns_per_iter - 680.2).abs() < 1e-9);
         assert_eq!(entries[1].id, "backend/verify_batch/256");
         assert!((entries[1].ns_per_iter - 367214.8).abs() < 1e-9);
-        // The sharded listener's step group rides the same format.
+        // The sharded listener's step groups ride the same format.
         assert_eq!(entries[2].id, "sharded/on_segments/8");
         assert!((entries[2].ns_per_iter - 123456.7).abs() < 1e-9);
+        assert_eq!(entries[3].id, "sharded_persistent/on_segments/1");
+        assert_eq!(entries[4].id, "sharded_persistent/on_segments/4");
+    }
+
+    #[test]
+    fn scaling_spec_parses_and_rejects() {
+        assert_eq!(
+            parse_scaling_spec("sharded_persistent/on_segments:4:1.5"),
+            Some(ScalingReq {
+                prefix: "sharded_persistent/on_segments".to_string(),
+                shards: 4,
+                factor: 1.5,
+            })
+        );
+        assert_eq!(parse_scaling_spec("prefix:1:1.5"), None, "shards >= 2");
+        assert_eq!(parse_scaling_spec("prefix:4:0"), None, "factor > 0");
+        assert_eq!(parse_scaling_spec("prefix:4"), None, "three fields");
+        assert_eq!(parse_scaling_spec("prefix:4:1.5:x"), None, "exactly three");
+        assert_eq!(parse_scaling_spec(":4:1.5"), None, "non-empty prefix");
+    }
+
+    #[test]
+    fn scaling_check_verdicts() {
+        let entries = parse_report(SAMPLE);
+        // 400000 / 160000 = 2.5x: meets 1.5 and 2.5, not 3.0.
+        let req = |factor| ScalingReq {
+            prefix: "sharded_persistent/on_segments".to_string(),
+            shards: 4,
+            factor,
+        };
+        assert_eq!(check_scaling(&entries, &req(1.5)), Ok(true));
+        assert_eq!(check_scaling(&entries, &req(2.5)), Ok(true));
+        assert_eq!(check_scaling(&entries, &req(3.0)), Ok(false));
+        // A renamed/missing id is a hard error, never a silent pass.
+        let missing = ScalingReq {
+            prefix: "sharded_persistent/on_segments".to_string(),
+            shards: 8,
+            factor: 1.5,
+        };
+        assert!(check_scaling(&entries, &missing).is_err());
     }
 
     #[test]
