@@ -14,7 +14,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use puzzle_core::{
-    BatchScratch, ConnectionTuple, Difficulty, ServerSecret, Solver, Verifier, VerifyRequest,
+    BatchScratch, ConnectionTuple, Difficulty, IssueScratch, ServerSecret, Solver, Verifier,
+    VerifyRequest,
 };
 use puzzle_crypto::{
     auto_backend, sha256, HashBackend, HmacSha256, MessageArena, MultiLaneBackend, ScalarBackend,
@@ -112,19 +113,56 @@ fn bench_verify_batch_for<B: HashBackend>(c: &mut Criterion, group: &str, backen
     g.finish();
 }
 
+/// Issuance throughput through one backend: `issue_batch` over distinct
+/// tuples at the paper's `(2, 17)` operating point with 32-bit
+/// pre-images, through a reused scratch (the listener's steady state) —
+/// the verify-side `verify_batch` group's issue-side twin.
+fn bench_issue_batch_for<B: HashBackend>(c: &mut Criterion, group: &str, backend: B) {
+    let secret = ServerSecret::from_bytes([4; 32]);
+    let verifier = Verifier::with_backend(secret, backend);
+    let d = Difficulty::new(2, 17).expect("valid");
+    let mut g = c.benchmark_group(format!("{group}/issue_batch"));
+    for n in [16usize, 256] {
+        let tuples: Vec<ConnectionTuple> = (0..n)
+            .map(|i| {
+                ConnectionTuple::new(
+                    "10.0.0.2".parse().expect("addr"),
+                    40_000 + i as u16,
+                    "10.0.0.1".parse().expect("addr"),
+                    80,
+                    0x1234 + i as u32,
+                )
+            })
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &tuples, |b, tuples| {
+            let mut scratch = IssueScratch::new();
+            b.iter(|| {
+                verifier
+                    .issue_batch(black_box(tuples), 100, d, 32, &mut scratch)
+                    .expect("valid")
+            })
+        });
+    }
+    g.finish();
+}
+
 /// The headline perf-trajectory ids (`backend/…`, tracked in
 /// `BENCH_verify.json`): the portable multi-lane path — no hardware
 /// extension required — plus per-engine attribution groups.
 fn bench_backends(c: &mut Criterion) {
     bench_backend_batch_for(c, "backend", &MultiLaneBackend);
     bench_verify_batch_for(c, "backend", MultiLaneBackend);
+    bench_issue_batch_for(c, "backend", MultiLaneBackend);
 
     bench_backend_batch_for(c, "backend-scalar", &ScalarBackend);
     bench_verify_batch_for(c, "backend-scalar", ScalarBackend);
+    bench_issue_batch_for(c, "backend-scalar", ScalarBackend);
 
     if let Some(ni) = ShaNiBackend::new() {
         bench_backend_batch_for(c, "backend-shani", &ni);
         bench_verify_batch_for(c, "backend-shani", ni);
+        bench_issue_batch_for(c, "backend-shani", ni);
     } else {
         println!("backend: backend-shani skipped (no SHA extensions on this CPU)");
     }
@@ -132,6 +170,7 @@ fn bench_backends(c: &mut Criterion) {
     let auto = auto_backend();
     bench_backend_batch_for(c, "backend-auto", &auto);
     bench_verify_batch_for(c, "backend-auto", auto);
+    bench_issue_batch_for(c, "backend-auto", auto);
 }
 
 criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_sha256, bench_sha256_streaming, bench_hmac, bench_backends}

@@ -79,6 +79,57 @@ fn bench_syn_challenge(c: &mut Criterion) {
     });
 }
 
+/// Batched issuance vs the scalar per-SYN baseline over the same
+/// 256-SYN flood against latched puzzles. Both ids process the full
+/// batch per iteration — `/1` is the baseline the issuance redesign
+/// replaces (256 `on_segment` calls through [`ScalarBackend`], one
+/// challenge HMAC each), `/256` is one `on_segments` call on this
+/// machine's best backend (pre-images and ISN mints staged through the
+/// midstate-seeded batch interface) — so `ns(/1) / ns(/256)` *is* the
+/// batch-issuance speedup over the scalar per-SYN path, which the CI
+/// issuance-regression guard asserts stays ≥ 3× via
+/// `bench_check --require-scaling stack/syn_challenge_batch:256:3.0`.
+fn bench_syn_challenge_batch(c: &mut Criterion) {
+    let pc = PuzzleConfig {
+        difficulty: Difficulty::new(2, 17).expect("valid"),
+        preimage_bits: 32,
+        expiry: 8,
+        verify: VerifyMode::Real,
+        hold: SimDuration::from_secs(3600),
+        verify_workers: 1,
+    };
+    let backend = puzzle_crypto::auto_backend();
+    println!(
+        "stack: syn_challenge_batch/256 runs the `{}` engine",
+        puzzle_crypto::HashBackend::name(&backend)
+    );
+    let batch = challenged_batch();
+    let mut cfg = ListenerConfig::new(SERVER, 80);
+    cfg.backlog = 0; // permanent pressure: every SYN is challenged
+    c.bench_function("stack/syn_challenge_batch/1", |b| {
+        let mut l = Listener::with_policy(
+            cfg.clone(),
+            ServerSecret::from_bytes([7; 32]),
+            puzzle_crypto::ScalarBackend,
+            &PolicyBuilder::puzzles(pc.clone()),
+        );
+        b.iter(|| {
+            for (src, seg) in &batch {
+                black_box(l.on_segment(SimTime::ZERO, *src, seg));
+            }
+        })
+    });
+    c.bench_function("stack/syn_challenge_batch/256", |b| {
+        let mut l = Listener::with_policy(
+            cfg.clone(),
+            ServerSecret::from_bytes([7; 32]),
+            backend,
+            &PolicyBuilder::puzzles(pc.clone()),
+        );
+        b.iter(|| l.on_segments(SimTime::ZERO, black_box(&batch)))
+    });
+}
+
 /// The conn-flood-shaped shard workload: 256 SYNs from 256 distinct
 /// flows against latched puzzles, so every segment costs a challenge
 /// HMAC — the admission-path workload the paper's cost model assumes
@@ -251,5 +302,5 @@ fn bench_fleet_step(c: &mut Criterion) {
     });
 }
 
-criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_syn_stateful, bench_syn_cookie, bench_syn_challenge, bench_sharded_step, bench_sharded_persistent_step, bench_event_queue, bench_fleet_step}
+criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_syn_stateful, bench_syn_cookie, bench_syn_challenge, bench_syn_challenge_batch, bench_sharded_step, bench_sharded_persistent_step, bench_event_queue, bench_fleet_step}
 criterion_main!(benches);

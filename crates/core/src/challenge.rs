@@ -145,8 +145,22 @@ impl Challenge {
     }
 }
 
-/// Validates `(l, difficulty)` compatibility.
-fn validate_preimage_bits(preimage_bits: u16, difficulty: Difficulty) -> Result<(), IssueError> {
+/// Validates `(l, difficulty)` compatibility: `l` must be a non-zero
+/// multiple of 8 no larger than [`MAX_PREIMAGE_BITS`], and `m < l`.
+///
+/// Public so issuing configurations can be validated once at build time
+/// (e.g. a defense policy's constructor) and the per-SYN hot path can
+/// rely on infallible issuance instead of re-checking every call.
+///
+/// # Errors
+///
+/// * [`IssueError::BadPreimageLength`] if `preimage_bits` is zero, not a
+///   multiple of 8, or exceeds [`MAX_PREIMAGE_BITS`].
+/// * [`IssueError::DifficultyExceedsPreimage`] if `m >= preimage_bits`.
+pub fn validate_preimage_bits(
+    preimage_bits: u16,
+    difficulty: Difficulty,
+) -> Result<(), IssueError> {
     if preimage_bits == 0 || !preimage_bits.is_multiple_of(8) || preimage_bits > MAX_PREIMAGE_BITS {
         return Err(IssueError::BadPreimageLength(preimage_bits));
     }

@@ -57,11 +57,14 @@ mod solve;
 mod tuple;
 mod verify;
 
-pub use challenge::{compute_preimage, Challenge, ChallengeParams, Solution, MAX_PREIMAGE_BITS};
+pub use challenge::{
+    compute_preimage, validate_preimage_bits, Challenge, ChallengeParams, Solution,
+    MAX_PREIMAGE_BITS,
+};
 pub use cost::{sample_solve_hashes, sample_sub_puzzle_hashes, SolveCostModel};
 pub use difficulty::Difficulty;
 pub use error::{DifficultyError, IssueError, VerifyError};
 pub use replay::{mix64, ReplayCache};
 pub use solve::{SolveOutcome, Solver};
 pub use tuple::ConnectionTuple;
-pub use verify::{BatchOutcome, BatchScratch, ServerSecret, Verifier, VerifyRequest};
+pub use verify::{BatchOutcome, BatchScratch, IssueScratch, ServerSecret, Verifier, VerifyRequest};

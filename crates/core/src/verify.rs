@@ -135,6 +135,52 @@ impl BatchScratch {
     }
 }
 
+/// Reusable working memory for [`Verifier::issue_batch`] — the issuance
+/// sibling of [`BatchScratch`].
+///
+/// A batch of challenges shares one `(timestamp, difficulty, l)` triple,
+/// so all that differs per challenge is the pre-image. The scratch holds
+/// the staged pre-image messages and the digest outputs; the pre-images
+/// are read back as truncating slices into the digest buffer
+/// ([`IssueScratch::preimage`]) rather than per-challenge `Vec`s, so a
+/// warmed scratch makes steady-state issuance **zero heap allocations**
+/// (checked by the workspace's counting-allocator test). Create one per
+/// issuing pipeline (e.g. per listener shard) and hand it to every call.
+#[derive(Debug, Default)]
+pub struct IssueScratch {
+    /// Flat message storage for the pre-image round.
+    arena: MessageArena,
+    /// Full digests, one per issued challenge, in request order.
+    digests: Vec<Digest>,
+    /// Pre-image truncation length of the most recent batch.
+    len_bytes: usize,
+}
+
+impl IssueScratch {
+    /// Creates an empty scratch; buffers grow to their steady-state sizes
+    /// during the first batches.
+    pub fn new() -> Self {
+        IssueScratch::default()
+    }
+
+    /// Number of challenges issued by the most recent batch.
+    pub fn len(&self) -> usize {
+        self.digests.len()
+    }
+
+    /// True if the most recent batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.digests.is_empty()
+    }
+
+    /// The `i`-th challenge's pre-image — the first `l` bits of its
+    /// digest, as whole bytes borrowed from the scratch. Valid until the
+    /// next [`Verifier::issue_batch`] call reuses the buffers.
+    pub fn preimage(&self, i: usize) -> &[u8] {
+        &self.digests[i][..self.len_bytes]
+    }
+}
+
 /// Stateless verifier: recomputes pre-images from echoed packet fields and
 /// checks sub-solutions and the replay-defence timestamp window.
 ///
@@ -251,6 +297,51 @@ impl<B: HashBackend> Verifier<B> {
             difficulty,
             preimage_bits,
         )
+    }
+
+    /// Issues one challenge per tuple in a single batched hashing round —
+    /// the issuance sibling of [`Verifier::verify_batch_with`].
+    ///
+    /// All challenges share `(timestamp, difficulty, preimage_bits)` —
+    /// the shape a SYN-flood burst has at the listener, where one batch
+    /// is issued under one clock reading and one difficulty setting. The
+    /// pre-image messages are staged in the scratch's [`MessageArena`]
+    /// and hashed through one [`HashBackend::sha256_arena`] call, so the
+    /// multi-lane and SHA-NI kernels apply; each pre-image is then read
+    /// back with [`IssueScratch::preimage`] — byte-identical to what
+    /// sequential [`Verifier::issue`] computes, with no `Vec` per
+    /// challenge. Costs exactly one hash per tuple (g(p) = 1, paper §4).
+    ///
+    /// Returns the shared [`ChallengeParams`]; the per-tuple pre-images
+    /// live in `scratch`, in tuple order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IssueError`] for invalid `(l, difficulty)` pairs —
+    /// validated once per batch, not per tuple.
+    pub fn issue_batch(
+        &self,
+        tuples: &[ConnectionTuple],
+        timestamp: u32,
+        difficulty: Difficulty,
+        preimage_bits: u16,
+        scratch: &mut IssueScratch,
+    ) -> Result<ChallengeParams, IssueError> {
+        crate::challenge::validate_preimage_bits(preimage_bits, difficulty)?;
+        scratch.arena.clear();
+        // `sha256_arena` appends; the scratch is per-batch, so start empty.
+        scratch.digests.clear();
+        scratch.len_bytes = preimage_bits as usize / 8;
+        for tuple in tuples {
+            push_preimage_message(&mut scratch.arena, &self.secret, tuple, timestamp);
+        }
+        self.backend
+            .sha256_arena(&scratch.arena, &mut scratch.digests);
+        Ok(ChallengeParams {
+            difficulty,
+            preimage_bits: preimage_bits as u8,
+            timestamp,
+        })
     }
 
     /// Verifies a returned solution against the echoed challenge fields.
@@ -903,6 +994,54 @@ mod tests {
                 Err(VerifyError::Replayed)
             ]
         );
+    }
+
+    #[test]
+    fn issue_batch_matches_sequential_issue() {
+        let secret = ServerSecret::from_bytes([11u8; 32]);
+        let verifier = Verifier::new(secret);
+        let d = Difficulty::new(2, 17).unwrap();
+        let tuples: Vec<ConnectionTuple> = (0..33u16)
+            .map(|i| {
+                ConnectionTuple::new(
+                    Ipv4Addr::new(10, 2, (i / 200) as u8, (i % 200) as u8 + 1),
+                    1024 + i,
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    80,
+                    u32::from(i) * 7,
+                )
+            })
+            .collect();
+        let mut scratch = IssueScratch::new();
+        for _ in 0..2 {
+            let params = verifier
+                .issue_batch(&tuples, 42, d, 32, &mut scratch)
+                .unwrap();
+            assert_eq!(scratch.len(), tuples.len());
+            for (i, tuple) in tuples.iter().enumerate() {
+                let c = verifier.issue(tuple, 42, d, 32).unwrap();
+                assert_eq!(c.params(), params, "shared params, tuple {i}");
+                assert_eq!(
+                    c.preimage(),
+                    scratch.preimage(i),
+                    "pre-image bytes, tuple {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn issue_batch_rejects_bad_config_once() {
+        let verifier = Verifier::new(ServerSecret::from_bytes([11u8; 32]));
+        let d = Difficulty::new(1, 8).unwrap();
+        let mut scratch = IssueScratch::new();
+        assert_eq!(
+            verifier
+                .issue_batch(&[], 0, d, 12, &mut scratch)
+                .unwrap_err(),
+            IssueError::BadPreimageLength(12)
+        );
+        assert!(scratch.is_empty());
     }
 
     #[test]

@@ -1,8 +1,10 @@
-//! Steady-state batch verification performs zero heap allocations.
+//! Steady-state batch verification — and batch issuance — perform zero
+//! heap allocations.
 //!
-//! This is the guarantee the `BatchScratch`/`MessageArena` redesign
-//! exists for: after warm-up, `Verifier::verify_batch_with` must not
-//! touch the allocator no matter which hash backend drives it. The test
+//! This is the guarantee the `BatchScratch`/`IssueScratch`/
+//! `MessageArena` redesign exists for: after warm-up, neither
+//! `Verifier::verify_batch_with` nor `Verifier::issue_batch` may touch
+//! the allocator, no matter which hash backend drives them. The test
 //! binary installs the counting allocator from `testkit-alloc` and
 //! measures the delta across warmed calls.
 //!
@@ -10,7 +12,7 @@
 //! concurrent test can inflate the process-global counters.
 
 use puzzle_core::{BatchScratch, ConnectionTuple, Difficulty, ServerSecret, Solver, Verifier};
-use puzzle_core::{Solution, VerifyRequest};
+use puzzle_core::{IssueScratch, Solution, VerifyRequest};
 use puzzle_crypto::{auto_backend, HashBackend, MultiLaneBackend, ScalarBackend};
 
 #[global_allocator]
@@ -60,10 +62,61 @@ fn assert_allocation_free<B: HashBackend>(backend: B) {
     );
 }
 
+fn assert_issuance_allocation_free<B: HashBackend>(backend: B) {
+    let name = backend.name();
+    let verifier = Verifier::with_backend(ServerSecret::from_bytes([9; 32]), backend);
+    // The paper's operating point: difficulty (2, 17), 32-bit pre-images,
+    // at the SYN-flood flush size the tcpstack issuance path batches at.
+    let d = Difficulty::new(2, 17).expect("valid difficulty");
+    let tuples: Vec<ConnectionTuple> = (0..256)
+        .map(|i| {
+            ConnectionTuple::new(
+                "10.0.0.2".parse().expect("addr"),
+                40_000 + i as u16,
+                "10.0.0.1".parse().expect("addr"),
+                80,
+                0x4000 + i as u32,
+            )
+        })
+        .collect();
+
+    let mut scratch = IssueScratch::new();
+    // Warm-up: arena and digest buffers grow to high-water capacity.
+    let expected = verifier
+        .issue_batch(&tuples, 100, d, 32, &mut scratch)
+        .expect("valid");
+    assert_eq!(scratch.len(), 256, "backend {name}");
+    // Batched pre-images must be exactly the sequential ones.
+    for (i, tuple) in tuples.iter().enumerate().step_by(85) {
+        let challenge = verifier.issue(tuple, 100, d, 32).expect("valid");
+        assert_eq!(scratch.preimage(i), challenge.preimage(), "backend {name}");
+    }
+    verifier
+        .issue_batch(&tuples, 100, d, 32, &mut scratch)
+        .expect("valid");
+
+    // Steady state: not a single allocator call.
+    let before = testkit_alloc::allocation_count();
+    let params = verifier
+        .issue_batch(&tuples, 100, d, 32, &mut scratch)
+        .expect("valid");
+    let after = testkit_alloc::allocation_count();
+    assert_eq!(params, expected, "backend {name}");
+    assert_eq!(
+        after - before,
+        0,
+        "backend {name}: steady-state issue_batch allocated"
+    );
+}
+
 #[test]
 fn steady_state_verify_batch_is_allocation_free() {
     assert_allocation_free(ScalarBackend);
     assert_allocation_free(MultiLaneBackend);
     // Whatever this machine's best backend is (SHA-NI where present).
     assert_allocation_free(auto_backend());
+
+    assert_issuance_allocation_free(ScalarBackend);
+    assert_issuance_allocation_free(MultiLaneBackend);
+    assert_issuance_allocation_free(auto_backend());
 }

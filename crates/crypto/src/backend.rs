@@ -28,8 +28,8 @@
 
 use crate::arena::MessageArena;
 use crate::hmac::HmacSha256;
-use crate::multilane::sha256_arena_lanes;
-use crate::sha256::{Digest, Sha256};
+use crate::multilane::{sha256_arena_lanes, sha256_arena_lanes_seeded};
+use crate::sha256::{Digest, Sha256, Sha256Midstate};
 use crate::shani;
 
 /// A provider of the hash primitives the puzzle protocol needs.
@@ -70,6 +70,28 @@ pub trait HashBackend: Clone + Send + Sync + std::fmt::Debug {
         out.reserve(messages.len());
         for msg in messages.iter() {
             out.push(self.sha256_parts(&[msg]));
+        }
+    }
+
+    /// Hashes each arena message as the suffix of a shared, already
+    /// compressed prefix: the digest appended for message `m` equals
+    /// `SHA-256(prefix ‖ m)`, where `seed` captured the state after the
+    /// prefix's blocks (see [`crate::Sha256Midstate`]).
+    ///
+    /// This is the HMAC hook of the batched issuance path: with a key
+    /// schedule's cached ipad/opad midstates, each HMAC pass over a short
+    /// message costs one compression instead of two — the 64-byte padded
+    /// key block never re-enters the kernel. Same ordering and reuse
+    /// contract as [`HashBackend::sha256_arena`].
+    fn sha256_arena_seeded(
+        &self,
+        seed: &Sha256Midstate,
+        messages: &MessageArena,
+        out: &mut Vec<Digest>,
+    ) {
+        out.reserve(messages.len());
+        for msg in messages.iter() {
+            out.push(crate::sha256::sha256_seeded(seed, msg));
         }
     }
 
@@ -134,6 +156,15 @@ impl HashBackend for MultiLaneBackend {
     fn sha256_arena(&self, messages: &MessageArena, out: &mut Vec<Digest>) {
         sha256_arena_lanes(messages, out);
     }
+
+    fn sha256_arena_seeded(
+        &self,
+        seed: &Sha256Midstate,
+        messages: &MessageArena,
+        out: &mut Vec<Digest>,
+    ) {
+        sha256_arena_lanes_seeded(seed, messages, out);
+    }
 }
 
 /// Hardware backend over the x86 SHA extensions. Construct via
@@ -141,9 +172,10 @@ impl HashBackend for MultiLaneBackend {
 /// target architecture) lacks the extension — so a value of this type is
 /// proof the kernel is safe to dispatch.
 ///
-/// HMAC keying runs through the scalar path (it is issue-time work, off
-/// the verification hot path); all SHA-256 hashing uses the hardware
-/// kernel.
+/// Streaming HMAC keying runs through the scalar path (the batched
+/// issuance path instead caches key-schedule midstates and drives both
+/// HMAC passes through the seeded arena kernel); all SHA-256 hashing
+/// uses the hardware kernel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ShaNiBackend {
     _proof: (),
@@ -172,6 +204,15 @@ impl HashBackend for ShaNiBackend {
 
     fn sha256_arena(&self, messages: &MessageArena, out: &mut Vec<Digest>) {
         shani::sha256_arena_ni(messages, out);
+    }
+
+    fn sha256_arena_seeded(
+        &self,
+        seed: &Sha256Midstate,
+        messages: &MessageArena,
+        out: &mut Vec<Digest>,
+    ) {
+        shani::sha256_arena_ni_seeded(seed, messages, out);
     }
 }
 
@@ -219,6 +260,19 @@ impl HashBackend for AutoBackend {
             AutoBackend::Scalar(b) => b.sha256_arena(messages, out),
             AutoBackend::MultiLane(b) => b.sha256_arena(messages, out),
             AutoBackend::ShaNi(b) => b.sha256_arena(messages, out),
+        }
+    }
+
+    fn sha256_arena_seeded(
+        &self,
+        seed: &Sha256Midstate,
+        messages: &MessageArena,
+        out: &mut Vec<Digest>,
+    ) {
+        match self {
+            AutoBackend::Scalar(b) => b.sha256_arena_seeded(seed, messages, out),
+            AutoBackend::MultiLane(b) => b.sha256_arena_seeded(seed, messages, out),
+            AutoBackend::ShaNi(b) => b.sha256_arena_seeded(seed, messages, out),
         }
     }
 }
@@ -387,6 +441,40 @@ mod tests {
             ni.hmac_sha256_parts(b"key", &[b"msg"]),
             scalar.hmac_sha256_parts(b"key", &[b"msg"])
         );
+    }
+
+    #[test]
+    fn seeded_arena_matches_prefixed_scalar_on_every_backend() {
+        // Digests from the seeded kernels must equal hashing
+        // prefix ‖ message from scratch, for every backend and for
+        // message lengths straddling every padding boundary.
+        let schedule = crate::HmacKeySchedule::new(b"seeded-equivalence-key");
+        let seeds = [schedule.inner_midstate(), schedule.outer_midstate()];
+        let prefixes = [schedule.ipad_key(), schedule.opad_key()];
+        let messages: Vec<Vec<u8>> = (0usize..40)
+            .map(|i| (0..i * 3 + (i % 7)).map(|j| (j % 251) as u8).collect())
+            .collect();
+        let arena = MessageArena::from_messages(&messages);
+        for (seed, prefix) in seeds.iter().zip(prefixes) {
+            let expected: Vec<Digest> = messages
+                .iter()
+                .map(|m| ScalarBackend.sha256_parts(&[prefix, m]))
+                .collect();
+            let mut out = Vec::new();
+            ScalarBackend.sha256_arena_seeded(seed, &arena, &mut out);
+            assert_eq!(out, expected, "scalar");
+            out.clear();
+            MultiLaneBackend.sha256_arena_seeded(seed, &arena, &mut out);
+            assert_eq!(out, expected, "multilane");
+            if let Some(ni) = ShaNiBackend::new() {
+                out.clear();
+                ni.sha256_arena_seeded(seed, &arena, &mut out);
+                assert_eq!(out, expected, "sha-ni");
+            }
+            out.clear();
+            auto_backend().sha256_arena_seeded(seed, &arena, &mut out);
+            assert_eq!(out, expected, "auto");
+        }
     }
 
     #[test]

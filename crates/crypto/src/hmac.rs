@@ -1,6 +1,6 @@
 //! HMAC-SHA256 per RFC 2104 / FIPS 198-1.
 
-use crate::sha256::{Digest, Sha256, DIGEST_LEN};
+use crate::sha256::{Digest, Sha256, Sha256Midstate, DIGEST_LEN};
 
 const BLOCK_LEN: usize = 64;
 const IPAD: u8 = 0x36;
@@ -90,6 +90,115 @@ impl HmacSha256 {
             diff |= a ^ b;
         }
         diff == 0
+    }
+}
+
+/// A precomputed HMAC-SHA256 key schedule: the padded ipad/opad key
+/// blocks plus the SHA-256 midstates left after absorbing each of them.
+///
+/// [`HmacSha256::new`] pays the key-expansion XOR and one compression
+/// (the ipad block) on every MAC, and [`HmacSha256::finalize`] pays the
+/// opad compression again on the outer pass. A schedule computed once at
+/// keying time amortizes all of that: [`HmacKeySchedule::mac_parts`]
+/// clones the cached midstates and spends exactly the message/digest
+/// compressions — for the issuance path's short messages that halves
+/// the per-MAC block count (4 → 2 for a one-block message).
+///
+/// The padded key blocks are also exposed ([`ipad_key`](Self::ipad_key) /
+/// [`opad_key`](Self::opad_key)) so batched callers can stage
+/// `ipad_key ‖ message` and `opad_key ‖ inner_digest` messages into a
+/// [`MessageArena`](crate::MessageArena) and drive both HMAC passes
+/// through [`HashBackend::sha256_arena`](crate::HashBackend::sha256_arena)
+/// — HMAC is plain SHA-256 over those concatenations, so the multi-lane
+/// and SHA-NI kernels apply unchanged and the tags are bit-identical to
+/// the streaming implementation.
+///
+/// # Example
+///
+/// ```
+/// use puzzle_crypto::{HmacKeySchedule, HmacSha256};
+///
+/// let schedule = HmacKeySchedule::new(b"server-secret");
+/// let tag = schedule.mac_parts(&[b"mess", b"age"]);
+/// assert_eq!(tag, HmacSha256::mac(b"server-secret", b"message"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct HmacKeySchedule {
+    ipad_key: [u8; BLOCK_LEN],
+    opad_key: [u8; BLOCK_LEN],
+    /// SHA-256 state after absorbing the ipad key block.
+    inner_mid: Sha256,
+    /// SHA-256 state after absorbing the opad key block.
+    outer_mid: Sha256,
+}
+
+impl HmacKeySchedule {
+    /// Expands `key` into a reusable schedule. Keys longer than the
+    /// 64-byte block are first hashed, per the HMAC specification.
+    pub fn new(key: &[u8]) -> Self {
+        let mut padded = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = crate::sha256(key);
+            padded[..DIGEST_LEN].copy_from_slice(&digest);
+        } else {
+            padded[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad_key = [0u8; BLOCK_LEN];
+        let mut opad_key = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad_key[i] = padded[i] ^ IPAD;
+            opad_key[i] = padded[i] ^ OPAD;
+        }
+
+        let mut inner_mid = Sha256::new();
+        inner_mid.update(&ipad_key);
+        let mut outer_mid = Sha256::new();
+        outer_mid.update(&opad_key);
+        HmacKeySchedule {
+            ipad_key,
+            opad_key,
+            inner_mid,
+            outer_mid,
+        }
+    }
+
+    /// `HMAC(key, parts[0] ‖ parts[1] ‖ …)` from the cached midstates.
+    pub fn mac_parts(&self, parts: &[&[u8]]) -> Digest {
+        let mut inner = self.inner_mid.clone();
+        for p in parts {
+            inner.update(p);
+        }
+        let inner_digest = inner.finalize();
+        let mut outer = self.outer_mid.clone();
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// The key XOR ipad block — the 64-byte prefix of every inner-pass
+    /// message when staging HMACs through an arena.
+    pub fn ipad_key(&self) -> &[u8; BLOCK_LEN] {
+        &self.ipad_key
+    }
+
+    /// The key XOR opad block — the 64-byte prefix of every outer-pass
+    /// message when staging HMACs through an arena.
+    pub fn opad_key(&self) -> &[u8; BLOCK_LEN] {
+        &self.opad_key
+    }
+
+    /// The compression state after absorbing the ipad key block — the
+    /// seed for inner-pass
+    /// [`sha256_arena_seeded`](crate::HashBackend::sha256_arena_seeded)
+    /// batches, so each inner pass spends only the message's own blocks.
+    pub fn inner_midstate(&self) -> Sha256Midstate {
+        self.inner_mid.midstate()
+    }
+
+    /// The compression state after absorbing the opad key block — the
+    /// seed for outer-pass seeded batches over the 32-byte inner digests.
+    pub fn outer_midstate(&self) -> Sha256Midstate {
+        self.outer_mid.midstate()
     }
 }
 
@@ -191,5 +300,67 @@ mod tests {
     #[test]
     fn distinct_keys_distinct_tags() {
         assert_ne!(HmacSha256::mac(b"a", b"msg"), HmacSha256::mac(b"b", b"msg"));
+    }
+
+    #[test]
+    fn schedule_matches_streaming_hmac() {
+        let keys: [&[u8]; 4] = [b"", b"k", &[0x5e; 32], &[0xaa; 131]];
+        let msgs: [&[u8]; 4] = [b"", b"m", b"what do ya want for nothing?", &[0xdd; 150]];
+        for key in keys {
+            let schedule = HmacKeySchedule::new(key);
+            for msg in msgs {
+                assert_eq!(schedule.mac_parts(&[msg]), HmacSha256::mac(key, msg));
+                let mid = msg.len() / 2;
+                assert_eq!(
+                    schedule.mac_parts(&[&msg[..mid], &msg[mid..]]),
+                    HmacSha256::mac(key, msg),
+                    "split parts must concatenate"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_rfc4231_case_2() {
+        let schedule = HmacKeySchedule::new(b"Jefe");
+        assert_eq!(
+            hex::encode(&schedule.mac_parts(&[b"what do ya want for nothing?"])),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn schedule_pads_are_the_arena_prefixes() {
+        // Staging ipad_key‖msg and opad_key‖inner through plain SHA-256
+        // must equal the HMAC tag: that identity is what lets the batched
+        // issuance path run HMAC through `sha256_arena`.
+        let schedule = HmacKeySchedule::new(b"server-secret");
+        let msg = b"isn-material";
+        let mut inner = Sha256::new();
+        inner.update(schedule.ipad_key());
+        inner.update(msg);
+        let inner_digest = inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(schedule.opad_key());
+        outer.update(&inner_digest);
+        assert_eq!(outer.finalize(), HmacSha256::mac(b"server-secret", msg));
+    }
+
+    #[test]
+    fn schedule_midstates_seed_both_hmac_passes() {
+        // Resuming from the cached midstates and hashing only the
+        // suffixes must equal the HMAC tag: the identity the seeded
+        // batch kernels rely on (one compression per short pass instead
+        // of two).
+        let schedule = HmacKeySchedule::new(b"server-secret");
+        let msg = b"isn-material";
+        let mut inner = Sha256::resume(&schedule.inner_midstate());
+        inner.update(msg);
+        let inner_digest = inner.finalize();
+        let mut outer = Sha256::resume(&schedule.outer_midstate());
+        outer.update(&inner_digest);
+        assert_eq!(outer.finalize(), HmacSha256::mac(b"server-secret", msg));
+        assert_eq!(schedule.inner_midstate().bytes, 64);
+        assert_eq!(schedule.outer_midstate().bytes, 64);
     }
 }

@@ -8,7 +8,13 @@
 //!   kernel implementation uses the Linux crypto API's SHA-256; the scheme
 //!   only requires preimage resistance (paper §5), which SHA-256 provides.
 //! * [`HmacSha256`] — HMAC (RFC 2104) over SHA-256, used for SYN-cookie
-//!   tagging and keyed pre-image derivation.
+//!   tagging and keyed pre-image derivation; [`HmacKeySchedule`] caches the
+//!   ipad/opad key blocks and midstates so hot-path MACs skip per-call
+//!   keying and batched callers can run both HMAC passes through the
+//!   midstate-seeded batch kernel
+//!   ([`HashBackend::sha256_arena_seeded`] with
+//!   [`Sha256Midstate`] seeds), paying only the message's own
+//!   compressions.
 //! * [`hex`] — small hexadecimal encode/decode helpers used by diagnostics
 //!   and tests.
 //! * [`HashBackend`] and its implementations — the pluggable hashing seam
@@ -59,7 +65,7 @@ pub use arena::MessageArena;
 pub use backend::{
     auto_backend, AutoBackend, HashBackend, MultiLaneBackend, ScalarBackend, ShaNiBackend,
 };
-pub use hmac::HmacSha256;
+pub use hmac::{HmacKeySchedule, HmacSha256};
 pub use multilane::LANES;
-pub use sha256::{sha256, Digest, Sha256, DIGEST_LEN};
+pub use sha256::{sha256, Digest, Sha256, Sha256Midstate, DIGEST_LEN};
 pub use shani::available as shani_available;

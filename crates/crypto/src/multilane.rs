@@ -22,7 +22,9 @@
 //! only dead state).
 
 use crate::arena::MessageArena;
-use crate::sha256::{fill_padded_block, padded_block_count, Digest, DIGEST_LEN, H0, K};
+use crate::sha256::{
+    fill_padded_block_seeded, padded_block_count, Digest, Sha256Midstate, DIGEST_LEN, H0, K,
+};
 
 /// Number of interleaved hash states in the portable kernel. Eight lanes
 /// of `u32` fill one AVX2 register exactly and two SSE registers on the
@@ -178,12 +180,21 @@ fn use_avx2() -> bool {
 }
 
 /// Hashes messages `base..base + count` of `arena` (with `count <=
-/// LANES`), writing their digests to `out` in order. Unused lanes run a
-/// dummy empty message whose state is never read.
-fn digest_group(arena: &MessageArena, base: usize, count: usize, avx2: bool, out: &mut [Digest]) {
+/// LANES`) as suffixes of `seed`'s block-aligned prefix, writing their
+/// digests to `out` in order. Unused lanes run a dummy empty message
+/// whose state is never read. The plain (unseeded) path is the
+/// `seed = H0, 0 bytes` case of the same kernel.
+fn digest_group(
+    arena: &MessageArena,
+    base: usize,
+    count: usize,
+    avx2: bool,
+    seed: &Sha256Midstate,
+    out: &mut [Digest],
+) {
     debug_assert!((1..=LANES).contains(&count));
     let mut state = [[0u32; LANES]; 8];
-    for (w, init) in state.iter_mut().zip(H0) {
+    for (w, init) in state.iter_mut().zip(seed.state) {
         *w = [init; LANES];
     }
 
@@ -198,7 +209,7 @@ fn digest_group(arena: &MessageArena, base: usize, count: usize, avx2: bool, out
     for b in 0..max_blocks {
         for (l, block) in blocks.iter_mut().enumerate() {
             let msg: &[u8] = if l < count { arena.msg(base + l) } else { &[] };
-            fill_padded_block(msg, b, block);
+            fill_padded_block_seeded(msg, b, seed.bytes, block);
         }
         #[cfg(target_arch = "x86_64")]
         if avx2 {
@@ -238,6 +249,21 @@ const MIN_LANE_GROUP: usize = 3;
 /// Hashes every message in `arena`, appending one digest per message to
 /// `out` in order, through the lane-interleaved kernel.
 pub(crate) fn sha256_arena_lanes(arena: &MessageArena, out: &mut Vec<Digest>) {
+    let h0_seed = Sha256Midstate {
+        state: H0,
+        bytes: 0,
+    };
+    sha256_arena_lanes_seeded(&h0_seed, arena, out);
+}
+
+/// [`sha256_arena_lanes`] with every message hashed as the suffix of
+/// `seed`'s already-compressed prefix (see
+/// [`crate::HashBackend::sha256_arena_seeded`]).
+pub(crate) fn sha256_arena_lanes_seeded(
+    seed: &Sha256Midstate,
+    arena: &MessageArena,
+    out: &mut Vec<Digest>,
+) {
     let n = arena.len();
     let start = out.len();
     out.resize(start + n, [0u8; DIGEST_LEN]);
@@ -249,16 +275,17 @@ pub(crate) fn sha256_arena_lanes(arena: &MessageArena, out: &mut Vec<Digest>) {
             i,
             LANES,
             avx2,
+            seed,
             &mut out[start + i..start + i + LANES],
         );
         i += LANES;
     }
     let rem = n - i;
     if rem >= MIN_LANE_GROUP {
-        digest_group(arena, i, rem, avx2, &mut out[start + i..start + n]);
+        digest_group(arena, i, rem, avx2, seed, &mut out[start + i..start + n]);
     } else {
         for j in i..n {
-            out[start + j] = crate::sha256::sha256(arena.msg(j));
+            out[start + j] = crate::sha256::sha256_seeded(seed, arena.msg(j));
         }
     }
 }
@@ -310,6 +337,28 @@ mod tests {
     fn remainder_paths() {
         for n in 1..=(2 * LANES + 2) {
             check_batch((0..n).map(|i| vec![i as u8; 3 * i]).collect());
+        }
+    }
+
+    #[test]
+    fn seeded_groups_match_prefixed_scalar() {
+        // One block-aligned prefix, ragged suffixes spanning the lane and
+        // scalar-fallback paths: seeded lanes must equal sha256(prefix‖m).
+        let prefix = [0x5a_u8; 128];
+        let mut h = crate::sha256::Sha256::new();
+        h.update(&prefix);
+        let seed = h.midstate();
+        for n in 1..=(2 * LANES + 2) {
+            let messages: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 7 * i]).collect();
+            let arena = MessageArena::from_messages(&messages);
+            let mut out = Vec::new();
+            sha256_arena_lanes_seeded(&seed, &arena, &mut out);
+            assert_eq!(out.len(), n);
+            for (i, m) in messages.iter().enumerate() {
+                let mut full = prefix.to_vec();
+                full.extend_from_slice(m);
+                assert_eq!(out[i], sha256(&full), "n={n} message {i}");
+            }
         }
     }
 }

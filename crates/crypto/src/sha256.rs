@@ -29,6 +29,23 @@ pub(crate) const H0: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
+/// A SHA-256 compression state captured at a 64-byte block boundary —
+/// the seed for prefix-factored hashing.
+///
+/// When many messages share one block-aligned prefix (HMAC's padded key
+/// block, for instance), the prefix's compressions can be paid once:
+/// capture the state after absorbing it with [`Sha256::midstate`], then
+/// hash each suffix through
+/// [`HashBackend::sha256_arena_seeded`](crate::HashBackend::sha256_arena_seeded)
+/// (or resume a streaming hasher with [`Sha256::resume`]). Digests are
+/// bit-identical to hashing `prefix ‖ suffix` from scratch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sha256Midstate {
+    pub(crate) state: [u32; 8],
+    /// Prefix length in bytes (always a multiple of 64).
+    pub(crate) bytes: u64,
+}
+
 /// Streaming SHA-256 hasher.
 ///
 /// # Example
@@ -121,6 +138,36 @@ impl Sha256 {
         out
     }
 
+    /// Captures the compression state for later [`Sha256::resume`] /
+    /// seeded-batch use.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the absorbed prefix is a whole number of 64-byte
+    /// blocks — a midstate is only meaningful at a block boundary.
+    pub fn midstate(&self) -> Sha256Midstate {
+        assert_eq!(
+            self.buf_len, 0,
+            "midstate requires a block-aligned prefix ({} bytes buffered)",
+            self.buf_len
+        );
+        Sha256Midstate {
+            state: self.state,
+            bytes: self.len,
+        }
+    }
+
+    /// Creates a hasher that continues from a captured midstate, as if
+    /// the seeding prefix had just been absorbed.
+    pub fn resume(seed: &Sha256Midstate) -> Self {
+        Sha256 {
+            state: seed.state,
+            len: seed.bytes,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
     /// `update` without advancing the message length — used only for padding.
     fn update_padding(&mut self, data: &[u8]) {
         for &byte in data {
@@ -198,6 +245,21 @@ pub(crate) fn padded_block_count(len: usize) -> usize {
 /// (multi-lane, SHA-NI) so padding is implemented exactly once outside the
 /// streaming hasher.
 pub(crate) fn fill_padded_block(msg: &[u8], block_idx: usize, out: &mut [u8; 64]) {
+    fill_padded_block_seeded(msg, block_idx, 0, out);
+}
+
+/// [`fill_padded_block`] for a message that is the suffix of an
+/// already-compressed, block-aligned prefix of `prefix_bytes` bytes:
+/// block indices and the 0x80 terminator are relative to the suffix
+/// (the prefix occupies its own whole blocks), but the closing length
+/// field covers prefix and suffix together.
+pub(crate) fn fill_padded_block_seeded(
+    msg: &[u8],
+    block_idx: usize,
+    prefix_bytes: u64,
+    out: &mut [u8; 64],
+) {
+    debug_assert_eq!(prefix_bytes % 64, 0, "seed prefix must be block-aligned");
     let len = msg.len();
     let start = block_idx * 64;
     if start + 64 <= len {
@@ -218,7 +280,7 @@ pub(crate) fn fill_padded_block(msg: &[u8], block_idx: usize, out: &mut [u8; 64]
     }
     // The 64-bit big-endian bit length closes the final padded block.
     if block_idx + 1 == padded_block_count(len) {
-        out[56..].copy_from_slice(&((len as u64) * 8).to_be_bytes());
+        out[56..].copy_from_slice(&(prefix_bytes.wrapping_add(len as u64) * 8).to_be_bytes());
     }
 }
 
@@ -236,6 +298,14 @@ pub(crate) fn fill_padded_block(msg: &[u8], block_idx: usize, out: &mut [u8; 64]
 pub fn sha256(data: &[u8]) -> Digest {
     let mut h = Sha256::new();
     h.update(data);
+    h.finalize()
+}
+
+/// `SHA-256(prefix ‖ msg)` where `seed` captured the state after the
+/// prefix's blocks — the scalar reference for the seeded batch kernels.
+pub(crate) fn sha256_seeded(seed: &Sha256Midstate, msg: &[u8]) -> Digest {
+    let mut h = Sha256::resume(seed);
+    h.update(msg);
     h.finalize()
 }
 
@@ -352,6 +422,52 @@ mod tests {
             hex::encode(&sha256(&a64)),
             "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"
         );
+    }
+
+    #[test]
+    fn midstate_resume_matches_one_shot() {
+        let msg: Vec<u8> = (0u16..300).map(|i| (i % 251) as u8).collect();
+        let reference = sha256(&msg);
+        // Every block-aligned split point, including the trivial 0 split.
+        for split in (0..msg.len()).step_by(64) {
+            let mut prefix = Sha256::new();
+            prefix.update(&msg[..split]);
+            let seed = prefix.midstate();
+            assert_eq!(seed.bytes, split as u64);
+            assert_eq!(
+                sha256_seeded(&seed, &msg[split..]),
+                reference,
+                "split={split}"
+            );
+            let mut resumed = Sha256::resume(&seed);
+            resumed.update(&msg[split..]);
+            assert_eq!(resumed.finalize(), reference, "split={split}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block-aligned")]
+    fn midstate_rejects_unaligned_prefix() {
+        let mut h = Sha256::new();
+        h.update(b"not a block");
+        let _ = h.midstate();
+    }
+
+    #[test]
+    fn seeded_padding_matches_unseeded_with_prefix() {
+        // fill_padded_block_seeded over the suffix must produce the same
+        // trailing blocks as fill_padded_block over prefix ‖ suffix.
+        let full: Vec<u8> = (0u16..200).map(|i| (i % 251) as u8).collect();
+        for split in [0usize, 64, 128] {
+            let suffix = &full[split..];
+            for b in 0..padded_block_count(suffix.len()) {
+                let mut seeded = [0u8; 64];
+                fill_padded_block_seeded(suffix, b, split as u64, &mut seeded);
+                let mut unseeded = [0u8; 64];
+                fill_padded_block(&full, split / 64 + b, &mut unseeded);
+                assert_eq!(seeded, unseeded, "split={split} block={b}");
+            }
+        }
     }
 
     #[test]

@@ -17,7 +17,10 @@
 #![allow(unsafe_code)]
 
 use crate::arena::MessageArena;
-use crate::sha256::{fill_padded_block, padded_block_count, Digest, DIGEST_LEN, H0};
+use crate::sha256::{
+    fill_padded_block, fill_padded_block_seeded, padded_block_count, Digest, Sha256Midstate,
+    DIGEST_LEN, H0,
+};
 
 /// Is the SHA-NI path usable on the running CPU?
 ///
@@ -197,6 +200,42 @@ pub(crate) fn sha256_arena_ni(arena: &MessageArena, out: &mut Vec<Digest>) {
     }
 }
 
+/// One-shot digest of `msg` as the suffix of `seed`'s already-compressed
+/// prefix, through the SHA-NI kernel.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn sha256_ni_seeded(seed: &Sha256Midstate, msg: &[u8]) -> Digest {
+    debug_assert!(available());
+    let mut state = seed.state;
+    let mut block = [0u8; 64];
+    let nblocks = padded_block_count(msg.len());
+    for b in 0..nblocks {
+        fill_padded_block_seeded(msg, b, seed.bytes, &mut block);
+        // SAFETY: gated on `available()` by every public entry point.
+        unsafe { kernel::compress_block(&mut state, &block) };
+    }
+    let mut out = [0u8; DIGEST_LEN];
+    for (i, word) in state.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Hashes every message in `arena` as the suffix of `seed`'s prefix
+/// through the SHA-NI kernel, appending one digest per message to `out`
+/// in order.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn sha256_arena_ni_seeded(
+    seed: &Sha256Midstate,
+    arena: &MessageArena,
+    out: &mut Vec<Digest>,
+) {
+    debug_assert!(available());
+    out.reserve(arena.len());
+    for msg in arena.iter() {
+        out.push(sha256_ni_seeded(seed, msg));
+    }
+}
+
 // Non-x86_64 stubs keep the call sites compiling; `available()` is false
 // there so they are unreachable.
 #[cfg(not(target_arch = "x86_64"))]
@@ -211,6 +250,15 @@ pub(crate) fn sha256_parts_ni(_parts: &[&[u8]]) -> Digest {
 
 #[cfg(not(target_arch = "x86_64"))]
 pub(crate) fn sha256_arena_ni(_arena: &MessageArena, _out: &mut Vec<Digest>) {
+    unreachable!("SHA-NI path invoked without hardware support")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) fn sha256_arena_ni_seeded(
+    _seed: &Sha256Midstate,
+    _arena: &MessageArena,
+    _out: &mut Vec<Digest>,
+) {
     unreachable!("SHA-NI path invoked without hardware support")
 }
 
@@ -271,6 +319,26 @@ mod tests {
         sha256_arena_ni(&arena, &mut out);
         for (m, d) in messages.iter().zip(&out) {
             assert_eq!(*d, sha256(m));
+        }
+    }
+
+    #[test]
+    fn seeded_batches_match_prefixed_scalar() {
+        if !available() {
+            return;
+        }
+        let prefix = [0x36_u8; 64];
+        let mut h = crate::sha256::Sha256::new();
+        h.update(&prefix);
+        let seed = h.midstate();
+        let messages: Vec<Vec<u8>> = (0u8..9).map(|i| vec![i; i as usize * 13]).collect();
+        let arena = MessageArena::from_messages(&messages);
+        let mut out = Vec::new();
+        sha256_arena_ni_seeded(&seed, &arena, &mut out);
+        for (m, d) in messages.iter().zip(&out) {
+            let mut full = prefix.to_vec();
+            full.extend_from_slice(m);
+            assert_eq!(*d, sha256(&full));
         }
     }
 }

@@ -18,10 +18,12 @@
 //!   stress-test plateau µ (Fig. 3b);
 //! * the response is sent in MSS-sized chunks with FIN on the last.
 //!
-//! CPU time for puzzle generation (1 hash) and verification (2 hashes for
-//! a rejected solution — pre-image + first failing proof; `1 + k` for an
-//! accepted one) is charged to the server's [`Cpu`] at its 10.8 MH/s
-//! profile, feeding the Fig. 9 utilization series.
+//! CPU time for issuance (the listener's exact `issue_hashes` count:
+//! challenge pre-image + keyed ISN mint = 3 hashes per challenge, cookie
+//! MAC = 2, stateful/SYN-cache ISN mint = 2) and verification (2 hashes
+//! for a rejected solution — pre-image + first failing proof; `1 + k`
+//! for an accepted one) is charged to the server's [`Cpu`] at its
+//! 10.8 MH/s profile, feeding the Fig. 9 utilization series.
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -293,19 +295,22 @@ impl ServerHost {
         }
     }
 
-    /// Charges puzzle crypto work since the last call to the CPU model.
+    /// Charges defence crypto work since the last call to the CPU model.
     ///
-    /// The listener's counters are the single source of truth: challenge
-    /// generation costs 1 hash each (g(p) = 1) and `verify_hashes` is the
-    /// exact per-solution charge reported by the verification chokepoint
-    /// (1 + checked proofs; replay-cache hits are free), so the CPU model
-    /// tracks the paper's d(p) accounting without re-estimating it here.
+    /// The listener's counters are the single source of truth:
+    /// `issue_hashes` is the exact issuance-side charge (challenge
+    /// pre-image = 1, cookie MAC = 2, server-ISN mint = 2 — so a
+    /// challenge costs 3 in total, refining the paper's g(p) = 1 to what
+    /// the stack actually computes) and `verify_hashes` is the exact
+    /// per-solution charge reported by the verification chokepoint
+    /// (1 + checked proofs; replay-cache hits are free), so the CPU
+    /// model tracks the paper's accounting without re-estimating it.
     fn account_crypto(&mut self, now: SimTime) {
         let s = self.listener.stats();
         let p = self.prev_stats;
-        let gen = (s.challenges_sent - p.challenges_sent) as f64; // 1 hash each
+        let issue = (s.issue_hashes - p.issue_hashes) as f64; // exact charge
         let verify = (s.verify_hashes - p.verify_hashes) as f64; // exact charge
-        let hashes = gen + verify;
+        let hashes = issue + verify;
         if hashes > 0.0 {
             self.cpu.schedule_hashes(now, hashes);
         }

@@ -14,7 +14,7 @@
 //! 8-entry table) and the window-scale option is lost entirely — the
 //! degradations the paper's solution block avoids (§5).
 
-use puzzle_crypto::HmacSha256;
+use puzzle_crypto::{Digest, HmacKeySchedule, MessageArena, Sha256Midstate};
 use std::net::Ipv4Addr;
 
 /// MSS values representable in the cookie's 3-bit index, ascending.
@@ -24,15 +24,27 @@ pub const MSS_TABLE: [u16; 8] = [216, 536, 768, 996, 1220, 1340, 1440, 1460];
 pub const COUNTER_PERIOD_SECS: u64 = 64;
 
 /// Encoder/validator for SYN cookies.
+///
+/// The HMAC key schedule (ipad/opad blocks and midstates) is expanded
+/// once at construction, so each MAC — encode or validate — spends only
+/// the message and digest compressions, not per-call keying. The
+/// `push_inner`/`push_outer`/`cookie_from_tag` helpers expose the same
+/// MAC as two midstate-seeded arena SHA-256 passes
+/// ([`inner_midstate`](SynCookieCodec::inner_midstate) /
+/// [`outer_midstate`](SynCookieCodec::outer_midstate)) for the batched
+/// issuance path — one compression per pass per cookie.
 #[derive(Clone, Debug)]
 pub struct SynCookieCodec {
-    secret: [u8; 32],
+    schedule: HmacKeySchedule,
 }
 
 impl SynCookieCodec {
-    /// Creates a codec keyed with `secret`.
+    /// Creates a codec keyed with `secret`, expanding the HMAC key
+    /// schedule once.
     pub fn new(secret: [u8; 32]) -> Self {
-        SynCookieCodec { secret }
+        SynCookieCodec {
+            schedule: HmacKeySchedule::new(&secret),
+        }
     }
 
     /// Largest table MSS not exceeding the client's announced MSS.
@@ -96,6 +108,60 @@ impl SynCookieCodec {
         None
     }
 
+    /// Stages the field suffix of one cookie MAC's inner HMAC pass into
+    /// `arena` — the batched twin of the private `mac`: hashing the
+    /// staged fields seeded with [`SynCookieCodec::inner_midstate`]
+    /// equals the inner HMAC digest (the padded ipad key block is
+    /// already compressed into the seed). Pair each output with
+    /// [`SynCookieCodec::push_outer`] and [`SynCookieCodec::cookie_from_tag`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_inner(
+        &self,
+        arena: &mut MessageArena,
+        src: Ipv4Addr,
+        src_port: u16,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        client_isn: u32,
+        counter: u64,
+        mss_idx: u8,
+    ) {
+        arena.push_parts(&[
+            &src.octets(),
+            &src_port.to_be_bytes(),
+            &dst.octets(),
+            &dst_port.to_be_bytes(),
+            &client_isn.to_be_bytes(),
+            &counter.to_be_bytes(),
+            &[mss_idx],
+        ]);
+    }
+
+    /// Stages an inner-pass digest as the suffix of the outer HMAC pass
+    /// (hash seeded with [`SynCookieCodec::outer_midstate`]).
+    pub fn push_outer(&self, arena: &mut MessageArena, inner_digest: &Digest) {
+        arena.push(inner_digest);
+    }
+
+    /// The seed for inner-pass batches staged by
+    /// [`SynCookieCodec::push_inner`].
+    pub fn inner_midstate(&self) -> Sha256Midstate {
+        self.schedule.inner_midstate()
+    }
+
+    /// The seed for outer-pass batches staged by
+    /// [`SynCookieCodec::push_outer`].
+    pub fn outer_midstate(&self) -> Sha256Midstate {
+        self.schedule.outer_midstate()
+    }
+
+    /// Assembles the cookie ISN from a full outer-pass HMAC tag — the
+    /// batched twin of [`SynCookieCodec::encode`]'s final packing step.
+    pub fn cookie_from_tag(tag: &Digest, counter: u64, mss_idx: u8) -> u32 {
+        let mac = u32::from_be_bytes([tag[0], tag[1], tag[2], tag[3]]);
+        ((counter as u32 & 0x3f) << 26) | ((mss_idx as u32) << 23) | (mac & 0x007f_ffff)
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn mac(
         &self,
@@ -107,15 +173,15 @@ impl SynCookieCodec {
         counter: u64,
         mss_idx: u8,
     ) -> u32 {
-        let mut mac = HmacSha256::new(&self.secret);
-        mac.update(&src.octets());
-        mac.update(&src_port.to_be_bytes());
-        mac.update(&dst.octets());
-        mac.update(&dst_port.to_be_bytes());
-        mac.update(&client_isn.to_be_bytes());
-        mac.update(&counter.to_be_bytes());
-        mac.update(&[mss_idx]);
-        let tag = mac.finalize();
+        let tag = self.schedule.mac_parts(&[
+            &src.octets(),
+            &src_port.to_be_bytes(),
+            &dst.octets(),
+            &dst_port.to_be_bytes(),
+            &client_isn.to_be_bytes(),
+            &counter.to_be_bytes(),
+            &[mss_idx],
+        ]);
         u32::from_be_bytes([tag[0], tag[1], tag[2], tag[3]])
     }
 }
@@ -192,6 +258,34 @@ mod tests {
         // A different secret never validates.
         let other = SynCookieCodec::new([0x43; 32]);
         assert_eq!(other.validate(s, sp, d, dp, isn, cookie, 5), None);
+    }
+
+    #[test]
+    fn arena_staged_mac_matches_encode() {
+        use puzzle_crypto::{HashBackend, ScalarBackend};
+        let c = codec();
+        let (s, sp, d, dp, isn) = args();
+        let flows: Vec<(u32, u16)> = (0..9).map(|i| (isn + i, 1460 - i as u16)).collect();
+        let mut arena = MessageArena::new();
+        let mut digests = Vec::new();
+        for (client_isn, mss) in &flows {
+            let (mss_idx, _) = SynCookieCodec::quantize_mss(*mss);
+            c.push_inner(&mut arena, s, sp, d, dp, *client_isn, 100, mss_idx);
+        }
+        ScalarBackend.sha256_arena_seeded(&c.inner_midstate(), &arena, &mut digests);
+        arena.clear();
+        for inner in &digests {
+            c.push_outer(&mut arena, inner);
+        }
+        let mut tags = Vec::new();
+        ScalarBackend.sha256_arena_seeded(&c.outer_midstate(), &arena, &mut tags);
+        for ((client_isn, mss), tag) in flows.iter().zip(&tags) {
+            let (mss_idx, _) = SynCookieCodec::quantize_mss(*mss);
+            assert_eq!(
+                SynCookieCodec::cookie_from_tag(tag, 100, mss_idx),
+                c.encode(s, sp, d, dp, *client_isn, *mss, 100),
+            );
+        }
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub use listener::{
 pub use options::{ChallengeOption, OptionDecodeError, SolutionOption, TcpOption};
 pub use policy::{
     AckClass, AckDisposition, AdaptivePuzzleDefense, DefensePolicy, NoDefense, PendingSolution,
-    PolicyBuilder, PolicyStats, PuzzleDefense, QueuePressure, Stacked, SynCacheDefense,
+    PolicyBuilder, PolicyStats, PuzzleDefense, QueuePressure, Stacked, SynCacheDefense, SynClass,
     SynCookieDefense, SynDisposition,
 };
 pub use segment::{

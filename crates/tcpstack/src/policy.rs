@@ -14,7 +14,11 @@
 //! 1. [`on_syn`](DefensePolicy::on_syn) — every fresh SYN, with the
 //!    listener's queue pressure. The policy admits it to the stateful
 //!    handshake, absorbs it (challenge / cookie / reduced-state cache
-//!    entry), or declines (the listener then drops it).
+//!    entry), or declines (the listener then drops it). In the batched
+//!    segment loop, [`classify_syn`](DefensePolicy::classify_syn) runs
+//!    first and may *defer* the SYN into a pending issuance run whose
+//!    crypto is batched at the next
+//!    [`issue_flush`](DefensePolicy::issue_flush).
 //! 2. [`classify_ack`](DefensePolicy::classify_ack) — solution-bearing
 //!    ACKs from unknown flows are offered for the listener's *batched*
 //!    verification pipeline before sequential processing.
@@ -54,10 +58,10 @@ use crate::options::{ChallengeOption, SolutionOption, TcpOption};
 use crate::segment::{SegmentBuilder, TcpFlags, TcpSegment};
 use netsim::{SimDuration, SimTime};
 use puzzle_core::{
-    BatchScratch, ChallengeParams, ConnectionTuple, Difficulty, ReplayCache, ServerSecret,
-    Solution, Verifier, VerifyError, VerifyRequest,
+    validate_preimage_bits, BatchScratch, ChallengeParams, ConnectionTuple, Difficulty,
+    IssueScratch, ReplayCache, ServerSecret, Solution, Verifier, VerifyError, VerifyRequest,
 };
-use puzzle_crypto::HashBackend;
+use puzzle_crypto::{Digest, HashBackend, MessageArena};
 
 /// Queue fullness observed when a fresh SYN arrives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,6 +89,25 @@ pub enum SynDisposition {
     /// The policy declines under pressure; the next stacked layer gets
     /// the SYN, or — at the end of the stack — the listener drops it.
     Decline,
+}
+
+/// How a policy routed a fresh SYN offered to the batched issuance
+/// pipeline (see [`DefensePolicy::classify_syn`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SynClass {
+    /// This policy's [`on_syn`](DefensePolicy::on_syn) would return
+    /// [`SynDisposition::Admit`] or [`SynDisposition::Decline`] for this
+    /// SYN with no side effects visible outside the policy — no reply
+    /// emitted, no ISN minted. A [`Stacked`] composition keeps
+    /// consulting later layers.
+    Pass,
+    /// No promise: run the ordinary sequential `on_syn` path (the
+    /// default, so policies unaware of batching keep exact semantics).
+    Inline,
+    /// The policy queued the SYN internally; the next
+    /// [`issue_flush`](DefensePolicy::issue_flush) will emit exactly
+    /// the one reply its `on_syn` would have emitted.
+    Deferred,
 }
 
 /// What a policy decided for a stateless ACK.
@@ -167,6 +190,42 @@ pub trait DefensePolicy<B: HashBackend>: fmt::Debug {
         } else {
             SynDisposition::Admit
         }
+    }
+
+    /// Classifies a fresh SYN for the *batched issuance* pipeline — the
+    /// issue-side twin of [`classify_ack`](DefensePolicy::classify_ack).
+    /// Only called from the batched segment loop, for SYN segments
+    /// (`SYN` set, `ACK`/`RST` clear) with no listener or policy state
+    /// for the flow, after any pending solution run has been flushed
+    /// (so `pressure` reflects the queues this SYN would actually see).
+    ///
+    /// Returning [`SynClass::Deferred`] means the policy queued the SYN
+    /// and will emit its stateless reply (challenge / cookie) at the
+    /// next [`issue_flush`](DefensePolicy::issue_flush), where the
+    /// cryptographic work is batched across the whole deferred run.
+    /// The listener guarantees a flush before any non-deferred segment
+    /// is processed and before the batch call returns, so deferral is
+    /// invisible outside the batch boundary: replies, events, counters,
+    /// and ISN order all match sequential processing exactly.
+    fn classify_syn(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        pressure: QueuePressure,
+    ) -> SynClass {
+        let _ = (core, now, flow, seg, pressure);
+        SynClass::Inline
+    }
+
+    /// Emits every reply deferred by
+    /// [`classify_syn`](DefensePolicy::classify_syn), in arrival order,
+    /// with the issuance crypto (pre-images, cookie MACs, server-ISN
+    /// mints) staged through the backend's batch interface. The default
+    /// does nothing (nothing is ever deferred by default).
+    fn issue_flush(&mut self, core: &mut ListenerCore<B>, now: SimTime, out: &mut ListenerOutput) {
+        let _ = (core, now, out);
     }
 
     /// Offers a solution-bearing ACK from an unknown flow to the batched
@@ -376,6 +435,18 @@ impl<B: HashBackend> DefensePolicy<B> for NoDefense {
     fn name(&self) -> &'static str {
         "none"
     }
+
+    fn classify_syn(
+        &mut self,
+        _core: &mut ListenerCore<B>,
+        _now: SimTime,
+        _flow: FlowKey,
+        _seg: &TcpSegment,
+        _pressure: QueuePressure,
+    ) -> SynClass {
+        // The stock disposition is a pure admit/decline decision.
+        SynClass::Pass
+    }
 }
 
 /// SYN cookies (§2.1 baseline): a stateless cookie SYN-ACK when the
@@ -386,6 +457,15 @@ impl<B: HashBackend> DefensePolicy<B> for NoDefense {
 #[derive(Debug)]
 pub struct SynCookieDefense {
     codec: SynCookieCodec,
+    /// SYNs deferred by `classify_syn` awaiting the next `issue_flush`:
+    /// `(flow, client ISN, client MSS, client TS echo)`.
+    pending: Vec<(FlowKey, u32, u16, Option<u32>)>,
+    /// Reusable batched-MAC staging (message arena plus the inner-pass
+    /// and outer-pass digest buffers): after warm-up a flush allocates
+    /// nothing on the crypto path.
+    arena: MessageArena,
+    inner_digests: Vec<Digest>,
+    tags: Vec<Digest>,
 }
 
 impl SynCookieDefense {
@@ -393,6 +473,10 @@ impl SynCookieDefense {
     pub fn new(secret: &ServerSecret) -> Self {
         SynCookieDefense {
             codec: SynCookieCodec::new(*secret.as_bytes()),
+            pending: Vec::new(),
+            arena: MessageArena::new(),
+            inner_digests: Vec::new(),
+            tags: Vec::new(),
         }
     }
 }
@@ -442,9 +526,94 @@ impl<B: HashBackend> DefensePolicy<B> for SynCookieDefense {
         if let (true, Some(tsval)) = (use_ts, client_ts) {
             b = b.timestamps(now_ts, tsval);
         }
-        core.stats_mut().cookies_sent += 1;
+        let stats = core.stats_mut();
+        stats.cookies_sent += 1;
+        stats.issue_hashes += 2; // the cookie MAC's two HMAC passes
         out.replies.push((flow.addr, b.build()));
         SynDisposition::Handled
+    }
+
+    fn classify_syn(
+        &mut self,
+        _core: &mut ListenerCore<B>,
+        _now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        pressure: QueuePressure,
+    ) -> SynClass {
+        if !pressure.any() || pressure.accept_full {
+            // Pure admit (no pressure) or pure decline (accept-queue
+            // overflow): no cookie crypto either way.
+            return SynClass::Pass;
+        }
+        self.pending.push((
+            flow,
+            seg.seq,
+            seg.mss().unwrap_or(536),
+            seg.timestamps().map(|(tsval, _)| tsval),
+        ));
+        SynClass::Deferred
+    }
+
+    fn issue_flush(&mut self, core: &mut ListenerCore<B>, now: SimTime, out: &mut ListenerOutput) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let cfg = core.config();
+        let (local_addr, port, adv_mss, use_ts) =
+            (cfg.local_addr, cfg.port, cfg.mss, cfg.use_timestamps);
+        let now_ts = puzzle_clock(now);
+        let counter = cookie_counter(now);
+        // Both HMAC passes of every cookie MAC, each as one batched
+        // midstate-seeded SHA-256 sweep over the arena (the padded key
+        // blocks are pre-compressed into the codec's seeds).
+        self.arena.clear();
+        self.inner_digests.clear();
+        self.tags.clear();
+        for &(flow, client_isn, mss, _) in &self.pending {
+            let (mss_idx, _) = SynCookieCodec::quantize_mss(mss);
+            self.codec.push_inner(
+                &mut self.arena,
+                flow.addr,
+                flow.port,
+                local_addr,
+                port,
+                client_isn,
+                counter,
+                mss_idx,
+            );
+        }
+        core.backend().sha256_arena_seeded(
+            &self.codec.inner_midstate(),
+            &self.arena,
+            &mut self.inner_digests,
+        );
+        self.arena.clear();
+        for inner in &self.inner_digests {
+            self.codec.push_outer(&mut self.arena, inner);
+        }
+        core.backend().sha256_arena_seeded(
+            &self.codec.outer_midstate(),
+            &self.arena,
+            &mut self.tags,
+        );
+        let stats = core.stats_mut();
+        stats.cookies_sent += self.pending.len() as u64;
+        stats.issue_hashes += 2 * self.pending.len() as u64;
+        for (&(flow, client_isn, mss, client_ts), tag) in self.pending.iter().zip(&self.tags) {
+            let (mss_idx, _) = SynCookieCodec::quantize_mss(mss);
+            let isn = SynCookieCodec::cookie_from_tag(tag, counter, mss_idx);
+            let mut b = SegmentBuilder::new(port, flow.port)
+                .seq(isn)
+                .ack_num(client_isn.wrapping_add(1))
+                .flags(TcpFlags::SYN | TcpFlags::ACK)
+                .mss(adv_mss);
+            if let (true, Some(tsval)) = (use_ts, client_ts) {
+                b = b.timestamps(now_ts, tsval);
+            }
+            out.replies.push((flow.addr, b.build()));
+        }
+        self.pending.clear();
     }
 
     fn on_ack(
@@ -554,6 +723,24 @@ impl<B: HashBackend> DefensePolicy<B> for SynCacheDefense {
         SynDisposition::Handled
     }
 
+    fn classify_syn(
+        &mut self,
+        _core: &mut ListenerCore<B>,
+        _now: SimTime,
+        _flow: FlowKey,
+        _seg: &TcpSegment,
+        pressure: QueuePressure,
+    ) -> SynClass {
+        if !pressure.any() || pressure.accept_full || self.cache.len() >= self.cfg.capacity {
+            // Pure admit or pure decline.
+            SynClass::Pass
+        } else {
+            // The spill path inserts per-flow cache state and mints an
+            // ISN: keep it on the sequential path.
+            SynClass::Inline
+        }
+    }
+
     fn on_ack(
         &mut self,
         core: &mut ListenerCore<B>,
@@ -635,13 +822,31 @@ pub struct PuzzleDefense<B: HashBackend> {
     /// Reusable batch-verification buffers: after warm-up, flushing a
     /// run of solution ACKs allocates nothing.
     scratch: BatchScratch,
+    /// SYNs deferred by `classify_syn` awaiting the next `issue_flush`:
+    /// `(flow, client ISN, client TS echo)`.
+    pending: Vec<(FlowKey, u32, Option<u32>)>,
+    /// Reusable batched-issuance buffers (connection tuples, pre-image
+    /// scratch, flow and ISN staging): after warm-up a flush's crypto
+    /// path allocates nothing.
+    issue_scratch: IssueScratch,
+    tuples: Vec<ConnectionTuple>,
+    flows: Vec<FlowKey>,
+    isns: Vec<u32>,
 }
 
 impl<B: HashBackend> PuzzleDefense<B> {
     /// Builds the defence: the verifier gets a sharded [`ReplayCache`],
     /// so a solution is admitted at most once per `(tuple, timestamp)`
     /// inside the expiry window.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.preimage_bits` and `cfg.difficulty` are
+    /// incompatible ([`validate_preimage_bits`]) — the check is hoisted
+    /// here so the per-SYN issue paths never re-validate.
     pub fn new(cfg: PuzzleConfig, secret: &ServerSecret, backend: &B) -> Self {
+        validate_preimage_bits(cfg.preimage_bits, cfg.difficulty)
+            .expect("invalid PuzzleConfig: preimage_bits incompatible with difficulty");
         let verifier = Verifier::with_backend(secret.clone(), backend.clone())
             .with_expiry(cfg.expiry)
             .with_replay_cache(Arc::new(ReplayCache::default()));
@@ -650,6 +855,11 @@ impl<B: HashBackend> PuzzleDefense<B> {
             verifier,
             hold_until: SimTime::ZERO,
             scratch: BatchScratch::new(),
+            pending: Vec::new(),
+            issue_scratch: IssueScratch::new(),
+            tuples: Vec::new(),
+            flows: Vec::new(),
+            isns: Vec::new(),
         }
     }
 
@@ -809,9 +1019,85 @@ impl<B: HashBackend> DefensePolicy<B> for PuzzleDefense<B> {
             b = b.timestamps(now_ts, tsval);
         }
         let reply = b.option(TcpOption::Challenge(copt)).build();
-        core.stats_mut().challenges_sent += 1;
+        let stats = core.stats_mut();
+        stats.challenges_sent += 1;
+        stats.issue_hashes += 1; // the pre-image; the ISN mint charges itself
         out.replies.push((flow.addr, reply));
         SynDisposition::Handled
+    }
+
+    fn classify_syn(
+        &mut self,
+        _core: &mut ListenerCore<B>,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        pressure: QueuePressure,
+    ) -> SynClass {
+        // Mirror of `on_syn`'s controller head: the hysteresis latch
+        // must advance even for deferred SYNs.
+        if pressure.any() {
+            self.hold_until = now + self.cfg.hold;
+        }
+        if !pressure.any() && now >= self.hold_until {
+            // Pure admit (protection not in effect).
+            return SynClass::Pass;
+        }
+        self.pending
+            .push((flow, seg.seq, seg.timestamps().map(|(tsval, _)| tsval)));
+        SynClass::Deferred
+    }
+
+    fn issue_flush(&mut self, core: &mut ListenerCore<B>, now: SimTime, out: &mut ListenerOutput) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let now_ts = puzzle_clock(now);
+        self.tuples.clear();
+        self.flows.clear();
+        for &(flow, client_isn, _) in &self.pending {
+            self.tuples.push(core.tuple_for(flow, client_isn));
+            self.flows.push(flow);
+        }
+        // One batched sweep for every pre-image, then one for the
+        // server ISNs (arrival order, so the ISN counter sequence is
+        // identical to sequential processing).
+        self.verifier
+            .issue_batch(
+                &self.tuples,
+                now_ts,
+                self.cfg.difficulty,
+                self.cfg.preimage_bits,
+                &mut self.issue_scratch,
+            )
+            .expect("validated at config time");
+        core.next_server_isn_batch(&self.flows, &mut self.isns);
+        let stats = core.stats_mut();
+        stats.challenges_sent += self.pending.len() as u64;
+        stats.issue_hashes += self.pending.len() as u64;
+        let cfg = core.config();
+        let (port, adv_mss, use_ts) = (cfg.port, cfg.mss, cfg.use_timestamps);
+        let (k, m) = (self.cfg.difficulty.k(), self.cfg.difficulty.m());
+        for (i, &(flow, client_isn, client_ts)) in self.pending.iter().enumerate() {
+            let embed_ts = !(use_ts && client_ts.is_some());
+            let copt = ChallengeOption {
+                k,
+                m,
+                preimage: self.issue_scratch.preimage(i).to_vec(),
+                timestamp: embed_ts.then_some(now_ts),
+            };
+            let mut b = SegmentBuilder::new(port, flow.port)
+                .seq(self.isns[i])
+                .ack_num(client_isn.wrapping_add(1))
+                .flags(TcpFlags::SYN | TcpFlags::ACK)
+                .mss(adv_mss);
+            if let (true, Some(tsval)) = (use_ts, client_ts) {
+                b = b.timestamps(now_ts, tsval);
+            }
+            out.replies
+                .push((flow.addr, b.option(TcpOption::Challenge(copt)).build()));
+        }
+        self.pending.clear();
     }
 
     fn classify_ack(
@@ -916,6 +1202,12 @@ impl<B: HashBackend> DefensePolicy<B> for PuzzleDefense<B> {
     }
 
     fn set_difficulty(&mut self, difficulty: Difficulty) -> bool {
+        // Same config-time validation as construction: refusing an
+        // incompatible retune keeps the hot-path "validated at config
+        // time" invariant honest.
+        if validate_preimage_bits(self.cfg.preimage_bits, difficulty).is_err() {
+            return false;
+        }
         self.set_difficulty_inner(difficulty);
         true
     }
@@ -988,6 +1280,21 @@ impl<B: HashBackend> DefensePolicy<B> for AdaptivePuzzleDefense<B> {
         out: &mut ListenerOutput,
     ) -> SynDisposition {
         self.inner.on_syn(core, now, flow, seg, pressure, out)
+    }
+
+    fn classify_syn(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        pressure: QueuePressure,
+    ) -> SynClass {
+        self.inner.classify_syn(core, now, flow, seg, pressure)
+    }
+
+    fn issue_flush(&mut self, core: &mut ListenerCore<B>, now: SimTime, out: &mut ListenerOutput) {
+        self.inner.issue_flush(core, now, out);
     }
 
     fn classify_ack(
@@ -1127,6 +1434,38 @@ impl<B: HashBackend> DefensePolicy<B> for Stacked<B> {
             }
         }
         disposition
+    }
+
+    fn classify_syn(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        pressure: QueuePressure,
+    ) -> SynClass {
+        // Mirror of the `on_syn` fold: a layer classifying `Pass` has
+        // promised its `on_syn` is a side-effect-free admit/decline, so
+        // later layers may still claim the SYN. The first layer that
+        // defers (its `on_syn` would have absorbed the SYN) or makes no
+        // promise short-circuits, exactly like `Handled` does above.
+        for layer in &mut self.layers {
+            match layer.classify_syn(core, now, flow, seg, pressure) {
+                SynClass::Pass => continue,
+                other => return other,
+            }
+        }
+        SynClass::Pass
+    }
+
+    fn issue_flush(&mut self, core: &mut ListenerCore<B>, now: SimTime, out: &mut ListenerOutput) {
+        // Queue pressure is constant across a deferred run (a flush
+        // precedes anything that could change it), so at most one layer
+        // holds pending SYNs at any flush; delegating in layer order
+        // therefore preserves arrival order.
+        for layer in &mut self.layers {
+            layer.issue_flush(core, now, out);
+        }
     }
 
     fn classify_ack(

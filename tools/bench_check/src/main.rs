@@ -321,14 +321,17 @@ mod tests {
     {"id": "backend/verify_batch/256", "ns_per_iter": 367214.8, "iterations": 5460, "throughput_elements": 256},
     {"id": "sharded/on_segments/8", "ns_per_iter": 123456.7, "iterations": 16000},
     {"id": "sharded_persistent/on_segments/1", "ns_per_iter": 400000.0, "iterations": 5000},
-    {"id": "sharded_persistent/on_segments/4", "ns_per_iter": 160000.0, "iterations": 12000}
+    {"id": "sharded_persistent/on_segments/4", "ns_per_iter": 160000.0, "iterations": 12000},
+    {"id": "backend/issue_batch/256", "ns_per_iter": 30000.0, "iterations": 60000, "throughput_elements": 256},
+    {"id": "stack/syn_challenge_batch/1", "ns_per_iter": 350000.0, "iterations": 5500},
+    {"id": "stack/syn_challenge_batch/256", "ns_per_iter": 100000.0, "iterations": 19000}
   ]
 }"#;
 
     #[test]
     fn parses_the_shim_report_format() {
         let entries = parse_report(SAMPLE);
-        assert_eq!(entries.len(), 5);
+        assert_eq!(entries.len(), 8);
         assert_eq!(entries[0].id, "sha256/64B");
         assert!((entries[0].ns_per_iter - 680.2).abs() < 1e-9);
         assert_eq!(entries[1].id, "backend/verify_batch/256");
@@ -376,6 +379,17 @@ mod tests {
             factor: 1.5,
         };
         assert!(check_scaling(&entries, &missing).is_err());
+    }
+
+    #[test]
+    fn issuance_guard_shape() {
+        // The CI issuance guard (`stack/syn_challenge_batch:256:3.0`):
+        // 350000 / 100000 = 3.5x over the scalar per-SYN baseline leg.
+        let entries = parse_report(SAMPLE);
+        let req = parse_scaling_spec("stack/syn_challenge_batch:256:3.0").expect("valid spec");
+        assert_eq!(check_scaling(&entries, &req), Ok(true));
+        let too_strict = parse_scaling_spec("stack/syn_challenge_batch:256:4.0").expect("valid");
+        assert_eq!(check_scaling(&entries, &too_strict), Ok(false));
     }
 
     #[test]
