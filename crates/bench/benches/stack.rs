@@ -130,6 +130,49 @@ fn bench_syn_challenge_batch(c: &mut Criterion) {
     });
 }
 
+/// The same 256-SYN batched-vs-scalar comparison through the
+/// near-stateless windowed policy: every pre-image is one SHA-256
+/// compression over the per-window PRF nonce and the tuple (the nonce
+/// HMAC itself amortizes to nothing across the batch), so the windowed
+/// batch path must stay in the same class as classic batched issuance —
+/// `ns(/1) / ns(/256)` is the windowed batch speedup.
+fn bench_syn_challenge_stateless_batch(c: &mut Criterion) {
+    let pc = PuzzleConfig {
+        difficulty: Difficulty::new(2, 17).expect("valid"),
+        preimage_bits: 32,
+        expiry: 8,
+        verify: VerifyMode::Real,
+        hold: SimDuration::from_secs(3600),
+        verify_workers: 1,
+    };
+    let backend = puzzle_crypto::auto_backend();
+    let batch = challenged_batch();
+    let mut cfg = ListenerConfig::new(SERVER, 80);
+    cfg.backlog = 0; // permanent pressure: every SYN is challenged
+    c.bench_function("stack/syn_challenge_stateless_batch/1", |b| {
+        let mut l = Listener::with_policy(
+            cfg.clone(),
+            ServerSecret::from_bytes([7; 32]),
+            puzzle_crypto::ScalarBackend,
+            &PolicyBuilder::stateless_puzzles(pc.clone(), 8),
+        );
+        b.iter(|| {
+            for (src, seg) in &batch {
+                black_box(l.on_segment(SimTime::ZERO, *src, seg));
+            }
+        })
+    });
+    c.bench_function("stack/syn_challenge_stateless_batch/256", |b| {
+        let mut l = Listener::with_policy(
+            cfg.clone(),
+            ServerSecret::from_bytes([7; 32]),
+            backend,
+            &PolicyBuilder::stateless_puzzles(pc.clone(), 8),
+        );
+        b.iter(|| l.on_segments(SimTime::ZERO, black_box(&batch)))
+    });
+}
+
 /// The conn-flood-shaped shard workload: 256 SYNs from 256 distinct
 /// flows against latched puzzles, so every segment costs a challenge
 /// HMAC — the admission-path workload the paper's cost model assumes
@@ -302,5 +345,5 @@ fn bench_fleet_step(c: &mut Criterion) {
     });
 }
 
-criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_syn_stateful, bench_syn_cookie, bench_syn_challenge, bench_syn_challenge_batch, bench_sharded_step, bench_sharded_persistent_step, bench_event_queue, bench_fleet_step}
+criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_syn_stateful, bench_syn_cookie, bench_syn_challenge, bench_syn_challenge_batch, bench_syn_challenge_stateless_batch, bench_sharded_step, bench_sharded_persistent_step, bench_event_queue, bench_fleet_step}
 criterion_main!(benches);

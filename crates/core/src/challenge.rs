@@ -110,7 +110,10 @@ impl Challenge {
     pub fn from_wire(params: ChallengeParams, preimage: Vec<u8>) -> Result<Self, IssueError> {
         validate_preimage_bits(params.preimage_bits as u16, params.difficulty)?;
         if preimage.len() != params.preimage_len() {
-            return Err(IssueError::BadPreimageLength(preimage.len() as u16 * 8));
+            // Saturate: an oversized wire pre-image (e.g. 8192 bytes)
+            // must not wrap the reported bit length around to 0.
+            let bits = u16::try_from(preimage.len().saturating_mul(8)).unwrap_or(u16::MAX);
+            return Err(IssueError::BadPreimageLength(bits));
         }
         Ok(Challenge { params, preimage })
     }
@@ -205,6 +208,34 @@ pub(crate) fn push_preimage_message(
     let ts = timestamp.to_be_bytes();
     let tb = tuple.to_bytes();
     arena.push_parts(&[secret.as_bytes(), &ts, &tb]);
+}
+
+/// `P = first l bits of h(N_w ‖ packet-data)` — the near-stateless
+/// variant of [`compute_preimage`], binding the challenge to a
+/// PRF-derived window nonce `N_w` instead of `(secret, T)` directly.
+/// The window index travels in the challenge's `timestamp` field, so
+/// verification recomputes the same nonce from echoed fields alone.
+pub fn compute_windowed_preimage<B: HashBackend>(
+    backend: &B,
+    nonce: &puzzle_crypto::Digest,
+    tuple: &ConnectionTuple,
+    len_bytes: usize,
+) -> Vec<u8> {
+    let digest = backend.sha256_parts(&[nonce, &tuple.to_bytes()]);
+    digest[..len_bytes].to_vec()
+}
+
+/// Appends the exact message bytes hashed by
+/// [`compute_windowed_preimage`] to the batch arena. The message is
+/// `32 + 16 = 48` bytes — within one SHA-256 block, so batched windowed
+/// issuance stays one compression per SYN.
+pub(crate) fn push_windowed_preimage_message(
+    arena: &mut MessageArena,
+    nonce: &puzzle_crypto::Digest,
+    tuple: &ConnectionTuple,
+) {
+    let tb = tuple.to_bytes();
+    arena.push_parts(&[nonce, &tb]);
 }
 
 /// Shared sub-solution predicate used by both solver and verifier.
@@ -361,6 +392,53 @@ mod tests {
         assert_eq!(c, rebuilt);
         // Wrong pre-image length rejected.
         assert!(Challenge::from_wire(c.params(), vec![0; 7]).is_err());
+    }
+
+    #[test]
+    fn from_wire_reports_oversized_preimage_without_wrapping() {
+        // Regression: the error payload used to be computed as
+        // `len as u16 * 8`, so an 8192-byte wire pre-image reported a
+        // bit length of 0 (8192 * 8 = 65536 ≡ 0 mod 2^16). Oversized
+        // pre-images must saturate instead.
+        let c = Challenge::issue(&secret(), &tuple(), 9, diff(2, 10), 64).unwrap();
+        assert_eq!(
+            Challenge::from_wire(c.params(), vec![0; 8192]).unwrap_err(),
+            IssueError::BadPreimageLength(u16::MAX)
+        );
+        // A merely-wrong (in-range) length still reports exactly.
+        assert_eq!(
+            Challenge::from_wire(c.params(), vec![0; 7]).unwrap_err(),
+            IssueError::BadPreimageLength(56)
+        );
+    }
+
+    #[test]
+    fn windowed_preimage_binds_nonce_and_tuple() {
+        use puzzle_crypto::{ScalarBackend, WindowPrf};
+        let prf = WindowPrf::new(secret().as_bytes(), 8);
+        let p = compute_windowed_preimage(&ScalarBackend, &prf.nonce(3), &tuple(), 8);
+        assert_eq!(p.len(), 8);
+        // Same (window, tuple) is deterministic; either input changes it.
+        assert_eq!(
+            p,
+            compute_windowed_preimage(&ScalarBackend, &prf.nonce(3), &tuple(), 8)
+        );
+        assert_ne!(
+            p,
+            compute_windowed_preimage(&ScalarBackend, &prf.nonce(4), &tuple(), 8)
+        );
+        let mut t2 = tuple();
+        t2.src_port += 1;
+        assert_ne!(
+            p,
+            compute_windowed_preimage(&ScalarBackend, &prf.nonce(3), &t2, 8)
+        );
+        // Arena staging hashes the identical message.
+        let mut arena = MessageArena::default();
+        push_windowed_preimage_message(&mut arena, &prf.nonce(3), &tuple());
+        let mut digests = Vec::new();
+        ScalarBackend.sha256_arena(&arena, &mut digests);
+        assert_eq!(p, digests[0][..8].to_vec());
     }
 
     #[test]

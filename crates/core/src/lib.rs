@@ -58,8 +58,8 @@ mod tuple;
 mod verify;
 
 pub use challenge::{
-    compute_preimage, validate_preimage_bits, Challenge, ChallengeParams, Solution,
-    MAX_PREIMAGE_BITS,
+    compute_preimage, compute_windowed_preimage, validate_preimage_bits, Challenge,
+    ChallengeParams, Solution, MAX_PREIMAGE_BITS,
 };
 pub use cost::{sample_solve_hashes, sample_sub_puzzle_hashes, SolveCostModel};
 pub use difficulty::Difficulty;

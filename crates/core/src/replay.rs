@@ -171,6 +171,12 @@ impl ReplayCache {
             shard
                 .entries
                 .retain(|entry| !Self::stale(entry.1, now, max_age));
+            // Recompute the sweep threshold from the shrunken size, as
+            // the opportunistic sweep does. A shard purged down from a
+            // spike would otherwise keep its inflated threshold and
+            // defer the next opportunistic sweep far past the
+            // documented rate×window memory bound.
+            shard.sweep_at = (shard.entries.len() * 2).max(Self::INITIAL_SWEEP_AT);
         }
     }
 
@@ -246,6 +252,33 @@ mod tests {
             cache.insert(&tuple(port), 200, 200, 8);
         }
         assert!(cache.len() < 2000, "sweep never ran: {}", cache.len());
+    }
+
+    #[test]
+    fn purge_restores_sweep_cadence() {
+        // Regression: `purge_expired` used to shrink shards without
+        // recomputing `sweep_at`, so a shard swept down from a spike
+        // kept its inflated threshold (~2× the spike size) and the next
+        // opportunistic sweep was deferred until the shard grew all the
+        // way back — far past the rate×window bound.
+        let cache = ReplayCache::new(1);
+        for port in 0..2000u16 {
+            cache.insert(&tuple(port), 100, 100, 8);
+        }
+        cache.purge_expired(200, 8);
+        assert_eq!(cache.len(), 0);
+        // Modest follow-on traffic: 128 entries that expire by t=400.
+        for port in 0..128u16 {
+            cache.insert(&tuple(port), 300, 300, 8);
+        }
+        // The very next insert past the restored threshold must sweep
+        // the stale entries instead of accumulating toward the old one.
+        cache.insert(&tuple(9000), 400, 400, 8);
+        assert!(
+            cache.len() <= 2,
+            "sweep cadence not restored after purge: {} entries retained",
+            cache.len()
+        );
     }
 
     #[test]

@@ -21,14 +21,15 @@
 use std::sync::Arc;
 
 use crate::challenge::{
-    leading_bits_match, push_preimage_message, push_sub_solution_message, Solution,
+    compute_windowed_preimage, leading_bits_match, push_preimage_message,
+    push_sub_solution_message, push_windowed_preimage_message, Solution,
 };
 use crate::challenge::{Challenge, ChallengeParams};
 use crate::difficulty::Difficulty;
 use crate::error::{IssueError, VerifyError};
 use crate::replay::ReplayCache;
 use crate::tuple::ConnectionTuple;
-use puzzle_crypto::{Digest, HashBackend, MessageArena, ScalarBackend};
+use puzzle_crypto::{Digest, HashBackend, MessageArena, ScalarBackend, WindowPrf};
 
 /// The server's puzzle secret, generated once per listening socket
 /// lifetime (paper §5).
@@ -215,6 +216,11 @@ pub struct Verifier<B: HashBackend = ScalarBackend> {
     backend: B,
     /// Optional replay-window cache consulted by the batch engine.
     replay: Option<Arc<ReplayCache>>,
+    /// Near-stateless windowed mode ([`Verifier::with_window`]): the
+    /// challenge `timestamp` field carries a *window index* instead of a
+    /// clock reading, pre-images bind to the PRF-derived window nonce,
+    /// and freshness is the strict current-or-previous-window check.
+    window: Option<WindowPrf>,
 }
 
 impl Verifier<ScalarBackend> {
@@ -238,6 +244,7 @@ impl<B: HashBackend> Verifier<B> {
             future_skew: 0,
             backend,
             replay: None,
+            window: None,
         }
     }
 
@@ -259,6 +266,45 @@ impl<B: HashBackend> Verifier<B> {
     pub fn with_replay_cache(mut self, cache: Arc<ReplayCache>) -> Self {
         self.replay = Some(cache);
         self
+    }
+
+    /// Switches the verifier into near-stateless *windowed* mode with
+    /// `window_len` clock units per window (rspow's "near-stateless"
+    /// design; paper §5's statelessness property taken to issuance).
+    ///
+    /// In windowed mode a challenge's `timestamp` field carries the
+    /// window index `w = ⌊now / window_len⌋`, its pre-image binds to the
+    /// PRF-derived window nonce `N_w` instead of `(secret, T)` directly
+    /// ([`compute_windowed_preimage`]), and the freshness check becomes
+    /// the strict acceptance window: only the current and the previous
+    /// window verify. The attached [`ReplayCache`] is then keyed
+    /// `(tuple, w)`, so its horizon is bounded by two windows of
+    /// admissions. Use [`Verifier::issue_windowed`] /
+    /// [`Verifier::issue_batch_windowed`] to issue matching challenges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len` is zero.
+    pub fn with_window(mut self, window_len: u32) -> Self {
+        self.window = Some(WindowPrf::new(self.secret.as_bytes(), window_len));
+        self
+    }
+
+    /// The window PRF when in windowed mode ([`Verifier::with_window`]).
+    pub fn window_prf(&self) -> Option<&WindowPrf> {
+        self.window.as_ref()
+    }
+
+    /// The freshness frame verification runs in: `(now, max_age)` in
+    /// clock units for the classic mode, `(current window, 1)` in
+    /// windowed mode. Replay-cache callers outside the batch engine
+    /// (e.g. an oracle-mode policy) must consult the cache in this frame
+    /// so both modes key and age admissions identically.
+    pub fn freshness_frame(&self, now: u32) -> (u32, u32) {
+        match &self.window {
+            Some(prf) => (prf.window_of(now), 1),
+            None => (now, self.max_age),
+        }
     }
 
     /// The configured replay window.
@@ -344,6 +390,99 @@ impl<B: HashBackend> Verifier<B> {
         })
     }
 
+    /// Issues a near-stateless windowed challenge for `tuple` at clock
+    /// reading `now` — the windowed-mode sibling of [`Verifier::issue`].
+    ///
+    /// The returned challenge's `timestamp` field is the *window index*
+    /// `w = ⌊now / window_len⌋`, and its pre-image is
+    /// `h(N_w ‖ tuple)` for the PRF-derived window nonce `N_w`. Still
+    /// one hash per challenge (g(p) = 1); the nonce derivation amortizes
+    /// to one HMAC per window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IssueError`] for invalid `(l, difficulty)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the verifier is in windowed mode
+    /// ([`Verifier::with_window`]).
+    pub fn issue_windowed(
+        &self,
+        tuple: &ConnectionTuple,
+        now: u32,
+        difficulty: Difficulty,
+        preimage_bits: u16,
+    ) -> Result<Challenge, IssueError> {
+        let prf = self
+            .window
+            .as_ref()
+            .expect("issue_windowed requires windowed mode (Verifier::with_window)");
+        crate::challenge::validate_preimage_bits(preimage_bits, difficulty)?;
+        let w = prf.window_of(now);
+        let preimage = compute_windowed_preimage(
+            &self.backend,
+            &prf.nonce(w),
+            tuple,
+            preimage_bits as usize / 8,
+        );
+        Challenge::from_wire(
+            ChallengeParams {
+                difficulty,
+                preimage_bits: preimage_bits as u8,
+                timestamp: w,
+            },
+            preimage,
+        )
+    }
+
+    /// Issues one windowed challenge per tuple in a single batched
+    /// hashing round — the windowed-mode sibling of
+    /// [`Verifier::issue_batch`], with identical scratch/arena mechanics
+    /// and byte-identical pre-images to sequential
+    /// [`Verifier::issue_windowed`]. Every staged message is
+    /// `nonce ‖ tuple` = 48 bytes — inside one SHA-256 block — so the
+    /// batch costs exactly one compression per SYN.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IssueError`] for invalid `(l, difficulty)` pairs —
+    /// validated once per batch, not per tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the verifier is in windowed mode
+    /// ([`Verifier::with_window`]).
+    pub fn issue_batch_windowed(
+        &self,
+        tuples: &[ConnectionTuple],
+        now: u32,
+        difficulty: Difficulty,
+        preimage_bits: u16,
+        scratch: &mut IssueScratch,
+    ) -> Result<ChallengeParams, IssueError> {
+        let prf = self
+            .window
+            .as_ref()
+            .expect("issue_batch_windowed requires windowed mode (Verifier::with_window)");
+        crate::challenge::validate_preimage_bits(preimage_bits, difficulty)?;
+        let w = prf.window_of(now);
+        let nonce = prf.nonce(w);
+        scratch.arena.clear();
+        scratch.digests.clear();
+        scratch.len_bytes = preimage_bits as usize / 8;
+        for tuple in tuples {
+            push_windowed_preimage_message(&mut scratch.arena, &nonce, tuple);
+        }
+        self.backend
+            .sha256_arena(&scratch.arena, &mut scratch.digests);
+        Ok(ChallengeParams {
+            difficulty,
+            preimage_bits: preimage_bits as u8,
+            timestamp: w,
+        })
+    }
+
     /// Verifies a returned solution against the echoed challenge fields.
     ///
     /// The checks, in order (cheapest first, as the kernel patch does):
@@ -381,13 +520,21 @@ impl<B: HashBackend> Verifier<B> {
 
         // Recompute the pre-image (1 hash) and check each sub-solution.
         let expected_len = params.preimage_len();
-        let preimage = crate::challenge::compute_preimage(
-            &self.backend,
-            &self.secret,
-            tuple,
-            params.timestamp,
-            expected_len,
-        );
+        let preimage = match &self.window {
+            Some(prf) => compute_windowed_preimage(
+                &self.backend,
+                &prf.nonce(params.timestamp),
+                tuple,
+                expected_len,
+            ),
+            None => crate::challenge::compute_preimage(
+                &self.backend,
+                &self.secret,
+                tuple,
+                params.timestamp,
+                expected_len,
+            ),
+        };
         let mut hashes = 1u64;
         for (i, proof) in solution.proofs().iter().enumerate() {
             hashes += 1;
@@ -512,6 +659,13 @@ impl<B: HashBackend> Verifier<B> {
         scratch.arena.clear();
         scratch.digests.clear();
         let mut hashes = 0u64;
+        // Replay admissions age in the verifier's freshness frame (clock
+        // units classically, window indices in windowed mode).
+        let (frame_now, frame_age) = self.freshness_frame(now);
+        // Windowed mode: at most two window nonces are live per batch
+        // (precheck admits only the current and previous window), so a
+        // two-slot memo keyed by window parity amortizes the HMAC.
+        let mut nonce_memo: [Option<(u32, Digest)>; 2] = [None, None];
 
         // Round 0: freshness + structural checks and replay pre-screen (no
         // hashing); survivors get their pre-image message staged in the
@@ -522,19 +676,34 @@ impl<B: HashBackend> Verifier<B> {
                 Err(e) => scratch.verdicts.push(Err(e)),
                 Ok(()) => {
                     if let Some(cache) = &self.replay {
-                        if cache.contains(tuple, params.timestamp, now, self.max_age) {
+                        if cache.contains(tuple, params.timestamp, frame_now, frame_age) {
                             scratch.verdicts.push(Err(VerifyError::Replayed));
                             continue;
                         }
                     }
                     scratch.verdicts.push(Ok(()));
                     scratch.live.push((j as u32, [0u8; 32]));
-                    push_preimage_message(
-                        &mut scratch.arena,
-                        &self.secret,
-                        tuple,
-                        params.timestamp,
-                    );
+                    match &self.window {
+                        Some(prf) => {
+                            let w = params.timestamp;
+                            let slot = &mut nonce_memo[(w & 1) as usize];
+                            let nonce = match slot {
+                                Some((cached_w, n)) if *cached_w == w => *n,
+                                _ => {
+                                    let n = prf.nonce(w);
+                                    *slot = Some((w, n));
+                                    n
+                                }
+                            };
+                            push_windowed_preimage_message(&mut scratch.arena, &nonce, tuple);
+                        }
+                        None => push_preimage_message(
+                            &mut scratch.arena,
+                            &self.secret,
+                            tuple,
+                            params.timestamp,
+                        ),
+                    }
                 }
             }
         }
@@ -592,7 +761,7 @@ impl<B: HashBackend> Verifier<B> {
             for j in 0..count {
                 if scratch.verdicts[j].is_ok() {
                     let (tuple, params, _) = &requests[at(j)];
-                    if !cache.insert(tuple, params.timestamp, now, self.max_age) {
+                    if !cache.insert(tuple, params.timestamp, frame_now, frame_age) {
                         scratch.verdicts[j] = Err(VerifyError::Replayed);
                     }
                 }
@@ -604,6 +773,12 @@ impl<B: HashBackend> Verifier<B> {
 
     /// The hash-free front of the pipeline: freshness window and
     /// structural validation.
+    ///
+    /// Freshness runs in the verifier's frame: in classic mode the
+    /// timestamp is a clock reading aged against `max_age`; in windowed
+    /// mode it is a window index and only the current and previous
+    /// window pass (the strict acceptance window), so the `Expired` /
+    /// `FutureTimestamp` fields are in window units there.
     #[inline]
     fn precheck(
         &self,
@@ -612,29 +787,37 @@ impl<B: HashBackend> Verifier<B> {
         now: u32,
     ) -> Result<(), VerifyError> {
         // 1. Replay / freshness window.
-        if params.timestamp > now.saturating_add(self.future_skew) {
+        let (frame_now, frame_age) = self.freshness_frame(now);
+        if params.timestamp > frame_now.saturating_add(self.future_skew) {
             return Err(VerifyError::FutureTimestamp {
                 issued_at: params.timestamp,
-                now,
+                now: frame_now,
             });
         }
-        if now.saturating_sub(params.timestamp) > self.max_age {
+        if frame_now.saturating_sub(params.timestamp) > frame_age {
             return Err(VerifyError::Expired {
                 issued_at: params.timestamp,
-                now,
-                max_age: self.max_age,
+                now: frame_now,
+                max_age: frame_age,
             });
         }
 
         // 2. Structural checks.
         let difficulty = params.difficulty;
-        if params.preimage_bits == 0
-            || !params.preimage_bits.is_multiple_of(8)
-            || difficulty.m() >= params.preimage_bits
-        {
+        if params.preimage_bits == 0 || !params.preimage_bits.is_multiple_of(8) {
             return Err(VerifyError::BadParams(IssueError::BadPreimageLength(
                 params.preimage_bits as u16,
             )));
+        }
+        if difficulty.m() >= params.preimage_bits {
+            // The same diagnosis `validate_preimage_bits` gives at issue
+            // time: the failure is the (m, l) relation, not the length.
+            return Err(VerifyError::BadParams(
+                IssueError::DifficultyExceedsPreimage {
+                    m: difficulty.m(),
+                    l: params.preimage_bits as u16,
+                },
+            ));
         }
         if solution.len() != difficulty.k() as usize {
             return Err(VerifyError::WrongSolutionCount {
@@ -1052,5 +1235,169 @@ mod tests {
         let v = v.with_replay_cache(Arc::new(ReplayCache::new(4)));
         assert_eq!(v.verify(&t, &c.params(), &s, 100), Ok(()));
         assert_eq!(v.verify(&t, &c.params(), &s, 100), Ok(()));
+    }
+
+    #[test]
+    fn precheck_reports_difficulty_exceeds_preimage() {
+        // Regression: `m >= preimage_bits` used to be folded into the
+        // structural `BadPreimageLength` arm, misreporting the failure.
+        // It must diagnose the (m, l) relation like `validate_preimage_bits`.
+        let (v, t, c, s) = setup(1, 6);
+        let mut p = c.params();
+        p.preimage_bits = 6; // not a multiple of 8: still a length error
+        assert_eq!(
+            v.verify(&t, &p, &s, 100),
+            Err(VerifyError::BadParams(IssueError::BadPreimageLength(6)))
+        );
+        p.preimage_bits = 8; // multiple of 8, but m = 6 is too close…
+        p.difficulty = Difficulty::new(1, 8).unwrap(); // …make m = l = 8
+        assert_eq!(
+            v.verify(&t, &p, &s, 100),
+            Err(VerifyError::BadParams(
+                IssueError::DifficultyExceedsPreimage { m: 8, l: 8 }
+            ))
+        );
+    }
+
+    fn setup_windowed(window_len: u32) -> (Verifier, ConnectionTuple) {
+        let secret = ServerSecret::from_bytes([13u8; 32]);
+        let verifier = Verifier::new(secret).with_window(window_len);
+        let tuple = ConnectionTuple::new(
+            Ipv4Addr::new(172, 16, 0, 1),
+            40000,
+            Ipv4Addr::new(172, 16, 0, 2),
+            8080,
+            555,
+        );
+        (verifier, tuple)
+    }
+
+    #[test]
+    fn windowed_issue_binds_window_and_accepts_two_windows() {
+        let (v, t) = setup_windowed(8);
+        let d = Difficulty::new(1, 5).unwrap();
+        let c = v.issue_windowed(&t, 100, d, 64).unwrap();
+        // timestamp field carries the window index, not the clock.
+        assert_eq!(c.params().timestamp, 100 / 8);
+        let s = Solver::new().solve(&c).solution;
+        // Anywhere inside the issuing window…
+        assert_eq!(v.verify(&t, &c.params(), &s, 96), Ok(()));
+        assert_eq!(v.verify(&t, &c.params(), &s, 103), Ok(()));
+        // …and the whole next window (the "previous window" allowance)…
+        assert_eq!(v.verify(&t, &c.params(), &s, 111), Ok(()));
+        // …but two windows on, the strict acceptance window closes.
+        assert_eq!(
+            v.verify(&t, &c.params(), &s, 112),
+            Err(VerifyError::Expired {
+                issued_at: 12,
+                now: 14,
+                max_age: 1
+            })
+        );
+    }
+
+    #[test]
+    fn windowed_future_window_rejected() {
+        let (v, t) = setup_windowed(8);
+        let d = Difficulty::new(1, 5).unwrap();
+        let c = v.issue_windowed(&t, 104, d, 64).unwrap(); // window 13
+        let s = Solver::new().solve(&c).solution;
+        assert_eq!(
+            v.verify(&t, &c.params(), &s, 100), // window 12: one early
+            Err(VerifyError::FutureTimestamp {
+                issued_at: 13,
+                now: 12
+            })
+        );
+    }
+
+    #[test]
+    fn windowed_nonce_rotation_invalidates_old_preimages() {
+        // A challenge re-derived in a later window has a different
+        // pre-image for the same tuple: the PRF nonce rotated.
+        let (v, t) = setup_windowed(8);
+        let d = Difficulty::new(1, 5).unwrap();
+        let c0 = v.issue_windowed(&t, 100, d, 64).unwrap();
+        let c1 = v.issue_windowed(&t, 108, d, 64).unwrap();
+        assert_ne!(c0.preimage(), c1.preimage());
+        // Same window: identical challenge (deterministic, stateless).
+        assert_eq!(
+            c0,
+            v.issue_windowed(&t, 96, d, 64).unwrap(),
+            "same window must re-derive the same challenge"
+        );
+    }
+
+    #[test]
+    fn windowed_batch_matches_sequential() {
+        let (v, _) = setup_windowed(8);
+        let d = Difficulty::new(2, 6).unwrap();
+        let tuples: Vec<ConnectionTuple> = (0..5)
+            .map(|i| {
+                ConnectionTuple::new(
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    4000 + i,
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    80,
+                    i as u32,
+                )
+            })
+            .collect();
+        // Batched issuance is byte-identical to sequential.
+        let mut scratch = IssueScratch::new();
+        let params = v
+            .issue_batch_windowed(&tuples, 100, d, 64, &mut scratch)
+            .unwrap();
+        let mut requests = Vec::new();
+        for (i, t) in tuples.iter().enumerate() {
+            let c = v.issue_windowed(t, 100, d, 64).unwrap();
+            assert_eq!(c.preimage(), scratch.preimage(i), "tuple {i}");
+            assert_eq!(c.params(), params);
+            let s = Solver::new().solve(&c).solution;
+            requests.push((*t, c.params(), s));
+        }
+        // Corrupt one request so verdicts are not all-Ok.
+        requests[3].2 = Solution::new(vec![vec![0u8; 8], vec![0u8; 8]]);
+        let batch = v.verify_batch(&requests, 101);
+        let mut seq_hashes = 0u64;
+        for (i, (t, p, s)) in requests.iter().enumerate() {
+            let (verdict, hashes) = v.verify_counted(t, p, s, 101);
+            assert_eq!(batch.verdicts[i], verdict, "request {i}");
+            seq_hashes += hashes;
+        }
+        assert_eq!(batch.hashes, seq_hashes);
+    }
+
+    #[test]
+    fn windowed_replay_keyed_per_window() {
+        let (v, t) = setup_windowed(8);
+        let v = v.with_replay_cache(Arc::new(ReplayCache::new(4)));
+        let d = Difficulty::new(1, 5).unwrap();
+        let c = v.issue_windowed(&t, 100, d, 64).unwrap();
+        let s = Solver::new().solve(&c).solution;
+        let req = vec![(t, c.params(), s)];
+        assert_eq!(v.verify_batch(&req, 100).verdicts[0], Ok(()));
+        // Same (tuple, window): a replay, anywhere in the acceptance
+        // window — even from the next window.
+        assert_eq!(
+            v.verify_batch(&req, 101).verdicts[0],
+            Err(VerifyError::Replayed)
+        );
+        assert_eq!(
+            v.verify_batch(&req, 110).verdicts[0],
+            Err(VerifyError::Replayed)
+        );
+        // Next window: a fresh challenge for the same tuple is a new
+        // replay identity and admits once.
+        let c2 = v.issue_windowed(&t, 110, d, 64).unwrap();
+        let s2 = Solver::new().solve(&c2).solution;
+        let req2 = vec![(t, c2.params(), s2)];
+        assert_eq!(v.verify_batch(&req2, 110).verdicts[0], Ok(()));
+        assert_eq!(
+            v.verify_batch(&req2, 110).verdicts[0],
+            Err(VerifyError::Replayed)
+        );
+        // The cache holds one admission per (tuple, window).
+        assert_eq!(v.replay_cache().unwrap().len(), 2);
     }
 }

@@ -15,6 +15,9 @@
 //!   ([`HashBackend::sha256_arena_seeded`] with
 //!   [`Sha256Midstate`] seeds), paying only the message's own
 //!   compressions.
+//! * [`WindowPrf`] — PRF-derived time-windowed server nonces for the
+//!   near-stateless issuance path: one labeled HMAC per *window* from the
+//!   cached key-schedule midstates, amortized to nothing per SYN.
 //! * [`hex`] — small hexadecimal encode/decode helpers used by diagnostics
 //!   and tests.
 //! * [`HashBackend`] and its implementations — the pluggable hashing seam
@@ -60,6 +63,7 @@ mod hmac;
 mod multilane;
 mod sha256;
 mod shani;
+mod window;
 
 pub use arena::MessageArena;
 pub use backend::{
@@ -69,3 +73,4 @@ pub use hmac::{HmacKeySchedule, HmacSha256};
 pub use multilane::LANES;
 pub use sha256::{sha256, Digest, Sha256, Sha256Midstate, DIGEST_LEN};
 pub use shani::available as shani_available;
+pub use window::WindowPrf;

@@ -1,0 +1,115 @@
+//! PRF-derived time-windowed nonces (near-stateless issuance support).
+//!
+//! The near-stateless puzzle scheme replaces the per-challenge issuing
+//! timestamp with a coarse *window index* `w = ⌊now / window_len⌋` and a
+//! per-window server nonce `N_w = HMAC(key, label ‖ w)`. Challenges are
+//! then bound to `(N_w, tuple)` instead of `(secret, T, tuple)`: the
+//! server can recompute everything a verification needs from the echoed
+//! window index, so issuance holds no per-flow state at all, and the
+//! replay cache only has to remember admissions for the acceptance
+//! window (current + previous window) instead of an open-ended horizon.
+//!
+//! [`WindowPrf`] is the mechanism half of that design: the HMAC key
+//! schedule is expanded once at keying time ([`HmacKeySchedule`]), so
+//! deriving a window nonce costs only the message compressions from the
+//! cached ipad/opad midstates — two compressions per *window*, amortized
+//! to nothing per SYN. The policy half (acceptance windows, preimage
+//! binding, replay keying) lives in `puzzle-core`.
+
+use crate::hmac::HmacKeySchedule;
+use crate::sha256::Digest;
+
+/// Domain-separation label for window-nonce derivation, so a window
+/// nonce can never collide with any other HMAC the server computes
+/// under the same key (SYN-cookie tags, ISN mints).
+const WINDOW_NONCE_LABEL: &[u8] = b"puzzle-window-nonce-v1";
+
+/// A keyed schedule of time-windowed PRF nonces.
+///
+/// # Example
+///
+/// ```
+/// use puzzle_crypto::WindowPrf;
+///
+/// let prf = WindowPrf::new(b"server-secret", 8);
+/// assert_eq!(prf.window_of(17), 2);
+/// // Same window, same nonce; different window, different nonce.
+/// assert_eq!(prf.nonce(2), prf.nonce(2));
+/// assert_ne!(prf.nonce(2), prf.nonce(3));
+/// ```
+#[derive(Clone, Debug)]
+pub struct WindowPrf {
+    schedule: HmacKeySchedule,
+    window_len: u32,
+}
+
+impl WindowPrf {
+    /// Expands `key` into a window-nonce schedule with `window_len`
+    /// clock units per window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len` is zero.
+    pub fn new(key: &[u8], window_len: u32) -> Self {
+        assert!(window_len > 0, "window length must be non-zero");
+        WindowPrf {
+            schedule: HmacKeySchedule::new(key),
+            window_len,
+        }
+    }
+
+    /// Clock units per window.
+    pub fn window_len(&self) -> u32 {
+        self.window_len
+    }
+
+    /// The window index containing clock reading `now`.
+    pub fn window_of(&self, now: u32) -> u32 {
+        now / self.window_len
+    }
+
+    /// The PRF nonce for window `window`:
+    /// `HMAC(key, label ‖ window_be)`, from the cached midstates (two
+    /// compressions, amortized once per window).
+    pub fn nonce(&self, window: u32) -> Digest {
+        self.schedule
+            .mac_parts(&[WINDOW_NONCE_LABEL, &window.to_be_bytes()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hmac::HmacSha256;
+
+    #[test]
+    fn nonce_is_labeled_hmac_of_window_index() {
+        let prf = WindowPrf::new(b"k", 30);
+        let mut msg = WINDOW_NONCE_LABEL.to_vec();
+        msg.extend_from_slice(&7u32.to_be_bytes());
+        assert_eq!(prf.nonce(7), HmacSha256::mac(b"k", &msg));
+    }
+
+    #[test]
+    fn window_of_floors() {
+        let prf = WindowPrf::new(b"k", 8);
+        assert_eq!(prf.window_of(0), 0);
+        assert_eq!(prf.window_of(7), 0);
+        assert_eq!(prf.window_of(8), 1);
+        assert_eq!(prf.window_of(u32::MAX), u32::MAX / 8);
+    }
+
+    #[test]
+    fn distinct_windows_and_keys_give_distinct_nonces() {
+        let a = WindowPrf::new(b"a", 8);
+        let b = WindowPrf::new(b"b", 8);
+        assert_ne!(a.nonce(1), a.nonce(2));
+        assert_ne!(a.nonce(1), b.nonce(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "window length must be non-zero")]
+    fn zero_window_len_rejected() {
+        let _ = WindowPrf::new(b"k", 0);
+    }
+}

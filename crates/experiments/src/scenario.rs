@@ -234,6 +234,18 @@ impl DefenseSpec {
         DefenseSpec::adaptive_between(2, 12, 20, 60.0, 10)
     }
 
+    /// Near-stateless windowed puzzles (rspow-style issuance): the Nash
+    /// difficulty, challenges bound to `(window, tuple)` under a
+    /// PRF-derived window nonce, zero per-flow state before a valid
+    /// proof, replay admissions purged at every window rollover.
+    pub fn stateless_puzzles() -> DefenseSpec {
+        DefenseSpec::make(
+            "stateless-puzzles",
+            "stateless-k2m17w8",
+            PolicyBuilder::stateless_puzzles(oracle_puzzle_config(2, 17), 8),
+        )
+    }
+
     /// SYN-cache spillover *then* Nash puzzles — the paper's precedence
     /// rules as explicit composition.
     pub fn stacked_syncache_puzzles(capacity: usize) -> DefenseSpec {
@@ -259,13 +271,15 @@ impl DefenseSpec {
             DefenseSpec::nash(),
             DefenseSpec::adaptive(),
             DefenseSpec::stacked_syncache_puzzles(4096),
+            DefenseSpec::stateless_puzzles(),
         ]
     }
 
     /// Resolves a sweep name (`--defense <name>`): registry names
     /// (`none`/`nodefense`, `syncache[-<cap>]`, `cookies`,
-    /// `nash`/`puzzles`, `adaptive`, `stacked`) plus parameterized
-    /// puzzle forms (`puzzles-k<k>m<m>`, `challenges-k<k>m<m>`).
+    /// `nash`/`puzzles`, `adaptive`, `stacked`,
+    /// `stateless-puzzles`/`stateless`) plus parameterized puzzle forms
+    /// (`puzzles-k<k>m<m>`, `challenges-k<k>m<m>`).
     pub fn by_name(name: &str) -> Option<DefenseSpec> {
         match name {
             "none" | "nodefense" => return Some(DefenseSpec::none()),
@@ -276,6 +290,7 @@ impl DefenseSpec {
             "stacked" | "syncache+puzzles" => {
                 return Some(DefenseSpec::stacked_syncache_puzzles(4096))
             }
+            "stateless-puzzles" | "stateless" => return Some(DefenseSpec::stateless_puzzles()),
             _ => {}
         }
         if let Some(cap) = name.strip_prefix("syncache-") {
@@ -750,6 +765,12 @@ pub struct MatrixCell {
     pub goodput_during: f64,
     /// Attack packets the fleet actually sent.
     pub attack_packets: u64,
+    /// Peak retained defence state at the server
+    /// ([`hostsim::ServerMetrics::peak_defense_state_bytes`]): the
+    /// memory-footprint observable showing the near-stateless policy's
+    /// O(acceptance-window) state against the per-flow growth of the
+    /// SYN cache and classic puzzle replay admissions.
+    pub defense_state_peak: u64,
 }
 
 impl MatrixCell {
@@ -766,7 +787,7 @@ impl fmt::Display for MatrixCell {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} x {} x {} flows x {} shards x seed {}: {:.0} -> {:.0} kB/s ({:.0}% retained) digest {}",
+            "{} x {} x {} flows x {} shards x seed {}: {:.0} -> {:.0} kB/s ({:.0}% retained) state_peak {} B digest {}",
             self.defense,
             self.attack,
             self.flows,
@@ -775,6 +796,7 @@ impl fmt::Display for MatrixCell {
             self.goodput_before / 1e3,
             self.goodput_during / 1e3,
             self.retained() * 100.0,
+            self.defense_state_peak,
             &self.digest[..16],
         )
     }
@@ -929,6 +951,7 @@ impl Matrix {
             goodput_before: goodput.mean_rate_between(b0, b1),
             goodput_during: goodput.mean_rate_between(a0, a1),
             attack_packets: tb.bot_fleets().map(|f| f.stats().packets_sent).sum(),
+            defense_state_peak: tb.server_metrics().peak_defense_state_bytes,
         }
     }
 

@@ -149,6 +149,12 @@ pub struct ServerMetrics {
     pub plain_synack_rate: SampleSeries,
     /// Difficulty bits `m` in force over time (adaptive controller).
     pub difficulty_m: SampleSeries,
+    /// Peak of the defence policy's retained per-flow state
+    /// ([`tcpstack::PolicyStats::state_bytes`]), sampled once per
+    /// second. The near-stateless policy's headline observable: O(the
+    /// acceptance window) where classic puzzles and the SYN cache grow
+    /// with flow count.
+    pub peak_defense_state_bytes: u64,
 }
 
 impl ServerMetrics {
@@ -165,6 +171,7 @@ impl ServerMetrics {
             challenge_rate: SampleSeries::new(),
             plain_synack_rate: SampleSeries::new(),
             difficulty_m: SampleSeries::new(),
+            peak_defense_state_bytes: 0,
         }
     }
 
@@ -454,6 +461,10 @@ impl netsim::Node<TcpSegment> for ServerHost {
                         self.metrics.difficulty_m.push(secs, d.m() as f64);
                     }
                 }
+                self.metrics.peak_defense_state_bytes = self
+                    .metrics
+                    .peak_defense_state_bytes
+                    .max(ps.state_bytes as u64);
                 self.prev_tick_stats = s;
                 ctx.set_timer(SimDuration::from_secs(1), tag(K_TICK, 0));
             }

@@ -60,9 +60,9 @@ pub use listener::{
 };
 pub use options::{ChallengeOption, OptionDecodeError, SolutionOption, TcpOption};
 pub use policy::{
-    AckClass, AckDisposition, AdaptivePuzzleDefense, DefensePolicy, NoDefense, PendingSolution,
-    PolicyBuilder, PolicyStats, PuzzleDefense, QueuePressure, Stacked, SynCacheDefense, SynClass,
-    SynCookieDefense, SynDisposition,
+    AckClass, AckDisposition, AdaptivePuzzleDefense, DefensePolicy, NearStatelessPuzzleDefense,
+    NoDefense, PendingSolution, PolicyBuilder, PolicyStats, PuzzleDefense, QueuePressure, Stacked,
+    SynCacheDefense, SynClass, SynCookieDefense, SynDisposition,
 };
 pub use segment::{
     SegmentBuilder, SegmentDecodeError, TcpFlags, TcpSegment, MAX_OPTIONS_LEN, TCP_HEADER_LEN,

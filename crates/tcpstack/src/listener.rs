@@ -1717,6 +1717,236 @@ mod tests {
         ));
     }
 
+    fn stateless_listener(
+        backlog: usize,
+        accept_backlog: usize,
+        verify: VerifyMode,
+        window_len: u32,
+    ) -> Listener {
+        listener(
+            PolicyBuilder::stateless_puzzles(puzzle_config(verify), window_len),
+            backlog,
+            accept_backlog,
+        )
+    }
+
+    /// Completes a windowed challenged handshake with the real solver.
+    /// Unlike [`solve_and_ack`] there is nothing to recompute server-side
+    /// knowledge for: the client solves exactly the wire pre-image and
+    /// echoes the window index the SYN-ACK carried.
+    fn solve_windowed_and_ack(
+        client_port: u16,
+        client_isn: u32,
+        challenged: &TcpSegment,
+    ) -> TcpSegment {
+        let copt = challenged.challenge().expect("challenge expected");
+        let issued = challenged
+            .timestamps()
+            .map(|(tsval, _)| tsval)
+            .or(copt.timestamp)
+            .unwrap();
+        let challenge = puzzle_core::Challenge::from_wire(
+            puzzle_core::ChallengeParams {
+                difficulty: Difficulty::new(copt.k, copt.m).unwrap(),
+                preimage_bits: copt.l_bits(),
+                timestamp: issued,
+            },
+            copt.preimage.clone(),
+        )
+        .unwrap();
+        let solved = Solver::new().solve(&challenge);
+        let sol = SolutionOption::build(1460, 7, solved.solution.proofs(), None);
+        SegmentBuilder::new(client_port, 80)
+            .seq(client_isn.wrapping_add(1))
+            .ack_num(challenged.seq.wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .timestamps(2, issued)
+            .option(TcpOption::Solution(sol))
+            .build()
+    }
+
+    #[test]
+    fn stateless_puzzles_challenge_carries_window_and_solution_establishes() {
+        let mut l = stateless_listener(1, 4, VerifyMode::Real, 8);
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 1)); // fills backlog
+        let out = l.on_segment(t(9), CLIENT_IP, &syn(2000, 500));
+        let challenged = out.replies[0].1.clone();
+        assert!(challenged.challenge().is_some());
+        // The SYN-ACK's tsval is the window index (t = 9 s, 8 s windows
+        // → window 1), which the client echoes back as tsecr.
+        assert_eq!(challenged.timestamps().unwrap().0, 1);
+        assert_eq!(l.stats().challenges_sent, 1);
+        // Issuance left no per-flow state anywhere: the queues are
+        // untouched and the policy holds nothing for the flow.
+        assert_eq!(l.queue_depths(), (1, 0));
+        assert_eq!(l.policy_stats().state_bytes, 0);
+
+        // Solving inside the next window still verifies (strict window:
+        // current or previous).
+        let ack = solve_windowed_and_ack(2000, 500, &challenged);
+        let out = l.on_segment(t(17), CLIENT_IP, &ack);
+        assert!(
+            matches!(
+                out.events.as_slice(),
+                [ListenerEvent::Established {
+                    via: EstablishedVia::Puzzle,
+                    ..
+                }]
+            ),
+            "events: {:?}",
+            out.events
+        );
+        assert_eq!(l.stats().established_puzzle, 1);
+        // The admission is the policy's first and only retained state:
+        // one `(tuple, window)` replay entry.
+        assert_eq!(
+            l.policy_stats().state_bytes,
+            std::mem::size_of::<(u128, u32)>()
+        );
+    }
+
+    #[test]
+    fn stateless_puzzles_reject_solutions_outside_acceptance_window() {
+        let mut l = stateless_listener(1, 4, VerifyMode::Real, 8);
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(2000, 500));
+        let challenged = out.replies[0].1.clone();
+        let ack = solve_windowed_and_ack(2000, 500, &challenged);
+        // Two windows later the issuing window is neither current nor
+        // previous: the nonce has rotated out and the solution is dead,
+        // however correct it is.
+        let out = l.on_segment(t(16), CLIENT_IP, &ack);
+        assert!(
+            matches!(
+                out.events.as_slice(),
+                [ListenerEvent::SolutionRejected { .. }]
+            ),
+            "events: {:?}",
+            out.events
+        );
+        assert_eq!(l.stats().established_puzzle, 0);
+    }
+
+    #[test]
+    fn stateless_puzzles_oracle_roundtrip_and_post_proof_replay() {
+        let mut l = stateless_listener(1, 4, VerifyMode::Oracle, 8);
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(2000, 500));
+        let challenged = out.replies[0].1.clone();
+        let copt = challenged.challenge().unwrap();
+        let issued = challenged.timestamps().unwrap().0;
+        assert_eq!(issued, 0); // window index, t = 0 → window 0
+        let secret = ServerSecret::from_bytes([7; 32]);
+        let proofs: Vec<Vec<u8>> = (1..=copt.k)
+            .map(|i| oracle_proof(&secret, &copt.preimage, i, 4))
+            .collect();
+        let sol = SolutionOption::build(1460, 7, &proofs, None);
+        let good = SegmentBuilder::new(2000, 80)
+            .seq(501)
+            .ack_num(challenged.seq.wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .timestamps(2, issued)
+            .option(TcpOption::Solution(sol))
+            .build();
+        let out = l.on_segment(t(1), CLIENT_IP, &good);
+        assert!(matches!(
+            out.events.as_slice(),
+            [ListenerEvent::Established {
+                via: EstablishedVia::Puzzle,
+                ..
+            }]
+        ));
+        // Post-proof replay defence: after the connection closes, the
+        // captured solution ACK cannot re-establish inside the window.
+        let flow = l.accept().expect("established");
+        l.close(flow);
+        let out = l.on_segment(t(2), CLIENT_IP, &good);
+        assert!(
+            matches!(
+                out.events.as_slice(),
+                [ListenerEvent::SolutionRejected { .. }]
+            ),
+            "events: {:?}",
+            out.events
+        );
+        assert_eq!(l.stats().established_puzzle, 1);
+    }
+
+    #[test]
+    fn stateless_puzzles_window_rollover_purges_replay_state() {
+        let mut l = stateless_listener(1, 4, VerifyMode::Real, 8);
+        l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(2000, 500));
+        let challenged = out.replies[0].1.clone();
+        let ack = solve_windowed_and_ack(2000, 500, &challenged);
+        l.on_segment(t(1), CLIENT_IP, &ack);
+        assert_eq!(
+            l.policy_stats().state_bytes,
+            std::mem::size_of::<(u128, u32)>()
+        );
+        // Polling inside the same window keeps the admission; two
+        // rollovers later the entry is outside the acceptance window and
+        // the tick purge drops it — retained state is O(windows).
+        l.poll(t(7));
+        assert_ne!(l.policy_stats().state_bytes, 0);
+        l.poll(t(16));
+        assert_eq!(l.policy_stats().state_bytes, 0);
+    }
+
+    #[test]
+    fn syn_cache_expiry_boundary_same_instant_split() {
+        // Pins the documented (and golden-pinned) boundary split at
+        // `now == expires`: `on_ack` is inclusive — the ACK still
+        // promotes — while `tick`'s reaper is strict — the entry is
+        // removed. An entry's fate at the exact expiry instant therefore
+        // depends on same-instant segment/poll order; this must not
+        // silently drift.
+        let cc = SynCacheConfig {
+            capacity: 8,
+            lifetime: SimDuration::from_secs(5),
+        };
+
+        // ACK arriving exactly at the expiry instant: promoted.
+        let mut l = listener(PolicyBuilder::syn_cache(cc), 0, 4);
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        let synack = out.replies[0].1.clone();
+        let ack = SegmentBuilder::new(1000, 80)
+            .seq(2)
+            .ack_num(synack.seq.wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .build();
+        let out = l.on_segment(t(5), CLIENT_IP, &ack);
+        assert!(
+            matches!(
+                out.events.as_slice(),
+                [ListenerEvent::Established {
+                    via: EstablishedVia::SynCache,
+                    ..
+                }]
+            ),
+            "inclusive on_ack boundary drifted: {:?}",
+            out.events
+        );
+        assert_eq!(l.stats().syncache_expired, 0);
+
+        // Reaper polling at the same instant: removed, and the same ACK
+        // afterwards matches nothing.
+        let mut l = listener(PolicyBuilder::syn_cache(cc), 0, 4);
+        let out = l.on_segment(t(0), CLIENT_IP, &syn(1000, 1));
+        let synack = out.replies[0].1.clone();
+        l.poll(t(5));
+        assert_eq!(l.syn_cache_len(), 0);
+        assert_eq!(l.stats().syncache_expired, 1);
+        let ack = SegmentBuilder::new(1000, 80)
+            .seq(2)
+            .ack_num(synack.seq.wrapping_add(1))
+            .flags(TcpFlags::ACK)
+            .build();
+        let out = l.on_segment(t(5), CLIENT_IP, &ack);
+        assert!(out.events.is_empty(), "events: {:?}", out.events);
+        assert_eq!(l.stats().established_syncache, 0);
+    }
+
     #[test]
     fn accept_queue_pressure_triggers_puzzles_but_not_cookies() {
         // Connection-flood shape: listen queue empty, accept queue full.
@@ -2272,6 +2502,7 @@ mod tests {
                 lifetime: SimDuration::from_secs(5),
             }),
             PolicyBuilder::puzzles(PuzzleConfig::default()),
+            PolicyBuilder::stateless_puzzles(PuzzleConfig::default(), 8),
             PolicyBuilder::stacked(vec![
                 PolicyBuilder::syn_cache(SynCacheConfig {
                     capacity: 2,
@@ -2281,7 +2512,7 @@ mod tests {
             ]),
             PolicyBuilder::stacked(vec![
                 PolicyBuilder::syn_cookies(),
-                PolicyBuilder::puzzles(PuzzleConfig::default()),
+                PolicyBuilder::stateless_puzzles(PuzzleConfig::default(), 8),
             ]),
         ];
         for policy in policies {

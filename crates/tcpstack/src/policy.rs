@@ -34,9 +34,11 @@
 //!    difficulty control.
 //!
 //! Built-in policies: [`NoDefense`], [`SynCacheDefense`],
-//! [`SynCookieDefense`], [`PuzzleDefense`], plus two compositions the old
-//! enum could not express — [`Stacked`] (layered defences with explicit
-//! precedence, e.g. SYN-cache spillover *then* puzzles) and
+//! [`SynCookieDefense`], [`PuzzleDefense`],
+//! [`NearStatelessPuzzleDefense`] (rspow-style windowed issuance with
+//! zero per-flow state before a valid proof), plus two compositions the
+//! old enum could not express — [`Stacked`] (layered defences with
+//! explicit precedence, e.g. SYN-cache spillover *then* puzzles) and
 //! [`AdaptivePuzzleDefense`], which drives
 //! [`AdaptiveDifficulty`](crate::adaptive::AdaptiveDifficulty) from the
 //! listener's own tick path (the paper's §7 closed loop).
@@ -58,10 +60,11 @@ use crate::options::{ChallengeOption, SolutionOption, TcpOption};
 use crate::segment::{SegmentBuilder, TcpFlags, TcpSegment};
 use netsim::{SimDuration, SimTime};
 use puzzle_core::{
-    validate_preimage_bits, BatchScratch, ChallengeParams, ConnectionTuple, Difficulty,
-    IssueScratch, ReplayCache, ServerSecret, Solution, Verifier, VerifyError, VerifyRequest,
+    compute_windowed_preimage, validate_preimage_bits, BatchScratch, ChallengeParams,
+    ConnectionTuple, Difficulty, IssueScratch, ReplayCache, ServerSecret, Solution, Verifier,
+    VerifyError, VerifyRequest,
 };
-use puzzle_crypto::{Digest, HashBackend, MessageArena};
+use puzzle_crypto::{Digest, HashBackend, MessageArena, WindowPrf};
 
 /// Queue fullness observed when a fresh SYN arrives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -160,6 +163,15 @@ pub struct PolicyStats {
     pub difficulty: Option<Difficulty>,
     /// Whether difficulty is under closed-loop (adaptive) control.
     pub adaptive: bool,
+    /// Estimated bytes of per-flow defence state the policy currently
+    /// retains: reduced-state cache entries (one per unproven half-open
+    /// the cache absorbed) plus post-proof replay admissions. Transient
+    /// batch staging is excluded — it is drained within every segment
+    /// batch and is never keyed by flow. This is the memory-footprint
+    /// observable behind the near-stateless comparison: a defence whose
+    /// pre-proof state is zero shows only its replay admissions here,
+    /// O(admission rate × acceptance window), never O(attack flows).
+    pub state_bytes: usize,
 }
 
 /// A composable defence: one hook per handshake phase. See the module
@@ -379,6 +391,24 @@ impl<B: HashBackend + 'static> PolicyBuilder<B> {
     pub fn puzzles(cfg: PuzzleConfig) -> Self {
         PolicyBuilder::new("puzzles", move |secret, backend| {
             Box::new(PuzzleDefense::new(cfg.clone(), secret, backend))
+        })
+    }
+
+    /// Near-stateless client puzzles (the rspow design): challenges are
+    /// bound to a PRF-derived time-windowed server nonce instead of a
+    /// per-challenge clock reading, accepted strictly in the issuing or
+    /// the following window, and the policy holds **zero per-flow state
+    /// until a solution verifies** (replay admissions are the only
+    /// post-proof state). `window_len` is the window length in puzzle
+    /// clock units (seconds).
+    pub fn stateless_puzzles(cfg: PuzzleConfig, window_len: u32) -> Self {
+        PolicyBuilder::new("stateless-puzzles", move |secret, backend| {
+            Box::new(NearStatelessPuzzleDefense::new(
+                cfg.clone(),
+                window_len,
+                secret,
+                backend,
+            ))
         })
     }
 
@@ -804,6 +834,9 @@ impl<B: HashBackend> DefensePolicy<B> for SynCacheDefense {
     fn stats(&self) -> PolicyStats {
         PolicyStats {
             syn_cache_len: self.cache.len(),
+            // Every cache entry is pre-proof per-flow state — exactly
+            // the reduced-state footprint §2.1 trades for capacity.
+            state_bytes: self.cache.len() * std::mem::size_of::<(FlowKey, (u32, SimTime))>(),
             ..PolicyStats::default()
         }
     }
@@ -1215,9 +1248,558 @@ impl<B: HashBackend> DefensePolicy<B> for PuzzleDefense<B> {
     fn stats(&self) -> PolicyStats {
         PolicyStats {
             difficulty: Some(self.cfg.difficulty),
+            state_bytes: replay_state_bytes(&self.verifier),
             ..PolicyStats::default()
         }
     }
+}
+
+/// Estimated bytes the verifier's replay cache currently retains: one
+/// whole-key `(tuple, timestamp)` admission per entry. The classic
+/// defence never purges this cache from its tick path (shards sweep
+/// opportunistically on insert only), so under sustained admissions it
+/// grows with the attack duration until a shard crosses its sweep
+/// threshold; the windowed defence purges every rollover, bounding it
+/// to the acceptance window.
+fn replay_state_bytes<B: HashBackend>(verifier: &Verifier<B>) -> usize {
+    verifier.replay_cache().map_or(0, |c| c.len()) * std::mem::size_of::<(u128, u32)>()
+}
+
+/// Near-stateless client puzzles — the rspow issuance design grafted
+/// onto the paper's §5 challenge flow.
+///
+/// Instead of binding each challenge to a per-challenge clock reading,
+/// the server derives one nonce per *time window* with a PRF over the
+/// window index (`HMAC(secret, label ‖ w)` through the cached
+/// [`puzzle_crypto::HmacKeySchedule`] midstates) and binds every
+/// challenge issued inside that window to `(nonce_w, tuple)`. The
+/// challenge's wire `timestamp` field carries the window index — the
+/// SYN-ACK `tsval` (or the embedded challenge timestamp when TCP
+/// timestamps are off), which clients already echo verbatim — so no
+/// client-side change exists between this policy and [`PuzzleDefense`].
+///
+/// Properties this buys over the classic defence:
+///
+/// * **Zero per-flow state before a valid proof.** Issuance keeps
+///   nothing keyed by flow: the pre-image is recomputable from the
+///   window nonce and the echoed packet fields alone, and
+///   [`DefensePolicy::has_flow_state`] stays `false` until a solution
+///   verifies. The only retained state is O(1) per window (the nonce
+///   memo) plus post-proof replay admissions.
+/// * **Strict acceptance window.** A solution verifies only while its
+///   issuing window is the *current or previous* one — between
+///   `window_len` and `2·window_len` seconds of solving time — and the
+///   replay cache is keyed `(tuple, window)`, so one tuple establishes
+///   at most once per window and the cache is purged at every rollover
+///   (the classic policy's cache only sweeps opportunistically on
+///   insert).
+/// * **One compression per SYN, batched or not.** The windowed
+///   pre-image message `nonce ‖ tuple` is a single SHA-256 block, so a
+///   deferred-issuance flush is one arena sweep with no midstate
+///   seeding, and the per-window nonce HMAC amortizes to nothing.
+#[derive(Debug)]
+pub struct NearStatelessPuzzleDefense<B: HashBackend> {
+    cfg: PuzzleConfig,
+    verifier: Verifier<B>,
+    /// Controller latch: challenge every SYN until this instant.
+    hold_until: SimTime,
+    /// Reusable batch-verification buffers.
+    scratch: BatchScratch,
+    /// SYNs deferred by `classify_syn` awaiting the next `issue_flush`:
+    /// `(flow, client ISN, client TS echo)`. Drained within every
+    /// segment batch — never per-flow state that outlives a batch.
+    pending: Vec<(FlowKey, u32, Option<u32>)>,
+    /// Reusable batched-issuance buffers.
+    issue_scratch: IssueScratch,
+    tuples: Vec<ConnectionTuple>,
+    flows: Vec<FlowKey>,
+    isns: Vec<u32>,
+    /// Window whose nonce derivation has been charged to `issue_hashes`
+    /// (the accounting analogue of the verifier's nonce memo), advanced
+    /// identically by the sequential and batched issue paths.
+    charged_window: Option<u32>,
+    /// Window at whose rollover the replay cache was last purged.
+    purged_window: u32,
+}
+
+impl<B: HashBackend> NearStatelessPuzzleDefense<B> {
+    /// Builds the defence in windowed mode: `window_len` puzzle-clock
+    /// seconds per window, with a sharded [`ReplayCache`] keyed
+    /// `(tuple, window)` for the post-proof replay defence.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.preimage_bits` and `cfg.difficulty` are
+    /// incompatible ([`validate_preimage_bits`]), or when `window_len`
+    /// is zero.
+    pub fn new(cfg: PuzzleConfig, window_len: u32, secret: &ServerSecret, backend: &B) -> Self {
+        validate_preimage_bits(cfg.preimage_bits, cfg.difficulty)
+            .expect("invalid PuzzleConfig: preimage_bits incompatible with difficulty");
+        let verifier = Verifier::with_backend(secret.clone(), backend.clone())
+            .with_window(window_len)
+            .with_replay_cache(Arc::new(ReplayCache::default()));
+        NearStatelessPuzzleDefense {
+            cfg,
+            verifier,
+            hold_until: SimTime::ZERO,
+            scratch: BatchScratch::new(),
+            pending: Vec::new(),
+            issue_scratch: IssueScratch::new(),
+            tuples: Vec::new(),
+            flows: Vec::new(),
+            isns: Vec::new(),
+            charged_window: None,
+            purged_window: 0,
+        }
+    }
+
+    /// Difficulty currently in force.
+    pub fn difficulty(&self) -> Difficulty {
+        self.cfg.difficulty
+    }
+
+    /// The acceptance-window length in puzzle-clock seconds.
+    pub fn window_len(&self) -> u32 {
+        self.window_prf().window_len()
+    }
+
+    fn window_prf(&self) -> &WindowPrf {
+        self.verifier
+            .window_prf()
+            .expect("constructed in windowed mode")
+    }
+
+    /// Charges the per-window nonce HMAC (two passes over the cached
+    /// midstates) exactly once per window, whichever issue path first
+    /// touches the window — so the sequential and batched paths evolve
+    /// `issue_hashes` identically.
+    fn charge_window(&mut self, core: &mut ListenerCore<B>, window: u32) {
+        if self.charged_window != Some(window) {
+            self.charged_window = Some(window);
+            core.stats_mut().issue_hashes += 2;
+        }
+    }
+
+    /// Decodes a solution option into a [`VerifyRequest`] for the batch
+    /// engine; the echoed timestamp is the *window index* the challenge
+    /// was issued under. Returns the request plus the client's re-sent
+    /// MSS.
+    fn parse_solution(
+        &self,
+        core: &ListenerCore<B>,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        sol: &SolutionOption,
+    ) -> Result<(VerifyRequest, u16), VerifyError> {
+        let k = self.cfg.difficulty.k();
+        let ts_echo = seg.timestamps().map(|(_, tsecr)| tsecr);
+        let embedded = ts_echo.is_none();
+        let (proofs, embedded_ts) =
+            sol.split(k, self.cfg.preimage_bits, embedded)
+                .map_err(|_| VerifyError::WrongSolutionCount {
+                    expected: k,
+                    got: 0,
+                })?;
+        let issued_window = ts_echo.or(embedded_ts).unwrap_or(0);
+        let client_isn = seg.seq.wrapping_sub(1);
+        let tuple = core.tuple_for(flow, client_isn);
+        let params = ChallengeParams {
+            difficulty: self.cfg.difficulty,
+            preimage_bits: self.cfg.preimage_bits as u8,
+            timestamp: issued_window,
+        };
+        Ok(((tuple, params, Solution::new(proofs)), sol.mss))
+    }
+
+    /// The verification chokepoint both solution paths share. Real mode
+    /// runs the batch engine, whose windowed freshness frame and
+    /// `(tuple, window)` replay keying come from the verifier itself;
+    /// oracle mode recomputes keyed proofs against the windowed
+    /// pre-image and consults the replay cache in the same frame.
+    fn verify_requests(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now_ts: u32,
+        requests: &[VerifyRequest],
+        verdicts: &mut Vec<Result<(), VerifyError>>,
+    ) {
+        match self.cfg.verify {
+            VerifyMode::Real if self.cfg.verify_workers > 1 => {
+                let batch =
+                    self.verifier
+                        .verify_batch_parallel(requests, now_ts, self.cfg.verify_workers);
+                core.stats_mut().verify_hashes += batch.hashes;
+                verdicts.extend(batch.verdicts);
+            }
+            VerifyMode::Real => {
+                core.stats_mut().verify_hashes +=
+                    self.verifier
+                        .verify_batch_with(requests, now_ts, &mut self.scratch);
+                verdicts.extend_from_slice(self.scratch.verdicts());
+            }
+            VerifyMode::Oracle => {
+                let cache = self.verifier.replay_cache().cloned();
+                let (frame_now, frame_age) = self.verifier.freshness_frame(now_ts);
+                let prf = self.window_prf().clone();
+                verdicts.reserve(requests.len());
+                for (tuple, params, solution) in requests {
+                    if let Some(c) = &cache {
+                        if c.contains(tuple, params.timestamp, frame_now, frame_age) {
+                            verdicts.push(Err(VerifyError::Replayed));
+                            continue;
+                        }
+                    }
+                    let (res, hashes) = oracle_verify_windowed(
+                        core.backend(),
+                        core.secret(),
+                        &prf,
+                        frame_now,
+                        frame_age,
+                        tuple,
+                        params,
+                        solution,
+                    );
+                    core.stats_mut().verify_hashes += hashes;
+                    let res = match (&res, &cache) {
+                        (Ok(()), Some(c))
+                            if !c.insert(tuple, params.timestamp, frame_now, frame_age) =>
+                        {
+                            Err(VerifyError::Replayed)
+                        }
+                        _ => res,
+                    };
+                    verdicts.push(res);
+                }
+            }
+        }
+    }
+}
+
+impl<B: HashBackend> DefensePolicy<B> for NearStatelessPuzzleDefense<B> {
+    fn name(&self) -> &'static str {
+        "stateless-puzzles"
+    }
+
+    fn on_syn(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        pressure: QueuePressure,
+        out: &mut ListenerOutput,
+    ) -> SynDisposition {
+        // Same controller head as `PuzzleDefense`: engage under any
+        // queue pressure, latched for the hysteresis hold.
+        if pressure.any() {
+            self.hold_until = now + self.cfg.hold;
+        }
+        if !pressure.any() && now >= self.hold_until {
+            return SynDisposition::Admit;
+        }
+        let now_ts = puzzle_clock(now);
+        let window = self.window_prf().window_of(now_ts);
+        self.charge_window(core, window);
+        let client_ts = seg.timestamps().map(|(tsval, _)| tsval);
+        let tuple = core.tuple_for(flow, seg.seq);
+        let challenge = self
+            .verifier
+            .issue_windowed(&tuple, now_ts, self.cfg.difficulty, self.cfg.preimage_bits)
+            .expect("validated at config time");
+        let use_ts = core.config().use_timestamps;
+        let embed_ts = !(use_ts && client_ts.is_some());
+        // The echoed timestamp is the *window index*: `tsval` when the
+        // TS option is in play (clients echo it as `tsecr`), embedded
+        // in the challenge block otherwise.
+        let copt = ChallengeOption {
+            k: self.cfg.difficulty.k(),
+            m: self.cfg.difficulty.m(),
+            preimage: challenge.preimage().to_vec(),
+            timestamp: embed_ts.then_some(window),
+        };
+        let server_isn = core.next_server_isn(flow);
+        let cfg = core.config();
+        let mut b = SegmentBuilder::new(cfg.port, flow.port)
+            .seq(server_isn)
+            .ack_num(seg.seq.wrapping_add(1))
+            .flags(TcpFlags::SYN | TcpFlags::ACK)
+            .mss(cfg.mss);
+        if let (true, Some(tsval)) = (use_ts, client_ts) {
+            b = b.timestamps(window, tsval);
+        }
+        let reply = b.option(TcpOption::Challenge(copt)).build();
+        let stats = core.stats_mut();
+        stats.challenges_sent += 1;
+        stats.issue_hashes += 1; // the single-block windowed pre-image
+        out.replies.push((flow.addr, reply));
+        SynDisposition::Handled
+    }
+
+    fn classify_syn(
+        &mut self,
+        _core: &mut ListenerCore<B>,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        pressure: QueuePressure,
+    ) -> SynClass {
+        // Mirror of `on_syn`'s controller head: the hysteresis latch
+        // must advance even for deferred SYNs.
+        if pressure.any() {
+            self.hold_until = now + self.cfg.hold;
+        }
+        if !pressure.any() && now >= self.hold_until {
+            return SynClass::Pass;
+        }
+        self.pending
+            .push((flow, seg.seq, seg.timestamps().map(|(tsval, _)| tsval)));
+        SynClass::Deferred
+    }
+
+    fn issue_flush(&mut self, core: &mut ListenerCore<B>, now: SimTime, out: &mut ListenerOutput) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let now_ts = puzzle_clock(now);
+        let window = self.window_prf().window_of(now_ts);
+        self.charge_window(core, window);
+        self.tuples.clear();
+        self.flows.clear();
+        for &(flow, client_isn, _) in &self.pending {
+            self.tuples.push(core.tuple_for(flow, client_isn));
+            self.flows.push(flow);
+        }
+        // One arena sweep for every windowed pre-image (each a single
+        // compression), then one for the server ISNs in arrival order.
+        self.verifier
+            .issue_batch_windowed(
+                &self.tuples,
+                now_ts,
+                self.cfg.difficulty,
+                self.cfg.preimage_bits,
+                &mut self.issue_scratch,
+            )
+            .expect("validated at config time");
+        core.next_server_isn_batch(&self.flows, &mut self.isns);
+        let stats = core.stats_mut();
+        stats.challenges_sent += self.pending.len() as u64;
+        stats.issue_hashes += self.pending.len() as u64;
+        let cfg = core.config();
+        let (port, adv_mss, use_ts) = (cfg.port, cfg.mss, cfg.use_timestamps);
+        let (k, m) = (self.cfg.difficulty.k(), self.cfg.difficulty.m());
+        for (i, &(flow, client_isn, client_ts)) in self.pending.iter().enumerate() {
+            let embed_ts = !(use_ts && client_ts.is_some());
+            let copt = ChallengeOption {
+                k,
+                m,
+                preimage: self.issue_scratch.preimage(i).to_vec(),
+                timestamp: embed_ts.then_some(window),
+            };
+            let mut b = SegmentBuilder::new(port, flow.port)
+                .seq(self.isns[i])
+                .ack_num(client_isn.wrapping_add(1))
+                .flags(TcpFlags::SYN | TcpFlags::ACK)
+                .mss(adv_mss);
+            if let (true, Some(tsval)) = (use_ts, client_ts) {
+                b = b.timestamps(window, tsval);
+            }
+            out.replies
+                .push((flow.addr, b.option(TcpOption::Challenge(copt)).build()));
+        }
+        self.pending.clear();
+    }
+
+    fn classify_ack(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        pending: usize,
+        out: &mut ListenerOutput,
+    ) -> AckClass {
+        let Some(sol) = seg.solution() else {
+            return AckClass::Sequential;
+        };
+        if core.accept_queue_len() + pending >= core.config().accept_backlog {
+            core.stats_mut().acks_ignored_queue_full += 1;
+            out.events.push(ListenerEvent::AckIgnoredQueueFull { flow });
+            return AckClass::Handled;
+        }
+        match self.parse_solution(core, flow, seg, sol) {
+            Ok((request, mss)) => AckClass::Pending(PendingSolution {
+                flow,
+                ack: seg.ack,
+                mss,
+                request,
+                payload: seg.payload.clone(),
+                fin: seg.flags.contains(TcpFlags::FIN),
+            }),
+            Err(reason) => {
+                core.note_rejection(flow, reason, out);
+                AckClass::Handled
+            }
+        }
+    }
+
+    fn verify(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now_ts: u32,
+        requests: &[VerifyRequest],
+        verdicts: &mut Vec<Result<(), VerifyError>>,
+    ) -> bool {
+        self.verify_requests(core, now_ts, requests, verdicts);
+        true
+    }
+
+    fn on_ack(
+        &mut self,
+        core: &mut ListenerCore<B>,
+        now: SimTime,
+        flow: FlowKey,
+        seg: &TcpSegment,
+        out: &mut ListenerOutput,
+    ) -> AckDisposition {
+        if let Some(sol) = seg.solution() {
+            if core.accept_queue_full() {
+                core.stats_mut().acks_ignored_queue_full += 1;
+                out.events.push(ListenerEvent::AckIgnoredQueueFull { flow });
+                return AckDisposition::Consumed;
+            }
+            match self.parse_solution(core, flow, seg, sol) {
+                Ok((request, mss)) => {
+                    let mut verdicts = core.take_verdict_buf();
+                    self.verify_requests(core, puzzle_clock(now), &[request], &mut verdicts);
+                    let verdict = verdicts.pop().expect("one verdict per request");
+                    core.put_verdict_buf(verdicts);
+                    match verdict {
+                        Ok(()) => {
+                            let mss = mss.min(core.config().mss);
+                            core.finish_establish(
+                                flow,
+                                seg.ack,
+                                mss,
+                                EstablishedVia::Puzzle,
+                                &seg.payload,
+                                seg.flags.contains(TcpFlags::FIN),
+                                out,
+                            );
+                        }
+                        Err(reason) => core.note_rejection(flow, reason, out),
+                    }
+                }
+                Err(reason) => core.note_rejection(flow, reason, out),
+            }
+            return AckDisposition::Consumed;
+        }
+        if seg.payload.is_empty() && !seg.flags.contains(TcpFlags::FIN) {
+            core.stats_mut().acks_without_solution += 1;
+            AckDisposition::Consumed
+        } else {
+            AckDisposition::Unclaimed
+        }
+    }
+
+    fn tick(&mut self, core: &mut ListenerCore<B>, now: SimTime) {
+        let _ = core;
+        // Purge replay admissions at every window rollover: entries are
+        // keyed by window index, so anything older than the previous
+        // window can never be accepted again and is dropped eagerly —
+        // this is what keeps retained state O(windows), not O(flows).
+        let window = self.window_prf().window_of(puzzle_clock(now));
+        if window != self.purged_window {
+            self.purged_window = window;
+            if let Some(cache) = self.verifier.replay_cache() {
+                cache.purge_expired(window, 1);
+            }
+        }
+    }
+
+    // `has_flow_state` deliberately stays the trait default (`false`
+    // for every flow): the policy's defining property is zero per-flow
+    // state before a valid proof.
+
+    fn set_difficulty(&mut self, difficulty: Difficulty) -> bool {
+        if validate_preimage_bits(self.cfg.preimage_bits, difficulty).is_err() {
+            return false;
+        }
+        self.cfg.difficulty = difficulty;
+        true
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            difficulty: Some(self.cfg.difficulty),
+            state_bytes: replay_state_bytes(&self.verifier),
+            ..PolicyStats::default()
+        }
+    }
+}
+
+/// Oracle-mode verification for the windowed defence: identical
+/// structural checks to [`oracle_verify`] but in the window frame — the
+/// echoed timestamp is a window index, freshness is `current or
+/// previous window`, and the pre-image recomputes from the window nonce
+/// and tuple. Charges the real path's hash-count equivalent (1
+/// single-block pre-image + 1 per checked proof; the per-window nonce
+/// HMAC is charged once per window at issuance, mirroring the real
+/// path's amortized memo).
+#[allow(clippy::too_many_arguments)]
+fn oracle_verify_windowed<B: HashBackend>(
+    backend: &B,
+    secret: &ServerSecret,
+    prf: &WindowPrf,
+    frame_now: u32,
+    frame_age: u32,
+    tuple: &ConnectionTuple,
+    params: &ChallengeParams,
+    solution: &Solution,
+) -> (Result<(), VerifyError>, u64) {
+    if params.timestamp > frame_now {
+        return (
+            Err(VerifyError::FutureTimestamp {
+                issued_at: params.timestamp,
+                now: frame_now,
+            }),
+            0,
+        );
+    }
+    if frame_now - params.timestamp > frame_age {
+        return (
+            Err(VerifyError::Expired {
+                issued_at: params.timestamp,
+                now: frame_now,
+                max_age: frame_age,
+            }),
+            0,
+        );
+    }
+    let k = params.difficulty.k();
+    if solution.len() != k as usize {
+        return (
+            Err(VerifyError::WrongSolutionCount {
+                expected: k,
+                got: solution.len(),
+            }),
+            0,
+        );
+    }
+    if let Err(e) = validate_preimage_bits(params.preimage_bits as u16, params.difficulty) {
+        return (Err(VerifyError::BadParams(e)), 0);
+    }
+    let len = params.preimage_bits as usize / 8;
+    let preimage = compute_windowed_preimage(backend, &prf.nonce(params.timestamp), tuple, len);
+    let mut hashes = 1u64;
+    for (i, proof) in solution.proofs().iter().enumerate() {
+        if proof.len() != len {
+            return (Err(VerifyError::BadSolutionLength { index: i }), hashes);
+        }
+        hashes += 1;
+        if proof != &oracle_proof_with(backend, secret, &preimage, i as u8 + 1, len) {
+            return (Err(VerifyError::Invalid { index: i }), hashes);
+        }
+    }
+    (Ok(()), hashes)
 }
 
 /// Client puzzles with the §7 closed control loop: an
@@ -1376,6 +1958,7 @@ impl<B: HashBackend> DefensePolicy<B> for AdaptivePuzzleDefense<B> {
         PolicyStats {
             difficulty: Some(self.inner.difficulty()),
             adaptive: true,
+            state_bytes: DefensePolicy::<B>::stats(&self.inner).state_bytes,
             ..PolicyStats::default()
         }
     }
@@ -1550,6 +2133,7 @@ impl<B: HashBackend> DefensePolicy<B> for Stacked<B> {
             merged.syn_cache_len += s.syn_cache_len;
             merged.difficulty = merged.difficulty.or(s.difficulty);
             merged.adaptive |= s.adaptive;
+            merged.state_bytes += s.state_bytes;
         }
         merged
     }

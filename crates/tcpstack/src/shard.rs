@@ -407,6 +407,7 @@ impl<B: HashBackend> ShardedListener<B> {
             merged.syn_cache_len += s.syn_cache_len;
             merged.difficulty = merged.difficulty.or(s.difficulty);
             merged.adaptive |= s.adaptive;
+            merged.state_bytes += s.state_bytes;
         }
         merged
     }

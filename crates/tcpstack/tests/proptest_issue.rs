@@ -118,14 +118,29 @@ fn policy_under_test<B: HashBackend + 'static>(idx: usize) -> PolicyBuilder<B> {
             lifetime: SimDuration::from_secs(2),
         }),
         3 => PolicyBuilder::puzzles(puzzle_cfg()),
-        _ => PolicyBuilder::stacked(vec![
+        4 => PolicyBuilder::stacked(vec![
             PolicyBuilder::syn_cache(SynCacheConfig {
                 capacity: 1,
                 lifetime: SimDuration::from_secs(2),
             }),
             PolicyBuilder::puzzles(puzzle_cfg()),
         ]),
+        5 => PolicyBuilder::stateless_puzzles(puzzle_cfg(), 8),
+        _ => PolicyBuilder::stacked(vec![
+            PolicyBuilder::syn_cache(SynCacheConfig {
+                capacity: 1,
+                lifetime: SimDuration::from_secs(2),
+            }),
+            PolicyBuilder::stateless_puzzles(puzzle_cfg(), 8),
+        ]),
     }
+}
+
+/// Whether the policy under test issues windowed (rspow-style)
+/// challenges, whose pre-images clients cannot recompute — the
+/// completion round must solve the wire pre-image as-is.
+fn is_windowed(idx: usize) -> bool {
+    idx >= 5
 }
 
 fn mk_listener<B: HashBackend + Copy + 'static>(
@@ -152,6 +167,7 @@ struct Observed {
     issue_hashes: u64,
     depths: (usize, usize),
     cache: usize,
+    state_bytes: usize,
 }
 
 fn observe<B: HashBackend + 'static>(
@@ -168,6 +184,7 @@ fn observe<B: HashBackend + 'static>(
         issue_hashes: l.stats().issue_hashes,
         depths: l.queue_depths(),
         cache: l.syn_cache_len(),
+        state_bytes: l.policy_stats().state_bytes,
     }
 }
 
@@ -176,7 +193,10 @@ fn observe<B: HashBackend + 'static>(
 /// port carried a challenge, a plain completion ACK otherwise. At most
 /// one solution per flow keeps the round clear of the documented
 /// same-run replay divergence.
-fn completion_round(per_port: &BTreeMap<u16, (u32, TcpSegment)>) -> Vec<(Ipv4Addr, TcpSegment)> {
+fn completion_round(
+    per_port: &BTreeMap<u16, (u32, TcpSegment)>,
+    windowed: bool,
+) -> Vec<(Ipv4Addr, TcpSegment)> {
     let mut segs = Vec::new();
     for (&port, (client_isn, reply)) in per_port {
         let seg = if let Some(copt) = reply.challenge() {
@@ -185,18 +205,34 @@ fn completion_round(per_port: &BTreeMap<u16, (u32, TcpSegment)>) -> Vec<(Ipv4Add
                 .map(|(tsval, _)| tsval)
                 .or(copt.timestamp)
                 .unwrap_or(0);
-            let tuple = ConnectionTuple::new(CLIENT_IP, port, SERVER_IP, 80, *client_isn);
-            let challenge = puzzle_core::Challenge::issue(
-                &ServerSecret::from_bytes([7; 32]),
-                &tuple,
-                issued,
-                Difficulty::new(copt.k, copt.m).expect("valid"),
-                copt.l_bits() as u16,
-            )
-            .expect("valid challenge");
-            if challenge.preimage() != &copt.preimage[..] {
-                continue; // reply was for an earlier SYN of this port
-            }
+            let challenge = if windowed {
+                // Windowed pre-images derive from the server's secret
+                // window nonce, so clients (and this test) can only
+                // solve exactly what arrived on the wire.
+                puzzle_core::Challenge::from_wire(
+                    puzzle_core::ChallengeParams {
+                        difficulty: Difficulty::new(copt.k, copt.m).expect("valid"),
+                        preimage_bits: copt.l_bits(),
+                        timestamp: issued,
+                    },
+                    copt.preimage.clone(),
+                )
+                .expect("valid challenge")
+            } else {
+                let tuple = ConnectionTuple::new(CLIENT_IP, port, SERVER_IP, 80, *client_isn);
+                let challenge = puzzle_core::Challenge::issue(
+                    &ServerSecret::from_bytes([7; 32]),
+                    &tuple,
+                    issued,
+                    Difficulty::new(copt.k, copt.m).expect("valid"),
+                    copt.l_bits() as u16,
+                )
+                .expect("valid challenge");
+                if challenge.preimage() != &copt.preimage[..] {
+                    continue; // reply was for an earlier SYN of this port
+                }
+                challenge
+            };
             let solved = Solver::new().solve(&challenge);
             let sol = SolutionOption::build(1460, 7, solved.solution.proofs(), None);
             SegmentBuilder::new(port, 80)
@@ -254,11 +290,18 @@ fn check_backend<B: HashBackend + Copy + 'static>(
         observe(&mut seq, seq_replies, seq_events),
         observe(&mut batch, out.replies, out.events),
     );
+    if policy_idx == 5 {
+        // The near-stateless policy's defining property: an arbitrary
+        // pre-proof burst — however many challenges it provokes — leaves
+        // zero per-flow defence state, in both pipelines.
+        prop_assert_eq!(seq.policy_stats().state_bytes, 0);
+        prop_assert_eq!(batch.policy_stats().state_bytes, 0);
+    }
 
     // Completion round: solutions + handshake ACKs derived from the
     // (identical) round-1 replies, fed the same two ways.
     let later = now + SimDuration::from_millis(100);
-    let segs2 = completion_round(&per_port);
+    let segs2 = completion_round(&per_port, is_windowed(policy_idx));
     let mut seq_replies = Vec::new();
     let mut seq_events = Vec::new();
     for (src, seg) in &segs2 {
@@ -281,7 +324,7 @@ proptest! {
     /// every backend, over arbitrary bursts.
     #[test]
     fn batched_issuance_is_sequential_issuance(
-        policy_idx in 0usize..5,
+        policy_idx in 0usize..7,
         steps in prop::collection::vec(arb_step(), 1..40),
     ) {
         check_backend(ScalarBackend, policy_idx, &steps)?;

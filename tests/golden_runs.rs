@@ -65,7 +65,7 @@ fn golden_conn_flood() {
 /// per hash backend like every other golden run.
 #[test]
 fn golden_defense_matrix() {
-    let expectations: [(&str, &str, &str); 6] = [
+    let expectations: [(&str, &str, &str); 7] = [
         (
             "none",
             "9c9943d212af1c878e264228eb08d207baa008fd00d16d566a2726333449c107",
@@ -95,6 +95,21 @@ fn golden_defense_matrix() {
             "stacked",
             "0cc5b1b304ee325a81a8da1bd6bd61e90bc04429c776b6eedfb1fa6eaf5a3e13",
             "6cbb90193b9b03a5e8ed75b68f105a5d850ad27245b434e76f6ed7ef2e436b6f",
+        ),
+        // First capture of the near-stateless windowed policy. The
+        // digests deliberately *equal* the `nash` pins: at the same
+        // (2, 17) difficulty the windowed issuance preserves every
+        // digested observable — admissions, rejections, verify-hash
+        // charges, queue dynamics — and differs only in the timestamp
+        // encoding (window index vs clock seconds) and the per-window
+        // nonce charge in `issue_hashes`, neither of which the frozen
+        // capture format includes. A drift here that does not also move
+        // `nash` means the windowed path stopped being
+        // behaviour-preserving.
+        (
+            "stateless-puzzles",
+            "5006adf5ae0beb3b0e5805b623c3802b88dcc8844129147a758a0da5dba1ed76",
+            "b10af12c4faf41bef5d22e94c1dd2a67cc87c1e41ee88ac1f62ba3fdd7dbd366",
         ),
     ];
     assert_eq!(
@@ -145,7 +160,7 @@ fn different_seeds_differ() {
 /// persistent-pipeline variants below: the step pipeline decides where
 /// shard stepping runs, never what it produces, so both must reproduce
 /// the same digests byte-for-byte.
-const SHARDS4_EXPECTATIONS: [(&str, &str, &str); 6] = [
+const SHARDS4_EXPECTATIONS: [(&str, &str, &str); 7] = [
     (
         "none",
         "92efbc71b8898e2a68deb4a07242840b2f8c48633998e06b88c7dc76ed96da89",
@@ -175,6 +190,14 @@ const SHARDS4_EXPECTATIONS: [(&str, &str, &str); 6] = [
         "stacked",
         "f6993539fa5e88821abbb2a65b21c499a4031a999446140b32250601d9a69cf2",
         "d9fefb75ea15048917e91dbb38e9e546ccaa1a3b0d9e51182c36b7c12b63f8ff",
+    ),
+    // Equal to the `nash` shards=4 pins by design — see the shards=1
+    // matrix above for why the windowed policy's first capture collides
+    // with classic puzzles on every digested observable.
+    (
+        "stateless-puzzles",
+        "85906e5cb5c6e7daf042d839dc0143b4bfd0e1ec3e47c1a67bf2b6a31e7729b4",
+        "0116d3f25632634ab885131134da1ca0b4e3d8cce338885c2919f8d8d42b644e",
     ),
 ];
 
