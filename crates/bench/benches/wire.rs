@@ -1,8 +1,12 @@
-//! Micro-benchmarks: TCP option codec and SYN-cookie codec.
+//! Micro-benchmarks: TCP option codec, SYN-cookie codec, and the live
+//! front-end's datagram framing.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use tcpstack::{ChallengeOption, SolutionOption, SynCookieCodec, TcpOption};
+use tcpstack::{
+    ChallengeOption, SegmentBuilder, SolutionOption, SynCookieCodec, TcpFlags, TcpOption,
+    TcpSegment,
+};
 
 fn challenge_options() -> Vec<TcpOption> {
     vec![
@@ -58,5 +62,37 @@ fn bench_cookies(c: &mut Criterion) {
     });
 }
 
-criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_encode, bench_decode, bench_solution_split, bench_cookies}
+/// A SYN-ACK-with-challenge segment — the live path's hottest reply
+/// shape under flood.
+fn challenge_segment() -> TcpSegment {
+    let mut b = SegmentBuilder::new(80, 40_000)
+        .flags(TcpFlags::SYN | TcpFlags::ACK)
+        .seq(0x1234_5678)
+        .ack_num(0x9ABC_DEF0)
+        .window(65_535);
+    for opt in challenge_options() {
+        b = b.option(opt);
+    }
+    b.build()
+}
+
+fn bench_frame(c: &mut Criterion) {
+    let endpoint = "198.18.0.7".parse().expect("addr");
+    let seg = challenge_segment();
+    let mut out = Vec::with_capacity(wire::MAX_FRAME_LEN);
+    c.bench_function("wire/frame_encode", |b| {
+        b.iter(|| {
+            out.clear();
+            wire::encode_frame(black_box(endpoint), black_box(&seg), &mut out);
+            out.len()
+        })
+    });
+    let mut bytes = Vec::new();
+    wire::encode_frame(endpoint, &seg, &mut bytes);
+    c.bench_function("wire/frame_decode", |b| {
+        b.iter(|| wire::decode_frame(black_box(&bytes)).expect("valid"))
+    });
+}
+
+criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_encode, bench_decode, bench_solution_split, bench_cookies, bench_frame}
 criterion_main!(benches);

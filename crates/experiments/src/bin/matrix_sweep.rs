@@ -19,7 +19,8 @@
 //! conn-flood} × {1k, 10k} flows × 1 shard × seed 1 on the compressed
 //! timeline.
 
-use experiments::scenario::{DefenseSpec, Matrix, Timeline};
+use experiments::cli;
+use experiments::scenario::{Matrix, Timeline};
 use hostsim::FleetAttack;
 use netsim::SimDuration;
 
@@ -27,68 +28,20 @@ fn main() {
     experiments::report_backend();
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
-    let parse_list = |s: &String| -> Vec<u64> {
-        s.split(',')
-            .map(|x| {
-                x.parse().unwrap_or_else(|_| {
-                    eprintln!("expected a comma-separated number list, got {x:?} in {s:?}");
-                    std::process::exit(2);
-                })
-            })
-            .collect()
-    };
-    let sizes: Vec<usize> = experiments::arg_after(&args, "--sizes")
-        .map(parse_list)
-        .unwrap_or_else(|| vec![1_000, 10_000])
+    let sizes: Vec<usize> = cli::number_axis(&args, "--sizes", &[1_000, 10_000])
         .into_iter()
         .map(|n| n as usize)
         .collect();
-    let shards: Vec<usize> = experiments::arg_after(&args, "--shards")
-        .map(parse_list)
-        .unwrap_or_else(|| vec![1])
+    let shards: Vec<usize> = cli::number_axis(&args, "--shards", &[1])
         .into_iter()
         .map(|n| n as usize)
         .collect();
-    let pipeline = match experiments::arg_after(&args, "--pipeline").map(|s| s.as_str()) {
-        None | Some("auto") => tcpstack::ShardPipeline::Auto,
-        Some("inline") => tcpstack::ShardPipeline::Inline,
-        Some("persistent") => tcpstack::ShardPipeline::Persistent,
-        Some(other) => {
-            eprintln!("unknown --pipeline {other:?}; expected auto, inline, or persistent");
-            std::process::exit(2);
-        }
-    };
-    let seeds = experiments::arg_after(&args, "--seeds")
-        .map(parse_list)
-        .unwrap_or_else(|| vec![1]);
+    let pipeline = cli::pipeline_arg(&args);
+    let seeds = cli::number_axis(&args, "--seeds", &[1]);
     let rate: f64 = experiments::arg_after(&args, "--rate")
         .and_then(|s| s.parse().ok())
         .unwrap_or(20_000.0);
-    let defenses: Vec<DefenseSpec> = experiments::arg_after(&args, "--defense")
-        .map(|list| {
-            list.split(',')
-                .map(|name| {
-                    DefenseSpec::by_name(name).unwrap_or_else(|| {
-                        eprintln!(
-                            "unknown defense {name:?}; registered: {}",
-                            DefenseSpec::registered()
-                                .iter()
-                                .map(|s| s.name().to_string())
-                                .collect::<Vec<_>>()
-                                .join(", ")
-                        );
-                        std::process::exit(2);
-                    })
-                })
-                .collect()
-        })
-        .unwrap_or_else(|| {
-            vec![
-                DefenseSpec::none(),
-                DefenseSpec::cookies(),
-                DefenseSpec::nash(),
-            ]
-        });
+    let defenses = cli::defense_axis(&args, "none,cookies,nash");
 
     let matrix = Matrix::new(Timeline::from_full_flag(full))
         .defenses(defenses)

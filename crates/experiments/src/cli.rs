@@ -1,0 +1,159 @@
+//! Shared command-line parsing for the sweep and live-wire binaries.
+//!
+//! `matrix_sweep`, `live_server`, and `live_load` all accept the same
+//! `--defense` / `--shards` / `--pipeline` vocabulary; this module is
+//! the one place that vocabulary is defined. The `parse_*` functions
+//! are fallible and unit-tested against the defence registry; the
+//! `*_axis` / `*_arg` wrappers are what binaries call — they print the
+//! offending value (and, for defences, the registered names) and exit
+//! with status 2 on bad input.
+
+use crate::scenario::DefenseSpec;
+use tcpstack::ShardPipeline;
+
+/// Parses a comma-separated list of registered defence names via
+/// [`DefenseSpec::by_name`] (which also accepts parameterized forms
+/// like `syncache-4096` and `puzzles-k2m17`).
+///
+/// # Errors
+///
+/// Returns the unknown name together with the registered-name list.
+pub fn parse_defense_list(list: &str) -> Result<Vec<DefenseSpec>, String> {
+    list.split(',')
+        .map(|name| {
+            DefenseSpec::by_name(name).ok_or_else(|| {
+                format!(
+                    "unknown defense {name:?}; registered: {}",
+                    DefenseSpec::registered()
+                        .iter()
+                        .map(|s| s.name().to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })
+        })
+        .collect()
+}
+
+/// Parses a comma-separated list of unsigned numbers (`--sizes`,
+/// `--shards`, `--seeds`).
+///
+/// # Errors
+///
+/// Returns the offending element.
+pub fn parse_number_list(list: &str) -> Result<Vec<u64>, String> {
+    list.split(',')
+        .map(|x| {
+            x.parse()
+                .map_err(|_| format!("expected a comma-separated number list, got {x:?}"))
+        })
+        .collect()
+}
+
+/// Parses a `--pipeline` value: `auto`, `inline`, or `persistent`.
+///
+/// # Errors
+///
+/// Returns a message naming the accepted values.
+pub fn parse_pipeline(s: &str) -> Result<ShardPipeline, String> {
+    match s {
+        "auto" => Ok(ShardPipeline::Auto),
+        "inline" => Ok(ShardPipeline::Inline),
+        "persistent" => Ok(ShardPipeline::Persistent),
+        other => Err(format!(
+            "unknown --pipeline {other:?}; expected auto, inline, or persistent"
+        )),
+    }
+}
+
+fn exit_on<T>(result: Result<T, String>) -> T {
+    result.unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    })
+}
+
+/// The `--defense` axis: parses the flag's comma list, or falls back to
+/// `default` (names resolved through the registry, so a typo in a
+/// default is caught too).
+pub fn defense_axis(args: &[String], default: &str) -> Vec<DefenseSpec> {
+    let list = crate::arg_after(args, "--defense").map_or(default, |s| s.as_str());
+    exit_on(parse_defense_list(list))
+}
+
+/// A comma-separated number axis (`--sizes`, `--shards`, `--seeds`),
+/// with `default` when the flag is absent.
+pub fn number_axis(args: &[String], flag: &str, default: &[u64]) -> Vec<u64> {
+    crate::arg_after(args, flag).map_or_else(|| default.to_vec(), |s| exit_on(parse_number_list(s)))
+}
+
+/// A single-valued unsigned flag (`--shards 4` for the live server,
+/// `--rate`, `--seed`), with `default` when absent.
+pub fn number_arg(args: &[String], flag: &str, default: u64) -> u64 {
+    crate::arg_after(args, flag).map_or(default, |s| {
+        exit_on(
+            s.parse()
+                .map_err(|_| format!("expected a number after {flag}, got {s:?}")),
+        )
+    })
+}
+
+/// The `--pipeline` flag (default [`ShardPipeline::Auto`]).
+pub fn pipeline_arg(args: &[String]) -> ShardPipeline {
+    crate::arg_after(args, "--pipeline").map_or(ShardPipeline::Auto, |s| exit_on(parse_pipeline(s)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every name the registry exposes must round-trip through the
+    /// shared `--defense` parser — the live binaries advertise "any
+    /// registered defence" and this is that promise.
+    #[test]
+    fn every_registered_name_parses() {
+        for spec in DefenseSpec::registered() {
+            let parsed = parse_defense_list(spec.name())
+                .unwrap_or_else(|e| panic!("registered name {:?} failed: {e}", spec.name()));
+            assert_eq!(parsed.len(), 1);
+            assert_eq!(parsed[0].name(), spec.name());
+        }
+    }
+
+    #[test]
+    fn comma_lists_and_parameterized_forms_parse() {
+        let specs = parse_defense_list("none,syncache-4096,puzzles-k2m17,stateless-puzzles")
+            .expect("list parses");
+        assert_eq!(specs.len(), 4);
+        // Parameterized forms resolve to the base name with the
+        // parameter carried in the label.
+        assert_eq!(specs[1].name(), "syncache");
+        assert_eq!(specs[1].label(), "syncache-4096");
+    }
+
+    #[test]
+    fn unknown_defense_reports_registry() {
+        let err = parse_defense_list("nash,bogus").unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+        // The error teaches the vocabulary: it lists registered names.
+        assert!(err.contains("syncache"), "{err}");
+        assert!(err.contains("stateless-puzzles"), "{err}");
+    }
+
+    #[test]
+    fn number_lists() {
+        assert_eq!(parse_number_list("1,4,16").unwrap(), vec![1, 4, 16]);
+        assert!(parse_number_list("1,x").is_err());
+    }
+
+    #[test]
+    fn pipeline_names() {
+        assert_eq!(parse_pipeline("auto").unwrap(), ShardPipeline::Auto);
+        assert_eq!(parse_pipeline("inline").unwrap(), ShardPipeline::Inline);
+        assert_eq!(
+            parse_pipeline("persistent").unwrap(),
+            ShardPipeline::Persistent
+        );
+        assert!(parse_pipeline("tokio").is_err());
+    }
+}

@@ -32,6 +32,7 @@ mod client;
 mod cpu;
 pub mod fleet;
 mod host;
+pub mod mix;
 pub mod profiles;
 mod server;
 mod solve;

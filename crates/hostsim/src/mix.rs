@@ -1,0 +1,210 @@
+//! Named attack/client fleet mixes, constructible outside the
+//! simulation.
+//!
+//! The scenario matrix builds its fleets inline; the live wire load
+//! generator (`crates/wire`) needs the *same* population shapes —
+//! spoofed SYN floods, solving conn-floods, Poisson legit clients —
+//! but driven by a [`netsim::harness::NodeHarness`] against a real
+//! socket instead of a simulated link. This module gives those shapes
+//! names so both paths (and the `live_load` CLI) speak one vocabulary.
+//!
+//! Nothing here is used by the pinned sim scenarios: the golden digests
+//! depend on the scenario harness's own construction order and RNG
+//! draws, which this module never touches.
+
+use std::net::Ipv4Addr;
+
+use netsim::{SimDuration, SimTime};
+
+use crate::client::SolveBehavior;
+use crate::fleet::{BotFleetParams, ClientFleetParams, FleetAttack};
+use crate::solve::SolveStrategy;
+
+/// Everything a named mix needs besides its shape: where to aim, how
+/// hard, and how solving is costed.
+#[derive(Clone, Debug)]
+pub struct MixParams {
+    /// Base of the fleet's `/16` source block (host bits zero).
+    pub addr_base: Ipv4Addr,
+    /// Server / victim address.
+    pub target_addr: Ipv4Addr,
+    /// Server / victim port.
+    pub target_port: u16,
+    /// Aggregate rate: SYNs, connection attempts, or requests per
+    /// second depending on the mix.
+    pub rate: f64,
+    /// Flow (socket) slots the fleet drives.
+    pub flows: usize,
+    /// Activity window start.
+    pub start: SimTime,
+    /// Activity window stop.
+    pub stop: SimTime,
+    /// Per-flow SHA-256 throughput for solve-latency modelling.
+    pub hash_rate: f64,
+    /// How solving mixes produce proofs (real brute force or oracle).
+    pub solve: SolveStrategy,
+    /// Bytes requested per legit-client connection.
+    pub request_size: usize,
+}
+
+impl MixParams {
+    /// Sensible live-loopback defaults: everything but the target and
+    /// the solve strategy has a reasonable value (1 kreq/s aggregate,
+    /// 4096 flows, always-on window, 40 MH/s solver).
+    pub fn new(
+        addr_base: Ipv4Addr,
+        target_addr: Ipv4Addr,
+        target_port: u16,
+        solve: SolveStrategy,
+    ) -> Self {
+        MixParams {
+            addr_base,
+            target_addr,
+            target_port,
+            rate: 1_000.0,
+            flows: 4096,
+            start: SimTime::ZERO,
+            stop: SimTime::MAX,
+            hash_rate: 40e6,
+            solve,
+            request_size: 10_000,
+        }
+    }
+}
+
+/// A named mix resolved to concrete fleet parameters.
+#[derive(Clone, Debug)]
+pub enum FleetSpec {
+    /// An attacking population ([`crate::BotFleet`]).
+    Bots(BotFleetParams),
+    /// A benign population ([`crate::ClientFleet`]).
+    Clients(ClientFleetParams),
+}
+
+/// The mix names [`by_name`] accepts, in presentation order.
+pub fn names() -> &'static [&'static str] {
+    &[
+        "clients",
+        "clients-ignore",
+        "syn-flood",
+        "conn-flood",
+        "conn-flood-solving",
+        "replay-flood",
+        "solution-flood",
+    ]
+}
+
+/// Resolves a mix name to fleet parameters. Attack names match
+/// [`FleetAttack::label`]; `clients` is the solving legit population
+/// and `clients-ignore` the unpatched one (the paper's "NC").
+pub fn by_name(name: &str, p: &MixParams) -> Option<FleetSpec> {
+    let bots = |attack: FleetAttack| {
+        FleetSpec::Bots(BotFleetParams {
+            addr_base: p.addr_base,
+            target_addr: p.target_addr,
+            target_port: p.target_port,
+            attack,
+            flows: p.flows,
+            hash_rate: p.hash_rate,
+            start: p.start,
+            stop: p.stop,
+        })
+    };
+    let clients = |behavior: SolveBehavior| {
+        FleetSpec::Clients(ClientFleetParams {
+            addr_base: p.addr_base,
+            server_addr: p.target_addr,
+            server_port: p.target_port,
+            flows: p.flows,
+            request_rate: p.rate,
+            request_size: p.request_size,
+            behavior,
+            hash_rate: p.hash_rate,
+            request_timeout: SimDuration::from_secs(10),
+        })
+    };
+    Some(match name {
+        "clients" => clients(SolveBehavior::Solve(p.solve.clone())),
+        "clients-ignore" => clients(SolveBehavior::Ignore),
+        "syn-flood" => bots(FleetAttack::SynFlood {
+            rate: p.rate,
+            spoof: true,
+        }),
+        "conn-flood" => bots(FleetAttack::ConnFlood {
+            rate: p.rate,
+            solve: None,
+            conn_timeout: SimDuration::from_secs(1),
+            ack_delay: SimDuration::from_millis(500),
+        }),
+        "conn-flood-solving" => bots(FleetAttack::ConnFlood {
+            rate: p.rate,
+            solve: Some(p.solve.clone()),
+            conn_timeout: SimDuration::from_secs(1),
+            ack_delay: SimDuration::from_millis(500),
+        }),
+        "replay-flood" => bots(FleetAttack::ReplayFlood {
+            rate: p.rate,
+            solve: p.solve.clone(),
+        }),
+        "solution-flood" => bots(FleetAttack::SolutionFlood {
+            rate: p.rate,
+            k: 2,
+            sol_len: 4,
+        }),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> MixParams {
+        MixParams::new(
+            Ipv4Addr::new(198, 18, 0, 0),
+            Ipv4Addr::new(10, 0, 0, 1),
+            80,
+            SolveStrategy::Real,
+        )
+    }
+
+    /// Every attack mix resolves to bot parameters whose attack label
+    /// round-trips to the mix name — the `live_load` CLI and the
+    /// scenario matrix agree on the vocabulary.
+    #[test]
+    fn attack_names_round_trip_to_labels() {
+        let p = params();
+        for name in names() {
+            let spec = by_name(name, &p).expect("listed name resolves");
+            if let FleetSpec::Bots(bots) = spec {
+                assert_eq!(bots.attack.label(), *name);
+                assert_eq!(bots.target_port, 80);
+            } else {
+                assert!(name.starts_with("clients"), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn client_mixes_carry_behavior() {
+        let p = params();
+        match by_name("clients", &p) {
+            Some(FleetSpec::Clients(c)) => {
+                assert!(matches!(c.behavior, SolveBehavior::Solve(_)));
+                assert_eq!(c.request_rate, 1_000.0);
+            }
+            other => panic!("clients resolved to {other:?}"),
+        }
+        match by_name("clients-ignore", &p) {
+            Some(FleetSpec::Clients(c)) => {
+                assert!(matches!(c.behavior, SolveBehavior::Ignore))
+            }
+            other => panic!("clients-ignore resolved to {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_none() {
+        assert!(by_name("teardrop", &params()).is_none());
+    }
+}

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod harness;
 mod link;
 mod node;
 mod packet;

@@ -281,8 +281,9 @@ pub enum ListenerEvent {
 /// `Debug` is implemented by hand, not derived: the golden-run digests
 /// (`tests/golden_runs.rs`) hash the `{:?}` rendering of this struct, so
 /// the capture format is frozen at the original twenty counters. Fields
-/// added later (`issue_hashes`) are excluded from `Debug` — they still
-/// participate in `PartialEq` and [`ListenerStats::merge`].
+/// added later (`issue_hashes`, `decode_errors`) are excluded from
+/// `Debug` — they still participate in `PartialEq` and
+/// [`ListenerStats::merge`].
 #[derive(Clone, Copy, Default, PartialEq, Eq)]
 pub struct ListenerStats {
     /// SYN segments received.
@@ -337,6 +338,14 @@ pub struct ListenerStats {
     /// SYN-cache handshake costs 2). Cookie *validation* MACs are not
     /// counted here — they are verify-side work.
     pub issue_hashes: u64,
+    /// Wire input that never became a segment: datagrams the live
+    /// front-end failed to decode (truncated, bad framing) or dropped
+    /// before the listener (wrong destination port). The sans-IO
+    /// listener itself never increments this — undecodable bytes can't
+    /// reach it — but the counter lives here so `merge` and stats
+    /// snapshots carry it alongside everything else the evaluation
+    /// reads. Excluded from the frozen `Debug` like `issue_hashes`.
+    pub decode_errors: u64,
 }
 
 impl ListenerStats {
@@ -373,6 +382,7 @@ impl ListenerStats {
             rsts_sent,
             data_segments,
             issue_hashes,
+            decode_errors,
         } = other;
         self.syns_received += syns_received;
         self.synacks_sent += synacks_sent;
@@ -395,13 +405,14 @@ impl ListenerStats {
         self.rsts_sent += rsts_sent;
         self.data_segments += data_segments;
         self.issue_hashes += issue_hashes;
+        self.decode_errors += decode_errors;
     }
 }
 
 /// Hand-rolled to freeze the golden-run capture format: exactly the
 /// original twenty counters, in declaration order, rendered as the
-/// derived implementation would. `issue_hashes` (added later) is
-/// deliberately absent — see the struct docs.
+/// derived implementation would. `issue_hashes` and `decode_errors`
+/// (added later) are deliberately absent — see the struct docs.
 impl fmt::Debug for ListenerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ListenerStats")
@@ -2443,8 +2454,9 @@ mod tests {
 
     /// The golden-run digests hash `{:?}` of [`ListenerStats`], so its
     /// rendering is a frozen capture format: exactly the original twenty
-    /// counters, never `issue_hashes`. If this test fails, the golden
-    /// expectations in `tests/golden_runs.rs` would silently shift.
+    /// counters, never `issue_hashes` or `decode_errors`. If this test
+    /// fails, the golden expectations in `tests/golden_runs.rs` would
+    /// silently shift.
     #[test]
     fn listener_stats_debug_is_frozen_for_goldens() {
         let s = ListenerStats {
@@ -2469,6 +2481,7 @@ mod tests {
             rsts_sent: 19,
             data_segments: 20,
             issue_hashes: 999,
+            decode_errors: 998,
         };
         let rendered = format!("{s:?}");
         assert_eq!(
@@ -2484,6 +2497,26 @@ mod tests {
              rsts_sent: 19, data_segments: 20 }"
         );
         assert!(!rendered.contains("issue_hashes"));
+        assert!(!rendered.contains("decode_errors"));
+    }
+
+    /// `merge` must carry the non-digested counters too — the live wire
+    /// front-end folds its decode failures into stats snapshots via
+    /// `merge`.
+    #[test]
+    fn listener_stats_merge_carries_decode_errors() {
+        let mut a = ListenerStats {
+            decode_errors: 3,
+            ..Default::default()
+        };
+        let b = ListenerStats {
+            decode_errors: 4,
+            issue_hashes: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.decode_errors, 7);
+        assert_eq!(a.issue_hashes, 1);
     }
 
     /// The batched issuance pipeline is semantics-preserving: a mixed

@@ -164,22 +164,38 @@ impl TcpSegment {
     /// the NOP-padded options area, then the payload. The result's
     /// length equals [`TcpSegment::wire_len`].
     pub fn encode(&self) -> Vec<u8> {
-        let options = TcpOption::encode_all(&self.options);
-        debug_assert!(options.len() <= MAX_OPTIONS_LEN);
-        let mut out = Vec::with_capacity(TCP_HEADER_LEN + options.len() + self.payload.len());
+        let mut out = Vec::with_capacity(self.wire_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the wire bytes to `out` without intermediate allocation —
+    /// the batched-egress path of the live wire front-end reuses one
+    /// scratch buffer across replies. Appends exactly
+    /// [`TcpSegment::wire_len`] bytes; `out` is not cleared first.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let raw: usize = self.options.iter().map(TcpOption::encoded_len).sum();
+        let options_len = raw.div_ceil(4) * 4;
+        debug_assert!(options_len <= MAX_OPTIONS_LEN);
+        out.reserve(TCP_HEADER_LEN + options_len + self.payload.len());
         out.extend_from_slice(&self.src_port.to_be_bytes());
         out.extend_from_slice(&self.dst_port.to_be_bytes());
         out.extend_from_slice(&self.seq.to_be_bytes());
         out.extend_from_slice(&self.ack.to_be_bytes());
-        let data_offset = ((TCP_HEADER_LEN + options.len()) / 4) as u8;
+        let data_offset = ((TCP_HEADER_LEN + options_len) / 4) as u8;
         out.push(data_offset << 4);
         out.push(self.flags.bits());
         out.extend_from_slice(&self.window.to_be_bytes());
         out.extend_from_slice(&[0, 0]); // checksum (unused in simulation)
         out.extend_from_slice(&[0, 0]); // urgent pointer
-        out.extend_from_slice(&options);
+        let options_start = out.len();
+        for o in &self.options {
+            o.encode_into(out);
+        }
+        while out.len() - options_start < options_len {
+            out.push(1); // NOP padding
+        }
         out.extend_from_slice(&self.payload);
-        out
     }
 
     /// Decodes a segment produced by [`TcpSegment::encode`] (or a real

@@ -1,0 +1,89 @@
+//! Replays `hostsim` fleet mixes against a `live_server` socket.
+//!
+//! Usage:
+//!   cargo run --release -p wire --bin live_load -- \
+//!     [--server 127.0.0.1:9000] [--mix clients] [--rate 1000] \
+//!     [--flows 4096] [--duration 10] [--secret 1] [--seed 1] \
+//!     [--request-size 10000] [--solve oracle|real]
+//!
+//! `--mix` is a comma list of named mixes (see `hostsim::mix`):
+//! `clients`, `clients-ignore`, `syn-flood`, `conn-flood`,
+//! `conn-flood-solving`, `replay-flood`, `solution-flood`. Each mix
+//! gets its own `/16` source block and rate (`--rate` applies to every
+//! mix). `--solve oracle` (default) mints proofs with the shared
+//! secret — the sim's paper-scale strategy; `--solve real` brute-forces
+//! with the real solver (use small difficulties). Prints handshakes/s,
+//! goodput, and completion-latency percentiles at exit.
+
+use std::net::Ipv4Addr;
+
+use experiments::cli;
+use hostsim::mix::{self, MixParams};
+use hostsim::SolveStrategy;
+use netsim::SimDuration;
+use puzzle_core::SolveCostModel;
+use wire::{LiveLoad, LoadEngine, WallClock, WireClock};
+
+fn main() {
+    experiments::report_backend();
+    let args: Vec<String> = std::env::args().collect();
+    let server: std::net::SocketAddr = experiments::arg_after(&args, "--server")
+        .map_or("127.0.0.1:9000", |s| s.as_str())
+        .parse()
+        .unwrap_or_else(|e| {
+            eprintln!("bad --server address: {e}");
+            std::process::exit(2);
+        });
+    let mixes = experiments::arg_after(&args, "--mix").map_or("clients", |s| s.as_str());
+    let rate = cli::number_arg(&args, "--rate", 1_000) as f64;
+    let flows = cli::number_arg(&args, "--flows", 4096) as usize;
+    let duration = cli::number_arg(&args, "--duration", 10);
+    let secret_seed = cli::number_arg(&args, "--secret", 1);
+    let seed = cli::number_arg(&args, "--seed", 1);
+    let request_size = cli::number_arg(&args, "--request-size", 10_000) as usize;
+    let solve = match experiments::arg_after(&args, "--solve").map(|s| s.as_str()) {
+        None | Some("oracle") => SolveStrategy::Oracle {
+            secret: wire::secret_from_seed(secret_seed),
+            cost_model: SolveCostModel::UniformPlacement,
+        },
+        Some("real") => SolveStrategy::Real,
+        Some(other) => {
+            eprintln!("unknown --solve {other:?}; expected oracle or real");
+            std::process::exit(2);
+        }
+    };
+
+    // The frame endpoint the server answers as — must match the
+    // server's ServerConfig::local_addr default.
+    let server_endpoint = Ipv4Addr::new(10, 0, 0, 1);
+    let specs: Vec<(String, mix::FleetSpec)> = mixes
+        .split(',')
+        .enumerate()
+        .map(|(i, name)| {
+            // Each lane gets its own /16 block: 198.18+i.0.0.
+            let base = Ipv4Addr::new(198, 18 + i as u8, 0, 0);
+            let mut p = MixParams::new(base, server_endpoint, 80, solve.clone());
+            p.rate = rate;
+            p.flows = flows;
+            p.request_size = request_size;
+            let spec = mix::by_name(name, &p).unwrap_or_else(|| {
+                eprintln!("unknown mix {name:?}; known: {}", mix::names().join(", "));
+                std::process::exit(2);
+            });
+            (name.to_string(), spec)
+        })
+        .collect();
+
+    let engine = LoadEngine::new(server_endpoint, specs, seed);
+    let live = LiveLoad::connect(server, engine).unwrap_or_else(|e| {
+        eprintln!("connect {server}: {e}");
+        std::process::exit(1);
+    });
+
+    eprintln!("live_load: {server} mix={mixes} rate={rate}/s duration={duration}s");
+    let clock = WallClock::new();
+    let started = clock.now();
+    let report = live.run(&clock, SimDuration::from_secs(duration));
+    let elapsed = clock.now().since(started).as_secs_f64();
+    print!("{}", report.render(elapsed));
+}

@@ -1,0 +1,441 @@
+//! The live server: `ShardedListener` fed from a UDP socket.
+//!
+//! Split in two layers along the runtime seam:
+//!
+//! * [`ServerEngine`] is sans-socket: it takes decoded frames plus a
+//!   `SimTime` "now" and produces outbound frames through a sink
+//!   closure. Everything the server *does* — feeding
+//!   `ShardedListener::on_segments`, draining `accept`, answering
+//!   `GET /gettext/<n>` requests, the retransmit `poll` cadence — is
+//!   here, unit-testable with a [`crate::clock::ManualClock`] and no
+//!   I/O.
+//! * [`LiveServer`] owns the socket and the threads: a reader thread
+//!   batch-receives datagrams into reused arenas and decodes them off
+//!   the stepping thread (the PR 6 worker-pipeline idiom, one SPSC
+//!   hand-off ring built from channels), while the stepping thread
+//!   drives the engine and transmits replies.
+//!
+//! Unlike the sim's `ServerHost`, the engine serves requests
+//! immediately — no worker pool or service-rate model. The live path
+//! measures what the *stack* can do under a real scheduler
+//! (handshakes, issuance, verification, egress); the apache-style
+//! capacity model stays a simulation concern.
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+
+use netsim::{SimDuration, SimTime};
+use puzzle_core::ServerSecret;
+use puzzle_crypto::AutoBackend;
+use tcpstack::{
+    FlowKey, ListenerConfig, ListenerEvent, ListenerStats, PolicyBuilder, ShardPipeline,
+    ShardedListener, TcpSegment,
+};
+
+use crate::clock::WireClock;
+use crate::frame::{decode_frame, encode_frame, MAX_FRAME_LEN};
+
+/// Everything the live server needs to stand up its listener.
+pub struct ServerConfig {
+    /// The server's flow endpoint — the address segments are addressed
+    /// to *inside* frames (not the UDP bind address).
+    pub local_addr: std::net::Ipv4Addr,
+    /// Listening port inside the frames.
+    pub port: u16,
+    /// The defence to install (any registered spec's builder).
+    pub policy: PolicyBuilder<AutoBackend>,
+    /// RSS-style listener shard count (rounded up to a power of two).
+    pub shards: usize,
+    /// How multi-shard steps run.
+    pub pipeline: ShardPipeline,
+    /// Keyed-ISN / puzzle secret. The load generator must share it for
+    /// oracle solving, exactly like the sim scenario harness does.
+    pub secret: ServerSecret,
+    /// Listen-queue capacity (half-open slots), total across shards.
+    pub backlog: usize,
+    /// Accept-queue capacity, total across shards.
+    pub accept_backlog: usize,
+    /// Retransmit-poll cadence (the sim's `K_POLL` is 100 ms).
+    pub poll_interval: SimDuration,
+}
+
+impl ServerConfig {
+    /// Defaults matching the sim testbed: serve `10.0.0.1:80` with the
+    /// given policy and secret, 1024-deep queues, 100 ms poll.
+    pub fn new(policy: PolicyBuilder<AutoBackend>, secret: ServerSecret) -> Self {
+        ServerConfig {
+            local_addr: std::net::Ipv4Addr::new(10, 0, 0, 1),
+            port: 80,
+            policy,
+            shards: 1,
+            pipeline: ShardPipeline::Auto,
+            secret,
+            backlog: 1024,
+            accept_backlog: 1024,
+            poll_interval: SimDuration::from_millis(100),
+        }
+    }
+}
+
+/// Counter snapshot the server reports at exit (and periodically).
+#[derive(Clone, Debug, Default)]
+pub struct WireServerStats {
+    /// Datagrams received, including undecodable ones.
+    pub datagrams_rx: u64,
+    /// Datagrams transmitted.
+    pub datagrams_tx: u64,
+    /// Application requests served to completion (FIN sent).
+    pub requests_served: u64,
+    /// Listener counters with wire-level `decode_errors` folded in.
+    pub listener: ListenerStats,
+}
+
+/// The sans-socket server core. Feed it decoded frames, call
+/// [`ServerEngine::flush`] with "now", and it hands encoded reply
+/// frames to the sink.
+pub struct ServerEngine {
+    listener: ShardedListener<AutoBackend>,
+    port: u16,
+    poll_interval: SimDuration,
+    next_poll: SimTime,
+    /// Claimed flow endpoint → actual UDP peer, learned on ingress and
+    /// used for all egress including `poll` retransmissions.
+    peers: HashMap<FlowKey, SocketAddr>,
+    /// Flows popped from `accept`.
+    accepted: HashSet<FlowKey>,
+    /// Parsed `gettext` sizes awaiting their flow's accept.
+    pending: HashMap<FlowKey, usize>,
+    /// Ingress batch, reused across flushes.
+    batch: Vec<(std::net::Ipv4Addr, TcpSegment)>,
+    /// Egress scratch, reused across replies.
+    scratch: Vec<u8>,
+    decode_errors: u64,
+    datagrams_rx: u64,
+    datagrams_tx: u64,
+    requests_served: u64,
+}
+
+impl ServerEngine {
+    /// Builds the engine and its sharded listener.
+    pub fn new(cfg: &ServerConfig) -> Self {
+        let mut lcfg = ListenerConfig::new(cfg.local_addr, cfg.port);
+        lcfg.backlog = cfg.backlog;
+        lcfg.accept_backlog = cfg.accept_backlog;
+        let listener = ShardedListener::with_policy_pipeline(
+            lcfg,
+            cfg.secret.clone(),
+            puzzle_crypto::auto_backend(),
+            &cfg.policy,
+            cfg.shards,
+            cfg.pipeline,
+        );
+        ServerEngine {
+            listener,
+            port: cfg.port,
+            poll_interval: cfg.poll_interval,
+            next_poll: SimTime::ZERO,
+            peers: HashMap::new(),
+            accepted: HashSet::new(),
+            pending: HashMap::new(),
+            batch: Vec::new(),
+            scratch: Vec::new(),
+            decode_errors: 0,
+            datagrams_rx: 0,
+            datagrams_tx: 0,
+            requests_served: 0,
+        }
+    }
+
+    /// Ingests one raw datagram: frame-decode inline, count failures.
+    /// The socket loop's reader thread uses [`ServerEngine::ingest_decoded`]
+    /// instead so decoding runs off the stepping thread.
+    pub fn ingest_datagram(&mut self, from: SocketAddr, bytes: &[u8]) {
+        self.datagrams_rx += 1;
+        match decode_frame(bytes) {
+            Ok((endpoint, seg)) => self.enqueue(from, endpoint, seg),
+            Err(_) => self.decode_errors += 1,
+        }
+    }
+
+    /// Ingests an already-decoded frame (reader-thread path).
+    pub fn ingest_decoded(
+        &mut self,
+        from: SocketAddr,
+        endpoint: std::net::Ipv4Addr,
+        seg: TcpSegment,
+    ) {
+        self.datagrams_rx += 1;
+        self.enqueue(from, endpoint, seg);
+    }
+
+    /// Accounts datagrams the reader thread failed to decode.
+    pub fn note_decode_errors(&mut self, n: u64) {
+        self.datagrams_rx += n;
+        self.decode_errors += n;
+    }
+
+    fn enqueue(&mut self, from: SocketAddr, endpoint: std::net::Ipv4Addr, seg: TcpSegment) {
+        if seg.dst_port != self.port {
+            // Deliverable nowhere: counts with the malformed input.
+            self.decode_errors += 1;
+            return;
+        }
+        let flow = FlowKey {
+            addr: endpoint,
+            port: seg.src_port,
+        };
+        self.peers.insert(flow, from);
+        self.batch.push((endpoint, seg));
+    }
+
+    /// Pending ingress not yet flushed (the socket loop flushes when
+    /// this reaches its batch size or the recv window goes idle).
+    pub fn batch_len(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// Steps the listener over the ingress batch, serves application
+    /// requests, runs the retransmit poll when due, and emits every
+    /// reply as an encoded frame through `sink(peer, frame_bytes)`.
+    pub fn flush(&mut self, now: SimTime, sink: &mut dyn FnMut(SocketAddr, &[u8])) {
+        if !self.batch.is_empty() {
+            let out = self.listener.on_segments(now, &self.batch);
+            self.batch.clear();
+            self.transmit(out.replies, sink);
+            for ev in out.events {
+                match ev {
+                    ListenerEvent::Data { flow, payload, fin } => {
+                        if let Some(size) = hostsim::parse_gettext_request(&payload) {
+                            self.pending.insert(flow, size);
+                        } else if fin && self.pending.remove(&flow).is_none() {
+                            // Peer closed without a parseable request.
+                            if self.accepted.remove(&flow) {
+                                self.listener.close(flow);
+                            }
+                        }
+                    }
+                    ListenerEvent::Established { .. }
+                    | ListenerEvent::SynDropped { .. }
+                    | ListenerEvent::AckIgnoredQueueFull { .. }
+                    | ListenerEvent::SolutionRejected { .. }
+                    | ListenerEvent::AcceptOverflow { .. }
+                    | ListenerEvent::ResetSent { .. } => {}
+                }
+            }
+        }
+        while let Some(flow) = self.listener.accept() {
+            self.accepted.insert(flow);
+        }
+        // Serve every accepted flow with a parsed request: immediate
+        // send_data with FIN (no service-time model — see module docs).
+        let ready: Vec<(FlowKey, usize)> = self
+            .pending
+            .iter()
+            .filter(|(flow, _)| self.accepted.contains(*flow))
+            .map(|(flow, size)| (*flow, *size))
+            .collect();
+        for (flow, size) in ready {
+            self.pending.remove(&flow);
+            self.accepted.remove(&flow);
+            let segs = self.listener.send_data(flow, size, true);
+            self.requests_served += 1;
+            self.transmit(segs, sink);
+            self.peers.remove(&flow);
+        }
+        if now >= self.next_poll {
+            let retx = self.listener.poll(now);
+            self.transmit(retx, sink);
+            self.next_poll = now + self.poll_interval;
+        }
+    }
+
+    fn transmit(
+        &mut self,
+        replies: Vec<(std::net::Ipv4Addr, TcpSegment)>,
+        sink: &mut dyn FnMut(SocketAddr, &[u8]),
+    ) {
+        for (endpoint, seg) in replies {
+            let flow = FlowKey {
+                addr: endpoint,
+                port: seg.dst_port,
+            };
+            let Some(&peer) = self.peers.get(&flow) else {
+                // Endpoint we never heard from (shouldn't happen on
+                // loopback); nowhere to send.
+                continue;
+            };
+            self.scratch.clear();
+            encode_frame(endpoint, &seg, &mut self.scratch);
+            sink(peer, &self.scratch);
+            self.datagrams_tx += 1;
+        }
+    }
+
+    /// Snapshot of everything measured, with wire-level decode errors
+    /// folded into the listener counters via `merge`.
+    pub fn stats(&self) -> WireServerStats {
+        let mut listener = self.listener.stats();
+        listener.merge(&ListenerStats {
+            decode_errors: self.decode_errors,
+            ..Default::default()
+        });
+        WireServerStats {
+            datagrams_rx: self.datagrams_rx,
+            datagrams_tx: self.datagrams_tx,
+            requests_served: self.requests_served,
+            listener,
+        }
+    }
+
+    /// The installed policy's diagnostic name.
+    pub fn policy_name(&self) -> &'static str {
+        self.listener.policy_name()
+    }
+}
+
+/// A decoded-frame batch handed from the reader thread to the stepper.
+struct RxBatch {
+    frames: Vec<(SocketAddr, std::net::Ipv4Addr, TcpSegment)>,
+    decode_errors: u64,
+}
+
+/// Reader-thread batch bound: how many datagrams one hand-off carries.
+const RX_BATCH: usize = 256;
+
+/// The socket front of the live server.
+pub struct LiveServer {
+    socket: UdpSocket,
+    engine: ServerEngine,
+}
+
+impl LiveServer {
+    /// Binds a UDP socket (e.g. `127.0.0.1:9000`, or port 0 for an
+    /// ephemeral port) and stands up the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket bind error.
+    pub fn bind(bind: &str, cfg: &ServerConfig) -> io::Result<LiveServer> {
+        let socket = UdpSocket::bind(bind)?;
+        Ok(LiveServer {
+            socket,
+            engine: ServerEngine::new(cfg),
+        })
+    }
+
+    /// The bound UDP address (for tests binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket's `local_addr` error, if any.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Runs until `stop` goes true: a reader thread batch-receives and
+    /// decodes datagrams into recycled arenas (one SPSC hand-off, the
+    /// PR 6 pipeline idiom built from channels), while this thread
+    /// drives the engine and transmits replies. Returns the final
+    /// stats snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if socket configuration (read timeout) fails.
+    pub fn run<C: WireClock + Sync>(mut self, clock: &C, stop: &AtomicBool) -> WireServerStats {
+        // work: reader → stepper (filled batches); pool: stepper →
+        // reader (empties back, so arenas are reused, not reallocated).
+        let (work_tx, work_rx) = mpsc::channel::<RxBatch>();
+        let (pool_tx, pool_rx) = mpsc::channel::<RxBatch>();
+        for _ in 0..4 {
+            let _ = pool_tx.send(RxBatch {
+                frames: Vec::with_capacity(RX_BATCH),
+                decode_errors: 0,
+            });
+        }
+        let socket = &self.socket;
+        let engine = &mut self.engine;
+        std::thread::scope(|scope| {
+            scope.spawn(move || reader_loop(socket, stop, &work_tx, &pool_rx));
+            let idle = SimDuration::from_millis(1);
+            while !stop.load(Ordering::Relaxed) {
+                let mut got = false;
+                while let Ok(mut batch) = work_rx.try_recv() {
+                    got = true;
+                    for (from, endpoint, seg) in batch.frames.drain(..) {
+                        engine.ingest_decoded(from, endpoint, seg);
+                    }
+                    engine.note_decode_errors(batch.decode_errors);
+                    batch.decode_errors = 0;
+                    let _ = pool_tx.send(batch);
+                    if engine.batch_len() >= RX_BATCH {
+                        break;
+                    }
+                }
+                engine.flush(clock.now(), &mut |peer, bytes| {
+                    let _ = socket.send_to(bytes, peer);
+                });
+                if !got {
+                    clock.sleep(idle);
+                }
+            }
+            // The reader checks `stop` every read-timeout tick, so the
+            // scope joins within ~1 ms of the flag going true.
+        });
+        self.engine.stats()
+    }
+}
+
+/// The reader thread: receives datagrams, frame-decodes them off the
+/// stepping thread, and hands filled batches over. Arenas come back
+/// through `pool_rx`; if the pool is momentarily empty a fresh batch is
+/// allocated rather than stalling the socket.
+fn reader_loop(
+    socket: &UdpSocket,
+    stop: &AtomicBool,
+    work_tx: &mpsc::Sender<RxBatch>,
+    pool_rx: &mpsc::Receiver<RxBatch>,
+) {
+    socket
+        .set_read_timeout(Some(std::time::Duration::from_millis(1)))
+        .expect("set_read_timeout");
+    let mut buf = [0u8; MAX_FRAME_LEN + 64];
+    let mut batch = pool_rx.try_recv().unwrap_or_else(|_| RxBatch {
+        frames: Vec::with_capacity(RX_BATCH),
+        decode_errors: 0,
+    });
+    let hand_off = |batch: &mut RxBatch| {
+        if batch.frames.is_empty() && batch.decode_errors == 0 {
+            return;
+        }
+        let next = pool_rx.try_recv().unwrap_or_else(|_| RxBatch {
+            frames: Vec::with_capacity(RX_BATCH),
+            decode_errors: 0,
+        });
+        let full = std::mem::replace(batch, next);
+        let _ = work_tx.send(full);
+    };
+    while !stop.load(Ordering::Relaxed) {
+        match socket.recv_from(&mut buf) {
+            Ok((n, from)) => {
+                match decode_frame(&buf[..n]) {
+                    Ok((endpoint, seg)) => batch.frames.push((from, endpoint, seg)),
+                    Err(_) => batch.decode_errors += 1,
+                }
+                if batch.frames.len() >= RX_BATCH {
+                    hand_off(&mut batch);
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Recv window went idle: flush the partial batch so
+                // latency stays bounded at low rates.
+                hand_off(&mut batch);
+            }
+            Err(_) => {}
+        }
+    }
+}
