@@ -14,8 +14,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use puzzle_core::{
-    BatchScratch, ConnectionTuple, Difficulty, IssueScratch, ServerSecret, Solver, Verifier,
-    VerifyRequest,
+    AlgoId, BatchScratch, ConnectionTuple, Difficulty, IssueScratch, ServerSecret, Solver,
+    Verifier, VerifyRequest,
 };
 use puzzle_crypto::{
     auto_backend, sha256, HashBackend, HmacSha256, MessageArena, MultiLaneBackend, ScalarBackend,
@@ -113,6 +113,46 @@ fn bench_verify_batch_for<B: HashBackend>(c: &mut Criterion, group: &str, backen
     g.finish();
 }
 
+/// Verify throughput for the asymmetric collision puzzle through one
+/// backend: same shape as `verify_batch` but the verifier recomputes
+/// *two* tags per sub-solution (the colliding nonce pair), so the
+/// guarded expectation is ≤ 2× the prefix verify bill at equal batch
+/// size (`bench_check --max-ratio`).
+fn bench_collide_verify_batch_for<B: HashBackend>(c: &mut Criterion, group: &str, backend: B) {
+    let secret = ServerSecret::from_bytes([4; 32]);
+    let verifier = Verifier::with_backend(secret, backend)
+        .with_algo(AlgoId::Collide)
+        .with_expiry(8);
+    let d = Difficulty::new(2, 10).expect("valid");
+    let mut g = c.benchmark_group(format!("{group}/collide_verify_batch"));
+    for n in [16usize, 256] {
+        let requests: Vec<VerifyRequest> = (0..n)
+            .map(|i| {
+                let tuple = ConnectionTuple::new(
+                    "10.0.0.2".parse().expect("addr"),
+                    40_000 + i as u16,
+                    "10.0.0.1".parse().expect("addr"),
+                    80,
+                    0x1234 + i as u32,
+                );
+                let challenge = verifier.issue(&tuple, 100, d, 32).expect("valid");
+                let solved = Solver::new().with_algo(AlgoId::Collide).solve(&challenge);
+                (tuple, challenge.params(), solved.solution)
+            })
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &requests, |b, reqs| {
+            let mut scratch = BatchScratch::new();
+            b.iter(|| {
+                let hashes = verifier.verify_batch_with(black_box(reqs), 100, &mut scratch);
+                assert_eq!(scratch.accepted(), reqs.len());
+                hashes
+            })
+        });
+    }
+    g.finish();
+}
+
 /// Issuance throughput through one backend: `issue_batch` over distinct
 /// tuples at the paper's `(2, 17)` operating point with 32-bit
 /// pre-images, through a reused scratch (the listener's steady state) —
@@ -153,15 +193,18 @@ fn bench_issue_batch_for<B: HashBackend>(c: &mut Criterion, group: &str, backend
 fn bench_backends(c: &mut Criterion) {
     bench_backend_batch_for(c, "backend", &MultiLaneBackend);
     bench_verify_batch_for(c, "backend", MultiLaneBackend);
+    bench_collide_verify_batch_for(c, "backend", MultiLaneBackend);
     bench_issue_batch_for(c, "backend", MultiLaneBackend);
 
     bench_backend_batch_for(c, "backend-scalar", &ScalarBackend);
     bench_verify_batch_for(c, "backend-scalar", ScalarBackend);
+    bench_collide_verify_batch_for(c, "backend-scalar", ScalarBackend);
     bench_issue_batch_for(c, "backend-scalar", ScalarBackend);
 
     if let Some(ni) = ShaNiBackend::new() {
         bench_backend_batch_for(c, "backend-shani", &ni);
         bench_verify_batch_for(c, "backend-shani", ni);
+        bench_collide_verify_batch_for(c, "backend-shani", ni);
         bench_issue_batch_for(c, "backend-shani", ni);
     } else {
         println!("backend: backend-shani skipped (no SHA extensions on this CPU)");
@@ -170,6 +213,7 @@ fn bench_backends(c: &mut Criterion) {
     let auto = auto_backend();
     bench_backend_batch_for(c, "backend-auto", &auto);
     bench_verify_batch_for(c, "backend-auto", auto);
+    bench_collide_verify_batch_for(c, "backend-auto", auto);
     bench_issue_batch_for(c, "backend-auto", auto);
 }
 

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use puzzle_core::{
-    sample_solve_hashes, Challenge, ConnectionTuple, Difficulty, ServerSecret, SolveCostModel,
-    Solver, Verifier,
+    sample_solve_hashes, AlgoId, Challenge, ConnectionTuple, Difficulty, ServerSecret,
+    SolveCostModel, Solver, Verifier,
 };
 use std::hint::black_box;
 
@@ -45,6 +45,30 @@ fn bench_solve(c: &mut Criterion) {
     g.finish();
 }
 
+/// ℓ(p) for the asymmetric algorithm: the memory-bound birthday solve —
+/// √(π/2)·2^(m/2) expected tags per sub-puzzle plus the table the
+/// hash-prefix solver never needs (that table is the asymmetry: GPU
+/// hash pipelines don't shrink it).
+fn bench_solve_collide(c: &mut Criterion) {
+    let secret = ServerSecret::from_bytes([2; 32]);
+    let t = tuple();
+    let mut g = c.benchmark_group("solve/collide");
+    g.sample_size(10);
+    for m in [8u8, 12, 16] {
+        let challenge =
+            Challenge::issue(&secret, &t, 100, Difficulty::new(1, m).expect("valid"), 32)
+                .expect("valid");
+        g.bench_with_input(BenchmarkId::from_parameter(m), &challenge, |b, ch| {
+            b.iter(|| {
+                Solver::new()
+                    .with_algo(AlgoId::Collide)
+                    .solve(black_box(ch))
+            })
+        });
+    }
+    g.finish();
+}
+
 /// d(p): stateless verification — recompute pre-image + k sub-checks.
 fn bench_verify(c: &mut Criterion) {
     let secret = ServerSecret::from_bytes([3; 32]);
@@ -79,5 +103,5 @@ fn bench_cost_model(c: &mut Criterion) {
     });
 }
 
-criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_issue, bench_solve, bench_verify, bench_cost_model}
+criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10); targets = bench_issue, bench_solve, bench_solve_collide, bench_verify, bench_cost_model}
 criterion_main!(benches);

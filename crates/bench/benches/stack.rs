@@ -8,7 +8,7 @@ use experiments::scenario::{DefenseSpec, Matrix, Timeline};
 use hostsim::FleetAttack;
 use netsim::wheel::{HeapQueue, TimerWheel};
 use netsim::{SimDuration, SimTime};
-use puzzle_core::{Difficulty, ServerSecret};
+use puzzle_core::{AlgoId, Difficulty, ServerSecret};
 use std::hint::black_box;
 use std::net::Ipv4Addr;
 use tcpstack::{
@@ -64,6 +64,7 @@ fn bench_syn_cookie(c: &mut Criterion) {
 /// Stateless challenge generation under overflow (g(p) = 1 hash).
 fn bench_syn_challenge(c: &mut Criterion) {
     let pc = PuzzleConfig {
+        algo: AlgoId::Prefix,
         difficulty: Difficulty::new(2, 17).expect("valid"),
         preimage_bits: 32,
         expiry: 8,
@@ -91,6 +92,7 @@ fn bench_syn_challenge(c: &mut Criterion) {
 /// `bench_check --require-scaling stack/syn_challenge_batch:256:3.0`.
 fn bench_syn_challenge_batch(c: &mut Criterion) {
     let pc = PuzzleConfig {
+        algo: AlgoId::Prefix,
         difficulty: Difficulty::new(2, 17).expect("valid"),
         preimage_bits: 32,
         expiry: 8,
@@ -138,6 +140,7 @@ fn bench_syn_challenge_batch(c: &mut Criterion) {
 /// `ns(/1) / ns(/256)` is the windowed batch speedup.
 fn bench_syn_challenge_stateless_batch(c: &mut Criterion) {
     let pc = PuzzleConfig {
+        algo: AlgoId::Prefix,
         difficulty: Difficulty::new(2, 17).expect("valid"),
         preimage_bits: 32,
         expiry: 8,
@@ -197,6 +200,7 @@ fn sharded_listener(
     pipeline: tcpstack::ShardPipeline,
 ) -> ShardedListener<puzzle_crypto::ScalarBackend> {
     let pc = PuzzleConfig {
+        algo: AlgoId::Prefix,
         difficulty: Difficulty::new(2, 17).expect("valid"),
         preimage_bits: 32,
         expiry: 8,

@@ -2,6 +2,7 @@
 //! front-end's datagram framing.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use puzzle_core::AlgoId;
 use std::hint::black_box;
 use tcpstack::{
     ChallengeOption, SegmentBuilder, SolutionOption, SynCookieCodec, TcpFlags, TcpOption,
@@ -20,6 +21,7 @@ fn challenge_options() -> Vec<TcpOption> {
             m: 17,
             preimage: vec![1, 2, 3, 4],
             timestamp: None,
+            algo: AlgoId::Prefix,
         }),
     ]
 }
@@ -41,7 +43,7 @@ fn bench_decode(c: &mut Criterion) {
 fn bench_solution_split(c: &mut Criterion) {
     let sol = SolutionOption::build(1460, 7, &[vec![1; 4], vec![2; 4]], None);
     c.bench_function("wire/solution_split", |b| {
-        b.iter(|| sol.split(2, 32, false).expect("valid"))
+        b.iter(|| sol.split(2, 32, AlgoId::Prefix, false).expect("valid"))
     });
 }
 

@@ -1,0 +1,642 @@
+//! The pluggable puzzle-algorithm seam.
+//!
+//! [`HashBackend`](puzzle_crypto::HashBackend) abstracts *how* SHA-256
+//! runs; this module abstracts *which puzzle is posed* over it. The
+//! [`PuzzleAlgo`] trait owns the three algorithm-specific pieces —
+//! issue-side pre-image construction, the solve search, and the
+//! (batched) verification predicate — while everything around it
+//! (freshness windows, replay caches, arena staging, hash accounting)
+//! stays shared in [`crate::Verifier`] / [`crate::Solver`].
+//!
+//! Two algorithms ship in-repo:
+//!
+//! * [`PrefixAlgo`] — the paper's Juels–Brainard hash-prefix puzzle:
+//!   sub-solution `i` is an `l`-bit string `s_i` with the first `m` bits
+//!   of `h(P ‖ i ‖ s_i)` equal to the first `m` bits of `P`. One hash
+//!   per proof to verify; ℓ(p) = k·2^(m−1) expected hashes to solve.
+//! * [`CollideAlgo`] — an Equi-X/HashX-inspired *asymmetric* puzzle:
+//!   sub-solution `i` is a **pair** of distinct `l`-bit nonces `(a, b)`
+//!   whose tags `h(P ‖ i ‖ a)` and `h(P ‖ i ‖ b)` collide on their
+//!   first `m` bits. Verification is two hashes plus a comparison;
+//!   solving is a birthday search costing ~√(π/2)·2^(m/2) hashes *and*
+//!   O(2^(m/2)) memory per sub-puzzle. The memory-boundness is the
+//!   point: a GPU's hash-rate advantage is throttled by its memory
+//!   system, so the Stackelberg model assigns it a much smaller
+//!   attacker speedup κ than the pure-compute prefix puzzle.
+//!
+//! Every wire id, registry name, proof length, and cost formula routes
+//! through [`AlgoId`], so higher layers (TCP options, defense
+//! registry, host simulation, game theory) never hardcode an
+//! algorithm.
+
+use std::collections::HashMap;
+
+use crate::challenge::{leading_bits_match, push_sub_solution_message, sub_solution_digest};
+use crate::difficulty::Difficulty;
+use crate::tuple::ConnectionTuple;
+use crate::verify::ServerSecret;
+use puzzle_crypto::{Digest, HashBackend, MessageArena};
+
+/// Identifies a puzzle algorithm on the wire and in registries.
+///
+/// The default is [`AlgoId::Prefix`], and every layer treats the
+/// default as "emit nothing": a prefix-puzzle challenge encodes to the
+/// exact bytes it did before this seam existed, which is why all
+/// pre-existing golden digests survive unchanged.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AlgoId {
+    /// Juels–Brainard hash-prefix puzzle ([`PrefixAlgo`]).
+    #[default]
+    Prefix,
+    /// Birthday-collision asymmetric puzzle ([`CollideAlgo`]).
+    Collide,
+}
+
+impl AlgoId {
+    /// Every supported algorithm, in wire-id order.
+    pub const ALL: [AlgoId; 2] = [AlgoId::Prefix, AlgoId::Collide];
+
+    /// One-byte wire identifier (carried in the challenge TCP option
+    /// only when not [`AlgoId::Prefix`]).
+    pub fn wire_id(self) -> u8 {
+        match self {
+            AlgoId::Prefix => 0,
+            AlgoId::Collide => 1,
+        }
+    }
+
+    /// Parses a wire identifier; unknown bytes are `None` (the decoder
+    /// rejects the option rather than guessing).
+    pub fn from_wire(id: u8) -> Option<Self> {
+        match id {
+            0 => Some(AlgoId::Prefix),
+            1 => Some(AlgoId::Collide),
+            _ => None,
+        }
+    }
+
+    /// Registry / CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgoId::Prefix => "prefix",
+            AlgoId::Collide => "collide",
+        }
+    }
+
+    /// Resolves a registry / CLI name; unknown names are `None`.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "prefix" => Some(AlgoId::Prefix),
+            "collide" => Some(AlgoId::Collide),
+            _ => None,
+        }
+    }
+
+    /// Proof length in bytes for an `preimage_len`-byte (`l/8`) puzzle:
+    /// one nonce for the prefix puzzle, a nonce pair for the collision
+    /// puzzle. Cross-algo solutions therefore fail the structural
+    /// length check before any hash is spent.
+    pub fn proof_len(self, preimage_len: usize) -> usize {
+        match self {
+            AlgoId::Prefix => preimage_len,
+            AlgoId::Collide => 2 * preimage_len,
+        }
+    }
+
+    /// Hashes the verifier spends per *checked* proof (1 for prefix,
+    /// 2 for the collision pair) — the per-algo unit behind both the
+    /// real batch engine's charges and oracle-mode CPU accounting.
+    pub fn verify_hashes_per_proof(self) -> u64 {
+        match self {
+            AlgoId::Prefix => 1,
+            AlgoId::Collide => 2,
+        }
+    }
+
+    /// Worst-case verification hashes for a fully valid solution: the
+    /// pre-image plus [`AlgoId::verify_hashes_per_proof`] per proof.
+    pub fn max_verification_hashes(self, difficulty: Difficulty) -> f64 {
+        1.0 + (self.verify_hashes_per_proof() * difficulty.k() as u64) as f64
+    }
+
+    /// Expected hashes a client spends solving `difficulty` under this
+    /// algorithm: ℓ(p) = k·2^(m−1) for the prefix puzzle, the birthday
+    /// bound k·√(π/2)·2^(m/2) for the collision puzzle.
+    pub fn expected_solve_hashes(self, difficulty: Difficulty) -> f64 {
+        match self {
+            AlgoId::Prefix => difficulty.expected_client_hashes(),
+            AlgoId::Collide => {
+                let per_sub =
+                    (std::f64::consts::FRAC_PI_2).sqrt() * 2f64.powf(difficulty.m() as f64 / 2.0);
+                difficulty.k() as f64 * per_sub
+            }
+        }
+    }
+
+    /// Default attacker speedup κ(algo) for the Stackelberg model: how
+    /// many times faster than the reference client an accelerated
+    /// attacker solves this algorithm. The pure-compute prefix puzzle
+    /// maps perfectly onto GPU lanes (κ ≈ 16, the paper's GPU
+    /// scenario); the collision puzzle's working set (~2^(m/2) tag
+    /// slots touched at random) is memory-bound, throttling the same
+    /// hardware to κ ≈ 2.
+    pub fn default_attacker_speedup(self) -> f64 {
+        match self {
+            AlgoId::Prefix => 16.0,
+            AlgoId::Collide => 2.0,
+        }
+    }
+
+    // --- pub(crate) dispatch onto the trait implementations. The trait
+    // has generic (hash-backend) methods, so it cannot be a trait
+    // object; the verifier and solver dispatch through these instead.
+
+    pub(crate) fn messages_per_proof(self) -> usize {
+        match self {
+            AlgoId::Prefix => PrefixAlgo.messages_per_proof(),
+            AlgoId::Collide => CollideAlgo.messages_per_proof(),
+        }
+    }
+
+    pub(crate) fn proof_well_formed(self, proof: &[u8]) -> bool {
+        match self {
+            AlgoId::Prefix => PrefixAlgo.proof_well_formed(proof),
+            AlgoId::Collide => CollideAlgo.proof_well_formed(proof),
+        }
+    }
+
+    pub(crate) fn check_proof<B: HashBackend>(
+        self,
+        backend: &B,
+        preimage: &[u8],
+        m: u8,
+        index: u8,
+        proof: &[u8],
+    ) -> (bool, u64) {
+        match self {
+            AlgoId::Prefix => PrefixAlgo.check_proof(backend, preimage, m, index, proof),
+            AlgoId::Collide => CollideAlgo.check_proof(backend, preimage, m, index, proof),
+        }
+    }
+
+    pub(crate) fn stage_proof(
+        self,
+        arena: &mut MessageArena,
+        preimage: &[u8],
+        index: u8,
+        proof: &[u8],
+    ) {
+        match self {
+            AlgoId::Prefix => PrefixAlgo.stage_proof(arena, preimage, index, proof),
+            AlgoId::Collide => CollideAlgo.stage_proof(arena, preimage, index, proof),
+        }
+    }
+
+    pub(crate) fn round_ok(self, digests: &[Digest], base: usize, preimage: &[u8], m: u8) -> bool {
+        match self {
+            AlgoId::Prefix => PrefixAlgo.round_ok(digests, base, preimage, m),
+            AlgoId::Collide => CollideAlgo.round_ok(digests, base, preimage, m),
+        }
+    }
+
+    pub(crate) fn solve_proof<B: HashBackend>(
+        self,
+        backend: &B,
+        preimage: &[u8],
+        m: u8,
+        index: u8,
+        total: &mut u64,
+        budget: u64,
+    ) -> Option<(Vec<u8>, u64)> {
+        match self {
+            AlgoId::Prefix => PrefixAlgo.solve_proof(backend, preimage, m, index, total, budget),
+            AlgoId::Collide => CollideAlgo.solve_proof(backend, preimage, m, index, total, budget),
+        }
+    }
+}
+
+impl std::fmt::Display for AlgoId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A puzzle algorithm: the three algorithm-specific pieces the
+/// verifier/solver machinery is generic over.
+///
+/// Implementations must keep three contracts so the shared engines stay
+/// correct:
+///
+/// 1. **Round structure.** [`PuzzleAlgo::stage_proof`] appends exactly
+///    [`PuzzleAlgo::messages_per_proof`] messages to the arena, and
+///    [`PuzzleAlgo::round_ok`] judges a proof from that many
+///    consecutive digests — this is what lets the batch engine hash
+///    whole rounds through one `sha256_arena` call and charge
+///    `arena.len()` hashes.
+/// 2. **Sequential ≡ batched.** [`PuzzleAlgo::check_proof`] must agree
+///    with the staged path on both verdict and hash charge.
+/// 3. **Free structure.** [`PuzzleAlgo::proof_well_formed`] must cost
+///    no hashes; it runs in the verifier's precheck, before any work
+///    is spent on the request.
+pub trait PuzzleAlgo {
+    /// This algorithm's identifier.
+    fn id(&self) -> AlgoId;
+
+    /// Proof length in bytes for an `preimage_len`-byte puzzle.
+    fn proof_len(&self, preimage_len: usize) -> usize;
+
+    /// Messages staged (and hashes charged) per proof per round.
+    fn messages_per_proof(&self) -> usize;
+
+    /// Hash-free structural validity beyond the length check (e.g. a
+    /// collision pair must be two *distinct* nonces).
+    fn proof_well_formed(&self, proof: &[u8]) -> bool;
+
+    /// Issue-side pre-image construction: `P = first l bits of
+    /// h(secret ‖ T ‖ packet-data)` (paper Figure 2). Both built-in
+    /// algorithms pose different *solution predicates over the same
+    /// pre-image*, so this is a provided method; an algorithm with its
+    /// own issuance (e.g. a memory-hard function seeded differently)
+    /// overrides it.
+    fn compute_preimage<B: HashBackend>(
+        &self,
+        backend: &B,
+        secret: &ServerSecret,
+        tuple: &ConnectionTuple,
+        timestamp: u32,
+        len_bytes: usize,
+    ) -> Vec<u8> {
+        crate::challenge::compute_preimage(backend, secret, tuple, timestamp, len_bytes)
+    }
+
+    /// Sequentially checks sub-solution `index` (1-based); returns the
+    /// verdict plus the hashes charged.
+    fn check_proof<B: HashBackend>(
+        &self,
+        backend: &B,
+        preimage: &[u8],
+        m: u8,
+        index: u8,
+        proof: &[u8],
+    ) -> (bool, u64);
+
+    /// Appends this proof's hash message(s) to the round arena.
+    fn stage_proof(&self, arena: &mut MessageArena, preimage: &[u8], index: u8, proof: &[u8]);
+
+    /// Judges one staged proof from the round's digest output;
+    /// `digests[base..base + messages_per_proof()]` are its digests.
+    /// `preimage` is the *full* pre-image digest (compared on `m` bits,
+    /// `m < l`, so the truncation never matters).
+    fn round_ok(&self, digests: &[Digest], base: usize, preimage: &[u8], m: u8) -> bool;
+
+    /// Solves sub-puzzle `index` by deterministic search, charging each
+    /// hash against `budget` under the workspace's inclusive rule
+    /// ([`crate::solve_fits_budget`]): `total` is incremented per hash,
+    /// and the search aborts with `None` once it would exceed the
+    /// budget. On success returns the proof bytes and the hashes this
+    /// sub-puzzle spent.
+    fn solve_proof<B: HashBackend>(
+        &self,
+        backend: &B,
+        preimage: &[u8],
+        m: u8,
+        index: u8,
+        total: &mut u64,
+        budget: u64,
+    ) -> Option<(Vec<u8>, u64)>;
+}
+
+/// The paper's hash-prefix puzzle, byte-for-byte the behaviour this
+/// repo had before the [`PuzzleAlgo`] seam existed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PrefixAlgo;
+
+impl PuzzleAlgo for PrefixAlgo {
+    fn id(&self) -> AlgoId {
+        AlgoId::Prefix
+    }
+
+    fn proof_len(&self, preimage_len: usize) -> usize {
+        preimage_len
+    }
+
+    fn messages_per_proof(&self) -> usize {
+        1
+    }
+
+    fn proof_well_formed(&self, _proof: &[u8]) -> bool {
+        true
+    }
+
+    fn check_proof<B: HashBackend>(
+        &self,
+        backend: &B,
+        preimage: &[u8],
+        m: u8,
+        index: u8,
+        proof: &[u8],
+    ) -> (bool, u64) {
+        let digest = sub_solution_digest(backend, preimage, index, proof);
+        (leading_bits_match(&digest, preimage, m as usize), 1)
+    }
+
+    fn stage_proof(&self, arena: &mut MessageArena, preimage: &[u8], index: u8, proof: &[u8]) {
+        push_sub_solution_message(arena, preimage, index, proof);
+    }
+
+    fn round_ok(&self, digests: &[Digest], base: usize, preimage: &[u8], m: u8) -> bool {
+        leading_bits_match(&digests[base], preimage, m as usize)
+    }
+
+    fn solve_proof<B: HashBackend>(
+        &self,
+        backend: &B,
+        preimage: &[u8],
+        m: u8,
+        index: u8,
+        total: &mut u64,
+        budget: u64,
+    ) -> Option<(Vec<u8>, u64)> {
+        let len = preimage.len();
+        let mut spent: u64 = 0;
+        let mut counter: u64 = 0;
+        // Candidate buffer: l/8 bytes, low 8 bytes carry the counter.
+        let mut candidate = vec![0u8; len];
+        loop {
+            let ctr_bytes = counter.to_le_bytes();
+            let n = len.min(8);
+            candidate[..n].copy_from_slice(&ctr_bytes[..n]);
+            spent += 1;
+            *total += 1;
+            if !crate::solve::solve_fits_budget(*total, budget) {
+                return None;
+            }
+            let digest = sub_solution_digest(backend, preimage, index, &candidate);
+            if leading_bits_match(&digest, preimage, m as usize) {
+                return Some((candidate, spent));
+            }
+            counter = counter.checked_add(1).expect("candidate space exhausted");
+            if len < 8 && counter >= 1u64 << (8 * len) {
+                panic!("candidate space exhausted for l={} bits", len * 8);
+            }
+        }
+    }
+}
+
+/// First `m` bits of a digest as an integer tag (the collision target).
+fn collide_tag(digest: &Digest, m: u8) -> u64 {
+    debug_assert!((1..=63).contains(&m));
+    let hi = u64::from_be_bytes(digest[..8].try_into().expect("digest holds 8 bytes"));
+    hi >> (64 - m as u32)
+}
+
+/// The Equi-X/HashX-inspired birthday-collision puzzle.
+///
+/// Sub-solution `i` is a pair of distinct `l`-bit nonces `(a, b)` with
+/// `h(P ‖ i ‖ a)` and `h(P ‖ i ‖ b)` agreeing on their first `m` bits.
+/// The proof travels as `a ‖ b` (2·l/8 bytes). Solving is a birthday
+/// search — store each nonce's `m`-bit tag until one repeats — costing
+/// an expected √(π/2)·2^(m/2) hashes and O(2^(m/2)) memory per
+/// sub-puzzle; verification recomputes exactly two tags and compares.
+/// Equal solve cost to the prefix puzzle is therefore reached at
+/// roughly *double* the bits (`m_collide ≈ 2·m_prefix`), with the
+/// memory-bound search resisting pure-compute acceleration.
+///
+/// The degenerate pair `a == b` trivially "collides" and is rejected
+/// for free by [`PuzzleAlgo::proof_well_formed`] in the verifier's
+/// precheck.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CollideAlgo;
+
+impl PuzzleAlgo for CollideAlgo {
+    fn id(&self) -> AlgoId {
+        AlgoId::Collide
+    }
+
+    fn proof_len(&self, preimage_len: usize) -> usize {
+        2 * preimage_len
+    }
+
+    fn messages_per_proof(&self) -> usize {
+        2
+    }
+
+    fn proof_well_formed(&self, proof: &[u8]) -> bool {
+        let (a, b) = proof.split_at(proof.len() / 2);
+        a != b
+    }
+
+    fn check_proof<B: HashBackend>(
+        &self,
+        backend: &B,
+        preimage: &[u8],
+        m: u8,
+        index: u8,
+        proof: &[u8],
+    ) -> (bool, u64) {
+        let (a, b) = proof.split_at(proof.len() / 2);
+        let da = sub_solution_digest(backend, preimage, index, a);
+        let db = sub_solution_digest(backend, preimage, index, b);
+        (leading_bits_match(&da, &db, m as usize), 2)
+    }
+
+    fn stage_proof(&self, arena: &mut MessageArena, preimage: &[u8], index: u8, proof: &[u8]) {
+        let (a, b) = proof.split_at(proof.len() / 2);
+        push_sub_solution_message(arena, preimage, index, a);
+        push_sub_solution_message(arena, preimage, index, b);
+    }
+
+    fn round_ok(&self, digests: &[Digest], base: usize, _preimage: &[u8], m: u8) -> bool {
+        leading_bits_match(&digests[base], &digests[base + 1], m as usize)
+    }
+
+    fn solve_proof<B: HashBackend>(
+        &self,
+        backend: &B,
+        preimage: &[u8],
+        m: u8,
+        index: u8,
+        total: &mut u64,
+        budget: u64,
+    ) -> Option<(Vec<u8>, u64)> {
+        let len = preimage.len();
+        let mut seen: HashMap<u64, u64> = HashMap::new();
+        let mut spent: u64 = 0;
+        let mut counter: u64 = 0;
+        let mut candidate = vec![0u8; len];
+        loop {
+            let ctr_bytes = counter.to_le_bytes();
+            let n = len.min(8);
+            candidate[..n].copy_from_slice(&ctr_bytes[..n]);
+            spent += 1;
+            *total += 1;
+            if !crate::solve::solve_fits_budget(*total, budget) {
+                return None;
+            }
+            let digest = sub_solution_digest(backend, preimage, index, &candidate);
+            let tag = collide_tag(&digest, m);
+            if let Some(&prev) = seen.get(&tag) {
+                // prev was inserted under a smaller counter: a != b.
+                let mut proof = vec![0u8; 2 * len];
+                let prev_bytes = prev.to_le_bytes();
+                proof[..n].copy_from_slice(&prev_bytes[..n]);
+                proof[len..len + n].copy_from_slice(&ctr_bytes[..n]);
+                return Some((proof, spent));
+            }
+            seen.insert(tag, counter);
+            counter = counter.checked_add(1).expect("candidate space exhausted");
+            if len < 8 && counter >= 1u64 << (8 * len) {
+                panic!("candidate space exhausted for l={} bits", len * 8);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puzzle_crypto::ScalarBackend;
+
+    #[test]
+    fn wire_ids_round_trip_and_reject_unknown() {
+        for algo in AlgoId::ALL {
+            assert_eq!(AlgoId::from_wire(algo.wire_id()), Some(algo));
+        }
+        assert_eq!(AlgoId::from_wire(2), None);
+        assert_eq!(AlgoId::from_wire(0xff), None);
+    }
+
+    #[test]
+    fn names_round_trip_and_reject_unknown() {
+        for algo in AlgoId::ALL {
+            assert_eq!(AlgoId::by_name(algo.name()), Some(algo));
+            assert_eq!(algo.to_string(), algo.name());
+        }
+        assert_eq!(AlgoId::by_name("equix"), None);
+        assert_eq!(AlgoId::by_name("Prefix"), None);
+        assert_eq!(AlgoId::by_name(""), None);
+    }
+
+    #[test]
+    fn default_is_prefix() {
+        assert_eq!(AlgoId::default(), AlgoId::Prefix);
+        assert_eq!(AlgoId::default().wire_id(), 0);
+    }
+
+    #[test]
+    fn proof_lengths_differ_per_algo() {
+        assert_eq!(AlgoId::Prefix.proof_len(4), 4);
+        assert_eq!(AlgoId::Collide.proof_len(4), 8);
+        assert_eq!(PrefixAlgo.proof_len(8), 8);
+        assert_eq!(CollideAlgo.proof_len(8), 16);
+    }
+
+    #[test]
+    fn cost_accounting_per_algo() {
+        let d = Difficulty::new(2, 16).unwrap();
+        assert_eq!(AlgoId::Prefix.max_verification_hashes(d), 3.0);
+        assert_eq!(AlgoId::Collide.max_verification_hashes(d), 5.0);
+        // Prefix: k·2^(m−1) = 2·32768.
+        assert_eq!(AlgoId::Prefix.expected_solve_hashes(d), 65536.0);
+        // Collide: k·√(π/2)·2^(m/2) = 2·1.2533·256 ≈ 641.7 — the
+        // asymmetry: equal m is ~100× cheaper to solve, so equal
+        // hardness needs ~double the bits.
+        let collide = AlgoId::Collide.expected_solve_hashes(d);
+        assert!((collide - 641.71).abs() < 0.1, "collide cost {collide}");
+        // Speedups: compute-bound prefix gains more from GPUs.
+        assert!(
+            AlgoId::Prefix.default_attacker_speedup() > AlgoId::Collide.default_attacker_speedup()
+        );
+    }
+
+    #[test]
+    fn collide_tag_takes_leading_bits() {
+        let mut digest = [0u8; 32];
+        digest[0] = 0b1010_1100;
+        digest[1] = 0b1111_0000;
+        assert_eq!(collide_tag(&digest, 4), 0b1010);
+        assert_eq!(collide_tag(&digest, 12), 0b1010_1100_1111);
+        assert_eq!(collide_tag(&digest, 1), 1);
+    }
+
+    #[test]
+    fn collide_solve_produces_verifying_distinct_pair() {
+        let preimage = [7u8; 8];
+        let mut total = 0u64;
+        let (proof, spent) = CollideAlgo
+            .solve_proof(&ScalarBackend, &preimage, 8, 1, &mut total, u64::MAX)
+            .expect("unbounded solve succeeds");
+        assert_eq!(proof.len(), 16);
+        assert_eq!(spent, total);
+        assert!(spent >= 2, "a pair needs at least two hashes");
+        assert!(CollideAlgo.proof_well_formed(&proof), "nonces distinct");
+        let (ok, hashes) = CollideAlgo.check_proof(&ScalarBackend, &preimage, 8, 1, &proof);
+        assert!(ok);
+        assert_eq!(hashes, 2);
+        // The same pair under another index almost surely fails (and
+        // must still charge both hashes).
+        let (_, hashes) = CollideAlgo.check_proof(&ScalarBackend, &preimage, 8, 2, &proof);
+        assert_eq!(hashes, 2);
+    }
+
+    #[test]
+    fn collide_rejects_degenerate_pair_structurally() {
+        // a == b always "collides"; it must die in the free precheck.
+        let proof = [5u8; 16];
+        assert!(!CollideAlgo.proof_well_formed(&proof));
+        assert!(PrefixAlgo.proof_well_formed(&proof));
+    }
+
+    #[test]
+    fn collide_solve_respects_budget_rule() {
+        let preimage = [9u8; 8];
+        let mut total = 0u64;
+        let (_, spent) = CollideAlgo
+            .solve_proof(&ScalarBackend, &preimage, 10, 1, &mut total, u64::MAX)
+            .unwrap();
+        // Exactly-exhausted budget succeeds (inclusive rule)…
+        let mut total = 0u64;
+        assert!(CollideAlgo
+            .solve_proof(&ScalarBackend, &preimage, 10, 1, &mut total, spent)
+            .is_some());
+        // …one hash less does not.
+        let mut total = 0u64;
+        assert!(CollideAlgo
+            .solve_proof(&ScalarBackend, &preimage, 10, 1, &mut total, spent - 1)
+            .is_none());
+    }
+
+    #[test]
+    fn prefix_trait_path_matches_legacy_predicate() {
+        let preimage = [3u8; 8];
+        let mut total = 0u64;
+        let (proof, _) = PrefixAlgo
+            .solve_proof(&ScalarBackend, &preimage, 6, 1, &mut total, u64::MAX)
+            .unwrap();
+        let (ok, hashes) = PrefixAlgo.check_proof(&ScalarBackend, &preimage, 6, 1, &proof);
+        assert!(ok);
+        assert_eq!(hashes, 1);
+        assert!(crate::challenge::sub_solution_ok(
+            &ScalarBackend,
+            &preimage,
+            6,
+            1,
+            &proof
+        ));
+    }
+
+    #[test]
+    fn preimage_construction_is_shared() {
+        let secret = ServerSecret::from_bytes([1u8; 32]);
+        let tuple = ConnectionTuple::new(
+            std::net::Ipv4Addr::new(10, 0, 0, 1),
+            1,
+            std::net::Ipv4Addr::new(10, 0, 0, 2),
+            2,
+            3,
+        );
+        let a = PrefixAlgo.compute_preimage(&ScalarBackend, &secret, &tuple, 9, 8);
+        let b = CollideAlgo.compute_preimage(&ScalarBackend, &secret, &tuple, 9, 8);
+        assert_eq!(a, b, "both algorithms pose over the same pre-image");
+    }
+}

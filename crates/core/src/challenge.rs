@@ -238,6 +238,18 @@ pub(crate) fn push_windowed_preimage_message(
     arena.push_parts(&[nonce, &tb]);
 }
 
+/// The sub-solution tag `h(P ‖ i ‖ candidate)` — the digest every
+/// puzzle algorithm's predicate is built from (the prefix puzzle
+/// matches it against `P`, the collision puzzle against a second tag).
+pub(crate) fn sub_solution_digest<B: HashBackend>(
+    backend: &B,
+    preimage: &[u8],
+    index: u8,
+    candidate: &[u8],
+) -> puzzle_crypto::Digest {
+    backend.sha256_parts(&[preimage, &[index], candidate])
+}
+
 /// Shared sub-solution predicate used by both solver and verifier.
 pub(crate) fn sub_solution_ok<B: HashBackend>(
     backend: &B,
@@ -246,7 +258,7 @@ pub(crate) fn sub_solution_ok<B: HashBackend>(
     index: u8,
     candidate: &[u8],
 ) -> bool {
-    let digest = backend.sha256_parts(&[preimage, &[index], candidate]);
+    let digest = sub_solution_digest(backend, preimage, index, candidate);
     leading_bits_match(&digest, preimage, m as usize)
 }
 

@@ -17,6 +17,7 @@
 //! The choice is surfaced because it doubles attacker/client solve times;
 //! experiments default to the paper's model so its figures are comparable.
 
+use crate::algo::AlgoId;
 use crate::difficulty::Difficulty;
 
 /// How to sample the number of hashes a brute-force solve performs.
@@ -70,6 +71,51 @@ pub fn sample_solve_hashes(
 ) -> u64 {
     (0..difficulty.k())
         .map(|_| sample_sub_puzzle_hashes(difficulty.m(), model, next_f64))
+        .sum()
+}
+
+/// Per-algorithm sibling of [`sample_sub_puzzle_hashes`].
+///
+/// * [`AlgoId::Prefix`] — delegates to the prefix models above.
+/// * [`AlgoId::Collide`] — the birthday search's stopping time, which
+///   is Rayleigh-distributed over the `2^m` tag space regardless of
+///   `model` (the search has no placement/geometric choice to make):
+///   `P(N > n) ≈ exp(−n²/2^(m+1))`, sampled by inverse CDF as
+///   `n = √(−2^(m+1)·ln(1−u))`, mean √(π/2)·2^(m/2), clamped to the
+///   2-hash minimum a pair needs.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `m > 63`.
+pub fn sample_sub_puzzle_hashes_for(
+    algo: AlgoId,
+    m: u8,
+    model: SolveCostModel,
+    next_f64: &mut dyn FnMut() -> f64,
+) -> u64 {
+    match algo {
+        AlgoId::Prefix => sample_sub_puzzle_hashes(m, model, next_f64),
+        AlgoId::Collide => {
+            assert!((1..=63).contains(&m), "m={m} outside 1..=63");
+            let u = next_f64();
+            let n = (-(2f64.powi(m as i32 + 1)) * (1.0 - u).ln()).sqrt();
+            (n.ceil() as u64).max(2)
+        }
+    }
+}
+
+/// Per-algorithm sibling of [`sample_solve_hashes`]: the total for `k`
+/// independent sub-puzzles under `algo`. This is the single sampling
+/// entry point the host simulation's solve oracle charges CPU through,
+/// so oracle-mode costs track [`AlgoId::expected_solve_hashes`].
+pub fn sample_solve_hashes_for(
+    algo: AlgoId,
+    difficulty: Difficulty,
+    model: SolveCostModel,
+    next_f64: &mut dyn FnMut() -> f64,
+) -> u64 {
+    (0..difficulty.k())
+        .map(|_| sample_sub_puzzle_hashes_for(algo, difficulty.m(), model, next_f64))
         .sum()
 }
 
@@ -165,5 +211,85 @@ mod tests {
     fn zero_bits_panics() {
         let mut f = || 0.5;
         sample_sub_puzzle_hashes(0, SolveCostModel::UniformPlacement, &mut f);
+    }
+
+    #[test]
+    fn per_algo_prefix_delegates_to_model() {
+        let mut a = Lcg(31);
+        let mut b = Lcg(31);
+        let mut fa = || a.next_f64();
+        let mut fb = || b.next_f64();
+        for _ in 0..1_000 {
+            assert_eq!(
+                sample_sub_puzzle_hashes_for(
+                    AlgoId::Prefix,
+                    9,
+                    SolveCostModel::UniformPlacement,
+                    &mut fa
+                ),
+                sample_sub_puzzle_hashes(9, SolveCostModel::UniformPlacement, &mut fb)
+            );
+        }
+    }
+
+    #[test]
+    fn collide_model_mean_matches_birthday_bound() {
+        let mut lcg = Lcg(12);
+        let mut f = || lcg.next_f64();
+        let m = 16u8;
+        let n = 100_000;
+        let sum: u64 = (0..n)
+            .map(|_| {
+                sample_sub_puzzle_hashes_for(
+                    AlgoId::Collide,
+                    m,
+                    SolveCostModel::UniformPlacement,
+                    &mut f,
+                )
+            })
+            .sum();
+        let mean = sum as f64 / n as f64;
+        // √(π/2)·2^(m/2) ≈ 320.8 at m = 16; the ceil+clamp biases the
+        // sampled mean up by well under 1.
+        let expect = (std::f64::consts::FRAC_PI_2).sqrt() * 2f64.powf(m as f64 / 2.0);
+        assert!(
+            (mean - expect).abs() / expect < 0.03,
+            "mean {mean}, expected ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn collide_model_minimum_is_a_pair() {
+        let mut lcg = Lcg(3);
+        let mut f = || lcg.next_f64();
+        for _ in 0..10_000 {
+            let h =
+                sample_sub_puzzle_hashes_for(AlgoId::Collide, 1, SolveCostModel::Geometric, &mut f);
+            assert!(h >= 2, "a collision needs at least two hashes, got {h}");
+        }
+    }
+
+    #[test]
+    fn per_algo_full_solve_sums_k_sub_puzzles() {
+        let mut lcg = Lcg(8);
+        let mut f = || lcg.next_f64();
+        let d = Difficulty::new(3, 12).unwrap();
+        let n = 50_000;
+        let sum: u64 = (0..n)
+            .map(|_| {
+                sample_solve_hashes_for(
+                    AlgoId::Collide,
+                    d,
+                    SolveCostModel::UniformPlacement,
+                    &mut f,
+                )
+            })
+            .sum();
+        let mean = sum as f64 / n as f64;
+        let expect = AlgoId::Collide.expected_solve_hashes(d);
+        assert!(
+            (mean - expect).abs() / expect < 0.03,
+            "mean {mean}, expected ≈ {expect}"
+        );
     }
 }

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod algo;
 mod challenge;
 mod cost;
 mod difficulty;
@@ -57,14 +58,18 @@ mod solve;
 mod tuple;
 mod verify;
 
+pub use algo::{AlgoId, CollideAlgo, PrefixAlgo, PuzzleAlgo};
 pub use challenge::{
     compute_preimage, compute_windowed_preimage, validate_preimage_bits, Challenge,
     ChallengeParams, Solution, MAX_PREIMAGE_BITS,
 };
-pub use cost::{sample_solve_hashes, sample_sub_puzzle_hashes, SolveCostModel};
+pub use cost::{
+    sample_solve_hashes, sample_solve_hashes_for, sample_sub_puzzle_hashes,
+    sample_sub_puzzle_hashes_for, SolveCostModel,
+};
 pub use difficulty::Difficulty;
 pub use error::{DifficultyError, IssueError, VerifyError};
 pub use replay::{mix64, ReplayCache};
-pub use solve::{SolveOutcome, Solver};
+pub use solve::{solve_fits_budget, SolveOutcome, Solver};
 pub use tuple::ConnectionTuple;
 pub use verify::{BatchOutcome, BatchScratch, IssueScratch, ServerSecret, Verifier, VerifyRequest};

@@ -1,6 +1,19 @@
 //! Brute-force puzzle solver (client side).
 
+use crate::algo::AlgoId;
 use crate::challenge::{Challenge, Solution};
+use puzzle_crypto::ScalarBackend;
+
+/// The workspace's hash-budget accounting rule, shared by the real
+/// solver and the host simulation's solve oracle so they can never
+/// disagree about the boundary case again: a solve *fits* its budget
+/// when the total hashes spent — **including the final, successful
+/// hash** — is at most the budget. A budget of exactly `H` therefore
+/// admits a solve that takes `H` hashes; `H − 1` does not.
+#[inline]
+pub fn solve_fits_budget(hashes: u64, budget: u64) -> bool {
+    hashes <= budget
+}
 
 /// Result of a successful solve: the solution plus work accounting.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -13,12 +26,16 @@ pub struct SolveOutcome {
     pub per_sub_puzzle: Vec<u64>,
 }
 
-/// Brute-force solver: enumerates `l`-bit candidates as a little-endian
-/// counter until each sub-puzzle's `m`-bit prefix check passes.
+/// Deterministic-search solver, parameterized by puzzle algorithm
+/// ([`Solver::with_algo`]; default [`AlgoId::Prefix`]).
 ///
-/// The enumeration order is deterministic, which makes tests reproducible;
-/// randomizing the starting point would not change the expected work
-/// because the predicate is a random function of the candidate.
+/// For the prefix puzzle it enumerates `l`-bit candidates as a
+/// little-endian counter until each sub-puzzle's `m`-bit prefix check
+/// passes; for the collision puzzle it runs the birthday search over
+/// the same counter. The enumeration order is deterministic, which
+/// makes tests reproducible; randomizing the starting point would not
+/// change the expected work because the predicate is a random function
+/// of the candidate.
 ///
 /// # Example
 ///
@@ -36,13 +53,25 @@ pub struct SolveOutcome {
 /// ```
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Solver {
-    _private: (),
+    algo: AlgoId,
 }
 
 impl Solver {
-    /// Creates a solver.
+    /// Creates a solver for the default prefix puzzle.
     pub fn new() -> Self {
-        Solver { _private: () }
+        Solver::default()
+    }
+
+    /// Selects the puzzle algorithm to solve (matching the issuing
+    /// server's [`crate::Verifier::with_algo`] configuration).
+    pub fn with_algo(mut self, algo: AlgoId) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// The configured puzzle algorithm.
+    pub fn algo(&self) -> AlgoId {
+        self.algo
     }
 
     /// Solves every sub-puzzle of `challenge`, however long it takes.
@@ -59,38 +88,28 @@ impl Solver {
     /// Solves with a hash budget; returns `None` if the budget would be
     /// exceeded. Useful for modelling clients that give up (the paper's
     /// users with low valuation `w_i` drop out rather than pay, §4.2).
+    ///
+    /// The budget is *inclusive* ([`solve_fits_budget`]): a solve whose
+    /// final, successful hash lands exactly on the budget succeeds.
     pub fn solve_with_budget(&self, challenge: &Challenge, budget: u64) -> Option<SolveOutcome> {
         let params = challenge.params();
         let k = params.difficulty.k();
-        let len = params.preimage_len();
+        let m = params.difficulty.m();
         let mut proofs = Vec::with_capacity(k as usize);
         let mut per_sub = Vec::with_capacity(k as usize);
         let mut total: u64 = 0;
 
         for index in 1..=k {
-            let mut spent: u64 = 0;
-            let mut counter: u64 = 0;
-            // Candidate buffer: l/8 bytes, low 8 bytes carry the counter.
-            let mut candidate = vec![0u8; len];
-            loop {
-                let ctr_bytes = counter.to_le_bytes();
-                let n = len.min(8);
-                candidate[..n].copy_from_slice(&ctr_bytes[..n]);
-                spent += 1;
-                total += 1;
-                if total > budget {
-                    return None;
-                }
-                if challenge.sub_solution_ok(index, &candidate) {
-                    proofs.push(candidate.clone());
-                    per_sub.push(spent);
-                    break;
-                }
-                counter = counter.checked_add(1).expect("candidate space exhausted");
-                if len < 8 && counter >= 1u64 << (8 * len) {
-                    panic!("candidate space exhausted for l={} bits", len * 8);
-                }
-            }
+            let (proof, spent) = self.algo.solve_proof(
+                &ScalarBackend,
+                challenge.preimage(),
+                m,
+                index,
+                &mut total,
+                budget,
+            )?;
+            proofs.push(proof);
+            per_sub.push(spent);
         }
 
         Some(SolveOutcome {
@@ -188,5 +207,95 @@ mod tests {
         let a = Solver::new().solve(&c);
         let b = Solver::new().solve(&c);
         assert_eq!(a, b);
+    }
+
+    /// The inclusive budget rule at its boundary: a budget of exactly
+    /// the hashes a solve takes admits it, one less rejects it — for
+    /// both algorithms, matching what [`solve_fits_budget`] documents
+    /// (and what the hostsim solve oracle now shares).
+    #[test]
+    fn budget_boundary_is_inclusive_for_every_algo() {
+        for algo in AlgoId::ALL {
+            let c = challenge(2, 6, 64);
+            let solver = Solver::new().with_algo(algo);
+            let h = solver.solve(&c).hashes;
+            let exact = solver.solve_with_budget(&c, h).expect("budget == H fits");
+            assert_eq!(exact.hashes, h, "{algo}");
+            assert!(solver.solve_with_budget(&c, h - 1).is_none(), "{algo}");
+            assert!(solve_fits_budget(h, h));
+            assert!(!solve_fits_budget(h, h - 1));
+        }
+    }
+
+    #[test]
+    fn collide_solver_produces_verifying_pairs() {
+        use crate::verify::{ServerSecret, Verifier};
+        let c = challenge(2, 8, 64);
+        let solver = Solver::new().with_algo(AlgoId::Collide);
+        assert_eq!(solver.algo(), AlgoId::Collide);
+        let out = solver.solve(&c);
+        assert_eq!(out.solution.len(), 2);
+        assert_eq!(out.per_sub_puzzle.iter().sum::<u64>(), out.hashes);
+        for proof in out.solution.proofs() {
+            assert_eq!(proof.len(), 16, "pair of 8-byte nonces");
+            assert_ne!(proof[..8], proof[8..], "nonces distinct");
+        }
+        // End to end: the issuing server's verifier accepts it.
+        let verifier = Verifier::new(ServerSecret::from_bytes([9u8; 32]))
+            .with_expiry(8)
+            .with_algo(AlgoId::Collide);
+        let tuple = ConnectionTuple::new(
+            Ipv4Addr::new(10, 0, 0, 5),
+            1234,
+            Ipv4Addr::new(10, 0, 0, 6),
+            443,
+            0xabcd,
+        );
+        assert_eq!(
+            verifier.verify(&tuple, &c.params(), &out.solution, 17),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn collide_solver_is_deterministic() {
+        let c = challenge(2, 10, 64);
+        let solver = Solver::new().with_algo(AlgoId::Collide);
+        assert_eq!(solver.solve(&c), solver.solve(&c));
+    }
+
+    /// The asymmetry the algorithm exists for: at equal `m` the
+    /// birthday search is far cheaper than the prefix search (≈2^(m/2)
+    /// vs 2^(m−1)), so equal hardness needs roughly double the bits.
+    #[test]
+    fn collide_solve_is_birthday_cheap_at_equal_m() {
+        let prefix: u64 = (0..4u32)
+            .map(|salt| {
+                let c = salted_challenge(salt, 1, 12);
+                Solver::new().solve(&c).hashes
+            })
+            .sum();
+        let collide: u64 = (0..4u32)
+            .map(|salt| {
+                let c = salted_challenge(salt, 1, 12);
+                Solver::new().with_algo(AlgoId::Collide).solve(&c).hashes
+            })
+            .sum();
+        assert!(
+            collide * 4 < prefix,
+            "birthday search ({collide}) should be well under prefix ({prefix})"
+        );
+    }
+
+    fn salted_challenge(salt: u32, k: u8, m: u8) -> Challenge {
+        let secret = ServerSecret::from_bytes([salt as u8; 32]);
+        let tuple = ConnectionTuple::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1000 + salt as u16,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+            salt,
+        );
+        Challenge::issue(&secret, &tuple, salt, Difficulty::new(k, m).unwrap(), 64).unwrap()
     }
 }

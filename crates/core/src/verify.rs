@@ -20,9 +20,9 @@
 
 use std::sync::Arc;
 
+use crate::algo::AlgoId;
 use crate::challenge::{
-    compute_windowed_preimage, leading_bits_match, push_preimage_message,
-    push_sub_solution_message, push_windowed_preimage_message, Solution,
+    compute_windowed_preimage, push_preimage_message, push_windowed_preimage_message, Solution,
 };
 use crate::challenge::{Challenge, ChallengeParams};
 use crate::difficulty::Difficulty;
@@ -221,6 +221,11 @@ pub struct Verifier<B: HashBackend = ScalarBackend> {
     /// clock reading, pre-images bind to the PRF-derived window nonce,
     /// and freshness is the strict current-or-previous-window check.
     window: Option<WindowPrf>,
+    /// Which puzzle algorithm this verifier poses and checks
+    /// ([`Verifier::with_algo`]). Solutions for any other algorithm
+    /// fail the structural precheck (their proofs have the wrong
+    /// length) before any hash is spent.
+    algo: AlgoId,
 }
 
 impl Verifier<ScalarBackend> {
@@ -245,7 +250,23 @@ impl<B: HashBackend> Verifier<B> {
             backend,
             replay: None,
             window: None,
+            algo: AlgoId::Prefix,
         }
+    }
+
+    /// Selects the puzzle algorithm this verifier poses and checks
+    /// (default [`AlgoId::Prefix`], the paper's hash-prefix puzzle).
+    /// The algorithm is server configuration, echoed to clients in the
+    /// challenge option: a solution built for a different algorithm is
+    /// structurally malformed here and is rejected for free.
+    pub fn with_algo(mut self, algo: AlgoId) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// The configured puzzle algorithm.
+    pub fn algo(&self) -> AlgoId {
+        self.algo
     }
 
     /// Sets the maximum accepted challenge age (replay window).
@@ -537,14 +558,15 @@ impl<B: HashBackend> Verifier<B> {
         };
         let mut hashes = 1u64;
         for (i, proof) in solution.proofs().iter().enumerate() {
-            hashes += 1;
-            if !crate::challenge::sub_solution_ok(
+            let (ok, cost) = self.algo.check_proof(
                 &self.backend,
                 &preimage,
                 params.difficulty.m(),
                 i as u8 + 1,
                 proof,
-            ) {
+            );
+            hashes += cost;
+            if !ok {
                 return (Err(VerifyError::Invalid { index: i }), hashes);
             }
         }
@@ -720,14 +742,19 @@ impl<B: HashBackend> Verifier<B> {
 
         // Rounds 2..: proof `round` of every still-live request, one batch
         // per round, dropping requests at their first invalid proof —
-        // exactly the sequential early-exit, so hash charges match.
+        // exactly the sequential early-exit, so hash charges match. The
+        // algorithm stages `messages_per_proof` messages per live entry
+        // (1 for prefix, the 2 pair halves for collide) and judges from
+        // that many consecutive digests; charging `arena.len()` therefore
+        // charges the per-algo cost automatically.
         // Invariant: every `live` entry has more than `round` proofs.
+        let mpp = self.algo.messages_per_proof();
         let mut round = 0usize;
         while !scratch.live.is_empty() {
             scratch.arena.clear();
             for (j, pre) in &scratch.live {
                 let (_, params, solution) = &requests[at(*j as usize)];
-                push_sub_solution_message(
+                self.algo.stage_proof(
                     &mut scratch.arena,
                     &pre[..params.preimage_len()],
                     round as u8 + 1,
@@ -744,8 +771,8 @@ impl<B: HashBackend> Verifier<B> {
             for i in 0..scratch.live.len() {
                 let (j, pre) = scratch.live[i];
                 let (_, params, solution) = &requests[at(j as usize)];
-                let m = params.difficulty.m() as usize;
-                if !leading_bits_match(&scratch.digests[i], &pre, m) {
+                let m = params.difficulty.m();
+                if !self.algo.round_ok(&scratch.digests, i * mpp, &pre, m) {
                     scratch.verdicts[j as usize] = Err(VerifyError::Invalid { index: round });
                 } else if round + 1 < solution.len() {
                     scratch.live[kept] = (j, pre);
@@ -825,10 +852,18 @@ impl<B: HashBackend> Verifier<B> {
                 got: solution.len(),
             });
         }
-        let expected_len = params.preimage_len();
+        // Proof lengths are per-algo (the collision puzzle carries a
+        // nonce *pair*), so a cross-algo solution dies right here — the
+        // "rejected cleanly, zero hashes" contract.
+        let expected_len = self.algo.proof_len(params.preimage_len());
         for (i, proof) in solution.proofs().iter().enumerate() {
             if proof.len() != expected_len {
                 return Err(VerifyError::BadSolutionLength { index: i });
+            }
+            if !self.algo.proof_well_formed(proof) {
+                // e.g. a degenerate collision pair (a == b): trivially
+                // "colliding", rejected for free.
+                return Err(VerifyError::Invalid { index: i });
             }
         }
         Ok(())
@@ -1257,6 +1292,138 @@ mod tests {
                 IssueError::DifficultyExceedsPreimage { m: 8, l: 8 }
             ))
         );
+    }
+
+    fn setup_algo(algo: AlgoId, k: u8, m: u8) -> (Verifier, ConnectionTuple, Challenge, Solution) {
+        let secret = ServerSecret::from_bytes([21u8; 32]);
+        let verifier = Verifier::new(secret).with_expiry(8).with_algo(algo);
+        let tuple = ConnectionTuple::new(
+            Ipv4Addr::new(172, 16, 5, 1),
+            41000,
+            Ipv4Addr::new(172, 16, 0, 2),
+            8080,
+            777,
+        );
+        let c = verifier
+            .issue(&tuple, 100, Difficulty::new(k, m).unwrap(), 64)
+            .unwrap();
+        let out = Solver::new().with_algo(algo).solve(&c);
+        (verifier, tuple, c, out.solution)
+    }
+
+    #[test]
+    fn collide_solutions_verify_with_per_pair_charges() {
+        let (v, t, c, s) = setup_algo(AlgoId::Collide, 3, 8);
+        assert_eq!(v.algo(), AlgoId::Collide);
+        let (res, hashes) = v.verify_counted(&t, &c.params(), &s, 100);
+        assert_eq!(res, Ok(()));
+        // 1 pre-image + 2 hashes per checked pair.
+        assert_eq!(hashes, 1 + 2 * 3);
+    }
+
+    #[test]
+    fn collide_corrupt_pair_fails_with_early_exit_charge() {
+        let (v, t, c, s) = setup_algo(AlgoId::Collide, 2, 10);
+        let mut proofs = s.proofs().to_vec();
+        proofs[0][0] ^= 0x80; // break the first pair's first nonce
+        let (res, hashes) = v.verify_counted(&t, &c.params(), &Solution::new(proofs), 100);
+        assert_eq!(res, Err(VerifyError::Invalid { index: 0 }));
+        assert_eq!(hashes, 1 + 2, "pre-image + the one checked pair");
+    }
+
+    #[test]
+    fn collide_degenerate_pair_rejected_free() {
+        let (v, t, c, s) = setup_algo(AlgoId::Collide, 2, 8);
+        let mut proofs = s.proofs().to_vec();
+        // a == b trivially collides; the precheck must kill it for free.
+        let half = proofs[1][..8].to_vec();
+        proofs[1][8..].copy_from_slice(&half);
+        let (res, hashes) = v.verify_counted(&t, &c.params(), &Solution::new(proofs), 100);
+        assert_eq!(res, Err(VerifyError::Invalid { index: 1 }));
+        assert_eq!(hashes, 0);
+    }
+
+    /// Cross-algo rejection: a valid solution for one algorithm
+    /// presented to a verifier configured for the other dies in the
+    /// structural precheck — no panic, zero hashes charged.
+    #[test]
+    fn cross_algo_solutions_rejected_structurally_for_free() {
+        let (_, t, c, prefix_sol) = setup_algo(AlgoId::Prefix, 2, 8);
+        let (_, _, _, collide_sol) = setup_algo(AlgoId::Collide, 2, 8);
+        let secret = ServerSecret::from_bytes([21u8; 32]);
+        let prefix_v = Verifier::new(secret.clone()).with_expiry(8);
+        let collide_v = Verifier::new(secret)
+            .with_expiry(8)
+            .with_algo(AlgoId::Collide);
+        let (res, hashes) = collide_v.verify_counted(&t, &c.params(), &prefix_sol, 100);
+        assert_eq!(res, Err(VerifyError::BadSolutionLength { index: 0 }));
+        assert_eq!(hashes, 0);
+        let (res, hashes) = prefix_v.verify_counted(&t, &c.params(), &collide_sol, 100);
+        assert_eq!(res, Err(VerifyError::BadSolutionLength { index: 0 }));
+        assert_eq!(hashes, 0);
+        // And the batch path agrees.
+        let out = collide_v.verify_batch(&[(t, c.params(), prefix_sol)], 100);
+        assert_eq!(
+            out.verdicts,
+            vec![Err(VerifyError::BadSolutionLength { index: 0 })]
+        );
+        assert_eq!(out.hashes, 0);
+    }
+
+    /// Batched ≡ sequential for the collision algorithm: same verdicts,
+    /// same hash charges, across a mixed batch.
+    #[test]
+    fn collide_batch_matches_sequential_verdicts_and_hashes() {
+        let (v, t, c, s) = setup_algo(AlgoId::Collide, 2, 8);
+        let mut bad = s.proofs().to_vec();
+        bad[1][0] ^= 0x40;
+        let mut degenerate = s.proofs().to_vec();
+        let half = degenerate[0][..8].to_vec();
+        degenerate[0][8..].copy_from_slice(&half);
+        let requests: Vec<VerifyRequest> = vec![
+            (t, c.params(), s.clone()),
+            (t, c.params(), Solution::new(bad)),
+            (t, c.params(), Solution::new(degenerate)),
+            (t, c.params(), Solution::new(vec![])), // structural failure
+        ];
+        let out = v.verify_batch(&requests, 100);
+        let mut seq_hashes = 0;
+        for ((tuple, params, solution), verdict) in requests.iter().zip(&out.verdicts) {
+            let (res, h) = v.verify_counted(tuple, params, solution, 100);
+            assert_eq!(&res, verdict);
+            seq_hashes += h;
+        }
+        assert_eq!(out.hashes, seq_hashes);
+        assert_eq!(out.accepted(), 1);
+        // Parallel workers agree too.
+        for workers in [2, 3, 8] {
+            let par = v.verify_batch_parallel(&requests, 100, workers);
+            assert_eq!(par.verdicts, out.verdicts, "workers={workers}");
+            assert_eq!(par.hashes, out.hashes, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn windowed_mode_composes_with_collide() {
+        let secret = ServerSecret::from_bytes([13u8; 32]);
+        let v = Verifier::new(secret)
+            .with_window(8)
+            .with_algo(AlgoId::Collide);
+        let tuple = ConnectionTuple::new(
+            Ipv4Addr::new(172, 16, 0, 1),
+            40000,
+            Ipv4Addr::new(172, 16, 0, 2),
+            8080,
+            555,
+        );
+        let d = Difficulty::new(2, 6).unwrap();
+        let c = v.issue_windowed(&tuple, 100, d, 64).unwrap();
+        let s = Solver::new().with_algo(AlgoId::Collide).solve(&c).solution;
+        assert_eq!(v.verify(&tuple, &c.params(), &s, 103), Ok(()));
+        let batch = v.verify_batch(&[(tuple, c.params(), s.clone())], 103);
+        assert_eq!(batch.verdicts, vec![Ok(())]);
+        let (_, seq) = v.verify_counted(&tuple, &c.params(), &s, 103);
+        assert_eq!(batch.hashes, seq);
     }
 
     fn setup_windowed(window_len: u32) -> (Verifier, ConnectionTuple) {

@@ -4,12 +4,17 @@
 //! Usage:
 //!   cargo run --release -p experiments --bin matrix_sweep \
 //!     [-- --full] [--defense none,cookies,nash,adaptive,stacked] \
-//!     [--sizes 1000,100000] [--shards 1,4] [--pipeline auto] \
-//!     [--seeds 1,2] [--rate 20000]
+//!     [--algo prefix,collide] [--sizes 1000,100000] [--shards 1,4] \
+//!     [--pipeline auto] [--seeds 1,2] [--rate 20000]
 //!
 //! `--defense` sweeps registered defence specs by name
 //! (`DefenseSpec::by_name`): `none`, `syncache[-<cap>]`, `cookies`,
-//! `nash`, `puzzles-k<k>m<m>`, `adaptive`, `stacked`. `--shards` sweeps
+//! `nash`, `puzzles-k<k>m<m>`, `adaptive`, `stacked`,
+//! `puzzles-collide`, `stateless-collide`, `collide-k<k>m<m>`.
+//! `--algo` sweeps the puzzle-algorithm axis: each puzzle defence is
+//! re-posed per listed algorithm at equal attacker cost
+//! (`DefenseSpec::for_algo`); when absent, every defence runs exactly
+//! as named. `--shards` sweeps
 //! the server's RSS-style listener-shard count (each value rounds up to
 //! a power of two; default 1). `--pipeline auto|inline|persistent`
 //! picks how multi-shard cells step their shards (default `auto`;
@@ -42,9 +47,11 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(20_000.0);
     let defenses = cli::defense_axis(&args, "none,cookies,nash");
+    let algos = cli::algo_axis(&args);
 
     let matrix = Matrix::new(Timeline::from_full_flag(full))
         .defenses(defenses)
+        .algos(algos)
         .attacks(vec![
             FleetAttack::SynFlood { rate, spoof: true },
             FleetAttack::ConnFlood {

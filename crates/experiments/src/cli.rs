@@ -9,6 +9,7 @@
 //! with status 2 on bad input.
 
 use crate::scenario::DefenseSpec;
+use puzzle_core::AlgoId;
 use tcpstack::ShardPipeline;
 
 /// Parses a comma-separated list of registered defence names via
@@ -27,6 +28,29 @@ pub fn parse_defense_list(list: &str) -> Result<Vec<DefenseSpec>, String> {
                     DefenseSpec::registered()
                         .iter()
                         .map(|s| s.name().to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })
+        })
+        .collect()
+}
+
+/// Parses a comma-separated list of puzzle-algorithm names via
+/// [`AlgoId::by_name`] (`prefix`, `collide`).
+///
+/// # Errors
+///
+/// Returns the unknown name together with the known-algorithm list.
+pub fn parse_algo_list(list: &str) -> Result<Vec<AlgoId>, String> {
+    list.split(',')
+        .map(|name| {
+            AlgoId::by_name(name).ok_or_else(|| {
+                format!(
+                    "unknown algorithm {name:?}; known: {}",
+                    AlgoId::ALL
+                        .iter()
+                        .map(|a| a.name())
                         .collect::<Vec<_>>()
                         .join(", ")
                 )
@@ -79,6 +103,13 @@ fn exit_on<T>(result: Result<T, String>) -> T {
 pub fn defense_axis(args: &[String], default: &str) -> Vec<DefenseSpec> {
     let list = crate::arg_after(args, "--defense").map_or(default, |s| s.as_str());
     exit_on(parse_defense_list(list))
+}
+
+/// The `--algo` axis: parses the flag's comma list. Absent flag means
+/// the identity axis (empty — every defence runs exactly as named, so
+/// `--defense puzzles-collide` stays collide).
+pub fn algo_axis(args: &[String]) -> Vec<AlgoId> {
+    crate::arg_after(args, "--algo").map_or_else(Vec::new, |s| exit_on(parse_algo_list(s)))
 }
 
 /// A comma-separated number axis (`--sizes`, `--shards`, `--seeds`),
@@ -138,6 +169,27 @@ mod tests {
         // The error teaches the vocabulary: it lists registered names.
         assert!(err.contains("syncache"), "{err}");
         assert!(err.contains("stateless-puzzles"), "{err}");
+    }
+
+    #[test]
+    fn lax_numeric_suffixes_are_rejected_not_silently_parsed() {
+        // `str::parse` accepts a leading `+`, so these used to slip
+        // through `--defense` as surprise capacities/difficulties.
+        for bad in ["syncache-+4096", "puzzles-k+2m17", "challenges-k2m+17"] {
+            let err = parse_defense_list(bad).unwrap_err();
+            assert!(err.contains(bad), "{err}");
+        }
+    }
+
+    #[test]
+    fn algo_lists() {
+        assert_eq!(
+            parse_algo_list("prefix,collide").unwrap(),
+            vec![AlgoId::Prefix, AlgoId::Collide]
+        );
+        let err = parse_algo_list("prefix,equihash").unwrap_err();
+        assert!(err.contains("equihash"), "{err}");
+        assert!(err.contains("collide"), "{err}");
     }
 
     #[test]

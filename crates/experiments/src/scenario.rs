@@ -14,7 +14,7 @@ use hostsim::{
     ServerParams, SolveBehavior, SolveStrategy,
 };
 use netsim::{LinkSpec, NetBuilder, NodeId, Route, Router, SimDuration, SimTime, Simulation};
-use puzzle_core::{Difficulty, ServerSecret, SolveCostModel};
+use puzzle_core::{AlgoId, Difficulty, ServerSecret, SolveCostModel};
 use puzzle_crypto::AutoBackend;
 use simmetrics::IntervalSeries;
 use tcpstack::adaptive::AdaptiveDifficulty;
@@ -127,6 +127,12 @@ impl Timeline {
 /// verification (the simulation substitution, DESIGN.md) and the paper's
 /// 30 s controller hold.
 fn oracle_puzzle_config(k: u8, m: u8) -> PuzzleConfig {
+    oracle_puzzle_config_for(AlgoId::Prefix, k, m)
+}
+
+/// [`oracle_puzzle_config`] posing `algo` instead of the hash-prefix
+/// default.
+fn oracle_puzzle_config_for(algo: AlgoId, k: u8, m: u8) -> PuzzleConfig {
     PuzzleConfig {
         difficulty: Difficulty::new(k, m).expect("valid difficulty"),
         preimage_bits: 32,
@@ -134,7 +140,18 @@ fn oracle_puzzle_config(k: u8, m: u8) -> PuzzleConfig {
         verify: VerifyMode::Oracle,
         hold: SimDuration::from_secs(30),
         verify_workers: 1,
+        algo,
     }
+}
+
+/// Strict unsigned-decimal parse for sweep-name suffixes: every byte
+/// must be an ASCII digit, so `+4096`, ` 17`, or `0x10` are rejected
+/// rather than silently accepted by `str::parse`'s laxer grammar.
+fn parse_digits<T: std::str::FromStr>(s: &str) -> Option<T> {
+    if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    s.parse().ok()
 }
 
 /// A named, buildable defence — one entry of the sweep axis.
@@ -150,6 +167,20 @@ pub struct DefenseSpec {
     name: String,
     label: String,
     builder: PolicyBuilder<AutoBackend>,
+    family: Option<PuzzleFamily>,
+}
+
+/// The re-targetable core of a puzzle defence: which algorithm it poses
+/// at which difficulty, so [`DefenseSpec::for_algo`] can re-pose it
+/// under another algorithm (the matrix's algorithm axis).
+#[derive(Clone, Copy, Debug)]
+struct PuzzleFamily {
+    algo: AlgoId,
+    k: u8,
+    m: u8,
+    /// Issuance window for the near-stateless variant; `None` for
+    /// classic per-flow puzzles.
+    window: Option<u32>,
 }
 
 impl DefenseSpec {
@@ -162,6 +193,7 @@ impl DefenseSpec {
             name: name.into(),
             label: label.into(),
             builder,
+            family: None,
         }
     }
 
@@ -189,11 +221,30 @@ impl DefenseSpec {
 
     /// Client puzzles at difficulty `(k, m)` with the oracle verifier.
     pub fn puzzles(k: u8, m: u8) -> DefenseSpec {
-        DefenseSpec::make(
-            format!("puzzles-k{k}m{m}"),
-            format!("challenges-k{k}m{m}"),
-            PolicyBuilder::puzzles(oracle_puzzle_config(k, m)),
-        )
+        DefenseSpec::puzzles_for(AlgoId::Prefix, k, m)
+    }
+
+    /// Client puzzles posing `algo` at difficulty `(k, m)` with the
+    /// oracle verifier. The hash-prefix names (`puzzles-k<k>m<m>` /
+    /// `challenges-k<k>m<m>`) are unchanged from [`DefenseSpec::puzzles`];
+    /// the collision algorithm names both as `collide-k<k>m<m>`.
+    pub fn puzzles_for(algo: AlgoId, k: u8, m: u8) -> DefenseSpec {
+        let (name, label) = match algo {
+            AlgoId::Prefix => (format!("puzzles-k{k}m{m}"), format!("challenges-k{k}m{m}")),
+            AlgoId::Collide => (format!("collide-k{k}m{m}"), format!("collide-k{k}m{m}")),
+        };
+        let mut spec = DefenseSpec::make(
+            name,
+            label,
+            PolicyBuilder::puzzles(oracle_puzzle_config_for(algo, k, m)),
+        );
+        spec.family = Some(PuzzleFamily {
+            algo,
+            k,
+            m,
+            window: None,
+        });
+        spec
     }
 
     /// The paper's Nash difficulty (2, 17) (§4.4).
@@ -239,11 +290,77 @@ impl DefenseSpec {
     /// PRF-derived window nonce, zero per-flow state before a valid
     /// proof, replay admissions purged at every window rollover.
     pub fn stateless_puzzles() -> DefenseSpec {
-        DefenseSpec::make(
-            "stateless-puzzles",
-            "stateless-k2m17w8",
-            PolicyBuilder::stateless_puzzles(oracle_puzzle_config(2, 17), 8),
-        )
+        DefenseSpec::stateless_puzzles_for(AlgoId::Prefix, 2, 17, 8)
+    }
+
+    /// Near-stateless windowed puzzles posing `algo` at `(k, m)` with a
+    /// `window`-second issuance window.
+    pub fn stateless_puzzles_for(algo: AlgoId, k: u8, m: u8, window: u32) -> DefenseSpec {
+        let (name, label) = match algo {
+            AlgoId::Prefix => ("stateless-puzzles", format!("stateless-k{k}m{m}w{window}")),
+            AlgoId::Collide => (
+                "stateless-collide",
+                format!("stateless-collide-k{k}m{m}w{window}"),
+            ),
+        };
+        let mut spec = DefenseSpec::make(
+            name,
+            label,
+            PolicyBuilder::stateless_puzzles(oracle_puzzle_config_for(algo, k, m), window),
+        );
+        spec.family = Some(PuzzleFamily {
+            algo,
+            k,
+            m,
+            window: Some(window),
+        });
+        spec
+    }
+
+    /// The collision-puzzle registry default: the Nash cell re-posed
+    /// under the memory-bound collision algorithm at equal attacker
+    /// cost ([`DefenseSpec::for_algo`]; κ drops 16 → 2, so the honest
+    /// client's bill shrinks 8× for the same attacker deterrence).
+    pub fn puzzles_collide() -> DefenseSpec {
+        let mut spec = DefenseSpec::nash().for_algo(AlgoId::Collide);
+        spec.name = "puzzles-collide".into();
+        spec
+    }
+
+    /// [`DefenseSpec::stateless_puzzles`] re-posed under the collision
+    /// algorithm at equal attacker cost.
+    pub fn stateless_collide() -> DefenseSpec {
+        DefenseSpec::stateless_puzzles().for_algo(AlgoId::Collide)
+    }
+
+    /// Re-poses this defence's puzzles under `algo` at the difficulty
+    /// that keeps the *attacker's* bill constant: the expected
+    /// honest-client hashes scale by `κ(algo)/κ(current)`
+    /// ([`AlgoId::default_attacker_speedup`]) — an algorithm attackers
+    /// accelerate less needs proportionally fewer client hashes for the
+    /// same deterrence. The sub-puzzle strength saturates at `m = 31`
+    /// (the posed pre-image is 32 bits). Non-puzzle defences and the
+    /// adaptive/stacked compositions are returned unchanged.
+    pub fn for_algo(&self, algo: AlgoId) -> DefenseSpec {
+        let Some(f) = self.family else {
+            return self.clone();
+        };
+        if f.algo == algo {
+            return self.clone();
+        }
+        let src = Difficulty::new(f.k, f.m).expect("family difficulty is valid");
+        let target = f.algo.expected_solve_hashes(src) * algo.default_attacker_speedup()
+            / f.algo.default_attacker_speedup();
+        let m = (1..32)
+            .find(|&m| {
+                let d = Difficulty::new(f.k, m).expect("k already validated");
+                algo.expected_solve_hashes(d) >= target
+            })
+            .unwrap_or(31);
+        match f.window {
+            Some(w) => DefenseSpec::stateless_puzzles_for(algo, f.k, m, w),
+            None => DefenseSpec::puzzles_for(algo, f.k, m),
+        }
     }
 
     /// SYN-cache spillover *then* Nash puzzles — the paper's precedence
@@ -272,14 +389,21 @@ impl DefenseSpec {
             DefenseSpec::adaptive(),
             DefenseSpec::stacked_syncache_puzzles(4096),
             DefenseSpec::stateless_puzzles(),
+            DefenseSpec::puzzles_collide(),
+            DefenseSpec::stateless_collide(),
         ]
     }
 
     /// Resolves a sweep name (`--defense <name>`): registry names
     /// (`none`/`nodefense`, `syncache[-<cap>]`, `cookies`,
     /// `nash`/`puzzles`, `adaptive`, `stacked`,
-    /// `stateless-puzzles`/`stateless`) plus parameterized puzzle forms
-    /// (`puzzles-k<k>m<m>`, `challenges-k<k>m<m>`).
+    /// `stateless-puzzles`/`stateless`, `puzzles-collide`/`collide`,
+    /// `stateless-collide`) plus parameterized puzzle forms
+    /// (`puzzles-k<k>m<m>`, `challenges-k<k>m<m>`, `collide-k<k>m<m>`).
+    ///
+    /// Numeric suffixes are strict decimal digits: `syncache-+4096`
+    /// or `puzzles-k 2m17` are unknown names, not silently-parsed
+    /// variants (Rust's `parse` would otherwise accept a leading `+`).
     pub fn by_name(name: &str) -> Option<DefenseSpec> {
         match name {
             "none" | "nodefense" => return Some(DefenseSpec::none()),
@@ -291,20 +415,31 @@ impl DefenseSpec {
                 return Some(DefenseSpec::stacked_syncache_puzzles(4096))
             }
             "stateless-puzzles" | "stateless" => return Some(DefenseSpec::stateless_puzzles()),
+            "puzzles-collide" | "collide" => return Some(DefenseSpec::puzzles_collide()),
+            "stateless-collide" => return Some(DefenseSpec::stateless_collide()),
             _ => {}
         }
         if let Some(cap) = name.strip_prefix("syncache-") {
-            return cap.parse().ok().map(DefenseSpec::syn_cache);
+            return parse_digits(cap).map(DefenseSpec::syn_cache);
         }
-        let km = name
+        let (algo, km) = if let Some(km) = name
             .strip_prefix("puzzles-k")
-            .or_else(|| name.strip_prefix("challenges-k"))?;
+            .or_else(|| name.strip_prefix("challenges-k"))
+        {
+            (AlgoId::Prefix, km)
+        } else {
+            (AlgoId::Collide, name.strip_prefix("collide-k")?)
+        };
         let (k, m) = km.split_once('m')?;
-        let (k, m) = (k.parse().ok()?, m.parse().ok()?);
-        // Out-of-range difficulties (k = 0, m = 0, m > 63) are "unknown
-        // defense", not a panic inside the builder.
+        let (k, m) = (parse_digits::<u8>(k)?, parse_digits::<u8>(m)?);
+        // Out-of-range difficulties (k = 0, m = 0, or m too wide for
+        // the posed 32-bit pre-image) are "unknown defense", not a
+        // panic inside the builder.
         Difficulty::new(k, m).ok()?;
-        Some(DefenseSpec::puzzles(k, m))
+        if m >= 32 {
+            return None;
+        }
+        Some(DefenseSpec::puzzles_for(algo, k, m))
     }
 
     /// The registry/sweep name.
@@ -722,6 +857,13 @@ pub struct Matrix {
     pub timeline: Timeline,
     /// Defence axis.
     pub defenses: Vec<DefenseSpec>,
+    /// Puzzle-algorithm axis: every puzzle defence is re-posed under
+    /// each listed algorithm via [`DefenseSpec::for_algo`] (equal
+    /// attacker cost); non-puzzle defences run once per algorithm
+    /// unchanged. Defaults to empty — the identity axis, which runs
+    /// every defence exactly as specified (a `puzzles-collide` entry
+    /// stays collide; listing `[Prefix]` would re-pose it).
+    pub algos: Vec<AlgoId>,
     /// Attack axis (aggregate rates live inside the variants).
     pub attacks: Vec<FleetAttack>,
     /// Fleet-size axis (flows per cell, up to 10⁶).
@@ -809,6 +951,7 @@ impl Matrix {
         Matrix {
             timeline,
             defenses: Vec::new(),
+            algos: Vec::new(),
             attacks: Vec::new(),
             fleet_sizes: Vec::new(),
             shards: vec![1],
@@ -821,6 +964,13 @@ impl Matrix {
     /// Sets the defence axis.
     pub fn defenses(mut self, defenses: Vec<DefenseSpec>) -> Self {
         self.defenses = defenses;
+        self
+    }
+
+    /// Sets the puzzle-algorithm axis (default empty — the identity
+    /// axis, which runs every defence exactly as specified).
+    pub fn algos(mut self, algos: Vec<AlgoId>) -> Self {
+        self.algos = algos;
         self
     }
 
@@ -864,6 +1014,7 @@ impl Matrix {
     /// Number of cells the sweep will run.
     pub fn cell_count(&self) -> usize {
         self.defenses.len()
+            * self.algos.len().max(1)
             * self.attacks.len()
             * self.fleet_sizes.len()
             * self.shards.len()
@@ -955,15 +1106,30 @@ impl Matrix {
         }
     }
 
-    /// Runs the whole sweep, cells in axis order (defense-major).
+    /// Runs the whole sweep, cells in axis order (defense-major, then
+    /// the algorithm axis re-posing each puzzle defence; an empty
+    /// algorithm axis runs each defence once, as specified).
     pub fn run(&self) -> Vec<MatrixCell> {
         let mut cells = Vec::with_capacity(self.cell_count());
+        let algos: Vec<Option<AlgoId>> = if self.algos.is_empty() {
+            vec![None]
+        } else {
+            self.algos.iter().copied().map(Some).collect()
+        };
         for defense in &self.defenses {
-            for attack in &self.attacks {
-                for &flows in &self.fleet_sizes {
-                    for &shards in &self.shards {
-                        for &seed in &self.seeds {
-                            cells.push(self.run_cell_sharded(defense, attack, flows, shards, seed));
+            for &algo in &algos {
+                let defense = match algo {
+                    Some(algo) => defense.for_algo(algo),
+                    None => defense.clone(),
+                };
+                for attack in &self.attacks {
+                    for &flows in &self.fleet_sizes {
+                        for &shards in &self.shards {
+                            for &seed in &self.seeds {
+                                cells.push(
+                                    self.run_cell_sharded(&defense, attack, flows, shards, seed),
+                                );
+                            }
                         }
                     }
                 }
@@ -1036,6 +1202,70 @@ mod tests {
     }
 
     #[test]
+    fn algo_axis_reposes_puzzles_at_equal_attacker_cost() {
+        // κ drops 16 → 2 across prefix → collide, so nash (2, 17)'s
+        // 2^17 expected client hashes re-pose as ≈ 2^14 under the
+        // birthday model: (2, 26).
+        let collide = DefenseSpec::nash().for_algo(AlgoId::Collide);
+        assert_eq!(collide.label(), "collide-k2m26");
+        assert_eq!(collide.builder().label(), "puzzles-collide");
+        // Identity when the algorithm already matches, and for
+        // non-puzzle defences.
+        assert_eq!(
+            DefenseSpec::nash().for_algo(AlgoId::Prefix).label(),
+            "challenges-k2m17"
+        );
+        assert_eq!(
+            DefenseSpec::cookies().for_algo(AlgoId::Collide).label(),
+            "cookies"
+        );
+        // Registry defaults carry the re-posed difficulty.
+        assert_eq!(DefenseSpec::puzzles_collide().name(), "puzzles-collide");
+        assert_eq!(DefenseSpec::puzzles_collide().label(), "collide-k2m26");
+        assert_eq!(DefenseSpec::stateless_collide().name(), "stateless-collide");
+        assert_eq!(
+            DefenseSpec::stateless_collide().label(),
+            "stateless-collide-k2m26w8"
+        );
+        // The axis multiplies the sweep.
+        let matrix = Matrix::new(Timeline::smoke())
+            .defenses(vec![DefenseSpec::nash()])
+            .algos(AlgoId::ALL.to_vec())
+            .attacks(vec![FleetAttack::SynFlood {
+                rate: 1.0,
+                spoof: true,
+            }])
+            .fleet_sizes(vec![1])
+            .seeds(vec![1]);
+        assert_eq!(matrix.cell_count(), 2);
+    }
+
+    #[test]
+    fn by_name_rejects_lax_numeric_suffixes() {
+        // `str::parse` accepts a leading `+`; sweep names must not —
+        // `--defense syncache-+4096` is a typo, not a capacity.
+        for bad in [
+            "syncache-+4096",
+            "syncache-4 096",
+            "syncache-",
+            "puzzles-k+2m17",
+            "challenges-k2m+17",
+            "collide-k2m+26",
+            "puzzles-k2m",
+            "collide-k0m10",
+            // m ≥ 32 cannot be posed on a 32-bit pre-image.
+            "puzzles-k2m32",
+            "collide-k2m40",
+        ] {
+            assert!(DefenseSpec::by_name(bad).is_none(), "{bad}");
+        }
+        assert_eq!(
+            DefenseSpec::by_name("collide-k2m26").unwrap().label(),
+            "collide-k2m26"
+        );
+    }
+
+    #[test]
     fn fig16_testbed_routes_traffic_end_to_end() {
         // One client, no attack: requests must complete across the mesh.
         let timeline = Timeline::smoke();
@@ -1096,6 +1326,53 @@ mod tests {
             matrix.seeds[0],
         );
         assert_eq!(again.digest, cell.digest);
+    }
+
+    /// The acceptance cell for the asymmetric puzzle: under the
+    /// standard solving connection flood at *equal attacker hash
+    /// budget* — attacker hardware runs each algorithm κ× faster than
+    /// the reference client — the κ-adjusted collide difficulty from
+    /// the game layer sustains at least the legitimate goodput of the
+    /// κ-adjusted prefix difficulty, because equal attacker deterrence
+    /// costs honest clients ~12× fewer hashes ((3, 31) ≈ 174 k vs
+    /// (2, 21) ≈ 2.1 M).
+    #[test]
+    fn collide_sustains_goodput_of_prefix_at_equal_attacker_budget() {
+        use puzzle_game::{asymptotic_difficulty, select_parameters_for, SelectionPolicy};
+
+        let ell = asymptotic_difficulty(140_630.0, 1.1);
+        let timeline = tiny_timeline();
+        let attack = FleetAttack::ConnFlood {
+            rate: 2_000.0,
+            solve: Some(oracle_strategy()),
+            conn_timeout: SimDuration::from_secs(1),
+            ack_delay: SimDuration::from_millis(500),
+        };
+        let matrix = Matrix::new(timeline).clients(3);
+        let mut during = Vec::new();
+        // Collide needs k = 3: at κ·ℓ* the birthday target would take
+        // m = 32 at k = 2, past the 32-bit pre-image cap.
+        for (algo, fixed_k) in [(AlgoId::Prefix, 2), (AlgoId::Collide, 3)] {
+            let kappa = algo.default_attacker_speedup();
+            let d = select_parameters_for(algo, ell, kappa, SelectionPolicy::FixedK(fixed_k))
+                .expect("difficulty selects");
+            let defense = DefenseSpec::puzzles_for(algo, d.k(), d.m());
+            let mut s = matrix.cell_scenario(&defense, &attack, 400, 9);
+            // Equal hardware budget: the fleet's hash rate is the
+            // client reference rate scaled by how far the algorithm
+            // yields to attacker acceleration.
+            s.bot_fleets[0].hash_rate = kappa * 400_000.0;
+            let mut tb = s.build();
+            tb.run_until_secs(timeline.total);
+            let (a0, a1) = timeline.attack_window();
+            during.push(tb.client_goodput().mean_rate_between(a0, a1));
+        }
+        assert!(
+            during[1] >= during[0],
+            "collide {:.0} B/s should sustain >= prefix {:.0} B/s",
+            during[1],
+            during[0]
+        );
     }
 
     #[test]

@@ -65,4 +65,4 @@ pub use provider::{
     asymptotic_difficulty, max_feasible_difficulty, optimal_difficulty, optimal_load,
     provider_revenue, provider_revenue_approx,
 };
-pub use select::{select_parameters, SelectionPolicy};
+pub use select::{select_parameters, select_parameters_for, SelectionPolicy};

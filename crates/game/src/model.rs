@@ -11,6 +11,7 @@ use crate::error::GameError;
 pub struct GameConfig {
     valuations: Vec<f64>,
     mu: f64,
+    attacker_speedup: f64,
 }
 
 impl GameConfig {
@@ -38,7 +39,39 @@ impl GameConfig {
                 "service rate mu = {mu} must be positive"
             )));
         }
-        Ok(GameConfig { valuations, mu })
+        Ok(GameConfig {
+            valuations,
+            mu,
+            attacker_speedup: 1.0,
+        })
+    }
+
+    /// Sets the attacker speedup `κ ≥ 1`: how many times faster than the
+    /// reference client hardware an attacker solves the *posed puzzle
+    /// algorithm* (e.g. [`puzzle_core::AlgoId::default_attacker_speedup`]
+    /// — GPU/ASIC pipelines give the compute-bound hash-prefix puzzle a
+    /// large κ; the memory-bound collision puzzle a small one). The
+    /// Stackelberg selection scales the posted difficulty by κ so the
+    /// *attacker's* per-admission cost, not the honest client's, meets
+    /// the equilibrium target — see
+    /// [`crate::select_parameters_for`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::BadConfig`] unless `κ` is finite and ≥ 1.
+    pub fn with_attacker_speedup(mut self, kappa: f64) -> Result<Self, GameError> {
+        if !kappa.is_finite() || kappa < 1.0 {
+            return Err(GameError::BadConfig(format!(
+                "attacker speedup {kappa} must be finite and >= 1"
+            )));
+        }
+        self.attacker_speedup = kappa;
+        Ok(self)
+    }
+
+    /// The attacker speedup `κ` (1 unless configured).
+    pub fn attacker_speedup(&self) -> f64 {
+        self.attacker_speedup
     }
 
     /// A homogeneous population: `n` users each valuing the service at
@@ -124,6 +157,18 @@ mod tests {
         assert!(GameConfig::new(vec![1.0], 0.0).is_err());
         assert!(GameConfig::new(vec![1.0], -5.0).is_err());
         assert!(GameConfig::new(vec![1.0, 2.0], 10.0).is_ok());
+    }
+
+    #[test]
+    fn attacker_speedup_defaults_and_validates() {
+        let cfg = GameConfig::new(vec![1.0], 2.0).unwrap();
+        assert_eq!(cfg.attacker_speedup(), 1.0);
+        let cfg = cfg.with_attacker_speedup(16.0).unwrap();
+        assert_eq!(cfg.attacker_speedup(), 16.0);
+        let base = GameConfig::new(vec![1.0], 2.0).unwrap();
+        assert!(base.clone().with_attacker_speedup(0.5).is_err());
+        assert!(base.clone().with_attacker_speedup(f64::NAN).is_err());
+        assert!(base.with_attacker_speedup(f64::INFINITY).is_err());
     }
 
     #[test]

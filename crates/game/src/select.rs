@@ -1,7 +1,7 @@
 //! Mapping the equilibrium difficulty `ℓ*` to wire parameters `(k, m)`.
 
 use crate::error::GameError;
-use puzzle_core::Difficulty;
+use puzzle_core::{AlgoId, Difficulty};
 
 /// Policy for choosing `(k, m)` given a target expected-hash difficulty.
 ///
@@ -63,6 +63,85 @@ pub fn select_parameters(ell: f64, policy: SelectionPolicy) -> Result<Difficulty
             }
             Ok(best.expect("k_max >= 1 guarantees a candidate"))
         }
+    }
+}
+
+/// Per-algorithm, attacker-aware sibling of [`select_parameters`]:
+/// selects the smallest difficulty whose expected solve cost *under
+/// `algo`'s cost model* ([`AlgoId::expected_solve_hashes`]) is at least
+/// `attacker_speedup · ell` — i.e. the posted difficulty is scaled by
+/// the attacker's hardware advantage κ for that algorithm, so an
+/// attacker κ× faster than the reference client still pays the
+/// equilibrium target `ℓ*` per admission (in reference-client time).
+///
+/// With [`AlgoId::Prefix`] and `attacker_speedup = 1` this reduces
+/// exactly to [`select_parameters`]. The practical consequence of
+/// κ(collide) ≪ κ(prefix): the collide puzzle's κ-adjusted difficulty
+/// costs honest clients far fewer hashes for the same attacker-side
+/// price (the asymmetric puzzle's whole point).
+///
+/// # Errors
+///
+/// As [`select_parameters`], plus [`GameError::BadConfig`] when
+/// `attacker_speedup` is not finite and ≥ 1.
+pub fn select_parameters_for(
+    algo: AlgoId,
+    ell: f64,
+    attacker_speedup: f64,
+    policy: SelectionPolicy,
+) -> Result<Difficulty, GameError> {
+    if !ell.is_finite() || ell <= 0.0 {
+        return Err(GameError::BadConfig(format!(
+            "target difficulty {ell} must be positive and finite"
+        )));
+    }
+    if !attacker_speedup.is_finite() || attacker_speedup < 1.0 {
+        return Err(GameError::BadConfig(format!(
+            "attacker speedup {attacker_speedup} must be finite and >= 1"
+        )));
+    }
+    let target = ell * attacker_speedup;
+    match policy {
+        SelectionPolicy::FixedK(k) => smallest_m_for_algo(algo, k, target),
+        SelectionPolicy::MinimizeOvershoot { k_max } => {
+            if k_max == 0 {
+                return Err(GameError::BadConfig("k_max must be >= 1".into()));
+            }
+            let mut best: Option<Difficulty> = None;
+            for k in 1..=k_max {
+                let candidate = smallest_m_for_algo(algo, k, target)?;
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let over_c = algo.expected_solve_hashes(candidate) - target;
+                        let over_b = algo.expected_solve_hashes(b) - target;
+                        over_c < over_b - 1e-9
+                    }
+                };
+                if better {
+                    best = Some(candidate);
+                }
+            }
+            Ok(best.expect("k_max >= 1 guarantees a candidate"))
+        }
+    }
+}
+
+/// Smallest `m` such that `algo`'s expected solve cost at `(k, m)`
+/// reaches `target`.
+fn smallest_m_for_algo(algo: AlgoId, k: u8, target: f64) -> Result<Difficulty, GameError> {
+    if k == 0 {
+        return Err(GameError::BadConfig("k must be >= 1".into()));
+    }
+    let mut m: u8 = 1;
+    loop {
+        let d = Difficulty::new(k, m).map_err(|e| GameError::BadConfig(e.to_string()))?;
+        if algo.expected_solve_hashes(d) >= target {
+            return Ok(d);
+        }
+        m = m.checked_add(1).filter(|&m| m <= 63).ok_or_else(|| {
+            GameError::BadConfig(format!("difficulty {target} needs m > 63 bits"))
+        })?;
     }
 }
 
@@ -154,5 +233,78 @@ mod tests {
     fn tiny_targets_get_minimum_difficulty() {
         let d = select_parameters(0.5, SelectionPolicy::FixedK(1)).unwrap();
         assert_eq!((d.k(), d.m()), (1, 1));
+    }
+
+    #[test]
+    fn per_algo_prefix_at_unit_speedup_reduces_to_classic() {
+        for ell in [1.0, 100.0, 66_967.0, 1e6] {
+            for k in [1u8, 2, 3] {
+                assert_eq!(
+                    select_parameters_for(AlgoId::Prefix, ell, 1.0, SelectionPolicy::FixedK(k))
+                        .unwrap(),
+                    select_parameters(ell, SelectionPolicy::FixedK(k)).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kappa_adjusted_selection_meets_attacker_target() {
+        // The paper's ℓ* with each algorithm's default κ: the selected
+        // difficulty must cost the attacker at least κ·ℓ* expected
+        // hashes, and m−1 bits must not.
+        let ell = 140_630.0 / 2.1;
+        for algo in AlgoId::ALL {
+            let kappa = algo.default_attacker_speedup();
+            let d = select_parameters_for(algo, ell, kappa, SelectionPolicy::FixedK(2)).unwrap();
+            assert!(algo.expected_solve_hashes(d) >= kappa * ell, "{algo}");
+            if d.m() > 1 {
+                let smaller = Difficulty::new(2, d.m() - 1).unwrap();
+                assert!(algo.expected_solve_hashes(smaller) < kappa * ell, "{algo}");
+            }
+        }
+    }
+
+    #[test]
+    fn collide_clients_pay_less_for_equal_attacker_price() {
+        // The asymmetry dividend: at each algorithm's default κ and the
+        // paper's ℓ*, the κ-adjusted collide difficulty costs an honest
+        // client (κ = 1 hardware) far fewer expected hashes than the
+        // κ-adjusted prefix difficulty — here better than 5×.
+        let ell = 140_630.0 / 2.1;
+        let prefix = select_parameters_for(
+            AlgoId::Prefix,
+            ell,
+            AlgoId::Prefix.default_attacker_speedup(),
+            SelectionPolicy::FixedK(2),
+        )
+        .unwrap();
+        let collide = select_parameters_for(
+            AlgoId::Collide,
+            ell,
+            AlgoId::Collide.default_attacker_speedup(),
+            SelectionPolicy::FixedK(2),
+        )
+        .unwrap();
+        let client_prefix = AlgoId::Prefix.expected_solve_hashes(prefix);
+        let client_collide = AlgoId::Collide.expected_solve_hashes(collide);
+        assert!(
+            client_collide * 5.0 < client_prefix,
+            "collide {client_collide} vs prefix {client_prefix}"
+        );
+    }
+
+    #[test]
+    fn per_algo_invalid_inputs_rejected() {
+        let p = SelectionPolicy::FixedK(2);
+        assert!(select_parameters_for(AlgoId::Collide, 0.0, 1.0, p).is_err());
+        assert!(select_parameters_for(AlgoId::Collide, 10.0, 0.5, p).is_err());
+        assert!(select_parameters_for(AlgoId::Collide, 10.0, f64::NAN, p).is_err());
+        assert!(
+            select_parameters_for(AlgoId::Collide, 10.0, 1.0, SelectionPolicy::FixedK(0)).is_err()
+        );
+        assert!(
+            select_parameters_for(AlgoId::Prefix, 1e30, 1.0, SelectionPolicy::FixedK(1)).is_err()
+        );
     }
 }

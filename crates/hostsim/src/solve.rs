@@ -2,10 +2,10 @@
 
 use netsim::rng::SimRng;
 use puzzle_core::{
-    sample_solve_hashes, Challenge, ChallengeParams, ConnectionTuple, Difficulty, ServerSecret,
-    SolveCostModel, Solver,
+    sample_solve_hashes_for, solve_fits_budget, Challenge, ChallengeParams, ConnectionTuple,
+    Difficulty, ServerSecret, SolveCostModel, Solver,
 };
-use tcpstack::listener::oracle_proof;
+use tcpstack::listener::oracle_proof_for;
 use tcpstack::ChallengeOption;
 
 /// Strategy for producing the proof bytes of a challenge.
@@ -37,7 +37,7 @@ pub struct SolvedProofs {
 
 impl SolveStrategy {
     /// Produces proofs for `challenge` as received on flow
-    /// `(tuple, issued_at)`.
+    /// `(tuple, issued_at)`, under the algorithm the challenge poses.
     ///
     /// # Panics
     ///
@@ -50,6 +50,27 @@ impl SolveStrategy {
         issued_at: u32,
         rng: &mut SimRng,
     ) -> SolvedProofs {
+        self.solve_with_budget(tuple, challenge, issued_at, rng, u64::MAX)
+            .expect("unbounded solve cannot exhaust its budget")
+    }
+
+    /// [`SolveStrategy::solve`] under a hash budget; returns `None` when
+    /// the solve does not fit.
+    ///
+    /// Both strategies apply the workspace's single budget rule,
+    /// [`puzzle_core::solve_fits_budget`] — the budget is *inclusive* of
+    /// the final successful hash — so the real solver and the oracle's
+    /// sampled cost can never disagree about the boundary case: a real
+    /// solve of exactly `H` hashes and an oracle solve sampled at `H`
+    /// both fit a budget of `H` and both miss `H − 1`.
+    pub fn solve_with_budget(
+        &self,
+        tuple: &ConnectionTuple,
+        challenge: &ChallengeOption,
+        issued_at: u32,
+        rng: &mut SimRng,
+        budget: u64,
+    ) -> Option<SolvedProofs> {
         let difficulty =
             Difficulty::new(challenge.k, challenge.m).expect("listener sent valid difficulty");
         match self {
@@ -61,21 +82,27 @@ impl SolveStrategy {
                 };
                 let c = Challenge::from_wire(params, challenge.preimage.clone())
                     .expect("listener sent consistent challenge");
-                let out = Solver::new().solve(&c);
-                SolvedProofs {
+                let out = Solver::new()
+                    .with_algo(challenge.algo)
+                    .solve_with_budget(&c, budget)?;
+                Some(SolvedProofs {
                     proofs: out.solution.proofs().to_vec(),
                     hashes: out.hashes,
-                }
+                })
             }
             SolveStrategy::Oracle { secret, cost_model } => {
                 let _ = tuple; // the oracle proof binds via the pre-image
                 let mut f = || rng.next_f64();
-                let hashes = sample_solve_hashes(difficulty, *cost_model, &mut f);
+                let hashes =
+                    sample_solve_hashes_for(challenge.algo, difficulty, *cost_model, &mut f);
+                if !solve_fits_budget(hashes, budget) {
+                    return None;
+                }
                 let len = challenge.preimage.len();
                 let proofs = (1..=challenge.k)
-                    .map(|i| oracle_proof(secret, &challenge.preimage, i, len))
+                    .map(|i| oracle_proof_for(challenge.algo, secret, &challenge.preimage, i, len))
                     .collect();
-                SolvedProofs { proofs, hashes }
+                Some(SolvedProofs { proofs, hashes })
             }
         }
     }
@@ -84,7 +111,9 @@ impl SolveStrategy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use puzzle_core::AlgoId;
     use std::net::Ipv4Addr;
+    use tcpstack::listener::oracle_proof;
 
     fn tuple() -> ConnectionTuple {
         ConnectionTuple::new(
@@ -106,6 +135,7 @@ mod tests {
             m: 5,
             preimage: c.preimage().to_vec(),
             timestamp: None,
+            algo: AlgoId::Prefix,
         };
         let mut rng = SimRng::seed_from(1);
         let solved = SolveStrategy::Real.solve(&tuple(), &copt, 3, &mut rng);
@@ -124,6 +154,7 @@ mod tests {
             m: 17,
             preimage: vec![1, 2, 3, 4],
             timestamp: None,
+            algo: AlgoId::Prefix,
         };
         let mut rng = SimRng::seed_from(2);
         let strategy = SolveStrategy::Oracle {
@@ -149,6 +180,7 @@ mod tests {
             m: 10,
             preimage: vec![1, 2, 3, 4],
             timestamp: None,
+            algo: AlgoId::Prefix,
         };
         let strategy = SolveStrategy::Oracle {
             secret,
@@ -160,5 +192,87 @@ mod tests {
             .collect();
         let distinct: std::collections::HashSet<_> = costs.iter().collect();
         assert!(distinct.len() > 5, "cost should vary across solves");
+    }
+
+    #[test]
+    fn oracle_collide_proofs_pair_and_cost_are_per_algo() {
+        let secret = ServerSecret::from_bytes([6; 32]);
+        let copt = ChallengeOption {
+            k: 2,
+            m: 16,
+            preimage: vec![9, 8, 7, 6],
+            timestamp: None,
+            algo: AlgoId::Collide,
+        };
+        let strategy = SolveStrategy::Oracle {
+            secret: secret.clone(),
+            cost_model: SolveCostModel::UniformPlacement,
+        };
+        let mut rng = SimRng::seed_from(7);
+        let solved = strategy.solve(&tuple(), &copt, 5, &mut rng);
+        assert_eq!(solved.proofs.len(), 2);
+        for (i, p) in solved.proofs.iter().enumerate() {
+            assert_eq!(p.len(), 8, "pair of l-bit nonces");
+            assert_ne!(p[..4], p[4..], "domain-separated halves differ");
+            assert_eq!(
+                p,
+                &oracle_proof_for(AlgoId::Collide, &secret, &copt.preimage, i as u8 + 1, 4)
+            );
+        }
+        // Birthday-model cost: k pairs, each at least 2 hashes and far
+        // below the prefix model's k·2^m ceiling.
+        assert!(solved.hashes >= 4);
+        assert!(solved.hashes < 2 * (1 << 16));
+    }
+
+    /// Satellite check: the budget boundary is identical — and inclusive —
+    /// for the real solver and the oracle model, because both go through
+    /// [`puzzle_core::solve_fits_budget`].
+    #[test]
+    fn budget_boundary_shared_by_real_and_oracle() {
+        let secret = ServerSecret::from_bytes([9; 32]);
+        for algo in AlgoId::ALL {
+            let d = Difficulty::new(2, 6).unwrap();
+            let c = Challenge::issue(&secret, &tuple(), 3, d, 32).unwrap();
+            let copt = ChallengeOption {
+                k: 2,
+                m: 6,
+                preimage: c.preimage().to_vec(),
+                timestamp: None,
+                algo,
+            };
+            let mut rng = SimRng::seed_from(11);
+            let h = SolveStrategy::Real
+                .solve(&tuple(), &copt, 3, &mut rng)
+                .hashes;
+            assert!(
+                SolveStrategy::Real
+                    .solve_with_budget(&tuple(), &copt, 3, &mut rng, h)
+                    .is_some(),
+                "{algo}: budget == H fits"
+            );
+            assert!(
+                SolveStrategy::Real
+                    .solve_with_budget(&tuple(), &copt, 3, &mut rng, h - 1)
+                    .is_none(),
+                "{algo}: budget == H-1 misses"
+            );
+
+            // Oracle: replay the same RNG stream so the sampled cost is
+            // known, then probe the boundary with fresh copies.
+            let strategy = SolveStrategy::Oracle {
+                secret: secret.clone(),
+                cost_model: SolveCostModel::UniformPlacement,
+            };
+            let oh = strategy
+                .solve(&tuple(), &copt, 3, &mut SimRng::seed_from(5))
+                .hashes;
+            assert!(strategy
+                .solve_with_budget(&tuple(), &copt, 3, &mut SimRng::seed_from(5), oh)
+                .is_some());
+            assert!(strategy
+                .solve_with_budget(&tuple(), &copt, 3, &mut SimRng::seed_from(5), oh - 1)
+                .is_none());
+        }
     }
 }

@@ -7,7 +7,7 @@ use hostsim::{
     ServerParams, SolveBehavior, SolveStrategy,
 };
 use netsim::{LinkSpec, NetBuilder, NodeId, Route, Router, SimDuration, SimTime, Simulation};
-use puzzle_core::{Difficulty, ServerSecret, SolveCostModel};
+use puzzle_core::{AlgoId, Difficulty, ServerSecret, SolveCostModel};
 use puzzle_crypto::AutoBackend;
 use tcpstack::{PolicyBuilder, PuzzleConfig, TcpSegment, VerifyMode};
 
@@ -83,6 +83,7 @@ fn puzzle_defense(k: u8, m: u8, verify: VerifyMode) -> PolicyBuilder<AutoBackend
         verify,
         hold: SimDuration::from_secs(30),
         verify_workers: 1,
+        algo: AlgoId::Prefix,
     })
 }
 

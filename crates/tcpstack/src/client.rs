@@ -353,6 +353,7 @@ fn ts_ms(now: SimTime) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use puzzle_core::AlgoId;
 
     fn cfg() -> ClientConfig {
         ClientConfig::new(
@@ -412,6 +413,7 @@ mod tests {
                 m: 17,
                 preimage: vec![1, 2, 3, 4],
                 timestamp: None,
+                algo: AlgoId::Prefix,
             }))
             .build()
     }
@@ -430,7 +432,7 @@ mod tests {
         let ack = c.provide_solution(t(2), &[vec![1; 4], vec![2; 4]]);
         assert_eq!(c.state(), ClientState::Established);
         let sol = ack.solution().unwrap();
-        let (proofs, ts) = sol.split(2, 32, false).unwrap();
+        let (proofs, ts) = sol.split(2, 32, AlgoId::Prefix, false).unwrap();
         assert_eq!(proofs.len(), 2);
         assert_eq!(ts, None);
         // TS option echoes the challenge timestamp.
@@ -454,6 +456,7 @@ mod tests {
                 m: 8,
                 preimage: vec![1, 2, 3, 4],
                 timestamp: Some(77),
+                algo: AlgoId::Prefix,
             }))
             .build();
         let (_, events) = c.on_segment(t(1), &chall);
@@ -463,7 +466,7 @@ mod tests {
         ));
         let ack = c.provide_solution(t(2), &[vec![5; 4]]);
         let sol = ack.solution().unwrap();
-        let (_, ts) = sol.split(1, 32, true).unwrap();
+        let (_, ts) = sol.split(1, 32, AlgoId::Prefix, true).unwrap();
         assert_eq!(ts, Some(77));
     }
 

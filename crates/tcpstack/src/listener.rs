@@ -34,7 +34,7 @@ use crate::policy::{AckClass, AckDisposition, PendingSolution, PolicyBuilder, Po
 use crate::policy::{DefensePolicy, QueuePressure, SynClass, SynDisposition};
 use crate::segment::{SegmentBuilder, TcpFlags, TcpSegment};
 use netsim::{SimDuration, SimTime};
-use puzzle_core::{ConnectionTuple, Difficulty, ServerSecret, VerifyError, VerifyRequest};
+use puzzle_core::{AlgoId, ConnectionTuple, Difficulty, ServerSecret, VerifyError, VerifyRequest};
 use puzzle_crypto::{Digest, HashBackend, HmacKeySchedule, MessageArena, ScalarBackend};
 
 /// Converts simulator time to the puzzle/second clock used in challenge
@@ -95,6 +95,10 @@ pub struct PuzzleConfig {
     /// ([`puzzle_core::Verifier::verify_batch_parallel`]) for multi-core
     /// scaling.
     pub verify_workers: usize,
+    /// Puzzle algorithm posed in challenges and checked on solutions
+    /// ([`AlgoId::Prefix`] is the paper's hash-prefix puzzle; other
+    /// algorithms travel as a trailing byte in the challenge option).
+    pub algo: AlgoId,
 }
 
 impl Default for PuzzleConfig {
@@ -106,6 +110,7 @@ impl Default for PuzzleConfig {
             verify: VerifyMode::Real,
             hold: SimDuration::from_secs(30),
             verify_workers: 1,
+            algo: AlgoId::Prefix,
         }
     }
 }
@@ -1326,6 +1331,45 @@ pub fn oracle_proof_with<B: HashBackend>(
     backend.hmac_sha256_parts(secret.as_bytes(), &[preimage, &[index]])[..len].to_vec()
 }
 
+/// Per-algorithm oracle proof: [`AlgoId::Prefix`] mints the single
+/// [`oracle_proof`] nonce; [`AlgoId::Collide`] mints a *pair* of
+/// domain-separated nonces (`… ‖ "a"` and `… ‖ "b"`), so the proof has
+/// the collide wire shape (`2 × len` bytes, halves distinct with
+/// overwhelming probability) and the oracle verifier recomputes two
+/// MACs per proof — matching the real path's `2k`-hash verify cost.
+pub fn oracle_proof_for(
+    algo: AlgoId,
+    secret: &ServerSecret,
+    preimage: &[u8],
+    index: u8,
+    len: usize,
+) -> Vec<u8> {
+    oracle_proof_for_with(&ScalarBackend, algo, secret, preimage, index, len)
+}
+
+/// [`oracle_proof_for`] through an explicit [`HashBackend`].
+pub fn oracle_proof_for_with<B: HashBackend>(
+    backend: &B,
+    algo: AlgoId,
+    secret: &ServerSecret,
+    preimage: &[u8],
+    index: u8,
+    len: usize,
+) -> Vec<u8> {
+    match algo {
+        AlgoId::Prefix => oracle_proof_with(backend, secret, preimage, index, len),
+        AlgoId::Collide => {
+            let mut proof = backend
+                .hmac_sha256_parts(secret.as_bytes(), &[preimage, &[index], b"a"])[..len]
+                .to_vec();
+            proof.extend_from_slice(
+                &backend.hmac_sha256_parts(secret.as_bytes(), &[preimage, &[index], b"b"])[..len],
+            );
+            proof
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1486,6 +1530,7 @@ mod tests {
             verify,
             hold: netsim::SimDuration::ZERO,
             verify_workers: 1,
+            algo: AlgoId::Prefix,
         }
     }
 

@@ -13,6 +13,8 @@
 use std::error::Error;
 use std::fmt;
 
+use puzzle_core::AlgoId;
+
 /// Option kind for a puzzle challenge (unassigned opcode used by the
 /// paper, Figure 4).
 pub const KIND_CHALLENGE: u8 = 0xfc;
@@ -51,6 +53,13 @@ pub enum TcpOption {
 /// The challenge block (Figure 4): difficulty `(k, m)`, pre-image length
 /// `l` (bits), the pre-image itself, and — when the connection does not
 /// negotiate the timestamps option — the embedded issue timestamp (§5).
+///
+/// Beyond the paper, a challenge can pose a non-default puzzle
+/// algorithm: a one-byte [`AlgoId`] travels at the very end of the
+/// block, emitted **only** when the algorithm is not [`AlgoId::Prefix`].
+/// Default-algorithm challenges therefore encode to the exact Figure 4
+/// bytes they always did (goldens unchanged), and old decoders reading
+/// a tagged block fail its length check instead of mis-verifying.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChallengeOption {
     /// Number of sub-solutions requested.
@@ -62,6 +71,8 @@ pub struct ChallengeOption {
     /// Embedded issue timestamp; `None` when the TCP timestamps option
     /// carries it instead.
     pub timestamp: Option<u32>,
+    /// The puzzle algorithm posed (wire byte omitted for the default).
+    pub algo: AlgoId,
 }
 
 impl ChallengeOption {
@@ -71,7 +82,9 @@ impl ChallengeOption {
     }
 
     fn value_len(&self) -> usize {
-        3 + self.preimage.len() + if self.timestamp.is_some() { 4 } else { 0 }
+        3 + self.preimage.len()
+            + if self.timestamp.is_some() { 4 } else { 0 }
+            + if self.algo == AlgoId::Prefix { 0 } else { 1 }
     }
 }
 
@@ -105,22 +118,26 @@ impl SolutionOption {
         SolutionOption { mss, wscale, data }
     }
 
-    /// Splits the opaque area into `k` solutions of `l_bits/8` bytes and
-    /// the embedded timestamp (present iff `embedded_ts`), using the
-    /// server's current configuration — mirroring how the kernel patch
-    /// interprets the block.
+    /// Splits the opaque area into `k` solutions of `algo.proof_len(l/8)`
+    /// bytes each and the embedded timestamp (present iff `embedded_ts`),
+    /// using the server's current configuration — mirroring how the
+    /// kernel patch interprets the block. The per-algo proof length is
+    /// what rejects cross-algo solutions at the wire: a prefix-puzzle
+    /// block presented to a collide-configured server splits to the
+    /// wrong total length and errors here, before any verification.
     ///
     /// # Errors
     ///
     /// Returns [`OptionDecodeError::BadLength`] if the area does not match
-    /// `k·l/8 (+4)` exactly.
+    /// `k·proof_len (+4)` exactly.
     pub fn split(
         &self,
         k: u8,
         l_bits: u16,
+        algo: AlgoId,
         embedded_ts: bool,
     ) -> Result<(Vec<Vec<u8>>, Option<u32>), OptionDecodeError> {
-        let sol_len = l_bits as usize / 8;
+        let sol_len = algo.proof_len(l_bits as usize / 8);
         let expect = k as usize * sol_len + if embedded_ts { 4 } else { 0 };
         if !l_bits.is_multiple_of(8) || self.data.len() != expect {
             return Err(OptionDecodeError::BadLength {
@@ -210,6 +227,9 @@ impl TcpOption {
                 out.extend_from_slice(&c.preimage);
                 if let Some(ts) = c.timestamp {
                     out.extend_from_slice(&ts.to_be_bytes());
+                }
+                if c.algo != AlgoId::Prefix {
+                    out.push(c.algo.wire_id());
                 }
             }
             TcpOption::Solution(s) => {
@@ -311,22 +331,44 @@ impl TcpOption {
                 }
                 let pre_len = l_bits as usize / 8;
                 let rest = &value[3..];
-                let (preimage, timestamp) = if rest.len() == pre_len {
-                    (rest.to_vec(), None)
-                } else if rest.len() == pre_len + 4 {
-                    let t = &rest[pre_len..];
-                    (
-                        rest[..pre_len].to_vec(),
-                        Some(u32::from_be_bytes([t[0], t[1], t[2], t[3]])),
-                    )
-                } else {
-                    return Err(bad(value.len() + 2));
+                // Trailer layout after the pre-image: nothing, a 1-byte
+                // algo id, a 4-byte timestamp, or timestamp + algo id.
+                // The lengths are pairwise distinct, so the block stays
+                // self-describing; an *unknown* algo byte is a decode
+                // error, not a guess.
+                let (preimage, timestamp, algo) = match rest.len().checked_sub(pre_len) {
+                    Some(0) => (rest.to_vec(), None, AlgoId::Prefix),
+                    Some(1) => {
+                        let algo =
+                            AlgoId::from_wire(rest[pre_len]).ok_or_else(|| bad(value.len() + 2))?;
+                        (rest[..pre_len].to_vec(), None, algo)
+                    }
+                    Some(4) => {
+                        let t = &rest[pre_len..];
+                        (
+                            rest[..pre_len].to_vec(),
+                            Some(u32::from_be_bytes([t[0], t[1], t[2], t[3]])),
+                            AlgoId::Prefix,
+                        )
+                    }
+                    Some(5) => {
+                        let t = &rest[pre_len..pre_len + 4];
+                        let algo = AlgoId::from_wire(rest[pre_len + 4])
+                            .ok_or_else(|| bad(value.len() + 2))?;
+                        (
+                            rest[..pre_len].to_vec(),
+                            Some(u32::from_be_bytes([t[0], t[1], t[2], t[3]])),
+                            algo,
+                        )
+                    }
+                    _ => return Err(bad(value.len() + 2)),
                 };
                 TcpOption::Challenge(ChallengeOption {
                     k,
                     m,
                     preimage,
                     timestamp,
+                    algo,
                 })
             }
             KIND_SOLUTION => {
@@ -378,12 +420,14 @@ mod tests {
             m: 17,
             preimage: vec![1, 2, 3, 4],
             timestamp: None,
+            algo: AlgoId::Prefix,
         })]);
         round_trip(vec![TcpOption::Challenge(ChallengeOption {
             k: 1,
             m: 8,
             preimage: vec![9; 8],
             timestamp: Some(12345),
+            algo: AlgoId::Prefix,
         })]);
     }
 
@@ -397,12 +441,12 @@ mod tests {
     fn solution_split_recovers_parts() {
         let proofs = vec![vec![0xaa; 4], vec![0xbb; 4], vec![0xcc; 4]];
         let sol = SolutionOption::build(1200, 3, &proofs, Some(42));
-        let (got, ts) = sol.split(3, 32, true).unwrap();
+        let (got, ts) = sol.split(3, 32, AlgoId::Prefix, true).unwrap();
         assert_eq!(got, proofs);
         assert_eq!(ts, Some(42));
 
         let sol2 = SolutionOption::build(1200, 3, &proofs, None);
-        let (got2, ts2) = sol2.split(3, 32, false).unwrap();
+        let (got2, ts2) = sol2.split(3, 32, AlgoId::Prefix, false).unwrap();
         assert_eq!(got2, proofs);
         assert_eq!(ts2, None);
     }
@@ -410,10 +454,10 @@ mod tests {
     #[test]
     fn solution_split_rejects_mismatched_config() {
         let sol = SolutionOption::build(1460, 0, &[vec![1; 4]], None);
-        assert!(sol.split(2, 32, false).is_err()); // wrong k
-        assert!(sol.split(1, 64, false).is_err()); // wrong l
-        assert!(sol.split(1, 32, true).is_err()); // ts expected but absent
-        assert!(sol.split(1, 12, false).is_err()); // l not a byte multiple
+        assert!(sol.split(2, 32, AlgoId::Prefix, false).is_err()); // wrong k
+        assert!(sol.split(1, 64, AlgoId::Prefix, false).is_err()); // wrong l
+        assert!(sol.split(1, 32, AlgoId::Prefix, true).is_err()); // ts expected but absent
+        assert!(sol.split(1, 12, AlgoId::Prefix, false).is_err()); // l not a byte multiple
     }
 
     #[test]
@@ -424,6 +468,7 @@ mod tests {
             m: 17,
             preimage: vec![0xde, 0xad, 0xbe, 0xef],
             timestamp: None,
+            algo: AlgoId::Prefix,
         });
         let bytes = TcpOption::encode_all(std::slice::from_ref(&c));
         assert_eq!(bytes[0], 0xfc);
@@ -512,6 +557,7 @@ mod tests {
                 m: 17,
                 preimage: vec![0; 4],
                 timestamp: None,
+                algo: AlgoId::Prefix,
             }),
         ]);
         assert!(challenge_area.len() <= 40, "{} > 40", challenge_area.len());
@@ -522,6 +568,108 @@ mod tests {
                 1460,
                 7,
                 &[vec![0; 4], vec![0; 4]],
+                None,
+            )),
+        ]);
+        assert!(solution_area.len() <= 40, "{} > 40", solution_area.len());
+    }
+
+    #[test]
+    fn algo_tagged_challenge_round_trips_with_and_without_ts() {
+        round_trip(vec![TcpOption::Challenge(ChallengeOption {
+            k: 2,
+            m: 30,
+            preimage: vec![5, 6, 7, 8],
+            timestamp: None,
+            algo: AlgoId::Collide,
+        })]);
+        round_trip(vec![TcpOption::Challenge(ChallengeOption {
+            k: 3,
+            m: 24,
+            preimage: vec![0xee; 4],
+            timestamp: Some(0xfeed_beef),
+            algo: AlgoId::Collide,
+        })]);
+    }
+
+    #[test]
+    fn default_algo_encoding_is_byte_identical_to_figure_4() {
+        // A Prefix challenge must not grow an algo byte: the encoded area
+        // is exactly what a pre-seam encoder produced.
+        let mk = |algo| {
+            TcpOption::encode_all(&[TcpOption::Challenge(ChallengeOption {
+                k: 2,
+                m: 17,
+                preimage: vec![0xde, 0xad, 0xbe, 0xef],
+                timestamp: Some(4242),
+                algo,
+            })])
+        };
+        let prefix = mk(AlgoId::Prefix);
+        let collide = mk(AlgoId::Collide);
+        assert_eq!(prefix[1], 13); // 2 header + k + m + l + 4 preimage + 4 ts
+        assert_eq!(collide[1], 14); // one extra trailing algo byte
+        assert_eq!(prefix[0], collide[0]); // same option kind…
+        assert_eq!(&prefix[2..13], &collide[2..13]); // …same payload up to the tag
+        assert_eq!(collide[collide[1] as usize - 1], AlgoId::Collide.wire_id());
+    }
+
+    #[test]
+    fn unknown_algo_byte_rejected() {
+        // k, m, l=32, 4-byte preimage, then a trailer byte that is not a
+        // known AlgoId: decode must fail, not guess.
+        let block = [0xfc, 10, 2, 17, 32, 1, 2, 3, 4, 0x7f];
+        assert!(matches!(
+            TcpOption::decode_all(&block),
+            Err(OptionDecodeError::BadLength { kind: 0xfc, .. })
+        ));
+        // Same with an embedded timestamp before the bogus algo byte.
+        let block_ts = [0xfc, 14, 2, 17, 32, 1, 2, 3, 4, 0, 0, 0, 9, 0x7f, 1, 1];
+        assert!(matches!(
+            TcpOption::decode_all(&block_ts),
+            Err(OptionDecodeError::BadLength { kind: 0xfc, .. })
+        ));
+    }
+
+    #[test]
+    fn collide_solution_split_uses_doubled_proof_len() {
+        // Collide proofs are nonce pairs: 2 × (l/8) bytes each.
+        let proofs = vec![vec![0xaa; 8], vec![0xbb; 8]];
+        let sol = SolutionOption::build(1460, 7, &proofs, None);
+        let (got, ts) = sol.split(2, 32, AlgoId::Collide, false).unwrap();
+        assert_eq!(got, proofs);
+        assert_eq!(ts, None);
+        // The same block read under the wrong algorithm fails the split:
+        // cross-algo rejection happens at the wire, before verification.
+        assert!(sol.split(2, 32, AlgoId::Prefix, false).is_err());
+        let prefix_sol = SolutionOption::build(1460, 7, &[vec![1; 4], vec![2; 4]], None);
+        assert!(prefix_sol.split(2, 32, AlgoId::Collide, false).is_err());
+    }
+
+    #[test]
+    fn collide_challenge_fits_option_budget() {
+        // The collide registry entry (k=2, m=30, l=32) must also fit the
+        // 40-byte budget: one extra algo byte on the challenge, and
+        // 2 × 2 × 4 = 16 proof bytes on the solution.
+        let challenge_area = TcpOption::encode_all(&[
+            TcpOption::Mss(1460),
+            TcpOption::Timestamps { tsval: 1, tsecr: 0 },
+            TcpOption::Challenge(ChallengeOption {
+                k: 2,
+                m: 30,
+                preimage: vec![0; 4],
+                timestamp: None,
+                algo: AlgoId::Collide,
+            }),
+        ]);
+        assert!(challenge_area.len() <= 40, "{} > 40", challenge_area.len());
+
+        let solution_area = TcpOption::encode_all(&[
+            TcpOption::Timestamps { tsval: 2, tsecr: 1 },
+            TcpOption::Solution(SolutionOption::build(
+                1460,
+                7,
+                &[vec![0; 8], vec![0; 8]],
                 None,
             )),
         ]);

@@ -53,14 +53,14 @@ use std::sync::Arc;
 use crate::adaptive::{AdaptiveDifficulty, AdaptiveObservation};
 use crate::cookie::SynCookieCodec;
 use crate::listener::{
-    build_synack, cookie_counter, oracle_proof_with, puzzle_clock, EstablishedVia, FlowKey,
+    build_synack, cookie_counter, oracle_proof_for_with, puzzle_clock, EstablishedVia, FlowKey,
     ListenerCore, ListenerEvent, ListenerOutput, PuzzleConfig, SynCacheConfig, VerifyMode,
 };
 use crate::options::{ChallengeOption, SolutionOption, TcpOption};
 use crate::segment::{SegmentBuilder, TcpFlags, TcpSegment};
 use netsim::{SimDuration, SimTime};
 use puzzle_core::{
-    compute_windowed_preimage, validate_preimage_bits, BatchScratch, ChallengeParams,
+    compute_windowed_preimage, validate_preimage_bits, AlgoId, BatchScratch, ChallengeParams,
     ConnectionTuple, Difficulty, IssueScratch, ReplayCache, ServerSecret, Solution, Verifier,
     VerifyError, VerifyRequest,
 };
@@ -389,7 +389,11 @@ impl<B: HashBackend + 'static> PolicyBuilder<B> {
     /// Client puzzles engage under queue pressure (precedence over
     /// cookies, §5).
     pub fn puzzles(cfg: PuzzleConfig) -> Self {
-        PolicyBuilder::new("puzzles", move |secret, backend| {
+        let label = match cfg.algo {
+            AlgoId::Prefix => "puzzles",
+            AlgoId::Collide => "puzzles-collide",
+        };
+        PolicyBuilder::new(label, move |secret, backend| {
             Box::new(PuzzleDefense::new(cfg.clone(), secret, backend))
         })
     }
@@ -402,7 +406,11 @@ impl<B: HashBackend + 'static> PolicyBuilder<B> {
     /// post-proof state). `window_len` is the window length in puzzle
     /// clock units (seconds).
     pub fn stateless_puzzles(cfg: PuzzleConfig, window_len: u32) -> Self {
-        PolicyBuilder::new("stateless-puzzles", move |secret, backend| {
+        let label = match cfg.algo {
+            AlgoId::Prefix => "stateless-puzzles",
+            AlgoId::Collide => "stateless-collide",
+        };
+        PolicyBuilder::new(label, move |secret, backend| {
             Box::new(NearStatelessPuzzleDefense::new(
                 cfg.clone(),
                 window_len,
@@ -882,6 +890,7 @@ impl<B: HashBackend> PuzzleDefense<B> {
             .expect("invalid PuzzleConfig: preimage_bits incompatible with difficulty");
         let verifier = Verifier::with_backend(secret.clone(), backend.clone())
             .with_expiry(cfg.expiry)
+            .with_algo(cfg.algo)
             .with_replay_cache(Arc::new(ReplayCache::default()));
         PuzzleDefense {
             cfg,
@@ -918,12 +927,12 @@ impl<B: HashBackend> PuzzleDefense<B> {
         // Timestamp source: TS option echo, else embedded in the block.
         let ts_echo = seg.timestamps().map(|(_, tsecr)| tsecr);
         let embedded = ts_echo.is_none();
-        let (proofs, embedded_ts) =
-            sol.split(k, self.cfg.preimage_bits, embedded)
-                .map_err(|_| VerifyError::WrongSolutionCount {
-                    expected: k,
-                    got: 0,
-                })?;
+        let (proofs, embedded_ts) = sol
+            .split(k, self.cfg.preimage_bits, self.cfg.algo, embedded)
+            .map_err(|_| VerifyError::WrongSolutionCount {
+                expected: k,
+                got: 0,
+            })?;
         let issued_at = ts_echo.or(embedded_ts).unwrap_or(0);
         let client_isn = seg.seq.wrapping_sub(1);
         let tuple = core.tuple_for(flow, client_isn);
@@ -977,6 +986,7 @@ impl<B: HashBackend> PuzzleDefense<B> {
                     let (res, hashes) = oracle_verify(
                         core.backend(),
                         core.secret(),
+                        self.cfg.algo,
                         max_age,
                         tuple,
                         params,
@@ -1001,7 +1011,10 @@ impl<B: HashBackend> PuzzleDefense<B> {
 
 impl<B: HashBackend> DefensePolicy<B> for PuzzleDefense<B> {
     fn name(&self) -> &'static str {
-        "puzzles"
+        match self.cfg.algo {
+            AlgoId::Prefix => "puzzles",
+            AlgoId::Collide => "puzzles-collide",
+        }
     }
 
     fn on_syn(
@@ -1040,6 +1053,7 @@ impl<B: HashBackend> DefensePolicy<B> for PuzzleDefense<B> {
             m: self.cfg.difficulty.m(),
             preimage: challenge.preimage().to_vec(),
             timestamp: embed_ts.then_some(now_ts),
+            algo: self.cfg.algo,
         };
         let server_isn = core.next_server_isn(flow);
         let cfg = core.config();
@@ -1118,6 +1132,7 @@ impl<B: HashBackend> DefensePolicy<B> for PuzzleDefense<B> {
                 m,
                 preimage: self.issue_scratch.preimage(i).to_vec(),
                 timestamp: embed_ts.then_some(now_ts),
+                algo: self.cfg.algo,
             };
             let mut b = SegmentBuilder::new(port, flow.port)
                 .seq(self.isns[i])
@@ -1337,6 +1352,7 @@ impl<B: HashBackend> NearStatelessPuzzleDefense<B> {
             .expect("invalid PuzzleConfig: preimage_bits incompatible with difficulty");
         let verifier = Verifier::with_backend(secret.clone(), backend.clone())
             .with_window(window_len)
+            .with_algo(cfg.algo)
             .with_replay_cache(Arc::new(ReplayCache::default()));
         NearStatelessPuzzleDefense {
             cfg,
@@ -1394,12 +1410,12 @@ impl<B: HashBackend> NearStatelessPuzzleDefense<B> {
         let k = self.cfg.difficulty.k();
         let ts_echo = seg.timestamps().map(|(_, tsecr)| tsecr);
         let embedded = ts_echo.is_none();
-        let (proofs, embedded_ts) =
-            sol.split(k, self.cfg.preimage_bits, embedded)
-                .map_err(|_| VerifyError::WrongSolutionCount {
-                    expected: k,
-                    got: 0,
-                })?;
+        let (proofs, embedded_ts) = sol
+            .split(k, self.cfg.preimage_bits, self.cfg.algo, embedded)
+            .map_err(|_| VerifyError::WrongSolutionCount {
+                expected: k,
+                got: 0,
+            })?;
         let issued_window = ts_echo.or(embedded_ts).unwrap_or(0);
         let client_isn = seg.seq.wrapping_sub(1);
         let tuple = core.tuple_for(flow, client_isn);
@@ -1452,6 +1468,7 @@ impl<B: HashBackend> NearStatelessPuzzleDefense<B> {
                     let (res, hashes) = oracle_verify_windowed(
                         core.backend(),
                         core.secret(),
+                        self.cfg.algo,
                         &prf,
                         frame_now,
                         frame_age,
@@ -1477,7 +1494,10 @@ impl<B: HashBackend> NearStatelessPuzzleDefense<B> {
 
 impl<B: HashBackend> DefensePolicy<B> for NearStatelessPuzzleDefense<B> {
     fn name(&self) -> &'static str {
-        "stateless-puzzles"
+        match self.cfg.algo {
+            AlgoId::Prefix => "stateless-puzzles",
+            AlgoId::Collide => "stateless-collide",
+        }
     }
 
     fn on_syn(
@@ -1516,6 +1536,7 @@ impl<B: HashBackend> DefensePolicy<B> for NearStatelessPuzzleDefense<B> {
             m: self.cfg.difficulty.m(),
             preimage: challenge.preimage().to_vec(),
             timestamp: embed_ts.then_some(window),
+            algo: self.cfg.algo,
         };
         let server_isn = core.next_server_isn(flow);
         let cfg = core.config();
@@ -1594,6 +1615,7 @@ impl<B: HashBackend> DefensePolicy<B> for NearStatelessPuzzleDefense<B> {
                 m,
                 preimage: self.issue_scratch.preimage(i).to_vec(),
                 timestamp: embed_ts.then_some(window),
+                algo: self.cfg.algo,
             };
             let mut b = SegmentBuilder::new(port, flow.port)
                 .seq(self.isns[i])
@@ -1748,6 +1770,7 @@ impl<B: HashBackend> DefensePolicy<B> for NearStatelessPuzzleDefense<B> {
 fn oracle_verify_windowed<B: HashBackend>(
     backend: &B,
     secret: &ServerSecret,
+    algo: AlgoId,
     prf: &WindowPrf,
     frame_now: u32,
     frame_age: u32,
@@ -1791,11 +1814,11 @@ fn oracle_verify_windowed<B: HashBackend>(
     let preimage = compute_windowed_preimage(backend, &prf.nonce(params.timestamp), tuple, len);
     let mut hashes = 1u64;
     for (i, proof) in solution.proofs().iter().enumerate() {
-        if proof.len() != len {
+        if proof.len() != algo.proof_len(len) {
             return (Err(VerifyError::BadSolutionLength { index: i }), hashes);
         }
-        hashes += 1;
-        if proof != &oracle_proof_with(backend, secret, &preimage, i as u8 + 1, len) {
+        hashes += algo.verify_hashes_per_proof();
+        if proof != &oracle_proof_for_with(backend, algo, secret, &preimage, i as u8 + 1, len) {
             return (Err(VerifyError::Invalid { index: i }), hashes);
         }
     }
@@ -2144,9 +2167,11 @@ impl<B: HashBackend> DefensePolicy<B> for Stacked<B> {
 /// keyed oracle comparison. Returns the verdict plus the hash count the
 /// *real* path would have charged (1 pre-image + 1 per checked proof),
 /// so CPU accounting stays faithful to the paper whichever mode runs.
+#[allow(clippy::too_many_arguments)]
 fn oracle_verify<B: HashBackend>(
     backend: &B,
     secret: &ServerSecret,
+    algo: AlgoId,
     max_age: u32,
     tuple: &ConnectionTuple,
     params: &ChallengeParams,
@@ -2198,11 +2223,20 @@ fn oracle_verify<B: HashBackend>(
     let len = challenge.preimage().len();
     let mut hashes = 1u64;
     for (i, proof) in solution.proofs().iter().enumerate() {
-        if proof.len() != len {
+        if proof.len() != algo.proof_len(len) {
             return (Err(VerifyError::BadSolutionLength { index: i }), hashes);
         }
-        hashes += 1;
-        if proof != &oracle_proof_with(backend, secret, challenge.preimage(), i as u8 + 1, len) {
+        hashes += algo.verify_hashes_per_proof();
+        if proof
+            != &oracle_proof_for_with(
+                backend,
+                algo,
+                secret,
+                challenge.preimage(),
+                i as u8 + 1,
+                len,
+            )
+        {
             return (Err(VerifyError::Invalid { index: i }), hashes);
         }
     }

@@ -378,6 +378,7 @@ impl SegmentBuilder {
 mod tests {
     use super::*;
     use crate::options::ChallengeOption;
+    use puzzle_core::AlgoId;
 
     #[test]
     fn flags_algebra() {
@@ -486,6 +487,7 @@ mod tests {
             m: 17,
             preimage: vec![0; 31],
             timestamp: Some(1),
+            algo: AlgoId::Prefix,
         };
         SegmentBuilder::new(1, 2)
             .option(TcpOption::Challenge(big))

@@ -15,7 +15,7 @@ use std::net::Ipv4Addr;
 
 use netsim::{SimDuration, SimTime};
 use proptest::prelude::*;
-use puzzle_core::{ConnectionTuple, Difficulty, ServerSecret, Solver};
+use puzzle_core::{AlgoId, ConnectionTuple, Difficulty, ServerSecret, Solver};
 use tcpstack::{
     Listener, ListenerConfig, PolicyBuilder, PuzzleConfig, SegmentBuilder, SolutionOption,
     SynCacheConfig, TcpFlags, TcpOption, TcpSegment, VerifyMode,
@@ -106,6 +106,7 @@ fn puzzle_cfg() -> PuzzleConfig {
         verify: VerifyMode::Real,
         hold: SimDuration::from_secs(2),
         verify_workers: 1,
+        algo: AlgoId::Prefix,
     }
 }
 

@@ -1,7 +1,14 @@
-//! Property tests: the TCP option codec round-trips arbitrary options.
+//! Property tests: the TCP option codec round-trips arbitrary options,
+//! including algorithm-tagged challenge blocks, and cross-algo solution
+//! blocks are rejected at the split (no panic, no verification cost).
 
 use proptest::prelude::*;
+use puzzle_core::AlgoId;
 use tcpstack::{ChallengeOption, SolutionOption, TcpOption};
+
+fn arb_algo() -> impl Strategy<Value = AlgoId> {
+    prop::sample::select(AlgoId::ALL.to_vec())
+}
 
 fn arb_option() -> impl Strategy<Value = TcpOption> {
     prop_oneof![
@@ -15,13 +22,15 @@ fn arb_option() -> impl Strategy<Value = TcpOption> {
             1u8..30,
             prop::collection::vec(any::<u8>(), 4..8),
             prop::option::of(any::<u32>()),
+            arb_algo(),
         )
-            .prop_map(|(k, m, preimage, timestamp)| {
+            .prop_map(|(k, m, preimage, timestamp, algo)| {
                 TcpOption::Challenge(ChallengeOption {
                     k,
                     m,
                     preimage,
                     timestamp,
+                    algo,
                 })
             }),
         (
@@ -45,7 +54,8 @@ fn arb_option() -> impl Strategy<Value = TcpOption> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// encode → decode is the identity for any sequence of options.
+    /// encode → decode is the identity for any sequence of options,
+    /// whichever algorithm each challenge block is tagged with.
     #[test]
     fn options_round_trip(options in prop::collection::vec(arb_option(), 0..4)) {
         let bytes = TcpOption::encode_all(&options);
@@ -62,7 +72,9 @@ proptest! {
     }
 
     /// Solution blocks split back into exactly the proofs they were built
-    /// from, for any (k, l) combination that fits.
+    /// from, for any (k, l, algo) combination that fits — and splitting
+    /// under the *other* algorithm errors instead of mis-slicing, because
+    /// the per-proof lengths differ (the wire-level cross-algo rejection).
     #[test]
     fn solution_split_round_trip(
         mss in any::<u16>(),
@@ -71,15 +83,26 @@ proptest! {
         l_bytes in prop::sample::select(vec![2usize, 4, 8]),
         ts in prop::option::of(any::<u32>()),
         seed in any::<u8>(),
+        algo in arb_algo(),
     ) {
+        let proof_len = algo.proof_len(l_bytes);
         let proofs: Vec<Vec<u8>> = (0..k)
-            .map(|i| vec![seed.wrapping_add(i as u8); l_bytes])
+            .map(|i| vec![seed.wrapping_add(i as u8); proof_len])
             .collect();
         let sol = SolutionOption::build(mss, wscale, &proofs, ts);
         let (got, got_ts) = sol
-            .split(k as u8, (l_bytes * 8) as u16, ts.is_some())
+            .split(k as u8, (l_bytes * 8) as u16, algo, ts.is_some())
             .unwrap();
         prop_assert_eq!(got, proofs);
         prop_assert_eq!(got_ts, ts);
+
+        for other in AlgoId::ALL {
+            if other.proof_len(l_bytes) != proof_len {
+                prop_assert!(
+                    sol.split(k as u8, (l_bytes * 8) as u16, other, ts.is_some()).is_err(),
+                    "cross-algo split must be rejected"
+                );
+            }
+        }
     }
 }

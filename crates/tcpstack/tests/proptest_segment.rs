@@ -3,6 +3,7 @@
 //! and rejects every truncation of the header/options area.
 
 use proptest::prelude::*;
+use puzzle_core::AlgoId;
 use tcpstack::{
     ChallengeOption, SegmentBuilder, SegmentDecodeError, SolutionOption, TcpFlags, TcpOption,
     TcpSegment, TCP_HEADER_LEN,
@@ -38,6 +39,7 @@ fn arb_options() -> impl Strategy<Value = Vec<TcpOption>> {
                     m,
                     preimage,
                     timestamp: None,
+                    algo: AlgoId::Prefix,
                 }),
             ]
         ),

@@ -27,7 +27,7 @@ use std::net::Ipv4Addr;
 
 use netsim::{SimDuration, SimTime};
 use proptest::prelude::*;
-use puzzle_core::{ConnectionTuple, Difficulty, ServerSecret, Solver};
+use puzzle_core::{AlgoId, ConnectionTuple, Difficulty, ServerSecret, Solver};
 use tcpstack::listener::ListenerOutput;
 use tcpstack::{
     shard_for, FlowKey, Listener, ListenerConfig, ListenerStats, PolicyBuilder, PolicyStats,
@@ -118,6 +118,7 @@ fn policy_under_test(idx: usize) -> PolicyBuilder<puzzle_crypto::ScalarBackend> 
             verify: VerifyMode::Real,
             hold: SimDuration::from_secs(2),
             verify_workers: 1,
+            algo: AlgoId::Prefix,
         }),
     }
 }

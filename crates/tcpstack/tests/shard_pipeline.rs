@@ -15,7 +15,7 @@
 use std::net::Ipv4Addr;
 
 use netsim::{SimDuration, SimTime};
-use puzzle_core::{Difficulty, ServerSecret};
+use puzzle_core::{AlgoId, Difficulty, ServerSecret};
 use tcpstack::{
     ListenerConfig, PolicyBuilder, PuzzleConfig, SegmentBuilder, ShardPipeline, ShardedListener,
     TcpFlags, TcpSegment, VerifyMode,
@@ -58,6 +58,7 @@ fn puzzles_policy() -> PolicyBuilder<puzzle_crypto::ScalarBackend> {
         verify: VerifyMode::Real,
         hold: SimDuration::from_secs(2),
         verify_workers: 1,
+        algo: AlgoId::Prefix,
     })
 }
 

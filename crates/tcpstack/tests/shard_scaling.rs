@@ -21,7 +21,7 @@ use std::net::Ipv4Addr;
 use std::time::Instant;
 
 use netsim::{SimDuration, SimTime};
-use puzzle_core::{Difficulty, ServerSecret};
+use puzzle_core::{AlgoId, Difficulty, ServerSecret};
 use tcpstack::{
     ListenerConfig, PolicyBuilder, PuzzleConfig, SegmentBuilder, ShardPipeline, ShardedListener,
     TcpFlags, TcpSegment, VerifyMode,
@@ -55,6 +55,7 @@ fn listener(
         verify: VerifyMode::Real,
         hold: SimDuration::from_secs(3600),
         verify_workers: 1,
+        algo: AlgoId::Prefix,
     };
     let mut cfg = ListenerConfig::new(SERVER, 80);
     cfg.backlog = 0; // permanent pressure: every SYN is challenged

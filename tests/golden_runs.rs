@@ -65,7 +65,7 @@ fn golden_conn_flood() {
 /// per hash backend like every other golden run.
 #[test]
 fn golden_defense_matrix() {
-    let expectations: [(&str, &str, &str); 7] = [
+    let expectations: [(&str, &str, &str); 9] = [
         (
             "none",
             "9c9943d212af1c878e264228eb08d207baa008fd00d16d566a2726333449c107",
@@ -110,6 +110,25 @@ fn golden_defense_matrix() {
             "stateless-puzzles",
             "5006adf5ae0beb3b0e5805b623c3802b88dcc8844129147a758a0da5dba1ed76",
             "b10af12c4faf41bef5d22e94c1dd2a67cc87c1e41ee88ac1f62ba3fdd7dbd366",
+        ),
+        // First capture of the asymmetric collision puzzle at the
+        // attacker-cost-equivalent (2, 26) of the Nash (2, 17) prefix
+        // point. The digests legitimately differ from `nash`: the algo
+        // byte lengthens the challenge option, solution proofs are
+        // twice as long, verify charges 2 tags per sub-solution, and
+        // the oracle samples Rayleigh-distributed solve costs.
+        (
+            "puzzles-collide",
+            "a51c9ab9a03e23500fa727263752ad6ccfe78b8569a610b1ca098fd4a3c7ac75",
+            "182cf629f7fb5fc7edae815694758eb0da9b349313d9bc945c2a21f00fef7479",
+        ),
+        // Equal to the `puzzles-collide` pins by design — the same
+        // windowed-issuance behaviour-preservation argument as
+        // `stateless-puzzles` vs `nash` above.
+        (
+            "stateless-collide",
+            "a51c9ab9a03e23500fa727263752ad6ccfe78b8569a610b1ca098fd4a3c7ac75",
+            "182cf629f7fb5fc7edae815694758eb0da9b349313d9bc945c2a21f00fef7479",
         ),
     ];
     assert_eq!(
@@ -160,7 +179,7 @@ fn different_seeds_differ() {
 /// persistent-pipeline variants below: the step pipeline decides where
 /// shard stepping runs, never what it produces, so both must reproduce
 /// the same digests byte-for-byte.
-const SHARDS4_EXPECTATIONS: [(&str, &str, &str); 7] = [
+const SHARDS4_EXPECTATIONS: [(&str, &str, &str); 9] = [
     (
         "none",
         "92efbc71b8898e2a68deb4a07242840b2f8c48633998e06b88c7dc76ed96da89",
@@ -198,6 +217,19 @@ const SHARDS4_EXPECTATIONS: [(&str, &str, &str); 7] = [
         "stateless-puzzles",
         "85906e5cb5c6e7daf042d839dc0143b4bfd0e1ec3e47c1a67bf2b6a31e7729b4",
         "0116d3f25632634ab885131134da1ca0b4e3d8cce338885c2919f8d8d42b644e",
+    ),
+    // First capture of the collision puzzle at shards=4 — see the
+    // shards=1 matrix for why these differ from `nash` and why
+    // `stateless-collide` collides with `puzzles-collide`.
+    (
+        "puzzles-collide",
+        "7284889b2fa81d123b1bbe36526a29ddd62d02c990e2cb8d9a7970e618a766b2",
+        "4c612b00e5aed8706efd3386e420192eb8ddd77f2b010ea298e6651d1e091749",
+    ),
+    (
+        "stateless-collide",
+        "7284889b2fa81d123b1bbe36526a29ddd62d02c990e2cb8d9a7970e618a766b2",
+        "4c612b00e5aed8706efd3386e420192eb8ddd77f2b010ea298e6651d1e091749",
     ),
 ];
 

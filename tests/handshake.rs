@@ -2,6 +2,7 @@
 //! the *real* cryptographic path, driven sans-IO across the tcpstack and
 //! puzzle-core crates.
 
+use puzzle_core::AlgoId;
 use tcp_puzzles::netsim::{SimDuration, SimTime};
 use tcp_puzzles::puzzle_core::{Challenge, ChallengeParams};
 use tcp_puzzles::puzzle_core::{Difficulty, ServerSecret, Solver};
@@ -26,6 +27,7 @@ fn challenge_handshake_end_to_end_with_real_solving() {
     let mut cfg = ListenerConfig::new(SERVER_IP, 80);
     cfg.backlog = 0; // challenge every SYN
     let pc = PuzzleConfig {
+        algo: AlgoId::Prefix,
         difficulty: Difficulty::new(2, 10).expect("valid"),
         preimage_bits: 32,
         expiry: 8,
@@ -118,6 +120,7 @@ fn non_solver_is_deceived_then_reset() {
     let mut cfg = ListenerConfig::new(SERVER_IP, 80);
     cfg.backlog = 0;
     let pc = PuzzleConfig {
+        algo: AlgoId::Prefix,
         difficulty: Difficulty::new(1, 8).expect("valid"),
         preimage_bits: 32,
         expiry: 8,
@@ -162,6 +165,7 @@ fn forged_solution_rejected() {
     let mut cfg = ListenerConfig::new(SERVER_IP, 80);
     cfg.backlog = 0;
     let pc = PuzzleConfig {
+        algo: AlgoId::Prefix,
         difficulty: Difficulty::new(2, 16).expect("valid"),
         preimage_bits: 32,
         expiry: 8,
@@ -195,6 +199,7 @@ fn wire_round_trip_of_challenge_and_solution() {
     let mut cfg = ListenerConfig::new(SERVER_IP, 80);
     cfg.backlog = 0;
     let pc = PuzzleConfig {
+        algo: AlgoId::Prefix,
         difficulty: Difficulty::new(2, 6).expect("valid"),
         preimage_bits: 32,
         expiry: 8,
@@ -250,7 +255,8 @@ fn wire_round_trip_of_challenge_and_solution() {
             _ => None,
         })
         .expect("solution present");
-    let (proofs, _) = SolutionOption::split(&sol, 2, 32, false).expect("well-formed");
+    let (proofs, _) =
+        SolutionOption::split(&sol, 2, 32, AlgoId::Prefix, false).expect("well-formed");
     assert_eq!(proofs.len(), 2);
 
     let out = listener.on_segment(t(4), CLIENT_IP, &ack);

@@ -8,6 +8,7 @@
 //! ```text
 //! bench_check <baseline.json> <fresh.json> [--tolerance 0.5]
 //! bench_check <fresh.json> --require-scaling <prefix>:<shards>:<factor>
+//! bench_check <fresh.json> --max-ratio <num_id>=<den_id>=<factor>
 //! ```
 //!
 //! The tolerance is a fractional slowdown bound: `0.5` tolerates up to
@@ -27,6 +28,15 @@
 //! loose floor; perfect scaling would be 4×). With two paths it runs
 //! after the regression compare, against the fresh report. Exit codes:
 //! 0 ok, 1 regression or scaling failure, 2 usage/parse error.
+//!
+//! `--max-ratio a=b=F` is the cross-id cost guard, also over one
+//! report: it requires `ns(a) / ns(b) <= F`. Ids contain `/` but never
+//! `=`, so `=` is a safe separator. The verify-cost CI leg uses it to
+//! pin the asymmetric collision puzzle's verification bill to the
+//! hash-prefix path it rides next to
+//! (`backend/collide_verify_batch/256=backend/verify_batch/256=2.0` —
+//! two tag recomputations per sub-solution instead of one, and nothing
+//! else). Repeatable; missing ids are hard errors.
 
 use std::process::ExitCode;
 
@@ -163,6 +173,58 @@ fn check_scaling(entries: &[Entry], req: &ScalingReq) -> Result<bool, String> {
     Ok(ok)
 }
 
+/// A `--max-ratio` demand: `ns(numerator) / ns(denominator)` in one
+/// report must stay at or below `factor`.
+#[derive(Clone, Debug, PartialEq)]
+struct RatioReq {
+    numerator: String,
+    denominator: String,
+    factor: f64,
+}
+
+/// Parses `num_id=den_id=factor` (bench ids in this workspace contain
+/// `/` but never `=`).
+fn parse_ratio_spec(spec: &str) -> Option<RatioReq> {
+    let mut parts = spec.split('=');
+    let numerator = parts.next()?.to_string();
+    let denominator = parts.next()?.to_string();
+    let factor: f64 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || numerator.is_empty() || denominator.is_empty() || factor <= 0.0 {
+        return None;
+    }
+    Some(RatioReq {
+        numerator,
+        denominator,
+        factor,
+    })
+}
+
+/// Checks one report against a ratio cap. `Ok(true)` means the cap
+/// holds; a missing id is a hard error (the guard must never silently
+/// pass because a bench was renamed).
+fn check_ratio(entries: &[Entry], req: &RatioReq) -> Result<bool, String> {
+    let find = |id: &str| {
+        entries
+            .iter()
+            .find(|e| e.id == id)
+            .ok_or_else(|| format!("ratio check: id {id:?} not found in the fresh report"))
+    };
+    let num = find(&req.numerator)?;
+    let den = find(&req.denominator)?;
+    let achieved = num.ns_per_iter / den.ns_per_iter;
+    let ok = achieved <= req.factor;
+    println!(
+        "ratio {} / {}: {:.1} ns / {:.1} ns = {achieved:.2}x (need <= {:.2}x)  {}",
+        req.numerator,
+        req.denominator,
+        num.ns_per_iter,
+        den.ns_per_iter,
+        req.factor,
+        if ok { "ok" } else { "TOO COSTLY" }
+    );
+    Ok(ok)
+}
+
 fn run(baseline_path: &str, fresh_path: &str, tolerance: f64) -> Result<bool, String> {
     let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
     let baseline = parse_report(&read(baseline_path)?);
@@ -219,9 +281,21 @@ fn main() -> ExitCode {
     let mut paths = Vec::new();
     let mut tolerance = 0.5f64;
     let mut scaling: Option<ScalingReq> = None;
+    let mut ratios: Vec<RatioReq> = Vec::new();
     let mut i = 1;
     while i < args.len() {
-        if args[i] == "--tolerance" {
+        if args[i] == "--max-ratio" {
+            match args.get(i + 1).and_then(|s| parse_ratio_spec(s)) {
+                Some(req) => ratios.push(req),
+                None => {
+                    eprintln!(
+                        "--max-ratio needs a <num_id>=<den_id>=<factor> argument (factor > 0)"
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+            i += 2;
+        } else if args[i] == "--tolerance" {
             match args.get(i + 1).and_then(|s| s.parse().ok()) {
                 Some(t) => tolerance = t,
                 None => {
@@ -248,15 +322,17 @@ fn main() -> ExitCode {
         }
     }
     // The fresh report is the last path either way: the scaling-only
-    // mode takes one path, the compare mode two.
-    let (baseline, fresh) = match (paths.as_slice(), &scaling) {
-        ([baseline, fresh], _) => (Some(baseline.clone()), fresh.clone()),
-        ([fresh], Some(_)) => (None, fresh.clone()),
+    // and ratio-only modes take one path, the compare mode two.
+    let single_report_mode = scaling.is_some() || !ratios.is_empty();
+    let (baseline, fresh) = match paths.as_slice() {
+        [baseline, fresh] => (Some(baseline.clone()), fresh.clone()),
+        [fresh] if single_report_mode => (None, fresh.clone()),
         _ => {
             eprintln!(
                 "usage: bench_check <baseline.json> <fresh.json> [--tolerance 0.5] \
-                 [--require-scaling prefix:N:F]\n       \
-                 bench_check <fresh.json> --require-scaling prefix:N:F"
+                 [--require-scaling prefix:N:F] [--max-ratio a=b=F]\n       \
+                 bench_check <fresh.json> --require-scaling prefix:N:F\n       \
+                 bench_check <fresh.json> --max-ratio a=b=F"
             );
             return ExitCode::from(2);
         }
@@ -281,7 +357,7 @@ fn main() -> ExitCode {
             }
         }
     }
-    if let Some(req) = &scaling {
+    if scaling.is_some() || !ratios.is_empty() {
         let entries = match std::fs::read_to_string(&fresh) {
             Ok(text) => parse_report(&text),
             Err(e) => {
@@ -289,18 +365,36 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        match check_scaling(&entries, req) {
-            Ok(true) => println!("bench_check: scaling demand met"),
-            Ok(false) => {
-                eprintln!(
-                    "bench_check: {} did not reach {:.2}x at {} shards",
-                    req.prefix, req.factor, req.shards
-                );
-                failed = true;
+        if let Some(req) = &scaling {
+            match check_scaling(&entries, req) {
+                Ok(true) => println!("bench_check: scaling demand met"),
+                Ok(false) => {
+                    eprintln!(
+                        "bench_check: {} did not reach {:.2}x at {} shards",
+                        req.prefix, req.factor, req.shards
+                    );
+                    failed = true;
+                }
+                Err(e) => {
+                    eprintln!("bench_check: {e}");
+                    return ExitCode::from(2);
+                }
             }
-            Err(e) => {
-                eprintln!("bench_check: {e}");
-                return ExitCode::from(2);
+        }
+        for req in &ratios {
+            match check_ratio(&entries, req) {
+                Ok(true) => println!("bench_check: ratio cap met"),
+                Ok(false) => {
+                    eprintln!(
+                        "bench_check: {} exceeded {:.2}x of {}",
+                        req.numerator, req.factor, req.denominator
+                    );
+                    failed = true;
+                }
+                Err(e) => {
+                    eprintln!("bench_check: {e}");
+                    return ExitCode::from(2);
+                }
             }
         }
     }
@@ -319,6 +413,7 @@ mod tests {
   "results": [
     {"id": "sha256/64B", "ns_per_iter": 680.2, "iterations": 2951760, "throughput_bytes": 64},
     {"id": "backend/verify_batch/256", "ns_per_iter": 367214.8, "iterations": 5460, "throughput_elements": 256},
+    {"id": "backend/collide_verify_batch/256", "ns_per_iter": 650000.0, "iterations": 3100, "throughput_elements": 256},
     {"id": "sharded/on_segments/8", "ns_per_iter": 123456.7, "iterations": 16000},
     {"id": "sharded_persistent/on_segments/1", "ns_per_iter": 400000.0, "iterations": 5000},
     {"id": "sharded_persistent/on_segments/4", "ns_per_iter": 160000.0, "iterations": 12000},
@@ -331,16 +426,18 @@ mod tests {
     #[test]
     fn parses_the_shim_report_format() {
         let entries = parse_report(SAMPLE);
-        assert_eq!(entries.len(), 8);
+        assert_eq!(entries.len(), 9);
         assert_eq!(entries[0].id, "sha256/64B");
         assert!((entries[0].ns_per_iter - 680.2).abs() < 1e-9);
         assert_eq!(entries[1].id, "backend/verify_batch/256");
         assert!((entries[1].ns_per_iter - 367214.8).abs() < 1e-9);
+        assert_eq!(entries[2].id, "backend/collide_verify_batch/256");
+        assert!((entries[2].ns_per_iter - 650000.0).abs() < 1e-9);
         // The sharded listener's step groups ride the same format.
-        assert_eq!(entries[2].id, "sharded/on_segments/8");
-        assert!((entries[2].ns_per_iter - 123456.7).abs() < 1e-9);
-        assert_eq!(entries[3].id, "sharded_persistent/on_segments/1");
-        assert_eq!(entries[4].id, "sharded_persistent/on_segments/4");
+        assert_eq!(entries[3].id, "sharded/on_segments/8");
+        assert!((entries[3].ns_per_iter - 123456.7).abs() < 1e-9);
+        assert_eq!(entries[4].id, "sharded_persistent/on_segments/1");
+        assert_eq!(entries[5].id, "sharded_persistent/on_segments/4");
     }
 
     #[test]
@@ -390,6 +487,46 @@ mod tests {
         assert_eq!(check_scaling(&entries, &req), Ok(true));
         let too_strict = parse_scaling_spec("stack/syn_challenge_batch:256:4.0").expect("valid");
         assert_eq!(check_scaling(&entries, &too_strict), Ok(false));
+    }
+
+    #[test]
+    fn ratio_spec_parses_and_rejects() {
+        assert_eq!(
+            parse_ratio_spec("backend/collide_verify_batch/256=backend/verify_batch/256=2.0"),
+            Some(RatioReq {
+                numerator: "backend/collide_verify_batch/256".to_string(),
+                denominator: "backend/verify_batch/256".to_string(),
+                factor: 2.0,
+            })
+        );
+        assert_eq!(parse_ratio_spec("a=b=0"), None, "factor > 0");
+        assert_eq!(parse_ratio_spec("a=b"), None, "three fields");
+        assert_eq!(parse_ratio_spec("a=b=2.0=x"), None, "exactly three");
+        assert_eq!(parse_ratio_spec("=b=2.0"), None, "non-empty numerator");
+        assert_eq!(parse_ratio_spec("a==2.0"), None, "non-empty denominator");
+    }
+
+    #[test]
+    fn ratio_check_verdicts() {
+        // The CI verify-cost guard: collide verification recomputes two
+        // tags per sub-solution instead of one, so its batch-256 bill
+        // must stay within 2x the prefix path's.
+        let entries = parse_report(SAMPLE);
+        // 650000 / 367214.8 = 1.77x: meets 2.0, not 1.5.
+        let req = |factor| RatioReq {
+            numerator: "backend/collide_verify_batch/256".to_string(),
+            denominator: "backend/verify_batch/256".to_string(),
+            factor,
+        };
+        assert_eq!(check_ratio(&entries, &req(2.0)), Ok(true));
+        assert_eq!(check_ratio(&entries, &req(1.5)), Ok(false));
+        // A renamed/missing id is a hard error, never a silent pass.
+        let missing = RatioReq {
+            numerator: "backend/collide_verify_batch/16".to_string(),
+            denominator: "backend/verify_batch/16".to_string(),
+            factor: 2.0,
+        };
+        assert!(check_ratio(&entries, &missing).is_err());
     }
 
     #[test]
